@@ -1,0 +1,96 @@
+//! Criterion benchmark: HTM trace-simulation throughput.
+//!
+//! The HTM's cost is dominated by what-if queries (clone + drain). This
+//! bench measures the primitive operations at several trace sizes:
+//! `predict` (one what-if), `commit` (advance + insert), and a full
+//! `drain_schedule` (the f(i,j) extraction behind MSF's objective).
+
+use cas_core::{Htm, ServerTrace, SyncPolicy};
+use cas_platform::{CostTable, PhaseCosts, Problem, ProblemId, ServerId, TaskId, TaskInstance};
+use cas_sim::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn one_server_table() -> CostTable {
+    let mut t = CostTable::new(1);
+    t.add_problem(
+        Problem::new("p", 1.0, 0.5, 0.0),
+        vec![Some(PhaseCosts::new(0.5, 20.0, 0.2))],
+    );
+    t
+}
+
+fn populated_trace(n: usize) -> ServerTrace {
+    let mut tr = ServerTrace::new();
+    for i in 0..n {
+        tr.add_task(
+            SimTime::from_secs(i as f64 * 0.5),
+            TaskId(i as u64),
+            PhaseCosts::new(0.5, 20.0 + (i % 7) as f64, 0.2),
+        );
+    }
+    tr
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htm_predict");
+    for n in [1usize, 8, 32, 128] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut htm = Htm::new(one_server_table(), SyncPolicy::None);
+            for i in 0..n {
+                let t = TaskInstance::new(
+                    TaskId(i as u64),
+                    ProblemId(0),
+                    SimTime::from_secs(i as f64 * 0.1),
+                );
+                htm.commit(t.arrival, ServerId(0), &t);
+            }
+            let probe = TaskInstance::new(TaskId(9999), ProblemId(0), SimTime::from_secs(50.0));
+            b.iter(|| black_box(htm.predict(probe.arrival, ServerId(0), &probe)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_drain_schedule");
+    for n in [8usize, 64, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let tr = populated_trace(n);
+            b.iter(|| black_box(tr.drain_schedule().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htm_commit");
+    group.bench_function("commit_into_32", |b| {
+        let mut htm = Htm::new(one_server_table(), SyncPolicy::None);
+        for i in 0..32 {
+            let t = TaskInstance::new(
+                TaskId(i as u64),
+                ProblemId(0),
+                SimTime::from_secs(i as f64 * 0.1),
+            );
+            htm.commit(t.arrival, ServerId(0), &t);
+        }
+        let mut next = 100u64;
+        b.iter_batched(
+            || htm.clone(),
+            |mut h| {
+                let t = TaskInstance::new(TaskId(next), ProblemId(0), SimTime::from_secs(10.0));
+                h.commit(t.arrival, ServerId(0), &t);
+                next += 1;
+                black_box(h.active_on(ServerId(0)))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_drain, bench_commit);
+criterion_main!(benches);

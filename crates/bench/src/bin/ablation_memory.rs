@@ -1,0 +1,83 @@
+//! Ablation C: memory-aware scheduling (the paper's future work §7).
+//!
+//! Reruns the Table 6 scenario (matmul, high rate, memory model on) with
+//! the memory-aware wrappers M-HMCT / M-MSF next to their plain versions,
+//! and with the harsher thrashing memory model that reproduces the paper's
+//! larger completion losses. Expected: the veto recovers all 500
+//! completions without giving up the sum-flow advantage.
+
+use cas_core::heuristics::HeuristicKind;
+use cas_metrics::{MetricSet, Table};
+use cas_middleware::{run_experiment, ExperimentConfig};
+use cas_platform::MemoryModel;
+use cas_workload::metatask::MetataskSpec;
+use cas_workload::{matmul, testbed};
+
+const KINDS: [HeuristicKind; 5] = [
+    HeuristicKind::Mct,
+    HeuristicKind::Hmct,
+    HeuristicKind::MemHmct,
+    HeuristicKind::Msf,
+    HeuristicKind::MemMsf,
+];
+
+fn run_with(memory: MemoryModel, title: &str) {
+    let costs = matmul::cost_table();
+    let servers = testbed::set1_servers();
+    let mut table = Table::new(
+        title.to_string(),
+        KINDS.iter().map(|k| k.name().to_string()).collect(),
+    );
+    let mut grid: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for &kind in &KINDS {
+        let mut completed = 0.0;
+        let mut sumflow = 0.0;
+        let mut maxstretch = 0.0f64;
+        let mut attempts = 0.0;
+        let n_seeds = 3;
+        for seed in 0..n_seeds {
+            let tasks = MetataskSpec::paper(15.0).generate(100 + seed);
+            let mut cfg = ExperimentConfig::paper(kind, seed);
+            cfg.memory = memory;
+            let recs = run_experiment(cfg, costs.clone(), servers.clone(), tasks);
+            let m = MetricSet::compute(&recs);
+            completed += m.completed as f64;
+            sumflow += m.sumflow;
+            maxstretch = maxstretch.max(m.maxstretch);
+            attempts += recs.iter().map(|r| r.attempts as f64).sum::<f64>();
+        }
+        grid[0].push(completed / n_seeds as f64);
+        grid[1].push(sumflow / n_seeds as f64);
+        grid[2].push(maxstretch);
+        grid[3].push(attempts / n_seeds as f64 / 500.0);
+    }
+    table.push_row_f64("completed (of 500)", &grid[0], 1);
+    table.push_row_f64("sumflow", &grid[1], 0);
+    table.push_row_f64("maxstretch (worst seed)", &grid[2], 1);
+    table.push_row_f64("mean attempts per task", &grid[3], 3);
+    println!("{}", table.render());
+    println!();
+}
+
+fn main() {
+    run_with(
+        MemoryModel::default(),
+        "Table 6 scenario, default memory model (admission cap only)",
+    );
+    run_with(
+        MemoryModel::thrashing(1.0, 64),
+        "Table 6 scenario, thrashing memory model (paging slowdown + collapse)",
+    );
+    println!(
+        "Reading: under the admission-cap model the M- veto recovers (nearly) all\n\
+         completions using agent-side information only, first try — but pays for\n\
+         it in sum-flow and stretch: vetoed tasks land on slow, roomy servers.\n\
+         The residual sub-500 counts come from HTM drift under noise (the model\n\
+         believes memory is free a little before/after reality). Under the\n\
+         thrashing model the cap-based veto barely helps: the damage happens\n\
+         *below* the admission limit, where paging slows the CPU — anticipating\n\
+         it needs a tighter budget (MemAware::with_headroom), trading throughput\n\
+         for survival. Memory-awareness is a real trade-off, not a free fix —\n\
+         presumably why the paper left it as future work."
+    );
+}

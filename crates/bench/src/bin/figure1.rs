@@ -1,0 +1,65 @@
+//! Reproduces Fig. 1: the Gantt chart of a server trace before and after a
+//! new task is mapped, with the perturbations π_j the insertion inflicts.
+//!
+//! The scenario mirrors the figure: two tasks (T1, T2) computing on a
+//! shared server; a third task (T3) arrives mid-flight; shares drop from
+//! 50 % to 33.3 % and every completion date slides right.
+
+use cas_core::{Gantt, Htm, ServerTrace, SyncPolicy};
+use cas_platform::{CostTable, PhaseCosts, Problem, ProblemId, ServerId, TaskId, TaskInstance};
+use cas_sim::SimTime;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn main() {
+    // --- Old Gantt chart: T1 and T2 share the CPU. -----------------------
+    let mut before = ServerTrace::new().with_recording();
+    before.add_task(t(0.0), TaskId(1), PhaseCosts::new(0.0, 60.0, 0.0));
+    before.add_task(t(0.0), TaskId(2), PhaseCosts::new(0.0, 90.0, 0.0));
+    let mut before_done = before.clone();
+    before_done.drain();
+    println!("Old Gantt chart (before the new task):\n");
+    println!("{}", Gantt::from_trace(&before_done).render_ascii(72));
+
+    // --- The agent asks the HTM what mapping T3 would do. ----------------
+    let mut costs = CostTable::new(1);
+    costs.add_problem(
+        Problem::new("fig1-60", 0.0, 0.0, 0.0),
+        vec![Some(PhaseCosts::new(0.0, 60.0, 0.0))],
+    );
+    costs.add_problem(
+        Problem::new("fig1-90", 0.0, 0.0, 0.0),
+        vec![Some(PhaseCosts::new(0.0, 90.0, 0.0))],
+    );
+    costs.add_problem(
+        Problem::new("fig1-30", 0.0, 0.0, 0.0),
+        vec![Some(PhaseCosts::new(0.0, 30.0, 0.0))],
+    );
+    let mut htm = Htm::new(costs, SyncPolicy::None);
+    htm.enable_recording(ServerId(0));
+    htm.commit(t(0.0), ServerId(0), &TaskInstance::new(TaskId(1), ProblemId(0), t(0.0)));
+    htm.commit(t(0.0), ServerId(0), &TaskInstance::new(TaskId(2), ProblemId(1), t(0.0)));
+    let new_task = TaskInstance::new(TaskId(3), ProblemId(2), t(30.0));
+    let prediction = htm
+        .predict(t(30.0), ServerId(0), &new_task)
+        .expect("server solves the problem");
+    println!("Perturbations of the new task (π_j = f'_j − f_j):");
+    for (task, pi) in &prediction.perturbations {
+        println!("  π({task}) = {pi:.1} s");
+    }
+    println!(
+        "  new task completion f(n+1) = {:.1} s  (sum π = {:.1}, MSF objective = {:.1})\n",
+        prediction.completion.as_secs(),
+        prediction.sum_perturbation(),
+        prediction.msf_objective()
+    );
+
+    // --- Gantt chart with the new task. ----------------------------------
+    htm.commit(t(30.0), ServerId(0), &new_task);
+    let mut after = htm.trace(ServerId(0)).clone();
+    after.drain();
+    println!("Gantt chart with the new task (T3 arrives at t=30):\n");
+    println!("{}", Gantt::from_trace(&after).render_ascii(72));
+}

@@ -1,0 +1,60 @@
+//! Ablation A: heuristic ranking versus arrival rate.
+//!
+//! §5.3 argues MP is sub-optimal at low rates (it wastes fast servers on
+//! idle slow ones) but strong at high rates, while MSF is never worse than
+//! MCT at any rate. This sweep varies the mean inter-arrival gap over the
+//! waste-cpu workload and prints sum-flow, max-stretch and completion
+//! counts per heuristic, exposing the crossover the paper describes.
+
+use cas_core::heuristics::HeuristicKind;
+use cas_metrics::{MetricSet, Table};
+use cas_middleware::{run_heuristic_matrix, ExperimentConfig};
+use cas_workload::metatask::MetataskSpec;
+use cas_workload::{testbed, wastecpu};
+
+const GAPS: [f64; 6] = [8.0, 10.0, 12.0, 15.0, 20.0, 30.0];
+const KINDS: [HeuristicKind; 6] = [
+    HeuristicKind::Mct,
+    HeuristicKind::Hmct,
+    HeuristicKind::Mp,
+    HeuristicKind::Msf,
+    HeuristicKind::Mni,
+    HeuristicKind::RoundRobin,
+];
+
+fn main() {
+    let costs = wastecpu::cost_table();
+    let servers = testbed::set2_servers();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    for metric in ["sumflow", "maxstretch", "meanflow", "completed"] {
+        let mut table = Table::new(
+            format!("Arrival-rate sweep, waste-cpu x 500 tasks: {metric}"),
+            KINDS.iter().map(|k| k.name().to_string()).collect(),
+        );
+        for gap in GAPS {
+            let tasks = MetataskSpec::paper(gap).generate(0x5EED);
+            let workloads: Vec<_> = (0..2).map(|_| tasks.clone()).collect();
+            let cfg = ExperimentConfig::paper(HeuristicKind::Mct, 0xF00D);
+            let results =
+                run_heuristic_matrix(cfg, &KINDS, &costs, &servers, &workloads, workers);
+            let row: Vec<f64> = results
+                .iter()
+                .map(|r| {
+                    let ms: Vec<MetricSet> = r.metrics();
+                    ms.iter().filter_map(|m| m.by_name(metric)).sum::<f64>() / ms.len() as f64
+                })
+                .collect();
+            table.push_row_f64(format!("gap {gap:>4.0} s"), &row, 1);
+        }
+        println!("{}", table.render());
+        println!();
+    }
+    println!(
+        "Expected shape (§5.3): MP's sum-flow is worst-or-near-worst at large gaps\n\
+         (low rate) and competitive at small gaps; MSF tracks the best heuristic at\n\
+         every rate; MCT degrades fastest as the gap shrinks."
+    );
+}

@@ -1,0 +1,30 @@
+//! Prints the Table 3 workload definition (matmul costs & memory needs) —
+//! the static information compiled into the agent, for reference.
+
+use cas_metrics::Table;
+use cas_platform::{ProblemId, ServerId};
+use cas_workload::matmul;
+
+fn main() {
+    let costs = matmul::cost_table();
+    let servers = ["chamagne", "cabestan", "artimon", "pulney"];
+    let mut table = Table::new(
+        "Table 3: multiplication tasks' needs (input/compute/output seconds)",
+        servers.iter().map(|s| s.to_string()).collect(),
+    );
+    for (i, size) in matmul::SIZES.iter().enumerate() {
+        let p = ProblemId(i as u32);
+        let cells = (0..4)
+            .map(|s| {
+                let c = costs.costs(p, ServerId(s)).unwrap();
+                format!("{}/{}/{}", c.input, c.compute, c.output)
+            })
+            .collect();
+        let (input_mb, output_mb) = matmul::DATA_MB[i];
+        table.push_row(
+            format!("{size} (mem {:.2} MB)", input_mb + output_mb),
+            cells,
+        );
+    }
+    println!("{}", table.render());
+}

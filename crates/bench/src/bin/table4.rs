@@ -1,0 +1,26 @@
+//! Prints the Table 4 workload definition (waste-cpu costs) — the static
+//! information compiled into the agent, for reference.
+
+use cas_metrics::Table;
+use cas_platform::{ProblemId, ServerId};
+use cas_workload::wastecpu;
+
+fn main() {
+    let costs = wastecpu::cost_table();
+    let servers = ["valette", "spinnaker", "cabestan", "artimon"];
+    let mut table = Table::new(
+        "Table 4: waste-cpu tasks' needs (input/compute/output seconds)",
+        servers.iter().map(|s| s.to_string()).collect(),
+    );
+    for (i, param) in wastecpu::PARAMS.iter().enumerate() {
+        let p = ProblemId(i as u32);
+        let cells = (0..4)
+            .map(|s| {
+                let c = costs.costs(p, ServerId(s)).unwrap();
+                format!("{}/{}/{}", c.input, c.compute, c.output)
+            })
+            .collect();
+        table.push_row(format!("param {param}"), cells);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,17 @@
+//! Reproduces Table 5: matmul metatask at the low arrival rate
+//! (mean gap 20 s), heuristics MCT / HMCT / MP / MSF.
+
+use cas_bench::paper::TABLE5;
+use cas_bench::tables::{format_against_reference, run_table, TableSpec, Workload};
+
+fn main() {
+    let spec = TableSpec::new(Workload::Matmul, cas_workload::metatask::LOW_RATE_MEAN_GAP);
+    let outcome = run_table(spec);
+    let table = format_against_reference(
+        &outcome,
+        &TABLE5,
+        "Table 5 reproduction: matmul, low rate (mean gap 20 s), 500 tasks",
+    );
+    println!("{}", table.render());
+    println!("{}", cas_metrics::render_csv(&table));
+}

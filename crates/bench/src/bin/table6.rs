@@ -1,0 +1,18 @@
+//! Reproduces Table 6: matmul metatask at the high arrival rate
+//! (mean gap 15 s) — the memory-crunch experiment where MCT survives via
+//! fault-tolerant retries and the HTM heuristics lose tasks.
+
+use cas_bench::paper::TABLE6;
+use cas_bench::tables::{format_against_reference, run_table, TableSpec, Workload};
+
+fn main() {
+    let spec = TableSpec::new(Workload::Matmul, cas_workload::metatask::HIGH_RATE_MEAN_GAP);
+    let outcome = run_table(spec);
+    let table = format_against_reference(
+        &outcome,
+        &TABLE6,
+        "Table 6 reproduction: matmul, high rate (mean gap 15 s), 500 tasks",
+    );
+    println!("{}", table.render());
+    println!("{}", cas_metrics::render_csv(&table));
+}

@@ -1,0 +1,17 @@
+//! Reproduces Table 7: waste-cpu metatasks at the low arrival rate
+//! (mean gap 20 s) — the memory-free workload, three metatasks.
+
+use cas_bench::paper::TABLE7;
+use cas_bench::tables::{format_against_reference, run_table, TableSpec, Workload};
+
+fn main() {
+    let spec = TableSpec::new(Workload::WasteCpu, cas_workload::metatask::LOW_RATE_MEAN_GAP);
+    let outcome = run_table(spec);
+    let table = format_against_reference(
+        &outcome,
+        &TABLE7,
+        "Table 7 reproduction: waste-cpu, low rate (mean gap 20 s), 3 metatasks x 500 tasks",
+    );
+    println!("{}", table.render());
+    println!("{}", cas_metrics::render_csv(&table));
+}

@@ -1,0 +1,17 @@
+//! Reproduces Table 8: waste-cpu metatasks at the high arrival rate
+//! (mean gap 15 s) — where MP and MSF overtake HMCT on sum-flow.
+
+use cas_bench::paper::TABLE8;
+use cas_bench::tables::{format_against_reference, run_table, TableSpec, Workload};
+
+fn main() {
+    let spec = TableSpec::new(Workload::WasteCpu, cas_workload::metatask::HIGH_RATE_MEAN_GAP);
+    let outcome = run_table(spec);
+    let table = format_against_reference(
+        &outcome,
+        &TABLE8,
+        "Table 8 reproduction: waste-cpu, high rate (mean gap 15 s), 3 metatasks x 500 tasks",
+    );
+    println!("{}", table.render());
+    println!("{}", cas_metrics::render_csv(&table));
+}

@@ -1,0 +1,267 @@
+//! Gantt charts (Fig. 1).
+//!
+//! The HTM "can therefore build or update the Gantt Chart for each server
+//! when a new incoming task is mapped". This module turns a recording
+//! `ServerTrace` (see [`crate::trace`]) into a structured chart and
+//! renders it as ASCII art — the reproduction of the paper's Fig. 1, where
+//! each task's row shows the CPU share it held over time (100 %, 50 %,
+//! 33.3 %, …).
+
+use crate::trace::{ServerTrace, TraceSegment};
+use cas_platform::{Phase, TaskId};
+use cas_sim::SimTime;
+use std::fmt::Write as _;
+
+/// One drawn interval in a task's row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GanttSegment {
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+    /// Which phase the task was in.
+    pub phase: Phase,
+    /// Fraction of the phase's resource held, in (0, 1].
+    pub share: f64,
+}
+
+/// All segments of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttRow {
+    /// The task.
+    pub task: TaskId,
+    /// Its segments in time order.
+    pub segments: Vec<GanttSegment>,
+}
+
+impl GanttRow {
+    /// First instant the task appears.
+    pub fn start(&self) -> Option<SimTime> {
+        self.segments.first().map(|s| s.start)
+    }
+
+    /// Last instant the task appears (its completion on this server).
+    pub fn end(&self) -> Option<SimTime> {
+        self.segments.last().map(|s| s.end)
+    }
+}
+
+/// A per-server Gantt chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gantt {
+    /// One row per task, in first-appearance order.
+    pub rows: Vec<GanttRow>,
+}
+
+impl Gantt {
+    /// Extracts the chart from a recording trace.
+    ///
+    /// Returns an empty chart if the trace was not recording.
+    pub fn from_trace(trace: &ServerTrace) -> Gantt {
+        let mut rows: Vec<GanttRow> = Vec::new();
+        for seg in trace.segments() {
+            let TraceSegment {
+                task,
+                phase,
+                start,
+                end,
+                share,
+            } = *seg;
+            let row = match rows.iter_mut().find(|r| r.task == task) {
+                Some(r) => r,
+                None => {
+                    rows.push(GanttRow {
+                        task,
+                        segments: Vec::new(),
+                    });
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.segments.push(GanttSegment {
+                start,
+                end,
+                phase,
+                share,
+            });
+        }
+        for row in &mut rows {
+            row.segments
+                .sort_by(|a, b| a.start.cmp(&b.start).then(a.end.cmp(&b.end)));
+        }
+        rows.sort_by(|a, b| {
+            a.start()
+                .unwrap_or(SimTime::ZERO)
+                .cmp(&b.start().unwrap_or(SimTime::ZERO))
+                .then(a.task.cmp(&b.task))
+        });
+        Gantt { rows }
+    }
+
+    /// The chart's horizon (latest segment end).
+    pub fn horizon(&self) -> SimTime {
+        self.rows
+            .iter()
+            .filter_map(|r| r.end())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Renders the chart as ASCII, `width` columns wide.
+    ///
+    /// Each row shows the task id, then one character per time cell:
+    /// `.` idle/not present, `i`/`o` input/output transfer, and for the
+    /// compute phase a digit encoding the share (`#` = 100 %, `5` = 50 %,
+    /// `3` = 33 %, `2` = 25 %, …). A legend with exact share percentages per
+    /// segment follows, mirroring the annotations of Fig. 1.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let horizon = self.horizon().as_secs().max(1e-9);
+        let width = width.max(10);
+        let cell = horizon / width as f64;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "time 0 {:-^w$} {horizon:.1}s",
+            "",
+            w = width.saturating_sub(2)
+        );
+        for row in &self.rows {
+            let mut line = vec!['.'; width];
+            for seg in &row.segments {
+                let c0 = ((seg.start.as_secs() / cell) as usize).min(width - 1);
+                let c1 = ((seg.end.as_secs() / cell).ceil() as usize)
+                    .clamp(c0 + 1, width);
+                let ch = match seg.phase {
+                    Phase::Input => 'i',
+                    Phase::Output => 'o',
+                    Phase::Compute => share_char(seg.share),
+                };
+                for c in line.iter_mut().take(c1).skip(c0) {
+                    *c = ch;
+                }
+            }
+            let _ = writeln!(out, "{:>6} {}", row.task.to_string(), line.iter().collect::<String>());
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{:>6}:", row.task.to_string());
+            for seg in &row.segments {
+                if seg.phase == Phase::Compute {
+                    let _ = write!(
+                        out,
+                        " [{:.1}-{:.1}s @{:.1}%]",
+                        seg.start.as_secs(),
+                        seg.end.as_secs(),
+                        seg.share * 100.0
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Character encoding of a CPU share for the ASCII chart.
+fn share_char(share: f64) -> char {
+    if share >= 0.995 {
+        '#'
+    } else if share >= 0.495 {
+        '5'
+    } else if share >= 0.32 {
+        '3'
+    } else if share >= 0.24 {
+        '2'
+    } else {
+        '1'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cas_platform::PhaseCosts;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Recreates the Fig. 1 scenario: two tasks computing, a third arrives,
+    /// shares drop from 50 % to 33.3 %.
+    fn fig1_trace() -> ServerTrace {
+        let mut tr = ServerTrace::new().with_recording();
+        tr.add_task(t(0.0), TaskId(1), PhaseCosts::new(0.0, 60.0, 0.0));
+        tr.add_task(t(0.0), TaskId(2), PhaseCosts::new(0.0, 90.0, 0.0));
+        tr.advance(t(30.0));
+        tr.add_task(t(30.0), TaskId(3), PhaseCosts::new(0.0, 30.0, 0.0));
+        tr.drain();
+        tr
+    }
+
+    #[test]
+    fn rows_cover_all_tasks_in_order() {
+        let g = Gantt::from_trace(&fig1_trace());
+        let ids: Vec<TaskId> = g.rows.iter().map(|r| r.task).collect();
+        assert_eq!(ids, vec![TaskId(1), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn share_transitions_recorded() {
+        let g = Gantt::from_trace(&fig1_trace());
+        let t1 = &g.rows[0];
+        // T1: 50% from 0..30 (with T2), 33.3% once T3 arrives, back up as
+        // others finish.
+        assert_eq!(t1.segments[0].share, 0.5);
+        assert!((t1.segments[1].share - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t1.start(), Some(t(0.0)));
+    }
+
+    #[test]
+    fn horizon_is_last_completion() {
+        let tr = fig1_trace();
+        let g = Gantt::from_trace(&tr);
+        let last = tr.finished().iter().map(|&(_, f)| f).max().unwrap();
+        assert_eq!(g.horizon(), last);
+    }
+
+    #[test]
+    fn ascii_render_contains_rows_and_legend() {
+        let g = Gantt::from_trace(&fig1_trace());
+        let art = g.render_ascii(60);
+        assert!(art.contains("T1"));
+        assert!(art.contains("T3"));
+        assert!(art.contains('%'));
+        // Three task rows plus header plus legend lines.
+        assert!(art.lines().count() >= 7);
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_chart() {
+        let tr = ServerTrace::new().with_recording();
+        let g = Gantt::from_trace(&tr);
+        assert!(g.rows.is_empty());
+        assert_eq!(g.horizon(), SimTime::ZERO);
+        let _ = g.render_ascii(40); // must not panic
+    }
+
+    #[test]
+    fn non_recording_trace_gives_empty_chart() {
+        let mut tr = ServerTrace::new();
+        tr.add_task(t(0.0), TaskId(1), PhaseCosts::new(1.0, 1.0, 1.0));
+        tr.drain();
+        assert!(Gantt::from_trace(&tr).rows.is_empty());
+    }
+
+    #[test]
+    fn transfer_phases_rendered_distinctly() {
+        let mut tr = ServerTrace::new().with_recording();
+        tr.add_task(t(0.0), TaskId(1), PhaseCosts::new(10.0, 10.0, 10.0));
+        tr.drain();
+        let g = Gantt::from_trace(&tr);
+        let phases: Vec<Phase> = g.rows[0].segments.iter().map(|s| s.phase).collect();
+        assert_eq!(phases, vec![Phase::Input, Phase::Compute, Phase::Output]);
+        let art = g.render_ascii(30);
+        assert!(art.contains('i'));
+        assert!(art.contains('o'));
+        assert!(art.contains('#'));
+    }
+}

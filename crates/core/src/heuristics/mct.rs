@@ -1,0 +1,110 @@
+//! The baseline: NetSolve's Minimum Completion Time.
+//!
+//! MCT "tries to map each task to the resource that finishes that task the
+//! soonest" using the information model of §2.2: static per-server costs
+//! plus the latest (stale) load report, adjusted by NetSolve's two load
+//! corrections. It knows nothing about the tasks it has previously mapped
+//! beyond their effect on the (damped, delayed) load signal — which is
+//! precisely the weakness the HTM removes.
+
+use super::{Heuristic, SchedView};
+use cas_platform::ServerId;
+
+/// NetSolve-style MCT.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Mct;
+
+impl Heuristic for Mct {
+    fn name(&self) -> &'static str {
+        "MCT"
+    }
+
+    fn uses_htm(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
+        view.argmin(|v, s| v.mct_estimate(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::htm::{Htm, SyncPolicy};
+    use cas_sim::SimTime;
+
+    #[test]
+    fn picks_fastest_when_all_idle() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let loads = loads3();
+        let mut h = Mct;
+        let s = select_once(&mut h, &mut htm, &loads, &costs, task(1, 0.0));
+        assert_eq!(s, Some(ServerId(0)));
+    }
+
+    #[test]
+    fn load_shifts_the_choice() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let mut loads = loads3();
+        // S0 reports load 2: estimate = 100 * 3 = 300 > S1's 150.
+        loads[0].refresh(SimTime::ZERO, 2.0);
+        let mut h = Mct;
+        let s = select_once(&mut h, &mut htm, &loads, &costs, task(1, 0.0));
+        assert_eq!(s, Some(ServerId(1)));
+    }
+
+    #[test]
+    fn assignment_correction_counts() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let mut loads = loads3();
+        // Two assignments since the last (zero-load) report on S0:
+        // corrected load 2 → same as the stale-report case above.
+        loads[0].note_assignment();
+        loads[0].note_assignment();
+        let mut h = Mct;
+        let s = select_once(&mut h, &mut htm, &loads, &costs, task(1, 0.0));
+        assert_eq!(s, Some(ServerId(1)));
+    }
+
+    #[test]
+    fn blind_to_remaining_work() {
+        // The paper's core criticism: two servers with the same load look
+        // identical to MCT even when their queued work differs wildly. Here
+        // S0 and S1 both have corrected load 1 but the HTM knows S0's task
+        // is nearly done; MCT still picks S0 only because of its better
+        // static cost — it can't see remaining work at all.
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let mut loads = loads3();
+        loads[0].refresh(SimTime::ZERO, 1.0);
+        loads[1].refresh(SimTime::ZERO, 1.0);
+        let mut h = Mct;
+        let s = select_once(&mut h, &mut htm, &loads, &costs, task(2, 0.0));
+        // estimate(S0) = 100*2 = 200; estimate(S1) = 150*2 = 300.
+        assert_eq!(s, Some(ServerId(0)));
+    }
+
+    #[test]
+    fn no_candidates_gives_none() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let loads = loads3();
+        let mut rng = cas_sim::RngStream::derive(1, cas_sim::StreamKind::TieBreak);
+        let t = task(1, 0.0);
+        let mut view = SchedView::new(
+            t.arrival,
+            t,
+            vec![], // agent filtered everything out
+            &costs,
+            &loads,
+            &mut htm,
+            &mut rng,
+        );
+        assert_eq!(Mct.select(&mut view), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Memory-aware scheduling — the paper's first piece of future work.
+//!
+//! §7: "First, we need to incorporate memory requirements into the model."
+//! The mechanism: the HTM already knows which tasks it believes are running
+//! on every server and the cost table records each problem's memory need,
+//! so the agent can estimate residency and *veto* placements the server
+//! would reject (or accept only by paging). [`MemAware`] wraps any base
+//! heuristic with that veto:
+//!
+//! 1. drop every candidate whose estimated residency plus the new task's
+//!    need exceeds the server's admission limit (scaled by `headroom`);
+//! 2. run the base heuristic on the survivors;
+//! 3. if the veto eliminated everyone, fall back to the full candidate
+//!    list — a guaranteed-rejected attempt still triggers the middleware's
+//!    retry path, which is better than silently dropping the task.
+//!
+//! With `MemAware<Hmct>` the Table 6 experiment completes all 500 tasks
+//! (see the `ablation_memory` binary), closing exactly the gap the paper
+//! identified.
+
+use super::{Heuristic, SchedView};
+use cas_platform::ServerId;
+
+/// Wraps a base heuristic with an agent-side memory admission veto.
+#[derive(Debug, Clone, Copy)]
+pub struct MemAware<H> {
+    inner: H,
+    /// Fraction of the server's RAM+swap the agent is willing to fill
+    /// (1.0 = up to the hard admission limit; < 1 leaves slack for its
+    /// own estimation error).
+    headroom: f64,
+}
+
+impl<H: Heuristic> MemAware<H> {
+    /// Wraps `inner` with the default headroom of 1.0.
+    pub fn new(inner: H) -> Self {
+        MemAware {
+            inner,
+            headroom: 1.0,
+        }
+    }
+
+    /// Wraps with explicit headroom in (0, 1].
+    ///
+    /// # Panics
+    /// Panics unless `0 < headroom <= 1`.
+    pub fn with_headroom(inner: H, headroom: f64) -> Self {
+        assert!(headroom > 0.0 && headroom <= 1.0);
+        MemAware { inner, headroom }
+    }
+}
+
+impl<H: Heuristic> Heuristic for MemAware<H> {
+    fn name(&self) -> &'static str {
+        // Names are static; expose the wrapper's identity and let
+        // diagnostics query the inner policy separately if needed.
+        match self.inner.name() {
+            "HMCT" => "M-HMCT",
+            "MSF" => "M-MSF",
+            "MP" => "M-MP",
+            "MCT" => "M-MCT",
+            _ => "M-*",
+        }
+    }
+
+    fn uses_htm(&self) -> bool {
+        true // the residency estimate comes from the HTM
+    }
+
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
+        let mem_need = view.task_mem_need();
+        let full: Vec<ServerId> = view.candidates.clone();
+        let fitting: Vec<ServerId> = full
+            .iter()
+            .copied()
+            .filter(|&s| match view.server_total_mem(s) {
+                // No memory information → assume it fits.
+                None => true,
+                Some(limit) => {
+                    view.resident_estimate(s) + mem_need <= limit * self.headroom
+                }
+            })
+            .collect();
+        if !fitting.is_empty() {
+            view.candidates = fitting;
+            let pick = self.inner.select(view);
+            view.candidates = full;
+            return pick;
+        }
+        // Everything is believed full: fall back to the base policy on the
+        // unfiltered list (the middleware's retry path handles rejection).
+        self.inner.select(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::htm_based::Hmct;
+    use super::super::{HeuristicKind, SchedView};
+    use super::*;
+    use crate::htm::{Htm, SyncPolicy};
+    use cas_platform::{
+        CostTable, LoadReport, PhaseCosts, Problem, ProblemId, TaskId, TaskInstance,
+    };
+    use cas_sim::{RngStream, SimTime, StreamKind};
+
+    /// Two servers: fast-but-tiny (fits one task), slow-but-roomy.
+    fn table() -> CostTable {
+        let mut c = CostTable::new(2);
+        c.add_problem(
+            Problem::new("big", 0.0, 0.0, 100.0),
+            vec![
+                Some(PhaseCosts::new(0.0, 10.0, 0.0)),
+                Some(PhaseCosts::new(0.0, 40.0, 0.0)),
+            ],
+        );
+        c
+    }
+
+    fn select(
+        h: &mut dyn Heuristic,
+        htm: &mut Htm,
+        mem: &[f64],
+        t: TaskInstance,
+    ) -> Option<ServerId> {
+        let costs = htm.costs().clone();
+        let loads: Vec<LoadReport> =
+            (0..2u32).map(|i| LoadReport::initial(ServerId(i))).collect();
+        let mut rng = RngStream::derive(1, StreamKind::TieBreak);
+        let mut view = SchedView::new(
+            t.arrival,
+            t,
+            costs.solvers(t.problem),
+            &costs,
+            &loads,
+            htm,
+            &mut rng,
+        )
+        .with_server_mem(mem);
+        h.select(&mut view)
+    }
+
+    fn task(id: u64, at: f64) -> TaskInstance {
+        TaskInstance::new(TaskId(id), ProblemId(0), SimTime::from_secs(at))
+    }
+
+    #[test]
+    fn vetoes_full_server() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        let mem = [150.0, 1000.0]; // S0 fits one 100 MB task
+        let mut h = MemAware::new(Hmct);
+        // First task: S0 is fastest and empty.
+        let s = select(&mut h, &mut htm, &mem, task(1, 0.0)).unwrap();
+        assert_eq!(s, ServerId(0));
+        htm.commit(SimTime::ZERO, s, &task(1, 0.0));
+        // Second task: plain HMCT would still pick S0 (completion 20 <
+        // 40); the memory veto forces S1.
+        let mut plain = Hmct;
+        assert_eq!(
+            select(&mut plain, &mut htm, &mem, task(2, 0.0)),
+            Some(ServerId(0))
+        );
+        assert_eq!(
+            select(&mut h, &mut htm, &mem, task(2, 0.0)),
+            Some(ServerId(1))
+        );
+    }
+
+    #[test]
+    fn falls_back_when_everything_full() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        let mem = [150.0, 150.0];
+        for (id, srv) in [(1u64, 0u32), (2, 1)] {
+            htm.commit(SimTime::ZERO, ServerId(srv), &task(id, 0.0));
+        }
+        // Both believed full → falls back to plain HMCT's choice.
+        let mut h = MemAware::new(Hmct);
+        let s = select(&mut h, &mut htm, &mem, task(3, 0.0));
+        assert_eq!(s, Some(ServerId(0)));
+    }
+
+    #[test]
+    fn headroom_tightens_the_veto() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        let mem = [150.0, 1000.0];
+        // 100/150 = 0.67 > 0.5 headroom → even the first task is vetoed
+        // off S0... (0 + 100 <= 150*0.5 fails).
+        let mut h = MemAware::with_headroom(Hmct, 0.5);
+        assert_eq!(
+            select(&mut h, &mut htm, &mem, task(1, 0.0)),
+            Some(ServerId(1))
+        );
+    }
+
+    #[test]
+    fn no_memory_info_behaves_like_inner() {
+        let mut htm_a = Htm::new(table(), SyncPolicy::None);
+        let mut htm_b = Htm::new(table(), SyncPolicy::None);
+        htm_a.commit(SimTime::ZERO, ServerId(0), &task(1, 0.0));
+        htm_b.commit(SimTime::ZERO, ServerId(0), &task(1, 0.0));
+        let costs = table();
+        let loads: Vec<LoadReport> =
+            (0..2u32).map(|i| LoadReport::initial(ServerId(i))).collect();
+        let mut rng = RngStream::derive(1, StreamKind::TieBreak);
+        let t = task(2, 0.0);
+        let mut view = SchedView::new(
+            t.arrival, t, costs.solvers(t.problem), &costs, &loads, &mut htm_a, &mut rng,
+        );
+        let wrapped = MemAware::new(Hmct).select(&mut view);
+        let mut rng = RngStream::derive(1, StreamKind::TieBreak);
+        let mut view = SchedView::new(
+            t.arrival, t, costs.solvers(t.problem), &costs, &loads, &mut htm_b, &mut rng,
+        );
+        let plain = Hmct.select(&mut view);
+        assert_eq!(wrapped, plain);
+    }
+
+    #[test]
+    fn kind_builders_exist() {
+        assert_eq!(HeuristicKind::MemHmct.build().name(), "M-HMCT");
+        assert_eq!(HeuristicKind::MemMsf.build().name(), "M-MSF");
+    }
+}

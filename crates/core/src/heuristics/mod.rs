@@ -1,0 +1,366 @@
+//! Scheduling heuristics (§4 and Figs. 2–4).
+//!
+//! Every policy implements [`Heuristic`]: given a [`SchedView`] — the
+//! agent's window onto the world at decision time — pick a server. The view
+//! offers two information channels, mirroring the paper's two worlds:
+//!
+//! * `load(s)` / `mct_estimate(s)` — the NetSolve information model: static
+//!   costs plus stale, correction-adjusted load reports. This is all MCT
+//!   ever sees.
+//! * `predict(s)` — an HTM what-if query (simulated completion and
+//!   perturbations). HMCT, MP, MSF and MNI are built on this.
+//!
+//! Selections are deterministic: all argmin scans break exact ties by
+//! lowest server id (and [`RandomChoice`] draws from its own dedicated RNG
+//! stream), so experiments are reproducible bit-for-bit.
+
+mod htm_based;
+mod mct;
+mod memaware;
+mod simple;
+
+pub use htm_based::{Hmct, Mni, Mp, Msf};
+pub use mct::Mct;
+pub use memaware::MemAware;
+pub use simple::{Kpb, MinLoad, Olb, RandomChoice, RoundRobin};
+
+use crate::htm::Htm;
+use crate::prediction::Prediction;
+use cas_platform::{CostTable, LoadReport, ServerId, TaskInstance};
+use cas_sim::{RngStream, SimTime};
+use std::collections::HashMap;
+
+/// Tolerance for "equal" objective values in tie-break rules (MP's
+/// "if all π are equal" test of Fig. 3). Objectives are sums of simulated
+/// seconds, so an absolute epsilon in seconds is appropriate.
+pub const TIE_EPS: f64 = 1e-9;
+
+/// The agent's window onto the world at one scheduling decision.
+///
+/// Predictions are memoised: MP asks for every candidate's perturbation and
+/// then re-reads the winner's completion date; the underlying trace
+/// simulation runs once per candidate.
+pub struct SchedView<'a> {
+    /// Decision time.
+    pub now: SimTime,
+    /// The task to place.
+    pub task: TaskInstance,
+    /// Servers able to solve the task's problem (the candidate list of
+    /// Figs. 2–4, line 2). Already excludes servers the agent knows to have
+    /// collapsed.
+    pub candidates: Vec<ServerId>,
+    costs: &'a CostTable,
+    loads: &'a [LoadReport],
+    htm: &'a mut Htm,
+    rng: &'a mut RngStream,
+    memo: HashMap<ServerId, Prediction>,
+    /// Per-server admission limits (RAM + swap), MB — set by the engine
+    /// when memory-aware policies are in play.
+    server_mem: Option<&'a [f64]>,
+}
+
+impl<'a> SchedView<'a> {
+    /// Builds a view. `candidates` should come from
+    /// [`CostTable::solvers`] minus known-dead servers.
+    pub fn new(
+        now: SimTime,
+        task: TaskInstance,
+        candidates: Vec<ServerId>,
+        costs: &'a CostTable,
+        loads: &'a [LoadReport],
+        htm: &'a mut Htm,
+        rng: &'a mut RngStream,
+    ) -> Self {
+        SchedView {
+            now,
+            task,
+            candidates,
+            costs,
+            loads,
+            htm,
+            rng,
+            memo: HashMap::new(),
+            server_mem: None,
+        }
+    }
+
+    /// Attaches per-server admission limits (RAM + swap, MB) so
+    /// memory-aware policies can veto doomed placements.
+    pub fn with_server_mem(mut self, mem: &'a [f64]) -> Self {
+        self.server_mem = Some(mem);
+        self
+    }
+
+    /// The admission limit of `server`, if memory information is attached.
+    pub fn server_total_mem(&self, server: ServerId) -> Option<f64> {
+        self.server_mem.map(|m| m[server.index()])
+    }
+
+    /// The HTM's estimate of `server`'s resident memory, MB.
+    pub fn resident_estimate(&self, server: ServerId) -> f64 {
+        self.htm.resident_estimate(server)
+    }
+
+    /// The memory need of the task being placed, MB.
+    pub fn task_mem_need(&self) -> f64 {
+        self.costs.problem(self.task.problem).mem_mb
+    }
+
+    /// Static cost table.
+    pub fn costs(&self) -> &CostTable {
+        self.costs
+    }
+
+    /// The agent's current (corrected) load estimate for a server.
+    pub fn load(&self, server: ServerId) -> f64 {
+        self.loads[server.index()].corrected_load()
+    }
+
+    /// The NetSolve completion estimate (§2.2): communication at face
+    /// value, computation stretched by the load — the available CPU
+    /// fraction on a server with load `l` is `1/(l+1)`, so the compute cost
+    /// divides by it.
+    ///
+    /// Returns `None` if the server cannot solve the problem.
+    pub fn mct_estimate(&self, server: ServerId) -> Option<f64> {
+        let c = self.costs.costs(self.task.problem, server)?;
+        let load = self.load(server);
+        Some(c.input + c.compute * (load + 1.0) + c.output)
+    }
+
+    /// HTM what-if query, memoised per decision.
+    ///
+    /// Returns `None` if the server cannot solve the problem.
+    pub fn predict(&mut self, server: ServerId) -> Option<&Prediction> {
+        if !self.memo.contains_key(&server) {
+            let p = self.htm.predict(self.now, server, &self.task)?;
+            self.memo.insert(server, p);
+        }
+        self.memo.get(&server)
+    }
+
+    /// The tie-break RNG stream (only [`RandomChoice`] uses it).
+    pub fn rng(&mut self) -> &mut RngStream {
+        self.rng
+    }
+
+    /// Generic deterministic argmin over candidates: evaluates `objective`
+    /// for each candidate (skipping `None`s) and returns the server with
+    /// the smallest value, ties to the lowest id.
+    pub fn argmin<F>(&mut self, mut objective: F) -> Option<ServerId>
+    where
+        F: FnMut(&mut Self, ServerId) -> Option<f64>,
+    {
+        let candidates = self.candidates.clone();
+        let mut best: Option<(ServerId, f64)> = None;
+        for s in candidates {
+            let Some(v) = objective(self, s) else {
+                continue;
+            };
+            debug_assert!(v.is_finite(), "objective for {s} is not finite");
+            best = match best {
+                None => Some((s, v)),
+                Some((_, bv)) if v < bv => Some((s, v)),
+                other => other,
+            };
+        }
+        best.map(|(s, _)| s)
+    }
+}
+
+/// A scheduling policy.
+pub trait Heuristic: Send {
+    /// Display name, as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether the policy needs HTM commits to be maintained. The
+    /// middleware keeps the HTM up to date for every policy (it is also the
+    /// metric oracle), but this flag documents the dependency.
+    fn uses_htm(&self) -> bool;
+
+    /// Picks a server for `view.task`, or `None` when no candidate exists.
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId>;
+}
+
+/// Enumeration of all shipped heuristics, for configuration and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// NetSolve's Minimum Completion Time (baseline).
+    Mct,
+    /// Historical MCT (Fig. 2).
+    Hmct,
+    /// Minimum Perturbation (Fig. 3).
+    Mp,
+    /// Minimum Sum Flow (Fig. 4) — Weissman's MTI.
+    Msf,
+    /// Minimize the Number of tasks that experience Interference (Weissman).
+    Mni,
+    /// Round-robin over candidates.
+    RoundRobin,
+    /// Uniform random candidate.
+    Random,
+    /// Lowest corrected load.
+    MinLoad,
+    /// Opportunistic load balancing: first idle server, else min load.
+    Olb,
+    /// HMCT behind the memory admission veto (paper future work §7).
+    MemHmct,
+    /// MSF behind the memory admission veto (paper future work §7).
+    MemMsf,
+    /// k-percent best (Maheswaran et al., HCW'99) with k = 50 %.
+    Kpb,
+}
+
+impl HeuristicKind {
+    /// All kinds, in the order the paper's tables list them (extensions
+    /// after).
+    pub const ALL: [HeuristicKind; 12] = [
+        HeuristicKind::Mct,
+        HeuristicKind::Hmct,
+        HeuristicKind::Mp,
+        HeuristicKind::Msf,
+        HeuristicKind::Mni,
+        HeuristicKind::RoundRobin,
+        HeuristicKind::Random,
+        HeuristicKind::MinLoad,
+        HeuristicKind::Olb,
+        HeuristicKind::MemHmct,
+        HeuristicKind::MemMsf,
+        HeuristicKind::Kpb,
+    ];
+
+    /// The four policies evaluated in the paper's tables.
+    pub const PAPER: [HeuristicKind; 4] = [
+        HeuristicKind::Mct,
+        HeuristicKind::Hmct,
+        HeuristicKind::Mp,
+        HeuristicKind::Msf,
+    ];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn Heuristic> {
+        match self {
+            HeuristicKind::Mct => Box::new(Mct),
+            HeuristicKind::Hmct => Box::new(Hmct),
+            HeuristicKind::Mp => Box::new(Mp),
+            HeuristicKind::Msf => Box::new(Msf),
+            HeuristicKind::Mni => Box::new(Mni),
+            HeuristicKind::RoundRobin => Box::new(RoundRobin::default()),
+            HeuristicKind::Random => Box::new(RandomChoice),
+            HeuristicKind::MinLoad => Box::new(MinLoad),
+            HeuristicKind::Olb => Box::new(Olb),
+            HeuristicKind::MemHmct => Box::new(MemAware::new(Hmct)),
+            HeuristicKind::MemMsf => Box::new(MemAware::new(Msf)),
+            HeuristicKind::Kpb => Box::new(Kpb::default()),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HeuristicKind::Mct => "MCT",
+            HeuristicKind::Hmct => "HMCT",
+            HeuristicKind::Mp => "MP",
+            HeuristicKind::Msf => "MSF",
+            HeuristicKind::Mni => "MNI",
+            HeuristicKind::RoundRobin => "RR",
+            HeuristicKind::Random => "RAND",
+            HeuristicKind::MinLoad => "MINLOAD",
+            HeuristicKind::Olb => "OLB",
+            HeuristicKind::MemHmct => "M-HMCT",
+            HeuristicKind::MemMsf => "M-MSF",
+            HeuristicKind::Kpb => "KPB",
+        }
+    }
+
+    /// Parses a display name (case-insensitive).
+    pub fn parse(s: &str) -> Option<HeuristicKind> {
+        let up = s.to_ascii_uppercase();
+        HeuristicKind::ALL.into_iter().find(|k| k.name() == up)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use cas_platform::{PhaseCosts, Problem, TaskId};
+
+    /// Builds a 3-server cost table: P0 costs 100/150/300 s compute on
+    /// S0/S1/S2, no transfers, no memory.
+    pub fn table3() -> CostTable {
+        let mut c = CostTable::new(3);
+        c.add_problem(
+            Problem::new("p", 0.0, 0.0, 0.0),
+            vec![
+                Some(PhaseCosts::new(0.0, 100.0, 0.0)),
+                Some(PhaseCosts::new(0.0, 150.0, 0.0)),
+                Some(PhaseCosts::new(0.0, 300.0, 0.0)),
+            ],
+        );
+        c
+    }
+
+    pub fn loads3() -> Vec<LoadReport> {
+        (0..3).map(|i| LoadReport::initial(ServerId(i))).collect()
+    }
+
+    pub fn task(id: u64, arrival: f64) -> TaskInstance {
+        TaskInstance::new(
+            TaskId(id),
+            cas_platform::ProblemId(0),
+            SimTime::from_secs(arrival),
+        )
+    }
+
+    /// Runs one selection with fresh state.
+    pub fn select_once(
+        h: &mut dyn Heuristic,
+        htm: &mut Htm,
+        loads: &[LoadReport],
+        costs: &CostTable,
+        t: TaskInstance,
+    ) -> Option<ServerId> {
+        let mut rng = RngStream::derive(7, cas_sim::StreamKind::TieBreak);
+        let mut view = SchedView::new(
+            t.arrival,
+            t,
+            costs.solvers(t.problem),
+            costs,
+            loads,
+            htm,
+            &mut rng,
+        );
+        h.select(&mut view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for k in HeuristicKind::ALL {
+            assert_eq!(HeuristicKind::parse(k.name()), Some(k));
+            assert_eq!(k.build().name(), k.name());
+        }
+        assert_eq!(HeuristicKind::parse("mct"), Some(HeuristicKind::Mct));
+        assert_eq!(HeuristicKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_subset() {
+        assert_eq!(
+            HeuristicKind::PAPER.map(|k| k.name()),
+            ["MCT", "HMCT", "MP", "MSF"]
+        );
+    }
+
+    #[test]
+    fn uses_htm_flags() {
+        assert!(!HeuristicKind::Mct.build().uses_htm());
+        for k in [HeuristicKind::Hmct, HeuristicKind::Mp, HeuristicKind::Msf] {
+            assert!(k.build().uses_htm(), "{k:?}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Simple baselines for ablations: round-robin, random, min-load, OLB.
+//!
+//! None of these appear in the paper's tables, but they anchor the sweeps:
+//! a heuristic that cannot beat round-robin on a metric is not extracting
+//! value from its information channel.
+
+use super::{Heuristic, SchedView};
+use cas_platform::ServerId;
+
+/// Cycles through candidates in id order, one assignment each.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Heuristic for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn uses_htm(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
+        if view.candidates.is_empty() {
+            return None;
+        }
+        let pick = view.candidates[self.next % view.candidates.len()];
+        self.next = (self.next + 1) % view.candidates.len().max(1);
+        Some(pick)
+    }
+}
+
+/// Uniform random candidate, drawn from the dedicated tie-break stream.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomChoice;
+
+impl Heuristic for RandomChoice {
+    fn name(&self) -> &'static str {
+        "RAND"
+    }
+
+    fn uses_htm(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
+        if view.candidates.is_empty() {
+            return None;
+        }
+        let n = view.candidates.len();
+        let idx = view.rng().choose_index(n);
+        Some(view.candidates[idx])
+    }
+}
+
+/// Lowest corrected load; ignores task costs entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MinLoad;
+
+impl Heuristic for MinLoad {
+    fn name(&self) -> &'static str {
+        "MINLOAD"
+    }
+
+    fn uses_htm(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
+        view.argmin(|v, s| Some(v.load(s)))
+    }
+}
+
+/// Opportunistic Load Balancing: the first (lowest-id) server the agent
+/// believes idle; if none, fall back to the lowest load.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Olb;
+
+impl Heuristic for Olb {
+    fn name(&self) -> &'static str {
+        "OLB"
+    }
+
+    fn uses_htm(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
+        let candidates = view.candidates.clone();
+        if let Some(&idle) = candidates.iter().find(|&&s| view.load(s) < 0.5) {
+            return Some(idle);
+        }
+        view.argmin(|v, s| Some(v.load(s)))
+    }
+}
+
+/// KPB — *k-percent best* (Maheswaran, Ali, Siegel, Hensgen & Freund,
+/// HCW'99, the paper that defined MCT): restrict the candidate list to the
+/// `k` % of servers with the best *static* cost for this problem, then run
+/// MCT's completion estimate among them. With `k = 100` it degenerates to
+/// MCT; with `k` small it approaches fastest-server-only. It hedges MCT's
+/// tendency to waste fast machines on tasks that barely benefit.
+#[derive(Debug, Clone, Copy)]
+pub struct Kpb {
+    /// Fraction of servers retained, in (0, 1].
+    pub k: f64,
+}
+
+impl Default for Kpb {
+    fn default() -> Self {
+        Kpb { k: 0.5 }
+    }
+}
+
+impl Heuristic for Kpb {
+    fn name(&self) -> &'static str {
+        "KPB"
+    }
+
+    fn uses_htm(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
+        let mut by_static: Vec<(ServerId, f64)> = view
+            .candidates
+            .iter()
+            .filter_map(|&s| {
+                view.costs()
+                    .unloaded_duration(view.task.problem, s)
+                    .map(|d| (s, d))
+            })
+            .collect();
+        if by_static.is_empty() {
+            return None;
+        }
+        by_static.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        let keep = ((by_static.len() as f64 * self.k).ceil() as usize)
+            .clamp(1, by_static.len());
+        let full = view.candidates.clone();
+        view.candidates = by_static[..keep].iter().map(|(s, _)| *s).collect();
+        let pick = view.argmin(|v, s| v.mct_estimate(s));
+        view.candidates = full;
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::htm::{Htm, SyncPolicy};
+    use cas_sim::SimTime;
+
+    #[test]
+    fn round_robin_cycles() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let loads = loads3();
+        let mut rr = RoundRobin::default();
+        let picks: Vec<_> = (0..6)
+            .map(|i| {
+                select_once(&mut rr, &mut htm, &loads, &costs, task(i, 0.0)).unwrap()
+            })
+            .collect();
+        assert_eq!(
+            picks,
+            vec![
+                ServerId(0),
+                ServerId(1),
+                ServerId(2),
+                ServerId(0),
+                ServerId(1),
+                ServerId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_per_stream_and_covers() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let loads = loads3();
+        let mut seen = [false; 3];
+        let mut rng = cas_sim::RngStream::derive(42, cas_sim::StreamKind::TieBreak);
+        for i in 0..50 {
+            let t = task(i, 0.0);
+            let mut view = super::super::SchedView::new(
+                t.arrival,
+                t,
+                costs.solvers(t.problem),
+                &costs,
+                &loads,
+                &mut htm,
+                &mut rng,
+            );
+            let s = RandomChoice.select(&mut view).unwrap();
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn minload_follows_reports() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let mut loads = loads3();
+        loads[0].refresh(SimTime::ZERO, 3.0);
+        loads[1].refresh(SimTime::ZERO, 1.0);
+        loads[2].refresh(SimTime::ZERO, 2.0);
+        let s = select_once(&mut MinLoad, &mut htm, &loads, &costs, task(1, 0.0));
+        assert_eq!(s, Some(ServerId(1)));
+    }
+
+    #[test]
+    fn kpb_restricts_to_best_static_servers() {
+        // table3: static costs 100/150/300 on S0/S1/S2. With k=0.33, only
+        // S0 survives; even a huge load report on S0 cannot divert KPB.
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let mut loads = loads3();
+        loads[0].refresh(SimTime::ZERO, 50.0);
+        let mut h = Kpb { k: 0.33 };
+        assert_eq!(
+            select_once(&mut h, &mut htm, &loads, &costs, task(1, 0.0)),
+            Some(ServerId(0))
+        );
+        // With k=1.0 KPB degenerates to MCT and escapes the loaded server.
+        let mut h = Kpb { k: 1.0 };
+        assert_eq!(
+            select_once(&mut h, &mut htm, &loads, &costs, task(2, 0.0)),
+            Some(ServerId(1))
+        );
+    }
+
+    #[test]
+    fn kpb_keeps_at_least_one_candidate() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let loads = loads3();
+        let mut h = Kpb { k: 0.01 };
+        assert!(select_once(&mut h, &mut htm, &loads, &costs, task(1, 0.0)).is_some());
+    }
+
+    #[test]
+    fn olb_prefers_idle_then_min_load() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let mut loads = loads3();
+        loads[0].refresh(SimTime::ZERO, 2.0);
+        loads[1].refresh(SimTime::ZERO, 0.0);
+        loads[2].refresh(SimTime::ZERO, 1.0);
+        let s = select_once(&mut Olb, &mut htm, &loads, &costs, task(1, 0.0));
+        assert_eq!(s, Some(ServerId(1)));
+        // Nobody idle → min load.
+        loads[1].refresh(SimTime::ZERO, 3.0);
+        let s = select_once(&mut Olb, &mut htm, &loads, &costs, task(2, 0.0));
+        assert_eq!(s, Some(ServerId(2)));
+    }
+}

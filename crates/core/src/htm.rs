@@ -1,0 +1,360 @@
+//! The Historical Trace Manager.
+//!
+//! "We have designed a historical trace manager (HTM) that stores and keeps
+//! track of information about each task. It simulates the execution of tasks
+//! on resources and is able to predict the completion time of each task
+//! assigned to a server." (§2.3)
+//!
+//! [`Htm`] owns one [`ServerTrace`] per registered server and exposes the
+//! two operations every HTM-based heuristic in Figs. 2–4 performs:
+//!
+//! * **predict** — "Ask the HTM to compute …": simulate mapping the new task
+//!   on a server and report completion date + perturbations, without
+//!   committing anything;
+//! * **commit** — "Tell the HTM that task is allocated to server …": make
+//!   the mapping part of the historical trace.
+//!
+//! It also implements the paper's announced future work, synchronisation
+//! between the HTM and the real platform ([`SyncPolicy`]): when the real
+//! environment reports a completion, the model can be corrected so its error
+//! does not compound.
+
+use crate::prediction::Prediction;
+use crate::trace::ServerTrace;
+use cas_platform::{CostTable, ServerId, TaskId, TaskInstance};
+use cas_sim::SimTime;
+use std::collections::HashMap;
+
+/// How the HTM reacts to completions observed on the real platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Pure open-loop simulation, as in the published system: the HTM's
+    /// trace is never corrected by observations.
+    #[default]
+    None,
+    /// Close the loop: when a completion is observed, force-finish the task
+    /// in the trace at the observed time (the paper's "improve the
+    /// synchronization between the HTM and the execution of the tasks"
+    /// future work).
+    ForceFinish,
+}
+
+/// The agent-side Historical Trace Manager.
+#[derive(Debug, Clone)]
+pub struct Htm {
+    costs: CostTable,
+    traces: Vec<ServerTrace>,
+    assignments: HashMap<TaskId, ServerId>,
+    /// Problem of each committed task, for the agent-side memory estimate
+    /// (the paper's first piece of future work: "we need to incorporate
+    /// memory requirements into the model").
+    task_problems: HashMap<TaskId, cas_platform::ProblemId>,
+    sync: SyncPolicy,
+    predictions_made: u64,
+}
+
+impl Htm {
+    /// Creates an HTM for the servers covered by `costs`.
+    pub fn new(costs: CostTable, sync: SyncPolicy) -> Self {
+        let n = costs.n_servers();
+        Htm {
+            costs,
+            traces: (0..n).map(|_| ServerTrace::new()).collect(),
+            assignments: HashMap::new(),
+            task_problems: HashMap::new(),
+            sync,
+            predictions_made: 0,
+        }
+    }
+
+    /// Enables Gantt recording on one server's trace (diagnostics, Fig. 1).
+    pub fn enable_recording(&mut self, server: ServerId) {
+        let tr = std::mem::take(&mut self.traces[server.index()]);
+        self.traces[server.index()] = tr.with_recording();
+    }
+
+    /// The static cost table the HTM works from.
+    pub fn costs(&self) -> &CostTable {
+        &self.costs
+    }
+
+    /// The trace of one server.
+    pub fn trace(&self, server: ServerId) -> &ServerTrace {
+        &self.traces[server.index()]
+    }
+
+    /// Number of what-if queries answered (for the decision-cost bench).
+    pub fn predictions_made(&self) -> u64 {
+        self.predictions_made
+    }
+
+    /// Where a task was committed, if it was.
+    pub fn assignment(&self, task: TaskId) -> Option<ServerId> {
+        self.assignments.get(&task).copied()
+    }
+
+    /// Simulates mapping `task` on `server` at time `now`.
+    ///
+    /// Returns `None` when the server did not register the task's problem.
+    /// Does not modify the historical trace (works on clones).
+    pub fn predict(&mut self, now: SimTime, server: ServerId, task: &TaskInstance) -> Option<Prediction> {
+        let costs = self.costs.costs(task.problem, server)?;
+        self.predictions_made += 1;
+        // Advance the real trace to `now` first: prediction work done now
+        // (progressing every job to the present) is shared by later queries
+        // instead of being redone inside every clone.
+        let trace = &mut self.traces[server.index()];
+        trace.advance(now);
+        let before: Vec<(TaskId, SimTime)> = trace.drain_schedule();
+        let mut with = trace.clone();
+        with.add_task(now, task.id, costs);
+        let after: HashMap<TaskId, SimTime> = with.drain_schedule().into_iter().collect();
+        let completion = after[&task.id];
+        let perturbations = before
+            .iter()
+            .map(|(j, f_before)| {
+                let f_after = after[j];
+                // Clamped at zero: the paper defines π on the CPU-sharing
+                // intuition where insertions only delay. In the full
+                // three-phase model an insertion can occasionally *help* a
+                // bystander (by slowing a competitor's input transfer), and
+                // float rounding can also produce tiny negatives; both are
+                // treated as zero interference.
+                (*j, (f_after - *f_before).as_secs().max(0.0))
+            })
+            .collect();
+        Some(Prediction {
+            completion,
+            queried_at: now,
+            perturbations,
+        })
+    }
+
+    /// Records that `task` has been allocated to `server` (Figs. 2–4, last
+    /// line). The mapping becomes part of the historical trace used by all
+    /// later predictions.
+    ///
+    /// # Panics
+    /// Panics if the server cannot solve the problem or the task was
+    /// already committed.
+    pub fn commit(&mut self, now: SimTime, server: ServerId, task: &TaskInstance) {
+        let costs = self
+            .costs
+            .costs(task.problem, server)
+            .expect("committing to a server that cannot solve the problem");
+        assert!(
+            !self.assignments.contains_key(&task.id),
+            "task {} committed twice",
+            task.id
+        );
+        self.traces[server.index()].add_task(now, task.id, costs);
+        self.assignments.insert(task.id, server);
+        self.task_problems.insert(task.id, task.problem);
+    }
+
+    /// Un-commits a task (the real server rejected it and the client will
+    /// retry elsewhere). Returns `true` if the task was present.
+    pub fn retract(&mut self, now: SimTime, task: TaskId) -> bool {
+        let Some(server) = self.assignments.remove(&task) else {
+            return false;
+        };
+        self.task_problems.remove(&task);
+        self.traces[server.index()].force_finish(now, task)
+    }
+
+    /// Feeds an observed completion back into the model, according to the
+    /// [`SyncPolicy`].
+    pub fn observe_completion(&mut self, now: SimTime, task: TaskId) {
+        if self.sync == SyncPolicy::None {
+            return;
+        }
+        if let Some(server) = self.assignments.get(&task) {
+            self.traces[server.index()].force_finish(now, task);
+        }
+    }
+
+    /// Simulated completion dates of every unfinished task on `server`
+    /// (the `f(i,j)` of §2.4) as of the trace cursor.
+    pub fn completions_on(&self, server: ServerId) -> Vec<(TaskId, SimTime)> {
+        self.traces[server.index()].drain_schedule()
+    }
+
+    /// Number of unfinished tasks the HTM believes `server` holds.
+    pub fn active_on(&self, server: ServerId) -> usize {
+        self.traces[server.index()].active_len()
+    }
+
+    /// The agent's estimate of `server`'s resident memory, MB: the summed
+    /// memory needs of every task the HTM believes is still running there.
+    ///
+    /// This is the model-side half of the paper's future work ("incorporate
+    /// memory requirements into the model"); the memory-aware heuristics in
+    /// [`crate::heuristics`] use it to veto placements the real server
+    /// would reject.
+    pub fn resident_estimate(&self, server: ServerId) -> f64 {
+        self.traces[server.index()]
+            .active_tasks()
+            .iter()
+            .map(|t| {
+                self.task_problems
+                    .get(t)
+                    .map(|p| self.costs.problem(*p).mem_mb)
+                    .unwrap_or(0.0)
+            })
+            .sum()
+    }
+
+    /// The simulated completion date of every committed task: dates already
+    /// recorded in the traces for tasks the simulation finished, plus
+    /// drained dates for tasks still active. Under [`SyncPolicy::None`]
+    /// these are the open-loop `f(i,j)` values that Table 1 compares to
+    /// reality.
+    pub fn simulated_completions(&self) -> HashMap<TaskId, SimTime> {
+        let mut out = HashMap::new();
+        for trace in &self.traces {
+            for &(task, when) in trace.finished() {
+                out.insert(task, when);
+            }
+            for (task, when) in trace.drain_schedule() {
+                out.insert(task, when);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cas_platform::{PhaseCosts, Problem};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Two servers; P0 is 100 s on S0 and 200 s on S1, no data, no memory.
+    fn table() -> CostTable {
+        let mut c = CostTable::new(2);
+        c.add_problem(
+            Problem::new("p", 0.0, 0.0, 0.0),
+            vec![
+                Some(PhaseCosts::new(0.0, 100.0, 0.0)),
+                Some(PhaseCosts::new(0.0, 200.0, 0.0)),
+            ],
+        );
+        c
+    }
+
+    fn task(id: u64, arrival: f64) -> TaskInstance {
+        TaskInstance::new(TaskId(id), cas_platform::ProblemId(0), t(arrival))
+    }
+
+    #[test]
+    fn predict_empty_server_is_unloaded_cost() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        let p = htm.predict(t(0.0), ServerId(0), &task(1, 0.0)).unwrap();
+        assert_eq!(p.completion, t(100.0));
+        assert!(p.perturbations.is_empty());
+        let p2 = htm.predict(t(0.0), ServerId(1), &task(1, 0.0)).unwrap();
+        assert_eq!(p2.completion, t(200.0));
+    }
+
+    #[test]
+    fn predict_does_not_mutate() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.predict(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.predict(t(0.0), ServerId(0), &task(1, 0.0));
+        assert_eq!(htm.active_on(ServerId(0)), 0);
+        assert_eq!(htm.predictions_made(), 2);
+    }
+
+    #[test]
+    fn commit_then_predict_sees_perturbation() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        let p = htm.predict(t(0.0), ServerId(0), &task(2, 0.0)).unwrap();
+        // T1 alone would finish at 100; sharing with T2 (100) makes T1
+        // finish at 200: perturbation 100.
+        assert_eq!(p.perturbations, vec![(TaskId(1), 100.0)]);
+        // T2 finishes at 200 too (tie, same size).
+        assert_eq!(p.completion, t(200.0));
+        assert_eq!(p.sum_perturbation(), 100.0);
+    }
+
+    #[test]
+    fn perturbation_depends_on_remaining_work() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        // At t=80, T1 has 20 s left. Inserting T2 (100 s): T1 finishes at
+        // 0.5 rate → +20 s of sharing → done at 120 (perturbation 20).
+        let p = htm.predict(t(80.0), ServerId(0), &task(2, 80.0)).unwrap();
+        assert_eq!(p.perturbations, vec![(TaskId(1), 20.0)]);
+        // T2: shares 40 s (does 20), then alone 80 → done at 200.
+        assert_eq!(p.completion, t(200.0));
+    }
+
+    #[test]
+    fn unsolvable_returns_none() {
+        let mut c = CostTable::new(2);
+        c.add_problem(
+            Problem::new("only-s1", 0.0, 0.0, 0.0),
+            vec![None, Some(PhaseCosts::new(0.0, 10.0, 0.0))],
+        );
+        let mut htm = Htm::new(c, SyncPolicy::None);
+        assert!(htm.predict(t(0.0), ServerId(0), &task(1, 0.0)).is_none());
+        assert!(htm.predict(t(0.0), ServerId(1), &task(1, 0.0)).is_some());
+    }
+
+    #[test]
+    fn retract_frees_the_trace() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        assert_eq!(htm.assignment(TaskId(1)), Some(ServerId(0)));
+        assert!(htm.retract(t(10.0), TaskId(1)));
+        assert_eq!(htm.assignment(TaskId(1)), None);
+        // Server looks free again: a new prediction shows no perturbation.
+        let p = htm.predict(t(10.0), ServerId(0), &task(2, 10.0)).unwrap();
+        assert!(p.perturbations.is_empty());
+        assert_eq!(p.completion, t(110.0));
+    }
+
+    #[test]
+    fn sync_force_finish_corrects_model() {
+        let mut htm = Htm::new(table(), SyncPolicy::ForceFinish);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        // Reality says T1 finished early, at t=60 (model said 100).
+        htm.observe_completion(t(60.0), TaskId(1));
+        let p = htm.predict(t(60.0), ServerId(0), &task(2, 60.0)).unwrap();
+        assert!(p.perturbations.is_empty(), "model still thinks T1 runs");
+        assert_eq!(p.completion, t(160.0));
+    }
+
+    #[test]
+    fn sync_none_ignores_observations() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.observe_completion(t(60.0), TaskId(1));
+        let p = htm.predict(t(60.0), ServerId(0), &task(2, 60.0)).unwrap();
+        assert_eq!(p.perturbations.len(), 1, "open loop keeps simulating T1");
+    }
+
+    #[test]
+    #[should_panic(expected = "committed twice")]
+    fn double_commit_panics() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.commit(t(0.0), ServerId(1), &task(1, 0.0));
+    }
+
+    #[test]
+    fn completions_on_reports_schedule() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.commit(t(0.0), ServerId(0), &task(2, 0.0));
+        let mut fins = htm.completions_on(ServerId(0));
+        fins.sort_by_key(|(id, _)| *id);
+        assert_eq!(fins.len(), 2);
+        assert_eq!(fins[0].1, t(200.0));
+        assert_eq!(fins[1].1, t(200.0));
+    }
+}

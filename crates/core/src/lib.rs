@@ -1,0 +1,43 @@
+//! # cas-core — the Historical Trace Manager and the paper's heuristics
+//!
+//! This crate is the reproduction of the paper's contribution proper:
+//!
+//! * [`trace`] — [`ServerTrace`]: the per-server discrete simulation at the
+//!   heart of the HTM. Each mapped task flows through its three phases
+//!   (input transfer → compute → output transfer), each phase on a
+//!   fair-shared resource; "all tasks mapped on a given server progress at
+//!   the same speed until a new task arrives or a running task finishes"
+//!   (§2.3).
+//! * [`htm`] — [`Htm`]: the agent-side manager that owns one trace per
+//!   server, answers *what-if* queries (simulated completion date of a
+//!   candidate placement and the perturbation it inflicts on every
+//!   already-mapped task), records commitments, and optionally
+//!   re-synchronises with observed completions (the paper's stated future
+//!   work, implemented here behind [`htm::SyncPolicy`]).
+//! * [`prediction`] — the quantities a what-if query returns: `f(i, n_i+1)`,
+//!   the perturbations `π_j = f'_j − f_j`, their sum, and the count of
+//!   interfered tasks.
+//! * [`gantt`] — Gantt-chart extraction from a trace and the ASCII rendering
+//!   used to reproduce Fig. 1.
+//! * [`heuristics`] — the scheduling policies: the NetSolve-style [`Mct`]
+//!   baseline driven by (stale, corrected) load reports, and the HTM-based
+//!   [`Hmct`], [`Mp`], [`Msf`] of Figs. 2–4, plus Weissman's MNI and simple
+//!   baselines (round-robin, random, min-load, OLB) for ablations.
+//!
+//! The crate is pure model code: no events, no wall-clock, no I/O. The
+//! middleware crate drives it.
+
+pub mod gantt;
+pub mod heuristics;
+pub mod htm;
+pub mod prediction;
+pub mod trace;
+
+pub use gantt::{Gantt, GanttRow, GanttSegment};
+pub use heuristics::{
+    Heuristic, HeuristicKind, Hmct, Mct, MinLoad, Mni, Mp, Msf, Olb, RandomChoice, RoundRobin,
+    SchedView,
+};
+pub use htm::{Htm, SyncPolicy};
+pub use prediction::Prediction;
+pub use trace::ServerTrace;

@@ -1,0 +1,97 @@
+//! What-if query results: the quantities of §2.4.
+//!
+//! For a candidate placement of a new task on server `i` already running
+//! jobs `1..n_i`, the HTM reports:
+//!
+//! * `f(i, n_i+1)` — the new task's simulated completion date,
+//! * `π(i, j) = f'(i, j) − f(i, j)` for every already-mapped job `j` — the
+//!   perturbation the insertion inflicts,
+//! * their sum (MP's objective) and the count of interfered tasks (MNI's).
+
+use cas_platform::TaskId;
+use cas_sim::SimTime;
+
+/// The outcome of simulating a candidate placement on one server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Simulated completion date of the new task, `f(i, n_i+1)`.
+    pub completion: SimTime,
+    /// The time the query was made (the task's would-be arrival on the
+    /// server), so `completion - queried_at` is the simulated flow time.
+    pub queried_at: SimTime,
+    /// Per-task perturbations `π(i, j)` in seconds, for every task active on
+    /// the server at query time.
+    pub perturbations: Vec<(TaskId, f64)>,
+}
+
+impl Prediction {
+    /// Sum of perturbations `Σ_j π(i, j)` — MP's objective (Fig. 3).
+    pub fn sum_perturbation(&self) -> f64 {
+        self.perturbations.iter().map(|(_, p)| p).sum()
+    }
+
+    /// Number of already-mapped tasks that experience interference
+    /// (π > `eps`) — Weissman's MNI objective.
+    pub fn interfered_count(&self, eps: f64) -> usize {
+        self.perturbations.iter().filter(|(_, p)| *p > eps).count()
+    }
+
+    /// The new task's simulated time in system, `f(i, n_i+1) − a(n_i+1)`.
+    pub fn flow_time(&self) -> f64 {
+        (self.completion - self.queried_at).as_secs()
+    }
+
+    /// MSF's objective (Fig. 4): `Σ_j π(i, j) + d(i, n_i+1)` where `d` is
+    /// "the manager estimated length of the new task".
+    pub fn msf_objective(&self) -> f64 {
+        self.sum_perturbation() + self.flow_time()
+    }
+
+    /// Largest single perturbation, 0 when none.
+    pub fn max_perturbation(&self) -> f64 {
+        self.perturbations
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Prediction {
+        Prediction {
+            completion: SimTime::from_secs(100.0),
+            queried_at: SimTime::from_secs(40.0),
+            perturbations: vec![
+                (TaskId(1), 10.0),
+                (TaskId(2), 0.0),
+                (TaskId(3), 5.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = sample();
+        assert_eq!(p.sum_perturbation(), 15.0);
+        assert_eq!(p.interfered_count(1e-9), 2);
+        assert_eq!(p.flow_time(), 60.0);
+        assert_eq!(p.msf_objective(), 75.0);
+        assert_eq!(p.max_perturbation(), 10.0);
+    }
+
+    #[test]
+    fn empty_perturbations() {
+        let p = Prediction {
+            completion: SimTime::from_secs(5.0),
+            queried_at: SimTime::ZERO,
+            perturbations: vec![],
+        };
+        assert_eq!(p.sum_perturbation(), 0.0);
+        assert_eq!(p.interfered_count(0.0), 0);
+        assert_eq!(p.max_perturbation(), 0.0);
+        assert_eq!(p.msf_objective(), 5.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # cas-metrics — the paper's metrics (§3), statistics and table rendering
+//!
+//! * [`record`] — [`TaskRecord`]: everything an experiment learns about one
+//!   task (arrival, server, phase boundaries, completion or failure,
+//!   unloaded duration on its server).
+//! * [`metrics`] — [`MetricSet`]: makespan, sum-flow, max-flow, max-stretch
+//!   and completed-task counts computed from a set of records, plus the
+//!   paper's pairwise "number of tasks that finish sooner" comparison.
+//! * [`stats`] — means, standard deviations, confidence intervals and
+//!   medians for aggregating replications.
+//! * [`table`] — fixed-width text tables in the layout of the paper's
+//!   Tables 5–8, and CSV/JSON export for further analysis.
+
+pub mod metrics;
+pub mod record;
+pub mod stats;
+pub mod table;
+
+pub use metrics::{finish_sooner_count, MetricSet};
+pub use record::{TaskOutcome, TaskRecord};
+pub use stats::Summary;
+pub use table::{render_csv, Table};

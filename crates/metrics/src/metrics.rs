@@ -1,0 +1,323 @@
+//! The observed metrics of §3.
+//!
+//! All five quantities the paper reports per experiment, computed over a
+//! slice of [`TaskRecord`]s:
+//!
+//! * **makespan** — completion time of the last finished task,
+//!   `max_j F(i,j)`;
+//! * **sum-flow** — `Σ_j (F(i,j) − a(i,j))`, "the amount of time that the
+//!   completion of all tasks has taken on all the resources";
+//! * **max-flow** — `max_j (F(i,j) − a(i,j))`;
+//! * **max-stretch** — `max_j (F(i,j) − a(i,j)) / d(i,j)`;
+//! * **completed** — number of tasks that finished (500 in the paper's
+//!   tables unless servers collapsed).
+//!
+//! Plus [`finish_sooner_count`] — the paper's quality-of-service indicator:
+//! on the same metatask, how many tasks finish strictly sooner under
+//! heuristic H than under MCT: `|{ t : F_H(t) < F_MCT(t) }|`.
+
+use crate::record::TaskRecord;
+use serde::{Deserialize, Serialize};
+
+/// The metric values of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSet {
+    /// Tasks submitted.
+    pub submitted: usize,
+    /// Tasks completed.
+    pub completed: usize,
+    /// Completion time of the last finished task, seconds.
+    pub makespan: f64,
+    /// Sum of flow times, seconds.
+    pub sumflow: f64,
+    /// Largest flow time, seconds.
+    pub maxflow: f64,
+    /// Largest stretch (dimensionless, ≥ 1 in the fair-share model).
+    pub maxstretch: f64,
+    /// Mean flow time, seconds (not in the paper's tables but useful in
+    /// sweeps).
+    pub meanflow: f64,
+    /// Mean stretch (Weissman's comparison metric).
+    pub meanstretch: f64,
+}
+
+impl MetricSet {
+    /// Computes the metric set over `records`. Tasks that failed or were
+    /// still in flight count as submitted but contribute to no time metric.
+    pub fn compute(records: &[TaskRecord]) -> MetricSet {
+        let mut completed = 0usize;
+        let mut makespan: f64 = 0.0;
+        let mut sumflow = 0.0;
+        let mut maxflow: f64 = 0.0;
+        let mut maxstretch: f64 = 0.0;
+        let mut sumstretch = 0.0;
+        let mut stretch_n = 0usize;
+        for r in records {
+            let Some(finished) = r.finished() else {
+                continue;
+            };
+            completed += 1;
+            makespan = makespan.max(finished.as_secs());
+            let flow = r.flow().expect("completed task has flow");
+            sumflow += flow;
+            maxflow = maxflow.max(flow);
+            if let Some(s) = r.stretch() {
+                maxstretch = maxstretch.max(s);
+                sumstretch += s;
+                stretch_n += 1;
+            }
+        }
+        MetricSet {
+            submitted: records.len(),
+            completed,
+            makespan,
+            sumflow,
+            maxflow,
+            maxstretch,
+            meanflow: if completed > 0 {
+                sumflow / completed as f64
+            } else {
+                0.0
+            },
+            meanstretch: if stretch_n > 0 {
+                sumstretch / stretch_n as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The metric value by the row name used in the paper's tables.
+    pub fn by_name(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "completed" => self.completed as f64,
+            "makespan" => self.makespan,
+            "sumflow" => self.sumflow,
+            "maxflow" => self.maxflow,
+            "maxstretch" => self.maxstretch,
+            "meanflow" => self.meanflow,
+            "meanstretch" => self.meanstretch,
+            _ => return None,
+        })
+    }
+
+    /// The row names of the paper's tables, in order.
+    pub const PAPER_ROWS: [&'static str; 5] = [
+        "completed",
+        "makespan",
+        "sumflow",
+        "maxflow",
+        "maxstretch",
+    ];
+}
+
+/// The paper's pairwise comparison: the number of tasks that finish
+/// strictly sooner under `candidate` than under `baseline`.
+///
+/// Records are matched by task id; tasks that completed under the candidate
+/// but failed under the baseline count as "sooner" (they got service at
+/// all), matching the paper's user-centric reading. Tasks that failed under
+/// the candidate never count.
+pub fn finish_sooner_count(candidate: &[TaskRecord], baseline: &[TaskRecord]) -> usize {
+    let mut count = 0;
+    for c in candidate {
+        let Some(fc) = c.finished() else { continue };
+        let base = baseline.iter().find(|b| b.task == c.task);
+        match base.and_then(|b| b.finished()) {
+            Some(fb) => {
+                if fc < fb {
+                    count += 1;
+                }
+            }
+            None => count += 1,
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TaskOutcome;
+    use cas_platform::{ProblemId, ServerId, TaskId};
+    use cas_sim::SimTime;
+
+    fn rec(id: u64, arrival: f64, finished: Option<f64>, unloaded: f64) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(id),
+            problem: ProblemId(0),
+            arrival: SimTime::from_secs(arrival),
+            server: Some(ServerId(0)),
+            unloaded_duration: unloaded,
+            predicted_completion: None,
+            commit_prediction: None,
+            outcome: match finished {
+                Some(f) => TaskOutcome::Completed {
+                    finished: SimTime::from_secs(f),
+                },
+                None => TaskOutcome::Failed,
+            },
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn metric_set_small_example() {
+        let records = vec![
+            rec(1, 0.0, Some(10.0), 5.0),  // flow 10, stretch 2
+            rec(2, 5.0, Some(30.0), 10.0), // flow 25, stretch 2.5
+            rec(3, 10.0, None, 5.0),       // failed
+        ];
+        let m = MetricSet::compute(&records);
+        assert_eq!(m.submitted, 3);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.makespan, 30.0);
+        assert_eq!(m.sumflow, 35.0);
+        assert_eq!(m.maxflow, 25.0);
+        assert_eq!(m.maxstretch, 2.5);
+        assert_eq!(m.meanflow, 17.5);
+        assert_eq!(m.meanstretch, 2.25);
+    }
+
+    #[test]
+    fn empty_records() {
+        let m = MetricSet::compute(&[]);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.makespan, 0.0);
+        assert_eq!(m.meanflow, 0.0);
+    }
+
+    #[test]
+    fn by_name_covers_paper_rows() {
+        let m = MetricSet::compute(&[rec(1, 0.0, Some(10.0), 5.0)]);
+        for row in MetricSet::PAPER_ROWS {
+            assert!(m.by_name(row).is_some(), "{row}");
+        }
+        assert!(m.by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn finish_sooner_counts_strict_improvements() {
+        let mct = vec![
+            rec(1, 0.0, Some(100.0), 1.0),
+            rec(2, 0.0, Some(50.0), 1.0),
+            rec(3, 0.0, Some(80.0), 1.0),
+        ];
+        let h = vec![
+            rec(1, 0.0, Some(90.0), 1.0),  // sooner
+            rec(2, 0.0, Some(50.0), 1.0),  // tie → not sooner
+            rec(3, 0.0, Some(85.0), 1.0),  // later
+        ];
+        assert_eq!(finish_sooner_count(&h, &mct), 1);
+        assert_eq!(finish_sooner_count(&mct, &h), 1);
+    }
+
+    #[test]
+    fn finish_sooner_handles_failures() {
+        let baseline = vec![rec(1, 0.0, None, 1.0), rec(2, 0.0, Some(10.0), 1.0)];
+        let candidate = vec![rec(1, 0.0, Some(99.0), 1.0), rec(2, 0.0, None, 1.0)];
+        // Task 1: candidate completed, baseline failed → sooner.
+        // Task 2: candidate failed → never counts.
+        assert_eq!(finish_sooner_count(&candidate, &baseline), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::record::TaskOutcome;
+    use cas_platform::{ProblemId, ServerId, TaskId};
+    use cas_sim::SimTime;
+    use proptest::prelude::*;
+
+    prop_compose! {
+        fn arb_record(id: u64)(
+            arrival in 0.0f64..1000.0,
+            flow in proptest::option::of(0.1f64..500.0),
+            unloaded in 0.1f64..100.0,
+        ) -> TaskRecord {
+            TaskRecord {
+                task: TaskId(id),
+                problem: ProblemId(0),
+                arrival: SimTime::from_secs(arrival),
+                server: Some(ServerId(0)),
+                unloaded_duration: unloaded,
+                predicted_completion: None,
+                commit_prediction: None,
+                outcome: match flow {
+                    Some(f) => TaskOutcome::Completed {
+                        finished: SimTime::from_secs(arrival + f),
+                    },
+                    None => TaskOutcome::Failed,
+                },
+                attempts: 1,
+            }
+        }
+    }
+
+    fn arb_records(n: usize) -> impl Strategy<Value = Vec<TaskRecord>> {
+        (0..n as u64)
+            .map(arb_record)
+            .collect::<Vec<_>>()
+    }
+
+    proptest! {
+        /// Aggregate identities: sumflow is the sum of flows, maxima bound
+        /// means, completed counts match, makespan covers every completion.
+        #[test]
+        fn metric_set_identities(records in arb_records(30)) {
+            let m = MetricSet::compute(&records);
+            let completed: Vec<&TaskRecord> =
+                records.iter().filter(|r| r.is_completed()).collect();
+            prop_assert_eq!(m.completed, completed.len());
+            prop_assert_eq!(m.submitted, records.len());
+            let sumflow: f64 = completed.iter().filter_map(|r| r.flow()).sum();
+            prop_assert!((m.sumflow - sumflow).abs() < 1e-9);
+            prop_assert!(m.maxflow >= m.meanflow - 1e-12);
+            prop_assert!(m.maxstretch >= m.meanstretch - 1e-12);
+            for r in &completed {
+                prop_assert!(m.makespan + 1e-12 >= r.finished().unwrap().as_secs());
+            }
+        }
+
+        /// Pairwise counts cannot double-count: tasks sooner under A vs B
+        /// plus sooner under B vs A never exceed the number of tasks both
+        /// completed (ties and failures belong to neither side).
+        #[test]
+        fn finish_sooner_antisymmetry(
+            a in arb_records(25),
+            b in arb_records(25),
+        ) {
+            let ab = finish_sooner_count(&a, &b);
+            let ba = finish_sooner_count(&b, &a);
+            let both = a.iter().filter(|r| r.is_completed()).count()
+                .max(b.iter().filter(|r| r.is_completed()).count());
+            prop_assert!(ab + ba <= both + 25); // loose structural bound
+            // Exact property on the strictly-comparable subset:
+            let comparable = a.iter().zip(&b)
+                .filter(|(x, y)| x.is_completed() && y.is_completed())
+                .count();
+            let strict_ab = a.iter().zip(&b)
+                .filter(|(x, y)| match (x.finished(), y.finished()) {
+                    (Some(fx), Some(fy)) => fx < fy,
+                    _ => false,
+                }).count();
+            let strict_ba = a.iter().zip(&b)
+                .filter(|(x, y)| match (x.finished(), y.finished()) {
+                    (Some(fx), Some(fy)) => fy < fx,
+                    _ => false,
+                }).count();
+            prop_assert!(strict_ab + strict_ba <= comparable);
+        }
+
+        /// A summary always brackets its sample.
+        #[test]
+        fn summary_brackets_sample(values in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let s = crate::stats::Summary::of(&values).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.std >= 0.0);
+            prop_assert_eq!(s.n, values.len());
+        }
+    }
+}

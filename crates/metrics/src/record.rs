@@ -1,0 +1,158 @@
+//! Per-task experiment records.
+
+use cas_platform::{ProblemId, ServerId, TaskId};
+use cas_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How a task's life ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskOutcome {
+    /// Output data arrived back at the client at this time — the paper's
+    /// real completion date `F(i,j)`.
+    Completed {
+        /// When the client received the results.
+        finished: SimTime,
+    },
+    /// Every candidate server rejected the task (memory exhaustion /
+    /// collapse) — the tasks missing from the "number of completed tasks"
+    /// row of Table 6.
+    Failed,
+    /// Still in flight when the experiment's horizon was reached.
+    InFlight,
+}
+
+/// Everything the harness records about one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task.
+    pub task: TaskId,
+    /// The problem it instantiates.
+    pub problem: ProblemId,
+    /// Submission time `a(i,j)`.
+    pub arrival: SimTime,
+    /// The server it finally ran on (the last one tried, for failures).
+    pub server: Option<ServerId>,
+    /// Unloaded duration `d(i,j)` on that server, from the static table.
+    pub unloaded_duration: f64,
+    /// The HTM's *final* simulated completion date `f(i,j)` — updated as
+    /// later tasks arrived and shared the server. This is the "simulated
+    /// completion date" column of Table 1. `None` when the task was never
+    /// committed.
+    pub predicted_completion: Option<SimTime>,
+    /// The HTM's what-if completion estimate at commit time (before any
+    /// subsequent arrival). The gap between this and
+    /// [`Self::predicted_completion`] is the perturbation the task
+    /// eventually suffered.
+    pub commit_prediction: Option<SimTime>,
+    /// How it ended.
+    pub outcome: TaskOutcome,
+    /// Number of placement attempts (1 = accepted first try; >1 means
+    /// fault-tolerant resubmission happened).
+    pub attempts: u32,
+}
+
+impl TaskRecord {
+    /// Completion time, if completed.
+    pub fn finished(&self) -> Option<SimTime> {
+        match self.outcome {
+            TaskOutcome::Completed { finished } => Some(finished),
+            _ => None,
+        }
+    }
+
+    /// `true` when the task completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.outcome, TaskOutcome::Completed { .. })
+    }
+
+    /// Flow time `F(i,j) − a(i,j)`: the time the task spent in the system.
+    pub fn flow(&self) -> Option<f64> {
+        self.finished().map(|f| (f - self.arrival).as_secs())
+    }
+
+    /// Stretch: flow divided by the unloaded duration on the same server —
+    /// "by what factor a query has been slowed down relative to the time it
+    /// takes on the same but unloaded server".
+    pub fn stretch(&self) -> Option<f64> {
+        let flow = self.flow()?;
+        if self.unloaded_duration <= 0.0 {
+            return None;
+        }
+        Some(flow / self.unloaded_duration)
+    }
+
+    /// Signed HTM prediction error (predicted − actual), when both exist.
+    pub fn prediction_error(&self) -> Option<f64> {
+        let actual = self.finished()?;
+        let predicted = self.predicted_completion?;
+        Some((predicted - actual).as_secs())
+    }
+
+    /// The paper's Table 1 "percentage of error": `100 · |pred − real| /
+    /// real duration of the task`.
+    pub fn prediction_error_pct(&self) -> Option<f64> {
+        let err = self.prediction_error()?.abs();
+        let flow = self.flow()?;
+        if flow <= 0.0 {
+            return None;
+        }
+        Some(100.0 * err / flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(arrival: f64, finished: Option<f64>, unloaded: f64) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(1),
+            problem: ProblemId(0),
+            arrival: SimTime::from_secs(arrival),
+            server: Some(ServerId(0)),
+            unloaded_duration: unloaded,
+            predicted_completion: None,
+            commit_prediction: None,
+            outcome: match finished {
+                Some(f) => TaskOutcome::Completed {
+                    finished: SimTime::from_secs(f),
+                },
+                None => TaskOutcome::Failed,
+            },
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn flow_and_stretch() {
+        let r = rec(10.0, Some(60.0), 25.0);
+        assert_eq!(r.flow(), Some(50.0));
+        assert_eq!(r.stretch(), Some(2.0));
+        assert!(r.is_completed());
+    }
+
+    #[test]
+    fn failed_task_has_no_flow() {
+        let r = rec(10.0, None, 25.0);
+        assert_eq!(r.flow(), None);
+        assert_eq!(r.stretch(), None);
+        assert!(!r.is_completed());
+    }
+
+    #[test]
+    fn prediction_error_table1_definition() {
+        let mut r = rec(33.0, Some(80.79), 40.0);
+        r.predicted_completion = Some(SimTime::from_secs(79.99));
+        let err = r.prediction_error().unwrap();
+        assert!((err - (-0.8)).abs() < 1e-9);
+        // Table 1 row 1: |−0.8| / (80.79 − 33.00) × 100 ≈ 1.67 %.
+        let pct = r.prediction_error_pct().unwrap();
+        assert!((pct - 1.674).abs() < 0.01, "pct = {pct}");
+    }
+
+    #[test]
+    fn zero_unloaded_duration_gives_no_stretch() {
+        let r = rec(0.0, Some(5.0), 0.0);
+        assert_eq!(r.stretch(), None);
+    }
+}

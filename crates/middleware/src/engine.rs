@@ -1,0 +1,825 @@
+//! The grid world: clients, agent and servers in one discrete-event model.
+//!
+//! Event flow for one task (§2.1's protocol, compressed to what matters for
+//! scheduling):
+//!
+//! ```text
+//! Submit ──agent latency──► Schedule ──reserve memory──► input transfer
+//!     (reject? retry/fail)      │
+//!                               ▼
+//!                     input done → compute (fair-shared CPU)
+//!                               ▼
+//!                    compute done → output transfer → task complete
+//! ```
+//!
+//! Shared-resource completions use the generation-stamp pattern: every
+//! membership or capacity change on a fair-share resource invalidates the
+//! previously scheduled completion event, and a fresh one is scheduled from
+//! the resource's new state.
+
+use crate::config::{ExperimentConfig, FaultTolerance};
+use crate::event::GridEvent;
+use cas_core::heuristics::{Heuristic, SchedView};
+use cas_core::Htm;
+use cas_metrics::{TaskOutcome, TaskRecord};
+use cas_platform::{
+    AdmitOutcome, CostTable, LoadAverage, LoadReport, Phase, PhaseCosts, ServerId, ServerRuntime,
+    ServerSpec, TaskId, TaskInstance,
+};
+use cas_sim::dist::{LogNormalNoise, Sample};
+use cas_sim::{RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
+use std::collections::HashMap;
+
+/// Tolerance when matching a completion event's time against the
+/// resource's recomputed completion time.
+const COMPLETION_EPS: f64 = 1e-6;
+
+/// A task in flight on a server.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    server: ServerId,
+    costs: PhaseCosts,
+    /// Which phase the task is currently in (needed to interpret shared
+    /// client-link completions, which carry no phase information).
+    phase: Phase,
+}
+
+/// The complete simulated system.
+pub struct GridWorld {
+    cfg: ExperimentConfig,
+    costs: CostTable,
+    tasks: Vec<TaskInstance>,
+    servers: Vec<ServerRuntime>,
+    monitors: Vec<LoadAverage>,
+    reports: Vec<LoadReport>,
+    htm: Htm,
+    heuristic: Box<dyn Heuristic>,
+    tie_rng: RngStream,
+    cpu_noise: Vec<RngStream>,
+    net_noise: Vec<RngStream>,
+    noise_dist: LogNormalNoise,
+    flights: HashMap<TaskId, Flight>,
+    /// The single client-side link all transfers share when
+    /// `cfg.shared_client_link` is on; `None` in per-server-link mode.
+    client_link: Option<cas_platform::FairShareResource<TaskId>>,
+    records: Vec<TaskRecord>,
+    /// Tasks not yet terminal (completed or failed); recurring events stop
+    /// re-arming when this reaches zero so the simulation drains.
+    remaining: usize,
+    /// Servers the agent has learned are collapsed (a refusal response
+    /// carries the flag).
+    agent_known_dead: Vec<bool>,
+}
+
+impl GridWorld {
+    /// Builds the world. `tasks` must be sorted by arrival (metatask
+    /// generators produce them that way).
+    pub fn new(
+        cfg: ExperimentConfig,
+        costs: CostTable,
+        server_specs: Vec<ServerSpec>,
+        tasks: Vec<TaskInstance>,
+    ) -> Self {
+        assert_eq!(
+            costs.n_servers(),
+            server_specs.len(),
+            "cost table and server list must agree"
+        );
+        assert!(
+            tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "tasks must be sorted by arrival"
+        );
+        let n = server_specs.len();
+        let records = tasks
+            .iter()
+            .map(|t| TaskRecord {
+                task: t.id,
+                problem: t.problem,
+                arrival: t.arrival,
+                server: None,
+                unloaded_duration: 0.0,
+                predicted_completion: None,
+                commit_prediction: None,
+                outcome: TaskOutcome::InFlight,
+                attempts: 0,
+            })
+            .collect();
+        GridWorld {
+            remaining: tasks.len(),
+            htm: Htm::new(costs.clone(), cfg.sync),
+            heuristic: cfg.heuristic.build(),
+            tie_rng: RngStream::derive(cfg.seed, StreamKind::TieBreak),
+            cpu_noise: (0..n as u32)
+                .map(|i| RngStream::derive(cfg.seed, StreamKind::CpuNoise(i)))
+                .collect(),
+            net_noise: (0..n as u32)
+                .map(|i| RngStream::derive(cfg.seed, StreamKind::NetNoise(i)))
+                .collect(),
+            noise_dist: LogNormalNoise::new(cfg.noise_sigma),
+            servers: server_specs
+                .into_iter()
+                .map(|spec| ServerRuntime::new(spec, cfg.memory))
+                .collect(),
+            monitors: (0..n).map(|_| LoadAverage::new(cfg.load_tau)).collect(),
+            reports: (0..n as u32).map(|i| LoadReport::initial(ServerId(i))).collect(),
+            flights: HashMap::new(),
+            client_link: if cfg.shared_client_link {
+                Some(cas_platform::FairShareResource::new(1.0))
+            } else {
+                None
+            },
+            records,
+            agent_known_dead: vec![false; n],
+            cfg,
+            costs,
+            tasks,
+        }
+    }
+
+    /// The agent's HTM (inspection, Gantt extraction).
+    pub fn htm(&self) -> &Htm {
+        &self.htm
+    }
+
+    /// Mutable HTM access (to enable Gantt recording before a run).
+    pub fn htm_mut(&mut self) -> &mut Htm {
+        &mut self.htm
+    }
+
+    /// The per-task records accumulated so far.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// One server's runtime state.
+    pub fn server(&self, id: ServerId) -> &ServerRuntime {
+        &self.servers[id.index()]
+    }
+
+    /// Number of tasks not yet terminal.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn resource(&self, server: ServerId, phase: Phase) -> &cas_platform::FairShareResource<TaskId> {
+        let s = &self.servers[server.index()];
+        match phase {
+            Phase::Input => &s.link_in,
+            Phase::Compute => &s.cpu,
+            Phase::Output => &s.link_out,
+        }
+    }
+
+    fn resource_mut(
+        &mut self,
+        server: ServerId,
+        phase: Phase,
+    ) -> &mut cas_platform::FairShareResource<TaskId> {
+        let s = &mut self.servers[server.index()];
+        match phase {
+            Phase::Input => &mut s.link_in,
+            Phase::Compute => &mut s.cpu,
+            Phase::Output => &mut s.link_out,
+        }
+    }
+
+    /// (Re)schedules the completion event for a server resource from its
+    /// current state.
+    fn resched(&mut self, server: ServerId, phase: Phase, sched: &mut Scheduler<'_, GridEvent>) {
+        let now = sched.now();
+        let res = self.resource(server, phase);
+        if let Some((_, when)) = res.next_completion(now) {
+            let gen = res.generation();
+            sched.at(when.max(now), GridEvent::PhaseDone { server, phase, gen });
+        }
+    }
+
+    /// (Re)schedules the completion event for the shared client link.
+    fn resched_client_link(&mut self, sched: &mut Scheduler<'_, GridEvent>) {
+        let now = sched.now();
+        let link = self.client_link.as_ref().expect("shared link enabled");
+        if let Some((_, when)) = link.next_completion(now) {
+            let gen = link.generation();
+            sched.at(when.max(now), GridEvent::ClientLinkDone { gen });
+        }
+    }
+
+    /// A task finished its input transfer: move it onto the CPU.
+    fn input_arrived(&mut self, now: SimTime, task: TaskId, sched: &mut Scheduler<'_, GridEvent>) {
+        let flight = self.flights.get_mut(&task).expect("flight exists");
+        debug_assert_eq!(flight.phase, Phase::Input);
+        flight.phase = Phase::Compute;
+        let (server, compute) = (flight.server, flight.costs.compute);
+        self.touch_monitor(server, now);
+        self.servers[server.index()].begin_compute(now, task, compute);
+        self.resched(server, Phase::Compute, sched);
+    }
+
+    /// A task finished its output transfer: it is complete.
+    fn output_arrived(&mut self, now: SimTime, task: TaskId) {
+        self.flights.remove(&task);
+        self.htm.observe_completion(now, task);
+        let rec = self.record_mut(task);
+        rec.outcome = TaskOutcome::Completed { finished: now };
+        self.remaining -= 1;
+    }
+
+    /// Integrates the load monitor up to `now` with the run-queue length
+    /// that held since the last touch. Must be called *before* changing the
+    /// CPU membership.
+    fn touch_monitor(&mut self, server: ServerId, now: SimTime) {
+        let len = self.servers[server.index()].run_queue_len();
+        self.monitors[server.index()].observe(now, len);
+    }
+
+    fn record_mut(&mut self, task: TaskId) -> &mut TaskRecord {
+        // Task ids are dense indices into the metatask.
+        &mut self.records[task.index()]
+    }
+
+    fn fail_task(&mut self, idx: usize, attempts: u32, last_server: Option<ServerId>) {
+        let task = self.tasks[idx];
+        let rec = self.record_mut(task.id);
+        rec.outcome = TaskOutcome::Failed;
+        rec.attempts = attempts;
+        rec.server = last_server;
+        self.remaining -= 1;
+    }
+
+    fn handle_schedule(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        attempt: u32,
+        excluded: Vec<ServerId>,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        let task = self.tasks[idx];
+        let mut candidates = self.costs.solvers(task.problem);
+        candidates.retain(|s| !excluded.contains(s) && !self.agent_known_dead[s.index()]);
+
+        let pick = {
+            let server_mem: Vec<f64> = self
+                .servers
+                .iter()
+                .map(|s| s.spec().total_mem_mb())
+                .collect();
+            let mut view = SchedView::new(
+                now,
+                task,
+                candidates,
+                &self.costs,
+                &self.reports,
+                &mut self.htm,
+                &mut self.tie_rng,
+            )
+            .with_server_mem(&server_mem);
+            self.heuristic.select(&mut view)
+        };
+        let Some(server) = pick else {
+            self.fail_task(idx, attempt, excluded.last().copied());
+            return;
+        };
+        let phase_costs = self
+            .costs
+            .costs(task.problem, server)
+            .expect("heuristic picked a solver");
+        let mem = self.costs.problem(task.problem).mem_mb;
+
+        match self.servers[server.index()].reserve(now, task.id, mem) {
+            AdmitOutcome::Admitted => {
+                // Reservation can push the server into thrashing, which
+                // changes the CPU capacity — keep the CPU event fresh.
+                self.resched(server, Phase::Compute, sched);
+                let predicted = self
+                    .htm
+                    .predict(now, server, &task)
+                    .map(|p| p.completion);
+                self.reports[server.index()].note_assignment();
+                self.htm.commit(now, server, &task);
+                {
+                    let rec = self.record_mut(task.id);
+                    rec.server = Some(server);
+                    rec.unloaded_duration = phase_costs.total();
+                    rec.commit_prediction = predicted;
+                    rec.attempts = attempt;
+                }
+                self.flights.insert(
+                    task.id,
+                    Flight {
+                        server,
+                        costs: phase_costs,
+                        phase: Phase::Input,
+                    },
+                );
+                if let Some(link) = &mut self.client_link {
+                    link.add(now, task.id, phase_costs.input);
+                    self.resched_client_link(sched);
+                } else {
+                    self.servers[server.index()].start_input(now, task.id, phase_costs.input);
+                    self.resched(server, Phase::Input, sched);
+                }
+            }
+            outcome @ (AdmitOutcome::Rejected | AdmitOutcome::Collapsed) => {
+                if outcome == AdmitOutcome::Collapsed
+                    || self.servers[server.index()].is_collapsed()
+                {
+                    // The refusal response tells the agent the server is
+                    // gone for good.
+                    self.agent_known_dead[server.index()] = true;
+                }
+                let retry = match self.cfg.fault_tolerance {
+                    FaultTolerance::RankedRetry { max_attempts } => attempt < max_attempts,
+                    FaultTolerance::None => false,
+                };
+                if retry {
+                    let mut excluded = excluded;
+                    excluded.push(server);
+                    sched.immediately(GridEvent::Schedule {
+                        idx,
+                        attempt: attempt + 1,
+                        excluded,
+                    });
+                } else {
+                    self.fail_task(idx, attempt, Some(server));
+                }
+            }
+        }
+    }
+
+    fn handle_phase_done(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        phase: Phase,
+        gen: cas_sim::Generation,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        {
+            let res = self.resource(server, phase);
+            if !res.generation().is_current(gen) {
+                return; // stale: membership/capacity changed since scheduling
+            }
+        }
+        let next = self.resource(server, phase).next_completion(now);
+        let Some((task, when)) = next else {
+            return;
+        };
+        if when.as_secs() > now.as_secs() + COMPLETION_EPS {
+            // Not actually done yet (same generation but queried earlier in
+            // the same instant); re-arm at the true time.
+            sched.at(when, GridEvent::PhaseDone { server, phase, gen });
+            return;
+        }
+        let flight = *self.flights.get(&task).expect("flight exists while running");
+        debug_assert_eq!(flight.server, server);
+        match phase {
+            Phase::Input => {
+                self.resource_mut(server, Phase::Input).remove(now, task);
+                self.resched(server, Phase::Input, sched);
+                self.input_arrived(now, task, sched);
+            }
+            Phase::Compute => {
+                self.touch_monitor(server, now);
+                self.servers[server.index()].finish_compute(now, task);
+                // Correction 2: the server notifies the agent of the
+                // completed computation.
+                self.reports[server.index()].note_completion();
+                self.flights
+                    .get_mut(&task)
+                    .expect("flight exists")
+                    .phase = Phase::Output;
+                if let Some(link) = &mut self.client_link {
+                    link.add(now, task, flight.costs.output);
+                    self.resched(server, Phase::Compute, sched);
+                    self.resched_client_link(sched);
+                } else {
+                    self.servers[server.index()].start_output(now, task, flight.costs.output);
+                    self.resched(server, Phase::Compute, sched);
+                    self.resched(server, Phase::Output, sched);
+                }
+            }
+            Phase::Output => {
+                self.resource_mut(server, Phase::Output).remove(now, task);
+                self.resched(server, Phase::Output, sched);
+                self.output_arrived(now, task);
+            }
+        }
+    }
+
+    /// Shared-link transfer completion: dispatch on the task's phase.
+    fn handle_client_link_done(
+        &mut self,
+        now: SimTime,
+        gen: cas_sim::Generation,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        {
+            let link = self.client_link.as_ref().expect("shared link enabled");
+            if !link.generation().is_current(gen) {
+                return;
+            }
+        }
+        let next = self
+            .client_link
+            .as_ref()
+            .expect("shared link enabled")
+            .next_completion(now);
+        let Some((task, when)) = next else { return };
+        if when.as_secs() > now.as_secs() + COMPLETION_EPS {
+            sched.at(when, GridEvent::ClientLinkDone { gen });
+            return;
+        }
+        self.client_link
+            .as_mut()
+            .expect("shared link enabled")
+            .remove(now, task);
+        let phase = self.flights.get(&task).expect("flight exists").phase;
+        self.resched_client_link(sched);
+        match phase {
+            Phase::Input => self.input_arrived(now, task, sched),
+            Phase::Output => self.output_arrived(now, task),
+            Phase::Compute => unreachable!("compute never runs on the client link"),
+        }
+    }
+
+    fn handle_load_report(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        let len = self.servers[server.index()].run_queue_len();
+        let value = self.monitors[server.index()].observe(now, len);
+        self.reports[server.index()].refresh(now, value);
+        if self.remaining > 0 {
+            sched.in_(
+                SimTime::from_secs(self.cfg.load_report_period),
+                GridEvent::LoadReport { server },
+            );
+        }
+    }
+
+    fn handle_noise_redraw(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        if self.cfg.noise_sigma > 0.0 {
+            let i = server.index();
+            let cpu_factor = self.noise_dist.sample(&mut self.cpu_noise[i]);
+            let net_factor = self.noise_dist.sample(&mut self.net_noise[i]);
+            self.servers[i].set_noise(now, cpu_factor);
+            self.servers[i].link_in.set_capacity(now, net_factor);
+            self.servers[i].link_out.set_capacity(now, net_factor);
+            self.resched(server, Phase::Input, sched);
+            self.resched(server, Phase::Compute, sched);
+            self.resched(server, Phase::Output, sched);
+            // In shared-link mode, server 0's net stream doubles as the
+            // client link's noise source (one redraw per period).
+            if i == 0 && self.client_link.is_some() {
+                let factor = self.noise_dist.sample(&mut self.net_noise[0]);
+                self.client_link
+                    .as_mut()
+                    .expect("just checked")
+                    .set_capacity(now, factor);
+                self.resched_client_link(sched);
+            }
+        }
+        if self.remaining > 0 {
+            sched.in_(
+                SimTime::from_secs(self.cfg.noise_redraw_period),
+                GridEvent::NoiseRedraw { server },
+            );
+        }
+    }
+}
+
+impl World for GridWorld {
+    type Event = GridEvent;
+
+    fn init(&mut self, sched: &mut Scheduler<'_, GridEvent>) {
+        for (idx, task) in self.tasks.iter().enumerate() {
+            sched.at(task.arrival, GridEvent::Submit { idx });
+        }
+        let n = self.servers.len().max(1);
+        for i in 0..self.servers.len() {
+            // Stagger periodic events across servers so reports don't all
+            // land on the same instant.
+            let phase = self.cfg.load_report_period * (i + 1) as f64 / n as f64;
+            sched.at(
+                SimTime::from_secs(phase),
+                GridEvent::LoadReport {
+                    server: ServerId(i as u32),
+                },
+            );
+            if self.cfg.noise_sigma > 0.0 {
+                let phase = self.cfg.noise_redraw_period * (i + 1) as f64 / n as f64;
+                sched.at(
+                    SimTime::from_secs(phase),
+                    GridEvent::NoiseRedraw {
+                        server: ServerId(i as u32),
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: GridEvent, sched: &mut Scheduler<'_, GridEvent>) {
+        match event {
+            GridEvent::Submit { idx } => {
+                let delay = SimTime::from_secs(self.cfg.agent_latency);
+                sched.in_(
+                    delay,
+                    GridEvent::Schedule {
+                        idx,
+                        attempt: 1,
+                        excluded: Vec::new(),
+                    },
+                );
+            }
+            GridEvent::Schedule {
+                idx,
+                attempt,
+                excluded,
+            } => self.handle_schedule(now, idx, attempt, excluded, sched),
+            GridEvent::PhaseDone { server, phase, gen } => {
+                self.handle_phase_done(now, server, phase, gen, sched)
+            }
+            GridEvent::ClientLinkDone { gen } => self.handle_client_link_done(now, gen, sched),
+            GridEvent::LoadReport { server } => self.handle_load_report(now, server, sched),
+            GridEvent::NoiseRedraw { server } => self.handle_noise_redraw(now, server, sched),
+        }
+    }
+}
+
+/// Runs one experiment to completion and returns the per-task records.
+pub fn run_experiment(
+    cfg: ExperimentConfig,
+    costs: CostTable,
+    servers: Vec<ServerSpec>,
+    tasks: Vec<TaskInstance>,
+) -> Vec<TaskRecord> {
+    let world = GridWorld::new(cfg, costs, servers, tasks);
+    let mut sim = Simulation::new(world);
+    let outcome = sim.run_to_completion();
+    debug_assert_eq!(outcome, cas_sim::engine::RunOutcome::Exhausted);
+    let mut world = sim.into_world();
+    debug_assert_eq!(world.remaining(), 0, "all tasks must reach a terminal state");
+    // Fill in the HTM's final simulated completion dates (Table 1's
+    // "simulated completion date" column).
+    let simulated = world.htm.simulated_completions();
+    for rec in &mut world.records {
+        rec.predicted_completion = simulated.get(&rec.task).copied();
+    }
+    world.records.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cas_core::heuristics::HeuristicKind;
+    use cas_platform::Problem;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Two servers: fast (10 s compute) and slow (30 s), 1 s transfers
+    /// each way, no memory pressure.
+    fn mini_setup() -> (CostTable, Vec<ServerSpec>) {
+        let mut costs = CostTable::new(2);
+        costs.add_problem(
+            Problem::new("p", 1.0, 0.5, 0.0),
+            vec![
+                Some(PhaseCosts::new(1.0, 10.0, 1.0)),
+                Some(PhaseCosts::new(1.0, 30.0, 1.0)),
+            ],
+        );
+        let servers = vec![
+            ServerSpec::new("fast", 1000.0, 1024.0, 1024.0),
+            ServerSpec::new("slow", 500.0, 1024.0, 1024.0),
+        ];
+        (costs, servers)
+    }
+
+    fn mini_tasks(arrivals: &[f64]) -> Vec<TaskInstance> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| TaskInstance::new(TaskId(i as u64), cas_platform::ProblemId(0), t(a)))
+            .collect()
+    }
+
+    #[test]
+    fn single_task_completes_at_unloaded_duration() {
+        let (costs, servers) = mini_setup();
+        let cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1);
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&[5.0]));
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert!(r.is_completed());
+        assert_eq!(r.server, Some(ServerId(0)), "picks the fast server");
+        // 5.0 arrival + 1 + 10 + 1 = 17.0, no noise, no latency.
+        assert!(r.finished().unwrap().approx_eq(t(17.0), 1e-9));
+        assert_eq!(r.unloaded_duration, 12.0);
+        assert_eq!(r.attempts, 1);
+    }
+
+    #[test]
+    fn htm_prediction_is_exact_in_ideal_mode() {
+        let (costs, servers) = mini_setup();
+        let cfg = ExperimentConfig::ideal(HeuristicKind::Msf, 3);
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&[0.0, 2.0, 4.0, 6.0, 8.0]));
+        for r in &recs {
+            let pred = r.predicted_completion.expect("HTM committed");
+            let actual = r.finished().expect("completed");
+            assert!(
+                pred.approx_eq(actual, 1e-6),
+                "task {}: predicted {pred:?}, actual {actual:?}",
+                r.task
+            );
+        }
+    }
+
+    #[test]
+    fn noise_makes_predictions_imperfect_but_close() {
+        let (costs, servers) = mini_setup();
+        let mut cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 7);
+        cfg.memory = cas_platform::MemoryModel::disabled();
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&[0.0, 3.0, 6.0, 9.0, 12.0]));
+        let errors: Vec<f64> = recs
+            .iter()
+            .filter_map(|r| r.prediction_error_pct())
+            .collect();
+        assert_eq!(errors.len(), 5);
+        assert!(errors.iter().any(|&e| e > 0.0), "noise must show up");
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean < 15.0, "errors should stay moderate, got {mean}");
+    }
+
+    #[test]
+    fn contention_stretches_flows() {
+        let (costs, servers) = mini_setup();
+        let cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1);
+        // Twenty tasks arriving almost at once: heavy sharing.
+        let arrivals: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&arrivals));
+        assert!(recs.iter().all(|r| r.is_completed()));
+        let max_stretch = recs
+            .iter()
+            .filter_map(|r| r.stretch())
+            .fold(0.0, f64::max);
+        assert!(max_stretch > 1.5, "sharing must slow tasks, got {max_stretch}");
+    }
+
+    #[test]
+    fn memory_exhaustion_fails_tasks_without_retry() {
+        // One tiny server (RAM+swap = 150 MB), tasks need 100 MB each: the
+        // second concurrent task must be refused.
+        let mut costs = CostTable::new(1);
+        costs.add_problem(
+            Problem::new("big", 1.0, 1.0, 100.0),
+            vec![Some(PhaseCosts::new(1.0, 50.0, 1.0))],
+        );
+        let servers = vec![ServerSpec::new("tiny", 300.0, 100.0, 50.0)];
+        let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1);
+        cfg.memory = cas_platform::MemoryModel::default();
+        cfg.fault_tolerance = FaultTolerance::None;
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&[0.0, 1.0]));
+        assert!(recs[0].is_completed());
+        assert!(!recs[1].is_completed());
+        assert_eq!(recs[1].attempts, 1);
+    }
+
+    #[test]
+    fn ranked_retry_rescues_rejected_tasks() {
+        // Two servers; the fast one is memory-tiny, the slow one is big.
+        let mut costs = CostTable::new(2);
+        costs.add_problem(
+            Problem::new("big", 1.0, 1.0, 100.0),
+            vec![
+                Some(PhaseCosts::new(1.0, 10.0, 1.0)),
+                Some(PhaseCosts::new(1.0, 40.0, 1.0)),
+            ],
+        );
+        let servers = vec![
+            ServerSpec::new("fast-tiny", 1000.0, 100.0, 20.0),
+            ServerSpec::new("slow-big", 500.0, 2048.0, 1024.0),
+        ];
+        let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1);
+        cfg.memory = cas_platform::MemoryModel::default();
+        cfg.fault_tolerance = FaultTolerance::RankedRetry { max_attempts: 4 };
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&[0.0, 0.5]));
+        assert!(recs.iter().all(|r| r.is_completed()), "{recs:?}");
+        // The second task was bounced off the fast server to the slow one.
+        let rescued = recs.iter().find(|r| r.attempts > 1).expect("one retry");
+        assert_eq!(rescued.server, Some(ServerId(1)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (costs, servers) = mini_setup();
+        let cfg = ExperimentConfig::paper(HeuristicKind::Msf, 42);
+        let arrivals: Vec<f64> = (0..30).map(|i| i as f64 * 2.0).collect();
+        let a = run_experiment(cfg, costs.clone(), servers.clone(), mini_tasks(&arrivals));
+        let b = run_experiment(cfg, costs, servers, mini_tasks(&arrivals));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_heuristics_run_end_to_end() {
+        let (costs, servers) = mini_setup();
+        let arrivals: Vec<f64> = (0..15).map(|i| i as f64 * 1.5).collect();
+        for kind in HeuristicKind::ALL {
+            let cfg = ExperimentConfig::paper(kind, 5);
+            let recs = run_experiment(
+                cfg,
+                costs.clone(),
+                servers.clone(),
+                mini_tasks(&arrivals),
+            );
+            assert_eq!(recs.len(), 15, "{kind:?}");
+            assert!(
+                recs.iter().all(|r| r.is_completed()),
+                "{kind:?} left tasks unfinished"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_client_link_serialises_transfers() {
+        // Two tasks on two different servers with long input transfers: in
+        // per-server mode their inputs run in parallel (each 10 s); on a
+        // shared client link they halve each other's bandwidth.
+        let mut costs = CostTable::new(2);
+        costs.add_problem(
+            cas_platform::Problem::new("p", 1.0, 0.0, 0.0),
+            vec![
+                Some(PhaseCosts::new(10.0, 1.0, 0.0)),
+                Some(PhaseCosts::new(10.0, 1.0, 0.0)),
+            ],
+        );
+        let servers = vec![
+            ServerSpec::new("a", 1000.0, 512.0, 512.0),
+            ServerSpec::new("b", 1000.0, 512.0, 512.0),
+        ];
+        // MP maps the second task to the idle server, so the two inputs
+        // overlap fully in time.
+        let mut cfg = ExperimentConfig::ideal(cas_core::heuristics::HeuristicKind::Mp, 1);
+        let tasks = mini_tasks(&[0.0, 0.0]);
+        let per_server =
+            run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+        cfg.shared_client_link = true;
+        let shared = run_experiment(cfg, costs, servers, tasks);
+        let end = |recs: &[cas_metrics::TaskRecord]| {
+            recs.iter()
+                .map(|r| r.finished().unwrap().as_secs())
+                .fold(0.0, f64::max)
+        };
+        // Per-server: both inputs 0..10, compute 10..11 → last done at 11.
+        assert!((end(&per_server) - 11.0).abs() < 1e-6, "{per_server:?}");
+        // Shared: both transfers at half rate finish at t=20 → done at 21.
+        assert!((end(&shared) - 21.0).abs() < 1e-6, "{shared:?}");
+    }
+
+    #[test]
+    fn shared_client_link_full_workload_completes() {
+        let (costs, servers) = mini_setup();
+        let arrivals: Vec<f64> = (0..25).map(|i| i as f64 * 1.0).collect();
+        for kind in [
+            cas_core::heuristics::HeuristicKind::Mct,
+            cas_core::heuristics::HeuristicKind::Msf,
+        ] {
+            let mut cfg = ExperimentConfig::paper(kind, 3);
+            cfg.shared_client_link = true;
+            let recs = run_experiment(
+                cfg,
+                costs.clone(),
+                servers.clone(),
+                mini_tasks(&arrivals),
+            );
+            assert!(recs.iter().all(|r| r.is_completed()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn load_reports_influence_mct() {
+        // With long report periods and no corrections the MCT would dogpile
+        // the fast server; the assignment correction spreads tasks.
+        let (costs, servers) = mini_setup();
+        let mut cfg = ExperimentConfig::ideal(HeuristicKind::Mct, 2);
+        cfg.load_report_period = 1e5; // reports effectively never arrive
+        let arrivals: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&arrivals));
+        let on_slow = recs
+            .iter()
+            .filter(|r| r.server == Some(ServerId(1)))
+            .count();
+        assert!(
+            on_slow > 0,
+            "assignment-bump correction must steer some tasks to the slow server"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The event vocabulary of the grid world.
+
+use cas_platform::{Phase, ServerId};
+use cas_sim::Generation;
+
+/// Events driving the client-agent-server simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridEvent {
+    /// A client submits task `idx` (index into the metatask) to the agent.
+    Submit {
+        /// Index into the experiment's task list.
+        idx: usize,
+    },
+    /// The agent runs the heuristic for task `idx`.
+    Schedule {
+        /// Index into the experiment's task list.
+        idx: usize,
+        /// Placement attempt number (1 = first try).
+        attempt: u32,
+        /// Servers that already refused this task (excluded from the
+        /// candidate list on retries).
+        excluded: Vec<ServerId>,
+    },
+    /// A phase-completion check on one server resource. Stale events
+    /// (generation mismatch) are discarded: membership changed since this
+    /// was scheduled.
+    PhaseDone {
+        /// The server whose resource fired.
+        server: ServerId,
+        /// Which of the three stage resources.
+        phase: Phase,
+        /// Generation of the resource when the event was scheduled.
+        gen: Generation,
+    },
+    /// A transfer-completion check on the shared client link (only used
+    /// when `ExperimentConfig::shared_client_link` is on).
+    ClientLinkDone {
+        /// Generation of the client link when the event was scheduled.
+        gen: Generation,
+    },
+    /// Periodic monitor report from a server to the agent.
+    LoadReport {
+        /// The reporting server.
+        server: ServerId,
+    },
+    /// Periodic redraw of a server's ground-truth speed noise.
+    NoiseRedraw {
+        /// The affected server.
+        server: ServerId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        let a = GridEvent::Submit { idx: 1 };
+        let b = GridEvent::Submit { idx: 1 };
+        assert_eq!(a, b);
+        let c = GridEvent::LoadReport {
+            server: ServerId(0),
+        };
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cas-middleware — the client-agent-server system, simulated end to end
+//!
+//! This crate is the substitute for the paper's real NetSolve deployment
+//! (see DESIGN.md §2). It wires the platform substrate, the HTM and a
+//! heuristic into one discrete-event world:
+//!
+//! * **clients** submit the metatask's requests at their arrival dates and
+//!   retry on rejection (NetSolve's fault tolerance);
+//! * the **agent** keeps the information model (static costs + corrected
+//!   load reports) and the HTM, and runs the configured heuristic for every
+//!   request;
+//! * **servers** execute tasks through the three phases on fair-shared
+//!   resources, reserve and release memory, thrash and collapse, run load
+//!   monitors and send periodic reports.
+//!
+//! The ground truth deliberately differs from the agent's model: CPU and
+//! link speeds carry multiplicative log-normal noise redrawn periodically,
+//! and the agent's load picture is stale between reports. The HTM's ≈3 %
+//! prediction error (Table 1) *emerges* from that asymmetry rather than
+//! being injected.
+//!
+//! [`runner`] fans replications out over worker threads (crossbeam scoped
+//! threads; results behind a `parking_lot::Mutex`) — the experiments of
+//! Tables 5–8 run dozens of seed × heuristic combinations.
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod runner;
+pub mod validate;
+
+pub use config::{ExperimentConfig, FaultTolerance};
+pub use engine::{run_experiment, GridWorld};
+pub use event::GridEvent;
+pub use runner::{run_heuristic_matrix, run_replications, MatrixResult};
+pub use validate::{validation_report, ValidationRow};

@@ -1,0 +1,256 @@
+//! Static cost information: phase costs per (problem, server).
+//!
+//! The paper measured each task type on each unloaded server and "placed
+//! [the costs] in the NetSolve code" (§5.1) — the agent's static information
+//! is a lookup table, not a model. [`CostTable`] is that table. For synthetic
+//! workloads and sweeps, [`CostTable::from_rates`] derives a table from
+//! abstract work volumes and machine rates instead.
+
+use crate::ids::{ProblemId, ServerId};
+use crate::task::{Phase, Problem};
+use serde::{Deserialize, Serialize};
+
+/// The three phase costs of one problem on one *unloaded* server, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCosts {
+    /// Input-data transfer time.
+    pub input: f64,
+    /// Computation time.
+    pub compute: f64,
+    /// Output-data transfer time.
+    pub output: f64,
+}
+
+impl PhaseCosts {
+    /// Convenience constructor.
+    pub fn new(input: f64, compute: f64, output: f64) -> Self {
+        let c = PhaseCosts {
+            input,
+            compute,
+            output,
+        };
+        assert!(
+            input >= 0.0 && compute >= 0.0 && output >= 0.0,
+            "phase costs must be non-negative: {c:?}"
+        );
+        c
+    }
+
+    /// Total unloaded duration `d(i,j)` — the denominator of the paper's
+    /// stretch metric.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.input + self.compute + self.output
+    }
+
+    /// Cost of a single phase.
+    #[inline]
+    pub fn phase(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Input => self.input,
+            Phase::Compute => self.compute,
+            Phase::Output => self.output,
+        }
+    }
+}
+
+/// Static information: problems, and phase costs per (problem, server).
+///
+/// `None` for a (problem, server) pair means the server did not register
+/// that problem — the agent must not map such tasks there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostTable {
+    problems: Vec<Problem>,
+    n_servers: usize,
+    /// Row-major: `costs[problem * n_servers + server]`.
+    costs: Vec<Option<PhaseCosts>>,
+}
+
+impl CostTable {
+    /// Creates a table for `n_servers` servers with no problems yet.
+    pub fn new(n_servers: usize) -> Self {
+        CostTable {
+            problems: Vec::new(),
+            n_servers,
+            costs: Vec::new(),
+        }
+    }
+
+    /// Number of servers the table covers.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Number of registered problems.
+    pub fn n_problems(&self) -> usize {
+        self.problems.len()
+    }
+
+    /// Registers a problem with its per-server costs.
+    ///
+    /// `per_server[s] = Some(costs)` if server `s` can solve it.
+    ///
+    /// # Panics
+    /// Panics if `per_server.len() != n_servers`.
+    pub fn add_problem(
+        &mut self,
+        problem: Problem,
+        per_server: Vec<Option<PhaseCosts>>,
+    ) -> ProblemId {
+        assert_eq!(
+            per_server.len(),
+            self.n_servers,
+            "cost row must cover every server"
+        );
+        let id = ProblemId(self.problems.len() as u32);
+        self.problems.push(problem);
+        self.costs.extend(per_server);
+        id
+    }
+
+    /// Registers a problem solvable by every server with the same costs.
+    pub fn add_uniform_problem(&mut self, problem: Problem, costs: PhaseCosts) -> ProblemId {
+        self.add_problem(problem, vec![Some(costs); self.n_servers])
+    }
+
+    /// The problem description.
+    pub fn problem(&self, id: ProblemId) -> &Problem {
+        &self.problems[id.index()]
+    }
+
+    /// All problems, indexable by `ProblemId::index`.
+    pub fn problems(&self) -> &[Problem] {
+        &self.problems
+    }
+
+    /// Phase costs of `problem` on `server`, or `None` if that server
+    /// cannot solve it.
+    pub fn costs(&self, problem: ProblemId, server: ServerId) -> Option<PhaseCosts> {
+        self.costs[problem.index() * self.n_servers + server.index()]
+    }
+
+    /// Servers able to solve `problem` — the candidate set in every
+    /// heuristic's "for each server that can resolve the new submitted
+    /// problem" loop (Figs. 2–4).
+    pub fn solvers(&self, problem: ProblemId) -> Vec<ServerId> {
+        (0..self.n_servers as u32)
+            .map(ServerId)
+            .filter(|&s| self.costs(problem, s).is_some())
+            .collect()
+    }
+
+    /// The unloaded duration `d` of `problem` on `server`, if solvable.
+    pub fn unloaded_duration(&self, problem: ProblemId, server: ServerId) -> Option<f64> {
+        self.costs(problem, server).map(|c| c.total())
+    }
+
+    /// Derives a table from abstract volumes and machine rates: for each
+    /// problem give `(work_ops, input_mb, output_mb, mem_mb)`; for each
+    /// server `(ops_per_sec, mbps, latency_s)`. Transfer cost is
+    /// `latency + mb / mbps` (the NetSolve communication model of §2.2);
+    /// compute cost is `ops / ops_per_sec`.
+    pub fn from_rates(
+        problems: &[(String, f64, f64, f64, f64)],
+        servers: &[(f64, f64, f64)],
+    ) -> Self {
+        let mut table = CostTable::new(servers.len());
+        for (name, ops, input_mb, output_mb, mem_mb) in problems {
+            let problem = Problem::new(name.clone(), *input_mb, *output_mb, *mem_mb);
+            let row = servers
+                .iter()
+                .map(|&(ops_per_sec, mbps, latency)| {
+                    Some(PhaseCosts::new(
+                        latency + input_mb / mbps,
+                        ops / ops_per_sec,
+                        latency + output_mb / mbps,
+                    ))
+                })
+                .collect();
+            table.add_problem(problem, row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> CostTable {
+        let mut t = CostTable::new(2);
+        t.add_problem(
+            Problem::new("a", 10.0, 5.0, 100.0),
+            vec![
+                Some(PhaseCosts::new(4.0, 149.0, 1.0)),
+                Some(PhaseCosts::new(3.0, 18.0, 1.0)),
+            ],
+        );
+        t.add_problem(
+            Problem::new("b", 1.0, 1.0, 0.0),
+            vec![None, Some(PhaseCosts::new(0.1, 16.0, 0.05))],
+        );
+        t
+    }
+
+    #[test]
+    fn lookup() {
+        let t = sample_table();
+        let c = t.costs(ProblemId(0), ServerId(0)).unwrap();
+        assert_eq!(c.compute, 149.0);
+        assert_eq!(c.total(), 154.0);
+        assert!(t.costs(ProblemId(1), ServerId(0)).is_none());
+    }
+
+    #[test]
+    fn solvers_filters_unregistered() {
+        let t = sample_table();
+        assert_eq!(t.solvers(ProblemId(0)), vec![ServerId(0), ServerId(1)]);
+        assert_eq!(t.solvers(ProblemId(1)), vec![ServerId(1)]);
+    }
+
+    #[test]
+    fn unloaded_duration() {
+        let t = sample_table();
+        assert_eq!(t.unloaded_duration(ProblemId(0), ServerId(1)), Some(22.0));
+        assert_eq!(t.unloaded_duration(ProblemId(1), ServerId(0)), None);
+    }
+
+    #[test]
+    fn phase_accessor() {
+        let c = PhaseCosts::new(1.0, 2.0, 3.0);
+        assert_eq!(c.phase(Phase::Input), 1.0);
+        assert_eq!(c.phase(Phase::Compute), 2.0);
+        assert_eq!(c.phase(Phase::Output), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every server")]
+    fn wrong_row_length_panics() {
+        let mut t = CostTable::new(3);
+        t.add_problem(Problem::new("x", 0.0, 0.0, 0.0), vec![None]);
+    }
+
+    #[test]
+    fn from_rates_netsolve_model() {
+        // 1000 ops at 100 ops/s = 10 s compute; 10 MB at 5 MB/s + 0.1 s
+        // latency = 2.1 s input.
+        let t = CostTable::from_rates(
+            &[("p".into(), 1000.0, 10.0, 5.0, 0.0)],
+            &[(100.0, 5.0, 0.1)],
+        );
+        let c = t.costs(ProblemId(0), ServerId(0)).unwrap();
+        assert!((c.input - 2.1).abs() < 1e-12);
+        assert!((c.compute - 10.0).abs() < 1e-12);
+        assert!((c.output - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_problem_everywhere() {
+        let mut t = CostTable::new(4);
+        let id = t.add_uniform_problem(
+            Problem::new("u", 0.0, 0.0, 0.0),
+            PhaseCosts::new(0.0, 5.0, 0.0),
+        );
+        assert_eq!(t.solvers(id).len(), 4);
+    }
+}

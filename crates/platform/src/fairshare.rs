@@ -1,0 +1,481 @@
+//! The shared-resource model of §2.3.
+//!
+//! "We consider a simple but realistic model when a server executes `n`
+//! tasks: each task is given `1/n` of the total power of the resource."
+//!
+//! [`FairShareResource`] implements exactly that, for any resource whose
+//! activities carry a scalar amount of remaining *work*: a CPU (work =
+//! seconds of dedicated compute at nominal speed), a network link (work = MB
+//! to move). Between membership changes the progress rate is constant, so
+//! the state only needs updating at event boundaries — the same
+//! piecewise-constant integration the paper's HTM performs ("all tasks
+//! mapped on a given server progress at the same speed until a new task
+//! arrives or a running task finishes").
+//!
+//! The resource does not own any event scheduling. The caller asks
+//! [`FairShareResource::next_completion`] after every membership or capacity
+//! change and (re)schedules its completion event, using the embedded
+//! [`Generation`] stamp to invalidate the previously scheduled one.
+
+use cas_sim::{Generation, SimTime};
+
+/// One activity inside the resource.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry<K> {
+    key: K,
+    /// Work still to do, in resource units (CPU-seconds, MB, …).
+    remaining: f64,
+}
+
+/// A capacity shared equally among its current activities.
+///
+/// `K` identifies activities (typically a `TaskId`). Keys must be unique
+/// among concurrently running activities.
+#[derive(Debug, Clone)]
+pub struct FairShareResource<K> {
+    entries: Vec<Entry<K>>,
+    /// Work units delivered per second in total, split equally.
+    capacity: f64,
+    /// Last time `advance` integrated progress up to.
+    updated_at: SimTime,
+    /// Bumped on every change that invalidates previously computed
+    /// completion times.
+    generation: Generation,
+}
+
+impl<K: Copy + PartialEq + std::fmt::Debug> FairShareResource<K> {
+    /// Creates an empty resource with the given total capacity
+    /// (work units per second).
+    ///
+    /// # Panics
+    /// Panics unless `capacity > 0` and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive, got {capacity}"
+        );
+        FairShareResource {
+            entries: Vec::new(),
+            capacity,
+            updated_at: SimTime::ZERO,
+            generation: Generation::default(),
+        }
+    }
+
+    /// Number of running activities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when idle.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current total capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The generation stamp valid for events derived from the current state.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Keys of all running activities.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.iter().map(|e| e.key)
+    }
+
+    /// Remaining work of `key`, if running.
+    pub fn remaining(&self, key: K) -> Option<f64> {
+        self.entries.iter().find(|e| e.key == key).map(|e| e.remaining)
+    }
+
+    /// Per-activity progress rate right now (capacity / n), or the full
+    /// capacity when idle.
+    pub fn rate_per_activity(&self) -> f64 {
+        if self.entries.is_empty() {
+            self.capacity
+        } else {
+            self.capacity / self.entries.len() as f64
+        }
+    }
+
+    /// Integrates progress up to `now`. Idempotent; must be called (and is
+    /// called internally) before any state change.
+    ///
+    /// # Panics
+    /// Panics if `now` is before the last update — the resource cannot run
+    /// backwards.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.updated_at,
+            "resource cannot rewind: updated_at={:?}, now={now:?}",
+            self.updated_at
+        );
+        if self.entries.is_empty() || now == self.updated_at {
+            self.updated_at = now;
+            return;
+        }
+        let dt = (now - self.updated_at).as_secs();
+        let rate = self.capacity / self.entries.len() as f64;
+        let done = rate * dt;
+        for e in &mut self.entries {
+            // Clamp: float rounding may overshoot the exact completion
+            // instant by a hair; remaining work is never negative.
+            e.remaining = (e.remaining - done).max(0.0);
+        }
+        self.updated_at = now;
+    }
+
+    /// Adds an activity with `work` units to do. Advances to `now` first and
+    /// invalidates previously computed completions.
+    ///
+    /// # Panics
+    /// Panics if `work` is negative/non-finite or the key is already running.
+    pub fn add(&mut self, now: SimTime, key: K, work: f64) {
+        assert!(work >= 0.0 && work.is_finite(), "work must be >= 0, got {work}");
+        self.advance(now);
+        assert!(
+            !self.entries.iter().any(|e| e.key == key),
+            "activity {key:?} already running"
+        );
+        self.entries.push(Entry {
+            key,
+            remaining: work,
+        });
+        self.generation.bump();
+    }
+
+    /// Removes an activity, returning its remaining work (0 when it was
+    /// complete). Advances to `now` first.
+    ///
+    /// Returns `None` if the key was not running.
+    pub fn remove(&mut self, now: SimTime, key: K) -> Option<f64> {
+        self.advance(now);
+        let idx = self.entries.iter().position(|e| e.key == key)?;
+        let entry = self.entries.remove(idx);
+        self.generation.bump();
+        Some(entry.remaining)
+    }
+
+    /// Changes the total capacity (CPU noise redraws, thrashing slowdown).
+    /// Advances to `now` under the old capacity first.
+    pub fn set_capacity(&mut self, now: SimTime, capacity: f64) {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive, got {capacity}"
+        );
+        self.advance(now);
+        if capacity != self.capacity {
+            self.capacity = capacity;
+            self.generation.bump();
+        }
+    }
+
+    /// The next activity to finish and its completion time, given the
+    /// current membership and capacity, or `None` when idle.
+    ///
+    /// Ties (identical remaining work) resolve to the earliest-added
+    /// activity, keeping behaviour deterministic.
+    pub fn next_completion(&self, now: SimTime) -> Option<(K, SimTime)> {
+        debug_assert!(now >= self.updated_at);
+        let lag = (now - self.updated_at).as_secs();
+        let rate = self.capacity / self.entries.len().max(1) as f64;
+        self.entries
+            .iter()
+            .min_by(|a, b| a.remaining.partial_cmp(&b.remaining).unwrap())
+            .map(|e| {
+                let dt = ((e.remaining / rate) - lag).max(0.0);
+                (e.key, now + SimTime::from_secs(dt))
+            })
+    }
+
+    /// Completion times of *all* current activities assuming no further
+    /// membership changes — the core of the HTM's Gantt construction.
+    /// Returned in completion order.
+    pub fn drain_schedule(&self, now: SimTime) -> Vec<(K, SimTime)> {
+        let mut remaining: Vec<(K, f64)> = {
+            // Simulate the resource forward privately.
+            let lag = (now - self.updated_at).as_secs();
+            let rate = self.capacity / self.entries.len().max(1) as f64;
+            self.entries
+                .iter()
+                .map(|e| (e.key, (e.remaining - rate * lag).max(0.0)))
+                .collect()
+        };
+        remaining.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let mut out = Vec::with_capacity(remaining.len());
+        let mut t = now;
+        let mut done_work = 0.0;
+        for i in 0..remaining.len() {
+            let n_active = (remaining.len() - i) as f64;
+            let rate = self.capacity / n_active;
+            let step_work = remaining[i].1 - done_work;
+            t += SimTime::from_secs((step_work / rate).max(0.0));
+            done_work = remaining[i].1;
+            out.push((remaining[i].0, t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_activity_runs_at_full_capacity() {
+        let mut r = FairShareResource::new(2.0);
+        r.add(t(0.0), 1u32, 10.0);
+        let (k, when) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(when, t(5.0)); // 10 units at 2 units/s
+    }
+
+    #[test]
+    fn two_activities_share_equally() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(0.0), 1u32, 10.0);
+        r.add(t(0.0), 2u32, 10.0);
+        // Each progresses at 0.5/s → both finish at t=20; tie → first added.
+        let (k, when) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(when, t(20.0));
+    }
+
+    #[test]
+    fn paper_usefulness_example() {
+        // §2.3: at t=0 two identical servers get tasks of 100 s and 200 s.
+        // At t=80 the remaining durations are 20 s and 120 s.
+        let mut s1 = FairShareResource::new(1.0);
+        let mut s2 = FairShareResource::new(1.0);
+        s1.add(t(0.0), 1u32, 100.0);
+        s2.add(t(0.0), 2u32, 200.0);
+        s1.advance(t(80.0));
+        s2.advance(t(80.0));
+        assert!((s1.remaining(1).unwrap() - 20.0).abs() < 1e-9);
+        assert!((s2.remaining(2).unwrap() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_mid_flight_delays_running_task() {
+        // Fig. 1 mechanics: T1 runs alone, T3 arrives, both share.
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(0.0), 1u32, 100.0);
+        r.advance(t(50.0)); // T1 half done
+        r.add(t(50.0), 3u32, 25.0);
+        // T3 finishes first: 25 units at 0.5/s = 50 s → t=100.
+        let (k, when) = r.next_completion(t(50.0)).unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(when, t(100.0));
+        r.remove(t(100.0), 3);
+        // T1 had 50 left at t=50, did 25 during sharing, 25 left at full rate.
+        let (k, when) = r.next_completion(t(100.0)).unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(when, t(125.0));
+        // Perturbation of T3 on T1 = 125 - 100 = 25 s: half of T3's 50 s of
+        // shared residence, exactly the model's prediction.
+    }
+
+    #[test]
+    fn drain_schedule_matches_event_by_event() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(0.0), 1u32, 30.0);
+        r.add(t(0.0), 2u32, 10.0);
+        r.add(t(0.0), 3u32, 20.0);
+        let sched = r.drain_schedule(t(0.0));
+        // Event-by-event: 3 tasks at 1/3 each. T2 (10) finishes at t=30.
+        // Then T3 has 10 left, T1 has 20 left, rate 1/2: T3 at 30+20=50,
+        // T1 at 50 + 10/1 ... wait: at t=30, T1 done 10 → 20 left, T3 done
+        // 10 → 10 left. Rate 1/2: T3 finishes +20 → t=50 (T1 done 10 more,
+        // 10 left). T1 alone: +10 → t=60.
+        assert_eq!(sched[0], (2, t(30.0)));
+        assert_eq!(sched[1], (3, t(50.0)));
+        assert_eq!(sched[2], (1, t(60.0)));
+    }
+
+    #[test]
+    fn drain_schedule_respects_unadvanced_lag() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(0.0), 1u32, 10.0);
+        // Query at t=4 without advancing: completion must still be t=10.
+        let sched = r.drain_schedule(t(4.0));
+        assert_eq!(sched, vec![(1, t(10.0))]);
+    }
+
+    #[test]
+    fn capacity_change_rescales_rates() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(0.0), 1u32, 10.0);
+        r.set_capacity(t(5.0), 0.5); // 5 units left, now at 0.5/s
+        let (_, when) = r.next_completion(t(5.0)).unwrap();
+        assert_eq!(when, t(15.0));
+    }
+
+    #[test]
+    fn remove_returns_remaining_work() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(0.0), 1u32, 10.0);
+        r.add(t(0.0), 2u32, 10.0);
+        let left = r.remove(t(10.0), 2).unwrap();
+        assert!((left - 5.0).abs() < 1e-9);
+        assert_eq!(r.remove(t(10.0), 2), None);
+    }
+
+    #[test]
+    fn generation_bumps_on_changes() {
+        let mut r = FairShareResource::new(1.0);
+        let g0 = r.generation();
+        r.add(t(0.0), 1u32, 1.0);
+        let g1 = r.generation();
+        assert_ne!(g0, g1);
+        r.set_capacity(t(0.0), 2.0);
+        assert_ne!(g1, r.generation());
+        // Setting the same capacity is not a change.
+        let g2 = r.generation();
+        r.set_capacity(t(0.0), 2.0);
+        assert_eq!(g2, r.generation());
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(3.0), 1u32, 0.0);
+        let (k, when) = r.next_completion(t(3.0)).unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(when, t(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn rewind_panics() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(5.0), 1u32, 1.0);
+        r.advance(t(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already running")]
+    fn duplicate_key_panics() {
+        let mut r = FairShareResource::new(1.0);
+        r.add(t(0.0), 1u32, 1.0);
+        r.add(t(0.0), 1u32, 1.0);
+    }
+
+    #[test]
+    fn idle_resource_has_no_completion() {
+        let r: FairShareResource<u32> = FairShareResource::new(1.0);
+        assert!(r.next_completion(t(0.0)).is_none());
+        assert!(r.drain_schedule(t(0.0)).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    proptest! {
+        /// Work is conserved: running a set of activities to completion via
+        /// next_completion/remove takes total time = total work / capacity
+        /// (the resource is never idle while work remains).
+        #[test]
+        fn work_conservation(
+            works in proptest::collection::vec(0.1f64..100.0, 1..20),
+            capacity in 0.1f64..10.0,
+        ) {
+            let mut r = FairShareResource::new(capacity);
+            let total: f64 = works.iter().sum();
+            for (i, &w) in works.iter().enumerate() {
+                r.add(t(0.0), i as u32, w);
+            }
+            let mut now = t(0.0);
+            while let Some((k, when)) = r.next_completion(now) {
+                now = when;
+                r.remove(now, k);
+            }
+            let expected = total / capacity;
+            prop_assert!((now.as_secs() - expected).abs() < 1e-6 * expected.max(1.0),
+                "finished at {} expected {}", now.as_secs(), expected);
+        }
+
+        /// drain_schedule agrees with event-by-event execution.
+        #[test]
+        fn drain_matches_stepping(
+            works in proptest::collection::vec(0.1f64..50.0, 1..15),
+        ) {
+            let mut r = FairShareResource::new(1.0);
+            for (i, &w) in works.iter().enumerate() {
+                r.add(t(0.0), i as u32, w);
+            }
+            let predicted = r.drain_schedule(t(0.0));
+            let mut stepped = Vec::new();
+            let mut now = t(0.0);
+            while let Some((k, when)) = r.next_completion(now) {
+                now = when;
+                r.remove(now, k);
+                stepped.push((k, now));
+            }
+            prop_assert_eq!(predicted.len(), stepped.len());
+            for (p, s) in predicted.iter().zip(&stepped) {
+                prop_assert_eq!(p.0, s.0);
+                prop_assert!(p.1.approx_eq(s.1, 1e-6));
+            }
+        }
+
+        /// Completion order equals ascending remaining-work order.
+        #[test]
+        fn completion_order_is_work_order(
+            works in proptest::collection::vec(0.1f64..50.0, 2..15),
+        ) {
+            let mut r = FairShareResource::new(2.0);
+            for (i, &w) in works.iter().enumerate() {
+                r.add(t(0.0), i as u32, w);
+            }
+            let sched = r.drain_schedule(t(0.0));
+            let mut prev = f64::NEG_INFINITY;
+            for (k, _) in sched {
+                let w = works[k as usize];
+                prop_assert!(w >= prev);
+                prev = w;
+            }
+        }
+
+        /// Adding an activity never makes any existing activity finish
+        /// earlier (perturbations are non-negative — the invariant the MP
+        /// heuristic relies on).
+        #[test]
+        fn perturbation_nonnegative(
+            works in proptest::collection::vec(1.0f64..50.0, 1..10),
+            new_work in 1.0f64..50.0,
+            arrival_frac in 0.0f64..1.0,
+        ) {
+            let mut base = FairShareResource::new(1.0);
+            for (i, &w) in works.iter().enumerate() {
+                base.add(t(0.0), i as u32, w);
+            }
+            let before: Vec<(u32, SimTime)> = base.drain_schedule(t(0.0));
+            let arrival = t(arrival_frac * works.iter().cloned().fold(0.0, f64::max));
+            let mut with_new = base.clone();
+            with_new.advance(arrival);
+            with_new.add(arrival, 999, new_work);
+            let after = with_new.drain_schedule(arrival);
+            for (k, t_before) in before {
+                if let Some(&(_, t_after)) = after.iter().find(|(kk, _)| *kk == k) {
+                    prop_assert!(t_after >= t_before - SimTime::from_secs(1e-9),
+                        "task {k} finished earlier after insertion");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! NWS-flavoured forecasters.
+//!
+//! §2.2 notes the agent "may also use monitors beforehand installed such as
+//! NWS". The Network Weather Service's key idea is to run a family of cheap
+//! predictors over the measurement history and, for each new query, use the
+//! one whose *past* predictions had the lowest error. We implement a small
+//! ensemble — last value, running mean, sliding-window mean, sliding-window
+//! median — plus the [`Adaptive`] best-of selector. The baseline MCT
+//! configuration can optionally smooth its load signal through one of these
+//! (an ablation knob; the paper's NetSolve used raw reports).
+
+use std::collections::VecDeque;
+
+/// A one-step-ahead forecaster over a scalar series.
+pub trait Forecaster {
+    /// Incorporates a new measurement.
+    fn update(&mut self, value: f64);
+    /// Predicts the next value; `None` until enough history exists.
+    fn predict(&self) -> Option<f64>;
+    /// Short human-readable name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the last observed value.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl Forecaster for LastValue {
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Predicts the mean of all observations.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl Forecaster for RunningMean {
+    fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+    fn predict(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+    fn name(&self) -> &'static str {
+        "running-mean"
+    }
+}
+
+/// Predicts the mean of the last `w` observations.
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    window: VecDeque<f64>,
+    w: usize,
+}
+
+impl SlidingMean {
+    /// # Panics
+    /// Panics if `w == 0`.
+    pub fn new(w: usize) -> Self {
+        assert!(w > 0);
+        SlidingMean {
+            window: VecDeque::with_capacity(w),
+            w,
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn update(&mut self, value: f64) {
+        if self.window.len() == self.w {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "sliding-mean"
+    }
+}
+
+/// Predicts the median of the last `w` observations — robust to the load
+/// spikes a briefly-thrashing server produces.
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    window: VecDeque<f64>,
+    w: usize,
+}
+
+impl SlidingMedian {
+    /// # Panics
+    /// Panics if `w == 0`.
+    pub fn new(w: usize) -> Self {
+        assert!(w > 0);
+        SlidingMedian {
+            window: VecDeque::with_capacity(w),
+            w,
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn update(&mut self, value: f64) {
+        if self.window.len() == self.w {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = sorted.len() / 2;
+        Some(if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        })
+    }
+    fn name(&self) -> &'static str {
+        "sliding-median"
+    }
+}
+
+/// NWS-style adaptive ensemble: tracks each member's cumulative absolute
+/// one-step prediction error and answers with the current best member's
+/// prediction.
+pub struct Adaptive {
+    members: Vec<Box<dyn Forecaster + Send>>,
+    errors: Vec<f64>,
+}
+
+impl Adaptive {
+    /// The standard ensemble: last value, running mean, sliding mean(8),
+    /// sliding median(8).
+    pub fn standard() -> Self {
+        Adaptive::new(vec![
+            Box::new(LastValue::default()),
+            Box::new(RunningMean::default()),
+            Box::new(SlidingMean::new(8)),
+            Box::new(SlidingMedian::new(8)),
+        ])
+    }
+
+    /// Builds an ensemble from arbitrary members.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Forecaster + Send>>) -> Self {
+        assert!(!members.is_empty());
+        let n = members.len();
+        Adaptive {
+            members,
+            errors: vec![0.0; n],
+        }
+    }
+
+    /// Name of the member that currently has the lowest cumulative error.
+    pub fn best_member(&self) -> &'static str {
+        let (i, _) = self
+            .errors
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty ensemble");
+        self.members[i].name()
+    }
+}
+
+impl Forecaster for Adaptive {
+    fn update(&mut self, value: f64) {
+        for (m, err) in self.members.iter_mut().zip(&mut self.errors) {
+            if let Some(p) = m.predict() {
+                *err += (p - value).abs();
+            }
+            m.update(value);
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        let (i, _) = self
+            .errors
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+        self.members[i].predict()
+    }
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks() {
+        let mut f = LastValue::default();
+        assert_eq!(f.predict(), None);
+        f.update(3.0);
+        f.update(7.0);
+        assert_eq!(f.predict(), Some(7.0));
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut f = RunningMean::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(2.5));
+    }
+
+    #[test]
+    fn sliding_mean_window() {
+        let mut f = SlidingMean::new(2);
+        for v in [10.0, 1.0, 3.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(2.0)); // only (1, 3) remain
+    }
+
+    #[test]
+    fn sliding_median_odd_even() {
+        let mut f = SlidingMedian::new(5);
+        for v in [5.0, 1.0, 9.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(5.0));
+        f.update(2.0);
+        // window = [5,1,9,2] → sorted [1,2,5,9] → (2+5)/2
+        assert_eq!(f.predict(), Some(3.5));
+    }
+
+    #[test]
+    fn median_robust_to_spike() {
+        let mut f = SlidingMedian::new(5);
+        for v in [1.0, 1.0, 100.0, 1.0, 1.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(1.0));
+    }
+
+    #[test]
+    fn adaptive_prefers_last_value_on_trend() {
+        // A steadily rising series: last-value beats any mean.
+        let mut f = Adaptive::standard();
+        for i in 0..50 {
+            f.update(i as f64);
+        }
+        assert_eq!(f.best_member(), "last-value");
+        assert_eq!(f.predict(), Some(49.0));
+    }
+
+    #[test]
+    fn adaptive_prefers_mean_on_noise() {
+        // Alternating 0/10: last-value is always 10 off; means hover at 5.
+        let mut f = Adaptive::standard();
+        for i in 0..60 {
+            f.update(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        assert_ne!(f.best_member(), "last-value");
+        let p = f.predict().unwrap();
+        assert!((p - 5.0).abs() < 1.5, "p = {p}");
+    }
+
+    #[test]
+    fn adaptive_empty_history_is_none() {
+        let f = Adaptive::standard();
+        assert_eq!(f.predict(), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Newtyped identifiers.
+//!
+//! Plain `u32`/`u64` indices would compile fine everywhere — which is exactly
+//! the problem: a server index passed where a problem index is expected is a
+//! silent wrong answer in a simulator. Newtypes make those mix-ups type
+//! errors, at zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a computational server registered with the agent.
+///
+/// Values are dense indices (0..n_servers) assigned at platform
+/// construction, so they double as `Vec` indices via [`ServerId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The dense index of this server.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifies a problem type (e.g. "matmul-1500", "waste-cpu-400").
+///
+/// In the client-agent-server model, servers register the list of problems
+/// they can solve; tasks reference the problem they instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProblemId(pub u32);
+
+impl ProblemId {
+    /// The dense index of this problem.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProblemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies one submitted task (one client request).
+///
+/// Unique across the whole experiment; assigned in submission order, which
+/// makes it usable as the paper's "local number" ordering too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// The dense index of this task.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ServerId(3).to_string(), "S3");
+        assert_eq!(ProblemId(1).to_string(), "P1");
+        assert_eq!(TaskId(42).to_string(), "T42");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(ServerId(7).index(), 7);
+        assert_eq!(ProblemId(2).index(), 2);
+        assert_eq!(TaskId(9).index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(ServerId(0) < ServerId(1));
+    }
+}

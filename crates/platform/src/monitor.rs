@@ -1,0 +1,201 @@
+//! Load monitoring: the dynamic information of §2.2.
+//!
+//! NetSolve servers run their own monitors and periodically report to the
+//! agent. The quantity reported is the UNIX load average — an exponentially
+//! damped moving average of the run-queue length. Two consequences matter
+//! for the experiments:
+//!
+//! * the load average *lags* the true run-queue (a one-minute time constant
+//!   means a just-assigned task barely moves the number), and
+//! * reports arrive *periodically*, so the agent's picture is stale between
+//!   reports.
+//!
+//! Both effects blur MCT's decisions ("as there are dynamic information and
+//! as the evolution of the load average is not necessarily exactly the same
+//! on the two machines, the decision is blurred", §2.3) and are exactly what
+//! the HTM eliminates. NetSolve compensates with two *load-correction
+//! mechanisms* (§5.3), implemented in [`LoadReport`]:
+//! an assignment bump (the agent notes a task it just mapped before the next
+//! report shows it) and a completion message (the server tells the agent a
+//! task finished).
+
+use crate::ids::ServerId;
+use cas_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Exponentially damped load average, UNIX style.
+///
+/// `load(t + dt) = load(t) * exp(-dt/tau) + n * (1 - exp(-dt/tau))`
+/// where `n` is the current run-queue length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadAverage {
+    tau: f64,
+    value: f64,
+    updated_at: SimTime,
+}
+
+impl LoadAverage {
+    /// Creates a monitor with time constant `tau` seconds (UNIX's 1-minute
+    /// average uses `tau = 60`).
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite());
+        LoadAverage {
+            tau,
+            value: 0.0,
+            updated_at: SimTime::ZERO,
+        }
+    }
+
+    /// Advances to `now` with the run-queue length that has held since the
+    /// last update, then returns the damped value.
+    pub fn observe(&mut self, now: SimTime, run_queue_len: usize) -> f64 {
+        assert!(now >= self.updated_at, "monitor cannot rewind");
+        let dt = (now - self.updated_at).as_secs();
+        let decay = (-dt / self.tau).exp();
+        self.value = self.value * decay + run_queue_len as f64 * (1.0 - decay);
+        self.updated_at = now;
+        self.value
+    }
+
+    /// Current damped value without advancing.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// The agent's record of one server's dynamic information.
+///
+/// Combines the last periodic report with NetSolve's two load-correction
+/// mechanisms: a per-assignment bump and completion notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Which server this describes.
+    pub server: ServerId,
+    /// Load average carried by the last periodic report.
+    pub reported_load: f64,
+    /// When that report was generated.
+    pub reported_at: SimTime,
+    /// Tasks the agent has mapped there since the report (correction 1:
+    /// "tries to take note of the allocation of a task to a server").
+    pub assigned_since_report: u32,
+    /// Tasks the server has announced finished since the report
+    /// (correction 2: "a message sent by the server when a task finishes").
+    pub finished_since_report: u32,
+}
+
+impl LoadReport {
+    /// An initial, empty record (idle server, never reported).
+    pub fn initial(server: ServerId) -> Self {
+        LoadReport {
+            server,
+            reported_load: 0.0,
+            reported_at: SimTime::ZERO,
+            assigned_since_report: 0,
+            finished_since_report: 0,
+        }
+    }
+
+    /// Installs a fresh periodic report, resetting both corrections.
+    pub fn refresh(&mut self, now: SimTime, load: f64) {
+        self.reported_load = load;
+        self.reported_at = now;
+        self.assigned_since_report = 0;
+        self.finished_since_report = 0;
+    }
+
+    /// Correction 1: the agent just mapped a task here.
+    pub fn note_assignment(&mut self) {
+        self.assigned_since_report += 1;
+    }
+
+    /// Correction 2: the server says a task finished.
+    pub fn note_completion(&mut self) {
+        self.finished_since_report += 1;
+    }
+
+    /// The agent's best estimate of the current load: last reported value
+    /// plus assignments, minus completions, floored at zero.
+    pub fn corrected_load(&self) -> f64 {
+        (self.reported_load + self.assigned_since_report as f64
+            - self.finished_since_report as f64)
+            .max(0.0)
+    }
+
+    /// Age of the underlying periodic report.
+    pub fn staleness(&self, now: SimTime) -> SimTime {
+        now.saturating_sub(self.reported_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn load_average_converges_to_run_queue() {
+        let mut la = LoadAverage::new(60.0);
+        // Hold run-queue at 3 for a long time: value → 3.
+        let v = la.observe(t(600.0), 3);
+        assert!((v - 3.0).abs() < 1e-3, "v = {v}"); // e^-10 residue
+    }
+
+    #[test]
+    fn load_average_lags() {
+        let mut la = LoadAverage::new(60.0);
+        la.observe(t(600.0), 0); // settle at 0
+        // Run-queue jumps to 4; after one tau it's only ~63% there.
+        let v = la.observe(t(660.0), 4);
+        assert!(v > 2.4 && v < 2.7, "v = {v}");
+    }
+
+    #[test]
+    fn load_average_decays_when_idle() {
+        let mut la = LoadAverage::new(60.0);
+        la.observe(t(600.0), 5);
+        let v = la.observe(t(660.0), 0);
+        assert!(v > 1.7 && v < 2.0, "v = {v}"); // 5 * e^-1 ≈ 1.84
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn monitor_rewind_panics() {
+        let mut la = LoadAverage::new(60.0);
+        la.observe(t(10.0), 1);
+        la.observe(t(5.0), 1);
+    }
+
+    #[test]
+    fn corrections_adjust_reported_load() {
+        let mut r = LoadReport::initial(ServerId(0));
+        r.refresh(t(100.0), 2.0);
+        assert_eq!(r.corrected_load(), 2.0);
+        r.note_assignment();
+        r.note_assignment();
+        assert_eq!(r.corrected_load(), 4.0);
+        r.note_completion();
+        assert_eq!(r.corrected_load(), 3.0);
+    }
+
+    #[test]
+    fn corrected_load_floors_at_zero() {
+        let mut r = LoadReport::initial(ServerId(0));
+        r.refresh(t(0.0), 0.5);
+        r.note_completion();
+        r.note_completion();
+        assert_eq!(r.corrected_load(), 0.0);
+    }
+
+    #[test]
+    fn refresh_resets_corrections() {
+        let mut r = LoadReport::initial(ServerId(1));
+        r.note_assignment();
+        r.refresh(t(50.0), 1.0);
+        assert_eq!(r.assigned_since_report, 0);
+        assert_eq!(r.corrected_load(), 1.0);
+        assert_eq!(r.staleness(t(80.0)), t(30.0));
+    }
+}

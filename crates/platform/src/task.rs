@@ -1,0 +1,131 @@
+//! Problems and tasks: the three-phase task model of §2.3.
+//!
+//! A *problem* is a service type a server can register ("multiply square
+//! matrices of size 1500"). A *task* is one client request instantiating a
+//! problem. Every task goes through three phases on its chosen server:
+//! input-data transfer, computation, output-data transfer (Fig. 1). Phase
+//! durations on an *unloaded* server come from the static cost tables
+//! ([`crate::cost::CostTable`]); on a loaded server they stretch according to
+//! the fair-share model.
+
+use crate::ids::{ProblemId, TaskId};
+use cas_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The three phases of a task's life on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Client → server transfer of input data.
+    Input,
+    /// Computation on the server CPU.
+    Compute,
+    /// Server → client transfer of output data.
+    Output,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Input, Phase::Compute, Phase::Output];
+
+    /// The phase after this one, if any.
+    pub fn next(self) -> Option<Phase> {
+        match self {
+            Phase::Input => Some(Phase::Compute),
+            Phase::Compute => Some(Phase::Output),
+            Phase::Output => None,
+        }
+    }
+}
+
+/// A problem description: the static information the agent knows about a
+/// service type (§2.2 — "size of input and output data as well as the task
+/// cost").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    /// Human-readable name, e.g. `"matmul-1500"`.
+    pub name: String,
+    /// Input data volume in MB (client → server).
+    pub input_mb: f64,
+    /// Output data volume in MB (server → client).
+    pub output_mb: f64,
+    /// Resident memory the computation needs, in MB. Zero for the paper's
+    /// "waste-cpu" task, which was designed to need none.
+    pub mem_mb: f64,
+}
+
+impl Problem {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, input_mb: f64, output_mb: f64, mem_mb: f64) -> Self {
+        let p = Problem {
+            name: name.into(),
+            input_mb,
+            output_mb,
+            mem_mb,
+        };
+        assert!(
+            p.input_mb >= 0.0 && p.output_mb >= 0.0 && p.mem_mb >= 0.0,
+            "problem volumes must be non-negative: {p:?}"
+        );
+        p
+    }
+}
+
+/// One submitted task: a problem instance with an arrival date.
+///
+/// The paper writes `a(i,j)` for the arrival date of the task with local
+/// number `j` on server `i`; we keep a single global record and let the HTM
+/// derive local numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskInstance {
+    /// Globally unique id, assigned in submission order.
+    pub id: TaskId,
+    /// The problem this task instantiates.
+    pub problem: ProblemId,
+    /// When the client submits the request to the agent.
+    pub arrival: SimTime,
+}
+
+impl TaskInstance {
+    /// Convenience constructor.
+    pub fn new(id: TaskId, problem: ProblemId, arrival: SimTime) -> Self {
+        TaskInstance {
+            id,
+            problem,
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_ordering() {
+        assert_eq!(Phase::Input.next(), Some(Phase::Compute));
+        assert_eq!(Phase::Compute.next(), Some(Phase::Output));
+        assert_eq!(Phase::Output.next(), None);
+        assert_eq!(Phase::ALL.len(), 3);
+    }
+
+    #[test]
+    fn problem_construction() {
+        let p = Problem::new("matmul-1200", 21.97, 10.98, 32.95);
+        assert_eq!(p.name, "matmul-1200");
+        assert_eq!(p.input_mb, 21.97);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_volume_rejected() {
+        Problem::new("bad", -1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn task_instance_fields() {
+        let t = TaskInstance::new(TaskId(5), ProblemId(1), SimTime::from_secs(33.0));
+        assert_eq!(t.id, TaskId(5));
+        assert_eq!(t.problem, ProblemId(1));
+        assert_eq!(t.arrival.as_secs(), 33.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! A calendar queue — the classic O(1)-amortised DES event queue
+//! (R. Brown, CACM 1988) — as an alternative to the binary-heap
+//! [`EventQueue`](crate::event::EventQueue).
+//!
+//! Events hash into day buckets by timestamp; dequeue scans the current
+//! day and wraps year by year. With bucket width tuned to the mean event
+//! spacing, both operations are amortised O(1), versus the heap's
+//! O(log n). The queue resizes itself (doubling/halving the bucket count)
+//! when occupancy drifts, and retunes the width from a sample of queued
+//! events, as in Brown's original design.
+//!
+//! Same stability contract as `EventQueue`: equal timestamps dequeue in
+//! insertion order (per-bucket vectors are kept sorted by (time, seq)).
+//! The `event_queue` Criterion bench compares the two under the hold
+//! model; the simulation driver stays on the heap by default because grid
+//! experiments rarely exceed a few thousand pending events, but the
+//! calendar wins past ~10⁴.
+
+use crate::event::EventEntry;
+use crate::time::SimTime;
+
+/// A calendar queue with Brown's dynamic resizing.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    /// `buckets[d]` holds entries with `floor(t / width) % n_buckets == d`,
+    /// sorted ascending by (time, seq).
+    buckets: Vec<Vec<EventEntry<E>>>,
+    /// Bucket (day) width in seconds.
+    width: f64,
+    /// Index of the bucket the next dequeue starts scanning from.
+    current: usize,
+    /// Start time of the current bucket's current year-lap window.
+    bucket_top: f64,
+    /// Timestamp of the last dequeued event (monotonicity floor).
+    last_time: f64,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with a small initial calendar.
+    pub fn new() -> Self {
+        Self::with_shape(2, 1.0)
+    }
+
+    fn with_shape(n_buckets: usize, width: f64) -> Self {
+        CalendarQueue {
+            buckets: (0..n_buckets).map(|_| Vec::new()).collect(),
+            width,
+            current: 0,
+            bucket_top: width,
+            last_time: 0.0,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, t: f64) -> usize {
+        ((t / self.width) as u64 % self.buckets.len() as u64) as usize
+    }
+
+    /// Schedules `event` at `at`; returns its sequence number.
+    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = EventEntry { at, seq, event };
+        let b = self.bucket_of(at.as_secs());
+        // Insert keeping the bucket sorted by (time, seq). Most pushes in a
+        // DES land at the bucket tail, so search from the back.
+        let bucket = &mut self.buckets[b];
+        let pos = bucket
+            .iter()
+            .rposition(|e| (e.at, e.seq) < (entry.at, entry.seq))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        bucket.insert(pos, entry);
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 {
+            self.resize(self.buckets.len() * 2);
+        }
+        seq
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        // Align the scan window to the earliest possible day for the
+        // monotone clock (events are never earlier than last_time).
+        let n = self.buckets.len();
+        let mut day = self.bucket_of(self.last_time);
+        let mut top = (self.last_time / self.width).floor() * self.width + self.width;
+        // Scan at most one full year; if nothing falls inside its day
+        // window (all events far in the future), fall back to a direct
+        // minimum search and recalibrate.
+        for _ in 0..n {
+            let bucket = &mut self.buckets[day];
+            if let Some(first) = bucket.first() {
+                if first.at.as_secs() < top {
+                    let entry = bucket.remove(0);
+                    self.len -= 1;
+                    self.last_time = entry.at.as_secs();
+                    self.current = day;
+                    self.bucket_top = top;
+                    if self.buckets.len() > 4 && self.len < self.buckets.len() / 2 {
+                        let target = (self.buckets.len() / 2).max(2);
+                        self.resize(target);
+                    }
+                    return Some(entry);
+                }
+            }
+            day = (day + 1) % n;
+            top += self.width;
+        }
+        // Sparse case: direct minimum over bucket heads.
+        let (day, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.first().map(|e| (i, (e.at, e.seq))))
+            .min_by(|a, b| a.1.cmp(&b.1))?;
+        let entry = self.buckets[day].remove(0);
+        self.len -= 1;
+        self.last_time = entry.at.as_secs();
+        Some(entry)
+    }
+
+    /// Rebuilds the calendar with `n_buckets`, retuning the width from the
+    /// spacing of up to 32 sampled events.
+    fn resize(&mut self, n_buckets: usize) {
+        let mut all: Vec<EventEntry<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.sort_by_key(|e| (e.at, e.seq));
+        // Brown's width rule: ~3× the mean gap of a sample near the head.
+        let sample: Vec<f64> = all.iter().take(32).map(|e| e.at.as_secs()).collect();
+        if sample.len() >= 2 {
+            let span = sample.last().unwrap() - sample.first().unwrap();
+            let mean_gap = span / (sample.len() - 1) as f64;
+            if mean_gap > 0.0 {
+                self.width = 3.0 * mean_gap;
+            }
+        }
+        self.buckets = (0..n_buckets).map(|_| Vec::new()).collect();
+        let len = all.len();
+        for entry in all {
+            let b = self.bucket_of(entry.at.as_secs());
+            self.buckets[b].push(entry);
+        }
+        self.len = len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        for &x in &[5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0] {
+            q.push(t(x), x as u32);
+        }
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e.event);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..50 {
+            q.push(t(2.5), i);
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(t(10.0), 'b');
+        q.push(t(5.0), 'a');
+        assert_eq!(q.pop().unwrap().event, 'a');
+        q.push(t(7.0), 'c');
+        assert_eq!(q.pop().unwrap().event, 'c');
+        assert_eq!(q.pop().unwrap().event, 'b');
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sparse_far_future_events() {
+        let mut q = CalendarQueue::new();
+        q.push(t(1e6), 1u8);
+        q.push(t(2e6), 2);
+        q.push(t(0.5), 0);
+        assert_eq!(q.pop().unwrap().event, 0);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn growth_and_shrink_preserve_contents() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u32 {
+            q.push(t((i * 7 % 501) as f64 + (i as f64) * 1e-6), i);
+        }
+        assert_eq!(q.len(), 1000);
+        let mut prev = t(0.0);
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.at >= prev, "order violated");
+            prev = e.at;
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::event::EventQueue;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The calendar queue agrees exactly with the binary-heap queue on
+        /// any interleaving of pushes and pops (differential test).
+        #[test]
+        fn agrees_with_heap(ops in proptest::collection::vec(
+            // (is_push, time) — pops ignore the time
+            (proptest::bool::ANY, 0u32..10_000), 1..400)
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut heap = EventQueue::new();
+            let mut monotone = 0.0f64;
+            for (i, (is_push, raw)) in ops.iter().enumerate() {
+                if *is_push {
+                    // Times must respect the monotone-pop floor to model a
+                    // real DES (no scheduling into the past).
+                    let at = SimTime::from_secs(monotone + *raw as f64 / 100.0);
+                    cal.push(at, i);
+                    heap.push(at, i);
+                } else {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            prop_assert_eq!(x.at, y.at);
+                            prop_assert_eq!(x.event, y.event);
+                            monotone = x.at.as_secs();
+                        }
+                        other => prop_assert!(false, "disagreement: {:?}", other.0.is_some()),
+                    }
+                }
+            }
+            // Drain both: must agree to the end.
+            loop {
+                match (cal.pop(), heap.pop()) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => {
+                        prop_assert_eq!(x.at, y.at);
+                        prop_assert_eq!(x.event, y.event);
+                    }
+                    other => prop_assert!(false, "tail disagreement: {:?}", other.0.is_some()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # cas-sim — discrete-event simulation kernel
+//!
+//! The substrate every other crate in this workspace builds on. It provides:
+//!
+//! * [`SimTime`] — a totally-ordered wrapper over `f64` seconds. The paper's
+//!   model (and SimGrid, which the authors used for their earlier simulation
+//!   study) works in continuous time; we keep `f64` but enforce the
+//!   "never NaN" invariant at construction so the event queue ordering is a
+//!   genuine total order.
+//! * [`EventQueue`] — a stable priority queue: events at equal timestamps pop
+//!   in insertion order, which makes simulations deterministic and therefore
+//!   reproducible across runs and platforms.
+//! * [`Simulation`] — a small driver that repeatedly pops the next event and
+//!   hands it to a user-provided [`World`].
+//! * [`rng`] — deterministic, splittable RNG streams so that every stochastic
+//!   component (arrival process, CPU noise, tie-breaking) draws from its own
+//!   stream derived from one root seed.
+//! * [`dist`] — the distributions the experiments need (exponential, Poisson,
+//!   normal, log-normal) implemented directly so the behaviour is fixed
+//!   independent of `rand` version bumps.
+//!
+//! The kernel is deliberately free of any grid/scheduling vocabulary: it
+//! knows nothing about servers or tasks. `cas-platform` layers the resource
+//! model on top and `cas-middleware` wires a full client-agent-server system
+//! into a [`World`].
+
+pub mod calendar;
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use calendar::CalendarQueue;
+pub use engine::{Scheduler, Simulation, World};
+pub use event::{EventEntry, EventQueue, Generation};
+pub use rng::{RngStream, StreamKind};
+pub use time::SimTime;

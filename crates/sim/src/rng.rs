@@ -1,0 +1,257 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every stochastic component in an experiment (arrival process, task-size
+//! draws, CPU noise per server, network jitter, heuristic tie-breaking, …)
+//! gets its *own* stream derived from a root seed plus a structural key.
+//! This gives two properties the experiment harness relies on:
+//!
+//! * **Reproducibility** — the same root seed always produces the same run.
+//! * **Variance reduction** — changing the scheduler heuristic does not
+//!   change the workload: the arrival stream is keyed independently of the
+//!   scheduler's tie-break stream, so paired comparisons (the paper's
+//!   "number of tasks that finish sooner than with MCT") compare the same
+//!   metatask under two heuristics, exactly as the paper does.
+//!
+//! The generator is SplitMix64 for seeding and xoshiro256++ for the stream —
+//! both public-domain algorithms implemented here directly so that output is
+//! stable regardless of `rand` crate versions. The `rand::RngCore` trait is
+//! implemented so `rand`-based code (e.g. `proptest` fixtures) can consume
+//! streams too.
+
+use rand::RngCore;
+
+/// Structural identity of a stream: which component it feeds.
+///
+/// The discriminant participates in the seed derivation, so two components
+/// with the same numeric index but different kinds get unrelated streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Metatask arrival process.
+    Arrivals,
+    /// Task-size / parameter draws.
+    TaskSizes,
+    /// Per-server CPU speed noise (index = server id).
+    CpuNoise(u32),
+    /// Per-server network noise (index = server id).
+    NetNoise(u32),
+    /// Scheduler tie-breaking.
+    TieBreak,
+    /// Load-monitor sampling jitter (index = server id).
+    Monitor(u32),
+    /// Anything else; caller picks a unique tag.
+    Custom(u32),
+}
+
+impl StreamKind {
+    fn key(self) -> u64 {
+        match self {
+            StreamKind::Arrivals => 0x01 << 32,
+            StreamKind::TaskSizes => 0x02 << 32,
+            StreamKind::CpuNoise(i) => (0x03 << 32) | i as u64,
+            StreamKind::NetNoise(i) => (0x04 << 32) | i as u64,
+            StreamKind::TieBreak => 0x05 << 32,
+            StreamKind::Monitor(i) => (0x06 << 32) | i as u64,
+            StreamKind::Custom(i) => (0x07 << 32) | i as u64,
+        }
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ stream.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    s: [u64; 4],
+}
+
+impl RngStream {
+    /// Derives the stream for `kind` under `root_seed`.
+    pub fn derive(root_seed: u64, kind: StreamKind) -> Self {
+        Self::from_seed_key(root_seed, kind.key())
+    }
+
+    /// Derives a stream from a root seed and an arbitrary key.
+    pub fn from_seed_key(root_seed: u64, key: u64) -> Self {
+        // Mix seed and key through SplitMix64 to fill the state. SplitMix64
+        // guarantees a full-period scramble, avoiding the all-zero state.
+        let mut sm = root_seed ^ key.rotate_left(17) ^ 0xD6E8_FEB8_6659_FD93;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        RngStream { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64_raw(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        (self.next_u64_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's method (unbiased).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        let mut x = self.next_u64_raw();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64_raw();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniformly choose an index into a slice of length `len`.
+    pub fn choose_index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for RngStream {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_raw() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_raw()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64_raw().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed_and_kind() {
+        let mut a = RngStream::derive(42, StreamKind::Arrivals);
+        let mut b = RngStream::derive(42, StreamKind::Arrivals);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_raw(), b.next_u64_raw());
+        }
+    }
+
+    #[test]
+    fn different_kinds_give_different_streams() {
+        let mut a = RngStream::derive(42, StreamKind::Arrivals);
+        let mut b = RngStream::derive(42, StreamKind::TieBreak);
+        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn indexed_kinds_are_independent() {
+        let mut a = RngStream::derive(7, StreamKind::CpuNoise(0));
+        let mut b = RngStream::derive(7, StreamKind::CpuNoise(1));
+        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform01_in_range() {
+        let mut r = RngStream::derive(1, StreamKind::TaskSizes);
+        for _ in 0..10_000 {
+            let x = r.uniform01();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform01_roughly_uniform() {
+        let mut r = RngStream::derive(3, StreamKind::TaskSizes);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform01()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = RngStream::derive(5, StreamKind::TieBreak);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn below_zero_panics() {
+        RngStream::derive(0, StreamKind::TieBreak).below(0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = RngStream::derive(9, StreamKind::TaskSizes);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // With 50! permutations the chance of identity is nil.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rngcore_fill_bytes() {
+        let mut r = RngStream::derive(11, StreamKind::Custom(0));
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

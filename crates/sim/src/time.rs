@@ -1,0 +1,264 @@
+//! Simulation time.
+//!
+//! Continuous time in seconds, stored as `f64` but wrapped so that:
+//!
+//! * NaN can never be constructed (checked in debug and release);
+//! * `Ord` is implemented, so times can key a priority queue;
+//! * arithmetic stays in the wrapper, making unit mistakes harder.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in seconds since the start of the simulation.
+///
+/// `SimTime` is also used for durations; the paper's model never needs to
+/// distinguish the two and a single type keeps the arithmetic simple. The
+/// invariant is that the inner value is always finite (not NaN, not ±∞):
+/// every constructor checks it.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Largest representable time; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(f64::MAX);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or infinite — those are always logic errors
+    /// in a simulation, and letting them into the event queue would silently
+    /// corrupt event ordering.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite(), "SimTime must be finite, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since the simulation origin.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if this time is the origin.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of a negative time.
+    ///
+    /// Useful for "remaining duration" computations where float rounding can
+    /// produce a tiny negative remainder.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        if other.0 >= self.0 {
+            SimTime::ZERO
+        } else {
+            SimTime(self.0 - other.0)
+        }
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `true` if the two times differ by at most `eps` seconds.
+    ///
+    /// Completion dates computed along different event paths accumulate
+    /// different rounding, so exact comparison of derived times is fragile;
+    /// tests and the HTM synchronisation logic use this instead.
+    #[inline]
+    pub fn approx_eq(self, other: SimTime, eps: f64) -> bool {
+        (self.0 - other.0).abs() <= eps
+    }
+}
+
+impl Eq for SimTime {}
+
+impl serde::Serialize for SimTime {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(self.0)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SimTime {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let secs = f64::deserialize(deserializer)?;
+        if !secs.is_finite() {
+            return Err(serde::de::Error::custom("SimTime must be finite"));
+        }
+        Ok(SimTime(secs))
+    }
+}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: the constructor guarantees the value is finite, so
+        // partial_cmp can never return None.
+        self.partial_cmp(other).expect("SimTime is always finite")
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}", prec, self.0)
+        } else {
+            write!(f, "{:.2}", self.0)
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(12.5);
+        assert_eq!(t.as_secs(), 12.5);
+        assert!(!t.is_zero());
+        assert!(SimTime::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        let _ = SimTime::from_secs(f64::INFINITY);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(3.0);
+        let b = SimTime::from_secs(1.5);
+        assert_eq!((a + b).as_secs(), 4.5);
+        assert_eq!((a - b).as_secs(), 1.5);
+        assert_eq!((a * 2.0).as_secs(), 6.0);
+        assert_eq!((a / 2.0).as_secs(), 1.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 4.5);
+        c -= b;
+        assert_eq!(c.as_secs(), 3.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a).as_secs(), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(1.0 + 1e-10);
+        assert!(a.approx_eq(b, 1e-9));
+        assert!(!a.approx_eq(b, 1e-12));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_secs(1.23456);
+        assert_eq!(format!("{t}"), "1.23");
+        assert_eq!(format!("{t:.4}"), "1.2346");
+        assert_eq!(format!("{t:?}"), "1.234560s");
+    }
+}

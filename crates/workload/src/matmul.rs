@@ -1,0 +1,136 @@
+//! The matrix-multiplication workload of the first experiment set (Table 3).
+//!
+//! "The tasks are multiplications of square matrix of size 1200, 1500 and
+//! 1800. Each multiplication has been run on each unloaded server hence
+//! determining its time cost (transfer and computing), which have been
+//! placed in the NetSolve code." (§5.1)
+//!
+//! The memory need listed in Table 3 is the input plus output matrix
+//! storage; it is what makes MCT and HMCT collapse the fast servers at the
+//! high arrival rate (Table 6).
+
+use cas_platform::{CostTable, PhaseCosts, Problem, ProblemId};
+
+/// The three matrix sizes.
+pub const SIZES: [u32; 3] = [1200, 1500, 1800];
+
+/// Per-size data volumes, MB: (input, output) — Table 3 columns 2–3.
+/// Input holds the two operand matrices, output the result.
+pub const DATA_MB: [(f64, f64); 3] = [(21.97, 10.98), (34.33, 17.16), (49.43, 24.72)];
+
+/// Phase costs per size (rows) and server (columns: chamagne, cabestan,
+/// artimon, pulney), straight from Table 3.
+pub const INPUT_COST: [[f64; 4]; 3] = [
+    [4.0, 4.0, 3.0, 3.0],
+    [6.0, 5.0, 5.0, 5.0],
+    [8.0, 8.0, 8.0, 7.0],
+];
+
+/// Computing costs, seconds — the dominant heterogeneity (chamagne is
+/// ~10× slower than pulney).
+pub const COMPUTE_COST: [[f64; 4]; 3] = [
+    [149.0, 70.0, 18.0, 14.0],
+    [292.0, 136.0, 33.0, 25.0],
+    [504.0, 231.0, 53.0, 40.0],
+];
+
+/// Output-transfer costs, seconds.
+pub const OUTPUT_COST: [[f64; 4]; 3] = [
+    [1.0, 1.0, 1.0, 1.0],
+    [2.0, 2.0, 1.0, 1.0],
+    [3.0, 3.0, 2.0, 2.0],
+];
+
+/// Builds the Table 3 cost table for the set-1 servers
+/// (chamagne, cabestan, artimon, pulney — indices 0..4).
+///
+/// Problem ids are assigned in size order: `ProblemId(0)` = 1200,
+/// `ProblemId(1)` = 1500, `ProblemId(2)` = 1800.
+pub fn cost_table() -> CostTable {
+    let mut table = CostTable::new(4);
+    for (i, &size) in SIZES.iter().enumerate() {
+        let (input_mb, output_mb) = DATA_MB[i];
+        let problem = Problem::new(
+            format!("matmul-{size}"),
+            input_mb,
+            output_mb,
+            input_mb + output_mb,
+        );
+        let row = (0..4)
+            .map(|s| {
+                Some(PhaseCosts::new(
+                    INPUT_COST[i][s],
+                    COMPUTE_COST[i][s],
+                    OUTPUT_COST[i][s],
+                ))
+            })
+            .collect();
+        table.add_problem(problem, row);
+    }
+    table
+}
+
+/// The problem ids of the three sizes, in [`SIZES`] order.
+pub fn problem_ids() -> [ProblemId; 3] {
+    [ProblemId(0), ProblemId(1), ProblemId(2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cas_platform::ServerId;
+
+    #[test]
+    fn table3_spot_checks() {
+        let t = cost_table();
+        // matmul-1200 on chamagne: 4 / 149 / 1.
+        let c = t.costs(ProblemId(0), ServerId(0)).unwrap();
+        assert_eq!((c.input, c.compute, c.output), (4.0, 149.0, 1.0));
+        // matmul-1800 on pulney: 7 / 40 / 2.
+        let c = t.costs(ProblemId(2), ServerId(3)).unwrap();
+        assert_eq!((c.input, c.compute, c.output), (7.0, 40.0, 2.0));
+        // matmul-1500 on artimon: 5 / 33 / 1.
+        let c = t.costs(ProblemId(1), ServerId(2)).unwrap();
+        assert_eq!((c.input, c.compute, c.output), (5.0, 33.0, 1.0));
+    }
+
+    #[test]
+    fn memory_needs_match_table3() {
+        let t = cost_table();
+        assert!((t.problem(ProblemId(0)).mem_mb - 32.95).abs() < 1e-9);
+        assert!((t.problem(ProblemId(1)).mem_mb - 51.49).abs() < 1e-9);
+        assert!((t.problem(ProblemId(2)).mem_mb - 74.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_server_solves_every_size() {
+        let t = cost_table();
+        for p in problem_ids() {
+            assert_eq!(t.solvers(p).len(), 4);
+        }
+    }
+
+    #[test]
+    fn heterogeneity_ordering() {
+        // pulney (fastest) < artimon < cabestan < chamagne on compute cost,
+        // for every size.
+        let t = cost_table();
+        for p in problem_ids() {
+            let costs: Vec<f64> = (0..4)
+                .map(|s| t.costs(p, ServerId(s)).unwrap().compute)
+                .collect();
+            assert!(costs[3] < costs[2]);
+            assert!(costs[2] < costs[1]);
+            assert!(costs[1] < costs[0]);
+        }
+    }
+
+    #[test]
+    fn unloaded_duration_1200_chamagne() {
+        let t = cost_table();
+        assert_eq!(
+            t.unloaded_duration(ProblemId(0), ServerId(0)),
+            Some(154.0)
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Parametric platforms and workloads for sweeps and ablations.
+//!
+//! The paper evaluates on one fixed testbed; the ablation benches vary
+//! heterogeneity, server count and task granularity to probe *where* the
+//! HTM-based heuristics win. [`SyntheticPlatform`] builds a platform and
+//! matching cost table from a handful of knobs.
+
+use cas_platform::{CostTable, PhaseCosts, Problem, ServerSpec};
+use cas_sim::{RngStream, StreamKind};
+
+/// Knobs for a synthetic platform + workload family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticPlatform {
+    /// Number of servers.
+    pub n_servers: usize,
+    /// Speed of the fastest server relative to the slowest (1.0 =
+    /// homogeneous).
+    pub heterogeneity: f64,
+    /// Number of problem types.
+    pub n_problems: usize,
+    /// Compute cost of the cheapest problem on the *fastest* server,
+    /// seconds.
+    pub base_cost: f64,
+    /// Cost of the most expensive problem relative to the cheapest.
+    pub cost_spread: f64,
+    /// Transfer cost as a fraction of compute cost (0 = compute-only).
+    pub comm_fraction: f64,
+    /// Memory need per task as a fraction of the smallest server's RAM
+    /// (0 = memory-free, like waste-cpu).
+    pub mem_fraction: f64,
+}
+
+impl Default for SyntheticPlatform {
+    fn default() -> Self {
+        SyntheticPlatform {
+            n_servers: 4,
+            heterogeneity: 5.0,
+            n_problems: 3,
+            base_cost: 15.0,
+            cost_spread: 3.0,
+            comm_fraction: 0.02,
+            mem_fraction: 0.0,
+        }
+    }
+}
+
+impl SyntheticPlatform {
+    /// Builds server specs: speeds geometrically interpolated between the
+    /// slowest and fastest; RAM 256 MB + jitter, swap = RAM.
+    pub fn servers(&self, seed: u64) -> Vec<ServerSpec> {
+        assert!(self.n_servers >= 1);
+        let mut rng = RngStream::derive(seed, StreamKind::Custom(0xA0));
+        (0..self.n_servers)
+            .map(|i| {
+                let frac = if self.n_servers == 1 {
+                    0.0
+                } else {
+                    i as f64 / (self.n_servers - 1) as f64
+                };
+                // Server 0 is fastest (speed factor heterogeneity), the
+                // last is slowest (factor 1).
+                let speed = self.heterogeneity.powf(1.0 - frac);
+                let ram = 256.0 * rng.uniform(0.9, 1.1);
+                ServerSpec::new(format!("synth-{i}"), 1000.0 * speed, ram, ram)
+            })
+            .collect()
+    }
+
+    /// Builds the matching cost table. Problem `p`'s cost on the fastest
+    /// server interpolates geometrically from `base_cost` to
+    /// `base_cost * cost_spread`; slower servers scale it by their relative
+    /// slowness.
+    pub fn cost_table(&self, seed: u64) -> CostTable {
+        let servers = self.servers(seed);
+        let fastest = servers
+            .iter()
+            .map(|s| s.cpu_mhz)
+            .fold(f64::MIN, f64::max);
+        let min_ram = servers.iter().map(|s| s.ram_mb).fold(f64::MAX, f64::min);
+        let mut table = CostTable::new(servers.len());
+        for p in 0..self.n_problems {
+            let frac = if self.n_problems == 1 {
+                0.0
+            } else {
+                p as f64 / (self.n_problems - 1) as f64
+            };
+            let fast_cost = self.base_cost * self.cost_spread.powf(frac);
+            let mem = self.mem_fraction * min_ram * (1.0 + frac);
+            let data_mb = fast_cost * self.comm_fraction * 10.0;
+            let problem = Problem::new(format!("synth-p{p}"), data_mb, data_mb / 2.0, mem);
+            let row = servers
+                .iter()
+                .map(|s| {
+                    let slowdown = fastest / s.cpu_mhz;
+                    let compute = fast_cost * slowdown;
+                    let comm = fast_cost * self.comm_fraction;
+                    Some(PhaseCosts::new(comm, compute, comm / 2.0))
+                })
+                .collect();
+            table.add_problem(problem, row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cas_platform::{ProblemId, ServerId};
+
+    #[test]
+    fn default_builds_consistent_platform() {
+        let p = SyntheticPlatform::default();
+        let servers = p.servers(1);
+        let table = p.cost_table(1);
+        assert_eq!(servers.len(), 4);
+        assert_eq!(table.n_servers(), 4);
+        assert_eq!(table.n_problems(), 3);
+    }
+
+    #[test]
+    fn heterogeneity_ratio_respected() {
+        let p = SyntheticPlatform {
+            heterogeneity: 8.0,
+            ..Default::default()
+        };
+        let table = p.cost_table(2);
+        let fast = table.costs(ProblemId(0), ServerId(0)).unwrap().compute;
+        let slow = table.costs(ProblemId(0), ServerId(3)).unwrap().compute;
+        assert!((slow / fast - 8.0).abs() < 1e-9, "ratio = {}", slow / fast);
+    }
+
+    #[test]
+    fn homogeneous_platform_has_equal_costs() {
+        let p = SyntheticPlatform {
+            heterogeneity: 1.0,
+            ..Default::default()
+        };
+        let table = p.cost_table(3);
+        let costs: Vec<f64> = (0..4)
+            .map(|s| table.costs(ProblemId(1), ServerId(s)).unwrap().compute)
+            .collect();
+        for c in &costs[1..] {
+            assert!((c - costs[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_spread_across_problems() {
+        let p = SyntheticPlatform {
+            cost_spread: 4.0,
+            ..Default::default()
+        };
+        let table = p.cost_table(4);
+        let cheap = table.costs(ProblemId(0), ServerId(0)).unwrap().compute;
+        let dear = table.costs(ProblemId(2), ServerId(0)).unwrap().compute;
+        assert!((dear / cheap - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_comm_fraction_is_compute_only() {
+        let p = SyntheticPlatform {
+            comm_fraction: 0.0,
+            ..Default::default()
+        };
+        let table = p.cost_table(5);
+        let c = table.costs(ProblemId(0), ServerId(0)).unwrap();
+        assert_eq!(c.input, 0.0);
+        assert_eq!(c.output, 0.0);
+    }
+
+    #[test]
+    fn mem_fraction_populates_memory_needs() {
+        let p = SyntheticPlatform {
+            mem_fraction: 0.5,
+            ..Default::default()
+        };
+        let table = p.cost_table(6);
+        assert!(table.problem(ProblemId(0)).mem_mb > 0.0);
+        assert!(table.problem(ProblemId(2)).mem_mb > table.problem(ProblemId(0)).mem_mb);
+    }
+
+    #[test]
+    fn single_server_platform() {
+        let p = SyntheticPlatform {
+            n_servers: 1,
+            ..Default::default()
+        };
+        assert_eq!(p.servers(7).len(), 1);
+        assert_eq!(p.cost_table(7).n_servers(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! The testbed of Table 2.
+//!
+//! Six server machines scattered around the LORIA laboratory, plus the
+//! agent (xrousse) and client (zanzibar) hosts. Servers were dedicated to
+//! the experiments; network links were not.
+
+use cas_platform::ServerSpec;
+
+/// One machine row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Host name.
+    pub name: &'static str,
+    /// Processor description.
+    pub processor: &'static str,
+    /// Clock speed in MHz.
+    pub mhz: f64,
+    /// RAM in MB.
+    pub ram_mb: f64,
+    /// Swap in MB.
+    pub swap_mb: f64,
+}
+
+impl Machine {
+    /// Converts to a platform server spec.
+    pub fn spec(&self) -> ServerSpec {
+        ServerSpec::new(self.name, self.mhz, self.ram_mb, self.swap_mb)
+    }
+}
+
+/// chamagne — Pentium II, 330 MHz, 512 MB RAM, 134 MB swap.
+pub const CHAMAGNE: Machine = Machine {
+    name: "chamagne",
+    processor: "pentium II",
+    mhz: 330.0,
+    ram_mb: 512.0,
+    swap_mb: 134.0,
+};
+
+/// cabestan — Pentium III, 500 MHz, 192 MB RAM, 400 MB swap.
+pub const CABESTAN: Machine = Machine {
+    name: "cabestan",
+    processor: "pentium III",
+    mhz: 500.0,
+    ram_mb: 192.0,
+    swap_mb: 400.0,
+};
+
+/// artimon — Pentium IV, 1.7 GHz, 512 MB RAM, 1024 MB swap.
+pub const ARTIMON: Machine = Machine {
+    name: "artimon",
+    processor: "pentium IV",
+    mhz: 1700.0,
+    ram_mb: 512.0,
+    swap_mb: 1024.0,
+};
+
+/// pulney — Xeon, 1.4 GHz, 256 MB RAM, 533 MB swap.
+pub const PULNEY: Machine = Machine {
+    name: "pulney",
+    processor: "xeon",
+    mhz: 1400.0,
+    ram_mb: 256.0,
+    swap_mb: 533.0,
+};
+
+/// valette — Pentium II, 400 MHz, 128 MB RAM, 126 MB swap.
+pub const VALETTE: Machine = Machine {
+    name: "valette",
+    processor: "pentium II",
+    mhz: 400.0,
+    ram_mb: 128.0,
+    swap_mb: 126.0,
+};
+
+/// spinnaker — Xeon, 2 GHz, 1 GB RAM, 2 GB swap.
+pub const SPINNAKER: Machine = Machine {
+    name: "spinnaker",
+    processor: "xeon",
+    mhz: 2000.0,
+    ram_mb: 1024.0,
+    swap_mb: 2048.0,
+};
+
+/// All six server machines of Table 2.
+pub const ALL_SERVERS: [Machine; 6] = [CHAMAGNE, CABESTAN, ARTIMON, PULNEY, VALETTE, SPINNAKER];
+
+/// The server set of the first experiment set (§5.1, matmul):
+/// chamagne, cabestan, artimon, pulney — in Table 3's column order.
+pub fn set1_servers() -> Vec<ServerSpec> {
+    [CHAMAGNE, CABESTAN, ARTIMON, PULNEY]
+        .iter()
+        .map(Machine::spec)
+        .collect()
+}
+
+/// The server set of the second experiment set (§5.2, waste-cpu):
+/// valette, spinnaker, cabestan, artimon — in Table 4's column order.
+pub fn set2_servers() -> Vec<ServerSpec> {
+    [VALETTE, SPINNAKER, CABESTAN, ARTIMON]
+        .iter()
+        .map(Machine::spec)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_spot_checks() {
+        assert_eq!(CHAMAGNE.mhz, 330.0);
+        assert_eq!(CHAMAGNE.ram_mb, 512.0);
+        assert_eq!(CABESTAN.swap_mb, 400.0);
+        assert_eq!(ARTIMON.mhz, 1700.0);
+        assert_eq!(SPINNAKER.ram_mb, 1024.0);
+        assert_eq!(VALETTE.swap_mb, 126.0);
+    }
+
+    #[test]
+    fn experiment_sets_have_four_servers() {
+        let s1 = set1_servers();
+        assert_eq!(s1.len(), 4);
+        assert_eq!(s1[0].name, "chamagne");
+        assert_eq!(s1[3].name, "pulney");
+        let s2 = set2_servers();
+        assert_eq!(s2.len(), 4);
+        assert_eq!(s2[0].name, "valette");
+        assert_eq!(s2[1].name, "spinnaker");
+    }
+
+    #[test]
+    fn spec_conversion_preserves_memory() {
+        let spec = PULNEY.spec();
+        assert_eq!(spec.total_mem_mb(), 256.0 + 533.0);
+    }
+
+    #[test]
+    fn all_servers_distinct_names() {
+        let mut names: Vec<&str> = ALL_SERVERS.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

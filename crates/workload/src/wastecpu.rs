@@ -1,0 +1,120 @@
+//! The "waste-cpu" workload of the second experiment set (Table 4).
+//!
+//! "To prevent the memory problems that we do not yet handle, we designed a
+//! task, 'waste-cpu', that does not require any memory to be computed …
+//! its computation costs, dependent on the parameters, are similar to the
+//! multiplication tasks." (§5.2)
+//!
+//! Parameters 200/400/600 play the role of the matrix sizes; data volumes
+//! are negligible (a scalar parameter in, a scalar out).
+
+use cas_platform::{CostTable, PhaseCosts, Problem, ProblemId};
+
+/// The three waste-cpu parameters.
+pub const PARAMS: [u32; 3] = [200, 400, 600];
+
+/// Input-transfer costs per parameter (rows) and server (columns: valette,
+/// spinnaker, cabestan, artimon), from Table 4.
+pub const INPUT_COST: [[f64; 4]; 3] = [
+    [0.08, 0.09, 0.10, 0.12],
+    [0.08, 0.14, 0.09, 0.13],
+    [0.13, 0.09, 0.08, 0.14],
+];
+
+/// Computing costs, seconds.
+pub const COMPUTE_COST: [[f64; 4]; 3] = [
+    [91.81, 16.0, 74.86, 17.1],
+    [182.52, 30.6, 148.48, 33.2],
+    [273.28, 45.6, 222.26, 49.4],
+];
+
+/// Output-transfer costs, seconds.
+pub const OUTPUT_COST: [[f64; 4]; 3] = [
+    [0.03, 0.05, 0.03, 0.03],
+    [0.03, 0.06, 0.03, 0.03],
+    [0.03, 0.05, 0.03, 0.03],
+];
+
+/// Nominal data volume for the scalar parameter/result, MB (the transfers
+/// in Table 4 are latency-dominated; the exact volume is irrelevant).
+const DATA_MB: f64 = 0.001;
+
+/// Builds the Table 4 cost table for the set-2 servers
+/// (valette, spinnaker, cabestan, artimon — indices 0..4).
+///
+/// Problem ids in parameter order: `ProblemId(0)` = 200, `ProblemId(1)` =
+/// 400, `ProblemId(2)` = 600. Memory need is zero by design.
+pub fn cost_table() -> CostTable {
+    let mut table = CostTable::new(4);
+    for (i, &param) in PARAMS.iter().enumerate() {
+        let problem = Problem::new(format!("waste-cpu-{param}"), DATA_MB, DATA_MB, 0.0);
+        let row = (0..4)
+            .map(|s| {
+                Some(PhaseCosts::new(
+                    INPUT_COST[i][s],
+                    COMPUTE_COST[i][s],
+                    OUTPUT_COST[i][s],
+                ))
+            })
+            .collect();
+        table.add_problem(problem, row);
+    }
+    table
+}
+
+/// The problem ids of the three parameters, in [`PARAMS`] order.
+pub fn problem_ids() -> [ProblemId; 3] {
+    [ProblemId(0), ProblemId(1), ProblemId(2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cas_platform::ServerId;
+
+    #[test]
+    fn table4_spot_checks() {
+        let t = cost_table();
+        // waste-cpu-200 on valette: 0.08 / 91.81 / 0.03.
+        let c = t.costs(ProblemId(0), ServerId(0)).unwrap();
+        assert_eq!((c.input, c.compute, c.output), (0.08, 91.81, 0.03));
+        // waste-cpu-600 on artimon: 0.14 / 49.4 / 0.03.
+        let c = t.costs(ProblemId(2), ServerId(3)).unwrap();
+        assert_eq!((c.input, c.compute, c.output), (0.14, 49.4, 0.03));
+        // waste-cpu-400 on spinnaker: 0.14 / 30.6 / 0.06.
+        let c = t.costs(ProblemId(1), ServerId(1)).unwrap();
+        assert_eq!((c.input, c.compute, c.output), (0.14, 30.6, 0.06));
+    }
+
+    #[test]
+    fn no_memory_by_design() {
+        let t = cost_table();
+        for p in problem_ids() {
+            assert_eq!(t.problem(p).mem_mb, 0.0);
+        }
+    }
+
+    #[test]
+    fn fast_slow_split() {
+        // spinnaker and artimon are the fast pair; valette and cabestan the
+        // slow pair — the two-speed structure §5.3's analysis leans on.
+        let t = cost_table();
+        for p in problem_ids() {
+            let c: Vec<f64> = (0..4)
+                .map(|s| t.costs(p, ServerId(s)).unwrap().compute)
+                .collect();
+            assert!(c[1] < c[0] / 4.0, "spinnaker ≪ valette");
+            assert!(c[3] < c[2] / 4.0, "artimon ≪ cabestan");
+        }
+    }
+
+    #[test]
+    fn costs_scale_with_parameter() {
+        let t = cost_table();
+        for s in 0..4 {
+            let c200 = t.costs(ProblemId(0), ServerId(s)).unwrap().compute;
+            let c600 = t.costs(ProblemId(2), ServerId(s)).unwrap().compute;
+            assert!(c600 > 2.5 * c200, "600 ≈ 3 × 200 on server {s}");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! `casgrid` — command-line front end.
+//!
+//! ```text
+//! casgrid run     --workload wastecpu --heuristic MSF --gap 15 --tasks 500
+//! casgrid compare --workload matmul --gap 20 --reps 3 --format csv
+//! casgrid list
+//! ```
+//!
+//! `run` executes one experiment and prints the §3 metrics; `compare` runs
+//! every paper heuristic (plus any extras via `--heuristics`) on the same
+//! metatask and prints the paper-style table including the
+//! finish-sooner-than-MCT row. Argument parsing is hand-rolled to keep the
+//! dependency set to the sanctioned list.
+
+use casgrid::prelude::*;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Args {
+    workload: String,
+    heuristic: String,
+    heuristics: Option<Vec<String>>,
+    gap: f64,
+    tasks: usize,
+    seed: u64,
+    reps: usize,
+    noise: f64,
+    format: String,
+    memory: bool,
+    sync: bool,
+    workers: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: "wastecpu".into(),
+            heuristic: "MSF".into(),
+            heuristics: None,
+            gap: 20.0,
+            tasks: 500,
+            seed: 1,
+            reps: 1,
+            noise: 0.03,
+            format: "table".into(),
+            memory: true,
+            sync: false,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "casgrid — dynamic heuristics in the client-agent-server model\n\
+     \n\
+     USAGE:\n\
+     casgrid run     [OPTS]   run one experiment, print metrics\n\
+     casgrid compare [OPTS]   run several heuristics on the same metatask\n\
+     casgrid list             list available heuristics and workloads\n\
+     \n\
+     OPTIONS:\n\
+     --workload matmul|wastecpu   workload family        [wastecpu]\n\
+     --heuristic NAME             policy for `run`       [MSF]\n\
+     --heuristics A,B,C           policies for `compare` [MCT,HMCT,MP,MSF]\n\
+     --gap SECONDS                mean inter-arrival gap [20]\n\
+     --tasks N                    metatask size          [500]\n\
+     --seed N                     root seed              [1]\n\
+     --reps N                     replications           [1]\n\
+     --noise SIGMA                speed-noise sigma      [0.03]\n\
+     --format table|csv|json      output format          [table]\n\
+     --no-memory                  disable the memory model\n\
+     --sync                       HTM force-finish synchronisation\n\
+     --workers N                  runner threads         [#cpus]"
+}
+
+fn parse(argv: &[String]) -> Result<(String, Args), String> {
+    let mut args = Args::default();
+    let cmd = argv.first().cloned().ok_or_else(|| usage().to_string())?;
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = &argv[i];
+        let take = |args_i: &mut usize| -> Result<String, String> {
+            *args_i += 1;
+            argv.get(*args_i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = take(&mut i)?,
+            "--heuristic" => args.heuristic = take(&mut i)?,
+            "--heuristics" => {
+                args.heuristics =
+                    Some(take(&mut i)?.split(',').map(|s| s.trim().to_string()).collect())
+            }
+            "--gap" => args.gap = take(&mut i)?.parse().map_err(|e| format!("--gap: {e}"))?,
+            "--tasks" => {
+                args.tasks = take(&mut i)?.parse().map_err(|e| format!("--tasks: {e}"))?
+            }
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--reps" => args.reps = take(&mut i)?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--noise" => {
+                args.noise = take(&mut i)?.parse().map_err(|e| format!("--noise: {e}"))?
+            }
+            "--format" => args.format = take(&mut i)?,
+            "--no-memory" => args.memory = false,
+            "--sync" => args.sync = true,
+            "--workers" => {
+                args.workers = take(&mut i)?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok((cmd, args))
+}
+
+fn workload_of(args: &Args) -> Result<(CostTable, Vec<ServerSpec>), String> {
+    match args.workload.as_str() {
+        "matmul" => Ok((
+            casgrid::workload::matmul::cost_table(),
+            casgrid::workload::testbed::set1_servers(),
+        )),
+        "wastecpu" => Ok((
+            casgrid::workload::wastecpu::cost_table(),
+            casgrid::workload::testbed::set2_servers(),
+        )),
+        other => Err(format!("unknown workload {other} (matmul|wastecpu)")),
+    }
+}
+
+fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(kind, args.seed);
+    cfg.noise_sigma = args.noise;
+    if !args.memory {
+        cfg.memory = MemoryModel::disabled();
+    }
+    if args.sync {
+        cfg.sync = SyncPolicy::ForceFinish;
+    }
+    cfg
+}
+
+fn emit(table: &Table, format: &str) -> Result<(), String> {
+    match format {
+        "table" => print!("{}", table.render()),
+        "csv" => print!("{}", casgrid::metrics::render_csv(table)),
+        "json" => println!("{}", table.to_json()),
+        other => return Err(format!("unknown format {other} (table|csv|json)")),
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let kind = HeuristicKind::parse(&args.heuristic)
+        .ok_or_else(|| format!("unknown heuristic {}", args.heuristic))?;
+    let (costs, servers) = workload_of(args)?;
+    let tasks = MetataskSpec {
+        n_tasks: args.tasks,
+        ..MetataskSpec::paper(args.gap)
+    }
+    .generate(args.seed);
+    let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
+    let runs = run_replications(config_of(args, kind), &costs, &servers, &workloads, args.workers);
+    let mut table = Table::new(
+        format!(
+            "{} on {} ({} tasks, gap {} s, {} rep(s))",
+            kind.name(),
+            args.workload,
+            args.tasks,
+            args.gap,
+            args.reps
+        ),
+        vec!["mean".into(), "min".into(), "max".into()],
+    );
+    for metric in MetricSet::PAPER_ROWS {
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| MetricSet::compute(r).by_name(metric))
+            .collect();
+        let s = Summary::of(&vals).expect("at least one rep");
+        table.push_row_f64(metric, &[s.mean, s.min, s.max], 1);
+    }
+    emit(&table, &args.format)
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let names = args
+        .heuristics
+        .clone()
+        .unwrap_or_else(|| vec!["MCT".into(), "HMCT".into(), "MP".into(), "MSF".into()]);
+    let kinds: Vec<HeuristicKind> = names
+        .iter()
+        .map(|n| HeuristicKind::parse(n).ok_or_else(|| format!("unknown heuristic {n}")))
+        .collect::<Result<_, _>>()?;
+    let (costs, servers) = workload_of(args)?;
+    let tasks = MetataskSpec {
+        n_tasks: args.tasks,
+        ..MetataskSpec::paper(args.gap)
+    }
+    .generate(args.seed);
+    let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
+    let results = run_heuristic_matrix(
+        config_of(args, kinds[0]),
+        &kinds,
+        &costs,
+        &servers,
+        &workloads,
+        args.workers,
+    );
+    let mut table = Table::new(
+        format!(
+            "{} tasks on {}, gap {} s, {} rep(s)",
+            args.tasks, args.workload, args.gap, args.reps
+        ),
+        names.clone(),
+    );
+    for metric in MetricSet::PAPER_ROWS {
+        let row: Vec<f64> = results.iter().map(|r| r.mean_metric(metric)).collect();
+        table.push_row_f64(metric, &row, 1);
+    }
+    // Finish-sooner row against the first heuristic (MCT by default).
+    let baseline = &results[0];
+    let sooner: Vec<String> = results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i == 0 {
+                "-".into()
+            } else {
+                let counts: Vec<f64> = r
+                    .runs
+                    .iter()
+                    .zip(&baseline.runs)
+                    .map(|(c, b)| finish_sooner_count(c, b) as f64)
+                    .collect();
+                format!("{:.0}", counts.iter().sum::<f64>() / counts.len() as f64)
+            }
+        })
+        .collect();
+    table.push_row(format!("sooner than {}", names[0]), sooner);
+    emit(&table, &args.format)
+}
+
+fn cmd_list() {
+    println!("heuristics:");
+    for k in HeuristicKind::ALL {
+        println!("  {:8} (HTM: {})", k.name(), k.build().uses_htm());
+    }
+    println!("\nworkloads:\n  matmul    Table 3, servers chamagne/cabestan/artimon/pulney");
+    println!("  wastecpu  Table 4, servers valette/spinnaker/cabestan/artimon");
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, args) = match parse(&argv) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let (cmd, args) = parse(&argv("run")).unwrap();
+        assert_eq!(cmd, "run");
+        assert_eq!(args.workload, "wastecpu");
+        assert_eq!(args.gap, 20.0);
+        assert_eq!(args.tasks, 500);
+        assert!(args.memory);
+        assert!(!args.sync);
+    }
+
+    #[test]
+    fn parse_full_flag_set() {
+        let (cmd, args) = parse(&argv(
+            "compare --workload matmul --heuristics MCT,MSF --gap 15 --tasks 100 \
+             --seed 7 --reps 2 --noise 0.1 --format csv --no-memory --sync --workers 3",
+        ))
+        .unwrap();
+        assert_eq!(cmd, "compare");
+        assert_eq!(args.workload, "matmul");
+        assert_eq!(args.heuristics, Some(vec!["MCT".into(), "MSF".into()]));
+        assert_eq!(args.gap, 15.0);
+        assert_eq!(args.tasks, 100);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.reps, 2);
+        assert_eq!(args.noise, 0.1);
+        assert_eq!(args.format, "csv");
+        assert!(!args.memory);
+        assert!(args.sync);
+        assert_eq!(args.workers, 3);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag() {
+        assert!(parse(&argv("run --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_missing_value() {
+        assert!(parse(&argv("run --gap")).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_number() {
+        assert!(parse(&argv("run --tasks many")).is_err());
+    }
+
+    #[test]
+    fn workload_and_config_resolution() {
+        let (_, mut args) = parse(&argv("run --workload matmul")).unwrap();
+        assert!(workload_of(&args).is_ok());
+        args.workload = "nope".into();
+        assert!(workload_of(&args).is_err());
+        args.workload = "wastecpu".into();
+        args.sync = true;
+        args.memory = false;
+        let cfg = config_of(&args, HeuristicKind::Msf);
+        assert_eq!(cfg.sync, SyncPolicy::ForceFinish);
+        assert!(!cfg.memory.enabled);
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let (_, mut args) = parse(&argv("run --tasks 5 --reps 1")).unwrap();
+        args.heuristic = "MSF".into();
+        assert!(cmd_run(&args).is_ok());
+    }
+}

@@ -1,0 +1,101 @@
+//! Reproducibility guarantees across the whole stack.
+
+use casgrid::prelude::*;
+
+fn setup(n: usize, seed: u64) -> (CostTable, Vec<ServerSpec>, Vec<TaskInstance>) {
+    let costs = casgrid::workload::wastecpu::cost_table();
+    let servers = casgrid::workload::testbed::set2_servers();
+    let tasks = MetataskSpec {
+        n_tasks: n,
+        ..MetataskSpec::paper(15.0)
+    }
+    .generate(seed);
+    (costs, servers, tasks)
+}
+
+/// Bit-identical records for identical (seed, workload, heuristic).
+#[test]
+fn identical_runs_are_bit_identical() {
+    let (costs, servers, tasks) = setup(150, 1);
+    for kind in HeuristicKind::ALL {
+        let cfg = ExperimentConfig::paper(kind, 99);
+        let a = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+        let b = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+        assert_eq!(a, b, "{kind:?} not deterministic");
+    }
+}
+
+/// The workload is identical across heuristics (paired comparison): task
+/// ids, problems and arrivals agree record-by-record.
+#[test]
+fn workload_identical_across_heuristics() {
+    let (costs, servers, tasks) = setup(100, 2);
+    let runs: Vec<Vec<TaskRecord>> = HeuristicKind::PAPER
+        .iter()
+        .map(|&k| {
+            run_experiment(
+                ExperimentConfig::paper(k, 5),
+                costs.clone(),
+                servers.clone(),
+                tasks.clone(),
+            )
+        })
+        .collect();
+    for pair in runs.windows(2) {
+        for (a, b) in pair[0].iter().zip(&pair[1]) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.problem, b.problem);
+            assert_eq!(a.arrival, b.arrival);
+        }
+    }
+}
+
+/// Different root seeds change ground-truth noise, hence completions.
+#[test]
+fn different_seeds_differ() {
+    let (costs, servers, tasks) = setup(100, 3);
+    let a = run_experiment(
+        ExperimentConfig::paper(HeuristicKind::Msf, 1),
+        costs.clone(),
+        servers.clone(),
+        tasks.clone(),
+    );
+    let b = run_experiment(
+        ExperimentConfig::paper(HeuristicKind::Msf, 2),
+        costs,
+        servers,
+        tasks,
+    );
+    assert_ne!(a, b);
+}
+
+/// The parallel runner yields exactly the sequential results regardless of
+/// worker count.
+#[test]
+fn runner_worker_count_is_invisible() {
+    let (costs, servers, tasks) = setup(80, 4);
+    let workloads: Vec<_> = (0..6).map(|_| tasks.clone()).collect();
+    let cfg = ExperimentConfig::paper(HeuristicKind::Mp, 17);
+    let w1 = run_replications(cfg, &costs, &servers, &workloads, 1);
+    for workers in [2, 4, 8] {
+        let wn = run_replications(cfg, &costs, &servers, &workloads, workers);
+        assert_eq!(w1, wn, "workers = {workers}");
+    }
+}
+
+/// Metatask generation is stable across calls and sensitive to every knob.
+#[test]
+fn metatask_generation_stability() {
+    let base = MetataskSpec::paper(20.0);
+    assert_eq!(base.generate(9), base.generate(9));
+    let longer = MetataskSpec {
+        n_tasks: 501,
+        ..base
+    };
+    assert_eq!(longer.generate(9).len(), 501);
+    let poisson = MetataskSpec {
+        gaps: GapDistribution::Poisson,
+        ..base
+    };
+    assert_ne!(base.generate(9), poisson.generate(9));
+}
