@@ -50,7 +50,9 @@ fn loaded_htm(per_server: usize) -> Htm {
 
 fn bench_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("decision_cost");
-    let loads: Vec<LoadReport> = (0..4u32).map(|i| LoadReport::initial(ServerId(i))).collect();
+    let loads: Vec<LoadReport> = (0..4u32)
+        .map(|i| LoadReport::initial(ServerId(i)))
+        .collect();
     for kind in [
         HeuristicKind::Mct,
         HeuristicKind::Hmct,
@@ -92,5 +94,75 @@ fn bench_decision(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decision);
+/// A wider sweep: 64 servers, the scale the prediction cache is gated on.
+fn table64() -> CostTable {
+    let mut t = CostTable::new(64);
+    for p in 0..3 {
+        let base = 15.0 * (p + 1) as f64;
+        t.add_problem(
+            Problem::new(format!("p{p}"), 1.0, 0.5, 0.0),
+            (0..64)
+                .map(|s| {
+                    Some(PhaseCosts::new(
+                        0.2,
+                        base * (1.0 + (s % 7) as f64 * 0.3),
+                        0.1,
+                    ))
+                })
+                .collect(),
+        );
+    }
+    t
+}
+
+fn loaded_htm64(per_server: usize) -> Htm {
+    let mut htm = Htm::new(table64(), SyncPolicy::None);
+    let mut id = 1000u64;
+    for s in 0..64u32 {
+        for k in 0..per_server {
+            let t = TaskInstance::new(
+                TaskId(id),
+                ProblemId((k % 3) as u32),
+                SimTime::from_secs(k as f64),
+            );
+            htm.commit(t.arrival, ServerId(s), &t);
+            id += 1;
+        }
+    }
+    htm
+}
+
+/// The tentpole gate: one full decision (a what-if query per candidate over
+/// all 64 servers) through the clone-based reference path vs the
+/// generation-cached zero-clone engine.
+fn bench_predict_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_cost_64srv");
+    let probe = TaskInstance::new(TaskId(1), ProblemId(0), SimTime::from_secs(500.0));
+    let candidates: Vec<ServerId> = (0..64u32).map(ServerId).collect();
+    for per_server in [8usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("clone_baseline", per_server),
+            &per_server,
+            |b, &n| {
+                let mut htm = loaded_htm64(n);
+                b.iter(|| {
+                    for &s in &candidates {
+                        black_box(htm.predict_reference(probe.arrival, s, &probe));
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached_batched", per_server),
+            &per_server,
+            |b, &n| {
+                let mut htm = loaded_htm64(n);
+                b.iter(|| black_box(htm.predict_all(probe.arrival, &probe, &candidates)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision, bench_predict_paths);
 criterion_main!(benches);

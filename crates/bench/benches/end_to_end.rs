@@ -43,16 +43,10 @@ fn bench_parallel_runner(c: &mut Criterion) {
     let tasks = MetataskSpec::paper(20.0).generate(2);
     let workloads: Vec<_> = (0..8).map(|_| tasks.clone()).collect();
     for workers in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &w| {
-                let cfg = ExperimentConfig::paper(HeuristicKind::Msf, 9);
-                b.iter(|| {
-                    black_box(run_replications(cfg, &costs, &servers, &workloads, w).len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = ExperimentConfig::paper(HeuristicKind::Msf, 9);
+            b.iter(|| black_box(run_replications(cfg, &costs, &servers, &workloads, w).len()));
+        });
     }
     group.finish();
 }

@@ -80,5 +80,10 @@ fn bench_fairshare_cycle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queue_hold, bench_calendar_hold, bench_fairshare_cycle);
+criterion_group!(
+    benches,
+    bench_queue_hold,
+    bench_calendar_hold,
+    bench_fairshare_cycle
+);
 criterion_main!(benches);

@@ -39,8 +39,16 @@ fn main() {
     );
     let mut htm = Htm::new(costs, SyncPolicy::None);
     htm.enable_recording(ServerId(0));
-    htm.commit(t(0.0), ServerId(0), &TaskInstance::new(TaskId(1), ProblemId(0), t(0.0)));
-    htm.commit(t(0.0), ServerId(0), &TaskInstance::new(TaskId(2), ProblemId(1), t(0.0)));
+    htm.commit(
+        t(0.0),
+        ServerId(0),
+        &TaskInstance::new(TaskId(1), ProblemId(0), t(0.0)),
+    );
+    htm.commit(
+        t(0.0),
+        ServerId(0),
+        &TaskInstance::new(TaskId(2), ProblemId(1), t(0.0)),
+    );
     let new_task = TaskInstance::new(TaskId(3), ProblemId(2), t(30.0));
     let prediction = htm
         .predict(t(30.0), ServerId(0), &new_task)

@@ -38,8 +38,7 @@ fn main() {
             let tasks = MetataskSpec::paper(gap).generate(0x5EED);
             let workloads: Vec<_> = (0..2).map(|_| tasks.clone()).collect();
             let cfg = ExperimentConfig::paper(HeuristicKind::Mct, 0xF00D);
-            let results =
-                run_heuristic_matrix(cfg, &KINDS, &costs, &servers, &workloads, workers);
+            let results = run_heuristic_matrix(cfg, &KINDS, &costs, &servers, &workloads, workers);
             let row: Vec<f64> = results
                 .iter()
                 .map(|r| {

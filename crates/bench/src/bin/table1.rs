@@ -9,7 +9,7 @@
 //! while the HTM simulates from the noise-free static costs — the same
 //! information asymmetry as paper-vs-testbed.
 
-use cas_bench::paper::{TABLE1_METATASK_A, TABLE1_METATASK_B, TABLE1_MEAN_ERROR_PCT};
+use cas_bench::paper::{TABLE1_MEAN_ERROR_PCT, TABLE1_METATASK_A, TABLE1_METATASK_B};
 use cas_core::heuristics::HeuristicKind;
 use cas_metrics::Table;
 use cas_middleware::validate::{mean_error_pct, validation_report};
@@ -48,10 +48,17 @@ fn single_server() -> (CostTable, Vec<cas_platform::ServerSpec>) {
     let artimon = cas_platform::ServerId(2);
     let mut costs = CostTable::new(1);
     for (i, size) in matmul::SIZES.iter().enumerate() {
-        let pc = full.costs(ProblemId(i as u32), artimon).expect("artimon solves all");
+        let pc = full
+            .costs(ProblemId(i as u32), artimon)
+            .expect("artimon solves all");
         let (input_mb, output_mb) = matmul::DATA_MB[i];
         costs.add_problem(
-            cas_platform::Problem::new(format!("matmul-{size}"), input_mb, output_mb, input_mb + output_mb),
+            cas_platform::Problem::new(
+                format!("matmul-{size}"),
+                input_mb,
+                output_mb,
+                input_mb + output_mb,
+            ),
             vec![Some(pc)],
         );
     }

@@ -5,7 +5,10 @@ use cas_bench::paper::TABLE8;
 use cas_bench::tables::{format_against_reference, run_table, TableSpec, Workload};
 
 fn main() {
-    let spec = TableSpec::new(Workload::WasteCpu, cas_workload::metatask::HIGH_RATE_MEAN_GAP);
+    let spec = TableSpec::new(
+        Workload::WasteCpu,
+        cas_workload::metatask::HIGH_RATE_MEAN_GAP,
+    );
     let outcome = run_table(spec);
     let table = format_against_reference(
         &outcome,

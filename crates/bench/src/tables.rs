@@ -153,7 +153,11 @@ pub fn run_table(spec: TableSpec) -> TableOutcome {
 
 /// Formats a [`TableOutcome`] in the paper's layout, with the paper's
 /// reference values interleaved (`ours / paper`).
-pub fn format_against_reference(outcome: &TableOutcome, reference: &Reference, title: &str) -> Table {
+pub fn format_against_reference(
+    outcome: &TableOutcome,
+    reference: &Reference,
+    title: &str,
+) -> Table {
     let columns = HeuristicKind::PAPER
         .iter()
         .map(|k| k.name().to_string())

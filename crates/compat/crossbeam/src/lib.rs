@@ -1,0 +1,37 @@
+//! Offline shim for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Provides the `crossbeam::thread::scope` entry point the experiment
+//! runner uses, with the crossbeam calling convention: the spawned closure
+//! receives a scope handle (for nested spawns) and `scope` returns a
+//! `Result` that is `Err` only when a worker panicked. `std`'s scoped
+//! threads already propagate panics to the scope, so the `Err` arm is
+//! unreachable in practice — panics resurface as panics, which satisfies
+//! every caller that `.expect()`s the result.
+
+pub mod thread {
+    /// A handle for spawning scoped threads (crossbeam calling convention).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker; the closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` inside a thread scope; all spawned workers are joined
+    /// before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

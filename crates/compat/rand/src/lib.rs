@@ -1,0 +1,36 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the tiny slice of `rand`'s API it actually uses: the [`RngCore`] trait
+//! (implemented by `cas_sim::RngStream` so `rand`-flavoured consumers can
+//! drive our deterministic streams) and the [`Error`] type its fallible
+//! method mentions. The trait contract matches `rand` 0.8.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by our streams).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as in `rand` 0.8.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure (infallible here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

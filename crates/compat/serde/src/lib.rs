@@ -1,0 +1,293 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! miniature serde: the [`Serialize`]/[`Deserialize`] traits with the real
+//! crate's method signatures (the manual impls in `cas-sim` compile
+//! unchanged), a data-model [`Serializer`] rich enough for the JSON backend
+//! in the sibling `serde_json` shim, and re-exported derive macros from
+//! `serde_derive`. Deserialization is supported only for the primitives the
+//! workspace actually deserialises (`f64`); derived `Deserialize` impls
+//! return an "unsupported" error rather than parsing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization-side traits and errors.
+pub mod ser {
+    /// Trait all serializer error types implement.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Compound serializer for sequences.
+    pub trait SerializeSeq {
+        /// Successful result type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: super::Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for structs (and struct variants).
+    pub trait SerializeStruct {
+        /// Successful result type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: super::Serialize + ?Sized>(
+            &mut self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization-side traits and errors.
+pub mod de {
+    /// Trait all deserializer error types implement.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize the serde data model (JSON-oriented
+/// subset: everything the workspace's types need).
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Sequence sub-serializer.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct sub-serializer.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes the unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct as its inner value.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// A data format that can deserialize values (primitive subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Deserializes an `f64`.
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    /// Deserializes a `String`.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+/// A value serializable into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_f64()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty => $method:ident as $cast:ty),* $(,)?) => {
+        $(impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as $cast)
+            }
+        })*
+    };
+}
+
+impl_ser_int! {
+    i8 => serialize_i64 as i64,
+    i16 => serialize_i64 as i64,
+    i32 => serialize_i64 as i64,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u64 as u64,
+    u16 => serialize_u64 as u64,
+    u32 => serialize_u64 as u64,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_iter<'a, S, T>(
+    serializer: S,
+    iter: impl Iterator<Item = &'a T>,
+    len: usize,
+) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+{
+    use ser::SerializeSeq as _;
+    let mut seq = serializer.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter(), self.len())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter(), self.len())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter(), N)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeSeq as _;
+                let mut seq = serializer.serialize_seq(Some(0 $(+ { let _ = stringify!($name); 1 })+))?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        })*
+    };
+}
+
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,278 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Hand-rolled (no `syn`/`quote`, which are unavailable offline): a small
+//! token walker extracts the item's shape — named struct, tuple struct, or
+//! enum with unit/tuple/struct variants — and the macros emit impls of the
+//! shim's `Serialize`/`Deserialize` traits. Generic types are not supported
+//! (none of the workspace's derived types are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, …);` — number of unnamed fields.
+    TupleStruct(usize),
+    /// `enum E { V1, V2 { a: T }, V3(T) }`.
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Skips attribute tokens (`#[...]` / `#![...]`) starting at `i`; returns
+/// the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if i < tokens.len() {
+                    if let TokenTree::Punct(p2) = &tokens[i] {
+                        if p2.as_char() == '!' {
+                            i += 1;
+                        }
+                    }
+                }
+                // The bracketed attribute body.
+                if i < tokens.len() {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token list on commas that sit at angle-bracket depth zero
+/// (type arguments like `Vec<(A, B)>` or `Foo<K, V>` stay intact).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Extracts the field names of a named-fields body.
+fn named_field_names(body: &[TokenTree]) -> Vec<String> {
+    split_top_commas(body)
+        .into_iter()
+        .filter_map(|field| {
+            let mut i = skip_attrs(&field, 0);
+            i = skip_vis(&field, i);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parses the annotated item into `(type_name, shape)`.
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported ({name})");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive shim: expected item body for {name}, got {other:?}"),
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::NamedStruct(named_field_names(&body_tokens)),
+        ("struct", Delimiter::Parenthesis) => {
+            Shape::TupleStruct(split_top_commas(&body_tokens).len())
+        }
+        ("enum", Delimiter::Brace) => {
+            let variants = split_top_commas(&body_tokens)
+                .into_iter()
+                .filter_map(|var| {
+                    let mut j = skip_attrs(&var, 0);
+                    j = skip_vis(&var, j);
+                    let name = match var.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return None,
+                    };
+                    j += 1;
+                    let fields = match var.get(j) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantFields::Named(named_field_names(&inner))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantFields::Tuple(split_top_commas(&inner).len())
+                        }
+                        _ => VariantFields::Unit,
+                    };
+                    Some(Variant { name, fields })
+                })
+                .collect();
+            Shape::Enum(variants)
+        }
+        other => panic!("serde_derive shim: unsupported item shape {other:?}"),
+    };
+    (name, shape)
+}
+
+/// Derives the shim's `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = format!(
+                "let mut st = ::serde::Serializer::serialize_struct(serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeStruct::end(st)");
+            code
+        }
+        Shape::TupleStruct(1) => format!(
+            "::serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut code = format!(
+                "let mut seq = ::serde::Serializer::serialize_seq(serializer, ::core::option::Option::Some({n}))?;\n"
+            );
+            for idx in 0..*n {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeSeq::serialize_element(&mut seq, &self.{idx})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeSeq::end(seq)");
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(serializer, \"{name}\", {vi}u32, \"{vname}\"),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {pat} }} => {{ let mut st = ::serde::Serializer::serialize_struct_variant(serializer, \"{name}\", {vi}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStruct::serialize_field(&mut st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStruct::end(st) }\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(v0) => ::serde::Serializer::serialize_newtype_variant(serializer, \"{name}\", {vi}u32, \"{vname}\", v0),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("v{k}")).collect();
+                        let pat = binds.join(", ");
+                        let tuple = binds.join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => ::serde::Serializer::serialize_newtype_variant(serializer, \"{name}\", {vi}u32, \"{vname}\", &({tuple})),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let imp = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    imp.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derives the shim's `Deserialize` (a stub that reports "unsupported" at
+/// runtime — nothing in the workspace deserialises derived types).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_item(input);
+    let imp = format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D) \
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                     \"vendored serde shim: Deserialize is not implemented for derived types\"))\n\
+             }}\n\
+         }}"
+    );
+    imp.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}

@@ -1,0 +1,333 @@
+//! Offline JSON backend for the vendored serde shim.
+//!
+//! Implements the shim's `Serializer` over a growable `String`, producing
+//! standard JSON: structs as objects, sequences as arrays, newtype structs
+//! as their inner value, unit enum variants as strings, and struct enum
+//! variants as `{"Variant": {...}}` — the same externally-tagged layout as
+//! real `serde_json`.
+
+use serde::ser::{SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+use std::fmt;
+
+/// Serialization error (unused in practice: the string sink cannot fail).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest roundtrip formatting, as real serde_json produces.
+        let mut buf = format!("{v}");
+        if !buf.contains('.') && !buf.contains('e') && !buf.contains("inf") {
+            buf.push_str(".0");
+        }
+        out.push_str(&buf);
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// JSON serializer writing into a `String`.
+struct JsonSer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+}
+
+impl<'a> JsonSer<'a> {
+    fn newline(&mut self, indent: usize) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+}
+
+/// In-progress JSON array.
+struct JsonSeq<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+    first: bool,
+}
+
+/// In-progress JSON object.
+struct JsonStruct<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+    first: bool,
+    /// When the object is an enum struct variant, close an extra brace.
+    wrapped: bool,
+}
+
+impl<'a> Serializer for JsonSer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = JsonSeq<'a>;
+    type SerializeStruct = JsonStruct<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        escape_into(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push(':');
+        value.serialize(JsonSer {
+            out: self.out,
+            pretty: false,
+            indent: 0,
+        })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeq<'a>, Error> {
+        self.out.push('[');
+        Ok(JsonSeq {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+            first: true,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonStruct<'a>, Error> {
+        self.out.push('{');
+        Ok(JsonStruct {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+            first: true,
+            wrapped: false,
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<JsonStruct<'a>, Error> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push(':');
+        self.out.push('{');
+        Ok(JsonStruct {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+            first: true,
+            wrapped: true,
+        })
+    }
+}
+
+impl SerializeSeq for JsonSeq<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        let mut ser = JsonSer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent + 1,
+        };
+        ser.newline(ser.indent);
+        value.serialize(ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        if !self.first && self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+impl SerializeStruct for JsonStruct<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        let mut ser = JsonSer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent + 1,
+        };
+        ser.newline(ser.indent);
+        escape_into(ser.out, name);
+        ser.out.push(':');
+        if ser.pretty {
+            ser.out.push(' ');
+        }
+        value.serialize(ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        if !self.first && self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push('}');
+        if self.wrapped {
+            self.out.push('}');
+        }
+        Ok(())
+    }
+}
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSer {
+        out: &mut out,
+        pretty: false,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSer {
+        out: &mut out,
+        pretty: true,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(super::to_string(&1u32).unwrap(), "1");
+        assert_eq!(super::to_string(&-2i64).unwrap(), "-2");
+        assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(super::to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(super::to_string(&true).unwrap(), "true");
+        assert_eq!(super::to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(super::to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(super::to_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(
+            super::to_string(&(1u8, "x".to_string())).unwrap(),
+            "[1,\"x\"]"
+        );
+    }
+}

@@ -128,8 +128,7 @@ impl Gantt {
             let mut line = vec!['.'; width];
             for seg in &row.segments {
                 let c0 = ((seg.start.as_secs() / cell) as usize).min(width - 1);
-                let c1 = ((seg.end.as_secs() / cell).ceil() as usize)
-                    .clamp(c0 + 1, width);
+                let c1 = ((seg.end.as_secs() / cell).ceil() as usize).clamp(c0 + 1, width);
                 let ch = match seg.phase {
                     Phase::Input => 'i',
                     Phase::Output => 'o',
@@ -139,7 +138,12 @@ impl Gantt {
                     *c = ch;
                 }
             }
-            let _ = writeln!(out, "{:>6} {}", row.task.to_string(), line.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>6} {}",
+                row.task.to_string(),
+                line.iter().collect::<String>()
+            );
         }
         out.push('\n');
         for row in &self.rows {

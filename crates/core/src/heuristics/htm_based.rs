@@ -114,9 +114,7 @@ impl Heuristic for Mni {
             let completion = p.completion.as_secs();
             best = match best {
                 None => Some((s, count, completion)),
-                Some((_, bc, bf))
-                    if count < bc || (count == bc && completion + TIE_EPS < bf) =>
-                {
+                Some((_, bc, bf)) if count < bc || (count == bc && completion + TIE_EPS < bf) => {
                     Some((s, count, completion))
                 }
                 other => other,
@@ -146,8 +144,8 @@ mod tests {
         let costs = table3();
         let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
         let loads = loads3(); // stale: everyone reports idle
-        // Three tasks already committed to S0; the load report hasn't
-        // caught up but the HTM knows.
+                              // Three tasks already committed to S0; the load report hasn't
+                              // caught up but the HTM knows.
         for id in 10..13 {
             htm.commit(cas_sim::SimTime::ZERO, ServerId(0), &task(id, 0.0));
         }
@@ -166,7 +164,11 @@ mod tests {
         htm.commit(cas_sim::SimTime::ZERO, ServerId(0), &task(10, 0.0));
         htm.commit(cas_sim::SimTime::ZERO, ServerId(1), &task(11, 0.0));
         let s = select_once(&mut Mp, &mut htm, &loads, &costs, task(1, 0.0));
-        assert_eq!(s, Some(ServerId(2)), "MP loads slower servers because they are idle");
+        assert_eq!(
+            s,
+            Some(ServerId(2)),
+            "MP loads slower servers because they are idle"
+        );
     }
 
     #[test]

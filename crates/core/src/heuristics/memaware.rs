@@ -70,17 +70,17 @@ impl<H: Heuristic> Heuristic for MemAware<H> {
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
         let mem_need = view.task_mem_need();
         let full: Vec<ServerId> = view.candidates.clone();
-        let fitting: Vec<ServerId> = full
-            .iter()
-            .copied()
-            .filter(|&s| match view.server_total_mem(s) {
+        let mut fitting: Vec<ServerId> = Vec::with_capacity(full.len());
+        for &s in &full {
+            let fits = match view.server_total_mem(s) {
                 // No memory information → assume it fits.
                 None => true,
-                Some(limit) => {
-                    view.resident_estimate(s) + mem_need <= limit * self.headroom
-                }
-            })
-            .collect();
+                Some(limit) => view.resident_estimate(s) + mem_need <= limit * self.headroom,
+            };
+            if fits {
+                fitting.push(s);
+            }
+        }
         if !fitting.is_empty() {
             view.candidates = fitting;
             let pick = self.inner.select(view);
@@ -124,8 +124,9 @@ mod tests {
         t: TaskInstance,
     ) -> Option<ServerId> {
         let costs = htm.costs().clone();
-        let loads: Vec<LoadReport> =
-            (0..2u32).map(|i| LoadReport::initial(ServerId(i))).collect();
+        let loads: Vec<LoadReport> = (0..2u32)
+            .map(|i| LoadReport::initial(ServerId(i)))
+            .collect();
         let mut rng = RngStream::derive(1, StreamKind::TieBreak);
         let mut view = SchedView::new(
             t.arrival,
@@ -199,17 +200,30 @@ mod tests {
         htm_a.commit(SimTime::ZERO, ServerId(0), &task(1, 0.0));
         htm_b.commit(SimTime::ZERO, ServerId(0), &task(1, 0.0));
         let costs = table();
-        let loads: Vec<LoadReport> =
-            (0..2u32).map(|i| LoadReport::initial(ServerId(i))).collect();
+        let loads: Vec<LoadReport> = (0..2u32)
+            .map(|i| LoadReport::initial(ServerId(i)))
+            .collect();
         let mut rng = RngStream::derive(1, StreamKind::TieBreak);
         let t = task(2, 0.0);
         let mut view = SchedView::new(
-            t.arrival, t, costs.solvers(t.problem), &costs, &loads, &mut htm_a, &mut rng,
+            t.arrival,
+            t,
+            costs.solvers(t.problem),
+            &costs,
+            &loads,
+            &mut htm_a,
+            &mut rng,
         );
         let wrapped = MemAware::new(Hmct).select(&mut view);
         let mut rng = RngStream::derive(1, StreamKind::TieBreak);
         let mut view = SchedView::new(
-            t.arrival, t, costs.solvers(t.problem), &costs, &loads, &mut htm_b, &mut rng,
+            t.arrival,
+            t,
+            costs.solvers(t.problem),
+            &costs,
+            &loads,
+            &mut htm_b,
+            &mut rng,
         );
         let plain = Hmct.select(&mut view);
         assert_eq!(wrapped, plain);

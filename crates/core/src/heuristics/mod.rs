@@ -37,9 +37,13 @@ pub const TIE_EPS: f64 = 1e-9;
 
 /// The agent's window onto the world at one scheduling decision.
 ///
-/// Predictions are memoised: MP asks for every candidate's perturbation and
-/// then re-reads the winner's completion date; the underlying trace
-/// simulation runs once per candidate.
+/// Predictions are memoised and **batched**: the first what-if query fans
+/// out over the whole candidate list through [`Htm::predict_all`] (one
+/// generation-cached, zero-clone drain per candidate, threaded when the
+/// load justifies it), and every later query — MP re-reading the winner's
+/// completion date, MNI's tie-breaks — is a memo lookup. A query for a
+/// server outside the candidate list (a wrapper heuristic restoring a
+/// wider list) falls back to a single [`Htm::predict`] call.
 pub struct SchedView<'a> {
     /// Decision time.
     pub now: SimTime,
@@ -53,7 +57,11 @@ pub struct SchedView<'a> {
     loads: &'a [LoadReport],
     htm: &'a mut Htm,
     rng: &'a mut RngStream,
-    memo: HashMap<ServerId, Prediction>,
+    /// Memoised what-if answers; `None` records "cannot solve" so
+    /// unsolvable servers are not re-queried.
+    memo: HashMap<ServerId, Option<Prediction>>,
+    /// Whether the candidate list has been batch-predicted already.
+    batched: bool,
     /// Per-server admission limits (RAM + swap), MB — set by the engine
     /// when memory-aware policies are in play.
     server_mem: Option<&'a [f64]>,
@@ -80,6 +88,7 @@ impl<'a> SchedView<'a> {
             htm,
             rng,
             memo: HashMap::new(),
+            batched: false,
             server_mem: None,
         }
     }
@@ -96,9 +105,10 @@ impl<'a> SchedView<'a> {
         self.server_mem.map(|m| m[server.index()])
     }
 
-    /// The HTM's estimate of `server`'s resident memory, MB.
-    pub fn resident_estimate(&self, server: ServerId) -> f64 {
-        self.htm.resident_estimate(server)
+    /// The HTM's estimate of `server`'s resident memory at decision time,
+    /// MB.
+    pub fn resident_estimate(&mut self, server: ServerId) -> f64 {
+        self.htm.resident_estimate(self.now, server)
     }
 
     /// The memory need of the task being placed, MB.
@@ -128,15 +138,24 @@ impl<'a> SchedView<'a> {
         Some(c.input + c.compute * (load + 1.0) + c.output)
     }
 
-    /// HTM what-if query, memoised per decision.
+    /// HTM what-if query, memoised per decision; the first query batch-
+    /// evaluates the whole candidate list via [`Htm::predict_all`].
     ///
     /// Returns `None` if the server cannot solve the problem.
     pub fn predict(&mut self, server: ServerId) -> Option<&Prediction> {
         if !self.memo.contains_key(&server) {
-            let p = self.htm.predict(self.now, server, &self.task)?;
-            self.memo.insert(server, p);
+            if !self.batched && self.candidates.contains(&server) {
+                self.batched = true;
+                let results = self.htm.predict_all(self.now, &self.task, &self.candidates);
+                for (&s, p) in self.candidates.iter().zip(results) {
+                    self.memo.insert(s, p);
+                }
+            } else {
+                let p = self.htm.predict(self.now, server, &self.task);
+                self.memo.insert(server, p);
+            }
         }
-        self.memo.get(&server)
+        self.memo.get(&server).and_then(|p| p.as_ref())
     }
 
     /// The tie-break RNG stream (only [`RandomChoice`] uses it).

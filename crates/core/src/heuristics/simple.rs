@@ -137,8 +137,7 @@ impl Heuristic for Kpb {
             return None;
         }
         by_static.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
-        let keep = ((by_static.len() as f64 * self.k).ceil() as usize)
-            .clamp(1, by_static.len());
+        let keep = ((by_static.len() as f64 * self.k).ceil() as usize).clamp(1, by_static.len());
         let full = view.candidates.clone();
         view.candidates = by_static[..keep].iter().map(|(s, _)| *s).collect();
         let pick = view.argmin(|v, s| v.mct_estimate(s));
@@ -161,9 +160,7 @@ mod tests {
         let loads = loads3();
         let mut rr = RoundRobin::default();
         let picks: Vec<_> = (0..6)
-            .map(|i| {
-                select_once(&mut rr, &mut htm, &loads, &costs, task(i, 0.0)).unwrap()
-            })
+            .map(|i| select_once(&mut rr, &mut htm, &loads, &costs, task(i, 0.0)).unwrap())
             .collect();
         assert_eq!(
             picks,

@@ -18,12 +18,52 @@
 //! between the HTM and the real platform ([`SyncPolicy`]): when the real
 //! environment reports a completion, the model can be corrected so its error
 //! does not compound.
+//!
+//! # The prediction engine
+//!
+//! Answering a what-if query is the scheduler's decision cost: every
+//! HTM-based heuristic issues one query per candidate server per incoming
+//! task. The engine therefore avoids all per-query cloning:
+//!
+//! * **Generation-cached baseline.** The *before* schedule (`f(i,j)` of all
+//!   tasks already on a server, with no insertion) only changes when the
+//!   server's trace mutates. Each trace carries a [`Generation`] stamp
+//!   ([`ServerTrace::generation`]); the HTM caches the drained baseline per
+//!   server keyed by that stamp, so the baseline is computed once per
+//!   commit/retract/sync, not once per query. Queries never advance the
+//!   real trace (the trace stays lazy until the next mutation), which is
+//!   what keeps the stamp stable across an entire decision round — and
+//!   across rounds for every server the agent did not commit to.
+//! * **Zero-clone speculative drain.** The *after* schedule (with the
+//!   candidate task inserted) runs through a per-server
+//!   [`DrainScratch`](crate::trace::DrainScratch): flat reusable buffers
+//!   replaying the exact event arithmetic of the clone-based path, so
+//!   results are bit-for-bit identical without per-query heap allocation.
+//! * **Batched fan-out.** [`Htm::predict_all`] answers one query per
+//!   candidate in a single call and, for large candidate sets with heavily
+//!   loaded traces, fans the per-server work across scoped threads (each
+//!   server's scratch state is independent, so parallelism cannot change
+//!   results).
+//!
+//! [`Htm::predict_reference`] keeps the original clone-and-drain
+//! implementation; the differential proptests below drive both paths
+//! through arbitrary commit/predict/retract/observe interleavings and
+//! assert bit-for-bit agreement, and the `decision_cost` bench uses it as
+//! the baseline the fast path is gated against.
 
 use crate::prediction::Prediction;
-use crate::trace::ServerTrace;
-use cas_platform::{CostTable, ServerId, TaskId, TaskInstance};
-use cas_sim::SimTime;
+use crate::trace::{DrainScratch, ServerTrace};
+use cas_platform::{CostTable, PhaseCosts, ServerId, TaskId, TaskInstance};
+use cas_sim::{Generation, SimTime};
 use std::collections::HashMap;
+
+/// Fan candidate evaluation across threads only when the candidate set and
+/// the simulated load are both large enough to amortise thread start-up
+/// (scoped-thread spawn is ~10 µs; a loaded drain is tens of µs).
+const PARALLEL_MIN_CANDIDATES: usize = 8;
+
+/// Minimum total active tasks across candidate traces before threading.
+const PARALLEL_MIN_ACTIVE: usize = 1024;
 
 /// How the HTM reacts to completions observed on the real platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,11 +79,86 @@ pub enum SyncPolicy {
     ForceFinish,
 }
 
+/// Per-server prediction working state: the generation-keyed baseline
+/// cache plus the reusable buffers of the zero-clone drain.
+#[derive(Debug, Clone, Default)]
+struct PredictState {
+    /// Flat-buffer replay state for speculative drains.
+    scratch: DrainScratch,
+    /// Cached baseline schedule (task, completion), in completion order —
+    /// exactly what `trace.drain_schedule()` would return.
+    baseline: Vec<(TaskId, SimTime)>,
+    /// Trace generation the baseline was computed at. A fresh trace is at
+    /// the default generation with an empty schedule, so the default state
+    /// is consistent without a sentinel.
+    baseline_gen: Generation,
+    /// Reusable output buffer for the speculative drain.
+    after: Vec<(TaskId, SimTime)>,
+    /// Reusable task → completion lookup over `after`.
+    after_map: HashMap<TaskId, SimTime>,
+}
+
+impl PredictState {
+    /// Recomputes the baseline if the trace mutated since the cached copy.
+    fn refresh_baseline(&mut self, trace: &ServerTrace) {
+        if self.baseline_gen != trace.generation() {
+            trace.drain_schedule_into(&mut self.scratch, None, &mut self.baseline);
+            self.baseline_gen = trace.generation();
+        }
+    }
+
+    /// Answers one what-if query against `trace` without touching it.
+    ///
+    /// Bit-for-bit identical to the clone-based reference path (see
+    /// [`Htm::predict_reference`]).
+    fn predict(
+        &mut self,
+        trace: &ServerTrace,
+        now: SimTime,
+        task: TaskId,
+        costs: PhaseCosts,
+    ) -> Prediction {
+        self.refresh_baseline(trace);
+        trace.drain_schedule_into(&mut self.scratch, Some((now, task, costs)), &mut self.after);
+        self.after_map.clear();
+        self.after_map.extend(self.after.iter().copied());
+        let completion = self.after_map[&task];
+        let perturbations = self
+            .baseline
+            .iter()
+            .filter_map(|&(j, f_before)| {
+                // Baseline entries absent from the after-schedule completed
+                // before `now` (a task inserted at `now` cannot influence
+                // them): they are no longer active at decision time and
+                // carry no perturbation.
+                self.after_map
+                    .get(&j)
+                    // Clamped at zero: the paper defines π on the
+                    // CPU-sharing intuition where insertions only delay. In
+                    // the full three-phase model an insertion can
+                    // occasionally *help* a bystander (by slowing a
+                    // competitor's input transfer), and float rounding can
+                    // also produce tiny negatives; both are treated as zero
+                    // interference.
+                    .map(|&f_after| (j, (f_after - f_before).as_secs().max(0.0)))
+            })
+            .collect();
+        Prediction {
+            completion,
+            queried_at: now,
+            perturbations,
+        }
+    }
+}
+
 /// The agent-side Historical Trace Manager.
 #[derive(Debug, Clone)]
 pub struct Htm {
     costs: CostTable,
     traces: Vec<ServerTrace>,
+    /// One prediction cache/scratch per server, index-aligned with
+    /// `traces`.
+    predict_states: Vec<PredictState>,
     assignments: HashMap<TaskId, ServerId>,
     /// Problem of each committed task, for the agent-side memory estimate
     /// (the paper's first piece of future work: "we need to incorporate
@@ -60,6 +175,7 @@ impl Htm {
         Htm {
             costs,
             traces: (0..n).map(|_| ServerTrace::new()).collect(),
+            predict_states: (0..n).map(|_| PredictState::default()).collect(),
             assignments: HashMap::new(),
             task_problems: HashMap::new(),
             sync,
@@ -96,15 +212,37 @@ impl Htm {
     /// Simulates mapping `task` on `server` at time `now`.
     ///
     /// Returns `None` when the server did not register the task's problem.
-    /// Does not modify the historical trace (works on clones).
-    pub fn predict(&mut self, now: SimTime, server: ServerId, task: &TaskInstance) -> Option<Prediction> {
+    /// Does not modify the historical trace: the query runs on the
+    /// server's reusable scratch buffers against its generation-cached
+    /// baseline (see the module docs), so no per-query cloning or trace
+    /// advancement happens.
+    pub fn predict(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+    ) -> Option<Prediction> {
         let costs = self.costs.costs(task.problem, server)?;
         self.predictions_made += 1;
-        // Advance the real trace to `now` first: prediction work done now
-        // (progressing every job to the present) is shared by later queries
-        // instead of being redone inside every clone.
-        let trace = &mut self.traces[server.index()];
-        trace.advance(now);
+        let trace = &self.traces[server.index()];
+        let state = &mut self.predict_states[server.index()];
+        Some(state.predict(trace, now, task.id, costs))
+    }
+
+    /// The original clone-and-drain what-if path, kept as the executable
+    /// specification of [`Self::predict`]: the differential proptests
+    /// assert both produce bit-identical predictions over arbitrary
+    /// interleavings, and the `decision_cost` bench uses this as the
+    /// baseline the cached engine is gated against.
+    pub fn predict_reference(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+    ) -> Option<Prediction> {
+        let costs = self.costs.costs(task.problem, server)?;
+        self.predictions_made += 1;
+        let trace = &self.traces[server.index()];
         let before: Vec<(TaskId, SimTime)> = trace.drain_schedule();
         let mut with = trace.clone();
         with.add_task(now, task.id, costs);
@@ -112,15 +250,12 @@ impl Htm {
         let completion = after[&task.id];
         let perturbations = before
             .iter()
-            .map(|(j, f_before)| {
-                let f_after = after[j];
-                // Clamped at zero: the paper defines π on the CPU-sharing
-                // intuition where insertions only delay. In the full
-                // three-phase model an insertion can occasionally *help* a
-                // bystander (by slowing a competitor's input transfer), and
-                // float rounding can also produce tiny negatives; both are
-                // treated as zero interference.
-                (*j, (f_after - *f_before).as_secs().max(0.0))
+            .filter_map(|(j, f_before)| {
+                // Tasks that finish before `now` drop out of the schedule
+                // once the clone advances; they carry no perturbation.
+                after
+                    .get(j)
+                    .map(|f_after| (*j, (*f_after - *f_before).as_secs().max(0.0)))
             })
             .collect();
         Some(Prediction {
@@ -128,6 +263,96 @@ impl Htm {
             queried_at: now,
             perturbations,
         })
+    }
+
+    /// Answers one what-if query per candidate in a single batch.
+    ///
+    /// `results[k]` corresponds to `candidates[k]`; `None` means that
+    /// server cannot solve the task's problem. Results are identical to
+    /// calling [`Self::predict`] per candidate. For large candidate sets
+    /// over heavily loaded traces the per-server work fans out across
+    /// scoped threads; each server's cache and scratch are independent, so
+    /// the fan-out cannot change any result.
+    pub fn predict_all(
+        &mut self,
+        now: SimTime,
+        task: &TaskInstance,
+        candidates: &[ServerId],
+    ) -> Vec<Option<Prediction>> {
+        let mut results: Vec<Option<Prediction>> = Vec::new();
+        results.resize_with(candidates.len(), || None);
+        let costs: Vec<Option<PhaseCosts>> = candidates
+            .iter()
+            .map(|&s| self.costs.costs(task.problem, s))
+            .collect();
+        // Map server index → result slot, so per-server `&mut` state can be
+        // collected disjointly (duplicates keep the last slot and are
+        // back-filled below).
+        let mut slot_of = vec![usize::MAX; self.traces.len()];
+        for (slot, &s) in candidates.iter().enumerate() {
+            if costs[slot].is_some() {
+                slot_of[s.index()] = slot;
+            }
+        }
+        let traces = &self.traces;
+        let mut selected: Vec<(usize, &ServerTrace, &mut PredictState)> = Vec::new();
+        for (idx, state) in self.predict_states.iter_mut().enumerate() {
+            let slot = slot_of[idx];
+            if slot != usize::MAX {
+                selected.push((slot, &traces[idx], state));
+            }
+        }
+        self.predictions_made += selected.len() as u64;
+        let total_active: usize = selected.iter().map(|(_, tr, _)| tr.active_len()).sum();
+        if selected.len() >= PARALLEL_MIN_CANDIDATES && total_active >= PARALLEL_MIN_ACTIVE {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(selected.len())
+                .min(8);
+            let chunk_len = selected.len().div_ceil(workers);
+            let task_id = task.id;
+            let costs = &costs;
+            let computed: Vec<Vec<(usize, Prediction)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = selected
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|(slot, trace, state)| {
+                                    let c = costs[*slot].expect("selected implies solvable");
+                                    (*slot, state.predict(trace, now, task_id, c))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("prediction worker does not panic"))
+                    .collect()
+            });
+            for batch in computed {
+                for (slot, p) in batch {
+                    results[slot] = Some(p);
+                }
+            }
+        } else {
+            for (slot, trace, state) in &mut selected {
+                let c = costs[*slot].expect("selected implies solvable");
+                results[*slot] = Some(state.predict(trace, now, task.id, c));
+            }
+        }
+        // Back-fill duplicate candidates (only the last occurrence was
+        // evaluated; queries are pure, so the result is shared).
+        for slot in 0..candidates.len() {
+            if results[slot].is_none() && costs[slot].is_some() {
+                let canonical = slot_of[candidates[slot].index()];
+                results[slot] = results[canonical].clone();
+            }
+        }
+        results
     }
 
     /// Records that `task` has been allocated to `server` (Figs. 2–4, last
@@ -184,21 +409,34 @@ impl Htm {
         self.traces[server.index()].active_len()
     }
 
-    /// The agent's estimate of `server`'s resident memory, MB: the summed
-    /// memory needs of every task the HTM believes is still running there.
+    /// The agent's estimate of `server`'s resident memory at `now`, MB:
+    /// the summed memory needs of every task the HTM believes is still
+    /// running there at that instant.
+    ///
+    /// Queries are pure, so a trace's job list only shrinks on mutations;
+    /// "still running at `now`" therefore comes from the cached baseline
+    /// schedule — a task is resident while its simulated completion lies
+    /// beyond `now` — which is exactly the set a query-time
+    /// `advance(now)` would have left active, without mutating anything
+    /// or allocating.
     ///
     /// This is the model-side half of the paper's future work ("incorporate
     /// memory requirements into the model"); the memory-aware heuristics in
     /// [`crate::heuristics`] use it to veto placements the real server
     /// would reject.
-    pub fn resident_estimate(&self, server: ServerId) -> f64 {
-        self.traces[server.index()]
-            .active_tasks()
+    pub fn resident_estimate(&mut self, now: SimTime, server: ServerId) -> f64 {
+        let trace = &self.traces[server.index()];
+        let state = &mut self.predict_states[server.index()];
+        state.refresh_baseline(trace);
+        let (task_problems, costs) = (&self.task_problems, &self.costs);
+        state
+            .baseline
             .iter()
-            .map(|t| {
-                self.task_problems
+            .filter(|&&(_, completion)| completion > now)
+            .map(|(t, _)| {
+                task_problems
                     .get(t)
-                    .map(|p| self.costs.problem(*p).mem_mb)
+                    .map(|p| costs.problem(*p).mem_mb)
                     .unwrap_or(0.0)
             })
             .sum()
@@ -356,5 +594,247 @@ mod tests {
         assert_eq!(fins.len(), 2);
         assert_eq!(fins[0].1, t(200.0));
         assert_eq!(fins[1].1, t(200.0));
+    }
+
+    /// Regression: queries are pure (the trace is not advanced at query
+    /// time), so the residency estimate must derive "still running" from
+    /// the cached schedule rather than the raw job list — otherwise, under
+    /// `SyncPolicy::None`, a server that stops receiving commits would
+    /// report its peak residency forever and the memory-aware veto would
+    /// exclude it permanently.
+    #[test]
+    fn resident_estimate_decays_as_simulated_tasks_finish() {
+        let mut c = CostTable::new(1);
+        c.add_problem(
+            Problem::new("hungry", 0.0, 0.0, 100.0),
+            vec![Some(PhaseCosts::new(0.0, 10.0, 0.0))],
+        );
+        let mut htm = Htm::new(c, SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        assert_eq!(htm.resident_estimate(t(0.0), ServerId(0)), 100.0);
+        assert_eq!(htm.resident_estimate(t(5.0), ServerId(0)), 100.0);
+        // The task's simulated completion is t=10: from then on it no
+        // longer occupies memory, with no commit needed to notice.
+        assert_eq!(htm.resident_estimate(t(10.0), ServerId(0)), 0.0);
+        assert_eq!(htm.resident_estimate(t(1000.0), ServerId(0)), 0.0);
+    }
+
+    #[test]
+    fn predict_agrees_with_reference_on_fixture() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.commit(t(5.0), ServerId(0), &task(2, 5.0));
+        for now in [5.0, 40.0, 150.0, 500.0] {
+            for s in [ServerId(0), ServerId(1)] {
+                let probe = task(99, now);
+                let fast = htm.predict(t(now), s, &probe).unwrap();
+                let slow = htm.predict_reference(t(now), s, &probe).unwrap();
+                assert_eq!(fast, slow, "now={now}, server={s}");
+            }
+        }
+    }
+
+    /// `predict_all` must agree with per-candidate `predict` even when the
+    /// candidate set and the load are big enough to trigger the scoped-
+    /// thread fan-out (16 servers × 70 active tasks ≫ the thresholds).
+    #[test]
+    fn predict_all_parallel_path_matches_serial() {
+        let n_servers = 16usize;
+        let mut table = CostTable::new(n_servers);
+        table.add_problem(
+            Problem::new("p", 0.5, 0.2, 0.0),
+            (0..n_servers)
+                .map(|s| Some(PhaseCosts::new(0.3, 20.0 + s as f64, 0.1)))
+                .collect(),
+        );
+        let mut htm = Htm::new(table, SyncPolicy::None);
+        let mut id = 0u64;
+        for s in 0..n_servers as u32 {
+            for k in 0..70 {
+                let tk =
+                    TaskInstance::new(TaskId(id), cas_platform::ProblemId(0), t(k as f64 * 0.25));
+                htm.commit(tk.arrival, ServerId(s), &tk);
+                id += 1;
+            }
+        }
+        let candidates: Vec<ServerId> = (0..n_servers as u32).map(ServerId).collect();
+        let probe = task(500_000, 60.0);
+        let batch = htm.predict_all(t(60.0), &probe, &candidates);
+        assert_eq!(batch.len(), candidates.len());
+        for (s, got) in candidates.iter().zip(&batch) {
+            let expected = htm.predict_reference(t(60.0), *s, &probe);
+            assert_eq!(got.as_ref(), expected.as_ref(), "server {s}");
+        }
+    }
+
+    /// Duplicate candidates are evaluated once and back-filled.
+    #[test]
+    fn predict_all_handles_duplicates_and_unsolvable() {
+        let mut c = CostTable::new(2);
+        c.add_problem(
+            Problem::new("only-s1", 0.0, 0.0, 0.0),
+            vec![None, Some(PhaseCosts::new(0.0, 10.0, 0.0))],
+        );
+        let mut htm = Htm::new(c, SyncPolicy::None);
+        let probe = task(1, 0.0);
+        let res = htm.predict_all(t(0.0), &probe, &[ServerId(0), ServerId(1), ServerId(1)]);
+        assert!(res[0].is_none(), "unsolvable server predicts None");
+        assert!(res[1].is_some());
+        assert_eq!(res[1], res[2], "duplicate candidate shares the result");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cas_platform::{PhaseCosts, Problem, ProblemId};
+    use proptest::prelude::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    const N_SERVERS: usize = 3;
+    const N_PROBLEMS: usize = 2;
+
+    prop_compose! {
+        fn arb_costs()(i in 0.0f64..4.0, c in 0.1f64..40.0, o in 0.0f64..4.0) -> PhaseCosts {
+            PhaseCosts::new(i, c, o)
+        }
+    }
+
+    /// Builds a 2-problem × 3-server table from raw draws; every problem is
+    /// forced solvable on server 0 so commits always have a home.
+    fn build_table(costs: &[PhaseCosts], solvable: &[bool]) -> CostTable {
+        let mut table = CostTable::new(N_SERVERS);
+        for p in 0..N_PROBLEMS {
+            let row = (0..N_SERVERS)
+                .map(|s| {
+                    let k = p * N_SERVERS + s;
+                    if s == 0 || solvable[k] {
+                        Some(costs[k])
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            table.add_problem(Problem::new(format!("p{p}"), 0.1, 0.1, 0.0), row);
+        }
+        table
+    }
+
+    /// Asserts two predictions are bit-for-bit identical (f64 bit patterns,
+    /// perturbation order included).
+    fn assert_bit_identical(
+        fast: &Prediction,
+        slow: &Prediction,
+    ) -> Result<(), proptest::TestCaseError> {
+        prop_assert_eq!(
+            fast.completion.as_secs().to_bits(),
+            slow.completion.as_secs().to_bits(),
+            "completion differs: {:?} vs {:?}",
+            fast.completion,
+            slow.completion
+        );
+        prop_assert_eq!(fast.queried_at, slow.queried_at);
+        prop_assert_eq!(
+            fast.perturbations.len(),
+            slow.perturbations.len(),
+            "perturbation sets differ: {:?} vs {:?}",
+            &fast.perturbations,
+            &slow.perturbations
+        );
+        for ((jf, pf), (js, ps)) in fast.perturbations.iter().zip(&slow.perturbations) {
+            prop_assert_eq!(jf, js);
+            prop_assert_eq!(
+                pf.to_bits(),
+                ps.to_bits(),
+                "perturbation of {} differs: {} vs {}",
+                jf,
+                pf,
+                ps
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        /// The generation-cached, scratch-buffer prediction engine agrees
+        /// **bit for bit** with the naive clone-and-drain reference over
+        /// arbitrary interleavings of commit / predict / retract / observe
+        /// (mirroring the calendar-vs-heap differential proptest).
+        #[test]
+        fn fast_predict_is_bitwise_equal_to_reference(
+            costs in proptest::collection::vec(arb_costs(), 6),
+            solvable in proptest::collection::vec(proptest::bool::ANY, 6),
+            ops in proptest::collection::vec(
+                // (op kind, server, problem, time gap)
+                (0u32..10, 0u32..3, 0u32..2, 0.0f64..20.0),
+                1..50,
+            ),
+            force_finish in proptest::bool::ANY,
+        ) {
+            let table = build_table(&costs, &solvable);
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            let mut htm = Htm::new(table, sync);
+            let mut now = 0.0f64;
+            let mut next_id = 0u64;
+            let mut committed: Vec<TaskId> = Vec::new();
+            for (kind, server, problem, gap) in ops {
+                now += gap;
+                let when = t(now);
+                match kind {
+                    // Half the ops are what-if queries, checked on every
+                    // server so the per-server caches get hit, refreshed
+                    // and cross-validated in the same round.
+                    0..=4 => {
+                        let probe = TaskInstance::new(
+                            TaskId(1_000_000 + next_id),
+                            ProblemId(problem),
+                            when,
+                        );
+                        next_id += 1;
+                        for s in 0..N_SERVERS as u32 {
+                            let fast = htm.predict(when, ServerId(s), &probe);
+                            let slow = htm.predict_reference(when, ServerId(s), &probe);
+                            match (&fast, &slow) {
+                                (None, None) => {}
+                                (Some(f), Some(r)) => assert_bit_identical(f, r)?,
+                                _ => prop_assert!(
+                                    false,
+                                    "solvability disagreement on {}",
+                                    s
+                                ),
+                            }
+                        }
+                    }
+                    // Commits mutate a trace and must invalidate its cache.
+                    5..=7 => {
+                        let task = TaskInstance::new(TaskId(next_id), ProblemId(problem), when);
+                        next_id += 1;
+                        let target = if htm.costs().costs(task.problem, ServerId(server)).is_some() {
+                            ServerId(server)
+                        } else {
+                            ServerId(0) // always solvable by construction
+                        };
+                        htm.commit(when, target, &task);
+                        committed.push(task.id);
+                    }
+                    // Retract a previously committed task.
+                    8 => {
+                        if let Some(id) = committed.pop() {
+                            htm.retract(when, id);
+                        }
+                    }
+                    // Feed back an observed completion (force-finishes the
+                    // trace under SyncPolicy::ForceFinish, no-op otherwise).
+                    _ => {
+                        if let Some(&id) = committed.first() {
+                            htm.observe_completion(when, id);
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -26,6 +26,28 @@
 //!
 //! The crate is pure model code: no events, no wall-clock, no I/O. The
 //! middleware crate drives it.
+//!
+//! # Prediction-cache invariants
+//!
+//! The what-if engine ([`htm`]) is zero-clone and generation-cached; its
+//! correctness rests on three invariants, enforced by the differential
+//! proptests in `htm.rs`:
+//!
+//! 1. **Stamp soundness.** Every observable mutation of a [`ServerTrace`]
+//!    (task added, task force-finished, cursor advanced past an event or a
+//!    time span) bumps [`ServerTrace::generation`]. Equal stamps ⇒
+//!    bit-identical trace state ⇒ the cached baseline schedule is valid.
+//! 2. **Queries are pure.** [`Htm::predict`] and [`Htm::predict_all`] never
+//!    mutate a trace (in particular they do *not* advance it to the query
+//!    time — the trace stays lazy until the next commit/retract/sync), so
+//!    a whole decision round, and every round until the next commit on that
+//!    server, reuses one cached baseline.
+//! 3. **Replay fidelity.** The speculative drain
+//!    ([`trace::DrainScratch`]) performs the same floating-point
+//!    operations in the same order as the clone-and-drain reference
+//!    ([`Htm::predict_reference`]), so predictions agree bit for bit.
+//!    When touching the trace event loop or the fair-share arithmetic,
+//!    update both paths together.
 
 pub mod gantt;
 pub mod heuristics;
@@ -40,4 +62,4 @@ pub use heuristics::{
 };
 pub use htm::{Htm, SyncPolicy};
 pub use prediction::Prediction;
-pub use trace::ServerTrace;
+pub use trace::{DrainScratch, ServerTrace};

@@ -64,11 +64,7 @@ mod tests {
         Prediction {
             completion: SimTime::from_secs(100.0),
             queried_at: SimTime::from_secs(40.0),
-            perturbations: vec![
-                (TaskId(1), 10.0),
-                (TaskId(2), 0.0),
-                (TaskId(3), 5.0),
-            ],
+            perturbations: vec![(TaskId(1), 10.0), (TaskId(2), 0.0), (TaskId(3), 5.0)],
         }
     }
 

@@ -10,9 +10,29 @@
 //! static cost tables — the same convention NetSolve's measured costs use.
 //! A trace therefore never consults machine specs; heterogeneity is entirely
 //! encoded in the per-server costs, as in the paper.
+//!
+//! # Change tracking and the zero-clone what-if path
+//!
+//! Every mutation of a trace's observable state (task added, task
+//! force-finished, cursor advanced past an event or any span of time) bumps
+//! a [`Generation`] stamp, exposed via [`ServerTrace::generation`]. Between
+//! two equal stamps the trace state is bit-identical, so any quantity
+//! derived from it — in particular the drained baseline schedule the HTM
+//! caches per server — can be reused without recomputation.
+//!
+//! What-if questions ("when would these tasks finish if X were inserted
+//! now?") used to clone the whole trace per query. They now run through
+//! [`DrainScratch`], a reusable flat-buffer copy of the three fair-share
+//! lanes: [`ServerTrace::drain_schedule_into`] loads the scratch from the
+//! live trace (no heap allocation once the buffers are warm), optionally
+//! injects one hypothetical task, and replays the exact event arithmetic of
+//! [`ServerTrace::advance`]/[`ServerTrace::drain`]. The replay performs the
+//! same floating-point operations in the same order as the clone-and-drain
+//! path, so results agree **bit for bit** — a property enforced by the
+//! differential proptests in `htm.rs`.
 
-use cas_platform::{FairShareResource, PhaseCosts, Phase, TaskId};
-use cas_sim::SimTime;
+use cas_platform::{FairShareResource, Phase, PhaseCosts, TaskId};
+use cas_sim::{Generation, SimTime};
 use std::collections::BTreeMap;
 
 /// Where a task currently is inside the trace.
@@ -51,6 +71,10 @@ pub struct ServerTrace {
     /// When `true`, [`Self::segments`] accumulates Gantt history.
     record_segments: bool,
     segments: Vec<TraceSegment>,
+    /// Bumped on every observable state change (see the module docs); lets
+    /// derived quantities (the HTM's baseline schedule cache) be reused
+    /// while the stamp is unchanged.
+    generation: Generation,
 }
 
 impl Default for ServerTrace {
@@ -71,6 +95,7 @@ impl ServerTrace {
             finished: Vec::new(),
             record_segments: false,
             segments: Vec::new(),
+            generation: Generation::default(),
         }
     }
 
@@ -84,6 +109,13 @@ impl ServerTrace {
     /// The time up to which this trace has been advanced.
     pub fn cursor(&self) -> SimTime {
         self.cursor
+    }
+
+    /// The change stamp: two reads returning the same value guarantee the
+    /// trace state (cursor, lane memberships, remaining work) is
+    /// bit-identical, so schedules derived from it are still valid.
+    pub fn generation(&self) -> Generation {
+        self.generation
     }
 
     /// Number of tasks not yet finished.
@@ -110,6 +142,12 @@ impl ServerTrace {
     /// "local numbers" on this server.
     pub fn active_tasks(&self) -> Vec<TaskId> {
         self.jobs.keys().copied().collect()
+    }
+
+    /// Iterator over unfinished task ids, allocation-free (prefer this over
+    /// [`Self::active_tasks`] on hot paths).
+    pub fn active_task_iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.jobs.keys().copied()
     }
 
     /// Whether `task` is mapped here and unfinished.
@@ -175,9 +213,12 @@ impl ServerTrace {
         // Merge with the previous segment when nothing changed, keeping the
         // chart compact.
         for seg in new_segments {
-            if let Some(last) = self.segments.iter_mut().rev().find(|s| {
-                s.task == seg.task && s.phase == seg.phase && s.end == seg.start
-            }) {
+            if let Some(last) = self
+                .segments
+                .iter_mut()
+                .rev()
+                .find(|s| s.task == seg.task && s.phase == seg.phase && s.end == seg.start)
+            {
                 if (last.share - seg.share).abs() < 1e-12 {
                     last.end = seg.end;
                     continue;
@@ -194,10 +235,12 @@ impl ServerTrace {
     /// Panics if `to` is before the cursor.
     pub fn advance(&mut self, to: SimTime) {
         assert!(to >= self.cursor, "trace cannot rewind");
+        let mut changed = to > self.cursor;
         while let Some((phase, task, when)) = self.next_event() {
             if when > to {
                 break;
             }
+            changed = true;
             self.record_interval(self.cursor, when);
             for p in Phase::ALL {
                 self.resource_mut(p).advance(when);
@@ -224,6 +267,9 @@ impl ServerTrace {
             self.resource_mut(p).advance(to);
         }
         self.cursor = to;
+        if changed {
+            self.generation.bump();
+        }
     }
 
     /// Maps a new task onto this server at time `now` with the given static
@@ -247,6 +293,7 @@ impl ServerTrace {
             },
         );
         self.link_in.add(now, task, costs.input);
+        self.generation.bump();
     }
 
     /// Force-finishes a task at `now` (HTM ↔ reality synchronisation: the
@@ -259,6 +306,7 @@ impl ServerTrace {
         };
         self.resource_mut(state.phase).remove(now, task);
         self.finished.push((task, now));
+        self.generation.bump();
         true
     }
 
@@ -294,6 +342,229 @@ impl ServerTrace {
     /// Arrival date recorded for an active task.
     pub fn arrival_of(&self, task: TaskId) -> Option<SimTime> {
         self.jobs.get(&task).map(|j| j.arrival)
+    }
+
+    /// Drains the schedule into `out` through a reusable scratch buffer,
+    /// optionally with one hypothetical task inserted — the zero-clone
+    /// what-if primitive behind [`crate::Htm`]'s prediction engine.
+    ///
+    /// * `insert = None` reproduces [`Self::drain_schedule`] bit for bit
+    ///   (completion order and float values), without cloning the trace.
+    /// * `insert = Some((now, task, costs))` reproduces the clone-based
+    ///   reference path `{ let mut c = trace.clone(); c.add_task(now, task,
+    ///   costs); c.drain_schedule() }` bit for bit: the scratch advances to
+    ///   `now` with the same event arithmetic, injects the task into the
+    ///   input lane, and drains.
+    ///
+    /// `out` is cleared first. The trace itself is not modified, and after
+    /// the scratch buffers have grown to the high-water mark no heap
+    /// allocation happens per call.
+    ///
+    /// # Panics
+    /// Panics if `insert` is before the cursor or names a task already
+    /// mapped here (mirrors [`Self::add_task`]).
+    pub fn drain_schedule_into(
+        &self,
+        scratch: &mut DrainScratch,
+        insert: Option<(SimTime, TaskId, PhaseCosts)>,
+        out: &mut Vec<(TaskId, SimTime)>,
+    ) {
+        out.clear();
+        scratch.load(self);
+        match insert {
+            None => scratch.drain(&self.jobs, None, out),
+            Some((now, task, costs)) => {
+                assert!(now >= self.cursor, "trace cannot rewind");
+                assert!(
+                    !self.jobs.contains_key(&task),
+                    "task {task} already mapped on this trace"
+                );
+                // Same op order as `add_task` on a clone: advance to `now`
+                // first (the extra task is not yet present), then enter the
+                // input lane. Completions reached while advancing land in
+                // the clone's `finished` list, which `drain_schedule`
+                // excludes — mirror that by discarding them.
+                let mut pre = std::mem::take(&mut scratch.pre_now);
+                pre.clear();
+                scratch.advance_to(now, &self.jobs, None, &mut pre);
+                scratch.pre_now = pre;
+                scratch.lanes[0].entries.push((task, costs.input));
+                scratch.drain(&self.jobs, Some((task, costs)), out);
+            }
+        }
+    }
+}
+
+/// Reusable flat-buffer state for zero-clone what-if drains.
+///
+/// Holds one lane per phase resource — `(task, remaining work)` pairs in
+/// the same order as the live [`FairShareResource`] entries — plus the
+/// cursor. [`ServerTrace::drain_schedule_into`] copies the live state in
+/// (reusing capacity), then replays the trace's event loop on the copy.
+///
+/// The replay is deliberately **operation-for-operation identical** to
+/// [`ServerTrace::advance`]/[`ServerTrace::drain`] + the fair-share
+/// resource arithmetic, so its floating-point results match the
+/// clone-and-drain path exactly. When changing either side, change both —
+/// the differential proptests in `htm.rs` will catch a drift.
+#[derive(Debug, Clone, Default)]
+pub struct DrainScratch {
+    lanes: [ScratchLane; 3],
+    cursor: SimTime,
+    /// Reusable sink for completions that fall before the insertion time
+    /// (dropped, like the clone path's `finished` list).
+    pre_now: Vec<(TaskId, SimTime)>,
+}
+
+/// One phase lane of the scratch: mirrors `FairShareResource`'s state.
+#[derive(Debug, Clone, Default)]
+struct ScratchLane {
+    /// `(task, remaining work)` in insertion order.
+    entries: Vec<(TaskId, f64)>,
+    /// Last time progress was integrated up to.
+    updated_at: SimTime,
+    /// Total capacity, split equally.
+    capacity: f64,
+}
+
+impl ScratchLane {
+    /// Mirrors [`FairShareResource::next_completion`].
+    fn next_completion(&self, now: SimTime) -> Option<(TaskId, SimTime)> {
+        let lag = (now - self.updated_at).as_secs();
+        let rate = self.capacity / self.entries.len().max(1) as f64;
+        self.entries
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("remaining work is never NaN"))
+            .map(|e| {
+                let dt = ((e.1 / rate) - lag).max(0.0);
+                (e.0, now + SimTime::from_secs(dt))
+            })
+    }
+
+    /// Mirrors [`FairShareResource::advance`].
+    fn advance(&mut self, now: SimTime) {
+        if self.entries.is_empty() || now == self.updated_at {
+            self.updated_at = now;
+            return;
+        }
+        let dt = (now - self.updated_at).as_secs();
+        let rate = self.capacity / self.entries.len() as f64;
+        let done = rate * dt;
+        for e in &mut self.entries {
+            e.1 = (e.1 - done).max(0.0);
+        }
+        self.updated_at = now;
+    }
+}
+
+impl DrainScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the live trace state in, reusing buffer capacity.
+    fn load(&mut self, trace: &ServerTrace) {
+        for (lane, phase) in self.lanes.iter_mut().zip(Phase::ALL) {
+            let res = trace.resource(phase);
+            lane.entries.clear();
+            lane.entries.extend(res.entries_iter());
+            lane.updated_at = res.updated_at();
+            lane.capacity = res.capacity();
+        }
+        self.cursor = trace.cursor;
+    }
+
+    /// Number of tasks still inside any lane.
+    fn active(&self) -> usize {
+        self.lanes.iter().map(|l| l.entries.len()).sum()
+    }
+
+    /// Static phase costs of `task`: the hypothetical task's costs come
+    /// from `extra`, everything else from the live job table.
+    fn costs_of(
+        jobs: &BTreeMap<TaskId, JobState>,
+        extra: Option<(TaskId, PhaseCosts)>,
+        task: TaskId,
+    ) -> PhaseCosts {
+        match extra {
+            Some((id, costs)) if id == task => costs,
+            _ => jobs.get(&task).expect("task has a job record").costs,
+        }
+    }
+
+    /// Mirrors [`ServerTrace::next_event`]: earliest completion across the
+    /// lanes, ties to the earliest phase.
+    fn next_event(&self) -> Option<(usize, TaskId, SimTime)> {
+        let mut best: Option<(usize, TaskId, SimTime)> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some((task, when)) = lane.next_completion(self.cursor) {
+                let better = match &best {
+                    None => true,
+                    Some((_, _, t)) => when < *t,
+                };
+                if better {
+                    best = Some((i, task, when));
+                }
+            }
+        }
+        best
+    }
+
+    /// Mirrors [`ServerTrace::advance`] (without Gantt recording).
+    fn advance_to(
+        &mut self,
+        to: SimTime,
+        jobs: &BTreeMap<TaskId, JobState>,
+        extra: Option<(TaskId, PhaseCosts)>,
+        out: &mut Vec<(TaskId, SimTime)>,
+    ) {
+        while let Some((lane_idx, task, when)) = self.next_event() {
+            if when > to {
+                break;
+            }
+            for lane in &mut self.lanes {
+                lane.advance(when);
+            }
+            self.cursor = when;
+            let lane = &mut self.lanes[lane_idx];
+            let pos = lane
+                .entries
+                .iter()
+                .position(|e| e.0 == task)
+                .expect("completing task is in its lane");
+            lane.entries.remove(pos);
+            if lane_idx + 1 < self.lanes.len() {
+                let costs = Self::costs_of(jobs, extra, task);
+                let cost = match lane_idx + 1 {
+                    1 => costs.compute,
+                    _ => costs.output,
+                };
+                self.lanes[lane_idx + 1].entries.push((task, cost));
+            } else {
+                out.push((task, when));
+            }
+        }
+        for lane in &mut self.lanes {
+            lane.advance(to);
+        }
+        self.cursor = to;
+    }
+
+    /// Mirrors [`ServerTrace::drain`]: advance event by event until no
+    /// task remains, appending completions to `out` in completion order.
+    fn drain(
+        &mut self,
+        jobs: &BTreeMap<TaskId, JobState>,
+        extra: Option<(TaskId, PhaseCosts)>,
+        out: &mut Vec<(TaskId, SimTime)>,
+    ) {
+        while self.active() > 0 {
+            let (_, _, when) = self
+                .next_event()
+                .expect("active tasks must produce a next event");
+            self.advance_to(when, jobs, extra, out);
+        }
     }
 }
 
@@ -496,15 +767,13 @@ mod tests {
         let mut base = ServerTrace::new();
         base.add_task(t(0.0), TaskId(1), costs(10.0, 10.0, 0.0));
         base.add_task(t(0.0), TaskId(2), costs(0.0, 15.0, 0.0));
-        let before: std::collections::HashMap<_, _> =
-            base.drain_schedule().into_iter().collect();
+        let before: std::collections::HashMap<_, _> = base.drain_schedule().into_iter().collect();
         // Insert T3 with a big input transfer: it halves T1's input rate,
         // postponing T1's arrival in the CPU stage and letting T2 run alone
         // for longer.
         let mut with = base.clone();
         with.add_task(t(0.0), TaskId(3), costs(40.0, 1.0, 0.0));
-        let after: std::collections::HashMap<_, _> =
-            with.drain_schedule().into_iter().collect();
+        let after: std::collections::HashMap<_, _> = with.drain_schedule().into_iter().collect();
         assert!(
             after[&TaskId(2)] < before[&TaskId(2)],
             "bystander not helped: {:?} -> {:?}",

@@ -102,13 +102,8 @@ impl MetricSet {
     }
 
     /// The row names of the paper's tables, in order.
-    pub const PAPER_ROWS: [&'static str; 5] = [
-        "completed",
-        "makespan",
-        "sumflow",
-        "maxflow",
-        "maxstretch",
-    ];
+    pub const PAPER_ROWS: [&'static str; 5] =
+        ["completed", "makespan", "sumflow", "maxflow", "maxstretch"];
 }
 
 /// The paper's pairwise comparison: the number of tasks that finish
@@ -204,9 +199,9 @@ mod tests {
             rec(3, 0.0, Some(80.0), 1.0),
         ];
         let h = vec![
-            rec(1, 0.0, Some(90.0), 1.0),  // sooner
-            rec(2, 0.0, Some(50.0), 1.0),  // tie → not sooner
-            rec(3, 0.0, Some(85.0), 1.0),  // later
+            rec(1, 0.0, Some(90.0), 1.0), // sooner
+            rec(2, 0.0, Some(50.0), 1.0), // tie → not sooner
+            rec(3, 0.0, Some(85.0), 1.0), // later
         ];
         assert_eq!(finish_sooner_count(&h, &mct), 1);
         assert_eq!(finish_sooner_count(&mct, &h), 1);
@@ -256,9 +251,7 @@ mod proptests {
     }
 
     fn arb_records(n: usize) -> impl Strategy<Value = Vec<TaskRecord>> {
-        (0..n as u64)
-            .map(arb_record)
-            .collect::<Vec<_>>()
+        (0..n as u64).map(arb_record).collect::<Vec<_>>()
     }
 
     proptest! {

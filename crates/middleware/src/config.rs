@@ -152,8 +152,7 @@ mod tests {
 
     #[test]
     fn with_heuristic_updates_fault_tolerance() {
-        let c = ExperimentConfig::paper(HeuristicKind::Hmct, 1)
-            .with_heuristic(HeuristicKind::Mct);
+        let c = ExperimentConfig::paper(HeuristicKind::Hmct, 1).with_heuristic(HeuristicKind::Mct);
         assert!(matches!(
             c.fault_tolerance,
             FaultTolerance::RankedRetry { .. }

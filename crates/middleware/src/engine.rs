@@ -121,7 +121,9 @@ impl GridWorld {
                 .map(|spec| ServerRuntime::new(spec, cfg.memory))
                 .collect(),
             monitors: (0..n).map(|_| LoadAverage::new(cfg.load_tau)).collect(),
-            reports: (0..n as u32).map(|i| LoadReport::initial(ServerId(i))).collect(),
+            reports: (0..n as u32)
+                .map(|i| LoadReport::initial(ServerId(i)))
+                .collect(),
             flights: HashMap::new(),
             client_link: if cfg.shared_client_link {
                 Some(cas_platform::FairShareResource::new(1.0))
@@ -291,10 +293,7 @@ impl GridWorld {
                 // Reservation can push the server into thrashing, which
                 // changes the CPU capacity — keep the CPU event fresh.
                 self.resched(server, Phase::Compute, sched);
-                let predicted = self
-                    .htm
-                    .predict(now, server, &task)
-                    .map(|p| p.completion);
+                let predicted = self.htm.predict(now, server, &task).map(|p| p.completion);
                 self.reports[server.index()].note_assignment();
                 self.htm.commit(now, server, &task);
                 {
@@ -321,8 +320,7 @@ impl GridWorld {
                 }
             }
             outcome @ (AdmitOutcome::Rejected | AdmitOutcome::Collapsed) => {
-                if outcome == AdmitOutcome::Collapsed
-                    || self.servers[server.index()].is_collapsed()
+                if outcome == AdmitOutcome::Collapsed || self.servers[server.index()].is_collapsed()
                 {
                     // The refusal response tells the agent the server is
                     // gone for good.
@@ -371,7 +369,10 @@ impl GridWorld {
             sched.at(when, GridEvent::PhaseDone { server, phase, gen });
             return;
         }
-        let flight = *self.flights.get(&task).expect("flight exists while running");
+        let flight = *self
+            .flights
+            .get(&task)
+            .expect("flight exists while running");
         debug_assert_eq!(flight.server, server);
         match phase {
             Phase::Input => {
@@ -385,10 +386,7 @@ impl GridWorld {
                 // Correction 2: the server notifies the agent of the
                 // completed computation.
                 self.reports[server.index()].note_completion();
-                self.flights
-                    .get_mut(&task)
-                    .expect("flight exists")
-                    .phase = Phase::Output;
+                self.flights.get_mut(&task).expect("flight exists").phase = Phase::Output;
                 if let Some(link) = &mut self.client_link {
                     link.add(now, task, flight.costs.output);
                     self.resched(server, Phase::Compute, sched);
@@ -566,7 +564,11 @@ pub fn run_experiment(
     let outcome = sim.run_to_completion();
     debug_assert_eq!(outcome, cas_sim::engine::RunOutcome::Exhausted);
     let mut world = sim.into_world();
-    debug_assert_eq!(world.remaining(), 0, "all tasks must reach a terminal state");
+    debug_assert_eq!(
+        world.remaining(),
+        0,
+        "all tasks must reach a terminal state"
+    );
     // Fill in the HTM's final simulated completion dates (Table 1's
     // "simulated completion date" column).
     let simulated = world.htm.simulated_completions();
@@ -667,11 +669,11 @@ mod tests {
         let arrivals: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
         let recs = run_experiment(cfg, costs, servers, mini_tasks(&arrivals));
         assert!(recs.iter().all(|r| r.is_completed()));
-        let max_stretch = recs
-            .iter()
-            .filter_map(|r| r.stretch())
-            .fold(0.0, f64::max);
-        assert!(max_stretch > 1.5, "sharing must slow tasks, got {max_stretch}");
+        let max_stretch = recs.iter().filter_map(|r| r.stretch()).fold(0.0, f64::max);
+        assert!(
+            max_stretch > 1.5,
+            "sharing must slow tasks, got {max_stretch}"
+        );
     }
 
     #[test]
@@ -734,12 +736,7 @@ mod tests {
         let arrivals: Vec<f64> = (0..15).map(|i| i as f64 * 1.5).collect();
         for kind in HeuristicKind::ALL {
             let cfg = ExperimentConfig::paper(kind, 5);
-            let recs = run_experiment(
-                cfg,
-                costs.clone(),
-                servers.clone(),
-                mini_tasks(&arrivals),
-            );
+            let recs = run_experiment(cfg, costs.clone(), servers.clone(), mini_tasks(&arrivals));
             assert_eq!(recs.len(), 15, "{kind:?}");
             assert!(
                 recs.iter().all(|r| r.is_completed()),
@@ -769,8 +766,7 @@ mod tests {
         // overlap fully in time.
         let mut cfg = ExperimentConfig::ideal(cas_core::heuristics::HeuristicKind::Mp, 1);
         let tasks = mini_tasks(&[0.0, 0.0]);
-        let per_server =
-            run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+        let per_server = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
         cfg.shared_client_link = true;
         let shared = run_experiment(cfg, costs, servers, tasks);
         let end = |recs: &[cas_metrics::TaskRecord]| {
@@ -794,12 +790,7 @@ mod tests {
         ] {
             let mut cfg = ExperimentConfig::paper(kind, 3);
             cfg.shared_client_link = true;
-            let recs = run_experiment(
-                cfg,
-                costs.clone(),
-                servers.clone(),
-                mini_tasks(&arrivals),
-            );
+            let recs = run_experiment(cfg, costs.clone(), servers.clone(), mini_tasks(&arrivals));
             assert!(recs.iter().all(|r| r.is_completed()), "{kind:?}");
         }
     }

@@ -91,19 +91,14 @@ mod tests {
             Problem::new("mm", 5.0, 2.0, 0.0),
             vec![Some(PhaseCosts::new(2.0, 40.0, 1.0))],
         );
-        (
-            costs,
-            vec![ServerSpec::new("solo", 500.0, 2048.0, 1024.0)],
-        )
+        (costs, vec![ServerSpec::new("solo", 500.0, 2048.0, 1024.0)])
     }
 
     fn tasks(arrivals: &[f64]) -> Vec<TaskInstance> {
         arrivals
             .iter()
             .enumerate()
-            .map(|(i, &a)| {
-                TaskInstance::new(TaskId(i as u64), ProblemId(0), SimTime::from_secs(a))
-            })
+            .map(|(i, &a)| TaskInstance::new(TaskId(i as u64), ProblemId(0), SimTime::from_secs(a)))
             .collect()
     }
 

@@ -18,6 +18,8 @@
 //! [`Generation`] stamp to invalidate the previously scheduled one.
 
 use cas_sim::{Generation, SimTime};
+use std::collections::HashMap;
+use std::hash::Hash;
 
 /// One activity inside the resource.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +36,12 @@ struct Entry<K> {
 #[derive(Debug, Clone)]
 pub struct FairShareResource<K> {
     entries: Vec<Entry<K>>,
+    /// Position of each key in `entries`, so [`Self::remaining`] and the
+    /// duplicate-key check in [`Self::add`] — which sits on the per-event
+    /// hot path — are O(1) instead of linear scans. Kept in sync by
+    /// `add`/`remove` (the `remove` fixup is O(n), matching the `Vec`
+    /// shift it accompanies).
+    index: HashMap<K, usize>,
     /// Work units delivered per second in total, split equally.
     capacity: f64,
     /// Last time `advance` integrated progress up to.
@@ -43,7 +51,7 @@ pub struct FairShareResource<K> {
     generation: Generation,
 }
 
-impl<K: Copy + PartialEq + std::fmt::Debug> FairShareResource<K> {
+impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
     /// Creates an empty resource with the given total capacity
     /// (work units per second).
     ///
@@ -56,6 +64,7 @@ impl<K: Copy + PartialEq + std::fmt::Debug> FairShareResource<K> {
         );
         FairShareResource {
             entries: Vec::new(),
+            index: HashMap::new(),
             capacity,
             updated_at: SimTime::ZERO,
             generation: Generation::default(),
@@ -87,9 +96,21 @@ impl<K: Copy + PartialEq + std::fmt::Debug> FairShareResource<K> {
         self.entries.iter().map(|e| e.key)
     }
 
-    /// Remaining work of `key`, if running.
+    /// `(key, remaining work)` of all running activities, in insertion
+    /// order — the raw state a what-if engine copies into its scratch
+    /// buffers (see `cas-core`'s prediction cache).
+    pub fn entries_iter(&self) -> impl Iterator<Item = (K, f64)> + '_ {
+        self.entries.iter().map(|e| (e.key, e.remaining))
+    }
+
+    /// The time progress has been integrated up to.
+    pub fn updated_at(&self) -> SimTime {
+        self.updated_at
+    }
+
+    /// Remaining work of `key`, if running. O(1) via the key index.
     pub fn remaining(&self, key: K) -> Option<f64> {
-        self.entries.iter().find(|e| e.key == key).map(|e| e.remaining)
+        self.index.get(&key).map(|&i| self.entries[i].remaining)
     }
 
     /// Per-activity progress rate right now (capacity / n), or the full
@@ -135,12 +156,16 @@ impl<K: Copy + PartialEq + std::fmt::Debug> FairShareResource<K> {
     /// # Panics
     /// Panics if `work` is negative/non-finite or the key is already running.
     pub fn add(&mut self, now: SimTime, key: K, work: f64) {
-        assert!(work >= 0.0 && work.is_finite(), "work must be >= 0, got {work}");
+        assert!(
+            work >= 0.0 && work.is_finite(),
+            "work must be >= 0, got {work}"
+        );
         self.advance(now);
         assert!(
-            !self.entries.iter().any(|e| e.key == key),
+            !self.index.contains_key(&key),
             "activity {key:?} already running"
         );
+        self.index.insert(key, self.entries.len());
         self.entries.push(Entry {
             key,
             remaining: work,
@@ -154,8 +179,11 @@ impl<K: Copy + PartialEq + std::fmt::Debug> FairShareResource<K> {
     /// Returns `None` if the key was not running.
     pub fn remove(&mut self, now: SimTime, key: K) -> Option<f64> {
         self.advance(now);
-        let idx = self.entries.iter().position(|e| e.key == key)?;
+        let idx = self.index.remove(&key)?;
         let entry = self.entries.remove(idx);
+        for shifted in &self.entries[idx..] {
+            *self.index.get_mut(&shifted.key).expect("indexed entry") -= 1;
+        }
         self.generation.bump();
         Some(entry.remaining)
     }

@@ -116,8 +116,7 @@ impl LoadReport {
     /// The agent's best estimate of the current load: last reported value
     /// plus assignments, minus completions, floored at zero.
     pub fn corrected_load(&self) -> f64 {
-        (self.reported_load + self.assigned_since_report as f64
-            - self.finished_since_report as f64)
+        (self.reported_load + self.assigned_since_report as f64 - self.finished_since_report as f64)
             .max(0.0)
     }
 
@@ -147,7 +146,7 @@ mod tests {
     fn load_average_lags() {
         let mut la = LoadAverage::new(60.0);
         la.observe(t(600.0), 0); // settle at 0
-        // Run-queue jumps to 4; after one tau it's only ~63% there.
+                                 // Run-queue jumps to 4; after one tau it's only ~63% there.
         let v = la.observe(t(660.0), 4);
         assert!(v > 2.4 && v < 2.7, "v = {v}");
     }

@@ -440,10 +440,7 @@ mod tests {
     fn release_frees_reservation_without_compute() {
         let mut s = ServerRuntime::new(spec(), MemoryModel::default());
         s.reserve(t(0.0), TaskId(1), 150.0);
-        assert_eq!(
-            s.reserve(t(0.0), TaskId(2), 10.0),
-            AdmitOutcome::Rejected
-        );
+        assert_eq!(s.reserve(t(0.0), TaskId(2), 10.0), AdmitOutcome::Rejected);
         s.release(t(1.0), TaskId(1));
         assert_eq!(s.resident_mb(), 0.0);
         assert_eq!(s.reserve(t(1.0), TaskId(3), 10.0), AdmitOutcome::Admitted);

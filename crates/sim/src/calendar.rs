@@ -18,20 +18,20 @@
 
 use crate::event::EventEntry;
 use crate::time::SimTime;
+use std::collections::VecDeque;
 
 /// A calendar queue with Brown's dynamic resizing.
 #[derive(Debug, Clone)]
 pub struct CalendarQueue<E> {
     /// `buckets[d]` holds entries with `floor(t / width) % n_buckets == d`,
-    /// sorted ascending by (time, seq).
-    buckets: Vec<Vec<EventEntry<E>>>,
+    /// sorted ascending by (time, seq). Ring buffers, so the common
+    /// dequeue — taking the bucket's head — is O(1) instead of shifting
+    /// the whole bucket.
+    buckets: Vec<VecDeque<EventEntry<E>>>,
     /// Bucket (day) width in seconds.
     width: f64,
-    /// Index of the bucket the next dequeue starts scanning from.
-    current: usize,
-    /// Start time of the current bucket's current year-lap window.
-    bucket_top: f64,
-    /// Timestamp of the last dequeued event (monotonicity floor).
+    /// Timestamp of the last dequeued event (monotonicity floor; the
+    /// dequeue scan restarts from its day window).
     last_time: f64,
     len: usize,
     next_seq: u64,
@@ -51,10 +51,8 @@ impl<E> CalendarQueue<E> {
 
     fn with_shape(n_buckets: usize, width: f64) -> Self {
         CalendarQueue {
-            buckets: (0..n_buckets).map(|_| Vec::new()).collect(),
+            buckets: (0..n_buckets).map(|_| VecDeque::new()).collect(),
             width,
-            current: 0,
-            bucket_top: width,
             last_time: 0.0,
             len: 0,
             next_seq: 0,
@@ -97,6 +95,15 @@ impl<E> CalendarQueue<E> {
         seq
     }
 
+    /// The integer day-window ("lap") index of a timestamp. Must use the
+    /// exact float expression of [`Self::bucket_of`]: membership tests in
+    /// `pop` compare these indices, and any divergence from the placement
+    /// arithmetic (e.g. an incrementally accumulated window top) mis-sorts
+    /// events that land exactly on a bucket boundary.
+    fn lap_of(&self, t: f64) -> u64 {
+        (t / self.width) as u64
+    }
+
     /// Removes and returns the earliest entry.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
         if self.len == 0 {
@@ -105,20 +112,22 @@ impl<E> CalendarQueue<E> {
         // Align the scan window to the earliest possible day for the
         // monotone clock (events are never earlier than last_time).
         let n = self.buckets.len();
-        let mut day = self.bucket_of(self.last_time);
-        let mut top = (self.last_time / self.width).floor() * self.width + self.width;
+        let first_lap = self.lap_of(self.last_time);
         // Scan at most one full year; if nothing falls inside its day
         // window (all events far in the future), fall back to a direct
         // minimum search and recalibrate.
-        for _ in 0..n {
-            let bucket = &mut self.buckets[day];
-            if let Some(first) = bucket.first() {
-                if first.at.as_secs() < top {
-                    let entry = bucket.remove(0);
+        for lap in first_lap..first_lap + n as u64 {
+            let day = (lap % n as u64) as usize;
+            let front_lap = self.buckets[day]
+                .front()
+                .map(|first| self.lap_of(first.at.as_secs()));
+            if let Some(front_lap) = front_lap {
+                // `<=` also catches same-day events of earlier laps, which
+                // the monotone clock makes same-lap in practice.
+                if front_lap <= lap {
+                    let entry = self.buckets[day].pop_front().expect("front exists");
                     self.len -= 1;
                     self.last_time = entry.at.as_secs();
-                    self.current = day;
-                    self.bucket_top = top;
                     if self.buckets.len() > 4 && self.len < self.buckets.len() / 2 {
                         let target = (self.buckets.len() / 2).max(2);
                         self.resize(target);
@@ -126,17 +135,15 @@ impl<E> CalendarQueue<E> {
                     return Some(entry);
                 }
             }
-            day = (day + 1) % n;
-            top += self.width;
         }
         // Sparse case: direct minimum over bucket heads.
         let (day, _) = self
             .buckets
             .iter()
             .enumerate()
-            .filter_map(|(i, b)| b.first().map(|e| (i, (e.at, e.seq))))
+            .filter_map(|(i, b)| b.front().map(|e| (i, (e.at, e.seq))))
             .min_by(|a, b| a.1.cmp(&b.1))?;
-        let entry = self.buckets[day].remove(0);
+        let entry = self.buckets[day].pop_front().expect("front exists");
         self.len -= 1;
         self.last_time = entry.at.as_secs();
         Some(entry)
@@ -147,7 +154,7 @@ impl<E> CalendarQueue<E> {
     fn resize(&mut self, n_buckets: usize) {
         let mut all: Vec<EventEntry<E>> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
-            all.append(b);
+            all.extend(b.drain(..));
         }
         all.sort_by_key(|e| (e.at, e.seq));
         // Brown's width rule: ~3× the mean gap of a sample near the head.
@@ -159,11 +166,11 @@ impl<E> CalendarQueue<E> {
                 self.width = 3.0 * mean_gap;
             }
         }
-        self.buckets = (0..n_buckets).map(|_| Vec::new()).collect();
+        self.buckets = (0..n_buckets).map(|_| VecDeque::new()).collect();
         let len = all.len();
         for entry in all {
             let b = self.bucket_of(entry.at.as_secs());
-            self.buckets[b].push(entry);
+            self.buckets[b].push_back(entry);
         }
         self.len = len;
     }
@@ -222,6 +229,40 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, 0);
         assert_eq!(q.pop().unwrap().event, 1);
         assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    /// Regression: an event landing exactly on a day-window boundary must
+    /// not be skipped by the dequeue scan. The old scan accumulated the
+    /// window top incrementally (`top += width`), which can disagree in the
+    /// last float ulp with the `(t / width) as u64` arithmetic that placed
+    /// the event, making the scan pass over the event's bucket and return a
+    /// later event first. Found by the `agrees_with_heap` differential
+    /// proptest; kept as a deterministic fixture.
+    #[test]
+    fn boundary_event_not_skipped() {
+        let pushes = [
+            94.86, 185.48, 241.07, 328.22, 395.94, 410.4, 487.68, 564.68, 656.67, 718.39, 780.11,
+            810.38, 852.36, 883.63, 925.61, 964.25, 1002.23, 1040.87, 1093.76, 1128.73, 1163.7,
+            1198.67,
+        ];
+        // Replay a push/pop interleaving dense enough to trigger resizes
+        // and land an event on a window boundary, then drain and check
+        // global order.
+        let mut q = CalendarQueue::new();
+        let mut popped: Vec<f64> = Vec::new();
+        for (i, &at) in pushes.iter().enumerate() {
+            q.push(t(at), i);
+            if i % 3 == 2 {
+                popped.push(q.pop().unwrap().at.as_secs());
+            }
+        }
+        while let Some(e) = q.pop() {
+            popped.push(e.at.as_secs());
+        }
+        assert_eq!(popped.len(), pushes.len());
+        for w in popped.windows(2) {
+            assert!(w[0] <= w[1], "out of order: {popped:?}");
+        }
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Exponential {
     /// # Panics
     /// Panics unless `mean > 0` and finite.
     pub fn new(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "exponential mean must be positive"
+        );
         Exponential { mean }
     }
 }
@@ -61,7 +64,10 @@ impl Poisson {
     /// # Panics
     /// Panics unless `mean > 0` and finite.
     pub fn new(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "poisson mean must be positive");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "poisson mean must be positive"
+        );
         Poisson { mean }
     }
 

@@ -188,7 +188,9 @@ mod tests {
     fn different_kinds_give_different_streams() {
         let mut a = RngStream::derive(42, StreamKind::Arrivals);
         let mut b = RngStream::derive(42, StreamKind::TieBreak);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -196,7 +198,9 @@ mod tests {
     fn indexed_kinds_are_independent() {
         let mut a = RngStream::derive(7, StreamKind::CpuNoise(0));
         let mut b = RngStream::derive(7, StreamKind::CpuNoise(1));
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 

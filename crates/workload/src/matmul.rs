@@ -128,9 +128,6 @@ mod tests {
     #[test]
     fn unloaded_duration_1200_chamagne() {
         let t = cost_table();
-        assert_eq!(
-            t.unloaded_duration(ProblemId(0), ServerId(0)),
-            Some(154.0)
-        );
+        assert_eq!(t.unloaded_duration(ProblemId(0), ServerId(0)), Some(154.0));
     }
 }

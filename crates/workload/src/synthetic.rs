@@ -72,10 +72,7 @@ impl SyntheticPlatform {
     /// slowness.
     pub fn cost_table(&self, seed: u64) -> CostTable {
         let servers = self.servers(seed);
-        let fastest = servers
-            .iter()
-            .map(|s| s.cpu_mhz)
-            .fold(f64::MIN, f64::max);
+        let fastest = servers.iter().map(|s| s.cpu_mhz).fold(f64::MIN, f64::max);
         let min_ram = servers.iter().map(|s| s.ram_mb).fold(f64::MAX, f64::min);
         let mut table = CostTable::new(servers.len());
         for p in 0..self.n_problems {

@@ -33,8 +33,16 @@ fn main() {
     let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
     htm.enable_recording(ServerId(0));
     htm.enable_recording(ServerId(1));
-    htm.commit(t(0.0), ServerId(0), &TaskInstance::new(TaskId(0), p100, t(0.0)));
-    htm.commit(t(0.0), ServerId(1), &TaskInstance::new(TaskId(1), p200, t(0.0)));
+    htm.commit(
+        t(0.0),
+        ServerId(0),
+        &TaskInstance::new(TaskId(0), p100, t(0.0)),
+    );
+    htm.commit(
+        t(0.0),
+        ServerId(1),
+        &TaskInstance::new(TaskId(1), p200, t(0.0)),
+    );
 
     // At t=80 a client submits a new 100 s task.
     let new_task = TaskInstance::new(TaskId(2), p100, t(80.0));

@@ -14,7 +14,9 @@ use casgrid::prelude::*;
 fn main() {
     let costs = casgrid::workload::matmul::cost_table();
     let servers = casgrid::workload::testbed::set1_servers();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     for (label, gap) in [("low rate (20 s)", 20.0), ("high rate (15 s)", 15.0)] {
         println!("=== matmul metatask, {label} ===\n");
@@ -23,8 +25,14 @@ fn main() {
         let tasks = MetataskSpec::paper(gap).generate(0xFEED);
         let workloads: Vec<_> = (0..4).map(|_| tasks.clone()).collect();
         let mut table = Table::new(
-            format!("matmul {label}: mean ± 95% CI over {} replications", workloads.len()),
-            HeuristicKind::PAPER.iter().map(|k| k.name().into()).collect(),
+            format!(
+                "matmul {label}: mean ± 95% CI over {} replications",
+                workloads.len()
+            ),
+            HeuristicKind::PAPER
+                .iter()
+                .map(|k| k.name().into())
+                .collect(),
         );
         let results = run_heuristic_matrix(
             ExperimentConfig::paper(HeuristicKind::Mct, 0xACE),

@@ -30,7 +30,10 @@ fn main() {
 
     let mut table = Table::new(
         "Quickstart: one metatask under four heuristics",
-        HeuristicKind::PAPER.iter().map(|k| k.name().into()).collect(),
+        HeuristicKind::PAPER
+            .iter()
+            .map(|k| k.name().into())
+            .collect(),
     );
     let mut all_runs = Vec::new();
     for kind in HeuristicKind::PAPER {
@@ -61,7 +64,13 @@ fn main() {
         "finish sooner than MCT",
         sooner
             .iter()
-            .map(|v| if v.is_nan() { "-".into() } else { format!("{v:.0}") })
+            .map(|v| {
+                if v.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{v:.0}")
+                }
+            })
             .collect(),
     );
     println!("{}", table.render());

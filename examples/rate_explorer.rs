@@ -36,7 +36,11 @@ fn main() {
     ];
     let mut table = Table::new(
         "Winner (lowest sum-flow) and MSF's gap to it, by arrival gap",
-        vec!["winner".into(), "MSF vs winner".into(), "MP vs winner".into()],
+        vec![
+            "winner".into(),
+            "MSF vs winner".into(),
+            "MP vs winner".into(),
+        ],
     );
     for gap in [3.0, 5.0, 8.0, 12.0, 20.0, 40.0] {
         let tasks = MetataskSpec {
@@ -57,8 +61,16 @@ fn main() {
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .map(|&(k, v)| (k, v))
             .unwrap();
-        let msf = sums.iter().find(|(k, _)| *k == HeuristicKind::Msf).unwrap().1;
-        let mp = sums.iter().find(|(k, _)| *k == HeuristicKind::Mp).unwrap().1;
+        let msf = sums
+            .iter()
+            .find(|(k, _)| *k == HeuristicKind::Msf)
+            .unwrap()
+            .1;
+        let mp = sums
+            .iter()
+            .find(|(k, _)| *k == HeuristicKind::Mp)
+            .unwrap()
+            .1;
         table.push_row(
             format!("gap {gap:>4.0} s"),
             vec![

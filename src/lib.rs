@@ -60,7 +60,9 @@ pub use cas_workload as workload;
 pub mod prelude {
     pub use cas_core::heuristics::{Heuristic, HeuristicKind, SchedView};
     pub use cas_core::{Gantt, Htm, Prediction, ServerTrace, SyncPolicy};
-    pub use cas_metrics::{finish_sooner_count, MetricSet, Summary, Table, TaskOutcome, TaskRecord};
+    pub use cas_metrics::{
+        finish_sooner_count, MetricSet, Summary, Table, TaskOutcome, TaskRecord,
+    };
     pub use cas_middleware::{
         run_experiment, run_heuristic_matrix, run_replications, ExperimentConfig, FaultTolerance,
     };

@@ -91,23 +91,25 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
             "--workload" => args.workload = take(&mut i)?,
             "--heuristic" => args.heuristic = take(&mut i)?,
             "--heuristics" => {
-                args.heuristics =
-                    Some(take(&mut i)?.split(',').map(|s| s.trim().to_string()).collect())
+                args.heuristics = Some(
+                    take(&mut i)?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
             }
             "--gap" => args.gap = take(&mut i)?.parse().map_err(|e| format!("--gap: {e}"))?,
-            "--tasks" => {
-                args.tasks = take(&mut i)?.parse().map_err(|e| format!("--tasks: {e}"))?
-            }
+            "--tasks" => args.tasks = take(&mut i)?.parse().map_err(|e| format!("--tasks: {e}"))?,
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--reps" => args.reps = take(&mut i)?.parse().map_err(|e| format!("--reps: {e}"))?,
-            "--noise" => {
-                args.noise = take(&mut i)?.parse().map_err(|e| format!("--noise: {e}"))?
-            }
+            "--noise" => args.noise = take(&mut i)?.parse().map_err(|e| format!("--noise: {e}"))?,
             "--format" => args.format = take(&mut i)?,
             "--no-memory" => args.memory = false,
             "--sync" => args.sync = true,
             "--workers" => {
-                args.workers = take(&mut i)?.parse().map_err(|e| format!("--workers: {e}"))?
+                args.workers = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
             }
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
         }
@@ -162,7 +164,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     .generate(args.seed);
     let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
-    let runs = run_replications(config_of(args, kind), &costs, &servers, &workloads, args.workers);
+    let runs = run_replications(
+        config_of(args, kind),
+        &costs,
+        &servers,
+        &workloads,
+        args.workers,
+    );
     let mut table = Table::new(
         format!(
             "{} on {} ({} tasks, gap {} s, {} rep(s))",

@@ -7,12 +7,7 @@ use casgrid::middleware::validate::{mean_error_pct, rows_from_records};
 use casgrid::prelude::*;
 use proptest::prelude::*;
 
-fn run_ideal(
-    kind: HeuristicKind,
-    n: usize,
-    gap: f64,
-    seed: u64,
-) -> Vec<TaskRecord> {
+fn run_ideal(kind: HeuristicKind, n: usize, gap: f64, seed: u64) -> Vec<TaskRecord> {
     let costs = casgrid::workload::matmul::cost_table();
     let servers = casgrid::workload::testbed::set1_servers();
     let tasks = MetataskSpec {

@@ -104,10 +104,7 @@ fn makespan_within_two_percent_across_heuristics() {
         .collect();
     let min = makespans.iter().cloned().fold(f64::MAX, f64::min);
     let max = makespans.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        max / min < 1.05,
-        "makespans spread too far: {makespans:?}"
-    );
+    assert!(max / min < 1.05, "makespans spread too far: {makespans:?}");
 }
 
 /// Table 6's completion story: with the memory model on, the high-rate
