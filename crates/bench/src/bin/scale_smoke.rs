@@ -1,0 +1,140 @@
+//! The standing scale campaign: 1k servers, 100k tasks, bursty arrivals.
+//!
+//! This is the workload the unified event kernel exists for: enough
+//! pending events to push the adaptive queue onto its calendar backend,
+//! enough servers to exercise the pool-parallel prediction fan-out, and
+//! enough commits to make incremental baseline repair the difference
+//! between minutes and hours. The binary runs one HMCT experiment on a
+//! synthetic 1k-server platform under an inhomogeneous-Poisson (thinning)
+//! arrival process sized to ~50 % of aggregate service capacity at the
+//! mean and ~80 % at burst crests, then writes `BENCH_scale.json` (path
+//! overridable as argv[1]) with wall-clock, event-throughput and queue
+//! figures.
+//!
+//! Exit is non-zero when the wall-clock budget (`SCALE_SMOKE_BUDGET_SECS`,
+//! default 600) is blown or tasks fail — CI runs this under the release
+//! profile as the `scale_smoke` job. `SCALE_SMOKE_SERVERS` /
+//! `SCALE_SMOKE_TASKS` shrink the campaign for local iteration.
+
+use cas_core::heuristics::HeuristicKind;
+use cas_metrics::MetricSet;
+use cas_middleware::{ExperimentConfig, GridWorld};
+use cas_platform::{ProblemId, ServerId};
+use cas_sim::Simulation;
+use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
+use std::time::Instant;
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let n_servers = env_or("SCALE_SMOKE_SERVERS", 1000.0) as usize;
+    let n_tasks = env_or("SCALE_SMOKE_TASKS", 100_000.0) as usize;
+    let budget_secs = env_or("SCALE_SMOKE_BUDGET_SECS", 600.0);
+
+    let platform = SyntheticPlatform {
+        n_servers,
+        heterogeneity: 4.0,
+        n_problems: 3,
+        base_cost: 15.0,
+        cost_spread: 3.0,
+        comm_fraction: 0.02,
+        mem_fraction: 0.0,
+    };
+    let seed = 0x5CA1E;
+    let servers = platform.servers(seed);
+    let costs = platform.cost_table(seed);
+
+    // Aggregate service rate: one task at a time per server at its mean
+    // unloaded duration. The burst process runs at 50 % of it on average
+    // and ~80 % at crests, so the system is loaded but stable.
+    let total_rate: f64 = (0..n_servers)
+        .map(|s| {
+            let mean_cost: f64 = (0..platform.n_problems)
+                .map(|p| {
+                    costs
+                        .costs(ProblemId(p as u32), ServerId(s as u32))
+                        .expect("synthetic tables are fully solvable")
+                        .total()
+                })
+                .sum::<f64>()
+                / platform.n_problems as f64;
+            1.0 / mean_cost
+        })
+        .sum();
+    let mean_rate = 0.5 * total_rate;
+    let burstiness = 4.0; // peak/trough ratio
+    let base_rate = 2.0 * mean_rate / (1.0 + burstiness);
+    let arrivals = BurstArrivals {
+        n_tasks,
+        base_rate,
+        peak_rate: burstiness * base_rate,
+        period: 1800.0,
+        n_problems: platform.n_problems,
+    };
+
+    let build_start = Instant::now();
+    let tasks = arrivals.generate(seed);
+    let horizon = tasks.last().expect("non-empty campaign").arrival.as_secs();
+    let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, seed);
+    cfg.load_report_period = 30.0;
+    let world = GridWorld::new(cfg, costs, servers, tasks);
+    let mut sim = Simulation::new(world);
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    let run_start = Instant::now();
+    let outcome = sim.run_to_completion();
+    let run_secs = run_start.elapsed().as_secs_f64();
+
+    let events = sim.processed();
+    let queue_backend = sim.queue().backend_name();
+    let queue_migrations = sim.queue().migrations();
+    let world = sim.into_world();
+    let metrics = MetricSet::compute(world.records());
+    let completed = metrics.completed;
+    let ok = run_secs <= budget_secs && completed == n_tasks;
+
+    eprintln!(
+        "{n_servers} servers, {n_tasks} tasks over {horizon:.0} sim-seconds: \
+         outcome {outcome:?}, {completed} completed"
+    );
+    eprintln!(
+        "build {build_secs:.2} s, run {run_secs:.2} s \
+         ({:.0} events/s, {:.0} tasks/s); queue ended on `{queue_backend}` \
+         after {queue_migrations} migration(s)",
+        events as f64 / run_secs,
+        n_tasks as f64 / run_secs
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale_smoke\",\n  \"scenario\": \"1k-server burst campaign \
+         (IPPP thinning arrivals, HMCT, adaptive event queue, incremental HTM repair)\",\n\
+  \"n_servers\": {n_servers},\n  \"n_tasks\": {n_tasks},\n\
+  \"arrivals\": {{\"base_rate_per_s\": {base_rate:.4}, \"peak_rate_per_s\": {:.4}, \
+         \"period_s\": 1800.0, \"mean_utilisation\": 0.5}},\n\
+  \"sim_horizon_s\": {horizon:.1},\n  \"events_processed\": {events},\n\
+  \"wall_build_s\": {build_secs:.3},\n  \"wall_run_s\": {run_secs:.3},\n\
+  \"events_per_wall_s\": {:.0},\n  \"tasks_per_wall_s\": {:.0},\n\
+  \"queue_backend_final\": \"{queue_backend}\",\n  \"queue_migrations\": {queue_migrations},\n\
+  \"completed\": {completed},\n  \"mean_stretch\": {:.3},\n\
+  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \"all_tasks_complete\": {}, \
+         \"pass\": {ok}}}\n}}\n",
+        burstiness * base_rate,
+        events as f64 / run_secs,
+        n_tasks as f64 / run_secs,
+        metrics.meanstretch,
+        completed == n_tasks,
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("wrote {out_path} (budget {budget_secs:.0} s, pass: {ok})");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -28,12 +28,91 @@ use crate::htm::Htm;
 use crate::prediction::Prediction;
 use cas_platform::{CostTable, LoadReport, ServerId, TaskInstance};
 use cas_sim::{RngStream, SimTime};
-use std::collections::HashMap;
 
 /// Tolerance for "equal" objective values in tie-break rules (MP's
 /// "if all π are equal" test of Fig. 3). Objectives are sums of simulated
 /// seconds, so an absolute epsilon in seconds is appropriate.
 pub const TIE_EPS: f64 = 1e-9;
+
+/// Reusable storage for one decision's memoised what-if answers.
+///
+/// A [`SchedView`] lives for one scheduling decision, but a run makes one
+/// decision per task arrival — hundreds of thousands in a campaign. Owning
+/// a fresh `HashMap` per view put a hash-map allocation on every decision;
+/// the engine instead keeps one `DecisionMemo` for the whole run and lends
+/// it to each view ([`SchedView::with_memo`]), which resets only the
+/// entries the previous decision touched. Entries are dense by server
+/// index: a memo probe is an array read, not a hash.
+#[derive(Debug, Default)]
+pub struct DecisionMemo {
+    /// `entries[s]`: `None` = not yet queried this decision;
+    /// `Some(None)` = queried, server cannot solve; `Some(Some(p))` =
+    /// memoised prediction.
+    entries: Vec<Option<Option<Prediction>>>,
+    /// Indices written this decision (sparse reset).
+    touched: Vec<u32>,
+}
+
+impl DecisionMemo {
+    /// An empty memo; buffers grow to the server count on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new decision over `n_servers`: clears the previous
+    /// decision's entries (sparse) and ensures capacity.
+    fn begin(&mut self, n_servers: usize) {
+        for &i in &self.touched {
+            self.entries[i as usize] = None;
+        }
+        self.touched.clear();
+        if self.entries.len() < n_servers {
+            self.entries.resize_with(n_servers, || None);
+        }
+    }
+
+    fn get(&self, server: ServerId) -> Option<&Option<Prediction>> {
+        self.entries.get(server.index()).and_then(|e| e.as_ref())
+    }
+
+    fn set(&mut self, server: ServerId, p: Option<Prediction>) {
+        // Grow on demand: a view's throw-away memo starts with no storage
+        // at all, so views that are immediately upgraded via `with_memo`
+        // (the engine path) never allocate here.
+        if self.entries.len() <= server.index() {
+            self.entries.resize_with(server.index() + 1, || None);
+        }
+        let slot = &mut self.entries[server.index()];
+        if slot.is_none() {
+            self.touched.push(server.index() as u32);
+        }
+        *slot = Some(p);
+    }
+}
+
+/// The memo a view works against: its own (stand-alone construction, as in
+/// tests and benches) or one lent by the engine for the whole run.
+#[derive(Debug)]
+enum MemoSlot<'a> {
+    Owned(DecisionMemo),
+    Shared(&'a mut DecisionMemo),
+}
+
+impl MemoSlot<'_> {
+    fn get(&self) -> &DecisionMemo {
+        match self {
+            MemoSlot::Owned(m) => m,
+            MemoSlot::Shared(m) => m,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut DecisionMemo {
+        match self {
+            MemoSlot::Owned(m) => m,
+            MemoSlot::Shared(m) => m,
+        }
+    }
+}
 
 /// The agent's window onto the world at one scheduling decision.
 ///
@@ -57,9 +136,9 @@ pub struct SchedView<'a> {
     loads: &'a [LoadReport],
     htm: &'a mut Htm,
     rng: &'a mut RngStream,
-    /// Memoised what-if answers; `None` records "cannot solve" so
-    /// unsolvable servers are not re-queried.
-    memo: HashMap<ServerId, Option<Prediction>>,
+    /// Memoised what-if answers, dense by server index; "cannot solve" is
+    /// recorded so unsolvable servers are not re-queried.
+    memo: MemoSlot<'a>,
     /// Whether the candidate list has been batch-predicted already.
     batched: bool,
     /// Per-server admission limits (RAM + swap), MB — set by the engine
@@ -87,7 +166,7 @@ impl<'a> SchedView<'a> {
             loads,
             htm,
             rng,
-            memo: HashMap::new(),
+            memo: MemoSlot::Owned(DecisionMemo::new()),
             batched: false,
             server_mem: None,
         }
@@ -97,6 +176,15 @@ impl<'a> SchedView<'a> {
     /// memory-aware policies can veto doomed placements.
     pub fn with_server_mem(mut self, mem: &'a [f64]) -> Self {
         self.server_mem = Some(mem);
+        self
+    }
+
+    /// Lends the run-wide [`DecisionMemo`] to this view instead of the
+    /// owned throw-away one, dropping the per-decision allocation. Call
+    /// before the first query.
+    pub fn with_memo(mut self, memo: &'a mut DecisionMemo) -> Self {
+        memo.begin(self.costs.n_servers());
+        self.memo = MemoSlot::Shared(memo);
         self
     }
 
@@ -143,19 +231,20 @@ impl<'a> SchedView<'a> {
     ///
     /// Returns `None` if the server cannot solve the problem.
     pub fn predict(&mut self, server: ServerId) -> Option<&Prediction> {
-        if !self.memo.contains_key(&server) {
+        if self.memo.get().get(server).is_none() {
             if !self.batched && self.candidates.contains(&server) {
                 self.batched = true;
                 let results = self.htm.predict_all(self.now, &self.task, &self.candidates);
+                let memo = self.memo.get_mut();
                 for (&s, p) in self.candidates.iter().zip(results) {
-                    self.memo.insert(s, p);
+                    memo.set(s, p);
                 }
             } else {
                 let p = self.htm.predict(self.now, server, &self.task);
-                self.memo.insert(server, p);
+                self.memo.get_mut().set(server, p);
             }
         }
-        self.memo.get(&server).and_then(|p| p.as_ref())
+        self.memo.get().get(server).and_then(|p| p.as_ref())
     }
 
     /// The tie-break RNG stream (only [`RandomChoice`] uses it).

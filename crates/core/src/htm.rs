@@ -45,21 +45,40 @@
 //!   server's scratch state is independent, so parallelism cannot change
 //!   results).
 //!
+//! * **Incremental baseline repair.** A commit used to invalidate the
+//!   server's baseline and pay a full re-drain on the next query. But the
+//!   speculative *after*-schedule computed for `(task, now)` — which the
+//!   engine has almost always just computed, since every commit follows a
+//!   prediction for the winning server — **is** the post-commit baseline:
+//!   the commit mutates the trace into exactly the state that drain
+//!   describes. Under [`RepairPolicy::Incremental`] (the default), commit
+//!   therefore splices: it adopts the memoised after-schedule (recomputing
+//!   it on the spot only if no matching query preceded the commit) and
+//!   the trace mutation costs O(advance) instead of O(full re-drain).
+//!   Retract and observe repair the same way through
+//!   [`ServerTrace::drain_schedule_without`]. The differential proptests
+//!   below additionally assert, after every mutation, that the repaired
+//!   baseline is bit-for-bit identical to a from-scratch re-drain.
+//!
 //! [`Htm::predict_reference`] keeps the original clone-and-drain
 //! implementation; the differential proptests below drive both paths
 //! through arbitrary commit/predict/retract/observe interleavings and
 //! assert bit-for-bit agreement, and the `decision_cost` bench uses it as
 //! the baseline the fast path is gated against.
+//!
+//! Per-task metadata (assignment + problem of every committed task) lives
+//! in a [`cas_platform::Arena`]: contiguous records, recycled slots, one
+//! id→key map instead of two id-keyed hash maps.
 
 use crate::prediction::Prediction;
 use crate::trace::{DrainScratch, ServerTrace};
-use cas_platform::{CostTable, PhaseCosts, ServerId, TaskId, TaskInstance};
+use cas_platform::{Arena, ArenaKey, CostTable, PhaseCosts, ServerId, TaskId, TaskInstance};
 use cas_sim::{Generation, SimTime};
 use std::collections::HashMap;
 
-/// Fan candidate evaluation across threads only when the candidate set and
-/// the simulated load are both large enough to amortise thread start-up
-/// (scoped-thread spawn is ~10 µs; a loaded drain is tens of µs).
+/// Fan candidate evaluation across the shared pool only when the candidate
+/// set and the simulated load are both large enough to amortise job
+/// queueing (a loaded drain is tens of µs).
 const PARALLEL_MIN_CANDIDATES: usize = 8;
 
 /// Minimum total active tasks across candidate traces before threading.
@@ -79,6 +98,24 @@ pub enum SyncPolicy {
     ForceFinish,
 }
 
+/// How the HTM keeps each server's cached baseline consistent across
+/// trace mutations (commit / retract / observe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairPolicy {
+    /// Splice the mutation into the cached schedule: a commit adopts the
+    /// speculative after-schedule of the committed task (memoised from
+    /// the preceding prediction in the common case), a retract adopts the
+    /// without-task drain. The baseline never goes stale, so mutations
+    /// cost O(advance), not O(full re-drain).
+    #[default]
+    Incremental,
+    /// PR-1 behaviour: invalidate on mutation, full re-drain on the next
+    /// query. Kept as the executable specification of `Incremental` (the
+    /// differential proptests compare the two) and as the baseline of the
+    /// `decision_cost` commit-path bench.
+    FullRedrain,
+}
+
 /// Per-server prediction working state: the generation-keyed baseline
 /// cache plus the reusable buffers of the zero-clone drain.
 #[derive(Debug, Clone, Default)]
@@ -94,6 +131,11 @@ struct PredictState {
     baseline_gen: Generation,
     /// Reusable output buffer for the speculative drain.
     after: Vec<(TaskId, SimTime)>,
+    /// The query `after` currently answers: `(task, now, trace generation
+    /// at query time)`. Lets a commit that follows its own prediction —
+    /// the engine's invariable order — adopt `after` as the new baseline
+    /// without recomputing anything.
+    after_query: Option<(TaskId, SimTime, Generation)>,
     /// Reusable task → completion lookup over `after`.
     after_map: HashMap<TaskId, SimTime>,
 }
@@ -105,6 +147,32 @@ impl PredictState {
             trace.drain_schedule_into(&mut self.scratch, None, &mut self.baseline);
             self.baseline_gen = trace.generation();
         }
+    }
+
+    /// Ensures `self.after` holds the drained schedule with `(task,
+    /// costs)` inserted at `now`, reusing the memoised answer when the
+    /// last speculative drain was exactly this query on an unchanged
+    /// trace.
+    fn refresh_after(
+        &mut self,
+        trace: &ServerTrace,
+        now: SimTime,
+        task: TaskId,
+        costs: PhaseCosts,
+    ) {
+        let query = (task, now, trace.generation());
+        if self.after_query != Some(query) {
+            trace.drain_schedule_into(&mut self.scratch, Some((now, task, costs)), &mut self.after);
+            self.after_query = Some(query);
+        }
+    }
+
+    /// Promotes `after` to `baseline` (the splice step of incremental
+    /// repair); `after` is left holding the superseded baseline and its
+    /// memo stamp is cleared.
+    fn adopt_after_as_baseline(&mut self) {
+        std::mem::swap(&mut self.baseline, &mut self.after);
+        self.after_query = None;
     }
 
     /// Answers one what-if query against `trace` without touching it.
@@ -119,7 +187,7 @@ impl PredictState {
         costs: PhaseCosts,
     ) -> Prediction {
         self.refresh_baseline(trace);
-        trace.drain_schedule_into(&mut self.scratch, Some((now, task, costs)), &mut self.after);
+        self.refresh_after(trace, now, task, costs);
         self.after_map.clear();
         self.after_map.extend(self.after.iter().copied());
         let completion = self.after_map[&task];
@@ -151,6 +219,15 @@ impl PredictState {
     }
 }
 
+/// Arena record of one committed task: where it went and what problem it
+/// instantiates (the agent-side memory estimate needs the problem; see
+/// [`Htm::resident_estimate`]).
+#[derive(Debug, Clone, Copy)]
+struct CommittedTask {
+    server: ServerId,
+    problem: cas_platform::ProblemId,
+}
+
 /// The agent-side Historical Trace Manager.
 #[derive(Debug, Clone)]
 pub struct Htm {
@@ -159,12 +236,16 @@ pub struct Htm {
     /// One prediction cache/scratch per server, index-aligned with
     /// `traces`.
     predict_states: Vec<PredictState>,
-    assignments: HashMap<TaskId, ServerId>,
-    /// Problem of each committed task, for the agent-side memory estimate
-    /// (the paper's first piece of future work: "we need to incorporate
-    /// memory requirements into the model").
-    task_problems: HashMap<TaskId, cas_platform::ProblemId>,
+    /// Per-committed-task metadata, arena-backed (assignment + problem in
+    /// one contiguous record; the paper's first piece of future work —
+    /// "we need to incorporate memory requirements into the model" —
+    /// reads the problem back for the memory estimate).
+    committed: Arena<CommittedTask>,
+    /// External id → arena key. Task ids are globally unique, so this is
+    /// the single id-keyed map left on the commit path.
+    by_task: HashMap<TaskId, ArenaKey<CommittedTask>>,
     sync: SyncPolicy,
+    repair: RepairPolicy,
     predictions_made: u64,
 }
 
@@ -176,11 +257,24 @@ impl Htm {
             costs,
             traces: (0..n).map(|_| ServerTrace::new()).collect(),
             predict_states: (0..n).map(|_| PredictState::default()).collect(),
-            assignments: HashMap::new(),
-            task_problems: HashMap::new(),
+            committed: Arena::new(),
+            by_task: HashMap::new(),
             sync,
+            repair: RepairPolicy::default(),
             predictions_made: 0,
         }
+    }
+
+    /// Selects how cached baselines are repaired across mutations (default
+    /// [`RepairPolicy::Incremental`]; the full-re-drain fallback exists
+    /// for differential testing and the commit-path bench).
+    pub fn set_repair_policy(&mut self, repair: RepairPolicy) {
+        self.repair = repair;
+    }
+
+    /// The active baseline-repair policy.
+    pub fn repair_policy(&self) -> RepairPolicy {
+        self.repair
     }
 
     /// Enables Gantt recording on one server's trace (diagnostics, Fig. 1).
@@ -206,7 +300,21 @@ impl Htm {
 
     /// Where a task was committed, if it was.
     pub fn assignment(&self, task: TaskId) -> Option<ServerId> {
-        self.assignments.get(&task).copied()
+        self.by_task
+            .get(&task)
+            .and_then(|&key| self.committed.get(key))
+            .map(|rec| rec.server)
+    }
+
+    /// The cached baseline schedule of `server`, if it is fresh for the
+    /// trace's current generation. Under [`RepairPolicy::Incremental`]
+    /// this is always `Some` (repair keeps the cache consistent through
+    /// every mutation); the splice ≡ re-drain differential proptests
+    /// compare it bitwise against [`ServerTrace::drain_schedule`].
+    pub fn cached_baseline(&self, server: ServerId) -> Option<&[(TaskId, SimTime)]> {
+        let state = &self.predict_states[server.index()];
+        (state.baseline_gen == self.traces[server.index()].generation())
+            .then_some(state.baseline.as_slice())
     }
 
     /// Simulates mapping `task` on `server` at time `now`.
@@ -270,9 +378,10 @@ impl Htm {
     /// `results[k]` corresponds to `candidates[k]`; `None` means that
     /// server cannot solve the task's problem. Results are identical to
     /// calling [`Self::predict`] per candidate. For large candidate sets
-    /// over heavily loaded traces the per-server work fans out across
-    /// scoped threads; each server's cache and scratch are independent, so
-    /// the fan-out cannot change any result.
+    /// over heavily loaded traces the per-server work fans out across the
+    /// shared work-stealing pool ([`cas_sim::pool`]); each server's cache
+    /// and scratch are independent and every result lands in its own
+    /// candidate slot, so the fan-out cannot change any result.
     pub fn predict_all(
         &mut self,
         now: SimTime,
@@ -305,34 +414,25 @@ impl Htm {
         self.predictions_made += selected.len() as u64;
         let total_active: usize = selected.iter().map(|(_, tr, _)| tr.active_len()).sum();
         if selected.len() >= PARALLEL_MIN_CANDIDATES && total_active >= PARALLEL_MIN_ACTIVE {
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(selected.len())
-                .min(8);
+            let pool = cas_sim::pool::global();
+            let workers = (pool.workers() + 1).min(selected.len()).min(8);
             let chunk_len = selected.len().div_ceil(workers);
             let task_id = task.id;
             let costs = &costs;
-            let computed: Vec<Vec<(usize, Prediction)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = selected
-                    .chunks_mut(chunk_len)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter_mut()
-                                .map(|(slot, trace, state)| {
-                                    let c = costs[*slot].expect("selected implies solvable");
-                                    (*slot, state.predict(trace, now, task_id, c))
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("prediction worker does not panic"))
-                    .collect()
+            let mut computed: Vec<Vec<(usize, Prediction)>> = Vec::new();
+            computed.resize_with(selected.len().div_ceil(chunk_len), Vec::new);
+            pool.scope(|scope| {
+                for (chunk, out) in selected.chunks_mut(chunk_len).zip(computed.iter_mut()) {
+                    scope.spawn(move || {
+                        for (slot, trace, state) in chunk.iter_mut() {
+                            let c = costs[*slot].expect("selected implies solvable");
+                            out.push((*slot, state.predict(trace, now, task_id, c)));
+                        }
+                    });
+                }
             });
+            // Deterministic reduction: every prediction goes to the slot of
+            // its candidate, regardless of which worker computed it.
             for batch in computed {
                 for (slot, p) in batch {
                     results[slot] = Some(p);
@@ -359,6 +459,12 @@ impl Htm {
     /// line). The mapping becomes part of the historical trace used by all
     /// later predictions.
     ///
+    /// Under [`RepairPolicy::Incremental`] the server's cached baseline is
+    /// spliced rather than invalidated: the speculative after-schedule for
+    /// `(task, now)` — memoised from the prediction that invariably
+    /// precedes a commit, or recomputed here if none did — *is* the
+    /// post-commit baseline, so the next query pays no re-drain.
+    ///
     /// # Panics
     /// Panics if the server cannot solve the problem or the task was
     /// already committed.
@@ -368,23 +474,58 @@ impl Htm {
             .costs(task.problem, server)
             .expect("committing to a server that cannot solve the problem");
         assert!(
-            !self.assignments.contains_key(&task.id),
+            !self.by_task.contains_key(&task.id),
             "task {} committed twice",
             task.id
         );
-        self.traces[server.index()].add_task(now, task.id, costs);
-        self.assignments.insert(task.id, server);
-        self.task_problems.insert(task.id, task.problem);
+        if self.repair == RepairPolicy::Incremental {
+            let trace = &self.traces[server.index()];
+            let state = &mut self.predict_states[server.index()];
+            state.refresh_after(trace, now, task.id, costs);
+            state.adopt_after_as_baseline();
+            let trace = &mut self.traces[server.index()];
+            trace.add_task(now, task.id, costs);
+            state.baseline_gen = trace.generation();
+        } else {
+            self.traces[server.index()].add_task(now, task.id, costs);
+        }
+        let key = self.committed.insert(CommittedTask {
+            server,
+            problem: task.problem,
+        });
+        self.by_task.insert(task.id, key);
+    }
+
+    /// Force-finishes `task` on `server`'s trace, splicing the cached
+    /// baseline under [`RepairPolicy::Incremental`] (the without-task
+    /// drain becomes the new baseline; see
+    /// [`ServerTrace::drain_schedule_without`]). Returns whether the task
+    /// was still active.
+    fn force_finish_repaired(&mut self, now: SimTime, server: ServerId, task: TaskId) -> bool {
+        if self.repair == RepairPolicy::Incremental {
+            let trace = &self.traces[server.index()];
+            let state = &mut self.predict_states[server.index()];
+            let removed_predicted =
+                trace.drain_schedule_without(&mut state.scratch, now, task, &mut state.after);
+            state.adopt_after_as_baseline();
+            let trace = &mut self.traces[server.index()];
+            let removed = trace.force_finish(now, task);
+            debug_assert_eq!(removed, removed_predicted);
+            state.baseline_gen = trace.generation();
+            removed
+        } else {
+            self.traces[server.index()].force_finish(now, task)
+        }
     }
 
     /// Un-commits a task (the real server rejected it and the client will
     /// retry elsewhere). Returns `true` if the task was present.
     pub fn retract(&mut self, now: SimTime, task: TaskId) -> bool {
-        let Some(server) = self.assignments.remove(&task) else {
+        let Some(key) = self.by_task.remove(&task) else {
             return false;
         };
-        self.task_problems.remove(&task);
-        self.traces[server.index()].force_finish(now, task)
+        let rec = self.committed.remove(key).expect("indexed record is live");
+        self.force_finish_repaired(now, rec.server, task)
     }
 
     /// Feeds an observed completion back into the model, according to the
@@ -393,8 +534,13 @@ impl Htm {
         if self.sync == SyncPolicy::None {
             return;
         }
-        if let Some(server) = self.assignments.get(&task) {
-            self.traces[server.index()].force_finish(now, task);
+        if let Some(&key) = self.by_task.get(&task) {
+            let server = self
+                .committed
+                .get(key)
+                .expect("indexed record is live")
+                .server;
+            self.force_finish_repaired(now, server, task);
         }
     }
 
@@ -428,15 +574,16 @@ impl Htm {
         let trace = &self.traces[server.index()];
         let state = &mut self.predict_states[server.index()];
         state.refresh_baseline(trace);
-        let (task_problems, costs) = (&self.task_problems, &self.costs);
+        let (by_task, committed, costs) = (&self.by_task, &self.committed, &self.costs);
         state
             .baseline
             .iter()
             .filter(|&&(_, completion)| completion > now)
             .map(|(t, _)| {
-                task_problems
+                by_task
                     .get(t)
-                    .map(|p| costs.problem(*p).mem_mb)
+                    .and_then(|&key| committed.get(key))
+                    .map(|rec| costs.problem(rec.problem).mem_mb)
                     .unwrap_or(0.0)
             })
             .sum()
@@ -667,6 +814,35 @@ mod tests {
         }
     }
 
+    /// Incremental repair keeps the baseline fresh through commits that
+    /// were *not* preceded by a matching prediction (cold splice) and
+    /// through retracts, matching a from-scratch re-drain exactly.
+    #[test]
+    fn spliced_baseline_matches_full_redrain() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        assert_eq!(htm.repair_policy(), RepairPolicy::Incremental);
+        // Cold commits: no predict in between.
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.commit(t(5.0), ServerId(0), &task(2, 5.0));
+        htm.commit(t(5.0), ServerId(1), &task(3, 5.0));
+        for s in [ServerId(0), ServerId(1)] {
+            let cached = htm.cached_baseline(s).expect("baseline stays fresh");
+            assert_eq!(cached.to_vec(), htm.trace(s).drain_schedule(), "{s}");
+        }
+        // Warm commit: predict first (the engine's order), then commit.
+        let probe = task(4, 8.0);
+        htm.predict(t(8.0), ServerId(0), &probe).unwrap();
+        htm.commit(t(8.0), ServerId(0), &probe);
+        let cached = htm.cached_baseline(ServerId(0)).unwrap();
+        assert_eq!(cached.to_vec(), htm.trace(ServerId(0)).drain_schedule());
+        // Retract splices too.
+        assert!(htm.retract(t(10.0), TaskId(2)));
+        let cached = htm.cached_baseline(ServerId(0)).unwrap();
+        assert_eq!(cached.to_vec(), htm.trace(ServerId(0)).drain_schedule());
+        // Retracting an unknown task is a no-op.
+        assert!(!htm.retract(t(11.0), TaskId(99)));
+    }
+
     /// Duplicate candidates are evaluated once and back-filled.
     #[test]
     fn predict_all_handles_duplicates_and_unsolvable() {
@@ -758,11 +934,48 @@ mod proptests {
         Ok(())
     }
 
+    /// After every trace mutation under incremental repair, the spliced
+    /// baseline must be bit-for-bit what a full re-drain would compute —
+    /// the acceptance property of the repair engine.
+    fn assert_baselines_match_full_redrain(htm: &Htm) -> Result<(), proptest::TestCaseError> {
+        for s in 0..N_SERVERS as u32 {
+            let server = ServerId(s);
+            let cached = htm.cached_baseline(server);
+            prop_assert!(
+                cached.is_some(),
+                "incremental repair left server {server} with a stale baseline"
+            );
+            let cached = cached.unwrap();
+            let full = htm.trace(server).drain_schedule();
+            prop_assert_eq!(
+                cached.len(),
+                full.len(),
+                "baseline length diverged on {}",
+                server
+            );
+            for (a, b) in cached.iter().zip(&full) {
+                prop_assert_eq!(a.0, b.0, "task order diverged on {}", server);
+                prop_assert_eq!(
+                    a.1.as_secs().to_bits(),
+                    b.1.as_secs().to_bits(),
+                    "completion of {} diverged on {}: {:?} vs {:?}",
+                    a.0,
+                    server,
+                    a.1,
+                    b.1
+                );
+            }
+        }
+        Ok(())
+    }
+
     proptest! {
         /// The generation-cached, scratch-buffer prediction engine agrees
         /// **bit for bit** with the naive clone-and-drain reference over
         /// arbitrary interleavings of commit / predict / retract / observe
-        /// (mirroring the calendar-vs-heap differential proptest).
+        /// (mirroring the calendar-vs-heap differential proptest), and
+        /// after every mutation the incrementally spliced baseline equals
+        /// a from-scratch re-drain, bit for bit.
         #[test]
         fn fast_predict_is_bitwise_equal_to_reference(
             costs in proptest::collection::vec(arb_costs(), 6),
@@ -819,11 +1032,13 @@ mod proptests {
                         };
                         htm.commit(when, target, &task);
                         committed.push(task.id);
+                        assert_baselines_match_full_redrain(&htm)?;
                     }
                     // Retract a previously committed task.
                     8 => {
                         if let Some(id) = committed.pop() {
                             htm.retract(when, id);
+                            assert_baselines_match_full_redrain(&htm)?;
                         }
                     }
                     // Feed back an observed completion (force-finishes the
@@ -831,6 +1046,71 @@ mod proptests {
                     _ => {
                         if let Some(&id) = committed.first() {
                             htm.observe_completion(when, id);
+                            assert_baselines_match_full_redrain(&htm)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The two repair policies are observationally equivalent: an HTM
+        /// running incremental splice repair and one running PR-1's
+        /// invalidate-and-re-drain answer every query identically over the
+        /// same interleaving.
+        #[test]
+        fn repair_policies_are_observationally_equal(
+            costs in proptest::collection::vec(arb_costs(), 6),
+            ops in proptest::collection::vec(
+                (0u32..10, 0u32..3, 0u32..2, 0.0f64..20.0),
+                1..40,
+            ),
+        ) {
+            let solvable = vec![true; 6];
+            let table = build_table(&costs, &solvable);
+            let mut inc = Htm::new(table.clone(), SyncPolicy::ForceFinish);
+            let mut full = Htm::new(table, SyncPolicy::ForceFinish);
+            full.set_repair_policy(RepairPolicy::FullRedrain);
+            prop_assert_eq!(inc.repair_policy(), RepairPolicy::Incremental);
+            let mut now = 0.0f64;
+            let mut next_id = 0u64;
+            let mut committed: Vec<TaskId> = Vec::new();
+            for (kind, server, problem, gap) in ops {
+                now += gap;
+                let when = t(now);
+                match kind {
+                    0..=4 => {
+                        let probe = TaskInstance::new(
+                            TaskId(1_000_000 + next_id),
+                            ProblemId(problem),
+                            when,
+                        );
+                        next_id += 1;
+                        for s in 0..N_SERVERS as u32 {
+                            let a = inc.predict(when, ServerId(s), &probe);
+                            let b = full.predict(when, ServerId(s), &probe);
+                            match (&a, &b) {
+                                (None, None) => {}
+                                (Some(f), Some(r)) => assert_bit_identical(f, r)?,
+                                _ => prop_assert!(false, "solvability disagreement on {}", s),
+                            }
+                        }
+                    }
+                    5..=7 => {
+                        let task = TaskInstance::new(TaskId(next_id), ProblemId(problem), when);
+                        next_id += 1;
+                        inc.commit(when, ServerId(server), &task);
+                        full.commit(when, ServerId(server), &task);
+                        committed.push(task.id);
+                    }
+                    8 => {
+                        if let Some(id) = committed.pop() {
+                            prop_assert_eq!(inc.retract(when, id), full.retract(when, id));
+                        }
+                    }
+                    _ => {
+                        if let Some(&id) = committed.first() {
+                            inc.observe_completion(when, id);
+                            full.observe_completion(when, id);
                         }
                     }
                 }

@@ -48,6 +48,13 @@
 //!    ([`Htm::predict_reference`]), so predictions agree bit for bit.
 //!    When touching the trace event loop or the fair-share arithmetic,
 //!    update both paths together.
+//! 4. **Splice ≡ re-drain.** Under [`htm::RepairPolicy::Incremental`]
+//!    (the default) a commit adopts the committed task's speculative
+//!    after-schedule as the new baseline and a retract adopts the
+//!    without-task drain, instead of invalidating and re-draining. By
+//!    invariant 3 the adopted schedule is bit-identical to what a full
+//!    re-drain of the mutated trace would produce; the proptests assert
+//!    this directly after every mutation.
 
 pub mod gantt;
 pub mod heuristics;
@@ -57,9 +64,9 @@ pub mod trace;
 
 pub use gantt::{Gantt, GanttRow, GanttSegment};
 pub use heuristics::{
-    Heuristic, HeuristicKind, Hmct, Mct, MinLoad, Mni, Mp, Msf, Olb, RandomChoice, RoundRobin,
-    SchedView,
+    DecisionMemo, Heuristic, HeuristicKind, Hmct, Mct, MinLoad, Mni, Mp, Msf, Olb, RandomChoice,
+    RoundRobin, SchedView,
 };
-pub use htm::{Htm, SyncPolicy};
+pub use htm::{Htm, RepairPolicy, SyncPolicy};
 pub use prediction::Prediction;
 pub use trace::{DrainScratch, ServerTrace};

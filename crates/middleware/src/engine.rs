@@ -16,19 +16,27 @@
 //! membership or capacity change on a fair-share resource invalidates the
 //! previously scheduled completion event, and a fresh one is scheduled from
 //! the resource's new state.
+//!
+//! The world is written against the kernel's `EventQueue` trait (via the
+//! backend-erased `Scheduler`), and [`run_experiment`] drives it on the
+//! default [`AdaptiveQueue`](cas_sim::AdaptiveQueue) — small paper runs
+//! stay on the binary heap, 1k-server campaigns migrate to the calendar
+//! queue automatically. Per-task hot state avoids hashing entirely:
+//! in-flight records live in a generational [`Arena`] reached through a
+//! dense task-indexed key table, and each decision's prediction memo
+//! reuses one run-wide [`DecisionMemo`].
 
 use crate::config::{ExperimentConfig, FaultTolerance};
 use crate::event::GridEvent;
-use cas_core::heuristics::{Heuristic, SchedView};
+use cas_core::heuristics::{DecisionMemo, Heuristic, SchedView};
 use cas_core::Htm;
 use cas_metrics::{TaskOutcome, TaskRecord};
 use cas_platform::{
-    AdmitOutcome, CostTable, LoadAverage, LoadReport, Phase, PhaseCosts, ServerId, ServerRuntime,
-    ServerSpec, TaskId, TaskInstance,
+    AdmitOutcome, Arena, ArenaKey, CostTable, LoadAverage, LoadReport, Phase, PhaseCosts, ServerId,
+    ServerRuntime, ServerSpec, TaskId, TaskInstance,
 };
 use cas_sim::dist::{LogNormalNoise, Sample};
 use cas_sim::{RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
-use std::collections::HashMap;
 
 /// Tolerance when matching a completion event's time against the
 /// resource's recomputed completion time.
@@ -58,7 +66,16 @@ pub struct GridWorld {
     cpu_noise: Vec<RngStream>,
     net_noise: Vec<RngStream>,
     noise_dist: LogNormalNoise,
-    flights: HashMap<TaskId, Flight>,
+    /// In-flight per-task state, arena-backed: records live contiguously,
+    /// slots recycle as tasks complete, and the per-event lookup is a
+    /// dense-index read (`flight_keys[task]` → arena slot) instead of a
+    /// hash. Task ids are dense submission indices, so the key table is a
+    /// plain `Vec` aligned with `records`.
+    flights: Arena<Flight>,
+    flight_keys: Vec<Option<ArenaKey<Flight>>>,
+    /// Run-wide memo storage lent to each decision's `SchedView`, so a
+    /// decision allocates no hash map (see `DecisionMemo`).
+    decision_memo: DecisionMemo,
     /// The single client-side link all transfers share when
     /// `cfg.shared_client_link` is on; `None` in per-server-link mode.
     client_link: Option<cas_platform::FairShareResource<TaskId>>,
@@ -106,6 +123,7 @@ impl GridWorld {
             .collect();
         GridWorld {
             remaining: tasks.len(),
+            flight_keys: vec![None; tasks.len()],
             htm: Htm::new(costs.clone(), cfg.sync),
             heuristic: cfg.heuristic.build(),
             tie_rng: RngStream::derive(cfg.seed, StreamKind::TieBreak),
@@ -124,7 +142,8 @@ impl GridWorld {
             reports: (0..n as u32)
                 .map(|i| LoadReport::initial(ServerId(i)))
                 .collect(),
-            flights: HashMap::new(),
+            flights: Arena::with_capacity(64),
+            decision_memo: DecisionMemo::new(),
             client_link: if cfg.shared_client_link {
                 Some(cas_platform::FairShareResource::new(1.0))
             } else {
@@ -206,9 +225,21 @@ impl GridWorld {
         }
     }
 
+    /// The in-flight record of `task` (task ids are dense, so this is an
+    /// indexed read through the arena key table).
+    fn flight(&self, task: TaskId) -> &Flight {
+        let key = self.flight_keys[task.index()].expect("flight exists");
+        self.flights.get(key).expect("flight key is live")
+    }
+
+    fn flight_mut(&mut self, task: TaskId) -> &mut Flight {
+        let key = self.flight_keys[task.index()].expect("flight exists");
+        self.flights.get_mut(key).expect("flight key is live")
+    }
+
     /// A task finished its input transfer: move it onto the CPU.
     fn input_arrived(&mut self, now: SimTime, task: TaskId, sched: &mut Scheduler<'_, GridEvent>) {
-        let flight = self.flights.get_mut(&task).expect("flight exists");
+        let flight = self.flight_mut(task);
         debug_assert_eq!(flight.phase, Phase::Input);
         flight.phase = Phase::Compute;
         let (server, compute) = (flight.server, flight.costs.compute);
@@ -219,7 +250,9 @@ impl GridWorld {
 
     /// A task finished its output transfer: it is complete.
     fn output_arrived(&mut self, now: SimTime, task: TaskId) {
-        self.flights.remove(&task);
+        if let Some(key) = self.flight_keys[task.index()].take() {
+            self.flights.remove(key);
+        }
         self.htm.observe_completion(now, task);
         let rec = self.record_mut(task);
         rec.outcome = TaskOutcome::Completed { finished: now };
@@ -275,7 +308,8 @@ impl GridWorld {
                 &mut self.htm,
                 &mut self.tie_rng,
             )
-            .with_server_mem(&server_mem);
+            .with_server_mem(&server_mem)
+            .with_memo(&mut self.decision_memo);
             self.heuristic.select(&mut view)
         };
         let Some(server) = pick else {
@@ -303,14 +337,12 @@ impl GridWorld {
                     rec.commit_prediction = predicted;
                     rec.attempts = attempt;
                 }
-                self.flights.insert(
-                    task.id,
-                    Flight {
-                        server,
-                        costs: phase_costs,
-                        phase: Phase::Input,
-                    },
-                );
+                let key = self.flights.insert(Flight {
+                    server,
+                    costs: phase_costs,
+                    phase: Phase::Input,
+                });
+                self.flight_keys[task.id.index()] = Some(key);
                 if let Some(link) = &mut self.client_link {
                     link.add(now, task.id, phase_costs.input);
                     self.resched_client_link(sched);
@@ -369,10 +401,7 @@ impl GridWorld {
             sched.at(when, GridEvent::PhaseDone { server, phase, gen });
             return;
         }
-        let flight = *self
-            .flights
-            .get(&task)
-            .expect("flight exists while running");
+        let flight = *self.flight(task);
         debug_assert_eq!(flight.server, server);
         match phase {
             Phase::Input => {
@@ -386,7 +415,7 @@ impl GridWorld {
                 // Correction 2: the server notifies the agent of the
                 // completed computation.
                 self.reports[server.index()].note_completion();
-                self.flights.get_mut(&task).expect("flight exists").phase = Phase::Output;
+                self.flight_mut(task).phase = Phase::Output;
                 if let Some(link) = &mut self.client_link {
                     link.add(now, task, flight.costs.output);
                     self.resched(server, Phase::Compute, sched);
@@ -432,7 +461,7 @@ impl GridWorld {
             .as_mut()
             .expect("shared link enabled")
             .remove(now, task);
-        let phase = self.flights.get(&task).expect("flight exists").phase;
+        let phase = self.flight(task).phase;
         self.resched_client_link(sched);
         match phase {
             Phase::Input => self.input_arrived(now, task, sched),

@@ -2,18 +2,18 @@
 //!
 //! A paper table cell is the mean over several executions of the same
 //! metatask; a full table is |heuristics| × |seeds| runs. Runs are
-//! independent, so they fan out over crossbeam scoped threads, one queue of
-//! jobs drained by `n_workers` threads, results collected behind a
-//! `parking_lot::Mutex` (see the hpc-parallel guides: scoped threads for
-//! borrowed data, parking_lot over std for contended locks).
+//! independent, so they fan out over the process-wide work-stealing pool
+//! ([`cas_sim::pool`]) — the same pool the HTM's batched predictions use,
+//! so a sweep saturates the machine once instead of each layer spawning
+//! scoped threads per call. Each replication writes into its own result
+//! slot and the slots are collected in replication order afterwards, so
+//! the reduction is deterministic regardless of which worker ran what.
 
 use crate::config::ExperimentConfig;
 use crate::engine::run_experiment;
 use cas_core::heuristics::HeuristicKind;
 use cas_metrics::{MetricSet, TaskRecord};
 use cas_platform::{CostTable, ServerSpec, TaskInstance};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// All runs of one heuristic over a set of workload seeds.
 #[derive(Debug, Clone)]
@@ -39,11 +39,15 @@ impl MatrixResult {
 }
 
 /// Runs `replications` of the same configuration (differing only in the
-/// experiment seed, `base_cfg.seed + i`) over `workloads[i]`, in parallel.
+/// experiment seed, `base_cfg.seed + i`) over `workloads[i]`, in parallel
+/// on the shared pool.
 ///
 /// `workloads` supplies one task list per replication (the paper replays
 /// the same metatask, so callers typically pass clones of one list or
-/// per-seed variants).
+/// per-seed variants). `n_workers` is kept for API compatibility and as a
+/// concurrency hint — the pool is shared and work-stealing, so the only
+/// meaning left is `n_workers == 1`, which forces a strictly sequential
+/// run (used by the determinism differential test).
 pub fn run_replications(
     base_cfg: ExperimentConfig,
     costs: &CostTable,
@@ -51,29 +55,24 @@ pub fn run_replications(
     workloads: &[Vec<TaskInstance>],
     n_workers: usize,
 ) -> Vec<Vec<TaskRecord>> {
-    let n = workloads.len();
-    let results: Mutex<Vec<Option<Vec<TaskRecord>>>> = Mutex::new(vec![None; n]);
-    let next_job = AtomicUsize::new(0);
-    let workers = n_workers.clamp(1, n.max(1));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cfg = base_cfg.with_seed(base_cfg.seed.wrapping_add(i as u64));
-                let records =
-                    run_experiment(cfg, costs.clone(), servers.to_vec(), workloads[i].clone());
-                results.lock()[i] = Some(records);
-            });
+    let run_one = |i: usize| {
+        let cfg = base_cfg.with_seed(base_cfg.seed.wrapping_add(i as u64));
+        run_experiment(cfg, costs.clone(), servers.to_vec(), workloads[i].clone())
+    };
+    if n_workers <= 1 || workloads.len() <= 1 {
+        return (0..workloads.len()).map(run_one).collect();
+    }
+    let mut results: Vec<Option<Vec<TaskRecord>>> = vec![None; workloads.len()];
+    cas_sim::pool::global().scope(|scope| {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let run_one = &run_one;
+            scope.spawn(move || *slot = Some(run_one(i)));
         }
-    })
-    .expect("worker threads do not panic");
+    });
+    // Deterministic reduction: slots are read back in replication order.
     results
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .map(|r| r.expect("every replication ran"))
         .collect()
 }
 

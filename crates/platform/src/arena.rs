@@ -1,0 +1,262 @@
+//! A generational slab arena for per-task records.
+//!
+//! Grid experiments create and retire hundreds of thousands of short-lived
+//! per-task records (in-flight state in the middleware, committed-task
+//! metadata in the HTM). Hash maps keyed by `TaskId` put every lookup on a
+//! hashing path and every insert on an allocation path; boxing records
+//! scatters them across the heap. The arena replaces both patterns:
+//!
+//! * records live contiguously in one `Vec`, slots are recycled through a
+//!   free list, so steady-state operation allocates nothing;
+//! * a typed key ([`ArenaKey<T>`]) is a 32-bit index plus a generation
+//!   stamp. Indices are recycled, generations are not: a key held past its
+//!   record's removal misses (`get` returns `None`) instead of silently
+//!   reading whatever task reused the slot — the ABA protection that a raw
+//!   index into a slab lacks;
+//! * keys are typed by the record they point at, so a flight key cannot be
+//!   passed where a committed-task key is expected — the same zero-cost
+//!   discipline [`crate::ids`] applies to servers, problems and tasks.
+//!
+//! The arena deliberately has no "lookup by external id" operation: callers
+//! that need `TaskId → key` translation keep their own dense index (task
+//! ids in a metatask are dense submission indices) or small map, which
+//! keeps this type a pure store.
+
+use std::marker::PhantomData;
+
+/// A typed handle to a record in an [`Arena<T>`].
+///
+/// `Copy`, 8 bytes, and valid only while the record it was issued for is
+/// still live: removing the record invalidates the key (generation
+/// mismatch), even after the slot is reused.
+pub struct ArenaKey<T> {
+    index: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls: derives would bound on `T`, but keys are plain indices.
+impl<T> Clone for ArenaKey<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ArenaKey<T> {}
+impl<T> PartialEq for ArenaKey<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<T> Eq for ArenaKey<T> {}
+impl<T> std::hash::Hash for ArenaKey<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<T> std::fmt::Debug for ArenaKey<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ArenaKey({}v{})", self.index, self.generation)
+    }
+}
+
+/// One slot: the generation of the key that can read it, plus the record.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    /// Incremented on every removal; a slot's live key must match exactly.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational slab arena. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    /// Indices of vacant slots, reused LIFO (cache-warm).
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty arena with room for `cap` records before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its key. Reuses a vacant slot when one
+    /// exists; the returned key's generation distinguishes it from every
+    /// key the slot issued before.
+    pub fn insert(&mut self, value: T) -> ArenaKey<T> {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free-listed slot must be vacant");
+            slot.value = Some(value);
+            ArenaKey {
+                index,
+                generation: slot.generation,
+                _marker: PhantomData,
+            }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("arena indices fit in u32");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            ArenaKey {
+                index,
+                generation: 0,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// The record behind `key`, if still live.
+    pub fn get(&self, key: ArenaKey<T>) -> Option<&T> {
+        self.slots
+            .get(key.index as usize)
+            .filter(|s| s.generation == key.generation)
+            .and_then(|s| s.value.as_ref())
+    }
+
+    /// Mutable access to the record behind `key`, if still live.
+    pub fn get_mut(&mut self, key: ArenaKey<T>) -> Option<&mut T> {
+        self.slots
+            .get_mut(key.index as usize)
+            .filter(|s| s.generation == key.generation)
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// `true` while `key`'s record is live.
+    pub fn contains(&self, key: ArenaKey<T>) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the record behind `key`. Stale keys (already
+    /// removed, or from a previous occupant of the slot) return `None` and
+    /// change nothing.
+    pub fn remove(&mut self, key: ArenaKey<T>) -> Option<T> {
+        let slot = self.slots.get_mut(key.index as usize)?;
+        if slot.generation != key.generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        // Bump on removal: every key issued for the old occupant is now
+        // permanently stale, including `key` itself.
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(key.index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Iterates over live records (slot order, not insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.value.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut arena: Arena<String> = Arena::new();
+        let a = arena.insert("a".into());
+        let b = arena.insert("b".into());
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a).unwrap(), "a");
+        assert_eq!(arena.get(b).unwrap(), "b");
+        assert_eq!(arena.remove(a).unwrap(), "a");
+        assert_eq!(arena.get(a), None);
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn stale_key_misses_after_slot_reuse() {
+        let mut arena: Arena<u32> = Arena::new();
+        let first = arena.insert(1);
+        arena.remove(first);
+        let second = arena.insert(2);
+        // Slot recycled, but the old key must not read the new occupant.
+        assert_eq!(arena.get(first), None);
+        assert!(!arena.contains(first));
+        assert_eq!(arena.remove(first), None);
+        assert_eq!(arena.get(second), Some(&2));
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut arena: Arena<u64> = Arena::new();
+        let keys: Vec<_> = (0..100u64).map(|i| arena.insert(i)).collect();
+        for k in &keys {
+            arena.remove(*k);
+        }
+        assert!(arena.is_empty());
+        for i in 0..100u64 {
+            arena.insert(i);
+        }
+        // No new slots beyond the original hundred.
+        assert_eq!(arena.slots.len(), 100);
+        assert_eq!(arena.len(), 100);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut arena: Arena<Vec<u8>> = Arena::new();
+        let k = arena.insert(vec![1]);
+        arena.get_mut(k).unwrap().push(2);
+        assert_eq!(arena.get(k).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn iter_sees_only_live_records() {
+        let mut arena: Arena<u32> = Arena::new();
+        let a = arena.insert(1);
+        let _b = arena.insert(2);
+        let c = arena.insert(3);
+        arena.remove(a);
+        arena.remove(c);
+        let live: Vec<u32> = arena.iter().copied().collect();
+        assert_eq!(live, vec![2]);
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut arena: Arena<u8> = Arena::new();
+        let k = arena.insert(9);
+        assert_eq!(arena.remove(k), Some(9));
+        assert_eq!(arena.remove(k), None);
+        assert_eq!(arena.len(), 0);
+    }
+}

@@ -21,26 +21,30 @@ use cas_sim::{Generation, SimTime};
 use std::collections::HashMap;
 use std::hash::Hash;
 
-/// One activity inside the resource.
-#[derive(Debug, Clone, PartialEq)]
-struct Entry<K> {
-    key: K,
-    /// Work still to do, in resource units (CPU-seconds, MB, …).
-    remaining: f64,
-}
-
 /// A capacity shared equally among its current activities.
 ///
 /// `K` identifies activities (typically a `TaskId`). Keys must be unique
 /// among concurrently running activities.
+///
+/// Activities are stored **structure-of-arrays**: keys in one `Vec`,
+/// remaining-work scalars in a parallel `Vec` (same positions). The two
+/// hot loops — [`Self::advance`]'s uniform work subtraction and
+/// [`Self::next_completion`]'s minimum scan — then stream over a dense
+/// `f64` slice the compiler can vectorise, instead of striding over
+/// key/value pairs; the `fairshare_layout` micro-bench in `cas-bench`
+/// measures the layouts against each other at the 64-server sweep scale.
 #[derive(Debug, Clone)]
 pub struct FairShareResource<K> {
-    entries: Vec<Entry<K>>,
-    /// Position of each key in `entries`, so [`Self::remaining`] and the
-    /// duplicate-key check in [`Self::add`] — which sits on the per-event
-    /// hot path — are O(1) instead of linear scans. Kept in sync by
-    /// `add`/`remove` (the `remove` fixup is O(n), matching the `Vec`
-    /// shift it accompanies).
+    /// Activity keys, in insertion order.
+    keys: Vec<K>,
+    /// `remaining[i]` = work still to do for `keys[i]`, in resource units
+    /// (CPU-seconds, MB, …).
+    remaining: Vec<f64>,
+    /// Position of each key in the parallel vectors, so
+    /// [`Self::remaining`] and the duplicate-key check in [`Self::add`] —
+    /// which sits on the per-event hot path — are O(1) instead of linear
+    /// scans. Kept in sync by `add`/`remove` (the `remove` fixup is O(n),
+    /// matching the `Vec` shift it accompanies).
     index: HashMap<K, usize>,
     /// Work units delivered per second in total, split equally.
     capacity: f64,
@@ -63,7 +67,8 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
             "capacity must be positive, got {capacity}"
         );
         FairShareResource {
-            entries: Vec::new(),
+            keys: Vec::new(),
+            remaining: Vec::new(),
             index: HashMap::new(),
             capacity,
             updated_at: SimTime::ZERO,
@@ -73,12 +78,12 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
 
     /// Number of running activities.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     /// `true` when idle.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.keys.is_empty()
     }
 
     /// Current total capacity.
@@ -93,14 +98,17 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
 
     /// Keys of all running activities.
     pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
-        self.entries.iter().map(|e| e.key)
+        self.keys.iter().copied()
     }
 
     /// `(key, remaining work)` of all running activities, in insertion
     /// order — the raw state a what-if engine copies into its scratch
     /// buffers (see `cas-core`'s prediction cache).
     pub fn entries_iter(&self) -> impl Iterator<Item = (K, f64)> + '_ {
-        self.entries.iter().map(|e| (e.key, e.remaining))
+        self.keys
+            .iter()
+            .copied()
+            .zip(self.remaining.iter().copied())
     }
 
     /// The time progress has been integrated up to.
@@ -110,16 +118,16 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
 
     /// Remaining work of `key`, if running. O(1) via the key index.
     pub fn remaining(&self, key: K) -> Option<f64> {
-        self.index.get(&key).map(|&i| self.entries[i].remaining)
+        self.index.get(&key).map(|&i| self.remaining[i])
     }
 
     /// Per-activity progress rate right now (capacity / n), or the full
     /// capacity when idle.
     pub fn rate_per_activity(&self) -> f64 {
-        if self.entries.is_empty() {
+        if self.keys.is_empty() {
             self.capacity
         } else {
-            self.capacity / self.entries.len() as f64
+            self.capacity / self.keys.len() as f64
         }
     }
 
@@ -135,17 +143,17 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
             "resource cannot rewind: updated_at={:?}, now={now:?}",
             self.updated_at
         );
-        if self.entries.is_empty() || now == self.updated_at {
+        if self.keys.is_empty() || now == self.updated_at {
             self.updated_at = now;
             return;
         }
         let dt = (now - self.updated_at).as_secs();
-        let rate = self.capacity / self.entries.len() as f64;
+        let rate = self.capacity / self.keys.len() as f64;
         let done = rate * dt;
-        for e in &mut self.entries {
+        for r in &mut self.remaining {
             // Clamp: float rounding may overshoot the exact completion
             // instant by a hair; remaining work is never negative.
-            e.remaining = (e.remaining - done).max(0.0);
+            *r = (*r - done).max(0.0);
         }
         self.updated_at = now;
     }
@@ -165,11 +173,9 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
             !self.index.contains_key(&key),
             "activity {key:?} already running"
         );
-        self.index.insert(key, self.entries.len());
-        self.entries.push(Entry {
-            key,
-            remaining: work,
-        });
+        self.index.insert(key, self.keys.len());
+        self.keys.push(key);
+        self.remaining.push(work);
         self.generation.bump();
     }
 
@@ -180,12 +186,13 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
     pub fn remove(&mut self, now: SimTime, key: K) -> Option<f64> {
         self.advance(now);
         let idx = self.index.remove(&key)?;
-        let entry = self.entries.remove(idx);
-        for shifted in &self.entries[idx..] {
-            *self.index.get_mut(&shifted.key).expect("indexed entry") -= 1;
+        self.keys.remove(idx);
+        let left = self.remaining.remove(idx);
+        for shifted in &self.keys[idx..] {
+            *self.index.get_mut(shifted).expect("indexed entry") -= 1;
         }
         self.generation.bump();
-        Some(entry.remaining)
+        Some(left)
     }
 
     /// Changes the total capacity (CPU noise redraws, thrashing slowdown).
@@ -210,13 +217,17 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
     pub fn next_completion(&self, now: SimTime) -> Option<(K, SimTime)> {
         debug_assert!(now >= self.updated_at);
         let lag = (now - self.updated_at).as_secs();
-        let rate = self.capacity / self.entries.len().max(1) as f64;
-        self.entries
+        let rate = self.capacity / self.keys.len().max(1) as f64;
+        // First-minimal scan over the dense work column (`min_by` returns
+        // the first of equal minima: ties resolve to the earliest-added
+        // activity, as on the AoS layout).
+        self.remaining
             .iter()
-            .min_by(|a, b| a.remaining.partial_cmp(&b.remaining).unwrap())
-            .map(|e| {
-                let dt = ((e.remaining / rate) - lag).max(0.0);
-                (e.key, now + SimTime::from_secs(dt))
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("remaining work is never NaN"))
+            .map(|(i, &r)| {
+                let dt = ((r / rate) - lag).max(0.0);
+                (self.keys[i], now + SimTime::from_secs(dt))
             })
     }
 
@@ -227,10 +238,9 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> FairShareResource<K> {
         let mut remaining: Vec<(K, f64)> = {
             // Simulate the resource forward privately.
             let lag = (now - self.updated_at).as_secs();
-            let rate = self.capacity / self.entries.len().max(1) as f64;
-            self.entries
-                .iter()
-                .map(|e| (e.key, (e.remaining - rate * lag).max(0.0)))
+            let rate = self.capacity / self.keys.len().max(1) as f64;
+            self.entries_iter()
+                .map(|(k, r)| (k, (r - rate * lag).max(0.0)))
                 .collect()
         };
         remaining.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());

@@ -3,6 +3,9 @@
 //! Everything the paper's environment is made of, minus the scheduling logic:
 //!
 //! * [`ids`] — newtyped identifiers for servers, problems and tasks.
+//! * [`arena`] — the generational slab arena backing per-task record
+//!   stores (middleware flights, HTM committed-task metadata): contiguous
+//!   storage, recycled slots, typed keys with ABA-safe generations.
 //! * [`task`] — problem descriptions (input/output data sizes, memory need)
 //!   and task instances; the paper's three-phase task model (input transfer,
 //!   compute, output transfer).
@@ -26,6 +29,7 @@
 //! `cas-middleware`; the agent's *model* of the platform (the HTM) lives in
 //! `cas-core` and deliberately shares the task/cost vocabulary defined here.
 
+pub mod arena;
 pub mod cost;
 pub mod fairshare;
 pub mod forecast;
@@ -34,6 +38,7 @@ pub mod monitor;
 pub mod server;
 pub mod task;
 
+pub use arena::{Arena, ArenaKey};
 pub use cost::{CostTable, PhaseCosts};
 pub use fairshare::FairShareResource;
 pub use ids::{ProblemId, ServerId, TaskId};

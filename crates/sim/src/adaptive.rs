@@ -1,0 +1,372 @@
+//! The self-tuning event queue: heap below, calendar above.
+//!
+//! The hold-model benches (`event_queue` in `cas-bench`) show a stable
+//! crossover: the binary heap wins below a few thousand pending events
+//! (tight code, no tuning), the calendar queue wins past ~10⁴ (amortised
+//! O(1) vs O(log n)) — *provided* its timestamps spread across buckets.
+//! Grid experiments sit on both sides of that line depending on scale
+//! (4-server paper runs vs 1k-server campaigns), and a single run can
+//! cross it as a burst arrives and drains.
+//!
+//! [`AdaptiveQueue`] therefore starts on the heap and migrates between
+//! backends at runtime:
+//!
+//! * **heap → calendar** when the pending count stays above
+//!   [`TO_CALENDAR_LEN`];
+//! * **calendar → heap** when the count falls below [`TO_HEAP_LEN`]
+//!   (hysteresis: the two thresholds are 4× apart so a queue oscillating
+//!   around one size does not thrash), or when the measured bucket
+//!   occupancy degenerates — the fullest day bucket holding more than
+//!   1/[`CLUSTER_FRACTION`] of all events means timestamps are clustering
+//!   into few days and the calendar has decayed into a sorted list. A
+//!   degeneracy fallback also *bans* the calendar until the queue drains
+//!   below the low-water mark, so one clustered burst cannot ping-pong the
+//!   backend.
+//!
+//! A migration drains the source, sorts by `(time, seq)` and re-inserts
+//! with the **original sequence numbers** preserved, so FIFO stability at
+//! equal timestamps spans migrations: the differential proptest below
+//! drives heap, calendar and adaptive queues through one interleaving
+//! (including boundary-exact timestamps) and requires identical pop
+//! sequences from all three.
+
+use crate::event::{EventEntry, EventQueue, HeapQueue};
+use crate::CalendarQueue;
+use crate::SimTime;
+
+/// Pending-event count above which the heap migrates to the calendar.
+pub const TO_CALENDAR_LEN: usize = 8192;
+
+/// Pending-event count below which the calendar migrates back to the heap.
+pub const TO_HEAP_LEN: usize = 2048;
+
+/// Occupancy degeneracy trigger: migrate calendar → heap when the fullest
+/// bucket holds more than `len / CLUSTER_FRACTION` events.
+pub const CLUSTER_FRACTION: usize = 8;
+
+/// How many queue operations pass between (linear-cost) occupancy probes.
+const OCCUPANCY_CHECK_INTERVAL: u32 = 1024;
+
+#[derive(Debug, Clone)]
+enum Backend<E> {
+    Heap(HeapQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+/// An [`EventQueue`] that picks its backend by live workload shape.
+#[derive(Debug, Clone)]
+pub struct AdaptiveQueue<E> {
+    backend: Backend<E>,
+    /// The queue owns the sequence counter so stamps survive migrations.
+    next_seq: u64,
+    /// Migration thresholds (overridable for tests).
+    to_calendar_len: usize,
+    to_heap_len: usize,
+    /// Operations since the last occupancy probe.
+    ops_since_probe: u32,
+    /// Set when a degenerate-occupancy fallback fired: the pending count
+    /// alone says "calendar" but the timestamp distribution says "heap".
+    /// Cleared once the queue drains below the low-water mark (regime
+    /// change), so a single clustered burst cannot cause ping-ponging.
+    calendar_banned: bool,
+    migrations: u64,
+}
+
+impl<E> Default for AdaptiveQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> AdaptiveQueue<E> {
+    /// An empty queue, starting on the heap backend.
+    pub fn new() -> Self {
+        Self::with_thresholds(TO_CALENDAR_LEN, TO_HEAP_LEN)
+    }
+
+    /// An empty queue with custom migration thresholds (`to_calendar_len`
+    /// must be at least `2 * to_heap_len` to preserve the hysteresis gap).
+    pub fn with_thresholds(to_calendar_len: usize, to_heap_len: usize) -> Self {
+        assert!(
+            to_calendar_len >= to_heap_len.saturating_mul(2),
+            "hysteresis gap required: {to_calendar_len} < 2 * {to_heap_len}"
+        );
+        AdaptiveQueue {
+            backend: Backend::Heap(HeapQueue::new()),
+            next_seq: 0,
+            to_calendar_len,
+            to_heap_len,
+            ops_since_probe: 0,
+            calendar_banned: false,
+            migrations: 0,
+        }
+    }
+
+    /// `true` while the calendar backend is active.
+    pub fn is_calendar(&self) -> bool {
+        matches!(self.backend, Backend::Calendar(_))
+    }
+
+    /// The active backend's name (diagnostics).
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            Backend::Heap(_) => "heap",
+            Backend::Calendar(_) => "calendar",
+        }
+    }
+
+    /// Number of backend migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Moves every entry into `target_calendar`-shaped backend, preserving
+    /// `(time, seq)` order and the original stamps.
+    fn migrate(&mut self, to_calendar: bool) {
+        let mut entries = match &mut self.backend {
+            Backend::Heap(q) => q.drain_entries(),
+            Backend::Calendar(q) => q.drain_entries(),
+        };
+        entries.sort_by_key(|e| (e.at, e.seq));
+        if to_calendar {
+            let mut cal = CalendarQueue::new();
+            for e in entries {
+                cal.push_entry(e);
+            }
+            self.backend = Backend::Calendar(cal);
+        } else {
+            let mut heap = HeapQueue::new();
+            for e in entries {
+                heap.push_entry(e);
+            }
+            self.backend = Backend::Heap(heap);
+        }
+        self.migrations += 1;
+        self.ops_since_probe = 0;
+    }
+
+    /// O(1) length-threshold check on every op; linear occupancy probe
+    /// every [`OCCUPANCY_CHECK_INTERVAL`] ops.
+    fn consider_migration(&mut self) {
+        self.ops_since_probe += 1;
+        match &self.backend {
+            Backend::Heap(q) => {
+                let len = EventQueue::<E>::len(q);
+                if self.calendar_banned {
+                    if len < self.to_heap_len {
+                        self.calendar_banned = false;
+                    }
+                } else if len > self.to_calendar_len {
+                    self.migrate(true);
+                }
+            }
+            Backend::Calendar(q) => {
+                if q.len() < self.to_heap_len {
+                    self.migrate(false);
+                } else if self.ops_since_probe >= OCCUPANCY_CHECK_INTERVAL {
+                    self.ops_since_probe = 0;
+                    let degenerate = q.n_buckets() >= CLUSTER_FRACTION
+                        && q.max_bucket_len() * CLUSTER_FRACTION > q.len();
+                    if degenerate {
+                        self.calendar_banned = true;
+                        self.migrate(false);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<E> EventQueue<E> for AdaptiveQueue<E> {
+    fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = EventEntry { at, seq, event };
+        match &mut self.backend {
+            Backend::Heap(q) => q.push_entry(entry),
+            Backend::Calendar(q) => q.push_entry(entry),
+        }
+        self.consider_migration();
+        seq
+    }
+
+    fn pop(&mut self) -> Option<EventEntry<E>> {
+        let popped = match &mut self.backend {
+            Backend::Heap(q) => q.pop(),
+            Backend::Calendar(q) => q.pop(),
+        };
+        if popped.is_some() {
+            self.consider_migration();
+        }
+        popped
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match &self.backend {
+            Backend::Heap(q) => q.peek_time(),
+            Backend::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Heap(q) => EventQueue::<E>::len(q),
+            Backend::Calendar(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn starts_on_heap() {
+        let q: AdaptiveQueue<u32> = AdaptiveQueue::new();
+        assert!(!q.is_calendar());
+        assert_eq!(q.backend_name(), "heap");
+        assert_eq!(q.migrations(), 0);
+    }
+
+    /// Migration under load: fill past the high-water mark (→ calendar),
+    /// drain below the low-water mark (→ heap), and require global
+    /// ordering plus FIFO stability across both migrations.
+    #[test]
+    fn migrates_under_load_and_back() {
+        let mut q = AdaptiveQueue::with_thresholds(256, 64);
+        // Phase 1: fill well past the calendar threshold, with deliberate
+        // timestamp ties straddling the migration point.
+        for i in 0..1000u32 {
+            q.push(t((i / 4) as f64), i);
+        }
+        assert!(q.is_calendar(), "high load must select the calendar");
+        assert_eq!(q.migrations(), 1);
+        // Phase 2: drain with interleaved pushes; ordering must hold
+        // through the calendar → heap migration.
+        let mut last: Option<(SimTime, u64)> = None;
+        let mut popped = 0usize;
+        let mut extra = 1000u32;
+        while let Some(e) = q.pop() {
+            if let Some((lt, ls)) = last {
+                assert!(
+                    (e.at, e.seq) > (lt, ls),
+                    "ordering violated at pop {popped}: {:?} after {:?}",
+                    (e.at, e.seq),
+                    (lt, ls)
+                );
+            }
+            last = Some((e.at, e.seq));
+            if popped.is_multiple_of(7) && extra < 1100 {
+                q.push(e.at + t(0.5), extra);
+                extra += 1;
+            }
+            popped += 1;
+        }
+        assert_eq!(popped, 1100);
+        assert!(!q.is_calendar(), "drained queue must fall back to the heap");
+        assert!(q.migrations() >= 2);
+    }
+
+    #[test]
+    fn clustered_timestamps_degrade_back_to_heap() {
+        let mut q = AdaptiveQueue::with_thresholds(128, 32);
+        // All events at the same instant: the calendar's buckets cannot
+        // spread them, so the occupancy probe must bail back to the heap.
+        for i in 0..5000u32 {
+            q.push(t(1000.0), i);
+        }
+        assert!(
+            !q.is_calendar(),
+            "degenerate occupancy must trigger fallback (migrations={})",
+            q.migrations()
+        );
+        // FIFO stability must have survived all migrations.
+        for expect in 0..5000u32 {
+            assert_eq!(q.pop().unwrap().event, expect);
+        }
+    }
+
+    #[test]
+    fn stability_spans_migration() {
+        let mut q = AdaptiveQueue::with_thresholds(64, 16);
+        for i in 0..100u32 {
+            q.push(t(5.0), i); // same time: FIFO by push order
+        }
+        assert!(q.migrations() > 0, "the 64-entry threshold must trip");
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Heap, calendar and adaptive backends produce identical pop
+        /// sequences on any push/pop interleaving — including timestamps
+        /// landing exactly on calendar bucket boundaries (the `raw / 100`
+        /// grid reproduces PR 1's boundary-exact regression shape) and
+        /// adaptive migrations mid-stream (tiny thresholds force them).
+        #[test]
+        fn three_backends_agree(ops in proptest::collection::vec(
+            (proptest::bool::ANY, 0u32..10_000), 1..400)
+        ) {
+            let mut heap = HeapQueue::new();
+            let mut cal = CalendarQueue::new();
+            let mut ada = AdaptiveQueue::with_thresholds(32, 8);
+            let mut monotone = 0.0f64;
+            for (i, (is_push, raw)) in ops.iter().enumerate() {
+                if *is_push {
+                    let at = SimTime::from_secs(monotone + *raw as f64 / 100.0);
+                    heap.push(at, i);
+                    cal.push(at, i);
+                    ada.push(at, i);
+                } else {
+                    let (h, c, a) = (heap.pop(), cal.pop(), ada.pop());
+                    match (h, c, a) {
+                        (None, None, None) => {}
+                        (Some(x), Some(y), Some(z)) => {
+                            prop_assert_eq!(x.at, y.at);
+                            prop_assert_eq!(x.at, z.at);
+                            prop_assert_eq!(x.event, y.event);
+                            prop_assert_eq!(x.event, z.event);
+                            prop_assert_eq!(x.seq, z.seq, "stamps must survive migration");
+                            monotone = x.at.as_secs();
+                        }
+                        (h, c, a) => prop_assert!(
+                            false,
+                            "emptiness disagreement: heap={} cal={} ada={}",
+                            h.is_some(), c.is_some(), a.is_some()
+                        ),
+                    }
+                }
+            }
+            loop {
+                match (heap.pop(), cal.pop(), ada.pop()) {
+                    (None, None, None) => break,
+                    (Some(x), Some(y), Some(z)) => {
+                        prop_assert_eq!(x.at, y.at);
+                        prop_assert_eq!(x.at, z.at);
+                        prop_assert_eq!(x.event, y.event);
+                        prop_assert_eq!(x.event, z.event);
+                    }
+                    (h, c, a) => prop_assert!(
+                        false,
+                        "tail emptiness disagreement: heap={} cal={} ada={}",
+                        h.is_some(), c.is_some(), a.is_some()
+                    ),
+                }
+            }
+        }
+    }
+}

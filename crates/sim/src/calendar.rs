@@ -1,6 +1,6 @@
 //! A calendar queue — the classic O(1)-amortised DES event queue
 //! (R. Brown, CACM 1988) — as an alternative to the binary-heap
-//! [`EventQueue`](crate::event::EventQueue).
+//! [`HeapQueue`](crate::event::HeapQueue).
 //!
 //! Events hash into day buckets by timestamp; dequeue scans the current
 //! day and wraps year by year. With bucket width tuned to the mean event
@@ -9,14 +9,15 @@
 //! when occupancy drifts, and retunes the width from a sample of queued
 //! events, as in Brown's original design.
 //!
-//! Same stability contract as `EventQueue`: equal timestamps dequeue in
-//! insertion order (per-bucket vectors are kept sorted by (time, seq)).
-//! The `event_queue` Criterion bench compares the two under the hold
-//! model; the simulation driver stays on the heap by default because grid
-//! experiments rarely exceed a few thousand pending events, but the
-//! calendar wins past ~10⁴.
+//! Same stability contract as every [`EventQueue`] backend: equal
+//! timestamps dequeue in insertion order (per-bucket vectors are kept
+//! sorted by (time, seq)). The `event_queue` Criterion bench compares the
+//! backends under the hold model; the heap wins below a few thousand
+//! pending events, the calendar past ~10⁴ — which is exactly the
+//! migration rule [`AdaptiveQueue`](crate::AdaptiveQueue) applies at
+//! runtime.
 
-use crate::event::EventEntry;
+use crate::event::{EventEntry, EventQueue};
 use crate::time::SimTime;
 use std::collections::VecDeque;
 
@@ -59,26 +60,25 @@ impl<E> CalendarQueue<E> {
         }
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// `true` when no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
     fn bucket_of(&self, t: f64) -> usize {
         ((t / self.width) as u64 % self.buckets.len() as u64) as usize
     }
 
-    /// Schedules `event` at `at`; returns its sequence number.
-    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let entry = EventEntry { at, seq, event };
-        let b = self.bucket_of(at.as_secs());
+    /// The integer day-window ("lap") index of a timestamp. Must use the
+    /// exact float expression of [`Self::bucket_of`]: membership tests in
+    /// `pop` compare these indices, and any divergence from the placement
+    /// arithmetic (e.g. an incrementally accumulated window top) mis-sorts
+    /// events that land exactly on a bucket boundary.
+    fn lap_of(&self, t: f64) -> u64 {
+        (t / self.width) as u64
+    }
+
+    /// Inserts an already-stamped entry, preserving its sequence number —
+    /// the backend-migration primitive used by
+    /// [`AdaptiveQueue`](crate::AdaptiveQueue).
+    pub fn push_entry(&mut self, entry: EventEntry<E>) {
+        self.next_seq = self.next_seq.max(entry.seq + 1);
+        let b = self.bucket_of(entry.at.as_secs());
         // Insert keeping the bucket sorted by (time, seq). Most pushes in a
         // DES land at the bucket tail, so search from the back.
         let bucket = &mut self.buckets[b];
@@ -92,20 +92,36 @@ impl<E> CalendarQueue<E> {
         if self.len > self.buckets.len() * 2 {
             self.resize(self.buckets.len() * 2);
         }
-        seq
     }
 
-    /// The integer day-window ("lap") index of a timestamp. Must use the
-    /// exact float expression of [`Self::bucket_of`]: membership tests in
-    /// `pop` compare these indices, and any divergence from the placement
-    /// arithmetic (e.g. an incrementally accumulated window top) mis-sorts
-    /// events that land exactly on a bucket boundary.
-    fn lap_of(&self, t: f64) -> u64 {
-        (t / self.width) as u64
+    /// Drains all entries, unordered (backend-migration primitive).
+    pub fn drain_entries(&mut self) -> Vec<EventEntry<E>> {
+        let mut all = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.extend(b.drain(..));
+        }
+        self.len = 0;
+        all
     }
 
-    /// Removes and returns the earliest entry.
-    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+    /// Occupancy of the fullest bucket. A value far above `len /
+    /// n_buckets` means timestamps are clustering into few days (the
+    /// calendar has degenerated to a sorted list); the adaptive queue uses
+    /// this as a migrate-back-to-heap signal.
+    pub fn max_bucket_len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+
+    /// Number of day buckets in the current calendar.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The day bucket holding the earliest entry, or `None` when empty.
+    /// Shared scan behind `pop`/`peek_time`: walks one year of day windows
+    /// from the monotonicity floor, falling back to a direct minimum over
+    /// bucket heads when every event lies beyond the year.
+    fn front_bucket(&self) -> Option<usize> {
         if self.len == 0 {
             return None;
         }
@@ -113,9 +129,6 @@ impl<E> CalendarQueue<E> {
         // monotone clock (events are never earlier than last_time).
         let n = self.buckets.len();
         let first_lap = self.lap_of(self.last_time);
-        // Scan at most one full year; if nothing falls inside its day
-        // window (all events far in the future), fall back to a direct
-        // minimum search and recalibrate.
         for lap in first_lap..first_lap + n as u64 {
             let day = (lap % n as u64) as usize;
             let front_lap = self.buckets[day]
@@ -125,28 +138,17 @@ impl<E> CalendarQueue<E> {
                 // `<=` also catches same-day events of earlier laps, which
                 // the monotone clock makes same-lap in practice.
                 if front_lap <= lap {
-                    let entry = self.buckets[day].pop_front().expect("front exists");
-                    self.len -= 1;
-                    self.last_time = entry.at.as_secs();
-                    if self.buckets.len() > 4 && self.len < self.buckets.len() / 2 {
-                        let target = (self.buckets.len() / 2).max(2);
-                        self.resize(target);
-                    }
-                    return Some(entry);
+                    return Some(day);
                 }
             }
         }
         // Sparse case: direct minimum over bucket heads.
-        let (day, _) = self
-            .buckets
+        self.buckets
             .iter()
             .enumerate()
             .filter_map(|(i, b)| b.front().map(|e| (i, (e.at, e.seq))))
-            .min_by(|a, b| a.1.cmp(&b.1))?;
-        let entry = self.buckets[day].pop_front().expect("front exists");
-        self.len -= 1;
-        self.last_time = entry.at.as_secs();
-        Some(entry)
+            .min_by(|a, b| a.1.cmp(&b.1))
+            .map(|(i, _)| i)
     }
 
     /// Rebuilds the calendar with `n_buckets`, retuning the width from the
@@ -173,6 +175,39 @@ impl<E> CalendarQueue<E> {
             self.buckets[b].push_back(entry);
         }
         self.len = len;
+    }
+}
+
+impl<E> EventQueue<E> for CalendarQueue<E> {
+    fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.push_entry(EventEntry { at, seq, event });
+        seq
+    }
+
+    fn pop(&mut self) -> Option<EventEntry<E>> {
+        let day = self.front_bucket()?;
+        let entry = self.buckets[day].pop_front().expect("front exists");
+        self.len -= 1;
+        self.last_time = entry.at.as_secs();
+        if self.buckets.len() > 4 && self.len < self.buckets.len() / 2 {
+            let target = (self.buckets.len() / 2).max(2);
+            self.resize(target);
+        }
+        Some(entry)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.front_bucket()
+            .map(|day| self.buckets[day].front().expect("front exists").at)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -231,6 +266,20 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, 2);
     }
 
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        for &x in &[5.0, 1.0, 9.0, 3.0, 1e7] {
+            q.push(t(x), x as u64);
+        }
+        while !q.is_empty() {
+            let peeked = q.peek_time().unwrap();
+            let popped = q.pop().unwrap();
+            assert_eq!(peeked, popped.at);
+        }
+        assert_eq!(q.peek_time(), None);
+    }
+
     /// Regression: an event landing exactly on a day-window boundary must
     /// not be skipped by the dequeue scan. The old scan accumulated the
     /// window top incrementally (`top += width`), which can disagree in the
@@ -281,12 +330,23 @@ mod tests {
         }
         assert_eq!(n, 1000);
     }
+
+    #[test]
+    fn occupancy_stats_track_contents() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.max_bucket_len(), 0);
+        for i in 0..64 {
+            q.push(t(42.0), i); // all same instant: one bucket holds all
+        }
+        assert_eq!(q.max_bucket_len(), 64);
+        assert!(q.n_buckets() >= 2);
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::event::EventQueue;
+    use crate::event::HeapQueue;
     use proptest::prelude::*;
 
     proptest! {
@@ -298,7 +358,7 @@ mod proptests {
             (proptest::bool::ANY, 0u32..10_000), 1..400)
         ) {
             let mut cal = CalendarQueue::new();
-            let mut heap = EventQueue::new();
+            let mut heap = HeapQueue::new();
             let mut monotone = 0.0f64;
             for (i, (is_push, raw)) in ops.iter().enumerate() {
                 if *is_push {

@@ -1,20 +1,30 @@
 //! The simulation driver.
 //!
-//! A thin loop around [`EventQueue`]: pop the earliest event, advance the
-//! clock, hand the event to the [`World`], which may schedule further events
-//! through the [`Scheduler`] handle. The driver enforces the fundamental DES
-//! invariant — time never goes backwards — and offers run-until-horizon and
-//! step-by-step execution for tests.
+//! A thin loop over the pluggable [`EventQueue`] trait: pop the earliest
+//! event, advance the clock, hand the event to the [`World`], which may
+//! schedule further events through the [`Scheduler`] handle. The driver
+//! enforces the fundamental DES invariant — time never goes backwards — and
+//! offers run-until-horizon and step-by-step execution for tests.
+//!
+//! [`Simulation`] is generic over the queue backend and defaults to
+//! [`AdaptiveQueue`], which starts on the binary heap and migrates to the
+//! calendar queue (and back) by live pending-event count and bucket
+//! occupancy — small paper runs stay on the heap, 1k-server campaigns get
+//! amortised O(1) scheduling, and nobody picks a backend by hand. The
+//! [`Scheduler`] handle holds `&mut dyn EventQueue`, so worlds are
+//! backend-agnostic by construction.
 
+use crate::adaptive::AdaptiveQueue;
 use crate::event::EventQueue;
 use crate::time::SimTime;
 
 /// Handle through which a [`World`] schedules new events.
 ///
 /// Wraps the event queue so the world cannot pop events or rewind time; it
-/// can only append to the future.
+/// can only append to the future. Backend-erased: the same world code runs
+/// on the heap, the calendar or the adaptive queue.
 pub struct Scheduler<'a, E> {
-    queue: &'a mut EventQueue<E>,
+    queue: &'a mut dyn EventQueue<E>,
     now: SimTime,
 }
 
@@ -83,20 +93,31 @@ pub enum RunOutcome {
 }
 
 /// A discrete-event simulation: a [`World`] plus clock and queue.
-pub struct Simulation<W: World> {
+///
+/// Generic over the queue backend; the default is the self-tuning
+/// [`AdaptiveQueue`]. Use [`Simulation::with_queue`] to pin a specific
+/// backend (benchmarks, backend-differential tests).
+pub struct Simulation<W: World, Q = AdaptiveQueue<<W as World>::Event>> {
     world: W,
-    queue: EventQueue<W::Event>,
+    queue: Q,
     now: SimTime,
     processed: u64,
     initialized: bool,
 }
 
 impl<W: World> Simulation<W> {
-    /// Creates a simulation at time zero with an empty queue.
+    /// Creates a simulation at time zero on the adaptive queue.
     pub fn new(world: W) -> Self {
+        Self::with_queue(world, AdaptiveQueue::new())
+    }
+}
+
+impl<W: World, Q: EventQueue<W::Event>> Simulation<W, Q> {
+    /// Creates a simulation at time zero on a caller-chosen queue backend.
+    pub fn with_queue(world: W, queue: Q) -> Self {
         Simulation {
             world,
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             processed: 0,
             initialized: false,
@@ -121,6 +142,11 @@ impl<W: World> Simulation<W> {
     /// Mutable access to the world (for test setup between steps).
     pub fn world_mut(&mut self) -> &mut W {
         &mut self.world
+    }
+
+    /// Immutable access to the queue backend (diagnostics, backend stats).
+    pub fn queue(&self) -> &Q {
+        &self.queue
     }
 
     /// Consumes the simulation, returning the world.
@@ -167,6 +193,25 @@ impl<W: World> Simulation<W> {
     pub fn run(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
         self.ensure_init();
         let mut budget = max_events;
+        if horizon == SimTime::MAX {
+            // No-horizon fast path: `step` already reports emptiness, so
+            // skip the per-event `peek_time` — on the calendar backend a
+            // peek repeats the same front scan the following pop performs,
+            // doubling dequeue work on the run-to-completion hot loop.
+            loop {
+                if budget == 0 {
+                    return if self.queue.is_empty() {
+                        RunOutcome::Exhausted
+                    } else {
+                        RunOutcome::BudgetExhausted
+                    };
+                }
+                if !self.step() {
+                    return RunOutcome::Exhausted;
+                }
+                budget -= 1;
+            }
+        }
         loop {
             match self.queue.peek_time() {
                 None => return RunOutcome::Exhausted,
@@ -190,6 +235,8 @@ impl<W: World> Simulation<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::HeapQueue;
+    use crate::CalendarQueue;
 
     /// A world that counts down: event `n` schedules event `n-1` one second
     /// later, until zero.
@@ -219,6 +266,23 @@ mod tests {
         );
         assert_eq!(sim.processed(), 4);
         assert_eq!(sim.now(), SimTime::from_secs(3.5));
+    }
+
+    /// The same model must behave identically on every backend: the
+    /// driver's contract is queue-independent.
+    #[test]
+    fn backends_interchangeable_through_driver() {
+        fn run_on<Q: EventQueue<u32>>(queue: Q) -> Vec<(f64, u32)> {
+            let mut sim = Simulation::with_queue(Countdown { seen: vec![] }, queue);
+            sim.schedule(SimTime::from_secs(0.5), 20);
+            assert_eq!(sim.run_to_completion(), RunOutcome::Exhausted);
+            sim.into_world().seen
+        }
+        let heap = run_on(HeapQueue::new());
+        let cal = run_on(CalendarQueue::new());
+        let ada = run_on(AdaptiveQueue::new());
+        assert_eq!(heap, cal);
+        assert_eq!(heap, ada);
     }
 
     #[test]

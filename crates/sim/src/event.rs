@@ -1,7 +1,9 @@
-//! The event queue.
+//! The event-queue abstraction and its binary-heap implementation.
 //!
-//! A binary-heap priority queue with two properties a reproducible
-//! discrete-event simulation needs beyond `std`'s `BinaryHeap`:
+//! [`EventQueue`] is the trait every queue backend of the simulation kernel
+//! implements; [`HeapQueue`] is the default comparison-based backend. Two
+//! properties a reproducible discrete-event simulation needs beyond a plain
+//! priority queue, and which every implementor must uphold:
 //!
 //! * **Stability** — events scheduled for the same instant pop in the order
 //!   they were pushed (FIFO), via a monotonically increasing sequence number.
@@ -11,9 +13,14 @@
 //! * **Cheap cancellation** — shared-resource models (fair-share CPU, shared
 //!   links) must reschedule their "next completion" event every time resource
 //!   membership changes. Rather than removing events from the middle of the
-//!   heap, callers tag events with a [`Generation`] and bump the generation
+//!   queue, callers tag events with a [`Generation`] and bump the generation
 //!   to invalidate all previously scheduled events for that resource; stale
 //!   events are dropped when popped.
+//!
+//! The other backends live in sibling modules:
+//! [`CalendarQueue`](crate::CalendarQueue) (amortised O(1), wins past ~10⁴
+//! pending events) and [`AdaptiveQueue`](crate::AdaptiveQueue) (migrates
+//! between the two at runtime; the kernel's default).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -77,12 +84,49 @@ impl<E> Ord for EventEntry<E> {
     }
 }
 
-/// A stable, earliest-first event queue.
+/// A stable, earliest-first event queue — the pluggable heart of the
+/// simulation kernel.
+///
+/// The contract, shared by every backend and enforced by the differential
+/// proptests in `adaptive.rs`:
+///
+/// * `pop` returns entries in ascending `(at, seq)` order — time order,
+///   FIFO within one instant;
+/// * `push` assigns strictly increasing sequence numbers across the queue's
+///   whole lifetime (stability spans backend migrations and `clear`s);
+/// * `peek_time` reports the timestamp `pop` would return, without removal.
+///
+/// The trait is object-safe: [`Scheduler`](crate::Scheduler) holds a
+/// `&mut dyn EventQueue<E>` so worlds schedule events without knowing which
+/// backend drives them.
+pub trait EventQueue<E> {
+    /// Schedules `event` to fire at `at`. Returns the sequence number
+    /// assigned to the entry (strictly increasing across all pushes).
+    fn push(&mut self, at: SimTime, event: E) -> u64;
+
+    /// Removes and returns the earliest entry, or `None` if empty.
+    fn pop(&mut self) -> Option<EventEntry<E>>;
+
+    /// The timestamp of the earliest entry without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending entries (including any that a caller will later
+    /// discard as stale — the queue itself does not know about generations).
+    fn len(&self) -> usize;
+
+    /// `true` if no entries are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A stable, earliest-first binary-heap queue: O(log n) push/pop, the best
+/// all-round backend below ~10⁴ pending events.
 ///
 /// ```
-/// use cas_sim::{EventQueue, SimTime};
+/// use cas_sim::{EventQueue, HeapQueue, SimTime};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = HeapQueue::new();
 /// q.push(SimTime::from_secs(2.0), "late");
 /// q.push(SimTime::from_secs(1.0), "early");
 /// q.push(SimTime::from_secs(1.0), "early-second");
@@ -92,21 +136,21 @@ impl<E> Ord for EventEntry<E> {
 /// assert!(q.pop().is_none());
 /// ```
 #[derive(Debug, Clone)]
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: BinaryHeap<EventEntry<E>>,
     next_seq: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -114,40 +158,24 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with room for `cap` events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
         }
     }
 
-    /// Schedules `event` to fire at `at`. Returns the sequence number
-    /// assigned to the entry (strictly increasing across all pushes).
-    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(EventEntry { at, seq, event });
-        seq
+    /// Inserts an already-stamped entry, preserving its sequence number —
+    /// the backend-migration primitive used by
+    /// [`AdaptiveQueue`](crate::AdaptiveQueue). Keeps the internal counter
+    /// ahead of the entry's stamp so later `push`es stay unique.
+    pub fn push_entry(&mut self, entry: EventEntry<E>) {
+        self.next_seq = self.next_seq.max(entry.seq + 1);
+        self.heap.push(entry);
     }
 
-    /// Removes and returns the earliest entry, or `None` if empty.
-    pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        self.heap.pop()
-    }
-
-    /// The timestamp of the earliest entry without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
-    }
-
-    /// Number of pending entries (including any that a caller will later
-    /// discard as stale — the queue itself does not know about generations).
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// `true` if no entries are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+    /// Drains all entries, unordered (backend-migration primitive).
+    pub fn drain_entries(&mut self) -> Vec<EventEntry<E>> {
+        self.heap.drain().collect()
     }
 
     /// Drops all pending entries.
@@ -161,6 +189,31 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> EventQueue<E> for HeapQueue<E> {
+    fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { at, seq, event });
+        seq
+    }
+
+    fn pop(&mut self) -> Option<EventEntry<E>> {
+        self.heap.pop()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,7 +224,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.push(t(3.0), 'c');
         q.push(t(1.0), 'a');
         q.push(t(2.0), 'b');
@@ -181,7 +234,7 @@ mod tests {
 
     #[test]
     fn equal_times_are_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         for i in 0..100 {
             q.push(t(5.0), i);
         }
@@ -191,7 +244,7 @@ mod tests {
 
     #[test]
     fn interleaved_times_and_ties() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.push(t(1.0), "a1");
         q.push(t(2.0), "b1");
         q.push(t(1.0), "a2");
@@ -203,7 +256,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.push(t(7.0), ());
         assert_eq!(q.peek_time(), Some(t(7.0)));
         assert_eq!(q.len(), 1);
@@ -224,7 +277,7 @@ mod tests {
 
     #[test]
     fn clear_and_counters() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.push(t(1.0), 1);
         q.push(t(2.0), 2);
         assert_eq!(q.pushed(), 2);
@@ -238,8 +291,23 @@ mod tests {
 
     #[test]
     fn pop_empty_is_none() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q: HeapQueue<()> = HeapQueue::new();
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_entry_preserves_seq_and_advances_counter() {
+        let mut q = HeapQueue::new();
+        q.push_entry(EventEntry {
+            at: t(1.0),
+            seq: 41,
+            event: 'x',
+        });
+        // Fresh pushes must not collide with the migrated stamp.
+        let seq = q.push(t(1.0), 'y');
+        assert_eq!(seq, 42);
+        assert_eq!(q.pop().unwrap().event, 'x');
+        assert_eq!(q.pop().unwrap().event, 'y');
     }
 }
 
@@ -253,7 +321,7 @@ mod proptests {
         /// timestamps preserve push order.
         #[test]
         fn pop_order_is_sorted_and_stable(times in proptest::collection::vec(0u32..50, 1..200)) {
-            let mut q = EventQueue::new();
+            let mut q = HeapQueue::new();
             for (i, &ti) in times.iter().enumerate() {
                 q.push(SimTime::from_secs(ti as f64), i);
             }
@@ -276,7 +344,7 @@ mod proptests {
         /// Every pushed event is popped exactly once.
         #[test]
         fn conservation(times in proptest::collection::vec(0u32..1000, 0..300)) {
-            let mut q = EventQueue::new();
+            let mut q = HeapQueue::new();
             for (i, &ti) in times.iter().enumerate() {
                 q.push(SimTime::from_secs(ti as f64), i);
             }

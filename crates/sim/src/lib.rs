@@ -7,11 +7,19 @@
 //!   study) works in continuous time; we keep `f64` but enforce the
 //!   "never NaN" invariant at construction so the event queue ordering is a
 //!   genuine total order.
-//! * [`EventQueue`] — a stable priority queue: events at equal timestamps pop
-//!   in insertion order, which makes simulations deterministic and therefore
-//!   reproducible across runs and platforms.
+//! * [`EventQueue`] — the *trait* every queue backend implements: stable
+//!   (events at equal timestamps pop in insertion order, which makes
+//!   simulations deterministic and therefore reproducible across runs and
+//!   platforms), earliest-first, object-safe. Three backends ship:
+//!   [`HeapQueue`] (binary heap, best below ~10⁴ pending events),
+//!   [`CalendarQueue`] (Brown's amortised-O(1) calendar, best above), and
+//!   [`AdaptiveQueue`] (migrates between the two at runtime by pending
+//!   count and bucket occupancy — the driver's default).
 //! * [`Simulation`] — a small driver that repeatedly pops the next event and
-//!   hands it to a user-provided [`World`].
+//!   hands it to a user-provided [`World`]; generic over the queue backend.
+//! * [`pool`] — the process-wide work-stealing thread pool every parallel
+//!   fan-out in the workspace (experiment runner, batched HTM predictions)
+//!   shares, instead of spawning scoped threads per call.
 //! * [`rng`] — deterministic, splittable RNG streams so that every stochastic
 //!   component (arrival process, CPU noise, tie-breaking) draws from its own
 //!   stream derived from one root seed.
@@ -24,15 +32,18 @@
 //! model on top and `cas-middleware` wires a full client-agent-server system
 //! into a [`World`].
 
+pub mod adaptive;
 pub mod calendar;
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod time;
 
+pub use adaptive::AdaptiveQueue;
 pub use calendar::CalendarQueue;
 pub use engine::{Scheduler, Simulation, World};
-pub use event::{EventEntry, EventQueue, Generation};
+pub use event::{EventEntry, EventQueue, Generation, HeapQueue};
 pub use rng::{RngStream, StreamKind};
 pub use time::SimTime;

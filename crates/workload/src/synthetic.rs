@@ -1,12 +1,17 @@
 //! Parametric platforms and workloads for sweeps and ablations.
 //!
-//! The paper evaluates on one fixed testbed; the ablation benches vary
-//! heterogeneity, server count and task granularity to probe *where* the
-//! HTM-based heuristics win. [`SyntheticPlatform`] builds a platform and
-//! matching cost table from a handful of knobs.
+//! The paper evaluates on one fixed testbed with homogeneous-Poisson
+//! arrivals; the ablation benches vary heterogeneity, server count and
+//! task granularity to probe *where* the HTM-based heuristics win.
+//! [`SyntheticPlatform`] builds a platform and matching cost table from a
+//! handful of knobs, and [`BurstArrivals`] opens the bursty-traffic
+//! scenario: an inhomogeneous Poisson arrival process sampled by the
+//! thinning method (Lewis & Shedler 1979, as implemented by the IPPP
+//! package of Hohmann 2019, arXiv:1901.10754).
 
-use cas_platform::{CostTable, PhaseCosts, Problem, ServerSpec};
-use cas_sim::{RngStream, StreamKind};
+use cas_platform::{CostTable, PhaseCosts, Problem, ProblemId, ServerSpec, TaskId, TaskInstance};
+use cas_sim::dist::{Exponential, Sample};
+use cas_sim::{RngStream, SimTime, StreamKind};
 
 /// Knobs for a synthetic platform + workload family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +105,88 @@ impl SyntheticPlatform {
     }
 }
 
+/// An inhomogeneous-Poisson metatask: arrivals follow a sinusoidally
+/// modulated rate
+///
+/// ```text
+/// λ(t) = base_rate + (peak_rate − base_rate) · ½(1 + sin(2πt / period))
+/// ```
+///
+/// sampled exactly by **thinning**: candidate events are drawn from a
+/// homogeneous Poisson process at `peak_rate` (the majorant) and each
+/// candidate at time `t` is accepted with probability `λ(t)/peak_rate`.
+/// The accepted stream is a realisation of the inhomogeneous process —
+/// no discretisation, no approximation. With `base_rate == peak_rate`
+/// every candidate is accepted and the process degenerates to the
+/// paper's homogeneous arrivals.
+///
+/// Problem types draw from their own RNG stream (`TaskSizes`), mirroring
+/// [`MetataskSpec`](crate::metatask::MetataskSpec): two burst specs
+/// differing only in rates produce the same *sequence of problem types*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstArrivals {
+    /// Number of tasks to emit.
+    pub n_tasks: usize,
+    /// Trough arrival rate, tasks per second (> 0).
+    pub base_rate: f64,
+    /// Crest arrival rate, tasks per second (≥ `base_rate`).
+    pub peak_rate: f64,
+    /// Burst period, seconds.
+    pub period: f64,
+    /// Number of distinct problem types tasks draw from (uniformly).
+    pub n_problems: usize,
+}
+
+impl BurstArrivals {
+    /// The instantaneous arrival rate λ(t), tasks/second.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let swing = (self.peak_rate - self.base_rate) * 0.5;
+        self.base_rate + swing * (1.0 + (2.0 * std::f64::consts::PI * t / self.period).sin())
+    }
+
+    /// The time-averaged arrival rate, tasks/second (the sine averages
+    /// out: midway between trough and crest).
+    pub fn mean_rate(&self) -> f64 {
+        0.5 * (self.base_rate + self.peak_rate)
+    }
+
+    /// Generates the metatask deterministically from `seed` by thinning.
+    ///
+    /// # Panics
+    /// Panics unless `0 < base_rate ≤ peak_rate`, `period > 0` and
+    /// `n_problems > 0`.
+    pub fn generate(&self, seed: u64) -> Vec<TaskInstance> {
+        assert!(
+            self.base_rate > 0.0 && self.peak_rate >= self.base_rate,
+            "need 0 < base_rate <= peak_rate, got {self:?}"
+        );
+        assert!(self.period > 0.0, "need a positive burst period");
+        assert!(self.n_problems > 0, "need at least one problem type");
+        let mut gap_rng = RngStream::derive(seed, StreamKind::Arrivals);
+        let mut size_rng = RngStream::derive(seed, StreamKind::TaskSizes);
+        let majorant_gap = Exponential::new(1.0 / self.peak_rate);
+        let mut tasks = Vec::with_capacity(self.n_tasks);
+        let mut clock = 0.0f64;
+        for i in 0..self.n_tasks {
+            // Thinning: step the majorant process until a candidate
+            // survives the acceptance draw.
+            loop {
+                clock += majorant_gap.sample(&mut gap_rng);
+                if gap_rng.uniform01() * self.peak_rate < self.rate_at(clock) {
+                    break;
+                }
+            }
+            let problem = ProblemId(size_rng.below(self.n_problems as u64) as u32);
+            tasks.push(TaskInstance::new(
+                TaskId(i as u64),
+                problem,
+                SimTime::from_secs(clock),
+            ));
+        }
+        tasks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +272,107 @@ mod tests {
         };
         assert_eq!(p.servers(7).len(), 1);
         assert_eq!(p.cost_table(7).n_servers(), 1);
+    }
+
+    fn burst_spec() -> BurstArrivals {
+        BurstArrivals {
+            n_tasks: 4000,
+            base_rate: 0.02,
+            peak_rate: 0.5,
+            period: 600.0,
+            n_problems: 3,
+        }
+    }
+
+    #[test]
+    fn burst_is_deterministic_and_well_formed() {
+        let spec = burst_spec();
+        let a = spec.generate(11);
+        let b = spec.generate(11);
+        assert_eq!(a, b);
+        assert_ne!(a, spec.generate(12));
+        assert_eq!(a.len(), 4000);
+        for (i, w) in a.windows(2).enumerate() {
+            assert!(w[1].arrival >= w[0].arrival, "disorder at {i}");
+            assert_eq!(w[1].id.0, w[0].id.0 + 1);
+        }
+        assert!(a.iter().all(|t| t.problem.index() < 3));
+    }
+
+    #[test]
+    fn burst_mean_rate_matches_analytic() {
+        let spec = burst_spec();
+        let tasks = spec.generate(5);
+        let span = tasks.last().unwrap().arrival.as_secs();
+        let empirical = tasks.len() as f64 / span;
+        let expected = spec.mean_rate();
+        assert!(
+            (empirical - expected).abs() < 0.15 * expected,
+            "empirical {empirical} vs expected {expected}"
+        );
+    }
+
+    /// Thinning must actually modulate density: windows around rate crests
+    /// hold far more arrivals than windows around troughs.
+    #[test]
+    fn burst_crests_are_denser_than_troughs() {
+        let spec = burst_spec();
+        let tasks = spec.generate(9);
+        // λ peaks at t ≡ period/4 (sin = 1) and bottoms at t ≡ 3·period/4.
+        let (mut crest, mut trough) = (0usize, 0usize);
+        for t in &tasks {
+            let phase = t.arrival.as_secs().rem_euclid(spec.period) / spec.period;
+            if (0.15..0.35).contains(&phase) {
+                crest += 1;
+            } else if (0.65..0.85).contains(&phase) {
+                trough += 1;
+            }
+        }
+        assert!(
+            crest > 5 * trough.max(1),
+            "burst structure missing: crest={crest}, trough={trough}"
+        );
+    }
+
+    /// base == peak degenerates to the homogeneous process: every
+    /// candidate accepted, mean gap = 1/rate.
+    #[test]
+    fn flat_burst_is_homogeneous_poisson() {
+        let spec = BurstArrivals {
+            n_tasks: 3000,
+            base_rate: 0.1,
+            peak_rate: 0.1,
+            period: 100.0,
+            n_problems: 2,
+        };
+        let tasks = spec.generate(3);
+        let span = tasks.last().unwrap().arrival.as_secs();
+        let mean_gap = span / tasks.len() as f64;
+        assert!((mean_gap - 10.0).abs() < 1.0, "mean gap = {mean_gap}");
+    }
+
+    #[test]
+    fn burst_type_sequence_independent_of_rates() {
+        let slow = burst_spec().generate(7);
+        let fast = BurstArrivals {
+            base_rate: 0.2,
+            peak_rate: 2.0,
+            ..burst_spec()
+        }
+        .generate(7);
+        for (a, b) in slow.iter().zip(&fast) {
+            assert_eq!(a.problem, b.problem);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base_rate")]
+    fn burst_rejects_inverted_rates() {
+        BurstArrivals {
+            base_rate: 1.0,
+            peak_rate: 0.5,
+            ..burst_spec()
+        }
+        .generate(0);
     }
 }
