@@ -2,11 +2,13 @@
 //!
 //! Wall-clock cost of one complete paper-scale experiment (500 tasks, four
 //! servers, noise on) per heuristic — the number that determines how many
-//! replications a sweep can afford. Also benches the parallel runner's
-//! scaling across worker counts.
+//! replications a sweep can afford. Also benches the pooled runner against
+//! the strictly sequential one.
 
 use cas_core::heuristics::HeuristicKind;
-use cas_middleware::{run_experiment, run_replications, ExperimentConfig};
+use cas_middleware::{
+    run_experiment, run_replications, run_replications_sequential, ExperimentConfig,
+};
 use cas_workload::metatask::MetataskSpec;
 use cas_workload::{testbed, wastecpu};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -42,12 +44,13 @@ fn bench_parallel_runner(c: &mut Criterion) {
     let servers = testbed::set2_servers();
     let tasks = MetataskSpec::paper(20.0).generate(2);
     let workloads: Vec<_> = (0..8).map(|_| tasks.clone()).collect();
-    for workers in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            let cfg = ExperimentConfig::paper(HeuristicKind::Msf, 9);
-            b.iter(|| black_box(run_replications(cfg, &costs, &servers, &workloads, w).len()));
-        });
-    }
+    let cfg = ExperimentConfig::paper(HeuristicKind::Msf, 9);
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| black_box(run_replications_sequential(cfg, &costs, &servers, &workloads).len()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("pooled"), |b| {
+        b.iter(|| black_box(run_replications(cfg, &costs, &servers, &workloads).len()));
+    });
     group.finish();
 }
 

@@ -28,11 +28,18 @@
 //!   the commit adopts the memoised speculative after-schedule, so the
 //!   read is a cache hit.
 //!
+//! A third section measures the **prediction memo**: the speculative
+//! after-drain is keyed on (problem costs, instant, trace generation) —
+//! not the probe id — so same-instant probes of the same problem share
+//! one drain. The section times a second same-problem batch against the
+//! first and reports the memo's hit-rate counters
+//! ([`cas_core::MemoStats`]).
+//!
 //! Writes `BENCH_decision_cost.json` (path overridable as argv[1]) with
 //! per-configuration timings and speedups; CI runs this as the perf gate
 //! (decision gate ≥ 3x vs clone, commit-path gate ≥ 2x vs full re-drain).
 
-use cas_core::{Htm, RepairPolicy, SyncPolicy};
+use cas_core::{Htm, MemoStats, RepairPolicy, SyncPolicy};
 use cas_platform::{CostTable, PhaseCosts, Problem, ProblemId, ServerId, TaskId, TaskInstance};
 use cas_sim::SimTime;
 use std::fmt::Write as _;
@@ -188,6 +195,40 @@ fn run_commit_path(policy: RepairPolicy, per_server: usize, rounds: usize) -> f6
     in_commit.as_secs_f64() * 1e6 / rounds as f64
 }
 
+/// Times same-instant same-problem probe batches: the first batch drains,
+/// the second must be answered from the problem-keyed memo. Returns
+/// (first µs/batch, repeat µs/batch, final memo stats).
+fn run_memo_probe(per_server: usize, rounds: usize) -> (f64, f64, MemoStats) {
+    let mut htm = loaded_htm(per_server);
+    let candidates: Vec<ServerId> = (0..N_SERVERS).map(ServerId).collect();
+    let mut next_id = 700_000u64;
+    let mut now = 500.0f64;
+    // Warm-up.
+    let probe = TaskInstance::new(TaskId(next_id), ProblemId(0), SimTime::from_secs(now));
+    next_id += 1;
+    black_box(htm.predict_all(probe.arrival, &probe, &candidates));
+    let (mut in_first, mut in_repeat) = (std::time::Duration::ZERO, std::time::Duration::ZERO);
+    for round in 0..rounds {
+        now += 0.01;
+        let when = SimTime::from_secs(now);
+        let problem = ProblemId((round % 3) as u32);
+        let first = TaskInstance::new(TaskId(next_id), problem, when);
+        let repeat = TaskInstance::new(TaskId(next_id + 1), problem, when);
+        next_id += 2;
+        let start = Instant::now();
+        black_box(htm.predict_all(when, &first, &candidates));
+        in_first += start.elapsed();
+        let start = Instant::now();
+        black_box(htm.predict_all(when, &repeat, &candidates));
+        in_repeat += start.elapsed();
+    }
+    (
+        in_first.as_secs_f64() * 1e6 / rounds as f64,
+        in_repeat.as_secs_f64() * 1e6 / rounds as f64,
+        htm.memo_stats(),
+    )
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -269,6 +310,17 @@ fn main() {
              \"speedup\": {speedup:.2}}}"
         );
     }
+    // Prediction-memo section: same-instant, same-problem probes must be
+    // answered from the problem-keyed memo instead of re-draining.
+    let (first_us, repeat_us, memo) = run_memo_probe(32, 200);
+    let memo_speedup = first_us / repeat_us;
+    eprintln!(
+        "64 servers ×  32 tasks, memo  : first probe {first_us:>10.1} µs/batch, same-problem \
+         repeat {repeat_us:>8.1} µs/batch, speedup {memo_speedup:>6.1}x \
+         (hit rate {:.3}, {} cross-task hits)",
+        memo.hit_rate(),
+        memo.cross_task_hits
+    );
     let json = format!(
         "{{\n  \"bench\": \"decision_cost\",\n  \"unit\": \"microseconds per scheduling decision \
          (one what-if query per candidate server)\",\n  \"baseline\": \"Htm::predict_reference \
@@ -280,9 +332,19 @@ fn main() {
          the memoised after-schedule)\",\n    \"results\": [\n{commit_results}\n    ],\n\
     \"acceptance\": {{\"required_min_speedup\": 2.0, \"observed_min_speedup\": \
          {commit_min_speedup:.2}, \"pass\": {}}}\n  }},\n\
+  \"prediction_memo\": {{\n    \"unit\": \"microseconds per 64-candidate batch (same instant, \
+         same problem, different task id)\",\n    \"first_probe_us_per_batch\": {first_us:.2},\n    \
+    \"same_problem_repeat_us_per_batch\": {repeat_us:.2},\n    \"speedup\": {memo_speedup:.2},\n    \
+    \"drains\": {},\n    \"hits\": {},\n    \"cross_task_hits\": {},\n    \
+    \"hit_rate\": {:.4},\n    \"acceptance\": {{\"cross_task_hits_nonzero\": {}}}\n  }},\n\
   \"acceptance\": {{\"required_min_speedup\": 3.0, \"observed_min_speedup\": {min_speedup:.2}, \
          \"pass\": {}}}\n}}\n",
         commit_min_speedup >= 2.0,
+        memo.drains,
+        memo.hits,
+        memo.cross_task_hits,
+        memo.hit_rate(),
+        memo.cross_task_hits > 0,
         min_speedup >= 3.0
     );
     std::fs::write(&out_path, &json).expect("write bench json");

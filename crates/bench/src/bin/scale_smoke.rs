@@ -1,27 +1,40 @@
-//! The standing scale campaign: 1k servers, 100k tasks, bursty arrivals.
+//! The standing scale campaign: 1k servers, bursty arrivals, now at up to
+//! 10⁶ tasks behind the two-stage decision pipeline.
 //!
-//! This is the workload the unified event kernel exists for: enough
-//! pending events to push the adaptive queue onto its calendar backend,
-//! enough servers to exercise the pool-parallel prediction fan-out, and
-//! enough commits to make incremental baseline repair the difference
-//! between minutes and hours. The binary runs one HMCT experiment on a
-//! synthetic 1k-server platform under an inhomogeneous-Poisson (thinning)
-//! arrival process sized to ~50 % of aggregate service capacity at the
-//! mean and ~80 % at burst crests, then writes `BENCH_scale.json` (path
-//! overridable as argv[1]) with wall-clock, event-throughput and queue
-//! figures.
+//! This is the workload the unified event kernel and the candidate
+//! pipeline exist for: enough pending events to push the adaptive queue
+//! onto its calendar backend, enough servers that an exhaustive
+//! one-drain-per-candidate decision is the dominant cost, and enough
+//! commits to make incremental baseline repair the difference between
+//! minutes and hours. The binary:
 //!
-//! Exit is non-zero when the wall-clock budget (`SCALE_SMOKE_BUDGET_SECS`,
-//! default 600) is blown or tasks fail — CI runs this under the release
-//! profile as the `scale_smoke` job. `SCALE_SMOKE_SERVERS` /
-//! `SCALE_SMOKE_TASKS` shrink the campaign for local iteration.
+//! 1. runs the **headline campaign** — one HMCT experiment on a synthetic
+//!    `SCALE_SMOKE_SERVERS`-server platform under inhomogeneous-Poisson
+//!    (thinning) arrivals sized to ~50 % of aggregate capacity at the
+//!    mean and ~80 % at crests, with the pruning selector of
+//!    `SCALE_SMOKE_SELECTOR` (default `adaptive:8:64`);
+//! 2. measures the **decision path** in isolation — µs per scheduling
+//!    decision on a loaded platform, exhaustive versus `topk:16`
+//!    shortlists (gate: ≥ `SCALE_DECISION_GATE`, default 5×);
+//! 3. reruns a **comparison campaign** (`SCALE_SMOKE_COMPARE_TASKS`,
+//!    default min(tasks, 100k)) under the exhaustive selector and checks
+//!    that pruning moves the completion rate by at most
+//!    `SCALE_COMPLETION_DELTA_GATE` (default 1 %).
+//!
+//! Everything lands in `BENCH_scale.json` (path overridable as argv[1]).
+//! Exit is non-zero when the wall budget (`SCALE_SMOKE_BUDGET_SECS`,
+//! default 600) is blown, tasks fail, or either pipeline gate regresses —
+//! CI runs the 10⁵ configuration as a blocking job and the 10⁶
+//! configuration (`SCALE_SMOKE_TASKS=1000000`) on a schedule.
 
 use cas_core::heuristics::HeuristicKind;
+use cas_core::{Htm, SelectorKind, SyncPolicy};
 use cas_metrics::MetricSet;
 use cas_middleware::{ExperimentConfig, GridWorld};
-use cas_platform::{ProblemId, ServerId};
-use cas_sim::Simulation;
+use cas_platform::{CostTable, ProblemId, ServerId, StaticIndex, TaskId, TaskInstance};
+use cas_sim::{SimTime, Simulation};
 use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 fn env_or(name: &str, default: f64) -> f64 {
@@ -31,6 +44,129 @@ fn env_or(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// One full campaign run; returns (metrics, wall seconds, events, queue
+/// backend, queue migrations).
+fn run_campaign(
+    cfg: ExperimentConfig,
+    costs: CostTable,
+    servers: Vec<cas_platform::ServerSpec>,
+    tasks: Vec<TaskInstance>,
+) -> (MetricSet, f64, u64, &'static str, u64) {
+    let world = GridWorld::new(cfg, costs, servers, tasks);
+    let mut sim = Simulation::new(world);
+    let start = Instant::now();
+    let _ = sim.run_to_completion();
+    let wall = start.elapsed().as_secs_f64();
+    let events = sim.processed();
+    let backend = sim.queue().backend_name();
+    let migrations = sim.queue().migrations();
+    let world = sim.into_world();
+    (
+        MetricSet::compute(world.records()),
+        wall,
+        events,
+        backend,
+        migrations,
+    )
+}
+
+/// Decision-path microbenchmark at full platform width: µs per HMCT-style
+/// decision (argmin of predicted completion over the candidate set, one
+/// commit per round as in a live scheduler), exhaustive candidates versus
+/// a `topk`-pruned shortlist fed from the incrementally maintained index.
+fn decision_microbench(costs: &CostTable, k: usize, per_server: usize) -> (f64, f64) {
+    let n_servers = costs.n_servers();
+    let build = || {
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let mut index = StaticIndex::new(costs);
+        let mut id = 10_000_000u64;
+        for s in 0..n_servers as u32 {
+            for t in 0..per_server {
+                let task = TaskInstance::new(
+                    TaskId(id),
+                    ProblemId((t % costs.n_problems()) as u32),
+                    SimTime::from_secs(t as f64 * 0.5),
+                );
+                htm.commit(task.arrival, ServerId(s), &task);
+                index.on_commit(ServerId(s));
+                id += 1;
+            }
+        }
+        (htm, index, id)
+    };
+    let all: Vec<ServerId> = (0..n_servers as u32).map(ServerId).collect();
+    let decide = |htm: &mut Htm, probe: &TaskInstance, candidates: &[ServerId]| {
+        let preds = htm.predict_all(probe.arrival, probe, candidates);
+        candidates
+            .iter()
+            .zip(&preds)
+            .filter_map(|(&s, p)| p.as_ref().map(|p| (s, p.completion.as_secs())))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite completion"))
+            .map(|(s, _)| s)
+            .expect("synthetic tables are fully solvable")
+    };
+
+    // Exhaustive side: every solver drained per round.
+    let (mut htm, _, mut id) = build();
+    let rounds_exh = 24;
+    let mut now = per_server as f64;
+    for warm in 0..2 {
+        let probe = TaskInstance::new(TaskId(id + warm), ProblemId(0), SimTime::from_secs(now));
+        decide(&mut htm, &probe, &all);
+    }
+    id += 2;
+    let start = Instant::now();
+    for round in 0..rounds_exh {
+        now += 0.01;
+        let probe = TaskInstance::new(
+            TaskId(id),
+            ProblemId((round % costs.n_problems()) as u32),
+            SimTime::from_secs(now),
+        );
+        id += 1;
+        let winner = decide(&mut htm, &probe, &all);
+        htm.commit(probe.arrival, winner, &probe);
+    }
+    let exhaustive_us = start.elapsed().as_secs_f64() * 1e6 / rounds_exh as f64;
+
+    // Pruned side: stage 1 from the index, stage 2 on the shortlist; the
+    // index maintenance (one re-rank per commit) is timed too — it is
+    // part of the decision path.
+    let (mut htm, mut index, mut id) = build();
+    let rounds_topk = 400;
+    let mut now = per_server as f64;
+    let mut scored = Vec::new();
+    let mut shortlist = Vec::new();
+    for warm in 0..2 {
+        let probe = TaskInstance::new(TaskId(id + warm), ProblemId(0), SimTime::from_secs(now));
+        index.k_best(probe.problem, k, &|_| true, &mut scored);
+        shortlist.clear();
+        shortlist.extend(scored.iter().map(|&(s, _)| s));
+        shortlist.sort_unstable();
+        decide(&mut htm, &probe, &shortlist);
+    }
+    id += 2;
+    let start = Instant::now();
+    for round in 0..rounds_topk {
+        now += 0.01;
+        let probe = TaskInstance::new(
+            TaskId(id),
+            ProblemId((round % costs.n_problems()) as u32),
+            SimTime::from_secs(now),
+        );
+        id += 1;
+        index.k_best(probe.problem, k, &|_| true, &mut scored);
+        shortlist.clear();
+        shortlist.extend(scored.iter().map(|&(s, _)| s));
+        shortlist.sort_unstable();
+        let winner = decide(&mut htm, &probe, &shortlist);
+        htm.commit(probe.arrival, winner, &probe);
+        index.on_commit(winner);
+    }
+    let topk_us = start.elapsed().as_secs_f64() * 1e6 / rounds_topk as f64;
+    (exhaustive_us, topk_us)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -38,6 +174,13 @@ fn main() {
     let n_servers = env_or("SCALE_SMOKE_SERVERS", 1000.0) as usize;
     let n_tasks = env_or("SCALE_SMOKE_TASKS", 100_000.0) as usize;
     let budget_secs = env_or("SCALE_SMOKE_BUDGET_SECS", 600.0);
+    let compare_tasks = env_or("SCALE_SMOKE_COMPARE_TASKS", n_tasks.min(100_000) as f64) as usize;
+    let decision_gate = env_or("SCALE_DECISION_GATE", 5.0);
+    let delta_gate = env_or("SCALE_COMPLETION_DELTA_GATE", 0.01);
+    let selector_spec =
+        std::env::var("SCALE_SMOKE_SELECTOR").unwrap_or_else(|_| "adaptive:8:64".to_string());
+    let selector = SelectorKind::parse(&selector_spec)
+        .unwrap_or_else(|| panic!("bad SCALE_SMOKE_SELECTOR {selector_spec}"));
 
     let platform = SyntheticPlatform {
         n_servers,
@@ -85,25 +228,16 @@ fn main() {
     let horizon = tasks.last().expect("non-empty campaign").arrival.as_secs();
     let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, seed);
     cfg.load_report_period = 30.0;
-    let world = GridWorld::new(cfg, costs, servers, tasks);
-    let mut sim = Simulation::new(world);
+    cfg.selector = selector;
     let build_secs = build_start.elapsed().as_secs_f64();
 
-    let run_start = Instant::now();
-    let outcome = sim.run_to_completion();
-    let run_secs = run_start.elapsed().as_secs_f64();
-
-    let events = sim.processed();
-    let queue_backend = sim.queue().backend_name();
-    let queue_migrations = sim.queue().migrations();
-    let world = sim.into_world();
-    let metrics = MetricSet::compute(world.records());
+    // 1. Headline campaign, pruned decision path.
+    let (metrics, run_secs, events, queue_backend, queue_migrations) =
+        run_campaign(cfg, costs.clone(), servers.clone(), tasks.clone());
     let completed = metrics.completed;
-    let ok = run_secs <= budget_secs && completed == n_tasks;
-
     eprintln!(
-        "{n_servers} servers, {n_tasks} tasks over {horizon:.0} sim-seconds: \
-         outcome {outcome:?}, {completed} completed"
+        "{n_servers} servers, {n_tasks} tasks over {horizon:.0} sim-seconds \
+         (selector {selector_spec}): {completed} completed"
     );
     eprintln!(
         "build {build_secs:.2} s, run {run_secs:.2} s \
@@ -113,23 +247,96 @@ fn main() {
         n_tasks as f64 / run_secs
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"scale_smoke\",\n  \"scenario\": \"1k-server burst campaign \
-         (IPPP thinning arrivals, HMCT, adaptive event queue, incremental HTM repair)\",\n\
-  \"n_servers\": {n_servers},\n  \"n_tasks\": {n_tasks},\n\
+    // 2. Decision-path microbench at full width.
+    let (exhaustive_us, topk_us) = decision_microbench(&costs, 16, 48);
+    let decision_speedup = exhaustive_us / topk_us;
+    eprintln!(
+        "decision path at {n_servers} servers x 48 tasks: exhaustive {exhaustive_us:.1} \
+         µs/decision, topk:16 {topk_us:.1} µs/decision, speedup {decision_speedup:.1}x \
+         (gate >= {decision_gate}x)"
+    );
+
+    // 3. Pruning-quality comparison on the burst campaign.
+    let compare_arrivals = BurstArrivals {
+        n_tasks: compare_tasks,
+        ..arrivals
+    };
+    let compare_workload = compare_arrivals.generate(seed);
+    let (pruned_m, pruned_secs) = if compare_tasks == n_tasks {
+        (metrics, run_secs)
+    } else {
+        let (m, w, _, _, _) = run_campaign(
+            cfg,
+            costs.clone(),
+            servers.clone(),
+            compare_workload.clone(),
+        );
+        (m, w)
+    };
+    let (exh_m, exh_secs, _, _, _) = run_campaign(
+        cfg.with_selector(SelectorKind::Exhaustive),
+        costs.clone(),
+        servers.clone(),
+        compare_workload,
+    );
+    let pruned_rate = pruned_m.completed as f64 / compare_tasks as f64;
+    let exh_rate = exh_m.completed as f64 / compare_tasks as f64;
+    let completion_delta = (pruned_rate - exh_rate).abs();
+    eprintln!(
+        "pruning quality over {compare_tasks} tasks: completion {pruned_rate:.4} \
+         (pruned, {pruned_secs:.1} s wall) vs {exh_rate:.4} (exhaustive, {exh_secs:.1} s wall), \
+         delta {completion_delta:.4} (gate <= {delta_gate}); mean stretch {:.3} vs {:.3}",
+        pruned_m.meanstretch, exh_m.meanstretch
+    );
+
+    let ok_campaign = run_secs <= budget_secs && completed == n_tasks;
+    let ok_decision = decision_speedup >= decision_gate;
+    let ok_delta = completion_delta <= delta_gate;
+    let ok = ok_campaign && ok_decision && ok_delta;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"scale_smoke\",\n  \"scenario\": \"{n_servers}-server burst campaign \
+         (IPPP thinning arrivals, HMCT, adaptive event queue, incremental HTM repair, \
+         two-stage candidate pipeline)\",\n\
+  \"n_servers\": {n_servers},\n  \"n_tasks\": {n_tasks},\n  \"selector\": \"{selector_spec}\",\n\
   \"arrivals\": {{\"base_rate_per_s\": {base_rate:.4}, \"peak_rate_per_s\": {:.4}, \
          \"period_s\": 1800.0, \"mean_utilisation\": 0.5}},\n\
   \"sim_horizon_s\": {horizon:.1},\n  \"events_processed\": {events},\n\
   \"wall_build_s\": {build_secs:.3},\n  \"wall_run_s\": {run_secs:.3},\n\
   \"events_per_wall_s\": {:.0},\n  \"tasks_per_wall_s\": {:.0},\n\
   \"queue_backend_final\": \"{queue_backend}\",\n  \"queue_migrations\": {queue_migrations},\n\
-  \"completed\": {completed},\n  \"mean_stretch\": {:.3},\n\
-  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \"all_tasks_complete\": {}, \
-         \"pass\": {ok}}}\n}}\n",
+  \"completed\": {completed},\n  \"mean_stretch\": {:.3},\n",
         burstiness * base_rate,
         events as f64 / run_secs,
         n_tasks as f64 / run_secs,
         metrics.meanstretch,
+    );
+    let _ = write!(
+        json,
+        "  \"decision_cost\": {{\n    \"unit\": \"microseconds per scheduling decision (HMCT \
+         argmin, one commit per round)\",\n    \"servers\": {n_servers},\n    \
+         \"per_server_tasks\": 48,\n    \"exhaustive_us_per_decision\": {exhaustive_us:.2},\n    \
+         \"topk16_us_per_decision\": {topk_us:.2},\n    \"speedup\": {decision_speedup:.2},\n    \
+         \"acceptance\": {{\"required_min_speedup\": {decision_gate}, \"pass\": {ok_decision}}}\n  }},\n"
+    );
+    let _ = write!(
+        json,
+        "  \"pruning_quality\": {{\n    \"compare_tasks\": {compare_tasks},\n    \
+         \"pruned_completion_rate\": {pruned_rate:.6},\n    \
+         \"exhaustive_completion_rate\": {exh_rate:.6},\n    \
+         \"completion_delta\": {completion_delta:.6},\n    \
+         \"pruned_mean_stretch\": {:.4},\n    \"exhaustive_mean_stretch\": {:.4},\n    \
+         \"pruned_wall_s\": {pruned_secs:.3},\n    \"exhaustive_wall_s\": {exh_secs:.3},\n    \
+         \"acceptance\": {{\"max_completion_delta\": {delta_gate}, \"pass\": {ok_delta}}}\n  }},\n",
+        pruned_m.meanstretch, exh_m.meanstretch
+    );
+    let _ = write!(
+        json,
+        "  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \"all_tasks_complete\": {}, \
+         \"decision_gate_pass\": {ok_decision}, \"completion_delta_pass\": {ok_delta}, \
+         \"pass\": {ok}}}\n}}\n",
         completed == n_tasks,
     );
     std::fs::write(&out_path, &json).expect("write bench json");

@@ -1,6 +1,6 @@
 //! Ablation A: heuristic ranking versus arrival process.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //!
 //! * **rate** (default) — §5.3's crossover: MP is sub-optimal at low rates
 //!   (it wastes fast servers on idle slow ones) but strong at high rates,
@@ -12,22 +12,33 @@
 //!   [`cas_workload::synthetic::BurstArrivals`]. The mean rate is held at
 //!   the paper's high-rate setting while the peak/trough ratio grows, so
 //!   the columns isolate how each heuristic degrades as the same load
-//!   arrives in ever-sharper bursts.
+//!   arrives in ever-sharper bursts. `sweep burst` also appends the
+//!   crest-overload tables below.
+//! * **crest** (`sweep crest`) — the collapse chart: the crest rate is
+//!   driven *past the platform's aggregate service capacity* on the
+//!   memory-bound matmul workload. Below capacity every heuristic
+//!   completes everything; past it, queues build through each burst,
+//!   memory fills, and the per-heuristic completion counts chart where
+//!   each policy's completion rate collapses (the HTM heuristics run
+//!   without NetSolve's retry loop, as in the paper's Table 6).
 //!
-//! Both print sum-flow, max-stretch, mean-flow and completion counts per
+//! All print sum-flow, max-stretch, mean-flow and completion counts per
 //! heuristic.
 
 use cas_core::heuristics::HeuristicKind;
 use cas_metrics::{MetricSet, Table};
 use cas_middleware::{run_heuristic_matrix, ExperimentConfig};
-use cas_platform::TaskInstance;
+use cas_platform::{CostTable, ProblemId, ServerId, ServerSpec, TaskInstance};
 use cas_workload::metatask::MetataskSpec;
 use cas_workload::synthetic::BurstArrivals;
-use cas_workload::{testbed, wastecpu};
+use cas_workload::{matmul, testbed, wastecpu};
 
 const GAPS: [f64; 6] = [8.0, 10.0, 12.0, 15.0, 20.0, 30.0];
 /// Peak-to-trough rate ratios of the burst scenario (1 = homogeneous).
 const BURSTINESS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+/// Crest rate as a multiple of aggregate service capacity (`crest`
+/// scenario): the completion cliff sits past 1.
+const CREST_MULTIPLES: [f64; 5] = [0.5, 0.8, 1.0, 2.0, 4.0];
 /// The burst scenario's mean arrival rate: the paper's high-rate setting
 /// (one task per 15 s).
 const BURST_MEAN_RATE: f64 = 1.0 / 15.0;
@@ -42,13 +53,30 @@ const KINDS: [HeuristicKind; 6] = [
     HeuristicKind::RoundRobin,
 ];
 
+/// Aggregate service rate of a platform, tasks/second: one task at a time
+/// per server at its mean unloaded duration across problems.
+fn aggregate_capacity(costs: &CostTable) -> f64 {
+    (0..costs.n_servers() as u32)
+        .map(|s| {
+            let durations: Vec<f64> = (0..costs.n_problems() as u32)
+                .filter_map(|p| costs.unloaded_duration(ProblemId(p), ServerId(s)))
+                .collect();
+            let mean = durations.iter().sum::<f64>() / durations.len().max(1) as f64;
+            if mean > 0.0 {
+                1.0 / mean
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
 fn metric_rows(
     title_of: impl Fn(&str) -> String,
+    costs: &CostTable,
+    servers: &[ServerSpec],
     rows: &[(String, Vec<TaskInstance>)],
-    workers: usize,
 ) {
-    let costs = wastecpu::cost_table();
-    let servers = testbed::set2_servers();
     // One matrix run per row; every metric below reads from these sets
     // (a MetricSet already carries all of them).
     let computed: Vec<(&String, Vec<Vec<MetricSet>>)> = rows
@@ -56,7 +84,7 @@ fn metric_rows(
         .map(|(label, tasks)| {
             let workloads: Vec<_> = (0..2).map(|_| tasks.clone()).collect();
             let cfg = ExperimentConfig::paper(HeuristicKind::Mct, 0xF00D);
-            let results = run_heuristic_matrix(cfg, &KINDS, &costs, &servers, &workloads, workers);
+            let results = run_heuristic_matrix(cfg, &KINDS, costs, servers, &workloads);
             (label, results.iter().map(|r| r.metrics()).collect())
         })
         .collect();
@@ -79,7 +107,7 @@ fn metric_rows(
     }
 }
 
-fn sweep_rate(workers: usize) {
+fn sweep_rate() {
     let rows: Vec<(String, Vec<TaskInstance>)> = GAPS
         .iter()
         .map(|&gap| {
@@ -91,8 +119,9 @@ fn sweep_rate(workers: usize) {
         .collect();
     metric_rows(
         |m| format!("Arrival-rate sweep, waste-cpu x 500 tasks: {m}"),
+        &wastecpu::cost_table(),
+        &testbed::set2_servers(),
         &rows,
-        workers,
     );
     println!(
         "Expected shape (§5.3): MP's sum-flow is worst-or-near-worst at large gaps\n\
@@ -101,7 +130,7 @@ fn sweep_rate(workers: usize) {
     );
 }
 
-fn sweep_burst(workers: usize) {
+fn sweep_burst() {
     let rows: Vec<(String, Vec<TaskInstance>)> = BURSTINESS
         .iter()
         .map(|&ratio| {
@@ -119,8 +148,9 @@ fn sweep_burst(workers: usize) {
         .collect();
     metric_rows(
         |m| format!("Burstiness sweep (IPPP thinning, mean gap 15 s), waste-cpu x 500: {m}"),
+        &wastecpu::cost_table(),
+        &testbed::set2_servers(),
         &rows,
-        workers,
     );
     println!(
         "Row 1 (1x) reproduces the homogeneous high-rate workload; subsequent rows\n\
@@ -129,16 +159,54 @@ fn sweep_burst(workers: usize) {
     );
 }
 
+fn sweep_crest() {
+    let costs = matmul::cost_table();
+    let servers = testbed::set1_servers();
+    let capacity = aggregate_capacity(&costs);
+    let rows: Vec<(String, Vec<TaskInstance>)> = CREST_MULTIPLES
+        .iter()
+        .map(|&m| {
+            // Quiet troughs, crests at m × capacity: below 1 every burst
+            // drains before the next; past 1 the backlog compounds.
+            let peak_rate = m * capacity;
+            let spec = BurstArrivals {
+                n_tasks: 500,
+                base_rate: (0.1 * capacity).min(peak_rate),
+                peak_rate,
+                period: BURST_PERIOD,
+                n_problems: costs.n_problems(),
+            };
+            (format!("crest {m:>3.1}x cap"), spec.generate(0x5EED))
+        })
+        .collect();
+    metric_rows(
+        |m| format!("Crest-overload sweep (capacity {capacity:.4}/s), matmul x 500: {m}"),
+        &costs,
+        &servers,
+        &rows,
+    );
+    println!(
+        "Crests below aggregate capacity ({capacity:.4} tasks/s) drain between bursts:\n\
+         everyone completes ~500. Past 1x the backlog compounds through each crest,\n\
+         server memory fills, and completion counts collapse — policies that pile\n\
+         work on the fast (memory-limited) servers collapse first; MCT's retry loop\n\
+         (NetSolve fault tolerance) is the main survival lever, as in Table 6."
+    );
+}
+
 fn main() {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
     let scenario = std::env::args().nth(1).unwrap_or_else(|| "rate".into());
     match scenario.as_str() {
-        "rate" => sweep_rate(workers),
-        "burst" => sweep_burst(workers),
+        "rate" => sweep_rate(),
+        // `burst` charts both halves of the story: degradation at fixed
+        // mean load, then the completion collapse past aggregate capacity.
+        "burst" => {
+            sweep_burst();
+            sweep_crest();
+        }
+        "crest" => sweep_crest(),
         other => {
-            eprintln!("unknown scenario {other} (rate|burst)");
+            eprintln!("unknown scenario {other} (rate|burst|crest)");
             std::process::exit(2);
         }
     }

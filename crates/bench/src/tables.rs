@@ -48,8 +48,6 @@ pub struct TableSpec {
     pub n_replications: usize,
     /// Base experiment seed.
     pub seed: u64,
-    /// Worker threads for the parallel runner.
-    pub n_workers: usize,
 }
 
 impl TableSpec {
@@ -61,9 +59,6 @@ impl TableSpec {
             n_metatasks: 3,
             n_replications: 3,
             seed: 0xCA5,
-            n_workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
         }
     }
 }
@@ -140,7 +135,7 @@ pub fn run_table(spec: TableSpec) -> TableOutcome {
                     let workloads: Vec<_> =
                         (0..spec.n_replications).map(|_| tasks.clone()).collect();
                     let cfg = ExperimentConfig::paper(kind, spec.seed);
-                    run_heuristic_matrix(cfg, &[kind], &costs, &servers, &workloads, spec.n_workers)
+                    run_heuristic_matrix(cfg, &[kind], &costs, &servers, &workloads)
                         .remove(0)
                         .runs
                 })
@@ -202,7 +197,6 @@ mod tests {
             n_metatasks: 1,
             n_replications: 1,
             seed: 7,
-            n_workers: 2,
         }
     }
 

@@ -444,7 +444,108 @@ pub(crate) mod testutil {
 
 #[cfg(test)]
 mod tests {
+    use super::testutil::*;
     use super::*;
+    use crate::htm::{Htm, SyncPolicy};
+    use cas_sim::SimTime;
+
+    /// The run-wide memo must forget exactly the previous decision's
+    /// entries on `begin` — no stale prediction may leak into the next
+    /// decision, and untouched slots must not be rescanned (the reset is
+    /// sparse, through the touched list).
+    #[test]
+    fn decision_memo_sparse_reset_between_decisions() {
+        let mut memo = DecisionMemo::new();
+        memo.begin(4);
+        memo.set(ServerId(1), None);
+        memo.set(
+            ServerId(3),
+            Some(Prediction {
+                completion: SimTime::from_secs(5.0),
+                queried_at: SimTime::ZERO,
+                perturbations: vec![],
+            }),
+        );
+        assert!(memo.get(ServerId(1)).is_some(), "cannot-solve is memoised");
+        assert!(memo.get(ServerId(3)).unwrap().is_some());
+        assert_eq!(memo.touched, vec![1, 3]);
+        // Next decision: everything the last one touched is gone.
+        memo.begin(4);
+        assert!(memo.touched.is_empty());
+        for s in 0..4 {
+            assert!(memo.get(ServerId(s)).is_none(), "S{s} leaked");
+        }
+    }
+
+    /// Setting the same server twice within one decision records it once
+    /// in the touched list (the reset stays linear in distinct probes).
+    #[test]
+    fn decision_memo_touched_dedupes_overwrites() {
+        let mut memo = DecisionMemo::new();
+        memo.begin(2);
+        memo.set(ServerId(0), None);
+        memo.set(ServerId(0), None);
+        assert_eq!(memo.touched, vec![0]);
+    }
+
+    /// A memo created before the platform grew (or used stand-alone with
+    /// no `begin`) grows on demand and keeps working.
+    #[test]
+    fn decision_memo_grows_on_demand() {
+        let mut memo = DecisionMemo::new();
+        memo.begin(2);
+        memo.set(ServerId(7), None);
+        assert!(memo.get(ServerId(7)).is_some());
+        assert!(memo.get(ServerId(6)).is_none());
+        memo.begin(8);
+        assert!(memo.get(ServerId(7)).is_none());
+    }
+
+    /// Across trace generations: a shared memo must answer from the
+    /// *current* HTM state in every decision — after a commit bumps a
+    /// server's generation, the next decision's memoised prediction
+    /// reflects the committed task, not the previous decision's answer.
+    #[test]
+    fn decision_memo_reuse_across_generations_stays_fresh() {
+        let costs = table3();
+        let mut htm = Htm::new(costs.clone(), SyncPolicy::None);
+        let loads = loads3();
+        let mut memo = DecisionMemo::new();
+        let mut rng = cas_sim::RngStream::derive(7, cas_sim::StreamKind::TieBreak);
+        let t1 = task(1, 0.0);
+        let before = {
+            let mut view = SchedView::new(
+                t1.arrival,
+                t1,
+                costs.solvers(t1.problem),
+                &costs,
+                &loads,
+                &mut htm,
+                &mut rng,
+            )
+            .with_memo(&mut memo);
+            view.predict(ServerId(0)).unwrap().completion
+        };
+        htm.commit(SimTime::ZERO, ServerId(0), &task(10, 0.0));
+        let t2 = task(2, 0.0);
+        let after = {
+            let mut view = SchedView::new(
+                t2.arrival,
+                t2,
+                costs.solvers(t2.problem),
+                &costs,
+                &loads,
+                &mut htm,
+                &mut rng,
+            )
+            .with_memo(&mut memo);
+            view.predict(ServerId(0)).unwrap().completion
+        };
+        assert!(
+            after > before,
+            "second decision must see the committed task: {before:?} vs {after:?}"
+        );
+    }
 
     #[test]
     fn kind_roundtrip() {

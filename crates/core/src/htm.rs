@@ -116,6 +116,31 @@ pub enum RepairPolicy {
     FullRedrain,
 }
 
+/// What a memoised speculative drain depends on: the probe's phase costs
+/// (bit patterns — the drain arithmetic consumes exactly these floats),
+/// the query instant, and the trace state it ran against. Everything
+/// *except* the probe's id, which is a pure label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AfterKey {
+    costs_bits: (u64, u64, u64),
+    now: SimTime,
+    generation: Generation,
+}
+
+impl AfterKey {
+    fn new(costs: PhaseCosts, now: SimTime, generation: Generation) -> Self {
+        AfterKey {
+            costs_bits: (
+                costs.input.to_bits(),
+                costs.compute.to_bits(),
+                costs.output.to_bits(),
+            ),
+            now,
+            generation,
+        }
+    }
+}
+
 /// Per-server prediction working state: the generation-keyed baseline
 /// cache plus the reusable buffers of the zero-clone drain.
 #[derive(Debug, Clone, Default)]
@@ -131,11 +156,26 @@ struct PredictState {
     baseline_gen: Generation,
     /// Reusable output buffer for the speculative drain.
     after: Vec<(TaskId, SimTime)>,
-    /// The query `after` currently answers: `(task, now, trace generation
-    /// at query time)`. Lets a commit that follows its own prediction —
-    /// the engine's invariable order — adopt `after` as the new baseline
-    /// without recomputing anything.
-    after_query: Option<(TaskId, SimTime, Generation)>,
+    /// The query `after` currently answers: `(phase-cost bit patterns,
+    /// now, trace generation at query time)`. Keyed on the *costs*, not
+    /// the task id: the drain arithmetic never looks at the probe's id
+    /// (the probe always enters at the tail of the input lane and ties
+    /// break by lane position), so two same-instant probes of the same
+    /// problem share one drain and differ only in the label of the
+    /// probe's own entry — see [`PredictState::refresh_after`]. Also lets
+    /// a commit that follows its own prediction — the engine's invariable
+    /// order — adopt `after` as the new baseline without recomputing.
+    /// The [`TaskId`] is the probe id currently labelling the memoised
+    /// schedule.
+    after_query: Option<(AfterKey, TaskId)>,
+    /// Speculative drains actually run (memo misses).
+    drains: u64,
+    /// Queries answered from the memoised `after` (exact repeats plus
+    /// relabelled same-problem hits).
+    memo_hits: u64,
+    /// The subset of `memo_hits` where only the probe id differed — the
+    /// hits the problem-keyed memo added over the old exact-task key.
+    cross_task_hits: u64,
     /// Reusable task → completion lookup over `after`.
     after_map: HashMap<TaskId, SimTime>,
 }
@@ -151,8 +191,12 @@ impl PredictState {
 
     /// Ensures `self.after` holds the drained schedule with `(task,
     /// costs)` inserted at `now`, reusing the memoised answer when the
-    /// last speculative drain was exactly this query on an unchanged
-    /// trace.
+    /// last speculative drain asked the *same question* of an unchanged
+    /// trace. "Same question" is keyed on the probe's phase costs, not
+    /// its id: the drain never branches on the id (the probe enters at
+    /// the tail of the input lane; completion ties break by lane
+    /// position), so a same-instant probe of the same problem reuses the
+    /// drain wholesale and only the probe's own entry is relabelled.
     fn refresh_after(
         &mut self,
         trace: &ServerTrace,
@@ -160,10 +204,37 @@ impl PredictState {
         task: TaskId,
         costs: PhaseCosts,
     ) {
-        let query = (task, now, trace.generation());
-        if self.after_query != Some(query) {
-            trace.drain_schedule_into(&mut self.scratch, Some((now, task, costs)), &mut self.after);
-            self.after_query = Some(query);
+        let key = AfterKey::new(costs, now, trace.generation());
+        match &mut self.after_query {
+            Some((memo_key, memo_task)) if *memo_key == key => {
+                // Mirrors the drain path's duplicate-mapping panic: a hit
+                // for a task the trace already holds would silently skip
+                // that check.
+                debug_assert!(
+                    *memo_task == task || !trace.is_active(task),
+                    "task {task} already mapped on this trace"
+                );
+                if *memo_task != task {
+                    let old = *memo_task;
+                    for entry in &mut self.after {
+                        if entry.0 == old {
+                            entry.0 = task;
+                        }
+                    }
+                    *memo_task = task;
+                    self.cross_task_hits += 1;
+                }
+                self.memo_hits += 1;
+            }
+            _ => {
+                trace.drain_schedule_into(
+                    &mut self.scratch,
+                    Some((now, task, costs)),
+                    &mut self.after,
+                );
+                self.after_query = Some((key, task));
+                self.drains += 1;
+            }
         }
     }
 
@@ -215,6 +286,34 @@ impl PredictState {
             completion,
             queried_at: now,
             perturbations,
+        }
+    }
+}
+
+/// Aggregate counters of the speculative-drain memo, summed over servers
+/// (see [`Htm::memo_stats`]): how many what-if questions actually ran a
+/// drain versus how many were answered from the per-server memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Speculative drains run (memo misses).
+    pub drains: u64,
+    /// Queries answered from a memoised drain (exact repeats plus
+    /// relabelled same-problem probes).
+    pub hits: u64,
+    /// The subset of `hits` where only the probe id differed — what the
+    /// problem-keyed memo buys over an exact `(task, now, generation)`
+    /// key.
+    pub cross_task_hits: u64,
+}
+
+impl MemoStats {
+    /// Hits over all memo lookups, in [0, 1]; 0 when nothing was queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.drains + self.hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
     }
 }
@@ -296,6 +395,18 @@ impl Htm {
     /// Number of what-if queries answered (for the decision-cost bench).
     pub fn predictions_made(&self) -> u64 {
         self.predictions_made
+    }
+
+    /// Speculative-drain memo counters, summed over all servers (for the
+    /// decision-cost bench's hit-rate section).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.predict_states
+            .iter()
+            .fold(MemoStats::default(), |acc, s| MemoStats {
+                drains: acc.drains + s.drains,
+                hits: acc.hits + s.memo_hits,
+                cross_task_hits: acc.cross_task_hits + s.cross_task_hits,
+            })
     }
 
     /// Where a task was committed, if it was.
@@ -764,6 +875,51 @@ mod tests {
         // longer occupies memory, with no commit needed to notice.
         assert_eq!(htm.resident_estimate(t(10.0), ServerId(0)), 0.0);
         assert_eq!(htm.resident_estimate(t(1000.0), ServerId(0)), 0.0);
+    }
+
+    /// Two same-instant probes of the same problem must share one
+    /// speculative drain (the memo key is the problem's costs, not the
+    /// probe id) and still answer bit-identically to the reference path.
+    #[test]
+    fn same_problem_probes_share_a_drain() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        let a = htm
+            .predict(t(5.0), ServerId(0), &task(100, 5.0))
+            .unwrap()
+            .clone();
+        let before = htm.memo_stats();
+        let b = htm
+            .predict(t(5.0), ServerId(0), &task(101, 5.0))
+            .unwrap()
+            .clone();
+        let after = htm.memo_stats();
+        assert_eq!(after.drains, before.drains, "second probe must not drain");
+        assert_eq!(after.cross_task_hits, before.cross_task_hits + 1);
+        assert!(after.hit_rate() > 0.0);
+        // Same costs at the same instant: identical numbers, relabelled.
+        assert_eq!(a.completion, b.completion);
+        assert_eq!(a.perturbations, b.perturbations);
+        let reference = htm
+            .predict_reference(t(5.0), ServerId(0), &task(101, 5.0))
+            .unwrap();
+        assert_eq!(b, reference);
+    }
+
+    /// A commit that follows a *relabelled* memo hit must still splice the
+    /// correct after-schedule in as the new baseline.
+    #[test]
+    fn commit_after_cross_task_hit_splices_correctly() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.predict(t(5.0), ServerId(0), &task(100, 5.0)).unwrap();
+        // Same problem, same instant, different id — then commit it.
+        let winner = task(101, 5.0);
+        htm.predict(t(5.0), ServerId(0), &winner).unwrap();
+        htm.commit(t(5.0), ServerId(0), &winner);
+        let cached = htm.cached_baseline(ServerId(0)).expect("baseline fresh");
+        assert_eq!(cached.to_vec(), htm.trace(ServerId(0)).drain_schedule());
+        assert!(cached.iter().any(|&(id, _)| id == TaskId(101)));
     }
 
     #[test]

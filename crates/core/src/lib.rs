@@ -23,6 +23,10 @@
 //!   baseline driven by (stale, corrected) load reports, and the HTM-based
 //!   [`Hmct`], [`Mp`], [`Msf`] of Figs. 2–4, plus Weissman's MNI and simple
 //!   baselines (round-robin, random, min-load, OLB) for ablations.
+//! * [`selector`] — stage 1 of the two-stage decision pipeline: an
+//!   object-safe [`CandidateSelector`] proposes a shortlist from the
+//!   incrementally maintained static index before any HTM drain runs;
+//!   backends [`Exhaustive`] (the spec), [`TopK`] and [`Adaptive`].
 //!
 //! The crate is pure model code: no events, no wall-clock, no I/O. The
 //! middleware crate drives it.
@@ -60,6 +64,7 @@ pub mod gantt;
 pub mod heuristics;
 pub mod htm;
 pub mod prediction;
+pub mod selector;
 pub mod trace;
 
 pub use gantt::{Gantt, GanttRow, GanttSegment};
@@ -67,6 +72,7 @@ pub use heuristics::{
     DecisionMemo, Heuristic, HeuristicKind, Hmct, Mct, MinLoad, Mni, Mp, Msf, Olb, RandomChoice,
     RoundRobin, SchedView,
 };
-pub use htm::{Htm, RepairPolicy, SyncPolicy};
+pub use htm::{Htm, MemoStats, RepairPolicy, SyncPolicy};
 pub use prediction::Prediction;
+pub use selector::{Adaptive, CandidateSelector, Exhaustive, SelectorInput, SelectorKind, TopK};
 pub use trace::{DrainScratch, ServerTrace};

@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use cas_core::heuristics::HeuristicKind;
-use cas_core::SyncPolicy;
+use cas_core::{SelectorKind, SyncPolicy};
 use cas_platform::MemoryModel;
 
 /// What happens when a server refuses a task (memory exhaustion).
@@ -37,6 +37,11 @@ impl FaultTolerance {
 pub struct ExperimentConfig {
     /// The scheduling policy under test.
     pub heuristic: HeuristicKind,
+    /// Stage-1 candidate selection: which servers even get an HTM what-if
+    /// query. [`SelectorKind::Exhaustive`] (the default) reproduces the
+    /// paper's every-solver loop; `TopK`/`Adaptive` prune the candidate
+    /// set from the incrementally maintained static index first.
+    pub selector: SelectorKind,
     /// HTM ↔ reality synchronisation policy.
     pub sync: SyncPolicy,
     /// Root seed: drives ground-truth noise and tie-breaking. The workload
@@ -79,6 +84,7 @@ impl ExperimentConfig {
     pub fn paper(heuristic: HeuristicKind, seed: u64) -> Self {
         ExperimentConfig {
             heuristic,
+            selector: SelectorKind::Exhaustive,
             sync: SyncPolicy::None,
             seed,
             load_report_period: 30.0,
@@ -98,6 +104,7 @@ impl ExperimentConfig {
     pub fn ideal(heuristic: HeuristicKind, seed: u64) -> Self {
         ExperimentConfig {
             heuristic,
+            selector: SelectorKind::Exhaustive,
             sync: SyncPolicy::None,
             seed,
             load_report_period: 5.0,
@@ -122,6 +129,12 @@ impl ExperimentConfig {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different stage-1 candidate selector.
+    pub fn with_selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
         self
     }
 }

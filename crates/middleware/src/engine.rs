@@ -25,15 +25,24 @@
 //! in-flight records live in a generational [`Arena`] reached through a
 //! dense task-indexed key table, and each decision's prediction memo
 //! reuses one run-wide [`DecisionMemo`].
+//!
+//! Scheduling decisions run the **two-stage pipeline**: stage 1, the
+//! configured [`CandidateSelector`], proposes a candidate shortlist from
+//! the incrementally maintained [`StaticIndex`] (kept current by the
+//! commit/complete hooks in this file — no per-arrival platform rescan);
+//! stage 2, the heuristic, runs its batched HTM what-if queries on the
+//! shortlist only. The exhaustive selector reproduces the paper's
+//! every-solver loop bit for bit.
 
 use crate::config::{ExperimentConfig, FaultTolerance};
 use crate::event::GridEvent;
 use cas_core::heuristics::{DecisionMemo, Heuristic, SchedView};
+use cas_core::selector::{CandidateSelector, SelectorInput};
 use cas_core::Htm;
 use cas_metrics::{TaskOutcome, TaskRecord};
 use cas_platform::{
     AdmitOutcome, Arena, ArenaKey, CostTable, LoadAverage, LoadReport, Phase, PhaseCosts, ServerId,
-    ServerRuntime, ServerSpec, TaskId, TaskInstance,
+    ServerRuntime, ServerSpec, StaticIndex, TaskId, TaskInstance,
 };
 use cas_sim::dist::{LogNormalNoise, Sample};
 use cas_sim::{RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
@@ -62,6 +71,13 @@ pub struct GridWorld {
     reports: Vec<LoadReport>,
     htm: Htm,
     heuristic: Box<dyn Heuristic>,
+    /// Stage 1 of every decision: proposes the candidate shortlist the
+    /// heuristic (stage 2) runs its HTM queries on.
+    selector: Box<dyn CandidateSelector>,
+    /// The selector's data source: per-problem server rankings by static
+    /// cost × believed in-flight count, re-ranked incrementally by the
+    /// commit/complete hooks below — never rescanned per arrival.
+    index: StaticIndex,
     tie_rng: RngStream,
     cpu_noise: Vec<RngStream>,
     net_noise: Vec<RngStream>,
@@ -126,6 +142,8 @@ impl GridWorld {
             flight_keys: vec![None; tasks.len()],
             htm: Htm::new(costs.clone(), cfg.sync),
             heuristic: cfg.heuristic.build(),
+            selector: cfg.selector.build(),
+            index: StaticIndex::new(&costs),
             tie_rng: RngStream::derive(cfg.seed, StreamKind::TieBreak),
             cpu_noise: (0..n as u32)
                 .map(|i| RngStream::derive(cfg.seed, StreamKind::CpuNoise(i)))
@@ -251,7 +269,8 @@ impl GridWorld {
     /// A task finished its output transfer: it is complete.
     fn output_arrived(&mut self, now: SimTime, task: TaskId) {
         if let Some(key) = self.flight_keys[task.index()].take() {
-            self.flights.remove(key);
+            let flight = self.flights.remove(key).expect("flight key is live");
+            self.index.on_complete(flight.server);
         }
         self.htm.observe_completion(now, task);
         let rec = self.record_mut(task);
@@ -290,9 +309,27 @@ impl GridWorld {
         sched: &mut Scheduler<'_, GridEvent>,
     ) {
         let task = self.tasks[idx];
-        let mut candidates = self.costs.solvers(task.problem);
-        candidates.retain(|s| !excluded.contains(s) && !self.agent_known_dead[s.index()]);
+        // Stage 1: the selector proposes a shortlist from the static
+        // index. No HTM drain has run yet; an exhaustive selector
+        // reproduces the old solvers-minus-dead candidate list exactly.
+        let mut candidates = Vec::new();
+        {
+            let dead = &self.agent_known_dead;
+            let excluded = &excluded;
+            let admit = |s: ServerId| !excluded.contains(&s) && !dead[s.index()];
+            self.selector.shortlist(
+                SelectorInput {
+                    problem: task.problem,
+                    costs: &self.costs,
+                    index: &self.index,
+                },
+                &admit,
+                &mut candidates,
+            );
+        }
 
+        // Stage 2: the heuristic runs its (batched) HTM what-if queries
+        // on the shortlist only.
         let pick = {
             let server_mem: Vec<f64> = self
                 .servers
@@ -316,6 +353,9 @@ impl GridWorld {
             self.fail_task(idx, attempt, excluded.last().copied());
             return;
         };
+        // Regret feedback: lets the adaptive selector widen its cut when
+        // stage 2 keeps disagreeing with the static ranking's head.
+        self.selector.observe_selection(server);
         let phase_costs = self
             .costs
             .costs(task.problem, server)
@@ -330,6 +370,7 @@ impl GridWorld {
                 let predicted = self.htm.predict(now, server, &task).map(|p| p.completion);
                 self.reports[server.index()].note_assignment();
                 self.htm.commit(now, server, &task);
+                self.index.on_commit(server);
                 {
                     let rec = self.record_mut(task.id);
                     rec.server = Some(server);
@@ -822,6 +863,79 @@ mod tests {
             let recs = run_experiment(cfg, costs.clone(), servers.clone(), mini_tasks(&arrivals));
             assert!(recs.iter().all(|r| r.is_completed()), "{kind:?}");
         }
+    }
+
+    /// The end-to-end acceptance property of the two-stage pipeline: a
+    /// `TopK` selector wide enough to never prune is **bit-identical** to
+    /// the exhaustive selector across whole experiments — same servers,
+    /// same attempts, same completion dates — for every shipped
+    /// heuristic, including the retry/memory/noise machinery.
+    #[test]
+    fn topk_full_width_matches_exhaustive_end_to_end() {
+        let (costs, servers) = mini_setup();
+        let arrivals: Vec<f64> = (0..25).map(|i| i as f64 * 0.8).collect();
+        for kind in HeuristicKind::ALL {
+            let cfg = ExperimentConfig::paper(kind, 21);
+            let base = run_experiment(cfg, costs.clone(), servers.clone(), mini_tasks(&arrivals));
+            let wide = cfg.with_selector(cas_core::SelectorKind::TopK { k: 64 });
+            let pruned =
+                run_experiment(wide, costs.clone(), servers.clone(), mini_tasks(&arrivals));
+            assert_eq!(base, pruned, "{kind:?} diverged under TopK(k >= n)");
+        }
+    }
+
+    /// Aggressive pruning (k = 1, and a tight adaptive band) must still
+    /// complete every task — the shortlist never goes empty while an
+    /// admissible server exists.
+    #[test]
+    fn pruned_selectors_complete_all_tasks() {
+        let (costs, servers) = mini_setup();
+        let arrivals: Vec<f64> = (0..20).map(|i| i as f64 * 1.2).collect();
+        for selector in [
+            cas_core::SelectorKind::TopK { k: 1 },
+            cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 2 },
+        ] {
+            for kind in [HeuristicKind::Hmct, HeuristicKind::Msf, HeuristicKind::Mct] {
+                let cfg = ExperimentConfig::paper(kind, 13).with_selector(selector);
+                let recs =
+                    run_experiment(cfg, costs.clone(), servers.clone(), mini_tasks(&arrivals));
+                assert!(
+                    recs.iter().all(|r| r.is_completed()),
+                    "{kind:?}/{selector:?} left tasks unfinished"
+                );
+            }
+        }
+    }
+
+    /// Retry exclusions must stay honoured through the selector: after a
+    /// refusal the excluded server cannot reappear in the shortlist, even
+    /// when it is the static ranking's best.
+    #[test]
+    fn pruned_retry_respects_exclusions() {
+        // Fast-but-tiny vs slow-but-roomy, tasks need 100 MB (as in
+        // `ranked_retry_rescues_rejected_tasks`) — under TopK(1) the
+        // first pick is the fast server; the retry must reach the slow
+        // one rather than re-proposing the refuser.
+        let mut costs = CostTable::new(2);
+        costs.add_problem(
+            cas_platform::Problem::new("big", 1.0, 1.0, 100.0),
+            vec![
+                Some(PhaseCosts::new(1.0, 10.0, 1.0)),
+                Some(PhaseCosts::new(1.0, 40.0, 1.0)),
+            ],
+        );
+        let servers = vec![
+            ServerSpec::new("fast-tiny", 1000.0, 100.0, 20.0),
+            ServerSpec::new("slow-big", 500.0, 2048.0, 1024.0),
+        ];
+        let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1)
+            .with_selector(cas_core::SelectorKind::TopK { k: 1 });
+        cfg.memory = cas_platform::MemoryModel::default();
+        cfg.fault_tolerance = FaultTolerance::RankedRetry { max_attempts: 4 };
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&[0.0, 0.5]));
+        assert!(recs.iter().all(|r| r.is_completed()), "{recs:?}");
+        let rescued = recs.iter().find(|r| r.attempts > 1).expect("one retry");
+        assert_eq!(rescued.server, Some(ServerId(1)));
     }
 
     #[test]

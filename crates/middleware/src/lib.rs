@@ -33,5 +33,7 @@ pub mod validate;
 pub use config::{ExperimentConfig, FaultTolerance};
 pub use engine::{run_experiment, GridWorld};
 pub use event::GridEvent;
-pub use runner::{run_heuristic_matrix, run_replications, MatrixResult};
+pub use runner::{
+    run_heuristic_matrix, run_replications, run_replications_sequential, MatrixResult,
+};
 pub use validate::{validation_report, ValidationRow};

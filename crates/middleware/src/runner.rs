@@ -40,26 +40,26 @@ impl MatrixResult {
 
 /// Runs `replications` of the same configuration (differing only in the
 /// experiment seed, `base_cfg.seed + i`) over `workloads[i]`, in parallel
-/// on the shared pool.
+/// on the shared work-stealing pool.
 ///
 /// `workloads` supplies one task list per replication (the paper replays
 /// the same metatask, so callers typically pass clones of one list or
-/// per-seed variants). `n_workers` is kept for API compatibility and as a
-/// concurrency hint — the pool is shared and work-stealing, so the only
-/// meaning left is `n_workers == 1`, which forces a strictly sequential
-/// run (used by the determinism differential test).
+/// per-seed variants). There is no worker-count knob any more: the pool
+/// is process-wide and work-stealing, results land in per-replication
+/// slots and are reduced in replication order, so the outcome is
+/// bit-identical to [`run_replications_sequential`] regardless of
+/// parallelism (the determinism differential test asserts exactly that).
 pub fn run_replications(
     base_cfg: ExperimentConfig,
     costs: &CostTable,
     servers: &[ServerSpec],
     workloads: &[Vec<TaskInstance>],
-    n_workers: usize,
 ) -> Vec<Vec<TaskRecord>> {
     let run_one = |i: usize| {
         let cfg = base_cfg.with_seed(base_cfg.seed.wrapping_add(i as u64));
         run_experiment(cfg, costs.clone(), servers.to_vec(), workloads[i].clone())
     };
-    if n_workers <= 1 || workloads.len() <= 1 {
+    if workloads.len() <= 1 {
         return (0..workloads.len()).map(run_one).collect();
     }
     let mut results: Vec<Option<Vec<TaskRecord>>> = vec![None; workloads.len()];
@@ -76,6 +76,24 @@ pub fn run_replications(
         .collect()
 }
 
+/// Strictly in-order, single-threaded variant of [`run_replications`] —
+/// the executable spec the parallel path is differentially tested
+/// against, and the right tool when replications must not share the pool
+/// (e.g. when timing one run).
+pub fn run_replications_sequential(
+    base_cfg: ExperimentConfig,
+    costs: &CostTable,
+    servers: &[ServerSpec],
+    workloads: &[Vec<TaskInstance>],
+) -> Vec<Vec<TaskRecord>> {
+    (0..workloads.len())
+        .map(|i| {
+            let cfg = base_cfg.with_seed(base_cfg.seed.wrapping_add(i as u64));
+            run_experiment(cfg, costs.clone(), servers.to_vec(), workloads[i].clone())
+        })
+        .collect()
+}
+
 /// Runs a full heuristic × replication matrix — one paper table.
 pub fn run_heuristic_matrix(
     base_cfg: ExperimentConfig,
@@ -83,19 +101,12 @@ pub fn run_heuristic_matrix(
     costs: &CostTable,
     servers: &[ServerSpec],
     workloads: &[Vec<TaskInstance>],
-    n_workers: usize,
 ) -> Vec<MatrixResult> {
     heuristics
         .iter()
         .map(|&kind| MatrixResult {
             kind,
-            runs: run_replications(
-                base_cfg.with_heuristic(kind),
-                costs,
-                servers,
-                workloads,
-                n_workers,
-            ),
+            runs: run_replications(base_cfg.with_heuristic(kind), costs, servers, workloads),
         })
         .collect()
 }
@@ -136,8 +147,8 @@ mod tests {
         let (costs, servers, tasks) = setup();
         let cfg = ExperimentConfig::paper(HeuristicKind::Msf, 11);
         let workloads: Vec<_> = (0..4).map(|_| tasks.clone()).collect();
-        let par = run_replications(cfg, &costs, &servers, &workloads, 4);
-        let seq = run_replications(cfg, &costs, &servers, &workloads, 1);
+        let par = run_replications(cfg, &costs, &servers, &workloads);
+        let seq = run_replications_sequential(cfg, &costs, &servers, &workloads);
         assert_eq!(par, seq, "parallel fan-out must not change results");
     }
 
@@ -146,7 +157,7 @@ mod tests {
         let (costs, servers, tasks) = setup();
         let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 3);
         let workloads: Vec<_> = (0..2).map(|_| tasks.clone()).collect();
-        let runs = run_replications(cfg, &costs, &servers, &workloads, 2);
+        let runs = run_replications(cfg, &costs, &servers, &workloads);
         // Same workload, different noise seeds: records usually differ in
         // completion dates (noise) even when placements agree.
         assert_eq!(runs.len(), 2);
@@ -159,7 +170,7 @@ mod tests {
         let cfg = ExperimentConfig::paper(HeuristicKind::Mct, 5);
         let kinds = [HeuristicKind::Mct, HeuristicKind::Msf];
         let workloads = vec![tasks];
-        let results = run_heuristic_matrix(cfg, &kinds, &costs, &servers, &workloads, 2);
+        let results = run_heuristic_matrix(cfg, &kinds, &costs, &servers, &workloads);
         assert_eq!(results.len(), 2);
         for r in &results {
             assert_eq!(r.runs.len(), 1);

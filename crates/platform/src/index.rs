@@ -1,0 +1,292 @@
+//! The incrementally maintained stage-1 placement index.
+//!
+//! At 1k servers the HTM heuristics' one-speculative-drain-per-candidate
+//! fan-out dominates every scheduling decision. The cure is the standard
+//! two-stage pipeline: a cheap *static* filter proposes a shortlist, the
+//! expensive model scores only the shortlist. [`StaticIndex`] is that
+//! filter's data structure: for every problem it keeps the solvable
+//! servers ordered by a static completion proxy
+//!
+//! ```text
+//! score(p, s) = d(p, s) · (active(s) + 1)
+//! ```
+//!
+//! — the unloaded duration stretched by the number of tasks the scheduler
+//! believes are in flight on the server (the CPU-sharing intuition of the
+//! NetSolve estimate, with the agent's own commit ledger standing in for
+//! the stale load report).
+//!
+//! The index is **incremental**: the per-server active counts change only
+//! on [`StaticIndex::on_commit`] / [`StaticIndex::on_retract`] /
+//! [`StaticIndex::on_complete`] hooks, and each hook re-ranks exactly one
+//! server in each problem's ordered set (`O(problems · log servers)`).
+//! A k-best query walks the head of one ordered set — no O(n) rescan of
+//! server state happens per arrival.
+//!
+//! Scores are ordered by their IEEE-754 bit patterns (valid because scores
+//! are non-negative finite), with the server id as tie-break, so every
+//! ordering question has one deterministic answer.
+
+use crate::cost::CostTable;
+use crate::ids::{ProblemId, ServerId};
+use std::collections::BTreeSet;
+
+/// Ordered key of one server inside one problem's ranking: score bits,
+/// then server id (deterministic total order).
+type RankKey = (u64, u32);
+
+/// Non-negative finite `f64` → order-preserving `u64` key.
+#[inline]
+fn score_bits(score: f64) -> u64 {
+    debug_assert!(
+        score >= 0.0 && score.is_finite(),
+        "stage-1 scores must be non-negative finite, got {score}"
+    );
+    score.to_bits()
+}
+
+/// The agent's incrementally maintained static placement index.
+#[derive(Debug, Clone)]
+pub struct StaticIndex {
+    n_servers: usize,
+    /// Tasks the scheduler believes are in flight per server (its own
+    /// commit ledger, not the stale monitor reports).
+    active: Vec<u32>,
+    /// Unloaded durations, row-major `problem * n_servers + server`;
+    /// `None` = unsolvable there.
+    durations: Vec<Option<f64>>,
+    /// Per problem: solvable servers ordered by `(score_bits, id)`.
+    ranked: Vec<BTreeSet<RankKey>>,
+}
+
+impl StaticIndex {
+    /// Builds the index from the static cost table; every server starts
+    /// with zero believed load.
+    pub fn new(costs: &CostTable) -> Self {
+        let n_servers = costs.n_servers();
+        let n_problems = costs.n_problems();
+        let mut durations = Vec::with_capacity(n_problems * n_servers);
+        let mut ranked: Vec<BTreeSet<RankKey>> = vec![BTreeSet::new(); n_problems];
+        for (p, set) in ranked.iter_mut().enumerate() {
+            for s in 0..n_servers {
+                let d = costs.unloaded_duration(ProblemId(p as u32), ServerId(s as u32));
+                if let Some(d) = d {
+                    set.insert((score_bits(d), s as u32));
+                }
+                durations.push(d);
+            }
+        }
+        StaticIndex {
+            n_servers,
+            active: vec![0; n_servers],
+            durations,
+            ranked,
+        }
+    }
+
+    /// Number of servers covered.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Tasks the index believes are in flight on `server`.
+    pub fn active(&self, server: ServerId) -> u32 {
+        self.active[server.index()]
+    }
+
+    /// The stage-1 score of `server` for `problem` at the current believed
+    /// load, or `None` if the server cannot solve it.
+    pub fn score(&self, problem: ProblemId, server: ServerId) -> Option<f64> {
+        self.durations[problem.index() * self.n_servers + server.index()]
+            .map(|d| d * (self.active[server.index()] as f64 + 1.0))
+    }
+
+    /// Re-ranks `server` in every problem set after its active count moved
+    /// from `old_active` to the current value.
+    fn rerank(&mut self, server: ServerId, old_active: u32) {
+        let s = server.index();
+        let new_active = self.active[s];
+        for (p, set) in self.ranked.iter_mut().enumerate() {
+            if let Some(d) = self.durations[p * self.n_servers + s] {
+                let removed = set.remove(&(score_bits(d * (old_active as f64 + 1.0)), s as u32));
+                debug_assert!(removed, "server {server} missing from ranking of P{p}");
+                set.insert((score_bits(d * (new_active as f64 + 1.0)), s as u32));
+            }
+        }
+    }
+
+    /// A task was committed to `server`: its believed load grows by one.
+    pub fn on_commit(&mut self, server: ServerId) {
+        let old = self.active[server.index()];
+        self.active[server.index()] = old + 1;
+        self.rerank(server, old);
+    }
+
+    /// A committed task was retracted from `server` (the placement was
+    /// undone before running): believed load shrinks by one.
+    pub fn on_retract(&mut self, server: ServerId) {
+        self.on_complete(server);
+    }
+
+    /// A task completed on `server`: believed load shrinks by one.
+    ///
+    /// # Panics
+    /// Panics if the believed load is already zero (a completion without a
+    /// matching commit is an accounting bug).
+    pub fn on_complete(&mut self, server: ServerId) {
+        let old = self.active[server.index()];
+        assert!(old > 0, "completion on {server} without a matching commit");
+        self.active[server.index()] = old - 1;
+        self.rerank(server, old);
+    }
+
+    /// Walks `problem`'s ranking in ascending score order, best first,
+    /// skipping servers rejected by `admit`. The iterator is lazy: taking
+    /// `k` items touches `k + rejected` tree nodes, not all `n`.
+    pub fn ranked_iter<'a>(
+        &'a self,
+        problem: ProblemId,
+        admit: &'a dyn Fn(ServerId) -> bool,
+    ) -> impl Iterator<Item = (ServerId, f64)> + 'a {
+        self.ranked[problem.index()]
+            .iter()
+            .map(|&(bits, s)| (ServerId(s), f64::from_bits(bits)))
+            .filter(move |&(s, _)| admit(s))
+    }
+
+    /// Fills `out` with the `k` admissible servers of lowest stage-1 score
+    /// for `problem` (ties to the lowest id), in ascending **score** order.
+    /// Fewer than `k` survive when the admissible set is smaller.
+    pub fn k_best(
+        &self,
+        problem: ProblemId,
+        k: usize,
+        admit: &dyn Fn(ServerId) -> bool,
+        out: &mut Vec<(ServerId, f64)>,
+    ) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        out.extend(self.ranked_iter(problem, admit).take(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PhaseCosts;
+    use crate::task::Problem;
+
+    /// 3 servers; P0 durations 100/150/300, P1 solvable only on S1 (50).
+    fn table() -> CostTable {
+        let mut c = CostTable::new(3);
+        c.add_problem(
+            Problem::new("p0", 0.0, 0.0, 0.0),
+            vec![
+                Some(PhaseCosts::new(0.0, 100.0, 0.0)),
+                Some(PhaseCosts::new(0.0, 150.0, 0.0)),
+                Some(PhaseCosts::new(0.0, 300.0, 0.0)),
+            ],
+        );
+        c.add_problem(
+            Problem::new("p1", 0.0, 0.0, 0.0),
+            vec![None, Some(PhaseCosts::new(0.0, 50.0, 0.0)), None],
+        );
+        c
+    }
+
+    fn best(idx: &StaticIndex, p: u32, k: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx.k_best(ProblemId(p), k, &|_| true, &mut out);
+        out.into_iter().map(|(s, _)| s.0).collect()
+    }
+
+    #[test]
+    fn initial_ranking_is_static_cost_order() {
+        let idx = StaticIndex::new(&table());
+        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+        assert_eq!(best(&idx, 0, 2), vec![0, 1]);
+        assert_eq!(best(&idx, 1, 3), vec![1], "only S1 solves P1");
+        assert_eq!(idx.score(ProblemId(0), ServerId(2)), Some(300.0));
+        assert_eq!(idx.score(ProblemId(1), ServerId(0)), None);
+    }
+
+    #[test]
+    fn commit_reorders_and_complete_restores() {
+        let mut idx = StaticIndex::new(&table());
+        // Two commits on S0: score(P0,S0) = 100·3 = 300, ties S2's 300 →
+        // id order keeps S0 ahead of S2.
+        idx.on_commit(ServerId(0));
+        idx.on_commit(ServerId(0));
+        assert_eq!(idx.active(ServerId(0)), 2);
+        assert_eq!(best(&idx, 0, 3), vec![1, 0, 2]);
+        // A third commit pushes S0 last.
+        idx.on_commit(ServerId(0));
+        assert_eq!(best(&idx, 0, 3), vec![1, 2, 0]);
+        idx.on_complete(ServerId(0));
+        idx.on_retract(ServerId(0));
+        idx.on_complete(ServerId(0));
+        assert_eq!(idx.active(ServerId(0)), 0);
+        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_n_and_zero() {
+        let idx = StaticIndex::new(&table());
+        assert_eq!(best(&idx, 0, 100), vec![0, 1, 2]);
+        assert_eq!(best(&idx, 0, 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn filter_skips_servers_without_losing_rank() {
+        let idx = StaticIndex::new(&table());
+        let mut out = Vec::new();
+        idx.k_best(ProblemId(0), 2, &|s| s != ServerId(0), &mut out);
+        assert_eq!(out.iter().map(|(s, _)| s.0).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching commit")]
+    fn unbalanced_complete_panics() {
+        let mut idx = StaticIndex::new(&table());
+        idx.on_complete(ServerId(1));
+    }
+
+    /// The incremental ranking always equals a from-scratch recompute.
+    #[test]
+    fn incremental_matches_rescan_after_churn() {
+        let costs = table();
+        let mut idx = StaticIndex::new(&costs);
+        let ops: [(u32, bool); 9] = [
+            (0, true),
+            (1, true),
+            (0, true),
+            (2, true),
+            (0, false),
+            (1, true),
+            (1, false),
+            (2, false),
+            (1, false),
+        ];
+        for (s, up) in ops {
+            if up {
+                idx.on_commit(ServerId(s));
+            } else {
+                idx.on_complete(ServerId(s));
+            }
+            for p in 0..costs.n_problems() as u32 {
+                let got = best(&idx, p, 3);
+                let mut expect: Vec<(u64, u32)> = (0..3u32)
+                    .filter_map(|sv| {
+                        idx.score(ProblemId(p), ServerId(sv))
+                            .map(|sc| (sc.to_bits(), sv))
+                    })
+                    .collect();
+                expect.sort_unstable();
+                let expect: Vec<u32> = expect.into_iter().map(|(_, sv)| sv).collect();
+                assert_eq!(got, expect, "problem {p} after op ({s}, {up})");
+            }
+        }
+    }
+}

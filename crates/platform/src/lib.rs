@@ -19,6 +19,10 @@
 //! * [`server`] — server specifications (Table 2) and runtime state: the
 //!   fair-share CPU, the memory/swap accounting with thrashing and collapse
 //!   that drives the paper's first set of experiments, and the in/out links.
+//! * [`index`] — the incrementally maintained stage-1 placement index:
+//!   per-problem server rankings by static cost × believed load, re-ranked
+//!   in O(log n) by commit/retract/complete hooks so candidate pruning
+//!   never rescans the platform per arrival.
 //! * [`monitor`] — the UNIX-style exponentially-damped load average that
 //!   NetSolve servers report to the agent, plus report staleness bookkeeping.
 //! * [`forecast`] — small NWS-flavoured forecasters (last value, running
@@ -34,6 +38,7 @@ pub mod cost;
 pub mod fairshare;
 pub mod forecast;
 pub mod ids;
+pub mod index;
 pub mod monitor;
 pub mod server;
 pub mod task;
@@ -42,6 +47,7 @@ pub use arena::{Arena, ArenaKey};
 pub use cost::{CostTable, PhaseCosts};
 pub use fairshare::FairShareResource;
 pub use ids::{ProblemId, ServerId, TaskId};
+pub use index::StaticIndex;
 pub use monitor::{LoadAverage, LoadReport};
 pub use server::{AdmitOutcome, MemoryModel, ServerRuntime, ServerSpec};
 pub use task::{Phase, Problem, TaskInstance};

@@ -14,9 +14,6 @@ use casgrid::prelude::*;
 fn main() {
     let costs = casgrid::workload::matmul::cost_table();
     let servers = casgrid::workload::testbed::set1_servers();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
 
     for (label, gap) in [("low rate (20 s)", 20.0), ("high rate (15 s)", 15.0)] {
         println!("=== matmul metatask, {label} ===\n");
@@ -40,7 +37,6 @@ fn main() {
             &costs,
             &servers,
             &workloads,
-            workers,
         );
         for metric in MetricSet::PAPER_ROWS {
             let cells: Vec<String> = results

@@ -59,16 +59,19 @@ pub use cas_workload as workload;
 /// The commonly used names in one import.
 pub mod prelude {
     pub use cas_core::heuristics::{Heuristic, HeuristicKind, SchedView};
-    pub use cas_core::{Gantt, Htm, Prediction, ServerTrace, SyncPolicy};
+    pub use cas_core::{
+        CandidateSelector, Gantt, Htm, Prediction, SelectorKind, ServerTrace, SyncPolicy,
+    };
     pub use cas_metrics::{
         finish_sooner_count, MetricSet, Summary, Table, TaskOutcome, TaskRecord,
     };
     pub use cas_middleware::{
-        run_experiment, run_heuristic_matrix, run_replications, ExperimentConfig, FaultTolerance,
+        run_experiment, run_heuristic_matrix, run_replications, run_replications_sequential,
+        ExperimentConfig, FaultTolerance,
     };
     pub use cas_platform::{
-        CostTable, MemoryModel, PhaseCosts, Problem, ProblemId, ServerId, ServerSpec, TaskId,
-        TaskInstance,
+        CostTable, MemoryModel, PhaseCosts, Problem, ProblemId, ServerId, ServerSpec, StaticIndex,
+        TaskId, TaskInstance,
     };
     pub use cas_sim::{RngStream, SimTime, StreamKind};
     pub use cas_workload::metatask::{GapDistribution, MetataskSpec};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! casgrid run     --workload wastecpu --heuristic MSF --gap 15 --tasks 500
+//! casgrid run     --workload wastecpu --burst 8 --selector topk:2
 //! casgrid compare --workload matmul --gap 20 --reps 3 --format csv
 //! casgrid list
 //! ```
@@ -9,10 +10,15 @@
 //! `run` executes one experiment and prints the §3 metrics; `compare` runs
 //! every paper heuristic (plus any extras via `--heuristics`) on the same
 //! metatask and prints the paper-style table including the
-//! finish-sooner-than-MCT row. Argument parsing is hand-rolled to keep the
-//! dependency set to the sanctioned list.
+//! finish-sooner-than-MCT row. `--burst R` swaps the homogeneous-Poisson
+//! metatask for the thinning-sampled inhomogeneous process
+//! ([`BurstArrivals`]) with peak/trough ratio `R` at the same mean rate;
+//! `--selector` picks the stage-1 candidate-selection backend
+//! (`exhaustive`, `topk[:K]`, `adaptive[:MIN:MAX]`). Argument parsing is
+//! hand-rolled to keep the dependency set to the sanctioned list.
 
 use casgrid::prelude::*;
+use casgrid::workload::synthetic::BurstArrivals;
 use std::process::ExitCode;
 
 #[derive(Debug, Clone)]
@@ -21,6 +27,12 @@ struct Args {
     heuristic: String,
     heuristics: Option<Vec<String>>,
     gap: f64,
+    /// Peak/trough ratio of the bursty arrival process; 1 (default) keeps
+    /// the paper's homogeneous-Poisson metatask.
+    burst: f64,
+    /// Burst period, seconds.
+    burst_period: f64,
+    selector: String,
     tasks: usize,
     seed: u64,
     reps: usize,
@@ -28,7 +40,6 @@ struct Args {
     format: String,
     memory: bool,
     sync: bool,
-    workers: usize,
 }
 
 impl Default for Args {
@@ -38,6 +49,9 @@ impl Default for Args {
             heuristic: "MSF".into(),
             heuristics: None,
             gap: 20.0,
+            burst: 1.0,
+            burst_period: 1800.0,
+            selector: "exhaustive".into(),
             tasks: 500,
             seed: 1,
             reps: 1,
@@ -45,9 +59,6 @@ impl Default for Args {
             format: "table".into(),
             memory: true,
             sync: false,
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
         }
     }
 }
@@ -65,14 +76,20 @@ fn usage() -> &'static str {
      --heuristic NAME             policy for `run`       [MSF]\n\
      --heuristics A,B,C           policies for `compare` [MCT,HMCT,MP,MSF]\n\
      --gap SECONDS                mean inter-arrival gap [20]\n\
+     --burst RATIO                peak/trough ratio of bursty (IPPP\n\
+                                  thinning) arrivals at the same mean\n\
+                                  rate; 1 = homogeneous Poisson  [1]\n\
+     --burst-period SECONDS       burst period           [1800]\n\
+     --selector NAME              stage-1 candidate selection:\n\
+                                  exhaustive | topk[:K] | adaptive[:MIN:MAX]\n\
+                                  [exhaustive]\n\
      --tasks N                    metatask size          [500]\n\
      --seed N                     root seed              [1]\n\
      --reps N                     replications           [1]\n\
      --noise SIGMA                speed-noise sigma      [0.03]\n\
      --format table|csv|json      output format          [table]\n\
      --no-memory                  disable the memory model\n\
-     --sync                       HTM force-finish synchronisation\n\
-     --workers N                  runner threads         [#cpus]"
+     --sync                       HTM force-finish synchronisation"
 }
 
 fn parse(argv: &[String]) -> Result<(String, Args), String> {
@@ -99,6 +116,29 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 )
             }
             "--gap" => args.gap = take(&mut i)?.parse().map_err(|e| format!("--gap: {e}"))?,
+            "--burst" => {
+                args.burst = take(&mut i)?.parse().map_err(|e| format!("--burst: {e}"))?;
+                if args.burst < 1.0 {
+                    return Err("--burst: ratio must be >= 1".into());
+                }
+            }
+            "--burst-period" => {
+                args.burst_period = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--burst-period: {e}"))?;
+                if args.burst_period <= 0.0 {
+                    return Err("--burst-period: must be positive".into());
+                }
+            }
+            "--selector" => {
+                let v = take(&mut i)?;
+                if SelectorKind::parse(&v).is_none() {
+                    return Err(format!(
+                        "--selector: unknown spec {v} (exhaustive|topk[:K]|adaptive[:MIN:MAX])"
+                    ));
+                }
+                args.selector = v;
+            }
             "--tasks" => args.tasks = take(&mut i)?.parse().map_err(|e| format!("--tasks: {e}"))?,
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--reps" => args.reps = take(&mut i)?.parse().map_err(|e| format!("--reps: {e}"))?,
@@ -106,11 +146,6 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
             "--format" => args.format = take(&mut i)?,
             "--no-memory" => args.memory = false,
             "--sync" => args.sync = true,
-            "--workers" => {
-                args.workers = take(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--workers: {e}"))?
-            }
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
         }
         i += 1;
@@ -135,6 +170,7 @@ fn workload_of(args: &Args) -> Result<(CostTable, Vec<ServerSpec>), String> {
 fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper(kind, args.seed);
     cfg.noise_sigma = args.noise;
+    cfg.selector = SelectorKind::parse(&args.selector).expect("validated at parse time");
     if !args.memory {
         cfg.memory = MemoryModel::disabled();
     }
@@ -142,6 +178,30 @@ fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
         cfg.sync = SyncPolicy::ForceFinish;
     }
     cfg
+}
+
+/// The metatask: the paper's homogeneous-Poisson process by default, or
+/// the thinning-sampled bursty process at the same mean rate when
+/// `--burst` exceeds 1.
+fn tasks_of(args: &Args, costs: &CostTable) -> Vec<TaskInstance> {
+    if args.burst > 1.0 {
+        // Hold the mean rate at 1/gap: base + peak = 2 · mean.
+        let base_rate = 2.0 / (args.gap * (1.0 + args.burst));
+        BurstArrivals {
+            n_tasks: args.tasks,
+            base_rate,
+            peak_rate: args.burst * base_rate,
+            period: args.burst_period,
+            n_problems: costs.n_problems(),
+        }
+        .generate(args.seed)
+    } else {
+        MetataskSpec {
+            n_tasks: args.tasks,
+            ..MetataskSpec::paper(args.gap)
+        }
+        .generate(args.seed)
+    }
 }
 
 fn emit(table: &Table, format: &str) -> Result<(), String> {
@@ -158,26 +218,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let kind = HeuristicKind::parse(&args.heuristic)
         .ok_or_else(|| format!("unknown heuristic {}", args.heuristic))?;
     let (costs, servers) = workload_of(args)?;
-    let tasks = MetataskSpec {
-        n_tasks: args.tasks,
-        ..MetataskSpec::paper(args.gap)
-    }
-    .generate(args.seed);
+    let tasks = tasks_of(args, &costs);
     let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
-    let runs = run_replications(
-        config_of(args, kind),
-        &costs,
-        &servers,
-        &workloads,
-        args.workers,
-    );
+    let runs = run_replications(config_of(args, kind), &costs, &servers, &workloads);
     let mut table = Table::new(
         format!(
-            "{} on {} ({} tasks, gap {} s, {} rep(s))",
+            "{} on {} ({} tasks, gap {} s, burst {}x, selector {}, {} rep(s))",
             kind.name(),
             args.workload,
             args.tasks,
             args.gap,
+            args.burst,
+            args.selector,
             args.reps
         ),
         vec!["mean".into(), "min".into(), "max".into()],
@@ -203,11 +255,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         .map(|n| HeuristicKind::parse(n).ok_or_else(|| format!("unknown heuristic {n}")))
         .collect::<Result<_, _>>()?;
     let (costs, servers) = workload_of(args)?;
-    let tasks = MetataskSpec {
-        n_tasks: args.tasks,
-        ..MetataskSpec::paper(args.gap)
-    }
-    .generate(args.seed);
+    let tasks = tasks_of(args, &costs);
     let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
     let results = run_heuristic_matrix(
         config_of(args, kinds[0]),
@@ -215,12 +263,11 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         &costs,
         &servers,
         &workloads,
-        args.workers,
     );
     let mut table = Table::new(
         format!(
-            "{} tasks on {}, gap {} s, {} rep(s)",
-            args.tasks, args.workload, args.gap, args.reps
+            "{} tasks on {}, gap {} s, burst {}x, selector {}, {} rep(s)",
+            args.tasks, args.workload, args.gap, args.burst, args.selector, args.reps
         ),
         names.clone(),
     );
@@ -258,6 +305,12 @@ fn cmd_list() {
     }
     println!("\nworkloads:\n  matmul    Table 3, servers chamagne/cabestan/artimon/pulney");
     println!("  wastecpu  Table 4, servers valette/spinnaker/cabestan/artimon");
+    println!(
+        "\nselectors (stage-1 candidate pruning):\n  \
+         exhaustive        every solver gets an HTM query (paper behaviour)\n  \
+         topk[:K]          K best by static cost x believed load  [K=16]\n  \
+         adaptive[:MIN:MAX] self-adjusting width, near-tie + regret driven"
+    );
 }
 
 fn main() -> ExitCode {
@@ -305,6 +358,8 @@ mod tests {
         assert_eq!(cmd, "run");
         assert_eq!(args.workload, "wastecpu");
         assert_eq!(args.gap, 20.0);
+        assert_eq!(args.burst, 1.0);
+        assert_eq!(args.selector, "exhaustive");
         assert_eq!(args.tasks, 500);
         assert!(args.memory);
         assert!(!args.sync);
@@ -314,7 +369,8 @@ mod tests {
     fn parse_full_flag_set() {
         let (cmd, args) = parse(&argv(
             "compare --workload matmul --heuristics MCT,MSF --gap 15 --tasks 100 \
-             --seed 7 --reps 2 --noise 0.1 --format csv --no-memory --sync --workers 3",
+             --seed 7 --reps 2 --noise 0.1 --format csv --no-memory --sync \
+             --burst 8 --burst-period 600 --selector topk:4",
         ))
         .unwrap();
         assert_eq!(cmd, "compare");
@@ -328,7 +384,36 @@ mod tests {
         assert_eq!(args.format, "csv");
         assert!(!args.memory);
         assert!(args.sync);
-        assert_eq!(args.workers, 3);
+        assert_eq!(args.burst, 8.0);
+        assert_eq!(args.burst_period, 600.0);
+        assert_eq!(args.selector, "topk:4");
+    }
+
+    #[test]
+    fn parse_rejects_bad_burst_and_selector() {
+        assert!(parse(&argv("run --burst 0.5")).is_err());
+        assert!(parse(&argv("run --burst-period 0")).is_err());
+        assert!(parse(&argv("run --selector nope")).is_err());
+        assert!(parse(&argv("run --selector topk:0")).is_err());
+        // The retired runner knob is gone for good.
+        assert!(parse(&argv("run --workers 3")).is_err());
+    }
+
+    #[test]
+    fn burst_tasks_share_mean_rate_with_metatask() {
+        let (_, mut args) = parse(&argv("run --tasks 400 --gap 10")).unwrap();
+        let (costs, _) = workload_of(&args).unwrap();
+        args.burst = 6.0;
+        let bursty = tasks_of(&args, &costs);
+        assert_eq!(bursty.len(), 400);
+        let span = bursty.last().unwrap().arrival.as_secs();
+        let mean_gap = span / bursty.len() as f64;
+        assert!(
+            (mean_gap - 10.0).abs() < 2.0,
+            "bursty mean gap drifted: {mean_gap}"
+        );
+        args.burst = 1.0;
+        assert_eq!(tasks_of(&args, &costs).len(), 400);
     }
 
     #[test]

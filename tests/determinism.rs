@@ -69,17 +69,17 @@ fn different_seeds_differ() {
     assert_ne!(a, b);
 }
 
-/// The parallel runner yields exactly the sequential results regardless of
-/// worker count.
+/// The pooled runner yields exactly the sequential results — parallelism
+/// is invisible in the records.
 #[test]
-fn runner_worker_count_is_invisible() {
+fn runner_parallelism_is_invisible() {
     let (costs, servers, tasks) = setup(80, 4);
     let workloads: Vec<_> = (0..6).map(|_| tasks.clone()).collect();
     let cfg = ExperimentConfig::paper(HeuristicKind::Mp, 17);
-    let w1 = run_replications(cfg, &costs, &servers, &workloads, 1);
-    for workers in [2, 4, 8] {
-        let wn = run_replications(cfg, &costs, &servers, &workloads, workers);
-        assert_eq!(w1, wn, "workers = {workers}");
+    let seq = run_replications_sequential(cfg, &costs, &servers, &workloads);
+    for round in 0..3 {
+        let pooled = run_replications(cfg, &costs, &servers, &workloads);
+        assert_eq!(seq, pooled, "round = {round}");
     }
 }
 
