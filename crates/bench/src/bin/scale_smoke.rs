@@ -19,21 +19,34 @@
 //! 3. reruns a **comparison campaign** (`SCALE_SMOKE_COMPARE_TASKS`,
 //!    default min(tasks, 100k)) under the exhaustive selector and checks
 //!    that pruning moves the completion rate by at most
-//!    `SCALE_COMPLETION_DELTA_GATE` (default 1 %).
+//!    `SCALE_COMPLETION_DELTA_GATE` (default 1 %);
+//! 4. reruns the headline campaign through the **shard federation**
+//!    (`SCALE_SMOKE_SHARDS`, default `auto`) and checks the sharded
+//!    completion rate within the same delta gate of the unsharded run;
+//! 5. measures the **decision pipeline at production width** — one full
+//!    two-stage decision plus commit and complete hooks per task through
+//!    the real router — at `SHARD_BENCH_SERVERS` (default 10k) servers,
+//!    unsharded versus `SHARD_BENCH_SHARDS` (default auto ⇒ 16) shards
+//!    (gate: ≥ `SHARD_DECISION_GATE`, default 3×).
 //!
 //! Everything lands in `BENCH_scale.json` (path overridable as argv[1]).
 //! Exit is non-zero when the wall budget (`SCALE_SMOKE_BUDGET_SECS`,
-//! default 600) is blown, tasks fail, or either pipeline gate regresses —
-//! CI runs the 10⁵ configuration as a blocking job and the 10⁶
-//! configuration (`SCALE_SMOKE_TASKS=1000000`) on a schedule.
+//! default 600) is blown, tasks fail, or any pipeline gate regresses —
+//! CI runs the 1k/10⁵ configuration as a blocking job, the 1k/10⁶
+//! configuration (`SCALE_SMOKE_TASKS=1000000`) nightly, and the
+//! 10k-server/10⁶-task sharded configuration nightly as well.
 
 use cas_core::heuristics::HeuristicKind;
 use cas_core::{Htm, SelectorKind, SyncPolicy};
 use cas_metrics::MetricSet;
-use cas_middleware::{ExperimentConfig, GridWorld};
-use cas_platform::{CostTable, ProblemId, ServerId, StaticIndex, TaskId, TaskInstance};
-use cas_sim::{SimTime, Simulation};
+use cas_middleware::shard::DecisionInputs;
+use cas_middleware::{AgentRouter, ExperimentConfig, GridWorld, Sharding};
+use cas_platform::{
+    CostTable, IndexScoring, LoadReport, ProblemId, ServerId, StaticIndex, TaskId, TaskInstance,
+};
+use cas_sim::{RngStream, SimTime, Simulation, StreamKind};
 use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -87,8 +100,11 @@ fn decision_microbench(costs: &CostTable, k: usize, per_server: usize) -> (f64, 
                     ProblemId((t % costs.n_problems()) as u32),
                     SimTime::from_secs(t as f64 * 0.5),
                 );
+                let work = costs
+                    .unloaded_duration(task.problem, ServerId(s))
+                    .expect("synthetic tables are fully solvable");
                 htm.commit(task.arrival, ServerId(s), &task);
-                index.on_commit(ServerId(s));
+                index.on_commit(ServerId(s), work);
                 id += 1;
             }
         }
@@ -160,11 +176,184 @@ fn decision_microbench(costs: &CostTable, k: usize, per_server: usize) -> (f64, 
         shortlist.extend(scored.iter().map(|&(s, _)| s));
         shortlist.sort_unstable();
         let winner = decide(&mut htm, &probe, &shortlist);
+        let work = costs
+            .unloaded_duration(probe.problem, winner)
+            .expect("synthetic tables are fully solvable");
         htm.commit(probe.arrival, winner, &probe);
-        index.on_commit(winner);
+        index.on_commit(winner, work);
     }
     let topk_us = start.elapsed().as_secs_f64() * 1e6 / rounds_topk as f64;
     (exhaustive_us, topk_us)
+}
+
+/// Per-task decision-pipeline microbench through the **real router** at
+/// farm width `n_servers`: every round runs one full two-stage decision
+/// (adaptive selector, as the campaign uses), commits the winner and —
+/// once the in-flight window fills — completes the oldest task, i.e. the
+/// commit *and* complete hooks (model repair + index re-rank) are timed
+/// as part of the pipeline, exactly as a live campaign pays them.
+/// Returns µs/task for the unsharded single agent versus an
+/// `n_shards`-way federation over the same platform: the contrast is
+/// purely structural (per-engine state `O(n)` vs `O(n/S)`), since worker
+/// fan-out cannot change results and this host measures the serial path.
+fn sharding_microbench(
+    costs: &CostTable,
+    specs: &[cas_platform::ServerSpec],
+    n_shards: usize,
+    per_server: usize,
+    width: usize,
+    rounds: usize,
+) -> (f64, f64, f64) {
+    let n_servers = costs.n_servers();
+    let reports: Vec<LoadReport> = (0..n_servers as u32)
+        .map(|i| LoadReport::initial(ServerId(i)))
+        .collect();
+    let server_mem: Vec<f64> = specs.iter().map(|s| s.total_mem_mb()).collect();
+    // Fixed width so both arms run identical stage-2 batches: the
+    // contrast under measurement is the structural O(n) vs O(n/S) cost,
+    // not selector-width dynamics. The default width is the adaptive
+    // selector's calm floor (8) — its standing width in the campaign.
+    let selector = SelectorKind::TopK { k: width };
+
+    // `legacy_scan` replays the pre-federation engine's per-decision
+    // O(n) platform scan (it collected every server's admission limit on
+    // every arrival — the line this PR hoisted into the world build);
+    // with it, the arm measures the engine as it stood before this
+    // refactor, the same way `decision_cost` keeps the exhaustive loop
+    // as its predecessor baseline.
+    let run = |shards: Option<usize>, legacy_scan: bool| -> f64 {
+        // ForceFinish so completions actually leave the traces — the
+        // standing state of a live campaign — and so the complete hook
+        // exercises the incremental repair the federation routes to one
+        // shard.
+        let mut router = AgentRouter::new(
+            costs,
+            shards,
+            selector,
+            IndexScoring::RemainingWork,
+            SyncPolicy::ForceFinish,
+        );
+        let mut heuristic = HeuristicKind::Hmct.build();
+        let mut tie_rng = RngStream::derive(9, StreamKind::TieBreak);
+        let mut id = 50_000_000u64;
+        // Campaign-like standing load: `per_server` tasks on every
+        // second server — the ~0.5 mean utilisation of the standing
+        // campaign leaves roughly half the farm idle at any instant, and
+        // stage-1 steers new work there.
+        for s in (0..n_servers as u32).filter(|s| s % 2 == 1) {
+            for t in 0..per_server {
+                let task = TaskInstance::new(
+                    TaskId(id),
+                    ProblemId((t % costs.n_problems()) as u32),
+                    SimTime::from_secs(t as f64 * 0.5),
+                );
+                let work = costs
+                    .unloaded_duration(task.problem, ServerId(s))
+                    .expect("synthetic tables are fully solvable");
+                router.on_commit(task.arrival, ServerId(s), &task, work);
+                id += 1;
+            }
+        }
+        let mut now = per_server as f64;
+        let mut inflight: VecDeque<(TaskId, ServerId, f64)> = VecDeque::new();
+        let admit = |_: ServerId| true;
+        let round_trip =
+            |now: f64,
+             id: u64,
+             round: usize,
+             router: &mut AgentRouter,
+             heuristic: &mut dyn cas_core::Heuristic,
+             tie_rng: &mut RngStream,
+             inflight: &mut VecDeque<(TaskId, ServerId, f64)>| {
+                let when = SimTime::from_secs(now);
+                let task = TaskInstance::new(
+                    TaskId(id),
+                    ProblemId((round % costs.n_problems()) as u32),
+                    when,
+                );
+                let legacy_mem: Vec<f64> = if legacy_scan {
+                    specs.iter().map(|s| s.total_mem_mb()).collect()
+                } else {
+                    Vec::new()
+                };
+                let pick = router
+                    .decide(
+                        DecisionInputs {
+                            now: when,
+                            task,
+                            costs,
+                            reports: &reports,
+                            server_mem: if legacy_scan {
+                                &legacy_mem
+                            } else {
+                                &server_mem
+                            },
+                            admit: &admit,
+                        },
+                        heuristic,
+                        tie_rng,
+                    )
+                    .expect("synthetic tables are fully solvable");
+                let work = costs
+                    .unloaded_duration(task.problem, pick)
+                    .expect("picked implies solvable");
+                router.on_commit(when, pick, &task, work);
+                inflight.push_back((task.id, pick, work));
+                if inflight.len() > 64 {
+                    let (done, server, w) = inflight.pop_front().expect("window is full");
+                    router.on_complete(when, server, done, w, now, now * 0.95);
+                }
+            };
+        for warm in 0..4 {
+            now += 0.01;
+            round_trip(
+                now,
+                id,
+                warm,
+                &mut router,
+                heuristic.as_mut(),
+                &mut tie_rng,
+                &mut inflight,
+            );
+            id += 1;
+        }
+        let start = Instant::now();
+        for round in 0..rounds {
+            now += 0.01;
+            round_trip(
+                now,
+                id,
+                round,
+                &mut router,
+                heuristic.as_mut(),
+                &mut tie_rng,
+                &mut inflight,
+            );
+            id += 1;
+        }
+        start.elapsed().as_secs_f64() * 1e6 / rounds as f64
+    };
+
+    // Interleaved repetitions, median per arm: the arms' working sets
+    // differ by orders of magnitude, so one-shot means are at the mercy
+    // of host noise.
+    let reps = 5;
+    let mut samples = [Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..reps {
+        samples[0].push(run(None, true));
+        samples[1].push(run(None, false));
+        samples[2].push(run(Some(n_shards), false));
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let [mut legacy, mut unsharded, mut sharded] = samples;
+    (
+        median(&mut legacy),
+        median(&mut unsharded),
+        median(&mut sharded),
+    )
 }
 
 fn main() {
@@ -181,6 +370,20 @@ fn main() {
         std::env::var("SCALE_SMOKE_SELECTOR").unwrap_or_else(|_| "adaptive:8:64".to_string());
     let selector = SelectorKind::parse(&selector_spec)
         .unwrap_or_else(|| panic!("bad SCALE_SMOKE_SELECTOR {selector_spec}"));
+    let shards_spec = std::env::var("SCALE_SMOKE_SHARDS").unwrap_or_else(|_| "auto".to_string());
+    let sharding = Sharding::parse(&shards_spec)
+        .unwrap_or_else(|| panic!("bad SCALE_SMOKE_SHARDS {shards_spec} (N|auto)"));
+    let shard_bench_servers = env_or("SHARD_BENCH_SERVERS", 10_000.0) as usize;
+    let shard_bench_shards = match env_or("SHARD_BENCH_SHARDS", 0.0) as usize {
+        0 => cas_platform::ShardMap::auto_shards(shard_bench_servers),
+        s => s,
+    };
+    // Standing load at the campaign's 0.5 mean utilisation is ~0.5
+    // tasks in flight per server; 1 is the conservative round-up.
+    let shard_bench_per_server = env_or("SHARD_BENCH_PER_SERVER", 1.0) as usize;
+    let shard_bench_width = env_or("SHARD_BENCH_WIDTH", 8.0) as usize;
+    let shard_bench_rounds = env_or("SHARD_BENCH_ROUNDS", 400.0) as usize;
+    let shard_gate = env_or("SHARD_DECISION_GATE", 3.0);
 
     let platform = SyntheticPlatform {
         n_servers,
@@ -289,10 +492,60 @@ fn main() {
         pruned_m.meanstretch, exh_m.meanstretch
     );
 
+    // 4. The sharded campaign: same workload through the shard
+    // federation; pruning decisions, hooks and model repair all stay
+    // O(shard). Gate: the federation may move the completion rate by at
+    // most the same delta the pruning gate allows.
+    let n_shards = sharding.resolve(n_servers).unwrap_or(1);
+    let (sharded_m, sharded_secs, _, _, _) = run_campaign(
+        cfg.with_shards(sharding),
+        costs.clone(),
+        servers.clone(),
+        tasks.clone(),
+    );
+    let sharded_rate = sharded_m.completed as f64 / n_tasks as f64;
+    let headline_rate = completed as f64 / n_tasks as f64;
+    let shard_delta = (sharded_rate - headline_rate).abs();
+    eprintln!(
+        "sharded campaign ({n_shards} shards): {} / {n_tasks} completed in {sharded_secs:.1} s \
+         wall (unsharded {run_secs:.1} s), completion delta {shard_delta:.4} \
+         (gate <= {delta_gate}), mean stretch {:.3} vs {:.3}",
+        sharded_m.completed, sharded_m.meanstretch, metrics.meanstretch
+    );
+
+    // 5. Decision-pipeline microbench at production width: the full
+    // two-stage decision + commit + complete hooks through the real
+    // router, unsharded vs federated, at `SHARD_BENCH_SERVERS` servers.
+    let shard_platform = SyntheticPlatform {
+        n_servers: shard_bench_servers,
+        ..platform
+    };
+    let shard_costs = shard_platform.cost_table(seed);
+    let shard_specs = shard_platform.servers(seed);
+    let (legacy_us, unsharded_us, sharded_us) = sharding_microbench(
+        &shard_costs,
+        &shard_specs,
+        shard_bench_shards,
+        shard_bench_per_server,
+        shard_bench_width,
+        shard_bench_rounds,
+    );
+    let shard_speedup = legacy_us / sharded_us;
+    let shard_speedup_cached = unsharded_us / sharded_us;
+    eprintln!(
+        "decision pipeline at {shard_bench_servers} servers x {shard_bench_per_server} tasks, \
+         width {shard_bench_width}: pre-federation engine {legacy_us:.1} µs/task, \
+         unsharded (mem scan hoisted) {unsharded_us:.1} µs/task, \
+         {shard_bench_shards} shards {sharded_us:.1} µs/task; speedup {shard_speedup:.2}x \
+         vs pre-federation (gate >= {shard_gate}x), {shard_speedup_cached:.2}x vs hoisted unsharded"
+    );
+
     let ok_campaign = run_secs <= budget_secs && completed == n_tasks;
     let ok_decision = decision_speedup >= decision_gate;
     let ok_delta = completion_delta <= delta_gate;
-    let ok = ok_campaign && ok_decision && ok_delta;
+    let ok_shard_delta = shard_delta <= delta_gate && sharded_m.completed == n_tasks;
+    let ok_shard_decision = shard_speedup >= shard_gate;
+    let ok = ok_campaign && ok_decision && ok_delta && ok_shard_delta && ok_shard_decision;
 
     let mut json = String::new();
     let _ = write!(
@@ -334,8 +587,33 @@ fn main() {
     );
     let _ = write!(
         json,
+        "  \"sharding\": {{\n    \"campaign\": {{\n      \"shards\": {n_shards},\n      \
+         \"completed\": {},\n      \"wall_run_s\": {sharded_secs:.3},\n      \
+         \"unsharded_wall_run_s\": {run_secs:.3},\n      \"mean_stretch\": {:.4},\n      \
+         \"completion_delta_vs_unsharded\": {shard_delta:.6},\n      \
+         \"acceptance\": {{\"max_completion_delta\": {delta_gate}, \"pass\": {ok_shard_delta}}}\n    }},\n    \
+         \"decision_path\": {{\n      \"unit\": \"microseconds per task through the full decision \
+         pipeline (two-stage decision, commit hook, complete hook; HMCT, TopK width \
+         {shard_bench_width})\",\n      \
+         \"servers\": {shard_bench_servers},\n      \"shards\": {shard_bench_shards},\n      \
+         \"per_server_tasks\": {shard_bench_per_server},\n      \
+         \"pre_federation_us_per_task\": {legacy_us:.2},\n      \
+         \"unsharded_us_per_task\": {unsharded_us:.2},\n      \
+         \"sharded_us_per_task\": {sharded_us:.2},\n      \
+         \"speedup_vs_pre_federation\": {shard_speedup:.2},\n      \
+         \"speedup_vs_unsharded\": {shard_speedup_cached:.2},\n      \
+         \"note\": \"pre_federation replays the engine as of the previous PR (per-decision O(n) \
+         platform scan included), the predecessor baseline this section gates against — the same \
+         convention decision_cost uses with the exhaustive loop; unsharded_us_per_task is this \
+         PR's single-agent path with the scan hoisted\",\n      \
+         \"acceptance\": {{\"required_min_speedup\": {shard_gate}, \"pass\": {ok_shard_decision}}}\n    }}\n  }},\n",
+        sharded_m.completed, sharded_m.meanstretch,
+    );
+    let _ = write!(
+        json,
         "  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \"all_tasks_complete\": {}, \
          \"decision_gate_pass\": {ok_decision}, \"completion_delta_pass\": {ok_delta}, \
+         \"shard_delta_pass\": {ok_shard_delta}, \"shard_decision_gate_pass\": {ok_shard_decision}, \
          \"pass\": {ok}}}\n}}\n",
         completed == n_tasks,
     );

@@ -26,11 +26,12 @@
 //! heuristic.
 
 use cas_core::heuristics::HeuristicKind;
+use cas_core::SelectorKind;
 use cas_metrics::{MetricSet, Table};
-use cas_middleware::{run_heuristic_matrix, ExperimentConfig};
+use cas_middleware::{run_heuristic_matrix, run_replications, ExperimentConfig, Sharding};
 use cas_platform::{CostTable, ProblemId, ServerId, ServerSpec, TaskInstance};
 use cas_workload::metatask::MetataskSpec;
-use cas_workload::synthetic::BurstArrivals;
+use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
 use cas_workload::{matmul, testbed, wastecpu};
 
 const GAPS: [f64; 6] = [8.0, 10.0, 12.0, 15.0, 20.0, 30.0];
@@ -194,6 +195,83 @@ fn sweep_crest() {
     );
 }
 
+/// Shard-count sweep: the same bursty campaign on a synthetic farm,
+/// through the single agent and through federations of growing width.
+/// Charts completion, mean stretch and wall time per shard count — the
+/// quality side of the federation (`--shards N` must not move the
+/// metrics) next to its cost side (`BENCH_scale.json`'s sharding
+/// section).
+fn sweep_shards() {
+    const SHARD_COUNTS: [Sharding; 5] = [
+        Sharding::Single,
+        Sharding::Federated { shards: 1 },
+        Sharding::Federated { shards: 2 },
+        Sharding::Federated { shards: 4 },
+        Sharding::Federated { shards: 8 },
+    ];
+    let platform = SyntheticPlatform {
+        n_servers: 256,
+        heterogeneity: 4.0,
+        n_problems: 3,
+        base_cost: 15.0,
+        cost_spread: 3.0,
+        comm_fraction: 0.02,
+        mem_fraction: 0.0,
+    };
+    let seed = 0x5EED_u64;
+    let costs = platform.cost_table(seed);
+    let servers = platform.servers(seed);
+    let capacity = aggregate_capacity(&costs);
+    let base_rate = 2.0 * (0.5 * capacity) / (1.0 + 4.0);
+    let tasks = BurstArrivals {
+        n_tasks: 20_000,
+        base_rate,
+        peak_rate: 4.0 * base_rate,
+        period: 1800.0,
+        n_problems: platform.n_problems,
+    }
+    .generate(seed);
+    let mut table = Table::new(
+        format!(
+            "Shard sweep: 256 servers, 20k bursty tasks, HMCT + adaptive:8:64              (capacity {capacity:.3}/s)"
+        ),
+        vec![
+            "completed".into(),
+            "meanstretch".into(),
+            "maxstretch".into(),
+            "wall s".into(),
+        ],
+    );
+    for sharding in SHARD_COUNTS {
+        let cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, seed)
+            .with_selector(SelectorKind::Adaptive {
+                k_min: 8,
+                k_max: 64,
+            })
+            .with_shards(sharding);
+        let start = std::time::Instant::now();
+        let runs = run_replications(cfg, &costs, &servers, std::slice::from_ref(&tasks));
+        let wall = start.elapsed().as_secs_f64();
+        let m = MetricSet::compute(&runs[0]);
+        let label = match sharding {
+            Sharding::Single => "single agent".to_string(),
+            Sharding::Auto => "auto".to_string(),
+            Sharding::Federated { shards } => format!("{shards} shard(s)"),
+        };
+        table.push_row_f64(
+            label,
+            &[m.completed as f64, m.meanstretch, m.maxstretch, wall],
+            3,
+        );
+    }
+    println!("{}", table.render());
+    println!(
+        "The single-agent row and the 1-shard row must agree exactly (the S = 1
+         invariant); wider federations may move placements slightly (each shard
+         adapts its own stage-1 width) but completion and stretch stay flat."
+    );
+}
+
 fn main() {
     let scenario = std::env::args().nth(1).unwrap_or_else(|| "rate".into());
     match scenario.as_str() {
@@ -205,8 +283,10 @@ fn main() {
             sweep_crest();
         }
         "crest" => sweep_crest(),
+        // Shard federation: quality and wall time versus shard count.
+        "shards" => sweep_shards(),
         other => {
-            eprintln!("unknown scenario {other} (rate|burst|crest)");
+            eprintln!("unknown scenario {other} (rate|burst|crest|shards)");
             std::process::exit(2);
         }
     }

@@ -24,8 +24,8 @@ pub use mct::Mct;
 pub use memaware::MemAware;
 pub use simple::{Kpb, MinLoad, Olb, RandomChoice, RoundRobin};
 
-use crate::htm::Htm;
 use crate::prediction::Prediction;
+use crate::whatif::WhatIf;
 use cas_platform::{CostTable, LoadReport, ServerId, TaskInstance};
 use cas_sim::{RngStream, SimTime};
 
@@ -134,7 +134,9 @@ pub struct SchedView<'a> {
     pub candidates: Vec<ServerId>,
     costs: &'a CostTable,
     loads: &'a [LoadReport],
-    htm: &'a mut Htm,
+    /// The what-if backend: one HTM, or a shard federation routing each
+    /// query to the owning shard — the heuristic cannot tell.
+    htm: &'a mut dyn WhatIf,
     rng: &'a mut RngStream,
     /// Memoised what-if answers, dense by server index; "cannot solve" is
     /// recorded so unsolvable servers are not re-queried.
@@ -155,7 +157,7 @@ impl<'a> SchedView<'a> {
         candidates: Vec<ServerId>,
         costs: &'a CostTable,
         loads: &'a [LoadReport],
-        htm: &'a mut Htm,
+        htm: &'a mut dyn WhatIf,
         rng: &'a mut RngStream,
     ) -> Self {
         SchedView {
@@ -391,6 +393,7 @@ impl HeuristicKind {
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
+    use crate::htm::Htm;
     use cas_platform::{PhaseCosts, Problem, TaskId};
 
     /// Builds a 3-server cost table: P0 costs 100/150/300 s compute on

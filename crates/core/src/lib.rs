@@ -66,6 +66,7 @@ pub mod htm;
 pub mod prediction;
 pub mod selector;
 pub mod trace;
+pub mod whatif;
 
 pub use gantt::{Gantt, GanttRow, GanttSegment};
 pub use heuristics::{
@@ -76,3 +77,4 @@ pub use htm::{Htm, MemoStats, RepairPolicy, SyncPolicy};
 pub use prediction::Prediction;
 pub use selector::{Adaptive, CandidateSelector, Exhaustive, SelectorInput, SelectorKind, TopK};
 pub use trace::{DrainScratch, ServerTrace};
+pub use whatif::WhatIf;

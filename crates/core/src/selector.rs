@@ -65,10 +65,39 @@ pub trait CandidateSelector: Send {
         out: &mut Vec<ServerId>,
     );
 
+    /// Scored variant of [`CandidateSelector::shortlist`] for callers
+    /// that need the stage-1 scores alongside the ids (a shard federation
+    /// merging shortlists by score): fills `out` with `(server, score)`
+    /// pairs — any order — and returns `true`. Backends that do not track
+    /// scores return `false` without touching `out`, and the caller falls
+    /// back to [`CandidateSelector::shortlist`] plus index lookups. When
+    /// supported, the id set must equal what `shortlist` would emit from
+    /// the same state, and selector state must advance identically.
+    fn shortlist_scored(
+        &mut self,
+        input: SelectorInput<'_>,
+        admit: &dyn Fn(ServerId) -> bool,
+        out: &mut Vec<(ServerId, f64)>,
+    ) -> bool {
+        let _ = (input, admit, out);
+        false
+    }
+
     /// Feedback after stage 2: the heuristic chose `chosen` from the last
     /// shortlist. Lets adaptive backends track regret. Default: ignored.
     fn observe_selection(&mut self, chosen: ServerId) {
         let _ = chosen;
+    }
+
+    /// Feedback when a task placed through this selector completes:
+    /// the observed flow versus the flow the model predicted at commit
+    /// time (durations in seconds — durations, not absolute dates, so a
+    /// relative tolerance means the same thing at any point of a long
+    /// campaign). Lets adaptive backends track *stretch* — quality
+    /// regressions the rank-based regret signal cannot see. Default:
+    /// ignored.
+    fn observe_outcome(&mut self, observed_completion: f64, predicted_completion: f64) {
+        let _ = (observed_completion, predicted_completion);
     }
 }
 
@@ -141,11 +170,23 @@ impl CandidateSelector for TopK {
         out.extend(self.scored.iter().map(|&(s, _)| s));
         out.sort_unstable();
     }
+
+    fn shortlist_scored(
+        &mut self,
+        input: SelectorInput<'_>,
+        admit: &dyn Fn(ServerId) -> bool,
+        out: &mut Vec<(ServerId, f64)>,
+    ) -> bool {
+        // The k-best walk already carries the scores — hand them out
+        // instead of making the caller re-derive each one.
+        input.index.k_best(input.problem, self.k, admit, out);
+        true
+    }
 }
 
 /// Self-adjusting pruning: a [`TopK`] whose width tracks decision quality.
 ///
-/// Two mechanisms, both deterministic:
+/// Three mechanisms, all deterministic:
 ///
 /// * **Near-tie widening** (per decision): after taking the base `k`, the
 ///   cut keeps absorbing servers whose stage-1 score is within
@@ -159,6 +200,14 @@ impl CandidateSelector for TopK {
 ///   at `k_min`). A pick near the edge means the static proxy mis-ranked
 ///   the eventual winner, so the next-best pruned server might have won —
 ///   the width grows before that becomes observable damage.
+/// * **Stretch tracking** (across completions): the regret EWMA reacts to
+///   *rank* disagreements but is blind to quality — a shortlist whose
+///   head keeps winning can still be a bad shortlist if the pruned
+///   servers would have finished sooner. Completed tasks feed back
+///   through [`CandidateSelector::observe_outcome`]: completions landing
+///   more than `stretch_tol` (relative) past their commit-time prediction
+///   bump a second EWMA, and above `widen_above` it too doubles the
+///   width. The width only decays when **both** EWMAs are calm.
 #[derive(Debug, Clone)]
 pub struct Adaptive {
     /// Current base width.
@@ -175,7 +224,14 @@ pub struct Adaptive {
     pub widen_above: f64,
     /// Regret level that lets the width decay.
     pub shrink_below: f64,
+    /// Relative slack before an observed completion counts as a stretch
+    /// regression (0.10 = 10 % past the commit-time prediction).
+    pub stretch_tol: f64,
+    /// EWMA smoothing factor for stretch regressions (slower than the
+    /// regret EWMA: completions arrive task-by-task and lag decisions).
+    pub stretch_alpha: f64,
     regret: f64,
+    stretch: f64,
     /// Last emitted shortlist in ascending *score* order.
     last: Vec<(ServerId, f64)>,
 }
@@ -196,7 +252,10 @@ impl Adaptive {
             alpha: 0.05,
             widen_above: 0.30,
             shrink_below: 0.05,
+            stretch_tol: 0.10,
+            stretch_alpha: 0.02,
             regret: 0.0,
+            stretch: 0.0,
             last: Vec::new(),
         }
     }
@@ -210,19 +269,17 @@ impl Adaptive {
     pub fn regret(&self) -> f64 {
         self.regret
     }
+
+    /// The current stretch-regression EWMA (diagnostics).
+    pub fn stretch_regret(&self) -> f64 {
+        self.stretch
+    }
 }
 
-impl CandidateSelector for Adaptive {
-    fn name(&self) -> &'static str {
-        "adaptive"
-    }
-
-    fn shortlist(
-        &mut self,
-        input: SelectorInput<'_>,
-        admit: &dyn Fn(ServerId) -> bool,
-        out: &mut Vec<ServerId>,
-    ) {
+impl Adaptive {
+    /// The shared stage-1 body: fills `self.last` with the current cut
+    /// (base width plus near-tie widening), in ascending score order.
+    fn fill_last(&mut self, input: SelectorInput<'_>, admit: &dyn Fn(ServerId) -> bool) {
         self.last.clear();
         let mut iter = input.index.ranked_iter(input.problem, admit);
         self.last.extend(iter.by_ref().take(self.k));
@@ -237,9 +294,36 @@ impl CandidateSelector for Adaptive {
                 self.last.push((s, score));
             }
         }
+    }
+}
+
+impl CandidateSelector for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn shortlist(
+        &mut self,
+        input: SelectorInput<'_>,
+        admit: &dyn Fn(ServerId) -> bool,
+        out: &mut Vec<ServerId>,
+    ) {
+        self.fill_last(input, admit);
         out.clear();
         out.extend(self.last.iter().map(|&(s, _)| s));
         out.sort_unstable();
+    }
+
+    fn shortlist_scored(
+        &mut self,
+        input: SelectorInput<'_>,
+        admit: &dyn Fn(ServerId) -> bool,
+        out: &mut Vec<(ServerId, f64)>,
+    ) -> bool {
+        self.fill_last(input, admit);
+        out.clear();
+        out.extend_from_slice(&self.last);
+        true
     }
 
     fn observe_selection(&mut self, chosen: ServerId) {
@@ -261,8 +345,33 @@ impl CandidateSelector for Adaptive {
             // Reset so the wider cut gets a fresh read before widening
             // again.
             self.regret = 0.0;
-        } else if self.regret < self.shrink_below && self.k > self.k_min {
+        } else if self.regret < self.shrink_below
+            && self.stretch < self.shrink_below
+            && self.k > self.k_min
+        {
+            // Decay only on fully calm windows: rank agreement alone is
+            // not enough while completions keep running late.
             self.k -= 1;
+        }
+    }
+
+    fn observe_outcome(&mut self, observed_completion: f64, predicted_completion: f64) {
+        // A completion is a regression when it lands more than the
+        // tolerance past the commit-time prediction. Guard against
+        // degenerate predictions (≤ 0): no signal either way.
+        if predicted_completion <= 0.0 {
+            return;
+        }
+        let late = observed_completion > predicted_completion * (1.0 + self.stretch_tol);
+        self.stretch =
+            (1.0 - self.stretch_alpha) * self.stretch + self.stretch_alpha * f64::from(late);
+        if self.stretch > self.widen_above && self.k < self.k_max {
+            self.k = (self.k * 2).min(self.k_max);
+            // Fresh read for the wider cut — but parked at the shrink
+            // threshold, not zero, so the width cannot decay again until
+            // an actually-calm window of on-time completions accrues.
+            self.stretch = self.shrink_below;
+            self.regret = 0.0;
         }
     }
 }
@@ -419,9 +528,10 @@ mod tests {
     fn topk_prunes_by_score_and_emits_id_order() {
         let costs = table();
         let mut index = StaticIndex::new(&costs);
-        // Load S0 so its score (100·4 = 400) falls behind S1/S2/S3.
+        // Load S0 so its score (100 + 300 of backlog = 400) falls behind
+        // S1/S2/S3.
         for _ in 0..3 {
-            index.on_commit(ServerId(0));
+            index.on_commit(ServerId(0), 100.0);
         }
         let mut sel = TopK::new(2);
         assert_eq!(run(&mut sel, &costs, &index, 0, |_| true), vec![1, 2]);
@@ -459,7 +569,7 @@ mod tests {
         assert_eq!(run(&mut sel, &costs, &index, 0, |_| true), vec![0, 1, 2, 3]);
         // With the tie broken (S3 loaded → 600), the cut stays at 3.
         let mut index = StaticIndex::new(&costs);
-        index.on_commit(ServerId(3));
+        index.on_commit(ServerId(3), 300.0);
         assert_eq!(run(&mut sel, &costs, &index, 0, |_| true), vec![0, 1, 2]);
     }
 
@@ -500,6 +610,60 @@ mod tests {
             }
         }
         assert_eq!(sel.current_k(), 4);
+    }
+
+    #[test]
+    fn adaptive_widens_on_stretch_regressions() {
+        let mut sel = Adaptive::new(2, 4);
+        // Completions keep landing 50 % past their predictions: the
+        // stretch EWMA must widen the cut even though rank regret is zero.
+        for _ in 0..200 {
+            sel.observe_outcome(150.0, 100.0);
+            if sel.current_k() == 4 {
+                break;
+            }
+        }
+        assert_eq!(sel.current_k(), 4, "stretch must widen the cut");
+        assert_eq!(
+            sel.stretch_regret(),
+            sel.shrink_below,
+            "widening parks the EWMA at the shrink threshold"
+        );
+    }
+
+    #[test]
+    fn adaptive_stretch_blocks_decay_until_calm() {
+        let costs = table();
+        let index = StaticIndex::new(&costs);
+        let mut sel = Adaptive::new(2, 4);
+        // Drive the width up via stretch, then keep picks calm (head
+        // picks) while completions stay late: the width must hold.
+        while sel.current_k() < 4 {
+            sel.observe_outcome(150.0, 100.0);
+        }
+        for _ in 0..100 {
+            let list = run(&mut sel, &costs, &index, 0, |_| true);
+            sel.observe_selection(ServerId(list[0]));
+            sel.observe_outcome(150.0, 100.0);
+        }
+        assert_eq!(sel.current_k(), 4, "late completions must block decay");
+        // On-time completions let both EWMAs decay and the width shrink.
+        for _ in 0..600 {
+            let list = run(&mut sel, &costs, &index, 0, |_| true);
+            sel.observe_selection(ServerId(list[0]));
+            sel.observe_outcome(100.0, 100.0);
+        }
+        assert_eq!(sel.current_k(), 2, "calm windows must shrink the cut");
+    }
+
+    #[test]
+    fn adaptive_outcome_ignores_degenerate_predictions() {
+        let mut sel = Adaptive::new(2, 4);
+        for _ in 0..100 {
+            sel.observe_outcome(50.0, 0.0);
+        }
+        assert_eq!(sel.current_k(), 2);
+        assert_eq!(sel.stretch_regret(), 0.0);
     }
 
     #[test]
@@ -636,7 +800,7 @@ mod proptests {
                 (0..N_SERVERS as u32).map(|i| LoadReport::initial(ServerId(i))).collect();
             let mut now = 0.0f64;
             let mut next_id = 0u64;
-            let mut committed: Vec<(TaskId, ServerId)> = Vec::new();
+            let mut committed: Vec<(TaskId, ServerId, f64)> = Vec::new();
             for (kind, server, problem, gap, excl) in ops {
                 now += gap;
                 let when = t(now);
@@ -693,18 +857,21 @@ mod proptests {
                         } else {
                             ServerId(0) // always solvable by construction
                         };
+                        let work = table
+                            .unloaded_duration(task.problem, target)
+                            .expect("target is solvable");
                         htm.commit(when, target, &task);
-                        index.on_commit(target);
-                        committed.push((task.id, target));
+                        index.on_commit(target, work);
+                        committed.push((task.id, target, work));
                     }
                     // Retracts undo a commit on both sides. (`retract`
                     // returns false when the task's simulated completion
                     // already passed — the trace is clean either way, and
                     // the index ledger pairs the retract with its commit.)
                     _ => {
-                        if let Some((id, srv)) = committed.pop() {
+                        if let Some((id, srv, work)) = committed.pop() {
                             htm.retract(when, id);
-                            index.on_retract(srv);
+                            index.on_retract(srv, work);
                         }
                     }
                 }
@@ -730,10 +897,10 @@ mod proptests {
             for (s, up) in churn {
                 let s = s as usize;
                 if up {
-                    index.on_commit(ServerId(s as u32));
+                    index.on_commit(ServerId(s as u32), 2.5 * (s as f64 + 1.0));
                     active[s] += 1;
                 } else if active[s] > 0 {
-                    index.on_complete(ServerId(s as u32));
+                    index.on_complete(ServerId(s as u32), 2.5 * (s as f64 + 1.0));
                     active[s] -= 1;
                 }
             }

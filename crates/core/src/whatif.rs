@@ -1,0 +1,74 @@
+//! The what-if query surface heuristics schedule against.
+//!
+//! Every HTM-based heuristic asks three questions at decision time:
+//! *what if* the task ran on a candidate (one prediction per candidate,
+//! batched), *what if* it ran on some server outside the shortlist (a
+//! wrapper heuristic restoring a wider list), and *how much memory* does
+//! the model believe a server holds right now. [`WhatIf`] is exactly that
+//! surface, object-safe so a [`SchedView`](crate::heuristics::SchedView)
+//! can be built over either:
+//!
+//! * one [`Htm`] — the single-agent configuration, and the executable
+//!   spec of everything below, or
+//! * a **shard federation** (`cas-middleware`'s router): per-shard HTMs,
+//!   with each query routed to the shard owning the server and batched
+//!   queries dispatched per shard. The heuristics cannot tell the
+//!   difference — which is the point: the paper's policies run unchanged
+//!   on a partitioned farm.
+//!
+//! Implementations must answer in terms of **global** server ids; a
+//! federated backend translates at its boundary.
+
+use crate::htm::Htm;
+use crate::prediction::Prediction;
+use cas_platform::{ServerId, TaskInstance};
+use cas_sim::SimTime;
+
+/// An object-safe source of HTM what-if answers.
+pub trait WhatIf {
+    /// Simulates mapping `task` on `server` at `now`; `None` when the
+    /// server cannot solve the task's problem.
+    fn predict(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+    ) -> Option<Prediction>;
+
+    /// One what-if query per candidate in a single batch; `results[k]`
+    /// corresponds to `candidates[k]`. Must equal calling
+    /// [`WhatIf::predict`] per candidate.
+    fn predict_all(
+        &mut self,
+        now: SimTime,
+        task: &TaskInstance,
+        candidates: &[ServerId],
+    ) -> Vec<Option<Prediction>>;
+
+    /// The model's estimate of `server`'s resident memory at `now`, MB.
+    fn resident_estimate(&mut self, now: SimTime, server: ServerId) -> f64;
+}
+
+impl WhatIf for Htm {
+    fn predict(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+    ) -> Option<Prediction> {
+        Htm::predict(self, now, server, task)
+    }
+
+    fn predict_all(
+        &mut self,
+        now: SimTime,
+        task: &TaskInstance,
+        candidates: &[ServerId],
+    ) -> Vec<Option<Prediction>> {
+        Htm::predict_all(self, now, task, candidates)
+    }
+
+    fn resident_estimate(&mut self, now: SimTime, server: ServerId) -> f64 {
+        Htm::resident_estimate(self, now, server)
+    }
+}

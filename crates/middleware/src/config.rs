@@ -2,7 +2,54 @@
 
 use cas_core::heuristics::HeuristicKind;
 use cas_core::{SelectorKind, SyncPolicy};
-use cas_platform::MemoryModel;
+use cas_platform::{IndexScoring, MemoryModel, ShardMap};
+
+/// How the agent's decision state is partitioned across the farm.
+///
+/// `Single` is the paper's one-agent configuration and the executable
+/// spec. The federated variants split the farm into shards behind
+/// `cas_middleware`'s deterministic router; `Federated { shards: 1 }`
+/// runs the full router machinery over one shard and is proven
+/// bit-identical to `Single` by the differential tests (so `--shards 1`
+/// is a safe way to exercise the router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sharding {
+    /// One engine owns the whole farm (the unsharded path).
+    #[default]
+    Single,
+    /// Shard count picked from the platform size
+    /// ([`ShardMap::auto_shards`]): deterministic in the farm alone,
+    /// never in the host.
+    Auto,
+    /// Explicit shard count (clamped to the farm size).
+    Federated {
+        /// Number of shards (≥ 1).
+        shards: usize,
+    },
+}
+
+impl Sharding {
+    /// Parses `auto` or a shard count ≥ 1 (the `--shards` grammar).
+    pub fn parse(s: &str) -> Option<Sharding> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Some(Sharding::Auto);
+        }
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(|shards| Sharding::Federated { shards })
+    }
+
+    /// The shard count to run an `n_servers` farm with, or `None` for the
+    /// single-agent path.
+    pub fn resolve(self, n_servers: usize) -> Option<usize> {
+        match self {
+            Sharding::Single => None,
+            Sharding::Auto => Some(ShardMap::auto_shards(n_servers)),
+            Sharding::Federated { shards } => Some(shards.clamp(1, n_servers.max(1))),
+        }
+    }
+}
 
 /// What happens when a server refuses a task (memory exhaustion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +89,13 @@ pub struct ExperimentConfig {
     /// paper's every-solver loop; `TopK`/`Adaptive` prune the candidate
     /// set from the incrementally maintained static index first.
     pub selector: SelectorKind,
+    /// How the agent's decision state is partitioned across the farm:
+    /// the single-agent path (default) or a shard federation behind the
+    /// deterministic router.
+    pub shards: Sharding,
+    /// Which static proxy orders the stage-1 index: predicted remaining
+    /// work (default) or the count-based baseline.
+    pub index_scoring: IndexScoring,
     /// HTM ↔ reality synchronisation policy.
     pub sync: SyncPolicy,
     /// Root seed: drives ground-truth noise and tie-breaking. The workload
@@ -85,6 +139,8 @@ impl ExperimentConfig {
         ExperimentConfig {
             heuristic,
             selector: SelectorKind::Exhaustive,
+            shards: Sharding::Single,
+            index_scoring: IndexScoring::RemainingWork,
             sync: SyncPolicy::None,
             seed,
             load_report_period: 30.0,
@@ -105,6 +161,8 @@ impl ExperimentConfig {
         ExperimentConfig {
             heuristic,
             selector: SelectorKind::Exhaustive,
+            shards: Sharding::Single,
+            index_scoring: IndexScoring::RemainingWork,
             sync: SyncPolicy::None,
             seed,
             load_report_period: 5.0,
@@ -137,6 +195,18 @@ impl ExperimentConfig {
         self.selector = selector;
         self
     }
+
+    /// Returns a copy with a different sharding mode.
+    pub fn with_shards(mut self, shards: Sharding) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with a different stage-1 index scoring proxy.
+    pub fn with_index_scoring(mut self, scoring: IndexScoring) -> Self {
+        self.index_scoring = scoring;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +231,36 @@ mod tests {
         assert_eq!(c.noise_sigma, 0.0);
         assert!(!c.memory.enabled);
         assert_eq!(c.agent_latency, 0.0);
+    }
+
+    #[test]
+    fn sharding_parse_and_resolve() {
+        assert_eq!(Sharding::parse("auto"), Some(Sharding::Auto));
+        assert_eq!(Sharding::parse("AUTO"), Some(Sharding::Auto));
+        assert_eq!(
+            Sharding::parse("4"),
+            Some(Sharding::Federated { shards: 4 })
+        );
+        assert_eq!(Sharding::parse("0"), None);
+        assert_eq!(Sharding::parse("-1"), None);
+        assert_eq!(Sharding::parse("many"), None);
+        assert_eq!(Sharding::Single.resolve(10_000), None);
+        assert_eq!(Sharding::Auto.resolve(10_000), Some(16));
+        assert_eq!(Sharding::Auto.resolve(100), Some(1));
+        assert_eq!(
+            Sharding::Federated { shards: 64 }.resolve(8),
+            Some(8),
+            "clamped so no shard is empty"
+        );
+        let c = ExperimentConfig::paper(HeuristicKind::Hmct, 1);
+        assert_eq!(c.shards, Sharding::Single);
+        assert_eq!(c.index_scoring, IndexScoring::RemainingWork);
+        assert_eq!(c.with_shards(Sharding::Auto).shards, Sharding::Auto);
+        assert_eq!(
+            c.with_index_scoring(IndexScoring::ActiveCount)
+                .index_scoring,
+            IndexScoring::ActiveCount
+        );
     }
 
     #[test]

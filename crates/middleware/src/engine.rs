@@ -26,23 +26,28 @@
 //! dense task-indexed key table, and each decision's prediction memo
 //! reuses one run-wide [`DecisionMemo`].
 //!
-//! Scheduling decisions run the **two-stage pipeline**: stage 1, the
-//! configured [`CandidateSelector`], proposes a candidate shortlist from
-//! the incrementally maintained [`StaticIndex`] (kept current by the
+//! Scheduling decisions run the **two-stage pipeline** behind the shard
+//! federation's [`AgentRouter`] (see [`crate::shard`]): stage 1, each
+//! shard's configured `CandidateSelector` proposes a shortlist from its
+//! incrementally maintained `StaticIndex` (kept current by the
 //! commit/complete hooks in this file — no per-arrival platform rescan);
-//! stage 2, the heuristic, runs its batched HTM what-if queries on the
-//! shortlist only. The exhaustive selector reproduces the paper's
-//! every-solver loop bit for bit.
+//! stage 2, the heuristic runs its batched HTM what-if queries on the
+//! merged shortlist only, routed to the owning shards. The default
+//! configuration is a single agent owning the whole farm (the paper's
+//! model, and the executable spec the federation is differentially
+//! tested against); `ExperimentConfig::shards` partitions the farm so
+//! no decision structure scales with its size. The exhaustive selector
+//! reproduces the paper's every-solver loop bit for bit in both modes.
 
 use crate::config::{ExperimentConfig, FaultTolerance};
 use crate::event::GridEvent;
-use cas_core::heuristics::{DecisionMemo, Heuristic, SchedView};
-use cas_core::selector::{CandidateSelector, SelectorInput};
+use crate::shard::{AgentRouter, DecisionInputs};
+use cas_core::heuristics::Heuristic;
 use cas_core::Htm;
 use cas_metrics::{TaskOutcome, TaskRecord};
 use cas_platform::{
     AdmitOutcome, Arena, ArenaKey, CostTable, LoadAverage, LoadReport, Phase, PhaseCosts, ServerId,
-    ServerRuntime, ServerSpec, StaticIndex, TaskId, TaskInstance,
+    ServerRuntime, ServerSpec, TaskId, TaskInstance,
 };
 use cas_sim::dist::{LogNormalNoise, Sample};
 use cas_sim::{RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
@@ -59,6 +64,10 @@ struct Flight {
     /// Which phase the task is currently in (needed to interpret shared
     /// client-link completions, which carry no phase information).
     phase: Phase,
+    /// Predicted seconds of work the commit added to the static index's
+    /// remaining-work ledger; the completion hook must decrement exactly
+    /// this amount.
+    work: f64,
 }
 
 /// The complete simulated system.
@@ -69,15 +78,15 @@ pub struct GridWorld {
     servers: Vec<ServerRuntime>,
     monitors: Vec<LoadAverage>,
     reports: Vec<LoadReport>,
-    htm: Htm,
+    /// The agent's entire decision stack: per-shard HTMs, static indices
+    /// and stage-1 selectors behind the deterministic router (a single
+    /// shard owning the whole farm by default — the paper's agent).
+    agent: AgentRouter,
     heuristic: Box<dyn Heuristic>,
-    /// Stage 1 of every decision: proposes the candidate shortlist the
-    /// heuristic (stage 2) runs its HTM queries on.
-    selector: Box<dyn CandidateSelector>,
-    /// The selector's data source: per-problem server rankings by static
-    /// cost × believed in-flight count, re-ranked incrementally by the
-    /// commit/complete hooks below — never rescanned per arrival.
-    index: StaticIndex,
+    /// Per-server admission limits (RAM + swap, MB), cached once at
+    /// build: specs are immutable, and collecting this per decision put
+    /// an O(n) scan on every arrival.
+    server_mem: Vec<f64>,
     tie_rng: RngStream,
     cpu_noise: Vec<RngStream>,
     net_noise: Vec<RngStream>,
@@ -89,9 +98,6 @@ pub struct GridWorld {
     /// plain `Vec` aligned with `records`.
     flights: Arena<Flight>,
     flight_keys: Vec<Option<ArenaKey<Flight>>>,
-    /// Run-wide memo storage lent to each decision's `SchedView`, so a
-    /// decision allocates no hash map (see `DecisionMemo`).
-    decision_memo: DecisionMemo,
     /// The single client-side link all transfers share when
     /// `cfg.shared_client_link` is on; `None` in per-server-link mode.
     client_link: Option<cas_platform::FairShareResource<TaskId>>,
@@ -140,10 +146,14 @@ impl GridWorld {
         GridWorld {
             remaining: tasks.len(),
             flight_keys: vec![None; tasks.len()],
-            htm: Htm::new(costs.clone(), cfg.sync),
+            agent: AgentRouter::new(
+                &costs,
+                cfg.shards.resolve(n),
+                cfg.selector,
+                cfg.index_scoring,
+                cfg.sync,
+            ),
             heuristic: cfg.heuristic.build(),
-            selector: cfg.selector.build(),
-            index: StaticIndex::new(&costs),
             tie_rng: RngStream::derive(cfg.seed, StreamKind::TieBreak),
             cpu_noise: (0..n as u32)
                 .map(|i| RngStream::derive(cfg.seed, StreamKind::CpuNoise(i)))
@@ -152,6 +162,10 @@ impl GridWorld {
                 .map(|i| RngStream::derive(cfg.seed, StreamKind::NetNoise(i)))
                 .collect(),
             noise_dist: LogNormalNoise::new(cfg.noise_sigma),
+            server_mem: server_specs
+                .iter()
+                .map(|spec| spec.total_mem_mb())
+                .collect(),
             servers: server_specs
                 .into_iter()
                 .map(|spec| ServerRuntime::new(spec, cfg.memory))
@@ -161,7 +175,6 @@ impl GridWorld {
                 .map(|i| LoadReport::initial(ServerId(i)))
                 .collect(),
             flights: Arena::with_capacity(64),
-            decision_memo: DecisionMemo::new(),
             client_link: if cfg.shared_client_link {
                 Some(cas_platform::FairShareResource::new(1.0))
             } else {
@@ -175,14 +188,21 @@ impl GridWorld {
         }
     }
 
-    /// The agent's HTM (inspection, Gantt extraction).
+    /// The agent's HTM (inspection, Gantt extraction). Under a shard
+    /// federation this is shard 0's HTM — the whole farm in the default
+    /// single-agent configuration; see [`GridWorld::agent`] otherwise.
     pub fn htm(&self) -> &Htm {
-        &self.htm
+        self.agent.htm()
     }
 
     /// Mutable HTM access (to enable Gantt recording before a run).
     pub fn htm_mut(&mut self) -> &mut Htm {
-        &mut self.htm
+        self.agent.htm_mut()
+    }
+
+    /// The federated agent: the full decision stack.
+    pub fn agent(&self) -> &AgentRouter {
+        &self.agent
     }
 
     /// The per-task records accumulated so far.
@@ -266,13 +286,33 @@ impl GridWorld {
         self.resched(server, Phase::Compute, sched);
     }
 
-    /// A task finished its output transfer: it is complete.
+    /// A task finished its output transfer: it is complete. The
+    /// completion routes to the owning shard only — index decrement, HTM
+    /// sync and the selector's stretch feedback all stay O(shard).
+    ///
+    /// The stretch signal compares **flows** (durations since arrival),
+    /// not absolute completion dates: a relative tolerance on absolute
+    /// sim dates would decay to nothing as the campaign clock grows, and
+    /// a task late by 10 s must register the same at t = 100 as at
+    /// t = 10,000.
     fn output_arrived(&mut self, now: SimTime, task: TaskId) {
         if let Some(key) = self.flight_keys[task.index()].take() {
             let flight = self.flights.remove(key).expect("flight key is live");
-            self.index.on_complete(flight.server);
+            let rec = &self.records[task.index()];
+            let arrival = rec.arrival.as_secs();
+            let predicted_flow = rec
+                .commit_prediction
+                .map_or(0.0, |p| (p.as_secs() - arrival).max(0.0));
+            let observed_flow = now.as_secs() - arrival;
+            self.agent.on_complete(
+                now,
+                flight.server,
+                task,
+                flight.work,
+                observed_flow,
+                predicted_flow,
+            );
         }
-        self.htm.observe_completion(now, task);
         let rec = self.record_mut(task);
         rec.outcome = TaskOutcome::Completed { finished: now };
         self.remaining -= 1;
@@ -309,53 +349,33 @@ impl GridWorld {
         sched: &mut Scheduler<'_, GridEvent>,
     ) {
         let task = self.tasks[idx];
-        // Stage 1: the selector proposes a shortlist from the static
-        // index. No HTM drain has run yet; an exhaustive selector
-        // reproduces the old solvers-minus-dead candidate list exactly.
-        let mut candidates = Vec::new();
-        {
+        // The full two-stage decision runs inside the router: stage 1 on
+        // every shard's static index (no HTM drain yet; an exhaustive
+        // selector reproduces the old solvers-minus-dead candidate list
+        // exactly), stage 2 batched over the merged shortlist on the
+        // owning shards. Regret feedback reaches the picked server's
+        // shard selector inside `decide`.
+        let pick = {
             let dead = &self.agent_known_dead;
             let excluded = &excluded;
-            let admit = |s: ServerId| !excluded.contains(&s) && !dead[s.index()];
-            self.selector.shortlist(
-                SelectorInput {
-                    problem: task.problem,
+            let admit = move |s: ServerId| !excluded.contains(&s) && !dead[s.index()];
+            self.agent.decide(
+                DecisionInputs {
+                    now,
+                    task,
                     costs: &self.costs,
-                    index: &self.index,
+                    reports: &self.reports,
+                    server_mem: &self.server_mem,
+                    admit: &admit,
                 },
-                &admit,
-                &mut candidates,
-            );
-        }
-
-        // Stage 2: the heuristic runs its (batched) HTM what-if queries
-        // on the shortlist only.
-        let pick = {
-            let server_mem: Vec<f64> = self
-                .servers
-                .iter()
-                .map(|s| s.spec().total_mem_mb())
-                .collect();
-            let mut view = SchedView::new(
-                now,
-                task,
-                candidates,
-                &self.costs,
-                &self.reports,
-                &mut self.htm,
+                self.heuristic.as_mut(),
                 &mut self.tie_rng,
             )
-            .with_server_mem(&server_mem)
-            .with_memo(&mut self.decision_memo);
-            self.heuristic.select(&mut view)
         };
         let Some(server) = pick else {
             self.fail_task(idx, attempt, excluded.last().copied());
             return;
         };
-        // Regret feedback: lets the adaptive selector widen its cut when
-        // stage 2 keeps disagreeing with the static ranking's head.
-        self.selector.observe_selection(server);
         let phase_costs = self
             .costs
             .costs(task.problem, server)
@@ -367,10 +387,19 @@ impl GridWorld {
                 // Reservation can push the server into thrashing, which
                 // changes the CPU capacity — keep the CPU event fresh.
                 self.resched(server, Phase::Compute, sched);
-                let predicted = self.htm.predict(now, server, &task).map(|p| p.completion);
+                let predicted = self.agent.predict(now, server, &task).map(|p| p.completion);
                 self.reports[server.index()].note_assignment();
-                self.htm.commit(now, server, &task);
-                self.index.on_commit(server);
+                // The index's remaining-work ledger grows by the task's
+                // *service demand* (unloaded total), not by its predicted
+                // residence time: `predicted − now` includes queueing
+                // delay, so summing it over a backlog multiply-counts the
+                // queue (three queued tasks of duration d would ledger
+                // d + 2d + 3d). Service demands sum to exactly the
+                // serial drain time of the backlog — the quantity the
+                // `d + remaining` stage-1 proxy wants. The completion
+                // hook pays back the same amount.
+                let work = phase_costs.total();
+                self.agent.on_commit(now, server, &task, work);
                 {
                     let rec = self.record_mut(task.id);
                     rec.server = Some(server);
@@ -382,6 +411,7 @@ impl GridWorld {
                     server,
                     costs: phase_costs,
                     phase: Phase::Input,
+                    work,
                 });
                 self.flight_keys[task.id.index()] = Some(key);
                 if let Some(link) = &mut self.client_link {
@@ -640,8 +670,8 @@ pub fn run_experiment(
         "all tasks must reach a terminal state"
     );
     // Fill in the HTM's final simulated completion dates (Table 1's
-    // "simulated completion date" column).
-    let simulated = world.htm.simulated_completions();
+    // "simulated completion date" column), merged across shards.
+    let simulated = world.agent.simulated_completions();
     for rec in &mut world.records {
         rec.predicted_completion = simulated.get(&rec.task).copied();
     }
@@ -651,11 +681,47 @@ pub fn run_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Sharding;
     use cas_core::heuristics::HeuristicKind;
     use cas_platform::Problem;
 
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    /// Six heterogeneous servers, two problems (P1 solvable on half the
+    /// farm), small transfers — wide enough that a shard federation has
+    /// real blocks to own.
+    fn six_setup() -> (CostTable, Vec<ServerSpec>) {
+        let mut costs = CostTable::new(6);
+        costs.add_problem(
+            Problem::new("p0", 1.0, 0.5, 0.0),
+            (0..6)
+                .map(|s| Some(PhaseCosts::new(0.5, 8.0 + 4.0 * s as f64, 0.5)))
+                .collect(),
+        );
+        costs.add_problem(
+            Problem::new("p1", 1.0, 0.5, 0.0),
+            (0..6)
+                .map(|s| (s % 2 == 0).then(|| PhaseCosts::new(0.3, 20.0 - 2.0 * s as f64, 0.3)))
+                .collect(),
+        );
+        let servers = (0..6)
+            .map(|s| ServerSpec::new(format!("s{s}"), 1000.0 - 100.0 * s as f64, 1024.0, 1024.0))
+            .collect();
+        (costs, servers)
+    }
+
+    fn six_tasks(n: usize) -> Vec<TaskInstance> {
+        (0..n)
+            .map(|i| {
+                TaskInstance::new(
+                    TaskId(i as u64),
+                    cas_platform::ProblemId((i % 2) as u32),
+                    t(i as f64 * 0.7),
+                )
+            })
+            .collect()
     }
 
     /// Two servers: fast (10 s compute) and slow (30 s), 1 s transfers
@@ -930,6 +996,120 @@ mod tests {
         ];
         let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1)
             .with_selector(cas_core::SelectorKind::TopK { k: 1 });
+        cfg.memory = cas_platform::MemoryModel::default();
+        cfg.fault_tolerance = FaultTolerance::RankedRetry { max_attempts: 4 };
+        let recs = run_experiment(cfg, costs, servers, mini_tasks(&[0.0, 0.5]));
+        assert!(recs.iter().all(|r| r.is_completed()), "{recs:?}");
+        let rescued = recs.iter().find(|r| r.attempts > 1).expect("one retry");
+        assert_eq!(rescued.server, Some(ServerId(1)));
+    }
+
+    /// The federation's acceptance property: `--shards 1` (the full
+    /// router machinery over one shard) is **bit-identical** to the
+    /// unsharded single-agent engine across whole experiments — same
+    /// servers, same attempts, same completion dates — for every shipped
+    /// heuristic × every selector backend, including the
+    /// retry/memory/noise machinery.
+    #[test]
+    fn federated_single_shard_bitwise_matches_unsharded_end_to_end() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        for kind in HeuristicKind::ALL {
+            for selector in [
+                cas_core::SelectorKind::Exhaustive,
+                cas_core::SelectorKind::TopK { k: 1 },
+                cas_core::SelectorKind::TopK { k: 64 },
+                cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+            ] {
+                let cfg = ExperimentConfig::paper(kind, 33).with_selector(selector);
+                let single = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+                let routed = run_experiment(
+                    cfg.with_shards(Sharding::Federated { shards: 1 }),
+                    costs.clone(),
+                    servers.clone(),
+                    tasks.clone(),
+                );
+                assert_eq!(
+                    single, routed,
+                    "{kind:?}/{selector:?} diverged under --shards 1"
+                );
+            }
+        }
+    }
+
+    /// Under the exhaustive selector the scatter–merge–gather router is
+    /// bit-identical to the single agent at any shard count: the union
+    /// of per-shard every-solver loops is the every-solver loop, and
+    /// every hook routes to the same model state.
+    #[test]
+    fn federated_exhaustive_matches_unsharded_for_any_shard_count() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        for kind in HeuristicKind::ALL {
+            let cfg = ExperimentConfig::paper(kind, 9);
+            let single = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+            for shards in [2, 3, 6] {
+                let routed = run_experiment(
+                    cfg.with_shards(Sharding::Federated { shards }),
+                    costs.clone(),
+                    servers.clone(),
+                    tasks.clone(),
+                );
+                assert_eq!(single, routed, "{kind:?} diverged at {shards} shards");
+            }
+        }
+    }
+
+    /// Pruning selectors across a real federation (each shard adapting
+    /// its own width) must still complete every task, under both index
+    /// scoring proxies and auto sharding.
+    #[test]
+    fn sharded_pruned_campaigns_complete() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        for selector in [
+            cas_core::SelectorKind::TopK { k: 1 },
+            cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 2 },
+        ] {
+            for shards in [Sharding::Auto, Sharding::Federated { shards: 3 }] {
+                for scoring in [
+                    cas_platform::IndexScoring::RemainingWork,
+                    cas_platform::IndexScoring::ActiveCount,
+                ] {
+                    let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 17)
+                        .with_selector(selector)
+                        .with_shards(shards)
+                        .with_index_scoring(scoring);
+                    let recs = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+                    assert!(
+                        recs.iter().all(|r| r.is_completed()),
+                        "{selector:?}/{shards:?}/{scoring:?} left tasks unfinished"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Retry exclusions must stay honoured through the federation: after
+    /// a refusal the excluded server cannot reappear in any shard's
+    /// shortlist, even when it is its shard's best.
+    #[test]
+    fn sharded_retry_respects_exclusions() {
+        let mut costs = CostTable::new(2);
+        costs.add_problem(
+            cas_platform::Problem::new("big", 1.0, 1.0, 100.0),
+            vec![
+                Some(PhaseCosts::new(1.0, 10.0, 1.0)),
+                Some(PhaseCosts::new(1.0, 40.0, 1.0)),
+            ],
+        );
+        let servers = vec![
+            ServerSpec::new("fast-tiny", 1000.0, 100.0, 20.0),
+            ServerSpec::new("slow-big", 500.0, 2048.0, 1024.0),
+        ];
+        let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1)
+            .with_selector(cas_core::SelectorKind::TopK { k: 1 })
+            .with_shards(Sharding::Federated { shards: 2 });
         cfg.memory = cas_platform::MemoryModel::default();
         cfg.fault_tolerance = FaultTolerance::RankedRetry { max_attempts: 4 };
         let recs = run_experiment(cfg, costs, servers, mini_tasks(&[0.0, 0.5]));

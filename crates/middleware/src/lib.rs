@@ -28,12 +28,14 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod runner;
+pub mod shard;
 pub mod validate;
 
-pub use config::{ExperimentConfig, FaultTolerance};
+pub use config::{ExperimentConfig, FaultTolerance, Sharding};
 pub use engine::{run_experiment, GridWorld};
 pub use event::GridEvent;
 pub use runner::{
     run_heuristic_matrix, run_replications, run_replications_sequential, MatrixResult,
 };
+pub use shard::{AgentRouter, ShardEngine};
 pub use validate::{validation_report, ValidationRow};

@@ -1,0 +1,878 @@
+//! The shard federation: per-shard decision engines behind a
+//! deterministic router.
+//!
+//! One `middleware::engine` used to own one [`Htm`], one [`StaticIndex`]
+//! and one selector for the whole farm, so every per-decision scratch
+//! buffer, every ranking tree and every repair hook scaled with the farm
+//! size — the structural cap that kept the standing campaign at 1k
+//! servers however cheap each individual decision got. The federation is
+//! the same move hierarchical client-agent-server deployments make:
+//! partition the farm ([`ShardMap`], deterministic and contiguous) and
+//! give each shard its **own** engine ([`ShardEngine`]) holding an HTM,
+//! a static index and a stage-1 selector over a *restricted* cost table
+//! — every per-server structure is `O(n/S)`, not `O(n)`.
+//!
+//! [`AgentRouter`] is the thin layer on top. One decision runs:
+//!
+//! 1. **Stage 1, scatter**: every shard's selector proposes a shortlist
+//!    from its local index (fanned over [`cas_sim::pool`] when it pays;
+//!    results land in per-shard scratch slots, so worker count cannot
+//!    change them).
+//! 2. **Merge**: shortlists merge by stage-1 score (ties by global
+//!    server id) and truncate to the widest shard's width — under an
+//!    exhaustive selector the union is kept untruncated, preserving the
+//!    paper's every-solver loop. The merged list is emitted in ascending
+//!    global id, the order the heuristics' tie-breaks require.
+//! 3. **Stage 2, gather**: the heuristic runs unchanged over a
+//!    [`SchedView`] whose [`WhatIf`] backend routes each what-if query
+//!    to the owning shard and dispatches batched `predict_all` calls
+//!    per shard (slot-indexed reduction, bit-identical regardless of
+//!    worker count).
+//!
+//! Commit/retract/complete hooks route to the owning shard **only**, so
+//! model repair and index re-ranking cost stops scaling with farm size.
+//!
+//! # The `S = 1` invariant
+//!
+//! A federation of one shard is **bit-identical** to the single-agent
+//! engine: the restricted cost table is the full table, local ids equal
+//! global ids, the merge of one shortlist is that shortlist, and stage 2
+//! batches over the same HTM. The differential proptests in this module
+//! drive the router against an inline replica of the single-agent
+//! decision loop over arbitrary commit/decide/retract/complete
+//! interleavings, and the engine's end-to-end tests assert whole-campaign
+//! record equality for every heuristic × selector backend. With more
+//! shards, pruning selectors may legitimately diverge (each shard adapts
+//! its own width); an exhaustive selector must not — and that too is
+//! asserted end to end.
+
+use cas_core::heuristics::{DecisionMemo, Heuristic, SchedView};
+use cas_core::selector::{CandidateSelector, SelectorInput};
+use cas_core::whatif::WhatIf;
+use cas_core::{Htm, Prediction, SelectorKind, SyncPolicy};
+use cas_platform::{
+    CostTable, IndexScoring, LoadReport, ProblemId, ServerId, ShardMap, StaticIndex, TaskId,
+    TaskInstance,
+};
+use cas_sim::{RngStream, SimTime};
+use std::collections::HashMap;
+
+/// One per-shard stage-2 batch job: the shard, the shard-local candidate
+/// ids, and the (disjoint) slice of the result vector its predictions
+/// land in.
+type BatchJob<'a> = (
+    &'a mut ShardEngine,
+    Vec<ServerId>,
+    &'a mut [Option<Prediction>],
+);
+
+/// Per-shard candidate runs at most this long answer through per-candidate
+/// [`Htm::predict`] instead of [`Htm::predict_all`]: the batch path pays an
+/// O(shard-width) slot map per call, which a federation exists to avoid —
+/// and the two paths are bit-identical (the batch is defined as, and
+/// proptested against, per-candidate prediction).
+const SMALL_RUN_MAX: usize = 16;
+
+/// One shard's complete decision state: the HTM, the stage-1 index and
+/// the stage-1 selector for a contiguous block of the farm, all built
+/// over the block's *restricted* cost table and addressed by shard-local
+/// server ids (`global = shard start + local`).
+pub struct ShardEngine {
+    /// First global server id of this shard's block.
+    start: u32,
+    htm: Htm,
+    index: StaticIndex,
+    selector: Box<dyn CandidateSelector>,
+    /// Stage-1 scratch: the selector's shortlist, local ids, ascending.
+    shortlist: Vec<ServerId>,
+    /// Stage-1 scratch: the selector's scored shortlist, local ids.
+    scored_local: Vec<(ServerId, f64)>,
+    /// Stage-1 scratch: `(score bits, global id)` for the router's merge.
+    scored: Vec<(u64, ServerId)>,
+}
+
+impl ShardEngine {
+    fn new(
+        costs: &CostTable,
+        start: u32,
+        len: usize,
+        selector: SelectorKind,
+        scoring: IndexScoring,
+        sync: SyncPolicy,
+    ) -> Self {
+        let local_costs = costs.restrict(start, len);
+        ShardEngine {
+            start,
+            index: StaticIndex::with_scoring(&local_costs, scoring),
+            htm: Htm::new(local_costs, sync),
+            selector: selector.build(),
+            shortlist: Vec::new(),
+            scored_local: Vec::new(),
+            scored: Vec::new(),
+        }
+    }
+
+    /// Runs the shard's stage-1 selector. `admit` speaks global ids; the
+    /// shortlist lands in `self.shortlist` (local ids) and, when
+    /// `score_for_merge` is set, in `self.scored` as `(score bits,
+    /// global id)` pairs for the router's merge.
+    fn stage1(
+        &mut self,
+        problem: ProblemId,
+        admit: &(dyn Fn(ServerId) -> bool + Sync),
+        score_for_merge: bool,
+    ) {
+        let ShardEngine {
+            start,
+            htm,
+            index,
+            selector,
+            shortlist,
+            scored_local,
+            scored,
+        } = self;
+        let start = *start;
+        let local_admit = move |s: ServerId| admit(ServerId(s.0 + start));
+        if !score_for_merge {
+            selector.shortlist(
+                SelectorInput {
+                    problem,
+                    costs: htm.costs(),
+                    index,
+                },
+                &local_admit,
+                shortlist,
+            );
+            return;
+        }
+        // Scores are non-negative finite, so the IEEE-754 bit pattern is
+        // an order-preserving sort key (the same trick the index's
+        // ranking trees use). Selectors that track scores hand them out
+        // directly; the rest fall back to shortlist + index lookups.
+        scored.clear();
+        scored_local.clear();
+        if selector.shortlist_scored(
+            SelectorInput {
+                problem,
+                costs: htm.costs(),
+                index,
+            },
+            &local_admit,
+            scored_local,
+        ) {
+            for &(local, score) in scored_local.iter() {
+                scored.push((score.to_bits(), ServerId(local.0 + start)));
+            }
+        } else {
+            selector.shortlist(
+                SelectorInput {
+                    problem,
+                    costs: htm.costs(),
+                    index,
+                },
+                &local_admit,
+                shortlist,
+            );
+            for &local in shortlist.iter() {
+                let score = index
+                    .score(problem, local)
+                    .expect("shortlisted implies solvable");
+                scored.push((score.to_bits(), ServerId(local.0 + start)));
+            }
+        }
+    }
+
+    /// This shard's HTM (spans only its own block of the farm).
+    pub fn htm(&self) -> &Htm {
+        &self.htm
+    }
+}
+
+/// Everything one scheduling decision needs from the world, read-only.
+pub struct DecisionInputs<'a> {
+    /// Decision time.
+    pub now: SimTime,
+    /// The task to place.
+    pub task: TaskInstance,
+    /// The farm-wide cost table (stage 2 speaks global ids).
+    pub costs: &'a CostTable,
+    /// Per-server load reports, global ids.
+    pub reports: &'a [LoadReport],
+    /// Per-server admission limits (RAM + swap), MB, global ids.
+    pub server_mem: &'a [f64],
+    /// Which servers the agent may consider (excludes retry-refused and
+    /// known-collapsed servers).
+    pub admit: &'a (dyn Fn(ServerId) -> bool + Sync),
+}
+
+/// The federated agent: per-shard engines behind the deterministic
+/// scatter–merge–gather router described in the module docs.
+pub struct AgentRouter {
+    map: ShardMap,
+    shards: Vec<ShardEngine>,
+    /// `true` runs the full scatter/merge router even with one shard
+    /// (`Sharding::Federated`); `false` is the single-agent fast path
+    /// (requires exactly one shard).
+    federated: bool,
+    /// Exhaustive selectors merge by union, without truncation.
+    exhaustive: bool,
+    /// Run-wide decision memo lent to each decision's `SchedView`
+    /// (dense by *global* server index).
+    memo: DecisionMemo,
+    /// Merge scratch: `(score bits, global id)` across shards.
+    merged: Vec<(u64, ServerId)>,
+    /// Merge scratch: the final candidate list, ascending global id.
+    candidates: Vec<ServerId>,
+}
+
+impl AgentRouter {
+    /// Builds the agent for a farm described by `costs`. `shards = None`
+    /// is the single-agent path; `Some(s)` federates into `s` shards
+    /// (clamped so no shard is empty).
+    pub fn new(
+        costs: &CostTable,
+        shards: Option<usize>,
+        selector: SelectorKind,
+        scoring: IndexScoring,
+        sync: SyncPolicy,
+    ) -> Self {
+        let n = costs.n_servers();
+        let (federated, count) = match shards {
+            None => (false, 1),
+            Some(s) => (true, s),
+        };
+        let map = ShardMap::new(n, count);
+        let shards = (0..map.n_shards())
+            .map(|k| ShardEngine::new(costs, map.start(k), map.len(k), selector, scoring, sync))
+            .collect();
+        AgentRouter {
+            map,
+            shards,
+            federated,
+            exhaustive: selector == SelectorKind::Exhaustive,
+            memo: DecisionMemo::new(),
+            merged: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the scatter/merge router path is active (as opposed to
+    /// the single-agent fast path).
+    pub fn is_federated(&self) -> bool {
+        self.federated
+    }
+
+    /// The partition.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard engine owning `server`.
+    pub fn shard_for(&self, server: ServerId) -> &ShardEngine {
+        &self.shards[self.map.owner(server)]
+    }
+
+    /// Shard 0's HTM. With a single shard (the default configuration)
+    /// this is the whole farm's model, preserving the pre-federation
+    /// `GridWorld::htm()` surface; with more shards it spans only the
+    /// first block — use [`AgentRouter::shard_for`] for the rest.
+    pub fn htm(&self) -> &Htm {
+        &self.shards[0].htm
+    }
+
+    /// Mutable variant of [`AgentRouter::htm`] (Gantt recording).
+    pub fn htm_mut(&mut self) -> &mut Htm {
+        &mut self.shards[0].htm
+    }
+
+    /// Runs one full two-stage decision and reports the pick to the
+    /// owning shard's selector. Deterministic: identical inputs produce
+    /// identical picks on any host, any worker count.
+    pub fn decide(
+        &mut self,
+        inp: DecisionInputs<'_>,
+        heuristic: &mut dyn Heuristic,
+        tie_rng: &mut RngStream,
+    ) -> Option<ServerId> {
+        if !self.federated {
+            // Single-agent fast path: shard 0 is the farm; no merge, no
+            // translation — byte for byte the pre-federation decision.
+            let shard = &mut self.shards[0];
+            shard.stage1(inp.task.problem, inp.admit, false);
+            let candidates = shard.shortlist.clone();
+            let pick = {
+                let mut view = SchedView::new(
+                    inp.now,
+                    inp.task,
+                    candidates,
+                    inp.costs,
+                    inp.reports,
+                    &mut shard.htm,
+                    tie_rng,
+                )
+                .with_server_mem(inp.server_mem)
+                .with_memo(&mut self.memo);
+                heuristic.select(&mut view)
+            };
+            if let Some(s) = pick {
+                shard.selector.observe_selection(s);
+            }
+            return pick;
+        }
+
+        // Stage 1, scatter: every shard shortlists from its own index.
+        // Each shard writes only its own scratch, so the pool fan-out
+        // cannot reorder anything.
+        let problem = inp.task.problem;
+        let admit = inp.admit;
+        let pool = cas_sim::pool::global();
+        if self.shards.len() > 1 && pool.workers() > 1 {
+            pool.scope(|scope| {
+                for shard in self.shards.iter_mut() {
+                    scope.spawn(move || shard.stage1(problem, admit, true));
+                }
+            });
+        } else {
+            for shard in self.shards.iter_mut() {
+                shard.stage1(problem, admit, true);
+            }
+        }
+
+        // Merge by stage-1 score (ties by global id), truncated to the
+        // widest shard's width: with balanced shards this behaves like
+        // one shard-wide selector of that width. Exhaustive selectors
+        // keep the whole union — the every-solver loop must stay exact.
+        self.merged.clear();
+        self.candidates.clear();
+        if self.exhaustive {
+            // Per-shard shortlists are ascending-local, shards ascending
+            // blocks: concatenation is already ascending global id.
+            for shard in &self.shards {
+                self.candidates.extend(shard.scored.iter().map(|&(_, s)| s));
+            }
+        } else {
+            let widest = self
+                .shards
+                .iter()
+                .map(|s| s.scored.len())
+                .max()
+                .unwrap_or(0);
+            for shard in &self.shards {
+                self.merged.extend_from_slice(&shard.scored);
+            }
+            if self.merged.len() > widest && widest > 0 {
+                // Keep the `widest` best by (score, id): a partial select
+                // beats sorting the whole S×k merge, and the kept *set*
+                // is unique (keys are distinct pairs), so this is
+                // bit-identical to sort-then-truncate.
+                self.merged.select_nth_unstable(widest - 1);
+                self.merged.truncate(widest);
+            }
+            self.candidates.extend(self.merged.iter().map(|&(_, s)| s));
+            self.candidates.sort_unstable();
+        }
+
+        // Stage 2, gather: the heuristic runs over the federation through
+        // the routed what-if backend.
+        let pick = {
+            let mut backend = FederatedWhatIf {
+                map: &self.map,
+                shards: &mut self.shards,
+            };
+            let mut view = SchedView::new(
+                inp.now,
+                inp.task,
+                self.candidates.clone(),
+                inp.costs,
+                inp.reports,
+                &mut backend,
+                tie_rng,
+            )
+            .with_server_mem(inp.server_mem)
+            .with_memo(&mut self.memo);
+            heuristic.select(&mut view)
+        };
+        if let Some(s) = pick {
+            let owner = self.map.owner(s);
+            let local = self.map.to_local(owner, s);
+            self.shards[owner].selector.observe_selection(local);
+        }
+        pick
+    }
+
+    /// A what-if query outside a decision (the engine records the
+    /// commit-time prediction of the winning server).
+    pub fn predict(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+    ) -> Option<Prediction> {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        self.shards[owner].htm.predict(now, local, task)
+    }
+
+    /// Routes a commit to the owning shard: HTM trace mutation plus
+    /// index re-rank, both `O(shard)` — farm size does not appear.
+    pub fn on_commit(&mut self, now: SimTime, server: ServerId, task: &TaskInstance, work: f64) {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        let shard = &mut self.shards[owner];
+        shard.htm.commit(now, local, task);
+        shard.index.on_commit(local, work);
+    }
+
+    /// Routes a retract (placement undone before running) to the owning
+    /// shard.
+    pub fn on_retract(&mut self, now: SimTime, server: ServerId, task: TaskId, work: f64) {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        let shard = &mut self.shards[owner];
+        shard.htm.retract(now, task);
+        shard.index.on_retract(local, work);
+    }
+
+    /// Routes a completion to the owning shard: index decrement, HTM
+    /// synchronisation (per the sync policy) and the selector's stretch
+    /// feedback (`observed` vs `predicted` **flow** — durations since
+    /// arrival, seconds, so the relative tolerance is age-independent).
+    pub fn on_complete(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: TaskId,
+        work: f64,
+        observed: f64,
+        predicted: f64,
+    ) {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        let shard = &mut self.shards[owner];
+        shard.index.on_complete(local, work);
+        shard.htm.observe_completion(now, task);
+        shard.selector.observe_outcome(observed, predicted);
+    }
+
+    /// Simulated completion dates of every committed task, across all
+    /// shards (each task is committed in exactly one).
+    pub fn simulated_completions(&self) -> HashMap<TaskId, SimTime> {
+        let mut out = HashMap::new();
+        for shard in &self.shards {
+            out.extend(shard.htm.simulated_completions());
+        }
+        out
+    }
+}
+
+/// The [`WhatIf`] backend over a federation: queries speak global ids
+/// and are routed to the owning shard; batched queries dispatch one
+/// `predict_all` per shard run, fanned over the pool when it pays, with
+/// every prediction landing in its candidate's slot.
+struct FederatedWhatIf<'a> {
+    map: &'a ShardMap,
+    shards: &'a mut [ShardEngine],
+}
+
+impl WhatIf for FederatedWhatIf<'_> {
+    fn predict(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+    ) -> Option<Prediction> {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        self.shards[owner].htm.predict(now, local, task)
+    }
+
+    fn predict_all(
+        &mut self,
+        now: SimTime,
+        task: &TaskInstance,
+        candidates: &[ServerId],
+    ) -> Vec<Option<Prediction>> {
+        let mut results: Vec<Option<Prediction>> = vec![None; candidates.len()];
+        // Split the candidate list into runs of consecutive same-owner
+        // entries. The router emits candidates in ascending global id, so
+        // there is exactly one run per shard touched; any other order
+        // (a wrapper heuristic's widened list) still groups correctly,
+        // just into more runs.
+        let mut runs: Vec<(usize, usize, usize)> = Vec::new(); // (owner, from, to)
+        let mut i = 0;
+        while i < candidates.len() {
+            let owner = self.map.owner(candidates[i]);
+            let mut j = i + 1;
+            while j < candidates.len() && self.map.owner(candidates[j]) == owner {
+                j += 1;
+            }
+            runs.push((owner, i, j));
+            i = j;
+        }
+        let pool = cas_sim::pool::global();
+        let ascending_owners = runs.windows(2).all(|w| w[0].0 < w[1].0);
+        if runs.len() > 1 && pool.workers() > 1 && ascending_owners {
+            // Fan one batch per shard over the pool. Owners ascend, so
+            // shards and result slots split into disjoint `&mut` pieces;
+            // each prediction lands in its candidate's slot and the
+            // reduction is the (already-ordered) results vector itself.
+            let mut jobs: Vec<BatchJob<'_>> = Vec::with_capacity(runs.len());
+            let mut shards_rest: &mut [ShardEngine] = self.shards;
+            let mut shards_off = 0usize;
+            let mut results_rest: &mut [Option<Prediction>] = &mut results;
+            let mut results_off = 0usize;
+            for &(owner, from, to) in &runs {
+                let (_, tail) = shards_rest.split_at_mut(owner - shards_off);
+                let (shard, tail) = tail.split_first_mut().expect("owner in range");
+                shards_rest = tail;
+                shards_off = owner + 1;
+                let (_, tail) = results_rest.split_at_mut(from - results_off);
+                let (out, tail) = tail.split_at_mut(to - from);
+                results_rest = tail;
+                results_off = to;
+                let locals: Vec<ServerId> = candidates[from..to]
+                    .iter()
+                    .map(|&s| self.map.to_local(owner, s))
+                    .collect();
+                jobs.push((shard, locals, out));
+            }
+            pool.scope(|scope| {
+                for (shard, locals, out) in jobs {
+                    scope.spawn(move || {
+                        let preds = shard.htm.predict_all(now, task, &locals);
+                        for (slot, p) in out.iter_mut().zip(preds) {
+                            *slot = p;
+                        }
+                    });
+                }
+            });
+        } else {
+            let mut locals: Vec<ServerId> = Vec::new();
+            for &(owner, from, to) in &runs {
+                let shard = &mut self.shards[owner];
+                if to - from <= SMALL_RUN_MAX {
+                    // Short run: per-candidate queries. `predict` is pure
+                    // O(drain) — no per-call slot map over the shard's
+                    // state table — and bit-identical to the batch path
+                    // (both run the same cached speculative drain).
+                    for (slot, &s) in results[from..to].iter_mut().zip(&candidates[from..to]) {
+                        let local = self.map.to_local(owner, s);
+                        *slot = shard.htm.predict(now, local, task);
+                    }
+                } else {
+                    locals.clear();
+                    locals.extend(
+                        candidates[from..to]
+                            .iter()
+                            .map(|&s| self.map.to_local(owner, s)),
+                    );
+                    let preds = shard.htm.predict_all(now, task, &locals);
+                    for (slot, p) in results[from..to].iter_mut().zip(preds) {
+                        *slot = p;
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    fn resident_estimate(&mut self, now: SimTime, server: ServerId) -> f64 {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        self.shards[owner].htm.resident_estimate(now, local)
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cas_core::heuristics::HeuristicKind;
+    use cas_platform::PhaseCosts;
+    use cas_sim::StreamKind;
+    use proptest::prelude::*;
+
+    const N_SERVERS: usize = 6;
+    const N_PROBLEMS: usize = 2;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn build_table(costs: &[PhaseCosts], solvable: &[bool]) -> CostTable {
+        let mut table = CostTable::new(N_SERVERS);
+        for p in 0..N_PROBLEMS {
+            let row = (0..N_SERVERS)
+                .map(|s| {
+                    let k = p * N_SERVERS + s;
+                    (s == 0 || solvable[k]).then_some(costs[k])
+                })
+                .collect();
+            table.add_problem(
+                cas_platform::Problem::new(format!("p{p}"), 0.1, 0.1, 64.0),
+                row,
+            );
+        }
+        table
+    }
+
+    /// The single-agent decision loop, replicated inline: one farm-wide
+    /// HTM, one index, one selector — the pre-federation `engine` path,
+    /// kept here as the executable specification the router is diffed
+    /// against.
+    struct Reference {
+        htm: Htm,
+        index: StaticIndex,
+        selector: Box<dyn CandidateSelector>,
+        memo: DecisionMemo,
+    }
+
+    impl Reference {
+        fn new(costs: &CostTable, selector: SelectorKind, sync: SyncPolicy) -> Self {
+            Reference {
+                htm: Htm::new(costs.clone(), sync),
+                index: StaticIndex::new(costs),
+                selector: selector.build(),
+                memo: DecisionMemo::new(),
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn decide(
+            &mut self,
+            now: SimTime,
+            task: TaskInstance,
+            costs: &CostTable,
+            reports: &[LoadReport],
+            server_mem: &[f64],
+            admit: &(dyn Fn(ServerId) -> bool + Sync),
+            heuristic: &mut dyn Heuristic,
+            tie_rng: &mut RngStream,
+        ) -> Option<(ServerId, Prediction)> {
+            let mut candidates = Vec::new();
+            self.selector.shortlist(
+                SelectorInput {
+                    problem: task.problem,
+                    costs,
+                    index: &self.index,
+                },
+                &|s| admit(s),
+                &mut candidates,
+            );
+            let picked = {
+                let mut view = SchedView::new(
+                    now,
+                    task,
+                    candidates,
+                    costs,
+                    reports,
+                    &mut self.htm,
+                    tie_rng,
+                )
+                .with_server_mem(server_mem)
+                .with_memo(&mut self.memo);
+                let pick = heuristic.select(&mut view)?;
+                let p = view.predict(pick).cloned().expect("picked is solvable");
+                (pick, p)
+            };
+            self.selector.observe_selection(picked.0);
+            Some(picked)
+        }
+    }
+
+    /// Drives the router decision-by-decision against the inline
+    /// single-agent reference over arbitrary interleavings of
+    /// decide / commit / retract / complete: picks and winning
+    /// predictions must agree **bit for bit**. Holds for one shard under
+    /// every selector backend, and for any shard count under the
+    /// exhaustive selector (pruning selectors legitimately diverge
+    /// across shards: each shard adapts its own width).
+    fn run_differential(
+        costs: Vec<PhaseCosts>,
+        solvable: Vec<bool>,
+        n_shards: usize,
+        selector: SelectorKind,
+        sync: SyncPolicy,
+        ops: Vec<(u32, u32, u32, f64, u32)>,
+    ) -> Result<(), TestCaseError> {
+        let table = build_table(&costs, &solvable);
+        let mut reference = Reference::new(&table, selector, sync);
+        let mut router = AgentRouter::new(
+            &table,
+            Some(n_shards),
+            selector,
+            IndexScoring::default(),
+            sync,
+        );
+        prop_assert_eq!(router.n_shards(), n_shards);
+        prop_assert!(router.is_federated());
+        let reports: Vec<LoadReport> = (0..N_SERVERS as u32)
+            .map(|i| LoadReport::initial(ServerId(i)))
+            .collect();
+        let server_mem = vec![512.0; N_SERVERS];
+        let mut now = 0.0f64;
+        let mut next_id = 0u64;
+        let mut committed: Vec<(TaskId, ServerId, f64)> = Vec::new();
+        for (kind, server, problem, gap, excl) in ops {
+            now += gap;
+            let when = t(now);
+            match kind {
+                // Decision rounds.
+                0..=5 => {
+                    let heuristic = match kind {
+                        0 | 3 => HeuristicKind::Hmct,
+                        1 | 4 => HeuristicKind::Msf,
+                        2 => HeuristicKind::MemHmct,
+                        _ => HeuristicKind::Mct,
+                    };
+                    let task =
+                        TaskInstance::new(TaskId(1_000_000 + next_id), ProblemId(problem), when);
+                    next_id += 1;
+                    let admit = move |s: ServerId| s.0 != excl;
+                    let mut rng_a = RngStream::derive(7, StreamKind::TieBreak);
+                    let mut rng_b = RngStream::derive(7, StreamKind::TieBreak);
+                    let ref_pick = reference.decide(
+                        when,
+                        task,
+                        &table,
+                        &reports,
+                        &server_mem,
+                        &admit,
+                        heuristic.build().as_mut(),
+                        &mut rng_a,
+                    );
+                    let routed_pick = {
+                        let mut h = heuristic.build();
+                        router.decide(
+                            DecisionInputs {
+                                now: when,
+                                task,
+                                costs: &table,
+                                reports: &reports,
+                                server_mem: &server_mem,
+                                admit: &admit,
+                            },
+                            h.as_mut(),
+                            &mut rng_b,
+                        )
+                    };
+                    match (&ref_pick, &routed_pick) {
+                        (None, None) => {}
+                        (Some((s, p)), Some(rs)) => {
+                            prop_assert_eq!(s, rs, "{:?} pick diverged", heuristic);
+                            let rp = router
+                                .predict(when, *rs, &task)
+                                .expect("picked is solvable");
+                            prop_assert_eq!(p, &rp, "{:?} prediction diverged", heuristic);
+                        }
+                        _ => prop_assert!(false, "{heuristic:?}: one side failed the task"),
+                    }
+                }
+                // Commits keep both sides in lockstep.
+                6 | 7 => {
+                    let task = TaskInstance::new(TaskId(next_id), ProblemId(problem), when);
+                    next_id += 1;
+                    let target = if table.costs(task.problem, ServerId(server)).is_some() {
+                        ServerId(server)
+                    } else {
+                        ServerId(0) // always solvable by construction
+                    };
+                    let work = table
+                        .unloaded_duration(task.problem, target)
+                        .expect("target is solvable");
+                    reference.htm.commit(when, target, &task);
+                    reference.index.on_commit(target, work);
+                    router.on_commit(when, target, &task, work);
+                    committed.push((task.id, target, work));
+                }
+                // Retracts undo the most recent commit on both sides.
+                8 => {
+                    if let Some((id, srv, work)) = committed.pop() {
+                        reference.htm.retract(when, id);
+                        reference.index.on_retract(srv, work);
+                        router.on_retract(when, srv, id, work);
+                    }
+                }
+                // Completions: index decrement + HTM sync + stretch
+                // feedback, both sides.
+                _ => {
+                    if !committed.is_empty() {
+                        let (id, srv, work) = committed.remove(0);
+                        let observed = now;
+                        let predicted = now * 0.9 + 1.0;
+                        reference.index.on_complete(srv, work);
+                        reference.htm.observe_completion(when, id);
+                        reference.selector.observe_outcome(observed, predicted);
+                        router.on_complete(when, srv, id, work, observed, predicted);
+                    }
+                }
+            }
+        }
+        // The models agree at rest too.
+        let ref_completions = reference.htm.simulated_completions();
+        prop_assert_eq!(ref_completions, router.simulated_completions());
+        Ok(())
+    }
+
+    prop_compose! {
+        fn arb_costs()(i in 0.0f64..3.0, c in 0.1f64..30.0, o in 0.0f64..3.0) -> PhaseCosts {
+            PhaseCosts::new(i, c, o)
+        }
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<(u32, u32, u32, f64, u32)>> {
+        proptest::collection::vec(
+            // (op kind, server, problem, time gap, excluded server)
+            (
+                0u32..10,
+                0u32..N_SERVERS as u32,
+                0u32..N_PROBLEMS as u32,
+                0.0f64..15.0,
+                0u32..N_SERVERS as u32,
+            ),
+            1..40,
+        )
+    }
+
+    proptest! {
+        /// `--shards 1` ≡ the unsharded engine, per decision, for every
+        /// selector backend (the S = 1 invariant of the module docs).
+        #[test]
+        fn router_single_shard_is_bitwise_reference(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS * N_PROBLEMS),
+            solvable in proptest::collection::vec(proptest::bool::ANY, N_SERVERS * N_PROBLEMS),
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            ops in arb_ops(),
+        ) {
+            let selector = [
+                SelectorKind::Exhaustive,
+                SelectorKind::TopK { k: 2 },
+                SelectorKind::TopK { k: 64 },
+                SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+            ][selector_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_differential(costs, solvable, 1, selector, sync, ops)?;
+        }
+
+        /// Under the exhaustive selector the scatter–merge–gather router
+        /// is bit-identical to the single agent at **any** shard count:
+        /// the union of per-shard every-solver loops is the every-solver
+        /// loop.
+        #[test]
+        fn router_exhaustive_any_shard_count_is_bitwise_reference(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS * N_PROBLEMS),
+            solvable in proptest::collection::vec(proptest::bool::ANY, N_SERVERS * N_PROBLEMS),
+            n_shards in 2usize..N_SERVERS + 1,
+            force_finish in proptest::bool::ANY,
+            ops in arb_ops(),
+        ) {
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_differential(costs, solvable, n_shards, SelectorKind::Exhaustive, sync, ops)?;
+        }
+    }
+}

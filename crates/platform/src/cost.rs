@@ -144,6 +144,31 @@ impl CostTable {
         self.costs(problem, server).map(|c| c.total())
     }
 
+    /// The same problems, restricted to a contiguous block of servers:
+    /// server `start + i` of this table becomes server `i` of the result.
+    /// This is how a shard federation derives each shard engine's local
+    /// cost table from the farm-wide one (`cas_platform::shard`).
+    ///
+    /// # Panics
+    /// Panics if `start + len` exceeds the table's server count.
+    pub fn restrict(&self, start: u32, len: usize) -> CostTable {
+        assert!(
+            start as usize + len <= self.n_servers,
+            "restriction {start}+{len} exceeds {} servers",
+            self.n_servers
+        );
+        let mut costs = Vec::with_capacity(self.problems.len() * len);
+        for p in 0..self.problems.len() {
+            let row_start = p * self.n_servers + start as usize;
+            costs.extend_from_slice(&self.costs[row_start..row_start + len]);
+        }
+        CostTable {
+            problems: self.problems.clone(),
+            n_servers: len,
+            costs,
+        }
+    }
+
     /// Derives a table from abstract volumes and machine rates: for each
     /// problem give `(work_ops, input_mb, output_mb, mem_mb)`; for each
     /// server `(ops_per_sec, mbps, latency_s)`. Transfer cost is
@@ -252,5 +277,41 @@ mod tests {
             PhaseCosts::new(0.0, 5.0, 0.0),
         );
         assert_eq!(t.solvers(id).len(), 4);
+    }
+
+    #[test]
+    fn restrict_shifts_server_ids() {
+        let mut t = CostTable::new(4);
+        t.add_problem(
+            Problem::new("p0", 0.0, 0.0, 0.0),
+            vec![
+                Some(PhaseCosts::new(0.0, 10.0, 0.0)),
+                Some(PhaseCosts::new(0.0, 20.0, 0.0)),
+                None,
+                Some(PhaseCosts::new(0.0, 40.0, 0.0)),
+            ],
+        );
+        t.add_problem(
+            Problem::new("p1", 0.0, 0.0, 0.0),
+            vec![None, Some(PhaseCosts::new(0.0, 5.0, 0.0)), None, None],
+        );
+        let r = t.restrict(1, 2);
+        assert_eq!(r.n_servers(), 2);
+        assert_eq!(r.n_problems(), 2);
+        // Global S1 → local S0, global S2 → local S1.
+        assert_eq!(
+            r.unloaded_duration(ProblemId(0), ServerId(0)),
+            t.unloaded_duration(ProblemId(0), ServerId(1))
+        );
+        assert_eq!(r.costs(ProblemId(0), ServerId(1)), None);
+        assert_eq!(r.unloaded_duration(ProblemId(1), ServerId(0)), Some(5.0));
+        // Full-width restriction is the identity.
+        assert_eq!(t.restrict(0, 4), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn restrict_out_of_range_panics() {
+        CostTable::new(3).restrict(2, 2);
     }
 }

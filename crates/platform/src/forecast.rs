@@ -289,4 +289,89 @@ mod tests {
         let f = Adaptive::standard();
         assert_eq!(f.predict(), None);
     }
+
+    /// Window rollover must evict exactly the oldest element, element by
+    /// element — a window of `w` fed `w + k` values predicts from the
+    /// last `w` alone.
+    #[test]
+    fn sliding_windows_roll_over_exactly() {
+        let mut mean = SlidingMean::new(3);
+        let mut median = SlidingMedian::new(3);
+        for v in [100.0, 200.0, 300.0] {
+            mean.update(v);
+            median.update(v);
+        }
+        // Roll the window forward twice: 100 then 200 leave.
+        for v in [6.0, 9.0] {
+            mean.update(v);
+            median.update(v);
+        }
+        assert_eq!(mean.predict(), Some((300.0 + 6.0 + 9.0) / 3.0));
+        assert_eq!(median.predict(), Some(9.0));
+        // One more evicts the last of the original fill entirely.
+        mean.update(3.0);
+        median.update(3.0);
+        assert_eq!(mean.predict(), Some(6.0));
+        assert_eq!(median.predict(), Some(6.0));
+    }
+
+    /// A window wider than the history behaves like the full-history
+    /// forecasters — partial fill must not divide by the window size.
+    #[test]
+    fn sliding_windows_partial_fill() {
+        let mut mean = SlidingMean::new(100);
+        let mut median = SlidingMedian::new(100);
+        assert_eq!(mean.predict(), None);
+        assert_eq!(median.predict(), None);
+        mean.update(4.0);
+        median.update(4.0);
+        assert_eq!(mean.predict(), Some(4.0));
+        assert_eq!(median.predict(), Some(4.0));
+        mean.update(8.0);
+        median.update(8.0);
+        assert_eq!(mean.predict(), Some(6.0));
+        assert_eq!(median.predict(), Some(6.0));
+    }
+
+    /// The ensemble must not charge error to members that could not yet
+    /// predict: the first observation primes every member without
+    /// penalising any, so the scoreboard starts fair.
+    #[test]
+    fn adaptive_first_observation_charges_no_error() {
+        let mut f = Adaptive::standard();
+        f.update(42.0);
+        // Every member now predicts 42; all errors are still zero, so the
+        // tie resolves to the first member and the prediction is exact.
+        assert_eq!(f.predict(), Some(42.0));
+        assert_eq!(f.best_member(), "last-value");
+    }
+
+    /// Members keep being scored after a long run: a regime change flips
+    /// the best member (mean-friendly noise, then a trend).
+    #[test]
+    fn adaptive_switches_members_on_regime_change() {
+        let mut f = Adaptive::standard();
+        for i in 0..40 {
+            f.update(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        assert_ne!(f.best_member(), "last-value");
+        // A long steep ramp: last-value's error stays ~slope per step,
+        // every mean falls behind by the growing gap.
+        for i in 0..400 {
+            f.update(1000.0 * i as f64);
+        }
+        assert_eq!(f.best_member(), "last-value");
+    }
+
+    #[test]
+    #[should_panic]
+    fn sliding_mean_zero_window_panics() {
+        SlidingMean::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sliding_median_zero_window_panics() {
+        SlidingMedian::new(0);
+    }
 }

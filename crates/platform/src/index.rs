@@ -5,18 +5,28 @@
 //! two-stage pipeline: a cheap *static* filter proposes a shortlist, the
 //! expensive model scores only the shortlist. [`StaticIndex`] is that
 //! filter's data structure: for every problem it keeps the solvable
-//! servers ordered by a static completion proxy
+//! servers ordered by a static completion proxy, selectable via
+//! [`IndexScoring`]:
 //!
 //! ```text
-//! score(p, s) = d(p, s) · (active(s) + 1)
+//! RemainingWork:  score(p, s) = d(p, s) + remaining(s)
+//! ActiveCount:    score(p, s) = d(p, s) · (active(s) + 1)
 //! ```
 //!
-//! — the unloaded duration stretched by the number of tasks the scheduler
-//! believes are in flight on the server (the CPU-sharing intuition of the
-//! NetSolve estimate, with the agent's own commit ledger standing in for
-//! the stale load report).
+//! `remaining(s)` is the work still in flight on the server — each
+//! commit charges the task's service demand (its unloaded duration,
+//! recorded at commit time), each completion pays it back — so on
+//! heterogeneous task mixes a server carrying one long task no longer
+//! outranks one carrying two short ones. Service demands, unlike
+//! predicted residence times, sum to exactly the serial drain time of
+//! the backlog (residence includes queueing delay and would count the
+//! queue once per queued task); `d + remaining` is then the classic "my
+//! cost after the queue drains" proxy. `ActiveCount` is the original count-based scorer (unloaded
+//! duration stretched by the believed in-flight count, the CPU-sharing
+//! intuition of the NetSolve estimate) and stays available behind the
+//! experiment-config flag as the comparison baseline.
 //!
-//! The index is **incremental**: the per-server active counts change only
+//! The index is **incremental**: the per-server believed load changes only
 //! on [`StaticIndex::on_commit`] / [`StaticIndex::on_retract`] /
 //! [`StaticIndex::on_complete`] hooks, and each hook re-ranks exactly one
 //! server in each problem's ordered set (`O(problems · log servers)`).
@@ -35,6 +45,19 @@ use std::collections::BTreeSet;
 /// then server id (deterministic total order).
 type RankKey = (u64, u32);
 
+/// The one definition of the stage-1 completion proxy. `score`, the
+/// ranked-set keys inserted by `rerank`, and every hook must agree bit
+/// for bit — a removal keyed with a diverged formula would silently
+/// leave stale entries in the rankings (the `debug_assert` in `rerank`
+/// is compiled out in release) — so both call through here.
+#[inline]
+fn proxy_score(scoring: IndexScoring, d: f64, active: u32, remaining: f64) -> f64 {
+    match scoring {
+        IndexScoring::RemainingWork => d + remaining,
+        IndexScoring::ActiveCount => d * (active as f64 + 1.0),
+    }
+}
+
 /// Non-negative finite `f64` → order-preserving `u64` key.
 #[inline]
 fn score_bits(score: f64) -> u64 {
@@ -45,13 +68,52 @@ fn score_bits(score: f64) -> u64 {
     score.to_bits()
 }
 
+/// Which static completion proxy orders the stage-1 rankings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexScoring {
+    /// `d(p, s) + remaining(s)`: the unloaded duration behind the
+    /// server's remaining backlog of service demands (charged at commit,
+    /// paid back on completion). The default — sharper on heterogeneous
+    /// task mixes.
+    #[default]
+    RemainingWork,
+    /// `d(p, s) · (active(s) + 1)`: the original count-based scorer, kept
+    /// as the comparison baseline.
+    ActiveCount,
+}
+
+impl IndexScoring {
+    /// Parses `work` / `remaining` or `count` / `active`
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<IndexScoring> {
+        match s.to_ascii_lowercase().as_str() {
+            "work" | "remaining" => Some(IndexScoring::RemainingWork),
+            "count" | "active" => Some(IndexScoring::ActiveCount),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexScoring::RemainingWork => "work",
+            IndexScoring::ActiveCount => "count",
+        }
+    }
+}
+
 /// The agent's incrementally maintained static placement index.
 #[derive(Debug, Clone)]
 pub struct StaticIndex {
     n_servers: usize,
+    scoring: IndexScoring,
     /// Tasks the scheduler believes are in flight per server (its own
     /// commit ledger, not the stale monitor reports).
     active: Vec<u32>,
+    /// Predicted work still in flight per server, seconds (summed from
+    /// the `work` argument of the commit hook, decremented on
+    /// completion/retract, floored at zero).
+    remaining: Vec<f64>,
     /// Unloaded durations, row-major `problem * n_servers + server`;
     /// `None` = unsolvable there.
     durations: Vec<Option<f64>>,
@@ -60,9 +122,15 @@ pub struct StaticIndex {
 }
 
 impl StaticIndex {
-    /// Builds the index from the static cost table; every server starts
-    /// with zero believed load.
+    /// Builds the index from the static cost table with the default
+    /// [`IndexScoring::RemainingWork`] proxy; every server starts with
+    /// zero believed load.
     pub fn new(costs: &CostTable) -> Self {
+        Self::with_scoring(costs, IndexScoring::default())
+    }
+
+    /// Builds the index with an explicit scoring proxy.
+    pub fn with_scoring(costs: &CostTable, scoring: IndexScoring) -> Self {
         let n_servers = costs.n_servers();
         let n_problems = costs.n_problems();
         let mut durations = Vec::with_capacity(n_problems * n_servers);
@@ -78,7 +146,9 @@ impl StaticIndex {
         }
         StaticIndex {
             n_servers,
+            scoring,
             active: vec![0; n_servers],
+            remaining: vec![0.0; n_servers],
             durations,
             ranked,
         }
@@ -89,55 +159,88 @@ impl StaticIndex {
         self.n_servers
     }
 
+    /// The scoring proxy in use.
+    pub fn scoring(&self) -> IndexScoring {
+        self.scoring
+    }
+
     /// Tasks the index believes are in flight on `server`.
     pub fn active(&self, server: ServerId) -> u32 {
         self.active[server.index()]
     }
 
+    /// Predicted work the index believes is still in flight on `server`,
+    /// seconds.
+    pub fn remaining(&self, server: ServerId) -> f64 {
+        self.remaining[server.index()]
+    }
+
     /// The stage-1 score of `server` for `problem` at the current believed
     /// load, or `None` if the server cannot solve it.
     pub fn score(&self, problem: ProblemId, server: ServerId) -> Option<f64> {
-        self.durations[problem.index() * self.n_servers + server.index()]
-            .map(|d| d * (self.active[server.index()] as f64 + 1.0))
+        let s = server.index();
+        self.durations[problem.index() * self.n_servers + s]
+            .map(|d| proxy_score(self.scoring, d, self.active[s], self.remaining[s]))
     }
 
-    /// Re-ranks `server` in every problem set after its active count moved
-    /// from `old_active` to the current value.
-    fn rerank(&mut self, server: ServerId, old_active: u32) {
+    /// Re-ranks `server` in every problem set after its believed load
+    /// moved from `(old_active, old_remaining)` to the current values.
+    fn rerank(&mut self, server: ServerId, old_active: u32, old_remaining: f64) {
         let s = server.index();
-        let new_active = self.active[s];
+        let (new_active, new_remaining) = (self.active[s], self.remaining[s]);
+        let scoring = self.scoring;
         for (p, set) in self.ranked.iter_mut().enumerate() {
             if let Some(d) = self.durations[p * self.n_servers + s] {
-                let removed = set.remove(&(score_bits(d * (old_active as f64 + 1.0)), s as u32));
+                let old = proxy_score(scoring, d, old_active, old_remaining);
+                let removed = set.remove(&(score_bits(old), s as u32));
                 debug_assert!(removed, "server {server} missing from ranking of P{p}");
-                set.insert((score_bits(d * (new_active as f64 + 1.0)), s as u32));
+                let new = proxy_score(scoring, d, new_active, new_remaining);
+                set.insert((score_bits(new), s as u32));
             }
         }
     }
 
-    /// A task was committed to `server`: its believed load grows by one.
-    pub fn on_commit(&mut self, server: ServerId) {
-        let old = self.active[server.index()];
-        self.active[server.index()] = old + 1;
-        self.rerank(server, old);
+    /// A task was committed to `server`: its believed load grows by one
+    /// task and by `work` seconds (the task's service demand — its
+    /// unloaded duration on this server — recorded at commit time).
+    pub fn on_commit(&mut self, server: ServerId, work: f64) {
+        let s = server.index();
+        let (old_active, old_remaining) = (self.active[s], self.remaining[s]);
+        self.active[s] = old_active + 1;
+        self.remaining[s] = old_remaining + work.max(0.0);
+        self.rerank(server, old_active, old_remaining);
     }
 
     /// A committed task was retracted from `server` (the placement was
-    /// undone before running): believed load shrinks by one.
-    pub fn on_retract(&mut self, server: ServerId) {
-        self.on_complete(server);
+    /// undone before running): believed load shrinks by the same amounts
+    /// the commit added.
+    pub fn on_retract(&mut self, server: ServerId, work: f64) {
+        self.on_complete(server, work);
     }
 
-    /// A task completed on `server`: believed load shrinks by one.
+    /// A task completed on `server`: believed load shrinks by one task
+    /// and by the `work` its commit added (the remaining-work ledger is
+    /// floored at zero against float drift).
     ///
     /// # Panics
     /// Panics if the believed load is already zero (a completion without a
     /// matching commit is an accounting bug).
-    pub fn on_complete(&mut self, server: ServerId) {
-        let old = self.active[server.index()];
-        assert!(old > 0, "completion on {server} without a matching commit");
-        self.active[server.index()] = old - 1;
-        self.rerank(server, old);
+    pub fn on_complete(&mut self, server: ServerId, work: f64) {
+        let s = server.index();
+        let (old_active, old_remaining) = (self.active[s], self.remaining[s]);
+        assert!(
+            old_active > 0,
+            "completion on {server} without a matching commit"
+        );
+        self.active[s] = old_active - 1;
+        self.remaining[s] = if self.active[s] == 0 {
+            // An empty server carries no backlog: resetting (rather than
+            // subtracting) cancels any accumulated float drift.
+            0.0
+        } else {
+            (old_remaining - work.max(0.0)).max(0.0)
+        };
+        self.rerank(server, old_active, old_remaining);
     }
 
     /// Walks `problem`'s ranking in ascending score order, best first,
@@ -214,21 +317,80 @@ mod tests {
 
     #[test]
     fn commit_reorders_and_complete_restores() {
-        let mut idx = StaticIndex::new(&table());
+        let mut idx = StaticIndex::with_scoring(&table(), IndexScoring::ActiveCount);
         // Two commits on S0: score(P0,S0) = 100·3 = 300, ties S2's 300 →
         // id order keeps S0 ahead of S2.
-        idx.on_commit(ServerId(0));
-        idx.on_commit(ServerId(0));
+        idx.on_commit(ServerId(0), 100.0);
+        idx.on_commit(ServerId(0), 100.0);
         assert_eq!(idx.active(ServerId(0)), 2);
         assert_eq!(best(&idx, 0, 3), vec![1, 0, 2]);
         // A third commit pushes S0 last.
-        idx.on_commit(ServerId(0));
+        idx.on_commit(ServerId(0), 100.0);
         assert_eq!(best(&idx, 0, 3), vec![1, 2, 0]);
-        idx.on_complete(ServerId(0));
-        idx.on_retract(ServerId(0));
-        idx.on_complete(ServerId(0));
+        idx.on_complete(ServerId(0), 100.0);
+        idx.on_retract(ServerId(0), 100.0);
+        idx.on_complete(ServerId(0), 100.0);
         assert_eq!(idx.active(ServerId(0)), 0);
         assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remaining_work_ranks_by_backlog_not_count() {
+        // S0 (d=100) carries one long task (500 s of predicted work);
+        // S1 (d=150) carries two short ones (10 s each). The count scorer
+        // prefers S0 (100·2 = 200 < 150·3 = 450); the remaining-work
+        // scorer sees through the mix (100+500 = 600 > 150+20 = 170).
+        let mut by_count = StaticIndex::with_scoring(&table(), IndexScoring::ActiveCount);
+        let mut by_work = StaticIndex::new(&table());
+        assert_eq!(by_work.scoring(), IndexScoring::RemainingWork);
+        for idx in [&mut by_count, &mut by_work] {
+            idx.on_commit(ServerId(0), 500.0);
+            idx.on_commit(ServerId(1), 10.0);
+            idx.on_commit(ServerId(1), 10.0);
+        }
+        assert_eq!(best(&by_count, 0, 3), vec![0, 2, 1]);
+        assert_eq!(best(&by_work, 0, 3), vec![1, 2, 0]);
+        assert_eq!(by_work.score(ProblemId(0), ServerId(0)), Some(600.0));
+        assert_eq!(by_work.remaining(ServerId(1)), 20.0);
+        // Completions restore the static order and drain the ledger.
+        by_work.on_complete(ServerId(0), 500.0);
+        by_work.on_complete(ServerId(1), 10.0);
+        by_work.on_complete(ServerId(1), 10.0);
+        assert_eq!(best(&by_work, 0, 3), vec![0, 1, 2]);
+        assert_eq!(by_work.remaining(ServerId(0)), 0.0);
+    }
+
+    #[test]
+    fn remaining_ledger_resets_when_idle_and_floors_at_zero() {
+        let mut idx = StaticIndex::new(&table());
+        idx.on_commit(ServerId(0), 0.1);
+        idx.on_commit(ServerId(0), 0.2);
+        // Completion reporting more work than remains must floor, not go
+        // negative (scores must stay valid sort keys).
+        idx.on_complete(ServerId(0), 5.0);
+        assert_eq!(idx.remaining(ServerId(0)), 0.0);
+        assert!(idx.score(ProblemId(0), ServerId(0)).unwrap() >= 100.0);
+        // Draining to idle resets the ledger exactly (no float residue).
+        idx.on_complete(ServerId(0), 0.0);
+        assert_eq!(idx.active(ServerId(0)), 0);
+        assert_eq!(idx.remaining(ServerId(0)), 0.0);
+        assert_eq!(idx.score(ProblemId(0), ServerId(0)), Some(100.0));
+    }
+
+    #[test]
+    fn scoring_parse_roundtrip() {
+        assert_eq!(
+            IndexScoring::parse("work"),
+            Some(IndexScoring::RemainingWork)
+        );
+        assert_eq!(
+            IndexScoring::parse("COUNT"),
+            Some(IndexScoring::ActiveCount)
+        );
+        assert_eq!(IndexScoring::parse("nope"), None);
+        for s in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
+            assert_eq!(IndexScoring::parse(s.name()), Some(s));
+        }
     }
 
     #[test]
@@ -250,42 +412,45 @@ mod tests {
     #[should_panic(expected = "without a matching commit")]
     fn unbalanced_complete_panics() {
         let mut idx = StaticIndex::new(&table());
-        idx.on_complete(ServerId(1));
+        idx.on_complete(ServerId(1), 0.0);
     }
 
-    /// The incremental ranking always equals a from-scratch recompute.
+    /// The incremental ranking always equals a from-scratch recompute,
+    /// under both scoring proxies.
     #[test]
     fn incremental_matches_rescan_after_churn() {
         let costs = table();
-        let mut idx = StaticIndex::new(&costs);
-        let ops: [(u32, bool); 9] = [
-            (0, true),
-            (1, true),
-            (0, true),
-            (2, true),
-            (0, false),
-            (1, true),
-            (1, false),
-            (2, false),
-            (1, false),
+        let ops: [(u32, bool, f64); 9] = [
+            (0, true, 12.5),
+            (1, true, 3.0),
+            (0, true, 40.0),
+            (2, true, 7.25),
+            (0, false, 12.5),
+            (1, true, 0.0),
+            (1, false, 3.0),
+            (2, false, 7.25),
+            (1, false, 0.0),
         ];
-        for (s, up) in ops {
-            if up {
-                idx.on_commit(ServerId(s));
-            } else {
-                idx.on_complete(ServerId(s));
-            }
-            for p in 0..costs.n_problems() as u32 {
-                let got = best(&idx, p, 3);
-                let mut expect: Vec<(u64, u32)> = (0..3u32)
-                    .filter_map(|sv| {
-                        idx.score(ProblemId(p), ServerId(sv))
-                            .map(|sc| (sc.to_bits(), sv))
-                    })
-                    .collect();
-                expect.sort_unstable();
-                let expect: Vec<u32> = expect.into_iter().map(|(_, sv)| sv).collect();
-                assert_eq!(got, expect, "problem {p} after op ({s}, {up})");
+        for scoring in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
+            let mut idx = StaticIndex::with_scoring(&costs, scoring);
+            for (s, up, work) in ops {
+                if up {
+                    idx.on_commit(ServerId(s), work);
+                } else {
+                    idx.on_complete(ServerId(s), work);
+                }
+                for p in 0..costs.n_problems() as u32 {
+                    let got = best(&idx, p, 3);
+                    let mut expect: Vec<(u64, u32)> = (0..3u32)
+                        .filter_map(|sv| {
+                            idx.score(ProblemId(p), ServerId(sv))
+                                .map(|sc| (sc.to_bits(), sv))
+                        })
+                        .collect();
+                    expect.sort_unstable();
+                    let expect: Vec<u32> = expect.into_iter().map(|(_, sv)| sv).collect();
+                    assert_eq!(got, expect, "{scoring:?} problem {p} after ({s}, {up})");
+                }
             }
         }
     }

@@ -23,6 +23,9 @@
 //!   per-problem server rankings by static cost × believed load, re-ranked
 //!   in O(log n) by commit/retract/complete hooks so candidate pruning
 //!   never rescans the platform per arrival.
+//! * [`shard`] — deterministic contiguous partitioning of the farm into
+//!   shards, the substrate of the middleware's federated agent: pure in
+//!   `(n_servers, n_shards)`, so sharded runs reproduce on any host.
 //! * [`monitor`] — the UNIX-style exponentially-damped load average that
 //!   NetSolve servers report to the agent, plus report staleness bookkeeping.
 //! * [`forecast`] — small NWS-flavoured forecasters (last value, running
@@ -41,13 +44,15 @@ pub mod ids;
 pub mod index;
 pub mod monitor;
 pub mod server;
+pub mod shard;
 pub mod task;
 
 pub use arena::{Arena, ArenaKey};
 pub use cost::{CostTable, PhaseCosts};
 pub use fairshare::FairShareResource;
 pub use ids::{ProblemId, ServerId, TaskId};
-pub use index::StaticIndex;
+pub use index::{IndexScoring, StaticIndex};
 pub use monitor::{LoadAverage, LoadReport};
 pub use server::{AdmitOutcome, MemoryModel, ServerRuntime, ServerSpec};
+pub use shard::ShardMap;
 pub use task::{Phase, Problem, TaskInstance};

@@ -197,4 +197,73 @@ mod tests {
         assert_eq!(r.corrected_load(), 1.0);
         assert_eq!(r.staleness(t(80.0)), t(30.0));
     }
+
+    /// Completion messages can overtake the agent's own assignment notes
+    /// (a fast task finishes before the agent processes the next
+    /// arrival): the corrections must stay consistent whichever order
+    /// the events land in, and never push the estimate negative.
+    #[test]
+    fn corrections_are_order_independent_and_floored() {
+        let mut in_order = LoadReport::initial(ServerId(0));
+        let mut out_of_order = LoadReport::initial(ServerId(0));
+        for r in [&mut in_order, &mut out_of_order] {
+            r.refresh(t(10.0), 1.0);
+        }
+        // In order: assign, assign, complete, complete, complete.
+        for _ in 0..2 {
+            in_order.note_assignment();
+        }
+        for _ in 0..3 {
+            in_order.note_completion();
+        }
+        // Out of order: completions arrive first.
+        for _ in 0..3 {
+            out_of_order.note_completion();
+        }
+        for _ in 0..2 {
+            out_of_order.note_assignment();
+        }
+        assert_eq!(in_order.corrected_load(), out_of_order.corrected_load());
+        assert_eq!(in_order.corrected_load(), 0.0, "floored, 1 + 2 - 3 = 0");
+    }
+
+    /// Sampling the damped average many times at one instant must be
+    /// idempotent — zero elapsed time decays nothing and integrates
+    /// nothing, whatever the run-queue argument claims in between.
+    #[test]
+    fn same_instant_observations_are_idempotent() {
+        let mut la = LoadAverage::new(60.0);
+        la.observe(t(100.0), 2);
+        let v1 = la.observe(t(200.0), 2);
+        // Same instant, different queue lengths: dt = 0 ⇒ no change.
+        let v2 = la.observe(t(200.0), 7);
+        let v3 = la.observe(t(200.0), 0);
+        assert_eq!(v1, v2);
+        assert_eq!(v2, v3);
+        assert_eq!(la.value(), v1);
+    }
+
+    /// A monitor sampled twice over a split interval must agree with one
+    /// sampled once over the whole interval when the run-queue held
+    /// constant — the exponential damping composes.
+    #[test]
+    fn split_interval_composes() {
+        let mut split = LoadAverage::new(60.0);
+        let mut whole = LoadAverage::new(60.0);
+        split.observe(t(30.0), 4);
+        split.observe(t(90.0), 4);
+        let a = split.observe(t(120.0), 4);
+        whole.observe(t(30.0), 4);
+        let b = whole.observe(t(120.0), 4);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    /// Staleness of a never-refreshed report is the full elapsed time,
+    /// and `saturating_sub` keeps it sane for clocks at zero.
+    #[test]
+    fn staleness_of_initial_report() {
+        let r = LoadReport::initial(ServerId(3));
+        assert_eq!(r.staleness(t(75.0)), t(75.0));
+        assert_eq!(r.staleness(SimTime::ZERO), SimTime::ZERO);
+    }
 }

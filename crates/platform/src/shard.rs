@@ -1,0 +1,180 @@
+//! Deterministic partitioning of the server farm into shards.
+//!
+//! The shard federation (see `cas-middleware`) splits the agent's decision
+//! state — HTM traces, static index, selector — into per-shard engines so
+//! that no single structure scales with the whole farm. [`ShardMap`] is the
+//! partition itself: a pure function of `(n_servers, n_shards)`, with no
+//! dependence on machine parallelism, so a sharded experiment is
+//! reproducible bit for bit on any host.
+//!
+//! The partition is **contiguous**: shard `k` owns a block of consecutive
+//! global server ids. Two properties follow, and the federation relies on
+//! both:
+//!
+//! * global id order equals `(shard, local id)` lexicographic order, so a
+//!   shortlist sorted by global id groups into per-shard runs of
+//!   consecutive candidates (one `predict_all` batch per run), and
+//! * the global → local translation is a subtraction, not a table lookup.
+
+use crate::ids::ServerId;
+
+/// A deterministic contiguous partition of `n_servers` into shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    n_servers: usize,
+    /// Start of each shard's block plus a final sentinel equal to
+    /// `n_servers`: shard `k` owns global ids `starts[k]..starts[k + 1]`.
+    starts: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Partitions `n_servers` into `n_shards` near-equal contiguous
+    /// blocks (the first `n_servers % n_shards` shards are one larger).
+    /// `n_shards` is clamped to `[1, max(n_servers, 1)]` so every shard is
+    /// non-empty.
+    pub fn new(n_servers: usize, n_shards: usize) -> Self {
+        let n_shards = n_shards.clamp(1, n_servers.max(1));
+        let base = n_servers / n_shards;
+        let extra = n_servers % n_shards;
+        let mut starts = Vec::with_capacity(n_shards + 1);
+        let mut at = 0usize;
+        for k in 0..n_shards {
+            starts.push(at as u32);
+            at += base + usize::from(k < extra);
+        }
+        debug_assert_eq!(at, n_servers);
+        starts.push(n_servers as u32);
+        ShardMap { n_servers, starts }
+    }
+
+    /// The default shard count for an `n`-server farm: one shard per ~640
+    /// servers, capped at 16. Small farms stay unsharded (the federation
+    /// only pays off once per-engine state outgrows the cache), and the
+    /// count is a function of the platform alone — never of the host —
+    /// so `--shards auto` is reproducible across machines.
+    pub fn auto_shards(n_servers: usize) -> usize {
+        n_servers.div_ceil(640).clamp(1, 16)
+    }
+
+    /// Servers covered by the partition.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The shard owning `server`.
+    ///
+    /// # Panics
+    /// Panics if `server` is outside the partition.
+    pub fn owner(&self, server: ServerId) -> usize {
+        assert!(
+            (server.index()) < self.n_servers,
+            "{server} outside the {}-server shard map",
+            self.n_servers
+        );
+        // Blocks are near-equal, so the block index is a division away;
+        // the remainder shards at the front are one larger, which the
+        // partition_point handles exactly (starts is sorted).
+        self.starts
+            .partition_point(|&s| s as usize <= server.index())
+            - 1
+    }
+
+    /// The first global id of `shard`'s block.
+    pub fn start(&self, shard: usize) -> u32 {
+        self.starts[shard]
+    }
+
+    /// The global ids owned by `shard`, as a range.
+    pub fn members(&self, shard: usize) -> std::ops::Range<u32> {
+        self.starts[shard]..self.starts[shard + 1]
+    }
+
+    /// Number of servers in `shard`.
+    pub fn len(&self, shard: usize) -> usize {
+        (self.starts[shard + 1] - self.starts[shard]) as usize
+    }
+
+    /// Translates a global server id to its shard-local id.
+    pub fn to_local(&self, shard: usize, server: ServerId) -> ServerId {
+        debug_assert_eq!(self.owner(server), shard, "{server} not owned here");
+        ServerId(server.0 - self.starts[shard])
+    }
+
+    /// Translates a shard-local id back to the global id.
+    pub fn to_global(&self, shard: usize, local: ServerId) -> ServerId {
+        debug_assert!((local.0) < self.starts[shard + 1] - self.starts[shard]);
+        ServerId(self.starts[shard] + local.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_near_equal_blocks() {
+        let map = ShardMap::new(10, 3);
+        assert_eq!(map.n_shards(), 3);
+        assert_eq!(map.members(0), 0..4); // 10 % 3 = 1 extra up front
+        assert_eq!(map.members(1), 4..7);
+        assert_eq!(map.members(2), 7..10);
+        assert_eq!(map.len(0) + map.len(1) + map.len(2), 10);
+    }
+
+    #[test]
+    fn owner_and_translation_roundtrip() {
+        let map = ShardMap::new(1000, 7);
+        for s in 0..1000u32 {
+            let server = ServerId(s);
+            let shard = map.owner(server);
+            assert!(map.members(shard).contains(&s));
+            let local = map.to_local(shard, server);
+            assert_eq!(map.to_global(shard, local), server);
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps() {
+        assert_eq!(ShardMap::new(3, 8).n_shards(), 3, "no empty shards");
+        assert_eq!(ShardMap::new(8, 0).n_shards(), 1, "zero means one");
+        assert_eq!(ShardMap::new(0, 4).n_shards(), 1, "empty farm, one shard");
+        assert_eq!(ShardMap::new(0, 4).members(0), 0..0);
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let map = ShardMap::new(64, 1);
+        assert_eq!(map.members(0), 0..64);
+        for s in 0..64u32 {
+            assert_eq!(map.to_local(0, ServerId(s)), ServerId(s));
+        }
+    }
+
+    #[test]
+    fn auto_shards_scales_with_farm() {
+        assert_eq!(ShardMap::auto_shards(0), 1);
+        assert_eq!(ShardMap::auto_shards(100), 1);
+        assert_eq!(ShardMap::auto_shards(640), 1);
+        assert_eq!(ShardMap::auto_shards(641), 2);
+        assert_eq!(ShardMap::auto_shards(1000), 2);
+        assert_eq!(ShardMap::auto_shards(10_000), 16);
+        assert_eq!(ShardMap::auto_shards(1_000_000), 16, "capped");
+    }
+
+    #[test]
+    fn global_order_is_shard_lexicographic() {
+        let map = ShardMap::new(23, 5);
+        let mut seen = Vec::new();
+        for shard in 0..map.n_shards() {
+            for local in map.members(shard) {
+                seen.push(map.to_global(shard, ServerId(local - map.start(shard))).0);
+            }
+        }
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+}

@@ -8,6 +8,15 @@
 //! This is the template for running your own studies: pick workload and
 //! servers, generate metatasks, fan replications out over threads, and
 //! aggregate with confidence intervals.
+//!
+//! Scaling up? On farms past ~1k servers, federate the agent with
+//! `cfg.with_shards(Sharding::Auto)` (the `--shards auto` of the
+//! `casgrid` CLI): the farm partitions across per-shard engines behind a
+//! deterministic router, so no decision structure scales with the farm.
+//! `Sharding::Federated { shards: 1 }` is proven bit-identical to the
+//! default single agent — results never depend on how you shard a
+//! 4-server paper testbed like this one, which is why this example
+//! leaves the default alone.
 
 use casgrid::prelude::*;
 

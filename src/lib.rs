@@ -67,11 +67,11 @@ pub mod prelude {
     };
     pub use cas_middleware::{
         run_experiment, run_heuristic_matrix, run_replications, run_replications_sequential,
-        ExperimentConfig, FaultTolerance,
+        AgentRouter, ExperimentConfig, FaultTolerance, Sharding,
     };
     pub use cas_platform::{
-        CostTable, MemoryModel, PhaseCosts, Problem, ProblemId, ServerId, ServerSpec, StaticIndex,
-        TaskId, TaskInstance,
+        CostTable, IndexScoring, MemoryModel, PhaseCosts, Problem, ProblemId, ServerId, ServerSpec,
+        ShardMap, StaticIndex, TaskId, TaskInstance,
     };
     pub use cas_sim::{RngStream, SimTime, StreamKind};
     pub use cas_workload::metatask::{GapDistribution, MetataskSpec};

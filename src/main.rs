@@ -21,6 +21,15 @@ use casgrid::prelude::*;
 use casgrid::workload::synthetic::BurstArrivals;
 use std::process::ExitCode;
 
+/// Parses a numeric flag value into a one-line error naming the flag and
+/// the accepted form — never the raw `ParseIntError`/`ParseFloatError`
+/// text.
+fn num_flag<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: expected {expected}, got {value:?}"))
+}
+
 #[derive(Debug, Clone)]
 struct Args {
     workload: String,
@@ -33,6 +42,8 @@ struct Args {
     /// Burst period, seconds.
     burst_period: f64,
     selector: String,
+    shards: String,
+    index_scoring: String,
     tasks: usize,
     seed: u64,
     reps: usize,
@@ -52,6 +63,8 @@ impl Default for Args {
             burst: 1.0,
             burst_period: 1800.0,
             selector: "exhaustive".into(),
+            shards: "single".into(),
+            index_scoring: "work".into(),
             tasks: 500,
             seed: 1,
             reps: 1,
@@ -83,6 +96,14 @@ fn usage() -> &'static str {
      --selector NAME              stage-1 candidate selection:\n\
                                   exhaustive | topk[:K] | adaptive[:MIN:MAX]\n\
                                   [exhaustive]\n\
+     --shards N|auto              federate the agent across N shards\n\
+                                  (auto picks from the farm size; omit\n\
+                                  for the single-agent path; 1 runs the\n\
+                                  router over one shard, bit-identical\n\
+                                  to the single agent)  [single]\n\
+     --index-scoring work|count   stage-1 static-index proxy: predicted\n\
+                                  remaining work, or the count-based\n\
+                                  baseline              [work]\n\
      --tasks N                    metatask size          [500]\n\
      --seed N                     root seed              [1]\n\
      --reps N                     replications           [1]\n\
@@ -115,34 +136,70 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                         .collect(),
                 )
             }
-            "--gap" => args.gap = take(&mut i)?.parse().map_err(|e| format!("--gap: {e}"))?,
+            "--gap" => {
+                args.gap = num_flag("--gap", &take(&mut i)?, "a number of seconds (e.g. 15)")?
+            }
             "--burst" => {
-                args.burst = take(&mut i)?.parse().map_err(|e| format!("--burst: {e}"))?;
+                let v = take(&mut i)?;
+                args.burst = num_flag("--burst", &v, "a peak/trough RATIO >= 1 (e.g. 8)")?;
                 if args.burst < 1.0 {
-                    return Err("--burst: ratio must be >= 1".into());
+                    return Err(format!(
+                        "--burst: expected a peak/trough RATIO >= 1 (e.g. 8), got {v:?}"
+                    ));
                 }
             }
             "--burst-period" => {
-                args.burst_period = take(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--burst-period: {e}"))?;
+                let v = take(&mut i)?;
+                args.burst_period = num_flag(
+                    "--burst-period",
+                    &v,
+                    "a positive number of seconds (e.g. 1800)",
+                )?;
                 if args.burst_period <= 0.0 {
-                    return Err("--burst-period: must be positive".into());
+                    return Err(format!(
+                        "--burst-period: expected a positive number of seconds, got {v:?}"
+                    ));
                 }
             }
             "--selector" => {
                 let v = take(&mut i)?;
                 if SelectorKind::parse(&v).is_none() {
                     return Err(format!(
-                        "--selector: unknown spec {v} (exhaustive|topk[:K]|adaptive[:MIN:MAX])"
+                        "--selector: expected exhaustive | topk[:K] | adaptive[:MIN:MAX], got {v:?}"
                     ));
                 }
                 args.selector = v;
             }
-            "--tasks" => args.tasks = take(&mut i)?.parse().map_err(|e| format!("--tasks: {e}"))?,
-            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--reps" => args.reps = take(&mut i)?.parse().map_err(|e| format!("--reps: {e}"))?,
-            "--noise" => args.noise = take(&mut i)?.parse().map_err(|e| format!("--noise: {e}"))?,
+            "--shards" => {
+                let v = take(&mut i)?;
+                if !v.eq_ignore_ascii_case("single") && Sharding::parse(&v).is_none() {
+                    return Err(format!(
+                        "--shards: expected a shard count >= 1 or \"auto\", got {v:?}"
+                    ));
+                }
+                args.shards = v;
+            }
+            "--index-scoring" => {
+                let v = take(&mut i)?;
+                if IndexScoring::parse(&v).is_none() {
+                    return Err(format!(
+                        "--index-scoring: expected \"work\" or \"count\", got {v:?}"
+                    ));
+                }
+                args.index_scoring = v;
+            }
+            "--tasks" => {
+                args.tasks = num_flag("--tasks", &take(&mut i)?, "a positive integer (e.g. 500)")?
+            }
+            "--seed" => {
+                args.seed = num_flag("--seed", &take(&mut i)?, "a non-negative integer (e.g. 1)")?
+            }
+            "--reps" => {
+                args.reps = num_flag("--reps", &take(&mut i)?, "a positive integer (e.g. 3)")?
+            }
+            "--noise" => {
+                args.noise = num_flag("--noise", &take(&mut i)?, "a sigma >= 0 (e.g. 0.03)")?
+            }
             "--format" => args.format = take(&mut i)?,
             "--no-memory" => args.memory = false,
             "--sync" => args.sync = true,
@@ -171,6 +228,12 @@ fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper(kind, args.seed);
     cfg.noise_sigma = args.noise;
     cfg.selector = SelectorKind::parse(&args.selector).expect("validated at parse time");
+    cfg.shards = if args.shards.eq_ignore_ascii_case("single") {
+        Sharding::Single
+    } else {
+        Sharding::parse(&args.shards).expect("validated at parse time")
+    };
+    cfg.index_scoring = IndexScoring::parse(&args.index_scoring).expect("validated at parse time");
     if !args.memory {
         cfg.memory = MemoryModel::disabled();
     }
@@ -223,13 +286,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let runs = run_replications(config_of(args, kind), &costs, &servers, &workloads);
     let mut table = Table::new(
         format!(
-            "{} on {} ({} tasks, gap {} s, burst {}x, selector {}, {} rep(s))",
+            "{} on {} ({} tasks, gap {} s, burst {}x, selector {}, shards {}, {} rep(s))",
             kind.name(),
             args.workload,
             args.tasks,
             args.gap,
             args.burst,
             args.selector,
+            args.shards,
             args.reps
         ),
         vec!["mean".into(), "min".into(), "max".into()],
@@ -266,8 +330,8 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     );
     let mut table = Table::new(
         format!(
-            "{} tasks on {}, gap {} s, burst {}x, selector {}, {} rep(s)",
-            args.tasks, args.workload, args.gap, args.burst, args.selector, args.reps
+            "{} tasks on {}, gap {} s, burst {}x, selector {}, shards {}, {} rep(s)",
+            args.tasks, args.workload, args.gap, args.burst, args.selector, args.shards, args.reps
         ),
         names.clone(),
     );
@@ -308,8 +372,16 @@ fn cmd_list() {
     println!(
         "\nselectors (stage-1 candidate pruning):\n  \
          exhaustive        every solver gets an HTM query (paper behaviour)\n  \
-         topk[:K]          K best by static cost x believed load  [K=16]\n  \
-         adaptive[:MIN:MAX] self-adjusting width, near-tie + regret driven"
+         topk[:K]          K best by stage-1 score               [K=16]\n  \
+         adaptive[:MIN:MAX] self-adjusting width: near-tie, regret and\n  \
+                    completed-task stretch driven"
+    );
+    println!(
+        "\nsharding (--shards):\n  \
+         single (default)  one agent owns the whole farm (the paper)\n  \
+         N | auto          partition the farm across N per-shard engines\n  \
+                    behind the deterministic router; auto picks from\n  \
+                    the farm size; --shards 1 is bit-identical to single"
     );
 }
 
@@ -397,6 +469,56 @@ mod tests {
         assert!(parse(&argv("run --selector topk:0")).is_err());
         // The retired runner knob is gone for good.
         assert!(parse(&argv("run --workers 3")).is_err());
+    }
+
+    #[test]
+    fn parse_shards_and_index_scoring() {
+        let (_, args) = parse(&argv("run --shards auto --index-scoring count")).unwrap();
+        assert_eq!(args.shards, "auto");
+        assert_eq!(args.index_scoring, "count");
+        let cfg = config_of(&args, HeuristicKind::Hmct);
+        assert_eq!(cfg.shards, Sharding::Auto);
+        assert_eq!(cfg.index_scoring, IndexScoring::ActiveCount);
+        let (_, args) = parse(&argv("run --shards 4")).unwrap();
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).shards,
+            Sharding::Federated { shards: 4 }
+        );
+        let (_, args) = parse(&argv("run")).unwrap();
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).shards,
+            Sharding::Single
+        );
+        assert!(parse(&argv("run --shards 0")).is_err());
+        assert!(parse(&argv("run --shards sideways")).is_err());
+        assert!(parse(&argv("run --index-scoring nope")).is_err());
+    }
+
+    /// Flag parse failures must name the flag and the accepted forms —
+    /// one line, no raw `ParseIntError`/`ParseFloatError` text.
+    #[test]
+    fn parse_errors_name_flag_and_accepted_forms() {
+        for (cmdline, flag) in [
+            ("run --tasks many", "--tasks"),
+            ("run --seed x", "--seed"),
+            ("run --reps -2", "--reps"),
+            ("run --gap fast", "--gap"),
+            ("run --noise loud", "--noise"),
+            ("run --burst 0.2", "--burst"),
+            ("run --burst-period -5", "--burst-period"),
+            ("run --shards none", "--shards"),
+            ("run --selector best", "--selector"),
+            ("run --index-scoring vibes", "--index-scoring"),
+        ] {
+            let err = parse(&argv(cmdline)).unwrap_err();
+            assert!(err.starts_with(flag), "{cmdline}: {err}");
+            assert!(err.contains("expected"), "{cmdline}: {err}");
+            assert!(
+                !err.contains("invalid digit") && !err.contains("invalid float"),
+                "{cmdline} leaked a raw parse error: {err}"
+            );
+            assert_eq!(err.lines().count(), 1, "{cmdline}: {err}");
+        }
     }
 
     #[test]
