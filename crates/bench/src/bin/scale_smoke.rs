@@ -40,7 +40,7 @@ use cas_core::heuristics::HeuristicKind;
 use cas_core::{Htm, SelectorKind, SyncPolicy};
 use cas_metrics::MetricSet;
 use cas_middleware::shard::DecisionInputs;
-use cas_middleware::{AgentRouter, ExperimentConfig, GridWorld, Sharding};
+use cas_middleware::{AgentRouter, ExperimentConfig, GridWorld, Sharding, SkylineStats};
 use cas_platform::{
     CostTable, IndexScoring, LoadReport, ProblemId, ServerId, StaticIndex, TaskId, TaskInstance,
 };
@@ -57,14 +57,29 @@ fn env_or(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-/// One full campaign run; returns (metrics, wall seconds, events, queue
-/// backend, queue migrations).
+/// Everything one campaign run reports back.
+struct CampaignRun {
+    records: Vec<cas_metrics::TaskRecord>,
+    metrics: MetricSet,
+    wall: f64,
+    events: u64,
+    backend: &'static str,
+    migrations: u64,
+    /// Kernel events spent on periodic load reports (O(n) per period in
+    /// the default mode, O(S) with aggregated per-shard reports).
+    report_events: u64,
+    /// Kernel queue-pressure high-water mark.
+    peak_pending: usize,
+    /// Skyline visit/skip counters (zero off the lazy-merge path).
+    skyline: SkylineStats,
+}
+
 fn run_campaign(
     cfg: ExperimentConfig,
     costs: CostTable,
     servers: Vec<cas_platform::ServerSpec>,
     tasks: Vec<TaskInstance>,
-) -> (MetricSet, f64, u64, &'static str, u64) {
+) -> CampaignRun {
     let world = GridWorld::new(cfg, costs, servers, tasks);
     let mut sim = Simulation::new(world);
     let start = Instant::now();
@@ -73,14 +88,22 @@ fn run_campaign(
     let events = sim.processed();
     let backend = sim.queue().backend_name();
     let migrations = sim.queue().migrations();
+    let peak_pending = sim.peak_pending();
     let world = sim.into_world();
-    (
-        MetricSet::compute(world.records()),
+    let metrics = MetricSet::compute(world.records());
+    let report_events = world.report_events();
+    let skyline = world.agent().skyline_stats();
+    CampaignRun {
+        metrics,
+        report_events,
+        skyline,
+        records: world.into_records(),
         wall,
         events,
         backend,
         migrations,
-    )
+        peak_pending,
+    }
 }
 
 /// Decision-path microbenchmark at full platform width: µs per HMCT-style
@@ -192,9 +215,11 @@ fn decision_microbench(costs: &CostTable, k: usize, per_server: usize) -> (f64, 
 /// once the in-flight window fills — completes the oldest task, i.e. the
 /// commit *and* complete hooks (model repair + index re-rank) are timed
 /// as part of the pipeline, exactly as a live campaign pays them.
-/// Returns µs/task for the unsharded single agent versus an
-/// `n_shards`-way federation over the same platform: the contrast is
-/// purely structural (per-engine state `O(n)` vs `O(n/S)`), since worker
+/// Returns µs/task for the pre-federation engine, the unsharded single
+/// agent, the eager-merge federation and the skyline-merge federation
+/// over the same platform (plus the skyline arm's skipped-shard rate):
+/// the sharded contrasts are purely structural (per-engine state `O(n)`
+/// vs `O(n/S)`, scatter `O(S)` walks vs skyline-pruned), since worker
 /// fan-out cannot change results and this host measures the serial path.
 fn sharding_microbench(
     costs: &CostTable,
@@ -203,7 +228,7 @@ fn sharding_microbench(
     per_server: usize,
     width: usize,
     rounds: usize,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, f64, f64) {
     let n_servers = costs.n_servers();
     let reports: Vec<LoadReport> = (0..n_servers as u32)
         .map(|i| LoadReport::initial(ServerId(i)))
@@ -221,7 +246,7 @@ fn sharding_microbench(
     // with it, the arm measures the engine as it stood before this
     // refactor, the same way `decision_cost` keeps the exhaustive loop
     // as its predecessor baseline.
-    let run = |shards: Option<usize>, legacy_scan: bool| -> f64 {
+    let run = |shards: Option<usize>, legacy_scan: bool, skyline: bool| -> (f64, SkylineStats) {
         // ForceFinish so completions actually leave the traces — the
         // standing state of a live campaign — and so the complete hook
         // exercises the incremental repair the federation routes to one
@@ -232,7 +257,8 @@ fn sharding_microbench(
             selector,
             IndexScoring::RemainingWork,
             SyncPolicy::ForceFinish,
-        );
+        )
+        .with_skyline(skyline);
         let mut heuristic = HeuristicKind::Hmct.build();
         let mut tie_rng = RngStream::derive(9, StreamKind::TieBreak);
         let mut id = 50_000_000u64;
@@ -331,28 +357,37 @@ fn sharding_microbench(
             );
             id += 1;
         }
-        start.elapsed().as_secs_f64() * 1e6 / rounds as f64
+        let us = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+        (us, router.skyline_stats())
     };
 
     // Interleaved repetitions, median per arm: the arms' working sets
     // differ by orders of magnitude, so one-shot means are at the mercy
     // of host noise.
     let reps = 5;
-    let mut samples = [Vec::new(), Vec::new(), Vec::new()];
+    let mut samples = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut skip_rate = 0.0;
     for _ in 0..reps {
-        samples[0].push(run(None, true));
-        samples[1].push(run(None, false));
-        samples[2].push(run(Some(n_shards), false));
+        samples[0].push(run(None, true, true).0);
+        samples[1].push(run(None, false, true).0);
+        samples[2].push(run(Some(n_shards), false, false).0);
+        let (us, stats) = run(Some(n_shards), false, true);
+        samples[3].push(us);
+        // Deterministic: every rep sees the same decisions, so any rep's
+        // skip counters are the run's skip counters.
+        skip_rate = stats.skip_rate();
     }
     let median = |v: &mut Vec<f64>| -> f64 {
         v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         v[v.len() / 2]
     };
-    let [mut legacy, mut unsharded, mut sharded] = samples;
+    let [mut legacy, mut unsharded, mut eager, mut skyline] = samples;
     (
         median(&mut legacy),
         median(&mut unsharded),
-        median(&mut sharded),
+        median(&mut eager),
+        median(&mut skyline),
+        skip_rate,
     )
 }
 
@@ -366,6 +401,7 @@ fn main() {
     let compare_tasks = env_or("SCALE_SMOKE_COMPARE_TASKS", n_tasks.min(100_000) as f64) as usize;
     let decision_gate = env_or("SCALE_DECISION_GATE", 5.0);
     let delta_gate = env_or("SCALE_COMPLETION_DELTA_GATE", 0.01);
+    let skyline_gate = env_or("SKYLINE_DECISION_GATE", 1.5);
     let selector_spec =
         std::env::var("SCALE_SMOKE_SELECTOR").unwrap_or_else(|_| "adaptive:8:64".to_string());
     let selector = SelectorKind::parse(&selector_spec)
@@ -435,8 +471,10 @@ fn main() {
     let build_secs = build_start.elapsed().as_secs_f64();
 
     // 1. Headline campaign, pruned decision path.
-    let (metrics, run_secs, events, queue_backend, queue_migrations) =
-        run_campaign(cfg, costs.clone(), servers.clone(), tasks.clone());
+    let headline = run_campaign(cfg, costs.clone(), servers.clone(), tasks.clone());
+    let metrics = headline.metrics;
+    let (run_secs, events) = (headline.wall, headline.events);
+    let (queue_backend, queue_migrations) = (headline.backend, headline.migrations);
     let completed = metrics.completed;
     eprintln!(
         "{n_servers} servers, {n_tasks} tasks over {horizon:.0} sim-seconds \
@@ -468,20 +506,21 @@ fn main() {
     let (pruned_m, pruned_secs) = if compare_tasks == n_tasks {
         (metrics, run_secs)
     } else {
-        let (m, w, _, _, _) = run_campaign(
+        let run = run_campaign(
             cfg,
             costs.clone(),
             servers.clone(),
             compare_workload.clone(),
         );
-        (m, w)
+        (run.metrics, run.wall)
     };
-    let (exh_m, exh_secs, _, _, _) = run_campaign(
+    let exh = run_campaign(
         cfg.with_selector(SelectorKind::Exhaustive),
         costs.clone(),
         servers.clone(),
-        compare_workload,
+        compare_workload.clone(),
     );
+    let (exh_m, exh_secs) = (exh.metrics, exh.wall);
     let pruned_rate = pruned_m.completed as f64 / compare_tasks as f64;
     let exh_rate = exh_m.completed as f64 / compare_tasks as f64;
     let completion_delta = (pruned_rate - exh_rate).abs();
@@ -493,24 +532,64 @@ fn main() {
     );
 
     // 4. The sharded campaign: same workload through the shard
-    // federation; pruning decisions, hooks and model repair all stay
-    // O(shard). Gate: the federation may move the completion rate by at
+    // federation in its production configuration — skyline merge on,
+    // load reports aggregated per shard; pruning decisions, hooks and
+    // model repair all stay O(shard), report kernel events O(S) per
+    // period. Gate: the federation may move the completion rate by at
     // most the same delta the pruning gate allows.
     let n_shards = sharding.resolve(n_servers).unwrap_or(1);
-    let (sharded_m, sharded_secs, _, _, _) = run_campaign(
-        cfg.with_shards(sharding),
-        costs.clone(),
-        servers.clone(),
-        tasks.clone(),
-    );
+    let cfg_sharded = cfg.with_shards(sharding).with_aggregated_reports(true);
+    let sharded = run_campaign(cfg_sharded, costs.clone(), servers.clone(), tasks.clone());
+    let (sharded_m, sharded_secs) = (sharded.metrics, sharded.wall);
     let sharded_rate = sharded_m.completed as f64 / n_tasks as f64;
     let headline_rate = completed as f64 / n_tasks as f64;
     let shard_delta = (sharded_rate - headline_rate).abs();
+    let campaign_skip_rate = sharded.skyline.skip_rate();
     eprintln!(
         "sharded campaign ({n_shards} shards): {} / {n_tasks} completed in {sharded_secs:.1} s \
          wall (unsharded {run_secs:.1} s), completion delta {shard_delta:.4} \
          (gate <= {delta_gate}), mean stretch {:.3} vs {:.3}",
         sharded_m.completed, sharded_m.meanstretch, metrics.meanstretch
+    );
+    eprintln!(
+        "  skyline: skipped {:.1}% of shard walks ({} skips / {} decisions); \
+         report kernel events {} (aggregated per shard) vs {} (per server, unsharded arm); \
+         peak pending events {} vs {}",
+        100.0 * campaign_skip_rate,
+        sharded.skyline.shard_skips,
+        sharded.skyline.decisions,
+        sharded.report_events,
+        headline.report_events,
+        sharded.peak_pending,
+        headline.peak_pending,
+    );
+
+    // 4b. Skyline-on/off whole-run equality at the comparison size: the
+    // lazy merge must not move a single record. The delta gate here is
+    // exact (= 0) — pruning the walk may never prune the semantics.
+    let sky_on = run_campaign(
+        cfg_sharded,
+        costs.clone(),
+        servers.clone(),
+        compare_workload.clone(),
+    );
+    let sky_off = run_campaign(
+        cfg_sharded.with_skyline(false),
+        costs.clone(),
+        servers.clone(),
+        compare_workload,
+    );
+    let skyline_equal = sky_on.records == sky_off.records;
+    let skyline_delta = ((sky_on.metrics.completed as f64 - sky_off.metrics.completed as f64)
+        / compare_tasks as f64)
+        .abs();
+    eprintln!(
+        "skyline equivalence over {compare_tasks} tasks ({n_shards} shards): records equal: \
+         {skyline_equal}, completion delta {skyline_delta} (gate = 0 exactly), \
+         {:.1} s wall skyline-on vs {:.1} s skyline-off, skipped-shard-rate {:.3}",
+        sky_on.wall,
+        sky_off.wall,
+        sky_on.skyline.skip_rate(),
     );
 
     // 5. Decision-pipeline microbench at production width: the full
@@ -522,22 +601,27 @@ fn main() {
     };
     let shard_costs = shard_platform.cost_table(seed);
     let shard_specs = shard_platform.servers(seed);
-    let (legacy_us, unsharded_us, sharded_us) = sharding_microbench(
-        &shard_costs,
-        &shard_specs,
-        shard_bench_shards,
-        shard_bench_per_server,
-        shard_bench_width,
-        shard_bench_rounds,
-    );
+    let (legacy_us, unsharded_us, sharded_eager_us, sharded_us, bench_skip_rate) =
+        sharding_microbench(
+            &shard_costs,
+            &shard_specs,
+            shard_bench_shards,
+            shard_bench_per_server,
+            shard_bench_width,
+            shard_bench_rounds,
+        );
     let shard_speedup = legacy_us / sharded_us;
     let shard_speedup_cached = unsharded_us / sharded_us;
+    let skyline_speedup = sharded_eager_us / sharded_us;
     eprintln!(
         "decision pipeline at {shard_bench_servers} servers x {shard_bench_per_server} tasks, \
          width {shard_bench_width}: pre-federation engine {legacy_us:.1} µs/task, \
          unsharded (mem scan hoisted) {unsharded_us:.1} µs/task, \
-         {shard_bench_shards} shards {sharded_us:.1} µs/task; speedup {shard_speedup:.2}x \
-         vs pre-federation (gate >= {shard_gate}x), {shard_speedup_cached:.2}x vs hoisted unsharded"
+         {shard_bench_shards} shards eager merge {sharded_eager_us:.1} µs/task, \
+         skyline merge {sharded_us:.1} µs/task; speedup {shard_speedup:.2}x \
+         vs pre-federation (gate >= {shard_gate}x), {shard_speedup_cached:.2}x vs hoisted \
+         unsharded, {skyline_speedup:.2}x vs eager merge (gate >= {skyline_gate}x, \
+         skipped-shard-rate {bench_skip_rate:.3})"
     );
 
     let ok_campaign = run_secs <= budget_secs && completed == n_tasks;
@@ -545,7 +629,15 @@ fn main() {
     let ok_delta = completion_delta <= delta_gate;
     let ok_shard_delta = shard_delta <= delta_gate && sharded_m.completed == n_tasks;
     let ok_shard_decision = shard_speedup >= shard_gate;
-    let ok = ok_campaign && ok_decision && ok_delta && ok_shard_delta && ok_shard_decision;
+    let ok_skyline_equal = skyline_equal && skyline_delta == 0.0;
+    let ok_skyline_decision = skyline_speedup >= skyline_gate && bench_skip_rate > 0.0;
+    let ok = ok_campaign
+        && ok_decision
+        && ok_delta
+        && ok_shard_delta
+        && ok_shard_decision
+        && ok_skyline_equal
+        && ok_skyline_decision;
 
     let mut json = String::new();
     let _ = write!(
@@ -591,7 +683,28 @@ fn main() {
          \"completed\": {},\n      \"wall_run_s\": {sharded_secs:.3},\n      \
          \"unsharded_wall_run_s\": {run_secs:.3},\n      \"mean_stretch\": {:.4},\n      \
          \"completion_delta_vs_unsharded\": {shard_delta:.6},\n      \
+         \"skipped_shard_rate\": {campaign_skip_rate:.4},\n      \
          \"acceptance\": {{\"max_completion_delta\": {delta_gate}, \"pass\": {ok_shard_delta}}}\n    }},\n    \
+         \"reports\": {{\n      \"aggregated_per_shard\": true,\n      \
+         \"report_kernel_events_sharded\": {},\n      \
+         \"report_kernel_events_unsharded_per_server\": {},\n      \
+         \"peak_pending_events_sharded\": {},\n      \
+         \"peak_pending_events_unsharded\": {},\n      \
+         \"note\": \"aggregated mode fires one kernel event per shard per period (O(S)) instead \
+         of one per server (O(n)); the unsharded headline arm keeps the per-server schedule\"\n    }},\n    \
+         \"skyline\": {{\n      \"equivalence\": {{\n        \"tasks\": {compare_tasks},\n        \
+         \"records_equal\": {skyline_equal},\n        \
+         \"completion_delta\": {skyline_delta:.6},\n        \
+         \"wall_on_s\": {:.3},\n        \"wall_off_s\": {:.3},\n        \
+         \"skipped_shard_rate\": {:.4},\n        \
+         \"acceptance\": {{\"required\": \"records bit-identical, delta exactly 0\", \
+         \"pass\": {ok_skyline_equal}}}\n      }},\n      \
+         \"decision_path\": {{\n        \"eager_merge_us_per_task\": {sharded_eager_us:.2},\n        \
+         \"skyline_merge_us_per_task\": {sharded_us:.2},\n        \
+         \"speedup_vs_eager\": {skyline_speedup:.2},\n        \
+         \"skipped_shard_rate\": {bench_skip_rate:.4},\n        \
+         \"acceptance\": {{\"required_min_speedup\": {skyline_gate}, \
+         \"required_skip_rate\": \"> 0\", \"pass\": {ok_skyline_decision}}}\n      }}\n    }},\n    \
          \"decision_path\": {{\n      \"unit\": \"microseconds per task through the full decision \
          pipeline (two-stage decision, commit hook, complete hook; HMCT, TopK width \
          {shard_bench_width})\",\n      \
@@ -599,21 +712,33 @@ fn main() {
          \"per_server_tasks\": {shard_bench_per_server},\n      \
          \"pre_federation_us_per_task\": {legacy_us:.2},\n      \
          \"unsharded_us_per_task\": {unsharded_us:.2},\n      \
+         \"sharded_eager_us_per_task\": {sharded_eager_us:.2},\n      \
          \"sharded_us_per_task\": {sharded_us:.2},\n      \
          \"speedup_vs_pre_federation\": {shard_speedup:.2},\n      \
          \"speedup_vs_unsharded\": {shard_speedup_cached:.2},\n      \
          \"note\": \"pre_federation replays the engine as of the previous PR (per-decision O(n) \
          platform scan included), the predecessor baseline this section gates against — the same \
-         convention decision_cost uses with the exhaustive loop; unsharded_us_per_task is this \
-         PR's single-agent path with the scan hoisted\",\n      \
+         convention decision_cost uses with the exhaustive loop; unsharded_us_per_task is the \
+         single-agent path with the scan hoisted; sharded_us_per_task is the production skyline \
+         merge (sharded_eager_us_per_task replays the eager full scatter)\",\n      \
          \"acceptance\": {{\"required_min_speedup\": {shard_gate}, \"pass\": {ok_shard_decision}}}\n    }}\n  }},\n",
-        sharded_m.completed, sharded_m.meanstretch,
+        sharded_m.completed,
+        sharded_m.meanstretch,
+        sharded.report_events,
+        headline.report_events,
+        sharded.peak_pending,
+        headline.peak_pending,
+        sky_on.wall,
+        sky_off.wall,
+        sky_on.skyline.skip_rate(),
     );
     let _ = write!(
         json,
         "  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \"all_tasks_complete\": {}, \
          \"decision_gate_pass\": {ok_decision}, \"completion_delta_pass\": {ok_delta}, \
          \"shard_delta_pass\": {ok_shard_delta}, \"shard_decision_gate_pass\": {ok_shard_decision}, \
+         \"skyline_equivalence_pass\": {ok_skyline_equal}, \
+         \"skyline_decision_gate_pass\": {ok_skyline_decision}, \
          \"pass\": {ok}}}\n}}\n",
         completed == n_tasks,
     );

@@ -28,7 +28,8 @@
 use cas_core::heuristics::HeuristicKind;
 use cas_core::SelectorKind;
 use cas_metrics::{MetricSet, Table};
-use cas_middleware::{run_heuristic_matrix, run_replications, ExperimentConfig, Sharding};
+use cas_middleware as middleware;
+use cas_middleware::{run_heuristic_matrix, ExperimentConfig, Sharding};
 use cas_platform::{CostTable, ProblemId, ServerId, ServerSpec, TaskInstance};
 use cas_workload::metatask::MetataskSpec;
 use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
@@ -197,10 +198,11 @@ fn sweep_crest() {
 
 /// Shard-count sweep: the same bursty campaign on a synthetic farm,
 /// through the single agent and through federations of growing width.
-/// Charts completion, mean stretch and wall time per shard count — the
+/// Charts completion, mean stretch, wall time (skyline merge and eager
+/// merge) and the skyline's skipped-shard rate per shard count — the
 /// quality side of the federation (`--shards N` must not move the
-/// metrics) next to its cost side (`BENCH_scale.json`'s sharding
-/// section).
+/// metrics, skyline-on must equal skyline-off exactly) next to its cost
+/// side (`BENCH_scale.json`'s sharding section).
 fn sweep_shards() {
     const SHARD_COUNTS: [Sharding; 5] = [
         Sharding::Single,
@@ -240,8 +242,22 @@ fn sweep_shards() {
             "meanstretch".into(),
             "maxstretch".into(),
             "wall s".into(),
+            "eager s".into(),
+            "skip %".into(),
         ],
     );
+    // One campaign through the world directly (not the runner) so the
+    // router's skyline counters are readable afterwards.
+    let run = |cfg: middleware::ExperimentConfig| {
+        let world = middleware::GridWorld::new(cfg, costs.clone(), servers.clone(), tasks.clone());
+        let mut sim = cas_sim::Simulation::new(world);
+        let start = std::time::Instant::now();
+        let _ = sim.run_to_completion();
+        let wall = start.elapsed().as_secs_f64();
+        let world = sim.into_world();
+        let skip = world.agent().skyline_stats().skip_rate();
+        (world.records().to_vec(), wall, skip)
+    };
     for sharding in SHARD_COUNTS {
         let cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, seed)
             .with_selector(SelectorKind::Adaptive {
@@ -249,10 +265,13 @@ fn sweep_shards() {
                 k_max: 64,
             })
             .with_shards(sharding);
-        let start = std::time::Instant::now();
-        let runs = run_replications(cfg, &costs, &servers, std::slice::from_ref(&tasks));
-        let wall = start.elapsed().as_secs_f64();
-        let m = MetricSet::compute(&runs[0]);
+        let (recs, wall, skip) = run(cfg);
+        let (eager_recs, eager_wall, _) = run(cfg.with_skyline(false));
+        assert_eq!(
+            recs, eager_recs,
+            "{sharding:?}: skyline on/off must be record-identical"
+        );
+        let m = MetricSet::compute(&recs);
         let label = match sharding {
             Sharding::Single => "single agent".to_string(),
             Sharding::Auto => "auto".to_string(),
@@ -260,15 +279,25 @@ fn sweep_shards() {
         };
         table.push_row_f64(
             label,
-            &[m.completed as f64, m.meanstretch, m.maxstretch, wall],
+            &[
+                m.completed as f64,
+                m.meanstretch,
+                m.maxstretch,
+                wall,
+                eager_wall,
+                100.0 * skip,
+            ],
             3,
         );
     }
     println!("{}", table.render());
     println!(
         "The single-agent row and the 1-shard row must agree exactly (the S = 1
-         invariant); wider federations may move placements slightly (each shard
-         adapts its own stage-1 width) but completion and stretch stay flat."
+         invariant), and every row is asserted record-identical between the
+         skyline merge (`wall s`) and the eager scatter (`eager s`) — `skip %`
+         is the fraction of shard walks the skyline avoided. Wider federations
+         may move placements slightly (each shard adapts its own stage-1 width)
+         but completion and stretch stay flat."
     );
 }
 

@@ -83,6 +83,23 @@ pub trait CandidateSelector: Send {
         false
     }
 
+    /// A hard upper bound on the shortlist length this selector can ever
+    /// emit (for any input), or `None` when it has no fixed bound (the
+    /// exhaustive backend). A shard federation combines this with the
+    /// index's per-problem solvable count to decide — *before* running
+    /// the selector — whether a shard could possibly contribute to the
+    /// merged shortlist: a shard whose skyline score cannot beat the cut
+    /// line and whose width bound cannot widen the merge is skipped
+    /// without its selector being called at all. Implementations
+    /// overriding this must guarantee `shortlist` never emits more than
+    /// the bound, and must tolerate decisions on which they are not
+    /// called (skipping is a pure pruning of the merge, so a skipped
+    /// shard never owns the eventual pick and never receives
+    /// [`CandidateSelector::observe_selection`] for that decision).
+    fn width_cap(&self) -> Option<usize> {
+        None
+    }
+
     /// Feedback after stage 2: the heuristic chose `chosen` from the last
     /// shortlist. Lets adaptive backends track regret. Default: ignored.
     fn observe_selection(&mut self, chosen: ServerId) {
@@ -181,6 +198,10 @@ impl CandidateSelector for TopK {
         // instead of making the caller re-derive each one.
         input.index.k_best(input.problem, self.k, admit, out);
         true
+    }
+
+    fn width_cap(&self) -> Option<usize> {
+        Some(self.k)
     }
 }
 
@@ -324,6 +345,12 @@ impl CandidateSelector for Adaptive {
         out.clear();
         out.extend_from_slice(&self.last);
         true
+    }
+
+    fn width_cap(&self) -> Option<usize> {
+        // Near-tie widening stops at `k_max` (`fill_last` breaks once the
+        // cut reaches it), so the ceiling is the hard bound.
+        Some(self.k_max)
     }
 
     fn observe_selection(&mut self, chosen: ServerId) {
@@ -734,6 +761,25 @@ mod tests {
     #[should_panic(expected = "k >= 1")]
     fn topk_zero_panics() {
         TopK::new(0);
+    }
+
+    /// `width_cap` is a true upper bound on every emitted shortlist:
+    /// exhaustive is unbounded, TopK caps at k, Adaptive at k_max even
+    /// through near-tie widening.
+    #[test]
+    fn width_cap_bounds_emitted_width() {
+        assert_eq!(Exhaustive.width_cap(), None);
+        assert_eq!(TopK::new(3).width_cap(), Some(3));
+        let costs = table();
+        let index = StaticIndex::new(&costs);
+        // k_min = 3 would absorb the tied S3 via near-tie widening, but
+        // k_max = 3 pins the cap.
+        let mut sel = Adaptive::new(3, 3);
+        assert_eq!(sel.width_cap(), Some(3));
+        let out = run(&mut sel, &costs, &index, 0, |_| true);
+        assert_eq!(out.len(), 3);
+        let mut topk = TopK::new(2);
+        assert!(run(&mut topk, &costs, &index, 0, |_| true).len() <= 2);
     }
 }
 

@@ -96,6 +96,25 @@ pub struct ExperimentConfig {
     /// Which static proxy orders the stage-1 index: predicted remaining
     /// work (default) or the count-based baseline.
     pub index_scoring: IndexScoring,
+    /// Lazy federation merge (`--skyline on|off`, default on): the router
+    /// visits shards in skyline order and skips shards whose best stage-1
+    /// score provably cannot reach the merged shortlist. A pure pruning
+    /// of the merge — decisions are bit-identical either way (proven by
+    /// the differential harness) — so `false` exists only as the
+    /// executable-spec arm of those differential runs. Ignored by the
+    /// single-agent path and by exhaustive selectors (which always take
+    /// the full union).
+    pub skyline: bool,
+    /// Collapse the periodic per-server load-report events into one
+    /// aggregated event per shard (default off): each firing refreshes
+    /// the whole shard block in a single kernel event, cutting report
+    /// queue pressure from O(n_servers) to O(n_shards) per period on
+    /// huge farms. Changes *when* reports refresh (a shard's servers
+    /// report together at the shard's phase instead of staggered
+    /// per-server), so it is a config knob rather than a sharding
+    /// side-effect — the S = 1 ≡ Single invariant is stated at equal
+    /// report modes.
+    pub aggregated_reports: bool,
     /// HTM ↔ reality synchronisation policy.
     pub sync: SyncPolicy,
     /// Root seed: drives ground-truth noise and tie-breaking. The workload
@@ -141,6 +160,8 @@ impl ExperimentConfig {
             selector: SelectorKind::Exhaustive,
             shards: Sharding::Single,
             index_scoring: IndexScoring::RemainingWork,
+            skyline: true,
+            aggregated_reports: false,
             sync: SyncPolicy::None,
             seed,
             load_report_period: 30.0,
@@ -163,6 +184,8 @@ impl ExperimentConfig {
             selector: SelectorKind::Exhaustive,
             shards: Sharding::Single,
             index_scoring: IndexScoring::RemainingWork,
+            skyline: true,
+            aggregated_reports: false,
             sync: SyncPolicy::None,
             seed,
             load_report_period: 5.0,
@@ -205,6 +228,19 @@ impl ExperimentConfig {
     /// Returns a copy with a different stage-1 index scoring proxy.
     pub fn with_index_scoring(mut self, scoring: IndexScoring) -> Self {
         self.index_scoring = scoring;
+        self
+    }
+
+    /// Returns a copy with the skyline lazy merge toggled (differential
+    /// runs pin it off to replay the eager full-scatter router).
+    pub fn with_skyline(mut self, skyline: bool) -> Self {
+        self.skyline = skyline;
+        self
+    }
+
+    /// Returns a copy with aggregated per-shard load reports toggled.
+    pub fn with_aggregated_reports(mut self, aggregated: bool) -> Self {
+        self.aggregated_reports = aggregated;
         self
     }
 }

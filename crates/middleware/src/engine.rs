@@ -108,6 +108,10 @@ pub struct GridWorld {
     /// Servers the agent has learned are collapsed (a refusal response
     /// carries the flag).
     agent_known_dead: Vec<bool>,
+    /// Kernel events spent on load reports so far (per-server events in
+    /// the default mode, per-shard events in aggregated mode) — the
+    /// counter behind the O(n) → O(S) queue-pressure claim.
+    report_events: u64,
 }
 
 impl GridWorld {
@@ -152,7 +156,8 @@ impl GridWorld {
                 cfg.selector,
                 cfg.index_scoring,
                 cfg.sync,
-            ),
+            )
+            .with_skyline(cfg.skyline),
             heuristic: cfg.heuristic.build(),
             tie_rng: RngStream::derive(cfg.seed, StreamKind::TieBreak),
             cpu_noise: (0..n as u32)
@@ -182,6 +187,7 @@ impl GridWorld {
             },
             records,
             agent_known_dead: vec![false; n],
+            report_events: 0,
             cfg,
             costs,
             tasks,
@@ -210,6 +216,13 @@ impl GridWorld {
         &self.records
     }
 
+    /// Consumes the world, returning the per-task records without a
+    /// copy (for benches that keep whole-campaign records around, e.g.
+    /// the skyline-on/off equality arms at 10⁶ tasks).
+    pub fn into_records(self) -> Vec<TaskRecord> {
+        self.records
+    }
+
     /// One server's runtime state.
     pub fn server(&self, id: ServerId) -> &ServerRuntime {
         &self.servers[id.index()]
@@ -218,6 +231,13 @@ impl GridWorld {
     /// Number of tasks not yet terminal.
     pub fn remaining(&self) -> usize {
         self.remaining
+    }
+
+    /// Kernel events spent on periodic load reports so far: one per
+    /// server per period in the default mode, one per **shard** per
+    /// period with `ExperimentConfig::aggregated_reports` on.
+    pub fn report_events(&self) -> u64 {
+        self.report_events
     }
 
     fn resource(&self, server: ServerId, phase: Phase) -> &cas_platform::FairShareResource<TaskId> {
@@ -547,6 +567,7 @@ impl GridWorld {
         server: ServerId,
         sched: &mut Scheduler<'_, GridEvent>,
     ) {
+        self.report_events += 1;
         let len = self.servers[server.index()].run_queue_len();
         let value = self.monitors[server.index()].observe(now, len);
         self.reports[server.index()].refresh(now, value);
@@ -554,6 +575,33 @@ impl GridWorld {
             sched.in_(
                 SimTime::from_secs(self.cfg.load_report_period),
                 GridEvent::LoadReport { server },
+            );
+        }
+    }
+
+    /// Aggregated report: one kernel event refreshes the whole shard
+    /// block. Per-server work is identical to the per-server events (one
+    /// monitor observation and one report refresh each); only the kernel
+    /// pressure changes — O(n_shards) pending report events instead of
+    /// O(n_servers).
+    fn handle_shard_load_report(
+        &mut self,
+        now: SimTime,
+        shard: usize,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        self.report_events += 1;
+        let members = self.agent.map().members(shard);
+        for s in members {
+            let i = s as usize;
+            let len = self.servers[i].run_queue_len();
+            let value = self.monitors[i].observe(now, len);
+            self.reports[i].refresh(now, value);
+        }
+        if self.remaining > 0 {
+            sched.in_(
+                SimTime::from_secs(self.cfg.load_report_period),
+                GridEvent::ShardLoadReport { shard },
             );
         }
     }
@@ -602,16 +650,30 @@ impl World for GridWorld {
             sched.at(task.arrival, GridEvent::Submit { idx });
         }
         let n = self.servers.len().max(1);
+        if self.cfg.aggregated_reports {
+            // One report event per shard, staggered across shards the
+            // same way per-server reports stagger across servers.
+            let n_shards = self.agent.map().n_shards().max(1);
+            for k in 0..self.agent.map().n_shards() {
+                let phase = self.cfg.load_report_period * (k + 1) as f64 / n_shards as f64;
+                sched.at(
+                    SimTime::from_secs(phase),
+                    GridEvent::ShardLoadReport { shard: k },
+                );
+            }
+        }
         for i in 0..self.servers.len() {
             // Stagger periodic events across servers so reports don't all
             // land on the same instant.
-            let phase = self.cfg.load_report_period * (i + 1) as f64 / n as f64;
-            sched.at(
-                SimTime::from_secs(phase),
-                GridEvent::LoadReport {
-                    server: ServerId(i as u32),
-                },
-            );
+            if !self.cfg.aggregated_reports {
+                let phase = self.cfg.load_report_period * (i + 1) as f64 / n as f64;
+                sched.at(
+                    SimTime::from_secs(phase),
+                    GridEvent::LoadReport {
+                        server: ServerId(i as u32),
+                    },
+                );
+            }
             if self.cfg.noise_sigma > 0.0 {
                 let phase = self.cfg.noise_redraw_period * (i + 1) as f64 / n as f64;
                 sched.at(
@@ -647,6 +709,9 @@ impl World for GridWorld {
             }
             GridEvent::ClientLinkDone { gen } => self.handle_client_link_done(now, gen, sched),
             GridEvent::LoadReport { server } => self.handle_load_report(now, server, sched),
+            GridEvent::ShardLoadReport { shard } => {
+                self.handle_shard_load_report(now, shard, sched)
+            }
             GridEvent::NoiseRedraw { server } => self.handle_noise_redraw(now, server, sched),
         }
     }
@@ -1088,6 +1153,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The skyline acceptance property, end to end: whole-campaign
+    /// record equality, skyline-on versus skyline-off, for **every**
+    /// heuristic × selector backend at S = 4 — same servers, same
+    /// attempts, same completion dates, bit for bit, including the
+    /// retry/memory/noise machinery. The lazy merge may only prune
+    /// walks, never decisions.
+    #[test]
+    fn skyline_campaigns_bitwise_match_eager_end_to_end() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        for kind in HeuristicKind::ALL {
+            for selector in [
+                cas_core::SelectorKind::Exhaustive,
+                cas_core::SelectorKind::TopK { k: 1 },
+                cas_core::SelectorKind::TopK { k: 64 },
+                cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+            ] {
+                let cfg = ExperimentConfig::paper(kind, 27)
+                    .with_selector(selector)
+                    .with_shards(Sharding::Federated { shards: 4 });
+                assert!(cfg.skyline, "lazy merge is the default");
+                let lazy = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+                let eager = run_experiment(
+                    cfg.with_skyline(false),
+                    costs.clone(),
+                    servers.clone(),
+                    tasks.clone(),
+                );
+                assert_eq!(
+                    lazy, eager,
+                    "{kind:?}/{selector:?} diverged between skyline on and off"
+                );
+            }
+        }
+    }
+
+    /// Aggregated load reports fire O(n_shards) kernel events per period
+    /// instead of O(n_servers) — and, for a heuristic that never reads
+    /// the reports, change nothing else about the run.
+    #[test]
+    fn aggregated_reports_fire_per_shard_not_per_server() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 11)
+            .with_shards(Sharding::Federated { shards: 3 });
+        let run = |cfg: ExperimentConfig| {
+            let world = GridWorld::new(cfg, costs.clone(), servers.clone(), tasks.clone());
+            let mut sim = cas_sim::Simulation::new(world);
+            let _ = sim.run_to_completion();
+            let world = sim.into_world();
+            (world.records().to_vec(), world.report_events())
+        };
+        let (per_server_recs, per_server_events) = run(cfg);
+        let (per_shard_recs, per_shard_events) = run(cfg.with_aggregated_reports(true));
+        // HMCT never reads the load reports, so the whole run is
+        // bit-identical — the only difference is kernel pressure.
+        assert_eq!(per_server_recs, per_shard_recs);
+        assert!(per_shard_events > 0, "aggregated reports must fire");
+        // 3 shards over 6 servers, same period, same staggering, same
+        // horizon: half the kernel events (± the tail-of-run partials).
+        assert!(
+            per_shard_events * 2 <= per_server_events + 6,
+            "expected ~{}/2 aggregated report events, got {per_shard_events}",
+            per_server_events
+        );
+        assert!(
+            per_shard_events * 2 + 6 >= per_server_events,
+            "aggregated mode fired implausibly few events: \
+             {per_shard_events} vs {per_server_events} per-server"
+        );
+        // A report-reading heuristic still completes every task on the
+        // aggregated schedule (its decisions may legitimately differ).
+        let mct = ExperimentConfig::paper(HeuristicKind::Mct, 11)
+            .with_shards(Sharding::Federated { shards: 3 })
+            .with_aggregated_reports(true);
+        let (recs, _) = run(mct);
+        assert!(recs.iter().all(|r| r.is_completed()));
     }
 
     /// Retry exclusions must stay honoured through the federation: after

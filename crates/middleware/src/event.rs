@@ -43,6 +43,14 @@ pub enum GridEvent {
         /// The reporting server.
         server: ServerId,
     },
+    /// Periodic **aggregated** monitor report: one kernel event refreshes
+    /// every server in one shard's block (only used when
+    /// `ExperimentConfig::aggregated_reports` is on). At 10k servers this
+    /// turns O(n_servers) report events per period into O(n_shards).
+    ShardLoadReport {
+        /// The reporting shard (index into the router's `ShardMap`).
+        shard: usize,
+    },
     /// Periodic redraw of a server's ground-truth speed noise.
     NoiseRedraw {
         /// The affected server.

@@ -27,6 +27,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod harness;
 pub mod runner;
 pub mod shard;
 pub mod validate;
@@ -34,8 +35,9 @@ pub mod validate;
 pub use config::{ExperimentConfig, FaultTolerance, Sharding};
 pub use engine::{run_experiment, GridWorld};
 pub use event::GridEvent;
+pub use harness::{DecisionAgent, DiffHarness, DiffSession, Op, SingleAgentReference};
 pub use runner::{
     run_heuristic_matrix, run_replications, run_replications_sequential, MatrixResult,
 };
-pub use shard::{AgentRouter, ShardEngine};
+pub use shard::{AgentRouter, ShardEngine, SkylineStats};
 pub use validate::{validation_report, ValidationRow};

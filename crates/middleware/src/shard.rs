@@ -186,6 +186,58 @@ impl ShardEngine {
     pub fn htm(&self) -> &Htm {
         &self.htm
     }
+
+    /// The shard's **skyline** for `problem`: the best `(score bits,
+    /// global id)` key its stage-1 index currently holds, or `None` when
+    /// nothing in the shard solves the problem. Maintained for free by
+    /// the same commit/retract/complete hooks that re-rank the index, so
+    /// reading it costs one tree-head lookup and no scan. Ignores the
+    /// decision's `admit` filter, which only ever *removes* candidates —
+    /// the skyline is therefore a valid lower bound on any key the shard
+    /// could contribute.
+    fn skyline(&self, problem: ProblemId) -> Option<(u64, ServerId)> {
+        self.index
+            .best_key(problem)
+            .map(|(bits, local)| (bits, ServerId(local.0 + self.start)))
+    }
+
+    /// Upper bound on the shortlist width this shard can emit for
+    /// `problem`: its selector's hard cap, further capped by how many of
+    /// its servers solve the problem at all.
+    fn width_bound(&self, problem: ProblemId) -> usize {
+        let solvable = self.index.solvable_count(problem);
+        match self.selector.width_cap() {
+            Some(cap) => solvable.min(cap),
+            None => solvable,
+        }
+    }
+}
+
+/// Visit/skip counters of the skyline merge (cumulative over the
+/// router's lifetime). `shard_visits + shard_skips` equals
+/// `decisions × n_shards` — every shard is either walked or provably
+/// unable to contribute.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SkylineStats {
+    /// Federated decisions taken through the lazy merge.
+    pub decisions: u64,
+    /// Shards whose stage-1 selector actually ran.
+    pub shard_visits: u64,
+    /// Shards skipped — skyline beyond the cut line, or no solvable
+    /// server for the problem.
+    pub shard_skips: u64,
+}
+
+impl SkylineStats {
+    /// Fraction of shard walks avoided, in `[0, 1]`.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.shard_visits + self.shard_skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.shard_skips as f64 / total as f64
+        }
+    }
 }
 
 /// Everything one scheduling decision needs from the world, read-only.
@@ -216,11 +268,23 @@ pub struct AgentRouter {
     federated: bool,
     /// Exhaustive selectors merge by union, without truncation.
     exhaustive: bool,
+    /// Lazy skyline merge on (default): shards are visited in skyline
+    /// order and skipped once they provably cannot contribute. Off
+    /// replays the PR-4 eager full scatter — the executable spec the
+    /// differential harness diffs the lazy merge against.
+    skyline: bool,
+    /// Cumulative visit/skip counters of the skyline merge.
+    stats: SkylineStats,
     /// Run-wide decision memo lent to each decision's `SchedView`
     /// (dense by *global* server index).
     memo: DecisionMemo,
-    /// Merge scratch: `(score bits, global id)` across shards.
+    /// Merge scratch: `(score bits, global id)` across shards. The lazy
+    /// merge keeps it sorted ascending so the cut line is an indexed
+    /// read.
     merged: Vec<(u64, ServerId)>,
+    /// Lazy-merge scratch: `(skyline bits, skyline global id, shard)` —
+    /// the visit order.
+    order: Vec<(u64, u32, u32)>,
     /// Merge scratch: the final candidate list, ascending global id.
     candidates: Vec<ServerId>,
 }
@@ -250,10 +314,28 @@ impl AgentRouter {
             shards,
             federated,
             exhaustive: selector == SelectorKind::Exhaustive,
+            skyline: true,
+            stats: SkylineStats::default(),
             memo: DecisionMemo::new(),
             merged: Vec::new(),
+            order: Vec::new(),
             candidates: Vec::new(),
         }
+    }
+
+    /// Toggles the lazy skyline merge (on by default). Off replays the
+    /// eager full scatter; decisions are proven bit-identical either way,
+    /// so this exists for the differential runs and as an escape hatch.
+    pub fn with_skyline(mut self, skyline: bool) -> Self {
+        self.skyline = skyline;
+        self
+    }
+
+    /// Cumulative skyline visit/skip counters (zero when the lazy merge
+    /// never ran: single-agent path, exhaustive selector, or skyline
+    /// off).
+    pub fn skyline_stats(&self) -> SkylineStats {
+        self.stats
     }
 
     /// Number of shards.
@@ -325,54 +407,67 @@ impl AgentRouter {
             return pick;
         }
 
-        // Stage 1, scatter: every shard shortlists from its own index.
-        // Each shard writes only its own scratch, so the pool fan-out
-        // cannot reorder anything.
+        // Stage 1. Exhaustive selectors always run the eager full
+        // scatter (the every-solver loop must stay exact and keeps the
+        // whole union anyway); pruning selectors take the lazy skyline
+        // merge unless it was explicitly switched off for a differential
+        // run.
         let problem = inp.task.problem;
         let admit = inp.admit;
-        let pool = cas_sim::pool::global();
-        if self.shards.len() > 1 && pool.workers() > 1 {
-            pool.scope(|scope| {
-                for shard in self.shards.iter_mut() {
-                    scope.spawn(move || shard.stage1(problem, admit, true));
-                }
-            });
-        } else {
-            for shard in self.shards.iter_mut() {
-                shard.stage1(problem, admit, true);
-            }
-        }
-
-        // Merge by stage-1 score (ties by global id), truncated to the
-        // widest shard's width: with balanced shards this behaves like
-        // one shard-wide selector of that width. Exhaustive selectors
-        // keep the whole union — the every-solver loop must stay exact.
         self.merged.clear();
         self.candidates.clear();
-        if self.exhaustive {
-            // Per-shard shortlists are ascending-local, shards ascending
-            // blocks: concatenation is already ascending global id.
-            for shard in &self.shards {
-                self.candidates.extend(shard.scored.iter().map(|&(_, s)| s));
+        if self.exhaustive || !self.skyline {
+            // Eager scatter: every shard shortlists from its own index.
+            // Each shard writes only its own scratch, so the pool
+            // fan-out cannot reorder anything.
+            let pool = cas_sim::pool::global();
+            if self.shards.len() > 1 && pool.workers() > 1 {
+                pool.scope(|scope| {
+                    for shard in self.shards.iter_mut() {
+                        scope.spawn(move || shard.stage1(problem, admit, true));
+                    }
+                });
+            } else {
+                for shard in self.shards.iter_mut() {
+                    shard.stage1(problem, admit, true);
+                }
+            }
+
+            // Merge by stage-1 score (ties by global id), truncated to
+            // the widest shard's width: with balanced shards this
+            // behaves like one shard-wide selector of that width.
+            // Exhaustive selectors keep the whole union — the
+            // every-solver loop must stay exact.
+            if self.exhaustive {
+                // Per-shard shortlists are ascending-local, shards
+                // ascending blocks: concatenation is already ascending
+                // global id.
+                for shard in &self.shards {
+                    self.candidates.extend(shard.scored.iter().map(|&(_, s)| s));
+                }
+            } else {
+                let widest = self
+                    .shards
+                    .iter()
+                    .map(|s| s.scored.len())
+                    .max()
+                    .unwrap_or(0);
+                for shard in &self.shards {
+                    self.merged.extend_from_slice(&shard.scored);
+                }
+                if self.merged.len() > widest && widest > 0 {
+                    // Keep the `widest` best by (score, id): a partial
+                    // select beats sorting the whole S×k merge, and the
+                    // kept *set* is unique (keys are distinct pairs), so
+                    // this is bit-identical to sort-then-truncate.
+                    self.merged.select_nth_unstable(widest - 1);
+                    self.merged.truncate(widest);
+                }
+                self.candidates.extend(self.merged.iter().map(|&(_, s)| s));
+                self.candidates.sort_unstable();
             }
         } else {
-            let widest = self
-                .shards
-                .iter()
-                .map(|s| s.scored.len())
-                .max()
-                .unwrap_or(0);
-            for shard in &self.shards {
-                self.merged.extend_from_slice(&shard.scored);
-            }
-            if self.merged.len() > widest && widest > 0 {
-                // Keep the `widest` best by (score, id): a partial select
-                // beats sorting the whole S×k merge, and the kept *set*
-                // is unique (keys are distinct pairs), so this is
-                // bit-identical to sort-then-truncate.
-                self.merged.select_nth_unstable(widest - 1);
-                self.merged.truncate(widest);
-            }
+            self.lazy_stage1(problem, admit);
             self.candidates.extend(self.merged.iter().map(|&(_, s)| s));
             self.candidates.sort_unstable();
         }
@@ -403,6 +498,76 @@ impl AgentRouter {
             self.shards[owner].selector.observe_selection(local);
         }
         pick
+    }
+
+    /// The lazy skyline merge. Semantically it computes exactly what the
+    /// eager scatter-then-truncate computes — the `W`-best `(score bits,
+    /// global id)` entries of the union of per-shard shortlists, where
+    /// `W` is the widest shard's width — but it visits shards in
+    /// ascending skyline order and *skips a shard's selector entirely*
+    /// once two facts make its contribution impossible:
+    ///
+    /// 1. its width bound cannot exceed the widest width already seen
+    ///    (so skipping cannot shrink `W`), and
+    /// 2. at least `B` already-collected entries beat the shard's
+    ///    skyline — its best conceivable key — where `B` is the largest
+    ///    width bound of *any* shard, hence `B ≥ W` whatever the
+    ///    unvisited shards would have emitted. Every entry the shard
+    ///    could contribute then ranks strictly outside the final
+    ///    `W`-best cut.
+    ///
+    /// Both facts are conservative (the skyline ignores `admit`, which
+    /// only removes candidates; bounds only overestimate widths), so the
+    /// lazy merge is a *pure pruning of the walk, never of the result* —
+    /// the differential harness proves the picks bit-identical to the
+    /// eager router's. Shards with no solvable server for the problem
+    /// skip unconditionally: their shortlist is empty under any filter.
+    ///
+    /// Leaves `self.merged` holding the final cut, sorted ascending by
+    /// `(score bits, global id)`.
+    fn lazy_stage1(&mut self, problem: ProblemId, admit: &(dyn Fn(ServerId) -> bool + Sync)) {
+        self.stats.decisions += 1;
+        self.order.clear();
+        let mut bound_cap = 0usize; // B: the largest width any shard could emit
+        for (k, shard) in self.shards.iter().enumerate() {
+            match shard.skyline(problem) {
+                Some((bits, head)) => {
+                    self.order.push((bits, head.0, k as u32));
+                    bound_cap = bound_cap.max(shard.width_bound(problem));
+                }
+                None => self.stats.shard_skips += 1,
+            }
+        }
+        // Visit order: ascending skyline key. Unique per shard (the
+        // head's global id is part of the key), so the order — and with
+        // it every skip decision — is deterministic on any host.
+        self.order.sort_unstable();
+        let mut widest = 0usize;
+        for i in 0..self.order.len() {
+            let (bits, head, k) = self.order[i];
+            let k = k as usize;
+            let bound = self.shards[k].width_bound(problem);
+            if bound <= widest
+                && self.merged.len() >= bound_cap
+                && self.merged[bound_cap - 1] < (bits, ServerId(head))
+            {
+                self.stats.shard_skips += 1;
+                continue;
+            }
+            self.stats.shard_visits += 1;
+            let shard = &mut self.shards[k];
+            shard.stage1(problem, admit, true);
+            widest = widest.max(shard.scored.len());
+            self.merged.extend_from_slice(&shard.scored);
+            // Keep the collected entries sorted so the cut line above is
+            // an indexed read. The whole vector is at most S × k entries
+            // and mostly sorted already; this is noise next to the walks
+            // being skipped.
+            self.merged.sort_unstable();
+        }
+        if self.merged.len() > widest {
+            self.merged.truncate(widest);
+        }
     }
 
     /// A what-if query outside a decision (the engine records the
@@ -589,26 +754,300 @@ impl WhatIf for FederatedWhatIf<'_> {
 }
 
 #[cfg(test)]
+mod skyline_edge {
+    //! Edge cases of the skyline maintenance and the lazy merge, pinned
+    //! as fixed fixtures (the proptests cover the space; these document
+    //! the corners by name).
+
+    use super::*;
+    use crate::harness::{DiffHarness, Op};
+    use cas_platform::{PhaseCosts, Problem};
+
+    /// 6 servers in 3 shards of 2. P0 solvable everywhere with distinct
+    /// costs (10, 11, …, 15 — shard 0 holds the global best); P1
+    /// solvable only inside shard 0's block.
+    fn edge_table() -> CostTable {
+        let mut costs = CostTable::new(6);
+        costs.add_problem(
+            Problem::new("p0", 0.0, 0.0, 0.0),
+            (0..6)
+                .map(|s| Some(PhaseCosts::new(0.0, 10.0 + s as f64, 0.0)))
+                .collect(),
+        );
+        costs.add_problem(
+            Problem::new("p1", 0.0, 0.0, 0.0),
+            (0..6)
+                .map(|s| (s < 2).then(|| PhaseCosts::new(0.0, 20.0 + s as f64, 0.0)))
+                .collect(),
+        );
+        costs
+    }
+
+    fn routers(table: &CostTable, selector: SelectorKind) -> (AgentRouter, AgentRouter) {
+        let eager = AgentRouter::new(
+            table,
+            Some(3),
+            selector,
+            IndexScoring::default(),
+            SyncPolicy::None,
+        )
+        .with_skyline(false);
+        let lazy = AgentRouter::new(
+            table,
+            Some(3),
+            selector,
+            IndexScoring::default(),
+            SyncPolicy::None,
+        );
+        (eager, lazy)
+    }
+
+    /// Decision ops only (kind 0 = HMCT), alternating the two problems.
+    fn decide_ops(n: usize) -> Vec<Op> {
+        (0..n)
+            .map(|i| Op {
+                kind: 0,
+                server: 0,
+                problem: (i % 2) as u32,
+                gap: 1.0,
+                // Excluded id beyond the farm: admit everything.
+                excl: 99,
+            })
+            .collect()
+    }
+
+    /// A problem with zero solvable servers in a shard: the shard has no
+    /// skyline for it and is skipped without its selector ever running —
+    /// and the decisions still match the eager merge exactly.
+    #[test]
+    fn zero_solvable_shard_is_skipped_without_a_walk() {
+        let table = edge_table();
+        let harness = DiffHarness::new(table.clone());
+        let (mut eager, mut lazy) = routers(&table, SelectorKind::TopK { k: 2 });
+        // Only-P1 decisions: shards 1 and 2 hold no P1 solver.
+        let ops: Vec<Op> = (0..4)
+            .map(|i| Op {
+                kind: 0,
+                server: 0,
+                problem: 1,
+                gap: i as f64,
+                excl: 99,
+            })
+            .collect();
+        harness.run(&mut eager, &mut lazy, &ops).unwrap();
+        let stats = lazy.skyline_stats();
+        assert_eq!(stats.decisions, 4);
+        assert_eq!(stats.shard_visits, 4, "only shard 0 is ever walked");
+        assert_eq!(stats.shard_skips, 8, "shards 1 and 2 skip every time");
+        assert_eq!(stats.skip_rate(), 8.0 / 12.0);
+    }
+
+    /// The skyline goes stale (the shard's head server takes a heavy
+    /// commit) and is repaired by the retract — both transitions visible
+    /// through `best_key`, with the lazy merge agreeing with the eager
+    /// one before, during and after.
+    #[test]
+    fn skyline_stale_then_repaired_across_retract() {
+        let table = edge_table();
+        let harness = DiffHarness::new(table.clone());
+        let (mut eager, mut lazy) = routers(&table, SelectorKind::TopK { k: 1 });
+        let p0 = ProblemId(0);
+        let head_before = lazy.shards[0].skyline(p0).expect("P0 solvable");
+        assert_eq!(head_before.1, ServerId(0), "static best is server 0");
+        // decide → commit (heavy, lands on server 0 via op.server) →
+        // decide → retract → decide.
+        let ops = [
+            Op {
+                kind: 0,
+                server: 0,
+                problem: 0,
+                gap: 1.0,
+                excl: 99,
+            },
+            Op {
+                kind: 6,
+                server: 0,
+                problem: 0,
+                gap: 1.0,
+                excl: 99,
+            },
+            Op {
+                kind: 0,
+                server: 0,
+                problem: 0,
+                gap: 1.0,
+                excl: 99,
+            },
+            Op {
+                kind: 8,
+                server: 0,
+                problem: 0,
+                gap: 1.0,
+                excl: 99,
+            },
+            Op {
+                kind: 0,
+                server: 0,
+                problem: 0,
+                gap: 1.0,
+                excl: 99,
+            },
+        ];
+        // One resumable session so the skyline can be inspected between
+        // instalments without resetting the clock or the commit ledger.
+        let mut session = harness.session();
+        session.run(&mut eager, &mut lazy, &ops[..2]).unwrap();
+        let stale = lazy.shards[0].skyline(p0).expect("still solvable");
+        assert_ne!(stale, head_before, "commit must move the skyline");
+        assert_eq!(stale.1, ServerId(1), "server 0 now carries backlog");
+        session.run(&mut eager, &mut lazy, &ops[2..4]).unwrap();
+        let repaired = lazy.shards[0].skyline(p0).expect("still solvable");
+        assert_eq!(repaired, head_before, "retract must repair the skyline");
+        session.run(&mut eager, &mut lazy, &ops[4..]).unwrap();
+        session.finish(&mut eager, &mut lazy).unwrap();
+    }
+
+    /// All shards tied on the stage-1 score: the global-id tiebreak must
+    /// match the eager merge (the skyline key carries the head's global
+    /// id precisely so ties order deterministically).
+    #[test]
+    fn all_shards_tied_tiebreak_by_global_id() {
+        let mut costs = CostTable::new(6);
+        costs.add_problem(
+            Problem::new("flat", 0.0, 0.0, 0.0),
+            (0..6)
+                .map(|_| Some(PhaseCosts::new(0.0, 10.0, 0.0)))
+                .collect(),
+        );
+        let harness = DiffHarness::new(costs.clone());
+        let (mut eager, mut lazy) = routers(&costs, SelectorKind::TopK { k: 2 });
+        let mut ops = decide_ops(6);
+        for op in &mut ops {
+            op.problem = 0;
+        }
+        // Interleave commits so ties keep reforming under load.
+        ops.insert(
+            2,
+            Op {
+                kind: 6,
+                server: 3,
+                problem: 0,
+                gap: 0.5,
+                excl: 99,
+            },
+        );
+        ops.insert(
+            5,
+            Op {
+                kind: 9,
+                server: 0,
+                problem: 0,
+                gap: 0.5,
+                excl: 99,
+            },
+        );
+        harness.run(&mut eager, &mut lazy, &ops).unwrap();
+        let stats = lazy.skyline_stats();
+        // On the all-tied first decision, shard 0's two entries (ids 0,
+        // 1) beat both other skylines (ids 2, 4) on the id tiebreak:
+        // shards 1 and 2 are skipped, exactly as the eager merge's
+        // (score, id) truncation demands.
+        assert!(stats.shard_skips > 0, "ties must still allow skipping");
+    }
+
+    /// Width-1 shortlists: with `TopK(1)` the cut line is the single
+    /// best entry, and every shard whose skyline cannot beat it skips.
+    #[test]
+    fn width_one_shortlists_skip_all_but_the_best_shard() {
+        let table = edge_table();
+        let harness = DiffHarness::new(table.clone());
+        let (mut eager, mut lazy) = routers(&table, SelectorKind::TopK { k: 1 });
+        let ops: Vec<Op> = (0..3)
+            .map(|i| Op {
+                kind: 0,
+                server: 0,
+                problem: 0,
+                gap: i as f64,
+                excl: 99,
+            })
+            .collect();
+        harness.run(&mut eager, &mut lazy, &ops).unwrap();
+        let stats = lazy.skyline_stats();
+        assert_eq!(stats.decisions, 3);
+        // Static costs ascend with the id: shard 0's head (cost 10)
+        // beats shards 1 (12) and 2 (14) before any load lands.
+        assert_eq!(stats.shard_visits, 3, "only the best shard is walked");
+        assert_eq!(stats.shard_skips, 6);
+    }
+
+    /// The single-agent fast path and exhaustive selectors never enter
+    /// the lazy merge: their stats stay zero.
+    #[test]
+    fn skyline_stats_stay_zero_off_the_lazy_path() {
+        let table = edge_table();
+        let harness = DiffHarness::new(table.clone());
+        // Exhaustive federated: full union semantics, no skyline.
+        let scoring = IndexScoring::default();
+        let mut a = AgentRouter::new(
+            &table,
+            Some(3),
+            SelectorKind::Exhaustive,
+            scoring,
+            SyncPolicy::None,
+        );
+        let mut b = AgentRouter::new(
+            &table,
+            Some(3),
+            SelectorKind::Exhaustive,
+            scoring,
+            SyncPolicy::None,
+        )
+        .with_skyline(false);
+        harness.run(&mut a, &mut b, &decide_ops(4)).unwrap();
+        assert_eq!(a.skyline_stats(), SkylineStats::default());
+        // Single-agent fast path.
+        let mut single = AgentRouter::new(
+            &table,
+            None,
+            SelectorKind::TopK { k: 2 },
+            scoring,
+            SyncPolicy::None,
+        );
+        let mut single_b = AgentRouter::new(
+            &table,
+            None,
+            SelectorKind::TopK { k: 2 },
+            scoring,
+            SyncPolicy::None,
+        );
+        harness
+            .run(&mut single, &mut single_b, &decide_ops(4))
+            .unwrap();
+        assert_eq!(single.skyline_stats(), SkylineStats::default());
+    }
+}
+
+#[cfg(test)]
 mod proptests {
     use super::*;
-    use cas_core::heuristics::HeuristicKind;
+    use crate::harness::{DiffHarness, Op, SingleAgentReference};
     use cas_platform::PhaseCosts;
-    use cas_sim::StreamKind;
     use proptest::prelude::*;
 
     const N_SERVERS: usize = 6;
+    /// Farm width of the skyline differential: big enough that
+    /// `S = 16` is a real federation, not a clamp.
+    const N_SERVERS_WIDE: usize = 18;
     const N_PROBLEMS: usize = 2;
 
-    fn t(s: f64) -> SimTime {
-        SimTime::from_secs(s)
-    }
-
-    fn build_table(costs: &[PhaseCosts], solvable: &[bool]) -> CostTable {
-        let mut table = CostTable::new(N_SERVERS);
+    /// `n_servers`-wide table; server 0 always solves everything so no
+    /// problem is globally unsolvable, the rest follow `solvable`.
+    fn build_table(n_servers: usize, costs: &[PhaseCosts], solvable: &[bool]) -> CostTable {
+        let mut table = CostTable::new(n_servers);
         for p in 0..N_PROBLEMS {
-            let row = (0..N_SERVERS)
+            let row = (0..n_servers)
                 .map(|s| {
-                    let k = p * N_SERVERS + s;
+                    let k = p * n_servers + s;
                     (s == 0 || solvable[k]).then_some(costs[k])
                 })
                 .collect();
@@ -620,78 +1059,21 @@ mod proptests {
         table
     }
 
-    /// The single-agent decision loop, replicated inline: one farm-wide
-    /// HTM, one index, one selector — the pre-federation `engine` path,
-    /// kept here as the executable specification the router is diffed
-    /// against.
-    struct Reference {
-        htm: Htm,
-        index: StaticIndex,
-        selector: Box<dyn CandidateSelector>,
-        memo: DecisionMemo,
-    }
-
-    impl Reference {
-        fn new(costs: &CostTable, selector: SelectorKind, sync: SyncPolicy) -> Self {
-            Reference {
-                htm: Htm::new(costs.clone(), sync),
-                index: StaticIndex::new(costs),
-                selector: selector.build(),
-                memo: DecisionMemo::new(),
-            }
-        }
-
-        #[allow(clippy::too_many_arguments)]
-        fn decide(
-            &mut self,
-            now: SimTime,
-            task: TaskInstance,
-            costs: &CostTable,
-            reports: &[LoadReport],
-            server_mem: &[f64],
-            admit: &(dyn Fn(ServerId) -> bool + Sync),
-            heuristic: &mut dyn Heuristic,
-            tie_rng: &mut RngStream,
-        ) -> Option<(ServerId, Prediction)> {
-            let mut candidates = Vec::new();
-            self.selector.shortlist(
-                SelectorInput {
-                    problem: task.problem,
-                    costs,
-                    index: &self.index,
-                },
-                &|s| admit(s),
-                &mut candidates,
-            );
-            let picked = {
-                let mut view = SchedView::new(
-                    now,
-                    task,
-                    candidates,
-                    costs,
-                    reports,
-                    &mut self.htm,
-                    tie_rng,
-                )
-                .with_server_mem(server_mem)
-                .with_memo(&mut self.memo);
-                let pick = heuristic.select(&mut view)?;
-                let p = view.predict(pick).cloned().expect("picked is solvable");
-                (pick, p)
-            };
-            self.selector.observe_selection(picked.0);
-            Some(picked)
-        }
+    fn selector_of(pick: usize) -> SelectorKind {
+        [
+            SelectorKind::Exhaustive,
+            SelectorKind::TopK { k: 2 },
+            SelectorKind::TopK { k: 64 },
+            SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+        ][pick]
     }
 
     /// Drives the router decision-by-decision against the inline
-    /// single-agent reference over arbitrary interleavings of
-    /// decide / commit / retract / complete: picks and winning
-    /// predictions must agree **bit for bit**. Holds for one shard under
-    /// every selector backend, and for any shard count under the
-    /// exhaustive selector (pruning selectors legitimately diverge
-    /// across shards: each shard adapts its own width).
-    fn run_differential(
+    /// single-agent reference (the harness's executable spec) over
+    /// arbitrary interleavings of decide / commit / retract / complete:
+    /// picks and winning predictions must agree **bit for bit**.
+    fn run_reference_differential(
+        n_servers: usize,
         costs: Vec<PhaseCosts>,
         solvable: Vec<bool>,
         n_shards: usize,
@@ -699,8 +1081,9 @@ mod proptests {
         sync: SyncPolicy,
         ops: Vec<(u32, u32, u32, f64, u32)>,
     ) -> Result<(), TestCaseError> {
-        let table = build_table(&costs, &solvable);
-        let mut reference = Reference::new(&table, selector, sync);
+        let table = build_table(n_servers, &costs, &solvable);
+        let harness = DiffHarness::new(table.clone());
+        let mut reference = SingleAgentReference::new(&table, selector, sync);
         let mut router = AgentRouter::new(
             &table,
             Some(n_shards),
@@ -710,111 +1093,43 @@ mod proptests {
         );
         prop_assert_eq!(router.n_shards(), n_shards);
         prop_assert!(router.is_federated());
-        let reports: Vec<LoadReport> = (0..N_SERVERS as u32)
-            .map(|i| LoadReport::initial(ServerId(i)))
-            .collect();
-        let server_mem = vec![512.0; N_SERVERS];
-        let mut now = 0.0f64;
-        let mut next_id = 0u64;
-        let mut committed: Vec<(TaskId, ServerId, f64)> = Vec::new();
-        for (kind, server, problem, gap, excl) in ops {
-            now += gap;
-            let when = t(now);
-            match kind {
-                // Decision rounds.
-                0..=5 => {
-                    let heuristic = match kind {
-                        0 | 3 => HeuristicKind::Hmct,
-                        1 | 4 => HeuristicKind::Msf,
-                        2 => HeuristicKind::MemHmct,
-                        _ => HeuristicKind::Mct,
-                    };
-                    let task =
-                        TaskInstance::new(TaskId(1_000_000 + next_id), ProblemId(problem), when);
-                    next_id += 1;
-                    let admit = move |s: ServerId| s.0 != excl;
-                    let mut rng_a = RngStream::derive(7, StreamKind::TieBreak);
-                    let mut rng_b = RngStream::derive(7, StreamKind::TieBreak);
-                    let ref_pick = reference.decide(
-                        when,
-                        task,
-                        &table,
-                        &reports,
-                        &server_mem,
-                        &admit,
-                        heuristic.build().as_mut(),
-                        &mut rng_a,
-                    );
-                    let routed_pick = {
-                        let mut h = heuristic.build();
-                        router.decide(
-                            DecisionInputs {
-                                now: when,
-                                task,
-                                costs: &table,
-                                reports: &reports,
-                                server_mem: &server_mem,
-                                admit: &admit,
-                            },
-                            h.as_mut(),
-                            &mut rng_b,
-                        )
-                    };
-                    match (&ref_pick, &routed_pick) {
-                        (None, None) => {}
-                        (Some((s, p)), Some(rs)) => {
-                            prop_assert_eq!(s, rs, "{:?} pick diverged", heuristic);
-                            let rp = router
-                                .predict(when, *rs, &task)
-                                .expect("picked is solvable");
-                            prop_assert_eq!(p, &rp, "{:?} prediction diverged", heuristic);
-                        }
-                        _ => prop_assert!(false, "{heuristic:?}: one side failed the task"),
-                    }
-                }
-                // Commits keep both sides in lockstep.
-                6 | 7 => {
-                    let task = TaskInstance::new(TaskId(next_id), ProblemId(problem), when);
-                    next_id += 1;
-                    let target = if table.costs(task.problem, ServerId(server)).is_some() {
-                        ServerId(server)
-                    } else {
-                        ServerId(0) // always solvable by construction
-                    };
-                    let work = table
-                        .unloaded_duration(task.problem, target)
-                        .expect("target is solvable");
-                    reference.htm.commit(when, target, &task);
-                    reference.index.on_commit(target, work);
-                    router.on_commit(when, target, &task, work);
-                    committed.push((task.id, target, work));
-                }
-                // Retracts undo the most recent commit on both sides.
-                8 => {
-                    if let Some((id, srv, work)) = committed.pop() {
-                        reference.htm.retract(when, id);
-                        reference.index.on_retract(srv, work);
-                        router.on_retract(when, srv, id, work);
-                    }
-                }
-                // Completions: index decrement + HTM sync + stretch
-                // feedback, both sides.
-                _ => {
-                    if !committed.is_empty() {
-                        let (id, srv, work) = committed.remove(0);
-                        let observed = now;
-                        let predicted = now * 0.9 + 1.0;
-                        reference.index.on_complete(srv, work);
-                        reference.htm.observe_completion(when, id);
-                        reference.selector.observe_outcome(observed, predicted);
-                        router.on_complete(when, srv, id, work, observed, predicted);
-                    }
-                }
-            }
+        let ops: Vec<Op> = ops.into_iter().map(Op::from).collect();
+        if let Err(e) = harness.run(&mut reference, &mut router, &ops) {
+            return Err(TestCaseError::fail(e));
         }
-        // The models agree at rest too.
-        let ref_completions = reference.htm.simulated_completions();
-        prop_assert_eq!(ref_completions, router.simulated_completions());
+        Ok(())
+    }
+
+    /// Drives the skyline-merged router against the eager full-scatter
+    /// router (PR-4 semantics, `with_skyline(false)`): the lazy merge
+    /// must be a pure pruning of the *walk*, never of the result.
+    fn run_skyline_differential(
+        n_servers: usize,
+        costs: Vec<PhaseCosts>,
+        solvable: Vec<bool>,
+        n_shards: usize,
+        selector: SelectorKind,
+        sync: SyncPolicy,
+        ops: Vec<(u32, u32, u32, f64, u32)>,
+    ) -> Result<(), TestCaseError> {
+        let table = build_table(n_servers, &costs, &solvable);
+        let harness = DiffHarness::new(table.clone());
+        let scoring = IndexScoring::default();
+        let mut eager =
+            AgentRouter::new(&table, Some(n_shards), selector, scoring, sync).with_skyline(false);
+        let mut lazy = AgentRouter::new(&table, Some(n_shards), selector, scoring, sync);
+        let ops: Vec<Op> = ops.into_iter().map(Op::from).collect();
+        if let Err(e) = harness.run(&mut eager, &mut lazy, &ops) {
+            return Err(TestCaseError::fail(e));
+        }
+        // The eager arm never enters the lazy merge; the lazy arm
+        // accounts for every shard on every pruned decision.
+        prop_assert_eq!(eager.skyline_stats(), SkylineStats::default());
+        let stats = lazy.skyline_stats();
+        prop_assert_eq!(
+            stats.shard_visits + stats.shard_skips,
+            stats.decisions * n_shards as u64
+        );
         Ok(())
     }
 
@@ -824,15 +1139,15 @@ mod proptests {
         }
     }
 
-    fn arb_ops() -> impl Strategy<Value = Vec<(u32, u32, u32, f64, u32)>> {
+    fn arb_ops(n_servers: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, f64, u32)>> {
         proptest::collection::vec(
             // (op kind, server, problem, time gap, excluded server)
             (
                 0u32..10,
-                0u32..N_SERVERS as u32,
+                0u32..n_servers as u32,
                 0u32..N_PROBLEMS as u32,
                 0.0f64..15.0,
-                0u32..N_SERVERS as u32,
+                0u32..n_servers as u32,
             ),
             1..40,
         )
@@ -847,16 +1162,12 @@ mod proptests {
             solvable in proptest::collection::vec(proptest::bool::ANY, N_SERVERS * N_PROBLEMS),
             selector_pick in 0usize..4,
             force_finish in proptest::bool::ANY,
-            ops in arb_ops(),
+            ops in arb_ops(N_SERVERS),
         ) {
-            let selector = [
-                SelectorKind::Exhaustive,
-                SelectorKind::TopK { k: 2 },
-                SelectorKind::TopK { k: 64 },
-                SelectorKind::Adaptive { k_min: 1, k_max: 3 },
-            ][selector_pick];
             let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
-            run_differential(costs, solvable, 1, selector, sync, ops)?;
+            run_reference_differential(
+                N_SERVERS, costs, solvable, 1, selector_of(selector_pick), sync, ops,
+            )?;
         }
 
         /// Under the exhaustive selector the scatter–merge–gather router
@@ -869,10 +1180,35 @@ mod proptests {
             solvable in proptest::collection::vec(proptest::bool::ANY, N_SERVERS * N_PROBLEMS),
             n_shards in 2usize..N_SERVERS + 1,
             force_finish in proptest::bool::ANY,
-            ops in arb_ops(),
+            ops in arb_ops(N_SERVERS),
         ) {
             let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
-            run_differential(costs, solvable, n_shards, SelectorKind::Exhaustive, sync, ops)?;
+            run_reference_differential(
+                N_SERVERS, costs, solvable, n_shards, SelectorKind::Exhaustive, sync, ops,
+            )?;
+        }
+
+        /// The tentpole property: the skyline-merged router is
+        /// **bit-identical** to the PR-4 eager full-scatter router over
+        /// arbitrary interleavings, for every selector backend and
+        /// `S ∈ {1, 2, 3, 16}` on an 18-server farm — the skyline prunes
+        /// the merge's walk, never its semantics.
+        #[test]
+        fn skyline_merge_is_pure_pruning_of_eager_merge(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS_WIDE * N_PROBLEMS),
+            solvable in proptest::collection::vec(
+                proptest::bool::ANY, N_SERVERS_WIDE * N_PROBLEMS,
+            ),
+            shard_pick in 0usize..4,
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            ops in arb_ops(N_SERVERS_WIDE),
+        ) {
+            let n_shards = [1usize, 2, 3, 16][shard_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_skyline_differential(
+                N_SERVERS_WIDE, costs, solvable, n_shards, selector_of(selector_pick), sync, ops,
+            )?;
         }
     }
 }

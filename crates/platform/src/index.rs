@@ -175,6 +175,28 @@ impl StaticIndex {
         self.remaining[server.index()]
     }
 
+    /// The head of `problem`'s ranking — the best current `(score bits,
+    /// server)` key, or `None` when no server can solve the problem. This
+    /// is the index's **skyline**: because the ranked sets are maintained
+    /// by the same commit/retract/complete hooks that keep every other
+    /// query current, the skyline needs no extra bookkeeping and is always
+    /// exact. A shard federation reads it per decision to decide whether a
+    /// shard can possibly contribute to the merged shortlist.
+    pub fn best_key(&self, problem: ProblemId) -> Option<(u64, ServerId)> {
+        self.ranked[problem.index()]
+            .iter()
+            .next()
+            .map(|&(bits, s)| (bits, ServerId(s)))
+    }
+
+    /// Number of servers able to solve `problem` (the size of its
+    /// ranking). An upper bound on any selector's shortlist width for the
+    /// problem, used alongside [`StaticIndex::best_key`] by the lazy
+    /// merge.
+    pub fn solvable_count(&self, problem: ProblemId) -> usize {
+        self.ranked[problem.index()].len()
+    }
+
     /// The stage-1 score of `server` for `problem` at the current believed
     /// load, or `None` if the server cannot solve it.
     pub fn score(&self, problem: ProblemId, server: ServerId) -> Option<f64> {
@@ -406,6 +428,42 @@ mod tests {
         let mut out = Vec::new();
         idx.k_best(ProblemId(0), 2, &|s| s != ServerId(0), &mut out);
         assert_eq!(out.iter().map(|(s, _)| s.0).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    /// The skyline (best key per problem) tracks the hooks exactly: it is
+    /// the head of the ranking after every commit/retract/complete, and
+    /// `None` where nothing can solve the problem.
+    #[test]
+    fn skyline_follows_hooks() {
+        let mut idx = StaticIndex::new(&table());
+        assert_eq!(
+            idx.best_key(ProblemId(0)),
+            Some((100.0f64.to_bits(), ServerId(0)))
+        );
+        assert_eq!(
+            idx.best_key(ProblemId(1)),
+            Some((50.0f64.to_bits(), ServerId(1)))
+        );
+        assert_eq!(idx.solvable_count(ProblemId(0)), 3);
+        assert_eq!(idx.solvable_count(ProblemId(1)), 1);
+        // Loading S0 past S1's 150 moves the P0 skyline to S1…
+        idx.on_commit(ServerId(0), 200.0);
+        assert_eq!(
+            idx.best_key(ProblemId(0)),
+            Some((150.0f64.to_bits(), ServerId(1)))
+        );
+        // …and a retract repairs it back (stale-then-repaired).
+        idx.on_retract(ServerId(0), 200.0);
+        assert_eq!(
+            idx.best_key(ProblemId(0)),
+            Some((100.0f64.to_bits(), ServerId(0)))
+        );
+        // A problem nobody solves has no skyline and zero width.
+        let mut costs = table();
+        costs.add_problem(Problem::new("p2", 0.0, 0.0, 0.0), vec![None, None, None]);
+        let idx = StaticIndex::new(&costs);
+        assert_eq!(idx.best_key(ProblemId(2)), None);
+        assert_eq!(idx.solvable_count(ProblemId(2)), 0);
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct Simulation<W: World, Q = AdaptiveQueue<<W as World>::Event>> {
     queue: Q,
     now: SimTime,
     processed: u64,
+    /// High-water mark of pending events, sampled after each handled
+    /// event — the queue-pressure figure the periodic-event work (load
+    /// reports, noise redraws) dominates on huge farms.
+    peak_pending: usize,
     initialized: bool,
 }
 
@@ -120,6 +124,7 @@ impl<W: World, Q: EventQueue<W::Event>> Simulation<W, Q> {
             queue,
             now: SimTime::ZERO,
             processed: 0,
+            peak_pending: 0,
             initialized: false,
         }
     }
@@ -132,6 +137,12 @@ impl<W: World, Q: EventQueue<W::Event>> Simulation<W, Q> {
     /// Number of events processed so far.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The largest number of pending events observed after any handled
+    /// event — the kernel's queue-pressure high-water mark.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Immutable access to the world.
@@ -185,6 +196,10 @@ impl<W: World, Q: EventQueue<W::Event>> Simulation<W, Q> {
             now: self.now,
         };
         self.world.handle(self.now, entry.event, &mut sched);
+        let pending = self.queue.len();
+        if pending > self.peak_pending {
+            self.peak_pending = pending;
+        }
         true
     }
 
@@ -266,6 +281,7 @@ mod tests {
         );
         assert_eq!(sim.processed(), 4);
         assert_eq!(sim.now(), SimTime::from_secs(3.5));
+        assert_eq!(sim.peak_pending(), 1, "countdown keeps one event in flight");
     }
 
     /// The same model must behave identically on every backend: the
@@ -354,6 +370,8 @@ mod tests {
         sim.schedule(SimTime::ZERO, 1);
         sim.run_to_completion();
         assert_eq!(sim.world().order, vec![0, 1, 10, 11]);
+        // After event 0: event 1 plus the two spawned events are pending.
+        assert_eq!(sim.peak_pending(), 3);
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub mod prelude {
     };
     pub use cas_middleware::{
         run_experiment, run_heuristic_matrix, run_replications, run_replications_sequential,
-        AgentRouter, ExperimentConfig, FaultTolerance, Sharding,
+        AgentRouter, DecisionAgent, DiffHarness, ExperimentConfig, FaultTolerance, Sharding,
+        SingleAgentReference, SkylineStats,
     };
     pub use cas_platform::{
         CostTable, IndexScoring, MemoryModel, PhaseCosts, Problem, ProblemId, ServerId, ServerSpec,

@@ -43,6 +43,7 @@ struct Args {
     burst_period: f64,
     selector: String,
     shards: String,
+    skyline: String,
     index_scoring: String,
     tasks: usize,
     seed: u64,
@@ -64,6 +65,7 @@ impl Default for Args {
             burst_period: 1800.0,
             selector: "exhaustive".into(),
             shards: "single".into(),
+            skyline: "on".into(),
             index_scoring: "work".into(),
             tasks: 500,
             seed: 1,
@@ -101,6 +103,11 @@ fn usage() -> &'static str {
                                   for the single-agent path; 1 runs the\n\
                                   router over one shard, bit-identical\n\
                                   to the single agent)  [single]\n\
+     --skyline on|off             lazy federation merge: visit shards in\n\
+                                  skyline order, skip shards that cannot\n\
+                                  contribute (proven decision-identical;\n\
+                                  off replays the eager full scatter for\n\
+                                  differential runs)     [on]\n\
      --index-scoring work|count   stage-1 static-index proxy: predicted\n\
                                   remaining work, or the count-based\n\
                                   baseline              [work]\n\
@@ -179,6 +186,13 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 }
                 args.shards = v;
             }
+            "--skyline" => {
+                let v = take(&mut i)?;
+                if !v.eq_ignore_ascii_case("on") && !v.eq_ignore_ascii_case("off") {
+                    return Err(format!("--skyline: expected \"on\" or \"off\", got {v:?}"));
+                }
+                args.skyline = v;
+            }
             "--index-scoring" => {
                 let v = take(&mut i)?;
                 if IndexScoring::parse(&v).is_none() {
@@ -234,6 +248,7 @@ fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
         Sharding::parse(&args.shards).expect("validated at parse time")
     };
     cfg.index_scoring = IndexScoring::parse(&args.index_scoring).expect("validated at parse time");
+    cfg.skyline = args.skyline.eq_ignore_ascii_case("on");
     if !args.memory {
         cfg.memory = MemoryModel::disabled();
     }
@@ -381,7 +396,10 @@ fn cmd_list() {
          single (default)  one agent owns the whole farm (the paper)\n  \
          N | auto          partition the farm across N per-shard engines\n  \
                     behind the deterministic router; auto picks from\n  \
-                    the farm size; --shards 1 is bit-identical to single"
+                    the farm size; --shards 1 is bit-identical to single\n  \
+         --skyline on|off  lazy merge: shards visited in skyline order,\n  \
+                    non-contributing shards skipped (on by default;\n  \
+                    proven decision-identical to the eager scatter)"
     );
 }
 
@@ -472,6 +490,23 @@ mod tests {
     }
 
     #[test]
+    fn parse_skyline_flag() {
+        let (_, args) = parse(&argv("run")).unwrap();
+        assert_eq!(args.skyline, "on");
+        assert!(config_of(&args, HeuristicKind::Hmct).skyline);
+        let (_, args) = parse(&argv("run --shards 4 --skyline off")).unwrap();
+        assert!(!config_of(&args, HeuristicKind::Hmct).skyline);
+        let (_, args) = parse(&argv("run --skyline ON")).unwrap();
+        assert!(config_of(&args, HeuristicKind::Hmct).skyline);
+        let err = parse(&argv("run --skyline sideways")).unwrap_err();
+        assert!(
+            err.starts_with("--skyline") && err.contains("expected"),
+            "{err}"
+        );
+        assert!(parse(&argv("run --skyline")).is_err());
+    }
+
+    #[test]
     fn parse_shards_and_index_scoring() {
         let (_, args) = parse(&argv("run --shards auto --index-scoring count")).unwrap();
         assert_eq!(args.shards, "auto");
@@ -508,6 +543,7 @@ mod tests {
             ("run --burst-period -5", "--burst-period"),
             ("run --shards none", "--shards"),
             ("run --selector best", "--selector"),
+            ("run --skyline maybe", "--skyline"),
             ("run --index-scoring vibes", "--index-scoring"),
         ] {
             let err = parse(&argv(cmdline)).unwrap_err();

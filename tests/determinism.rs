@@ -50,6 +50,39 @@ fn workload_identical_across_heuristics() {
     }
 }
 
+/// The sharded twin of the bit-identity guarantee: a federated run is
+/// deterministic across repeats, and — under the paper's exhaustive
+/// selector — bit-identical to the single-agent run it federates, with
+/// the skyline merge on or off. A router regression can no longer hide
+/// behind the single-agent path.
+#[test]
+fn sharded_runs_are_bit_identical_and_match_single() {
+    let (costs, servers, tasks) = setup(120, 6);
+    for kind in [HeuristicKind::Msf, HeuristicKind::Mct] {
+        let single = run_experiment(
+            ExperimentConfig::paper(kind, 99),
+            costs.clone(),
+            servers.clone(),
+            tasks.clone(),
+        );
+        let cfg = ExperimentConfig::paper(kind, 99).with_shards(Sharding::Federated { shards: 3 });
+        let a = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+        let b = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+        assert_eq!(a, b, "{kind:?} sharded run not deterministic");
+        assert_eq!(
+            a, single,
+            "{kind:?} federation diverged from the single agent"
+        );
+        let eager = run_experiment(
+            cfg.with_skyline(false),
+            costs.clone(),
+            servers.clone(),
+            tasks.clone(),
+        );
+        assert_eq!(a, eager, "{kind:?} skyline on/off diverged");
+    }
+}
+
 /// Different root seeds change ground-truth noise, hence completions.
 #[test]
 fn different_seeds_differ() {

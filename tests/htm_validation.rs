@@ -32,6 +32,35 @@ fn htm_exact_in_ideal_environment() {
     }
 }
 
+/// The sharded twin of the Table 1 property: routed through a 4-shard
+/// federation (per-shard HTMs, skyline merge on), the model is still
+/// exact in the ideal environment — and the records match the unsharded
+/// run bit for bit under the paper's exhaustive selector.
+#[test]
+fn htm_exact_in_ideal_environment_sharded() {
+    let costs = casgrid::workload::matmul::cost_table();
+    let servers = casgrid::workload::testbed::set1_servers();
+    let tasks = MetataskSpec {
+        n_tasks: 120,
+        ..MetataskSpec::paper(15.0)
+    }
+    .generate(11);
+    let single = run_experiment(
+        ExperimentConfig::ideal(HeuristicKind::Msf, 11),
+        costs.clone(),
+        servers.clone(),
+        tasks.clone(),
+    );
+    let cfg = ExperimentConfig::ideal(HeuristicKind::Msf, 11)
+        .with_shards(Sharding::Federated { shards: 4 });
+    let recs = run_experiment(cfg, costs, servers, tasks);
+    assert_eq!(recs, single, "federation diverged from the single agent");
+    let rows = rows_from_records(&recs);
+    assert_eq!(rows.len(), 120);
+    let mean = mean_error_pct(&rows);
+    assert!(mean < 1e-6, "sharded mean error {mean} should be ~0");
+}
+
 /// With the paper-level 3 % speed noise, the mean prediction error stays
 /// in the single digits (Table 1 reports < 3 % on a lightly loaded server;
 /// a fully loaded metatask compounds drift, so we assert a looser bound

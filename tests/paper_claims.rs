@@ -52,6 +52,46 @@ fn msf_beats_mct_on_sumflow_everywhere() {
     }
 }
 
+/// The sharded twin of the headline claim: every §5.3 ordering asserted
+/// in this file transfers verbatim to the federation, because a paper
+/// run (exhaustive selector) routed through shards — skyline merge on —
+/// is bit-identical to the single agent. Asserted here on the MSF-vs-MCT
+/// sum-flow claim plus the record equality that carries the rest.
+#[test]
+fn paper_claims_survive_the_federation() {
+    let costs = casgrid::workload::wastecpu::cost_table();
+    let servers = casgrid::workload::testbed::set2_servers();
+    let tasks = MetataskSpec {
+        n_tasks: 250,
+        ..MetataskSpec::paper(15.0)
+    }
+    .generate(1);
+    let sharded = |kind: HeuristicKind| {
+        run_experiment(
+            ExperimentConfig::paper(kind, 0xC0DE).with_shards(Sharding::Federated { shards: 2 }),
+            costs.clone(),
+            servers.clone(),
+            tasks.clone(),
+        )
+    };
+    let mct = sharded(HeuristicKind::Mct);
+    let msf = sharded(HeuristicKind::Msf);
+    assert!(
+        MetricSet::compute(&msf).sumflow < MetricSet::compute(&mct).sumflow,
+        "sharded MSF must still beat sharded MCT on sum-flow"
+    );
+    let single = run_experiment(
+        ExperimentConfig::paper(HeuristicKind::Msf, 0xC0DE),
+        costs.clone(),
+        servers.clone(),
+        tasks,
+    );
+    assert_eq!(
+        msf, single,
+        "the federation must reproduce the paper run exactly"
+    );
+}
+
 /// "The number of tasks that finish sooner than if scheduled with MCT is
 /// always very high" — a strict majority for MSF and MP at the high rate.
 #[test]
