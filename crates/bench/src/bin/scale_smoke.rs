@@ -27,7 +27,12 @@
 //!    two-stage decision plus commit and complete hooks per task through
 //!    the real router — at `SHARD_BENCH_SERVERS` (default 10k) servers,
 //!    unsharded versus `SHARD_BENCH_SHARDS` (default auto ⇒ 16) shards
-//!    (gate: ≥ `SHARD_DECISION_GATE`, default 3×).
+//!    (gate: ≥ `SHARD_DECISION_GATE`, default 3×);
+//! 6. reruns the sharded campaign under a **fault schedule**
+//!    (`SCALE_CHURN_MTBF`, default 400 s — far below the campaign
+//!    length — and `SCALE_CHURN_MTTR`, default 60 s) and gates on
+//!    accounting: every task must end terminal, completed or dropped
+//!    with a reason code; nothing may be lost in flight.
 //!
 //! Everything lands in `BENCH_scale.json` (path overridable as argv[1]).
 //! Exit is non-zero when the wall budget (`SCALE_SMOKE_BUDGET_SECS`,
@@ -40,7 +45,9 @@ use cas_core::heuristics::HeuristicKind;
 use cas_core::{Htm, SelectorKind, SyncPolicy};
 use cas_metrics::MetricSet;
 use cas_middleware::shard::DecisionInputs;
-use cas_middleware::{AgentRouter, ExperimentConfig, GridWorld, Sharding, SkylineStats};
+use cas_middleware::{
+    AgentRouter, ChurnStats, ExperimentConfig, GridWorld, Sharding, SkylineStats,
+};
 use cas_platform::{
     CostTable, IndexScoring, LoadReport, ProblemId, ServerId, StaticIndex, TaskId, TaskInstance,
 };
@@ -72,6 +79,8 @@ struct CampaignRun {
     peak_pending: usize,
     /// Skyline visit/skip counters (zero off the lazy-merge path).
     skyline: SkylineStats,
+    /// Farm-lifecycle counters (all zero on a frozen farm).
+    churn: ChurnStats,
 }
 
 fn run_campaign(
@@ -93,10 +102,12 @@ fn run_campaign(
     let metrics = MetricSet::compute(world.records());
     let report_events = world.report_events();
     let skyline = world.agent().skyline_stats();
+    let churn = world.churn_stats();
     CampaignRun {
         metrics,
         report_events,
         skyline,
+        churn,
         records: world.into_records(),
         wall,
         events,
@@ -624,6 +635,57 @@ fn main() {
          skipped-shard-rate {bench_skip_rate:.3})"
     );
 
+    // 6. The living-farm gate: the sharded campaign rerun under a fault
+    // schedule whose MTBF is far below the campaign length, so every
+    // server crashes several times. The gate is **accounting**, not
+    // completion: every task must end terminal — completed, or dropped
+    // with a reason code once its re-dispatch budget (or last live
+    // solver) is gone. Nothing may be lost in flight.
+    let churn_mtbf = env_or("SCALE_CHURN_MTBF", 400.0);
+    let churn_mttr = env_or("SCALE_CHURN_MTTR", 60.0);
+    let churn_seed = env_or("SCALE_CHURN_SEED", 7.0) as u64;
+    let cfg_churn = cfg_sharded
+        .with_churn(churn_mtbf, churn_mttr)
+        .with_churn_seed(churn_seed);
+    let churned = run_campaign(cfg_churn, costs.clone(), servers.clone(), tasks.clone());
+    let churn_stats = churned.churn;
+    let (mut churn_completed, mut churn_budget_drops, mut churn_solver_drops, mut churn_other) =
+        (0u64, 0u64, 0u64, 0u64);
+    for r in &churned.records {
+        match r.outcome {
+            cas_metrics::TaskOutcome::Completed { .. } => churn_completed += 1,
+            cas_metrics::TaskOutcome::Dropped { reason } => match reason.code() {
+                "redispatch_budget" => churn_budget_drops += 1,
+                "no_live_solver" => churn_solver_drops += 1,
+                _ => churn_other += 1,
+            },
+            _ => churn_other += 1,
+        }
+    }
+    let churn_rate = churn_completed as f64 / n_tasks as f64;
+    let mut churn_stretches: Vec<f64> =
+        churned.records.iter().filter_map(|r| r.stretch()).collect();
+    churn_stretches.sort_unstable_by(|a, b| a.partial_cmp(b).expect("stretches are finite"));
+    let churn_p99 = churn_stretches
+        .get(((churn_stretches.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+        .copied()
+        .unwrap_or(f64::NAN);
+    let ok_churn = churn_other == 0
+        && churn_completed + churn_budget_drops + churn_solver_drops == n_tasks as u64
+        && churn_stats.crashes > 0
+        && churned.wall <= budget_secs;
+    eprintln!(
+        "churn campaign (mtbf {churn_mtbf:.0} s, mttr {churn_mttr:.0} s, seed {churn_seed}): \
+         {churn_completed} completed + {churn_budget_drops} dropped (budget) + \
+         {churn_solver_drops} dropped (no live solver) of {n_tasks} in {:.1} s wall; \
+         {} crashes, {} retractions, {} re-dispatches, {} rebalances (pass: {ok_churn})",
+        churned.wall,
+        churn_stats.crashes,
+        churn_stats.retractions,
+        churn_stats.redispatches,
+        churn_stats.rebalances,
+    );
+
     let ok_campaign = run_secs <= budget_secs && completed == n_tasks;
     let ok_decision = decision_speedup >= decision_gate;
     let ok_delta = completion_delta <= delta_gate;
@@ -637,7 +699,8 @@ fn main() {
         && ok_shard_delta
         && ok_shard_decision
         && ok_skyline_equal
-        && ok_skyline_decision;
+        && ok_skyline_decision
+        && ok_churn;
 
     let mut json = String::new();
     let _ = write!(
@@ -734,11 +797,37 @@ fn main() {
     );
     let _ = write!(
         json,
+        "  \"churn\": {{\n    \"scenario\": \"the sharded campaign under a fault schedule: \
+         exponential per-server uptime (MTBF far below the campaign length) and repair time; \
+         crashed placements are retracted through the HTM/index and re-dispatched with backoff \
+         until the budget is spent\",\n    \
+         \"mtbf_s\": {churn_mtbf},\n    \"mttr_s\": {churn_mttr},\n    \
+         \"churn_seed\": {churn_seed},\n    \"wall_run_s\": {:.3},\n    \
+         \"crashes\": {},\n    \"joins\": {},\n    \"leaves\": {},\n    \
+         \"retractions\": {},\n    \"redispatches\": {},\n    \"drops\": {},\n    \
+         \"rebalances\": {},\n    \"completed\": {churn_completed},\n    \
+         \"dropped_redispatch_budget\": {churn_budget_drops},\n    \
+         \"dropped_no_live_solver\": {churn_solver_drops},\n    \
+         \"completion_rate\": {churn_rate:.6},\n    \"p99_stretch\": {churn_p99:.4},\n    \
+         \"acceptance\": {{\"required\": \"every task terminal: completed + dropped (with reason \
+         code) == n_tasks, crashes > 0, wall within budget\", \"pass\": {ok_churn}}}\n  }},\n",
+        churned.wall,
+        churn_stats.crashes,
+        churn_stats.joins,
+        churn_stats.leaves,
+        churn_stats.retractions,
+        churn_stats.redispatches,
+        churn_stats.drops,
+        churn_stats.rebalances,
+    );
+    let _ = write!(
+        json,
         "  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \"all_tasks_complete\": {}, \
          \"decision_gate_pass\": {ok_decision}, \"completion_delta_pass\": {ok_delta}, \
          \"shard_delta_pass\": {ok_shard_delta}, \"shard_decision_gate_pass\": {ok_shard_decision}, \
          \"skyline_equivalence_pass\": {ok_skyline_equal}, \
          \"skyline_decision_gate_pass\": {ok_skyline_decision}, \
+         \"churn_gate_pass\": {ok_churn}, \
          \"pass\": {ok}}}\n}}\n",
         completed == n_tasks,
     );

@@ -840,6 +840,63 @@ mod tests {
         assert_eq!(p.completion, t(110.0));
     }
 
+    /// Edge case for the crash path: retracting the *last* in-flight
+    /// task of a server must return its trace to pristine under both
+    /// repair policies — the ledger empties, the resident estimate
+    /// zeroes, and the next prediction is the unloaded cost.
+    #[test]
+    fn retracting_last_in_flight_task_resets_server() {
+        for repair in [RepairPolicy::Incremental, RepairPolicy::FullRedrain] {
+            let mut htm = Htm::new(table(), SyncPolicy::ForceFinish);
+            htm.set_repair_policy(repair);
+            htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+            htm.commit(t(5.0), ServerId(0), &task(2, 5.0));
+            assert!(htm.retract(t(10.0), TaskId(2)));
+            assert!(htm.retract(t(10.0), TaskId(1)), "{repair:?}: last task");
+            assert_eq!(htm.active_on(ServerId(0)), 0, "{repair:?}");
+            assert_eq!(htm.resident_estimate(t(10.0), ServerId(0)), 0.0);
+            let p = htm.predict(t(10.0), ServerId(0), &task(3, 10.0)).unwrap();
+            assert!(p.perturbations.is_empty(), "{repair:?}");
+            assert_eq!(p.completion, t(110.0), "{repair:?}");
+        }
+    }
+
+    /// Edge case for the crash path: a single-task retraction racing
+    /// the crash of its own server at the same instant. Whether the
+    /// lone retract lands before the crash's oldest-first sweep of the
+    /// remainder, or the sweep runs first and the racing retract finds
+    /// its task already gone, the model ends in the same state.
+    #[test]
+    fn retract_then_crash_at_same_instant_is_order_independent() {
+        let build = || {
+            let mut htm = Htm::new(table(), SyncPolicy::ForceFinish);
+            htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+            htm.commit(t(2.0), ServerId(0), &task(2, 2.0));
+            htm.commit(t(4.0), ServerId(0), &task(3, 4.0));
+            htm
+        };
+        // Ordering A: the lone retract of T2, then the crash sweep.
+        let mut a = build();
+        assert!(a.retract(t(50.0), TaskId(2)));
+        assert!(a.retract(t(50.0), TaskId(1)));
+        assert!(a.retract(t(50.0), TaskId(3)));
+        // Ordering B: the crash sweep runs first and already covers the
+        // racing task; the late retract reports it gone, mutating nothing.
+        let mut b = build();
+        assert!(b.retract(t(50.0), TaskId(1)));
+        assert!(b.retract(t(50.0), TaskId(2)));
+        assert!(b.retract(t(50.0), TaskId(3)));
+        assert!(!b.retract(t(50.0), TaskId(2)), "sweep got there first");
+        for htm in [&mut a, &mut b] {
+            assert_eq!(htm.active_on(ServerId(0)), 0);
+            assert_eq!(htm.assignment(TaskId(2)), None);
+        }
+        let pa = a.predict(t(50.0), ServerId(0), &task(9, 50.0)).unwrap();
+        let pb = b.predict(t(50.0), ServerId(0), &task(9, 50.0)).unwrap();
+        assert_eq!(pa.completion, pb.completion);
+        assert!(pa.perturbations.is_empty() && pb.perturbations.is_empty());
+    }
+
     #[test]
     fn sync_force_finish_corrects_model() {
         let mut htm = Htm::new(table(), SyncPolicy::ForceFinish);

@@ -298,18 +298,29 @@ impl Adaptive {
 }
 
 impl Adaptive {
+    /// The widest cut the *current* decision can emit: the base width
+    /// plus near-tie widening, which stops at twice the base (clamped to
+    /// the configured `[k_min, k_max]` band). This is a live bound — it
+    /// tightens as the base width shrinks — and `fill_last` breaks on
+    /// exactly this value, so [`CandidateSelector::width_cap`] can
+    /// advertise it instead of the conservative `k_max`.
+    fn current_cap(&self) -> usize {
+        (self.k * 2).clamp(self.k_min, self.k_max)
+    }
+
     /// The shared stage-1 body: fills `self.last` with the current cut
     /// (base width plus near-tie widening), in ascending score order.
     fn fill_last(&mut self, input: SelectorInput<'_>, admit: &dyn Fn(ServerId) -> bool) {
         self.last.clear();
+        let cap = self.current_cap();
         let mut iter = input.index.ranked_iter(input.problem, admit);
         self.last.extend(iter.by_ref().take(self.k));
         if let Some(&(_, cut)) = self.last.last() {
             // Near-tie widening: keep absorbing while the next score is
-            // within the margin of the cut (capped at k_max).
+            // within the margin of the cut (capped at the live bound).
             let limit = cut * (1.0 + self.tie_margin);
             for (s, score) in iter {
-                if score > limit || self.last.len() >= self.k_max {
+                if score > limit || self.last.len() >= cap {
                     break;
                 }
                 self.last.push((s, score));
@@ -348,9 +359,14 @@ impl CandidateSelector for Adaptive {
     }
 
     fn width_cap(&self) -> Option<usize> {
-        // Near-tie widening stops at `k_max` (`fill_last` breaks once the
-        // cut reaches it), so the ceiling is the hard bound.
-        Some(self.k_max)
+        // The live bound: near-tie widening stops at twice the current
+        // base width (`fill_last` breaks on the same value), so the cap
+        // tracks the EWMA-driven width instead of pinning at `k_max` —
+        // a calm selector advertises a narrow cut and lets the lazy
+        // federation merge skip far more shards. Width changes happen in
+        // the observe hooks, *after* the decision the cap was quoted
+        // for, so the quote is sound for that decision.
+        Some(self.current_cap())
     }
 
     fn observe_selection(&mut self, chosen: ServerId) {
@@ -764,8 +780,8 @@ mod tests {
     }
 
     /// `width_cap` is a true upper bound on every emitted shortlist:
-    /// exhaustive is unbounded, TopK caps at k, Adaptive at k_max even
-    /// through near-tie widening.
+    /// exhaustive is unbounded, TopK caps at k, Adaptive at its live
+    /// bound even through near-tie widening.
     #[test]
     fn width_cap_bounds_emitted_width() {
         assert_eq!(Exhaustive.width_cap(), None);
@@ -780,6 +796,36 @@ mod tests {
         assert_eq!(out.len(), 3);
         let mut topk = TopK::new(2);
         assert!(run(&mut topk, &costs, &index, 0, |_| true).len() <= 2);
+    }
+
+    /// The adaptive cap is *live*: a calm selector at base width `k`
+    /// advertises `2k` (clamped to the band), not the conservative
+    /// `k_max`, and the bound tracks the EWMA-driven width up and down.
+    #[test]
+    fn adaptive_width_cap_tracks_base_width() {
+        let costs = table();
+        let index = StaticIndex::new(&costs);
+        let mut sel = Adaptive::new(2, 64);
+        assert_eq!(sel.width_cap(), Some(4), "2·k, far below k_max");
+        // Regret doubles the base width; the cap follows.
+        for _ in 0..200 {
+            let _ = run(&mut sel, &costs, &index, 0, |_| true);
+            sel.observe_selection(ServerId(3));
+            if sel.current_k() == 4 {
+                break;
+            }
+        }
+        assert_eq!(sel.current_k(), 4);
+        assert_eq!(sel.width_cap(), Some(8));
+        // Calm windows shrink it again, and the floor is k_min.
+        for _ in 0..400 {
+            let list = run(&mut sel, &costs, &index, 0, |_| true);
+            sel.observe_selection(ServerId(list[0]));
+        }
+        assert_eq!(sel.current_k(), 2);
+        assert_eq!(sel.width_cap(), Some(4));
+        let sel = Adaptive::new(1, 1);
+        assert_eq!(sel.width_cap(), Some(1), "clamped into the band");
     }
 }
 
@@ -963,12 +1009,62 @@ mod proptests {
                 Box::new(Adaptive::new(k.min(N_SERVERS), N_SERVERS)),
             ];
             for sel in &mut selectors {
+                let cap = sel.width_cap();
                 let mut out = Vec::new();
                 sel.shortlist(input(), &admit, &mut out);
                 prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "not id-sorted");
                 prop_assert!(out.iter().all(|s| full.contains(s)), "not a subset");
                 prop_assert_eq!(out.is_empty(), full.is_empty(), "dropped every candidate");
                 prop_assert!(out.len() <= full.len());
+                if let Some(cap) = cap {
+                    prop_assert!(out.len() <= cap, "emitted {} > cap {}", out.len(), cap);
+                }
+            }
+        }
+
+        /// The adaptive `width_cap` quoted *before* a decision bounds that
+        /// decision's emitted shortlist, through arbitrary regret and
+        /// stretch feedback driving the base width up and down — the
+        /// soundness property the lazy federation merge leans on when it
+        /// skips shards without running their selectors.
+        #[test]
+        fn adaptive_live_cap_is_sound_under_feedback(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS * N_PROBLEMS),
+            solvable in proptest::collection::vec(proptest::bool::ANY, N_SERVERS * N_PROBLEMS),
+            band in (1usize..N_SERVERS + 2, 0usize..4)
+                .prop_map(|(lo, extra)| (lo, lo + extra)),
+            // (problem, feedback kind, picked rank, lateness)
+            rounds in proptest::collection::vec(
+                (0u32..N_PROBLEMS as u32, 0u32..3, 0usize..N_SERVERS, 0.0f64..2.0),
+                1..60,
+            ),
+        ) {
+            let table = build_table(&costs, &solvable);
+            let index = StaticIndex::new(&table);
+            let (k_min, k_max) = band;
+            let mut sel = Adaptive::new(k_min, k_max);
+            for (problem, feedback, rank, lateness) in rounds {
+                let quoted = sel.width_cap().expect("adaptive always bounds");
+                prop_assert!(quoted <= k_max && quoted >= k_min.min(k_max));
+                let mut out = Vec::new();
+                sel.shortlist(
+                    SelectorInput { problem: ProblemId(problem), costs: &table, index: &index },
+                    &|_| true,
+                    &mut out,
+                );
+                prop_assert!(
+                    out.len() <= quoted,
+                    "emitted {} > cap {} quoted before the decision",
+                    out.len(),
+                    quoted,
+                );
+                match feedback {
+                    0 if !out.is_empty() => {
+                        sel.observe_selection(out[rank.min(out.len() - 1)]);
+                    }
+                    1 => sel.observe_outcome(100.0 * (1.0 + lateness), 100.0),
+                    _ => {}
+                }
             }
         }
     }

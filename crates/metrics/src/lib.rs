@@ -17,6 +17,6 @@ pub mod stats;
 pub mod table;
 
 pub use metrics::{finish_sooner_count, MetricSet};
-pub use record::{TaskOutcome, TaskRecord};
+pub use record::{DropReason, TaskOutcome, TaskRecord};
 pub use stats::Summary;
 pub use table::{render_csv, Table};

@@ -4,6 +4,29 @@ use cas_platform::{ProblemId, ServerId, TaskId};
 use cas_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Why a task was dropped by the fault-handling path (reason codes the
+/// churn accounting reports: every non-completed task under churn must
+/// carry one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The task's server crashed and the re-dispatch budget
+    /// (`ExperimentConfig::redispatch_budget`) was exhausted.
+    RedispatchBudget,
+    /// The task's server crashed while no live server could solve its
+    /// problem (the whole solver set was down or excluded).
+    NoLiveSolver,
+}
+
+impl DropReason {
+    /// Stable reason-code string for bench JSON output.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DropReason::RedispatchBudget => "redispatch_budget",
+            DropReason::NoLiveSolver => "no_live_solver",
+        }
+    }
+}
+
 /// How a task's life ended.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TaskOutcome {
@@ -19,6 +42,12 @@ pub enum TaskOutcome {
     Failed,
     /// Still in flight when the experiment's horizon was reached.
     InFlight,
+    /// Explicitly dropped by the fault-handling path, with a reason code
+    /// (crash re-dispatch budget exhausted, no live solver, …).
+    Dropped {
+        /// Why the task was given up on.
+        reason: DropReason,
+    },
 }
 
 /// Everything the harness records about one task.
@@ -154,5 +183,17 @@ mod tests {
     fn zero_unloaded_duration_gives_no_stretch() {
         let r = rec(0.0, Some(5.0), 0.0);
         assert_eq!(r.stretch(), None);
+    }
+
+    #[test]
+    fn dropped_task_has_reason_code_and_no_flow() {
+        let mut r = rec(10.0, None, 25.0);
+        r.outcome = TaskOutcome::Dropped {
+            reason: DropReason::RedispatchBudget,
+        };
+        assert_eq!(r.flow(), None);
+        assert!(!r.is_completed());
+        assert_eq!(DropReason::RedispatchBudget.code(), "redispatch_budget");
+        assert_eq!(DropReason::NoLiveSolver.code(), "no_live_solver");
     }
 }

@@ -148,6 +148,23 @@ pub struct ExperimentConfig {
     /// (`ablation_htm`): the HTM stays per-server either way, so enabling
     /// this measures the cost of that modelling simplification.
     pub shared_client_link: bool,
+    /// Mean time between failures per server, seconds
+    /// (`f64::INFINITY`, the default, freezes the farm: no churn events
+    /// are scheduled and no churn RNG stream is derived, so the run is
+    /// bit-identical to a pre-lifecycle build).
+    pub mtbf: f64,
+    /// Mean time to repair after a crash, seconds.
+    pub mttr: f64,
+    /// Seed of the fault schedule, independent of `seed` so the same
+    /// world can be replayed under different fault schedules.
+    pub churn_seed: u64,
+    /// Delay before a crash-retracted task re-enters the decision
+    /// pipeline, seconds (a client would not observe the failure and
+    /// resubmit instantaneously).
+    pub redispatch_backoff: f64,
+    /// Total dispatch attempts allowed per task across crash
+    /// re-dispatches; beyond it the task is dropped with a reason code.
+    pub redispatch_budget: u32,
 }
 
 impl ExperimentConfig {
@@ -172,6 +189,11 @@ impl ExperimentConfig {
             memory: MemoryModel::default(),
             fault_tolerance: FaultTolerance::paper_default(heuristic),
             shared_client_link: false,
+            mtbf: f64::INFINITY,
+            mttr: 60.0,
+            churn_seed: 0,
+            redispatch_backoff: 1.0,
+            redispatch_budget: 8,
         }
     }
 
@@ -196,6 +218,11 @@ impl ExperimentConfig {
             memory: MemoryModel::disabled(),
             fault_tolerance: FaultTolerance::None,
             shared_client_link: false,
+            mtbf: f64::INFINITY,
+            mttr: 60.0,
+            churn_seed: 0,
+            redispatch_backoff: 1.0,
+            redispatch_budget: 8,
         }
     }
 
@@ -242,6 +269,31 @@ impl ExperimentConfig {
     pub fn with_aggregated_reports(mut self, aggregated: bool) -> Self {
         self.aggregated_reports = aggregated;
         self
+    }
+
+    /// Returns a copy with fault injection enabled: mean time between
+    /// failures and mean time to repair, seconds. `mtbf = f64::INFINITY`
+    /// keeps the farm frozen.
+    pub fn with_churn(mut self, mtbf: f64, mttr: f64) -> Self {
+        self.mtbf = mtbf;
+        self.mttr = mttr;
+        self
+    }
+
+    /// Returns a copy with a different fault-schedule seed.
+    pub fn with_churn_seed(mut self, churn_seed: u64) -> Self {
+        self.churn_seed = churn_seed;
+        self
+    }
+
+    /// The churn model this configuration describes (disabled when
+    /// `mtbf` is infinite).
+    pub fn churn_model(&self) -> cas_workload::ChurnModel {
+        cas_workload::ChurnModel {
+            mtbf: self.mtbf,
+            mttr: self.mttr,
+            seed: self.churn_seed,
+        }
     }
 }
 
@@ -297,6 +349,20 @@ mod tests {
                 .index_scoring,
             IndexScoring::ActiveCount
         );
+    }
+
+    #[test]
+    fn churn_defaults_to_frozen_farm() {
+        let c = ExperimentConfig::paper(HeuristicKind::Hmct, 1);
+        assert!(c.mtbf.is_infinite());
+        assert!(!c.churn_model().enabled());
+        let c = c.with_churn(400.0, 60.0).with_churn_seed(9);
+        assert_eq!(c.mtbf, 400.0);
+        assert_eq!(c.mttr, 60.0);
+        assert_eq!(c.churn_seed, 9);
+        assert!(c.churn_model().enabled());
+        assert_eq!(c.redispatch_budget, 8);
+        assert_eq!(c.redispatch_backoff, 1.0);
     }
 
     #[test]

@@ -44,17 +44,44 @@ use crate::event::GridEvent;
 use crate::shard::{AgentRouter, DecisionInputs};
 use cas_core::heuristics::Heuristic;
 use cas_core::Htm;
-use cas_metrics::{TaskOutcome, TaskRecord};
+use cas_metrics::{DropReason, TaskOutcome, TaskRecord};
 use cas_platform::{
     AdmitOutcome, Arena, ArenaKey, CostTable, LoadAverage, LoadReport, Phase, PhaseCosts, ServerId,
     ServerRuntime, ServerSpec, TaskId, TaskInstance,
 };
 use cas_sim::dist::{LogNormalNoise, Sample};
 use cas_sim::{RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
+use cas_workload::ChurnProcess;
 
 /// Tolerance when matching a completion event's time against the
 /// resource's recomputed completion time.
 const COMPLETION_EPS: f64 = 1e-6;
+
+/// Lifecycle counters of one run: how often the farm changed shape and
+/// what the scheduler did about it. The cheap observability surface of
+/// the fault-injection subsystem, next to
+/// [`GridWorld::report_events`] and `Simulation::peak_pending`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Servers that crashed (in-flight work lost).
+    pub crashes: u64,
+    /// Servers that came back after a crash.
+    pub joins: u64,
+    /// Servers that left gracefully (drained, no retraction).
+    pub leaves: u64,
+    /// In-flight placements undone by crashes: one HTM retract plus one
+    /// index-ledger payback each.
+    pub retractions: u64,
+    /// Tasks re-entered into the decision pipeline — after a crash
+    /// retraction, or after finding no live solver — with the
+    /// re-dispatch backoff applied.
+    pub redispatches: u64,
+    /// Tasks dropped with a reason code (re-dispatch budget exhausted,
+    /// or no live solver left).
+    pub drops: u64,
+    /// Federation re-partitions triggered by the live-count band.
+    pub rebalances: u64,
+}
 
 /// A task in flight on a server.
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +135,23 @@ pub struct GridWorld {
     /// Servers the agent has learned are collapsed (a refusal response
     /// carries the flag).
     agent_known_dead: Vec<bool>,
+    /// Liveness under churn: `false` while a server is crashed or has
+    /// left. Dead servers are excluded from every decision's admit
+    /// filter and dropped from the stage-1 rankings
+    /// (`AgentRouter::set_available`); with churn disabled the vector
+    /// stays all-true and the run is bit-identical to a frozen farm.
+    live: Vec<bool>,
+    /// Tasks currently in flight per server — the list a crash walks to
+    /// retract the victim's placements. Maintained by the commit,
+    /// completion and retraction paths.
+    inflight: Vec<Vec<TaskId>>,
+    /// The instantiated fault schedule (`None` when `cfg.mtbf` is
+    /// infinite: no churn events, no churn RNG streams).
+    churn: Option<ChurnProcess>,
+    churn_stats: ChurnStats,
+    /// Live-count band `(lo, hi)` per shard: drifting outside it
+    /// triggers an online re-partition (federated router only).
+    band: (usize, usize),
     /// Kernel events spent on load reports so far (per-server events in
     /// the default mode, per-shard events in aggregated mode) — the
     /// counter behind the O(n) → O(S) queue-pressure claim.
@@ -133,6 +177,22 @@ impl GridWorld {
             "tasks must be sorted by arrival"
         );
         let n = server_specs.len();
+        let churn = cfg.churn_model().process(n);
+        let agent = AgentRouter::new(
+            &costs,
+            cfg.shards.resolve(n),
+            cfg.selector,
+            cfg.index_scoring,
+            cfg.sync,
+        )
+        .with_skyline(cfg.skyline)
+        // History replay is what populates rebuilt blocks on a
+        // rebalance, and only a churning federation ever rebalances.
+        .with_history(churn.is_some() && cfg.shards.resolve(n).is_some());
+        // Per-shard live-count band from the initial shape: merge below
+        // half the initial mean block, split above twice it.
+        let mean_block = (n / agent.n_shards().max(1)).max(1);
+        let band = ((mean_block / 2).max(1), (mean_block * 2).max(2));
         let records = tasks
             .iter()
             .map(|t| TaskRecord {
@@ -150,14 +210,7 @@ impl GridWorld {
         GridWorld {
             remaining: tasks.len(),
             flight_keys: vec![None; tasks.len()],
-            agent: AgentRouter::new(
-                &costs,
-                cfg.shards.resolve(n),
-                cfg.selector,
-                cfg.index_scoring,
-                cfg.sync,
-            )
-            .with_skyline(cfg.skyline),
+            agent,
             heuristic: cfg.heuristic.build(),
             tie_rng: RngStream::derive(cfg.seed, StreamKind::TieBreak),
             cpu_noise: (0..n as u32)
@@ -187,6 +240,11 @@ impl GridWorld {
             },
             records,
             agent_known_dead: vec![false; n],
+            live: vec![true; n],
+            inflight: vec![Vec::new(); n],
+            churn,
+            churn_stats: ChurnStats::default(),
+            band,
             report_events: 0,
             cfg,
             costs,
@@ -238,6 +296,17 @@ impl GridWorld {
     /// period with `ExperimentConfig::aggregated_reports` on.
     pub fn report_events(&self) -> u64 {
         self.report_events
+    }
+
+    /// Lifecycle counters: crashes, joins, leaves, retractions,
+    /// re-dispatches, drops and rebalances so far.
+    pub fn churn_stats(&self) -> ChurnStats {
+        self.churn_stats
+    }
+
+    /// Number of currently live servers.
+    pub fn live_servers(&self) -> usize {
+        self.live.iter().filter(|&&up| up).count()
     }
 
     fn resource(&self, server: ServerId, phase: Phase) -> &cas_platform::FairShareResource<TaskId> {
@@ -318,6 +387,7 @@ impl GridWorld {
     fn output_arrived(&mut self, now: SimTime, task: TaskId) {
         if let Some(key) = self.flight_keys[task.index()].take() {
             let flight = self.flights.remove(key).expect("flight key is live");
+            self.forget_inflight(flight.server, task);
             let rec = &self.records[task.index()];
             let arrival = rec.arrival.as_secs();
             let predicted_flow = rec
@@ -351,6 +421,15 @@ impl GridWorld {
         &mut self.records[task.index()]
     }
 
+    /// Drops `task` from `server`'s in-flight list (order-preserving, so
+    /// a crash retracts oldest placements first).
+    fn forget_inflight(&mut self, server: ServerId, task: TaskId) {
+        let list = &mut self.inflight[server.index()];
+        if let Some(pos) = list.iter().position(|&t| t == task) {
+            list.remove(pos);
+        }
+    }
+
     fn fail_task(&mut self, idx: usize, attempts: u32, last_server: Option<ServerId>) {
         let task = self.tasks[idx];
         let rec = self.record_mut(task.id);
@@ -377,8 +456,10 @@ impl GridWorld {
         // shard selector inside `decide`.
         let pick = {
             let dead = &self.agent_known_dead;
+            let live = &self.live;
             let excluded = &excluded;
-            let admit = move |s: ServerId| !excluded.contains(&s) && !dead[s.index()];
+            let admit =
+                move |s: ServerId| !excluded.contains(&s) && !dead[s.index()] && live[s.index()];
             self.agent.decide(
                 DecisionInputs {
                     now,
@@ -393,6 +474,34 @@ impl GridWorld {
             )
         };
         let Some(server) = pick else {
+            if self.churn.is_some() {
+                // Under churn "nobody can take it" is usually transient
+                // — the solvers are down, not gone. Re-enter the
+                // pipeline after the backoff (with a clean exclusion
+                // set: a rejoined server is a fresh candidate) until the
+                // dispatch budget runs out, then drop with a reason
+                // code so the campaign accounting stays exact.
+                if attempt < self.cfg.redispatch_budget {
+                    self.churn_stats.redispatches += 1;
+                    sched.in_(
+                        SimTime::from_secs(self.cfg.redispatch_backoff),
+                        GridEvent::Schedule {
+                            idx,
+                            attempt: attempt + 1,
+                            excluded: Vec::new(),
+                        },
+                    );
+                } else {
+                    self.churn_stats.drops += 1;
+                    let rec = self.record_mut(task.id);
+                    rec.outcome = TaskOutcome::Dropped {
+                        reason: DropReason::NoLiveSolver,
+                    };
+                    rec.attempts = attempt;
+                    self.remaining -= 1;
+                }
+                return;
+            }
             self.fail_task(idx, attempt, excluded.last().copied());
             return;
         };
@@ -434,6 +543,7 @@ impl GridWorld {
                     work,
                 });
                 self.flight_keys[task.id.index()] = Some(key);
+                self.inflight[server.index()].push(task.id);
                 if let Some(link) = &mut self.client_link {
                     link.add(now, task.id, phase_costs.input);
                     self.resched_client_link(sched);
@@ -590,6 +700,12 @@ impl GridWorld {
         shard: usize,
         sched: &mut Scheduler<'_, GridEvent>,
     ) {
+        if shard >= self.agent.map().n_shards() {
+            // A rebalance shrank the federation after this report was
+            // scheduled; the stale event dies here and the surviving
+            // shards' own report chains cover every server.
+            return;
+        }
         self.report_events += 1;
         let members = self.agent.map().members(shard);
         for s in members {
@@ -640,6 +756,196 @@ impl GridWorld {
             );
         }
     }
+
+    /// Undoes one in-flight placement on a crashed server: the task is
+    /// pulled out of whatever resource it occupies (its memory
+    /// reservation released), the agent's model retracts it through the
+    /// HTM/index hooks, and the task re-enters the decision pipeline
+    /// after the re-dispatch backoff — or is dropped with a reason code
+    /// once its dispatch budget is spent.
+    fn retract_flight(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: TaskId,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        let Some(key) = self.flight_keys[task.index()].take() else {
+            return;
+        };
+        let flight = self.flights.remove(key).expect("flight key is live");
+        debug_assert_eq!(flight.server, server);
+        match flight.phase {
+            Phase::Input => {
+                if let Some(link) = &mut self.client_link {
+                    link.remove(now, task);
+                    self.resched_client_link(sched);
+                } else {
+                    self.resource_mut(server, Phase::Input).remove(now, task);
+                    self.resched(server, Phase::Input, sched);
+                }
+                // The commit-time memory reservation is still held;
+                // releasing it can ease thrashing, which changes the CPU
+                // capacity — keep the CPU event fresh.
+                self.servers[server.index()].release(now, task);
+                self.resched(server, Phase::Compute, sched);
+            }
+            Phase::Compute => {
+                self.touch_monitor(server, now);
+                self.servers[server.index()].finish_compute(now, task);
+                self.resched(server, Phase::Compute, sched);
+            }
+            Phase::Output => {
+                if let Some(link) = &mut self.client_link {
+                    link.remove(now, task);
+                    self.resched_client_link(sched);
+                } else {
+                    self.resource_mut(server, Phase::Output).remove(now, task);
+                    self.resched(server, Phase::Output, sched);
+                }
+            }
+        }
+        self.agent.on_retract(now, server, task, flight.work);
+        self.churn_stats.retractions += 1;
+        let attempts = self.records[task.index()].attempts;
+        if attempts < self.cfg.redispatch_budget {
+            self.churn_stats.redispatches += 1;
+            sched.in_(
+                SimTime::from_secs(self.cfg.redispatch_backoff),
+                GridEvent::Schedule {
+                    idx: task.index(),
+                    attempt: attempts + 1,
+                    excluded: vec![server],
+                },
+            );
+        } else {
+            self.churn_stats.drops += 1;
+            let rec = self.record_mut(task);
+            rec.outcome = TaskOutcome::Dropped {
+                reason: DropReason::RedispatchBudget,
+            };
+            self.remaining -= 1;
+        }
+    }
+
+    /// Re-partitions the federation when the live-server count has
+    /// drifted past the size band (no-op for the single-agent path, or
+    /// while the boundaries still fit). Growth of the shard count under
+    /// aggregated reports seeds report events for the new shards;
+    /// shrink leaves the stale events to die on the bounds check in
+    /// [`GridWorld::handle_shard_load_report`].
+    fn maybe_rebalance(&mut self, sched: &mut Scheduler<'_, GridEvent>) {
+        if !self.agent.is_federated() {
+            return;
+        }
+        let (lo, hi) = self.band;
+        let Some(new_map) = self.agent.map().rebalanced(&self.live, lo, hi) else {
+            return;
+        };
+        let old_shards = self.agent.n_shards();
+        self.agent.rebalance(&self.costs, new_map);
+        self.churn_stats.rebalances += 1;
+        let new_shards = self.agent.n_shards();
+        if self.cfg.aggregated_reports && new_shards > old_shards && self.remaining > 0 {
+            for k in old_shards..new_shards {
+                let phase = self.cfg.load_report_period * (k + 1) as f64 / new_shards as f64;
+                sched.in_(
+                    SimTime::from_secs(phase),
+                    GridEvent::ShardLoadReport { shard: k },
+                );
+            }
+        }
+    }
+
+    /// A server crashes: every placement in flight on it is retracted
+    /// and re-dispatched (or dropped), the server leaves the rankings
+    /// and the admit filter, and a rejoin is scheduled after the
+    /// repair-time draw.
+    fn handle_server_crash(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        if !self.live[server.index()] {
+            return;
+        }
+        self.churn_stats.crashes += 1;
+        self.live[server.index()] = false;
+        self.agent.set_available(server, false);
+        let victims = std::mem::take(&mut self.inflight[server.index()]);
+        for task in victims {
+            self.retract_flight(now, server, task, sched);
+        }
+        self.maybe_rebalance(sched);
+        if self.remaining > 0 {
+            let downtime = self
+                .churn
+                .as_mut()
+                .expect("crash events exist only under churn")
+                .next_downtime(server);
+            sched.in_(
+                SimTime::from_secs(downtime),
+                GridEvent::ServerJoin { server },
+            );
+        }
+    }
+
+    /// A crashed server comes back: it rejoins the rankings at its
+    /// believed load (its ledger kept draining while it was away), its
+    /// monitor history and report restart fresh, and the next crash is
+    /// scheduled from the uptime draw.
+    fn handle_server_join(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        if self.live[server.index()] {
+            return;
+        }
+        self.churn_stats.joins += 1;
+        self.live[server.index()] = true;
+        self.agent.set_available(server, true);
+        // Rejoin resets the agent's collapse knowledge; a server whose
+        // runtime really did collapse will refuse its next reservation
+        // and be re-marked.
+        self.agent_known_dead[server.index()] = false;
+        self.monitors[server.index()] = LoadAverage::new(self.cfg.load_tau);
+        self.reports[server.index()] = LoadReport::initial(server);
+        let _ = now;
+        self.maybe_rebalance(sched);
+        if self.remaining > 0 {
+            let uptime = self
+                .churn
+                .as_mut()
+                .expect("join events exist only under churn")
+                .next_uptime(server);
+            sched.in_(
+                SimTime::from_secs(uptime),
+                GridEvent::ServerCrash { server },
+            );
+        }
+    }
+
+    /// A server leaves gracefully: no new placements (rankings and admit
+    /// exclude it immediately) but work already in flight drains to
+    /// completion — the index ledger and HTM hooks on a down server stay
+    /// consistent by design.
+    fn handle_server_leave(
+        &mut self,
+        _now: SimTime,
+        server: ServerId,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        if !self.live[server.index()] {
+            return;
+        }
+        self.churn_stats.leaves += 1;
+        self.live[server.index()] = false;
+        self.agent.set_available(server, false);
+        self.maybe_rebalance(sched);
+    }
 }
 
 impl World for GridWorld {
@@ -684,6 +990,19 @@ impl World for GridWorld {
                 );
             }
         }
+        if let Some(churn) = &mut self.churn {
+            // Each server's first failure comes from its own uptime
+            // stream, so the fault schedule is a function of the churn
+            // seed alone — independent of workload or heuristic.
+            for i in 0..self.servers.len() {
+                let server = ServerId(i as u32);
+                let uptime = churn.next_uptime(server);
+                sched.at(
+                    SimTime::from_secs(uptime),
+                    GridEvent::ServerCrash { server },
+                );
+            }
+        }
     }
 
     fn handle(&mut self, now: SimTime, event: GridEvent, sched: &mut Scheduler<'_, GridEvent>) {
@@ -713,6 +1032,9 @@ impl World for GridWorld {
                 self.handle_shard_load_report(now, shard, sched)
             }
             GridEvent::NoiseRedraw { server } => self.handle_noise_redraw(now, server, sched),
+            GridEvent::ServerCrash { server } => self.handle_server_crash(now, server, sched),
+            GridEvent::ServerJoin { server } => self.handle_server_join(now, server, sched),
+            GridEvent::ServerLeave { server } => self.handle_server_leave(now, server, sched),
         }
     }
 }
@@ -1279,5 +1601,131 @@ mod tests {
             on_slow > 0,
             "assignment-bump correction must steer some tasks to the slow server"
         );
+    }
+
+    /// Switching the churn machinery on with an infinite MTBF must be
+    /// invisible: no fault process derives from the model, so every
+    /// selector backend — sharded or not — produces records
+    /// bit-identical to the frozen farm.
+    #[test]
+    fn infinite_mtbf_is_bitwise_identical_to_frozen_farm() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        for selector in [
+            cas_core::SelectorKind::Exhaustive,
+            cas_core::SelectorKind::TopK { k: 1 },
+            cas_core::SelectorKind::TopK { k: 64 },
+            cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+        ] {
+            for shards in [Sharding::Single, Sharding::Federated { shards: 3 }] {
+                let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 41)
+                    .with_selector(selector)
+                    .with_shards(shards);
+                let frozen = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+                let churned = run_experiment(
+                    cfg.with_churn(f64::INFINITY, 60.0).with_churn_seed(99),
+                    costs.clone(),
+                    servers.clone(),
+                    tasks.clone(),
+                );
+                assert_eq!(
+                    frozen, churned,
+                    "{selector:?}/{shards:?} diverged under mtbf = inf"
+                );
+            }
+        }
+    }
+
+    /// Crash-retraction equivalence end to end: under the exhaustive
+    /// selector, a sharded federation subjected to a fault schedule
+    /// produces records bit-identical to the single-agent engine under
+    /// the *same* schedule — retraction, backoff re-dispatch, budget
+    /// drops and online rebalancing included. The fault schedule is a
+    /// function of the churn seed alone, so both runs see the same one.
+    #[test]
+    fn churned_federation_matches_single_agent_under_same_faults() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        let base = ExperimentConfig::paper(HeuristicKind::Hmct, 9)
+            .with_churn(60.0, 15.0)
+            .with_churn_seed(3);
+        let single = run_experiment(base, costs.clone(), servers.clone(), tasks.clone());
+        for shards in [2, 3, 6] {
+            let routed = run_experiment(
+                base.with_shards(Sharding::Federated { shards }),
+                costs.clone(),
+                servers.clone(),
+                tasks.clone(),
+            );
+            assert_eq!(single, routed, "diverged at {shards} shards under churn");
+        }
+    }
+
+    /// A harsh fault schedule must leave no task unaccounted: every
+    /// record ends terminal, the completed/dropped/failed partition
+    /// sums to the campaign size, and the lifecycle counters agree
+    /// with the records.
+    #[test]
+    fn churn_campaign_accounts_for_every_task() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(40);
+        let n_tasks = tasks.len() as u64;
+        let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 23)
+            .with_shards(Sharding::Federated { shards: 3 })
+            .with_churn(40.0, 20.0)
+            .with_churn_seed(7);
+        let world = GridWorld::new(cfg, costs, servers, tasks);
+        let mut sim = cas_sim::Simulation::new(world);
+        let _ = sim.run_to_completion();
+        let world = sim.into_world();
+        let stats = world.churn_stats();
+        assert!(stats.crashes > 0, "schedule must crash servers: {stats:?}");
+        let (mut completed, mut dropped, mut failed) = (0u64, 0u64, 0u64);
+        for r in world.records() {
+            match r.outcome {
+                TaskOutcome::Completed { .. } => completed += 1,
+                TaskOutcome::Dropped { .. } => dropped += 1,
+                TaskOutcome::Failed => failed += 1,
+                TaskOutcome::InFlight => panic!("task {:?} left in flight", r.task),
+            }
+        }
+        assert_eq!(completed + dropped + failed, n_tasks);
+        assert_eq!(dropped, stats.drops, "every drop carries a reason code");
+        // Every retraction either re-dispatched or consumed the budget;
+        // the requeue path may add re-dispatches of its own on top.
+        assert!(
+            stats.redispatches + stats.drops >= stats.retractions,
+            "unaccounted retraction: {stats:?}"
+        );
+    }
+
+    /// When repairs lag far behind failures, whole blocks go dark and
+    /// the live-server count leaves the size band: the router must
+    /// re-partition online — and the campaign must still account for
+    /// every task afterwards.
+    #[test]
+    fn churn_triggers_online_rebalance() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(40);
+        let n_tasks = tasks.len() as u64;
+        let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 5)
+            .with_shards(Sharding::Federated { shards: 3 })
+            .with_churn(30.0, 90.0)
+            .with_churn_seed(11);
+        let world = GridWorld::new(cfg, costs, servers, tasks);
+        let mut sim = cas_sim::Simulation::new(world);
+        let _ = sim.run_to_completion();
+        let world = sim.into_world();
+        let stats = world.churn_stats();
+        assert!(
+            stats.rebalances > 0,
+            "long repairs must empty a block and trigger a merge: {stats:?}"
+        );
+        let terminal = world
+            .records()
+            .iter()
+            .filter(|r| !matches!(r.outcome, TaskOutcome::InFlight))
+            .count() as u64;
+        assert_eq!(terminal, n_tasks);
     }
 }

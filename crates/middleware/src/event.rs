@@ -56,6 +56,25 @@ pub enum GridEvent {
         /// The affected server.
         server: ServerId,
     },
+    /// A provisioned server (re)joins the farm: it becomes eligible for
+    /// placement again and its runtime state starts fresh.
+    ServerJoin {
+        /// The joining server.
+        server: ServerId,
+    },
+    /// A server leaves gracefully: it stops taking new work but its
+    /// in-flight tasks drain to completion.
+    ServerLeave {
+        /// The departing server.
+        server: ServerId,
+    },
+    /// A server crashes: its in-flight tasks are lost, retracted from the
+    /// agent's model and re-dispatched through the normal decision
+    /// pipeline (bounded retry budget, re-dispatch backoff).
+    ServerCrash {
+        /// The crashed server.
+        server: ServerId,
+    },
 }
 
 #[cfg(test)]

@@ -40,8 +40,10 @@ use std::collections::HashMap;
 
 /// One step of a differential run. `kind` selects the operation:
 /// `0..=5` a decision round (the value also rotates the heuristic),
-/// `6 | 7` a commit, `8` a retract of the most recent commit, anything
-/// else a completion of the oldest commit.
+/// `6 | 7` a commit, `8` a retract of the most recent commit, `10` a
+/// server crash (every in-flight commit on `server` is retracted, then
+/// the server goes down), `11` a repair (the server comes back up),
+/// anything else a completion of the oldest commit.
 #[derive(Debug, Clone, Copy)]
 pub struct Op {
     /// Operation selector (see type docs).
@@ -103,6 +105,12 @@ pub trait DecisionAgent {
     /// The resting model state: simulated completion date of every
     /// committed task.
     fn completions(&self) -> HashMap<TaskId, SimTime>;
+
+    /// `server` went down (`up = false`) or came back (`up = true`):
+    /// stage-1 rankings must drop or re-admit it. The harness also
+    /// excludes down servers through the decision's admit filter, the
+    /// way the engine's liveness vector does.
+    fn set_available(&mut self, server: ServerId, up: bool);
 }
 
 impl DecisionAgent for AgentRouter {
@@ -143,6 +151,10 @@ impl DecisionAgent for AgentRouter {
 
     fn completions(&self) -> HashMap<TaskId, SimTime> {
         self.simulated_completions()
+    }
+
+    fn set_available(&mut self, server: ServerId, up: bool) {
+        AgentRouter::set_available(self, server, up);
     }
 }
 
@@ -233,6 +245,10 @@ impl DecisionAgent for SingleAgentReference {
     fn completions(&self) -> HashMap<TaskId, SimTime> {
         self.htm.simulated_completions()
     }
+
+    fn set_available(&mut self, server: ServerId, up: bool) {
+        self.index.set_available(server, up);
+    }
 }
 
 /// The static world shared by both sides of a differential run.
@@ -278,14 +294,16 @@ impl DiffHarness {
         session.finish(a, b)
     }
 
-    /// Starts a resumable differential session: clock, task-id sequence
-    /// and the in-flight commit ledger persist across `run` calls.
+    /// Starts a resumable differential session: clock, task-id sequence,
+    /// the in-flight commit ledger and the down-server set persist
+    /// across `run` calls.
     pub fn session(&self) -> DiffSession<'_> {
         DiffSession {
             harness: self,
             now: 0.0,
             next_id: 0,
             committed: Vec::new(),
+            down: vec![false; self.table.n_servers()],
             step: 0,
         }
     }
@@ -297,6 +315,10 @@ pub struct DiffSession<'a> {
     now: f64,
     next_id: u64,
     committed: Vec<(TaskId, ServerId, f64)>,
+    /// Servers taken down by crash ops (kind 10) and not yet repaired
+    /// (kind 11); excluded from every decision's admit filter, the way
+    /// the engine's liveness vector is.
+    down: Vec<bool>,
     step: usize,
 }
 
@@ -331,7 +353,8 @@ impl DiffSession<'_> {
                     );
                     self.next_id += 1;
                     let excl = op.excl;
-                    let admit = move |s: ServerId| s.0 != excl;
+                    let down = self.down.clone();
+                    let admit = move |s: ServerId| s.0 != excl && !down[s.index()];
                     let world = self.harness;
                     let inputs = || DecisionInputs {
                         now: when,
@@ -399,6 +422,35 @@ impl DiffSession<'_> {
                         a.retract(when, srv, id, work);
                         b.retract(when, srv, id, work);
                     }
+                }
+                // A crash: every in-flight commit on the server is
+                // retracted (oldest first — the order the engine walks
+                // its per-server flight list), then the server goes
+                // down. Crashing a down server only re-retracts nothing
+                // and re-asserts the flag (idempotent on both sides).
+                10 => {
+                    let srv = ServerId(op.server % self.harness.table.n_servers() as u32);
+                    let mut i = 0;
+                    while i < self.committed.len() {
+                        if self.committed[i].1 == srv {
+                            let (id, srv, work) = self.committed.remove(i);
+                            a.retract(when, srv, id, work);
+                            b.retract(when, srv, id, work);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    a.set_available(srv, false);
+                    b.set_available(srv, false);
+                    self.down[srv.index()] = true;
+                }
+                // A repair: the server rejoins the rankings at its
+                // current believed load.
+                11 => {
+                    let srv = ServerId(op.server % self.harness.table.n_servers() as u32);
+                    a.set_available(srv, true);
+                    b.set_available(srv, true);
+                    self.down[srv.index()] = false;
                 }
                 // Completions drain the oldest commit on both sides.
                 _ => {

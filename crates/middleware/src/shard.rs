@@ -240,6 +240,42 @@ impl SkylineStats {
     }
 }
 
+/// One model-mutation hook, recorded for rebalance replay. A shard
+/// engine's HTM and index state is a deterministic function of the
+/// chronological op sequence that touched its servers — but not a
+/// *transplantable* one: the index's remaining-work ledger is a float
+/// fold (splitting it at a new boundary would reassociate the sums) and
+/// the HTM ages traces in place. A block with a new boundary can
+/// therefore only be populated by replaying the ops, never by slicing
+/// state out of the old engines. Completions deliberately drop the
+/// observed/predicted flows: rebalance restarts stage-1 selector
+/// adaptation on every shard, so replay never feeds a selector.
+#[derive(Debug, Clone, Copy)]
+enum ModelOp {
+    Commit {
+        now: SimTime,
+        server: ServerId,
+        task: TaskInstance,
+        work: f64,
+    },
+    Retract {
+        now: SimTime,
+        server: ServerId,
+        task: TaskId,
+        work: f64,
+    },
+    Complete {
+        now: SimTime,
+        server: ServerId,
+        task: TaskId,
+        work: f64,
+    },
+    Available {
+        server: ServerId,
+        up: bool,
+    },
+}
+
 /// Everything one scheduling decision needs from the world, read-only.
 pub struct DecisionInputs<'a> {
     /// Decision time.
@@ -287,6 +323,16 @@ pub struct AgentRouter {
     order: Vec<(u64, u32, u32)>,
     /// Merge scratch: the final candidate list, ascending global id.
     candidates: Vec<ServerId>,
+    /// How the engines were built — needed to rebuild blocks when the
+    /// partition changes under churn.
+    selector_kind: SelectorKind,
+    scoring: IndexScoring,
+    sync: SyncPolicy,
+    /// Model-op history for rebalance replay. Recorded only when
+    /// [`AgentRouter::with_history`] turned it on — the engine enables
+    /// it exactly when churn can trigger a rebalance.
+    record_history: bool,
+    history: Vec<ModelOp>,
 }
 
 impl AgentRouter {
@@ -320,7 +366,22 @@ impl AgentRouter {
             merged: Vec::new(),
             order: Vec::new(),
             candidates: Vec::new(),
+            selector_kind: selector,
+            scoring,
+            sync,
+            record_history: false,
+            history: Vec::new(),
         }
+    }
+
+    /// Turns on model-op history recording (off by default): every
+    /// commit/retract/complete/availability hook is logged so
+    /// [`AgentRouter::rebalance`] can repopulate rebuilt blocks by
+    /// replay. The engine enables this exactly when a finite MTBF can
+    /// drift the live-server count past the federation's size band.
+    pub fn with_history(mut self, record: bool) -> Self {
+        self.record_history = record;
+        self
     }
 
     /// Toggles the lazy skyline merge (on by default). Off replays the
@@ -586,6 +647,14 @@ impl AgentRouter {
     /// Routes a commit to the owning shard: HTM trace mutation plus
     /// index re-rank, both `O(shard)` — farm size does not appear.
     pub fn on_commit(&mut self, now: SimTime, server: ServerId, task: &TaskInstance, work: f64) {
+        if self.record_history {
+            self.history.push(ModelOp::Commit {
+                now,
+                server,
+                task: *task,
+                work,
+            });
+        }
         let owner = self.map.owner(server);
         let local = self.map.to_local(owner, server);
         let shard = &mut self.shards[owner];
@@ -596,6 +665,14 @@ impl AgentRouter {
     /// Routes a retract (placement undone before running) to the owning
     /// shard.
     pub fn on_retract(&mut self, now: SimTime, server: ServerId, task: TaskId, work: f64) {
+        if self.record_history {
+            self.history.push(ModelOp::Retract {
+                now,
+                server,
+                task,
+                work,
+            });
+        }
         let owner = self.map.owner(server);
         let local = self.map.to_local(owner, server);
         let shard = &mut self.shards[owner];
@@ -616,12 +693,164 @@ impl AgentRouter {
         observed: f64,
         predicted: f64,
     ) {
+        if self.record_history {
+            self.history.push(ModelOp::Complete {
+                now,
+                server,
+                task,
+                work,
+            });
+        }
         let owner = self.map.owner(server);
         let local = self.map.to_local(owner, server);
         let shard = &mut self.shards[owner];
         shard.index.on_complete(local, work);
         shard.htm.observe_completion(now, task);
         shard.selector.observe_outcome(observed, predicted);
+    }
+
+    /// Marks `server` up or down in its owning shard's stage-1 index:
+    /// down removes it from every ranking (and the skylines — a dead
+    /// server can never head a shard's merge order) while its
+    /// remaining-work ledger keeps draining, so completions of work
+    /// already placed there stay consistent; up re-inserts it at its
+    /// current believed load. Returns whether the flag changed
+    /// (idempotent otherwise). The decision path additionally excludes
+    /// dead servers through `admit`, which is what keeps the exhaustive
+    /// selector — which scans the cost table, not the index — exact.
+    pub fn set_available(&mut self, server: ServerId, up: bool) -> bool {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        let changed = self.shards[owner].index.set_available(local, up);
+        if changed && self.record_history {
+            self.history.push(ModelOp::Available { server, up });
+        }
+        changed
+    }
+
+    fn check_rebalance(&self, costs: &CostTable, new_map: &ShardMap) {
+        assert!(self.federated, "rebalance requires the federated router");
+        assert!(
+            self.record_history,
+            "rebalance requires history recording (AgentRouter::with_history)"
+        );
+        assert_eq!(
+            new_map.n_servers(),
+            self.map.n_servers(),
+            "rebalance cannot change the farm size"
+        );
+        assert_eq!(
+            costs.n_servers(),
+            self.map.n_servers(),
+            "cost table must span the farm"
+        );
+    }
+
+    /// A fresh engine for the block `[start, start + len)`, repopulated
+    /// by replaying the recorded history filtered to its servers (see
+    /// [`ModelOp`] for why replay, not state transplant). Selector
+    /// feedback is deliberately not replayed — rebalance restarts
+    /// stage-1 adaptation everywhere.
+    fn rebuilt_engine(&self, costs: &CostTable, start: u32, len: usize) -> ShardEngine {
+        let mut e = ShardEngine::new(
+            costs,
+            start,
+            len,
+            self.selector_kind,
+            self.scoring,
+            self.sync,
+        );
+        let end = start + len as u32;
+        let owned = |s: ServerId| s.0 >= start && s.0 < end;
+        for op in &self.history {
+            match *op {
+                ModelOp::Commit {
+                    now,
+                    server,
+                    task,
+                    work,
+                } if owned(server) => {
+                    let local = ServerId(server.0 - start);
+                    e.htm.commit(now, local, &task);
+                    e.index.on_commit(local, work);
+                }
+                ModelOp::Retract {
+                    now,
+                    server,
+                    task,
+                    work,
+                } if owned(server) => {
+                    let local = ServerId(server.0 - start);
+                    e.htm.retract(now, task);
+                    e.index.on_retract(local, work);
+                }
+                ModelOp::Complete {
+                    now,
+                    server,
+                    task,
+                    work,
+                } if owned(server) => {
+                    let local = ServerId(server.0 - start);
+                    e.index.on_complete(local, work);
+                    e.htm.observe_completion(now, task);
+                }
+                ModelOp::Available { server, up } if owned(server) => {
+                    e.index.set_available(ServerId(server.0 - start), up);
+                }
+                _ => {}
+            }
+        }
+        e
+    }
+
+    /// Re-partitions the federation to `new_map`, rebuilding **only**
+    /// the blocks whose boundaries changed. A new shard whose
+    /// `(start, len)` block survives from the old map keeps its engine
+    /// — HTM and index are deterministic functions of the op history, so
+    /// reuse and replay agree; every other block is rebuilt by replay.
+    /// Stage-1 selector adaptation restarts fresh on **every** shard and
+    /// the decision memo resets, making an incremental rebalance
+    /// observably identical to [`AgentRouter::rebalance_full`] — the
+    /// executable spec that rebuilds everything — which the rebalance
+    /// proptests prove bit for bit. Under the exhaustive selector (whose
+    /// merge is the untruncated union) a rebalance is additionally
+    /// invisible against a router that *never* rebalanced.
+    pub fn rebalance(&mut self, costs: &CostTable, new_map: ShardMap) {
+        self.check_rebalance(costs, &new_map);
+        let old_blocks: Vec<(u32, usize)> = (0..self.map.n_shards())
+            .map(|k| (self.map.start(k), self.map.len(k)))
+            .collect();
+        let mut old: Vec<Option<ShardEngine>> = self.shards.drain(..).map(Some).collect();
+        let mut shards = Vec::with_capacity(new_map.n_shards());
+        for k in 0..new_map.n_shards() {
+            let (start, len) = (new_map.start(k), new_map.len(k));
+            let survivor = old_blocks
+                .iter()
+                .position(|&b| b == (start, len))
+                .and_then(|j| old[j].take());
+            let engine = match survivor {
+                Some(mut e) => {
+                    e.selector = self.selector_kind.build();
+                    e
+                }
+                None => self.rebuilt_engine(costs, start, len),
+            };
+            shards.push(engine);
+        }
+        self.map = new_map;
+        self.shards = shards;
+        self.memo = DecisionMemo::new();
+    }
+
+    /// The executable spec of [`AgentRouter::rebalance`]: rebuilds
+    /// **every** block from scratch by history replay, reusing nothing.
+    pub fn rebalance_full(&mut self, costs: &CostTable, new_map: ShardMap) {
+        self.check_rebalance(costs, &new_map);
+        self.shards = (0..new_map.n_shards())
+            .map(|k| self.rebuilt_engine(costs, new_map.start(k), new_map.len(k)))
+            .collect();
+        self.map = new_map;
+        self.memo = DecisionMemo::new();
     }
 
     /// Simulated completion dates of every committed task, across all
@@ -980,6 +1209,41 @@ mod skyline_edge {
         assert_eq!(stats.shard_skips, 6);
     }
 
+    /// Downing every solver in a shard erases its skyline for that
+    /// problem — the lazy merge then skips it unconditionally — and
+    /// repairing one server restores it.
+    #[test]
+    fn crash_drops_shard_skyline_and_repair_restores_it() {
+        let table = edge_table();
+        let (_, mut lazy) = routers(&table, SelectorKind::TopK { k: 2 });
+        let p1 = ProblemId(1);
+        assert!(lazy.shards[0].skyline(p1).is_some(), "P1 lives in shard 0");
+        assert!(lazy.set_available(ServerId(0), false));
+        assert!(lazy.set_available(ServerId(1), false));
+        assert!(
+            lazy.shards[0].skyline(p1).is_none(),
+            "both P1 solvers down: no skyline"
+        );
+        assert!(!lazy.set_available(ServerId(1), false), "idempotent");
+        assert!(lazy.set_available(ServerId(1), true));
+        assert_eq!(
+            lazy.shards[0].skyline(p1).map(|(_, s)| s),
+            Some(ServerId(1)),
+            "repair restores the shard's head"
+        );
+    }
+
+    /// Rebalance is gated on history recording: without the op log a
+    /// new block boundary could not be populated.
+    #[test]
+    #[should_panic(expected = "history recording")]
+    fn rebalance_without_history_panics() {
+        let table = edge_table();
+        let (_, mut lazy) = routers(&table, SelectorKind::TopK { k: 2 });
+        let map = ShardMap::new(6, 2);
+        lazy.rebalance(&table, map);
+    }
+
     /// The single-agent fast path and exhaustive selectors never enter
     /// the lazy merge: their stats stay zero.
     #[test]
@@ -1153,6 +1417,106 @@ mod proptests {
         )
     }
 
+    /// Like [`arb_ops`] but the kind range also covers crashes (10) and
+    /// repairs (11), so runs exercise crash retraction, the availability
+    /// hooks and decisions over partially-dead farms.
+    fn arb_churn_ops(n_servers: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, f64, u32)>> {
+        proptest::collection::vec(
+            (
+                0u32..12,
+                0u32..n_servers as u32,
+                0u32..N_PROBLEMS as u32,
+                0.0f64..15.0,
+                0u32..n_servers as u32,
+            ),
+            1..40,
+        )
+    }
+
+    /// Runs `prefix`, re-partitions both routers to the same new map —
+    /// one through the incremental [`AgentRouter::rebalance`], the other
+    /// through the rebuild-everything [`AgentRouter::rebalance_full`]
+    /// spec — then demands the `suffix` stays bit-identical and the
+    /// resting models agree.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rebalance_differential(
+        n_servers: usize,
+        costs: Vec<PhaseCosts>,
+        solvable: Vec<bool>,
+        shards_before: usize,
+        shards_after: usize,
+        selector: SelectorKind,
+        sync: SyncPolicy,
+        prefix: Vec<(u32, u32, u32, f64, u32)>,
+        suffix: Vec<(u32, u32, u32, f64, u32)>,
+    ) -> Result<(), TestCaseError> {
+        let table = build_table(n_servers, &costs, &solvable);
+        let harness = DiffHarness::new(table.clone());
+        let scoring = IndexScoring::default();
+        let mut incremental =
+            AgentRouter::new(&table, Some(shards_before), selector, scoring, sync)
+                .with_history(true);
+        let mut full = AgentRouter::new(&table, Some(shards_before), selector, scoring, sync)
+            .with_history(true);
+        let prefix: Vec<Op> = prefix.into_iter().map(Op::from).collect();
+        let suffix: Vec<Op> = suffix.into_iter().map(Op::from).collect();
+        let mut session = harness.session();
+        if let Err(e) = session.run(&mut incremental, &mut full, &prefix) {
+            return Err(TestCaseError::fail(format!("prefix: {e}")));
+        }
+        let new_map = ShardMap::new(n_servers, shards_after);
+        incremental.rebalance(&table, new_map.clone());
+        full.rebalance_full(&table, new_map);
+        prop_assert_eq!(incremental.n_shards(), full.n_shards());
+        prop_assert_eq!(incremental.map(), full.map());
+        if let Err(e) = session.run(&mut incremental, &mut full, &suffix) {
+            return Err(TestCaseError::fail(format!("suffix: {e}")));
+        }
+        if let Err(e) = session.finish(&mut incremental, &mut full) {
+            return Err(TestCaseError::fail(e));
+        }
+        Ok(())
+    }
+
+    /// The invisibility half of the rebalance proof, under the
+    /// exhaustive selector (whose merge is the untruncated union, so a
+    /// partition change cannot alter candidate sets): a router
+    /// re-sharded mid-run stays bit-identical to one that **never**
+    /// rebalanced.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rebalance_invariance(
+        n_servers: usize,
+        costs: Vec<PhaseCosts>,
+        solvable: Vec<bool>,
+        shards_before: usize,
+        shards_after: usize,
+        sync: SyncPolicy,
+        prefix: Vec<(u32, u32, u32, f64, u32)>,
+        suffix: Vec<(u32, u32, u32, f64, u32)>,
+    ) -> Result<(), TestCaseError> {
+        let table = build_table(n_servers, &costs, &solvable);
+        let harness = DiffHarness::new(table.clone());
+        let scoring = IndexScoring::default();
+        let selector = SelectorKind::Exhaustive;
+        let mut fixed = AgentRouter::new(&table, Some(shards_before), selector, scoring, sync);
+        let mut moved = AgentRouter::new(&table, Some(shards_before), selector, scoring, sync)
+            .with_history(true);
+        let prefix: Vec<Op> = prefix.into_iter().map(Op::from).collect();
+        let suffix: Vec<Op> = suffix.into_iter().map(Op::from).collect();
+        let mut session = harness.session();
+        if let Err(e) = session.run(&mut fixed, &mut moved, &prefix) {
+            return Err(TestCaseError::fail(format!("prefix: {e}")));
+        }
+        moved.rebalance(&table, ShardMap::new(n_servers, shards_after));
+        if let Err(e) = session.run(&mut fixed, &mut moved, &suffix) {
+            return Err(TestCaseError::fail(format!("suffix: {e}")));
+        }
+        if let Err(e) = session.finish(&mut fixed, &mut moved) {
+            return Err(TestCaseError::fail(e));
+        }
+        Ok(())
+    }
+
     proptest! {
         /// `--shards 1` ≡ the unsharded engine, per decision, for every
         /// selector backend (the S = 1 invariant of the module docs).
@@ -1208,6 +1572,113 @@ mod proptests {
             let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
             run_skyline_differential(
                 N_SERVERS_WIDE, costs, solvable, n_shards, selector_of(selector_pick), sync, ops,
+            )?;
+        }
+
+        /// Crash-retraction equivalence: over op streams that crash and
+        /// repair servers (retracting every in-flight task of the
+        /// victim), `--shards 1` stays bitwise the single-agent
+        /// reference for every selector backend.
+        #[test]
+        fn router_crash_retraction_is_bitwise_reference(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS * N_PROBLEMS),
+            solvable in proptest::collection::vec(proptest::bool::ANY, N_SERVERS * N_PROBLEMS),
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            ops in arb_churn_ops(N_SERVERS),
+        ) {
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_reference_differential(
+                N_SERVERS, costs, solvable, 1, selector_of(selector_pick), sync, ops,
+            )?;
+        }
+
+        /// Crash-retraction equivalence across a real federation: under
+        /// the exhaustive selector any shard count stays bitwise the
+        /// single-agent reference through crashes and repairs.
+        #[test]
+        fn router_exhaustive_crash_retraction_any_shard_count(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS * N_PROBLEMS),
+            solvable in proptest::collection::vec(proptest::bool::ANY, N_SERVERS * N_PROBLEMS),
+            n_shards in 2usize..N_SERVERS + 1,
+            force_finish in proptest::bool::ANY,
+            ops in arb_churn_ops(N_SERVERS),
+        ) {
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_reference_differential(
+                N_SERVERS, costs, solvable, n_shards, SelectorKind::Exhaustive, sync, ops,
+            )?;
+        }
+
+        /// The lazy skyline merge stays a pure pruning of the eager
+        /// scatter when servers crash and repair mid-run (availability
+        /// flips move shard skylines under the merge's feet).
+        #[test]
+        fn skyline_merge_survives_churn_ops(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS_WIDE * N_PROBLEMS),
+            solvable in proptest::collection::vec(
+                proptest::bool::ANY, N_SERVERS_WIDE * N_PROBLEMS,
+            ),
+            shard_pick in 0usize..4,
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            ops in arb_churn_ops(N_SERVERS_WIDE),
+        ) {
+            let n_shards = [1usize, 2, 3, 16][shard_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_skyline_differential(
+                N_SERVERS_WIDE, costs, solvable, n_shards, selector_of(selector_pick), sync, ops,
+            )?;
+        }
+
+        /// The rebalance proof, half one: re-partitioning mid-run through
+        /// the incremental block-reusing `rebalance` is **bit-identical**
+        /// — on the suffix ops and the resting model — to the
+        /// rebuild-everything `rebalance_full` spec, for every selector
+        /// backend, shard count transition and fault schedule.
+        #[test]
+        fn rebalance_incremental_is_bitwise_full_rebuild(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS_WIDE * N_PROBLEMS),
+            solvable in proptest::collection::vec(
+                proptest::bool::ANY, N_SERVERS_WIDE * N_PROBLEMS,
+            ),
+            before_pick in 0usize..4,
+            after_pick in 0usize..4,
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            prefix in arb_churn_ops(N_SERVERS_WIDE),
+            suffix in arb_churn_ops(N_SERVERS_WIDE),
+        ) {
+            let shards_before = [1usize, 2, 3, 16][before_pick];
+            let shards_after = [1usize, 2, 4, 9][after_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_rebalance_differential(
+                N_SERVERS_WIDE, costs, solvable, shards_before, shards_after,
+                selector_of(selector_pick), sync, prefix, suffix,
+            )?;
+        }
+
+        /// The rebalance proof, half two: under the exhaustive selector a
+        /// mid-run re-shard is invisible — bit-identical to a router that
+        /// never rebalanced at all.
+        #[test]
+        fn rebalance_is_invisible_under_exhaustive_selector(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS_WIDE * N_PROBLEMS),
+            solvable in proptest::collection::vec(
+                proptest::bool::ANY, N_SERVERS_WIDE * N_PROBLEMS,
+            ),
+            before_pick in 0usize..4,
+            after_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            prefix in arb_churn_ops(N_SERVERS_WIDE),
+            suffix in arb_churn_ops(N_SERVERS_WIDE),
+        ) {
+            let shards_before = [1usize, 2, 3, 16][before_pick];
+            let shards_after = [1usize, 2, 4, 9][after_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_rebalance_invariance(
+                N_SERVERS_WIDE, costs, solvable, shards_before, shards_after, sync,
+                prefix, suffix,
             )?;
         }
     }

@@ -169,6 +169,32 @@ impl CostTable {
         }
     }
 
+    /// Extends the table with one new server, online: `per_problem[p]` is
+    /// the new server's phase costs for problem `p` (`None` = cannot
+    /// solve it). The server takes the next id; the result equals a table
+    /// built with the extra column from the start. This is the static
+    /// half of a [`ServerJoin`](crate::shard) — a machine registering
+    /// with the agent after the campaign began.
+    ///
+    /// # Panics
+    /// Panics unless exactly one entry per registered problem is given.
+    pub fn push_server(&mut self, per_problem: Vec<Option<PhaseCosts>>) -> ServerId {
+        assert_eq!(
+            per_problem.len(),
+            self.problems.len(),
+            "join column must cover every problem"
+        );
+        let old_n = self.n_servers;
+        let mut costs = Vec::with_capacity(self.problems.len() * (old_n + 1));
+        for (p, col) in per_problem.into_iter().enumerate() {
+            costs.extend_from_slice(&self.costs[p * old_n..(p + 1) * old_n]);
+            costs.push(col);
+        }
+        self.costs = costs;
+        self.n_servers = old_n + 1;
+        ServerId(old_n as u32)
+    }
+
     /// Derives a table from abstract volumes and machine rates: for each
     /// problem give `(work_ops, input_mb, output_mb, mem_mb)`; for each
     /// server `(ops_per_sec, mbps, latency_s)`. Transfer cost is
@@ -313,5 +339,39 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn restrict_out_of_range_panics() {
         CostTable::new(3).restrict(2, 2);
+    }
+
+    /// Online extension equals a table built with the column from the
+    /// start, and the new server composes with later `add_problem` and
+    /// `restrict` calls.
+    #[test]
+    fn push_server_matches_fresh_table() {
+        let mut grown = sample_table();
+        let id = grown.push_server(vec![Some(PhaseCosts::new(1.0, 9.0, 0.0)), None]);
+        assert_eq!(id, ServerId(2));
+
+        let mut fresh = CostTable::new(3);
+        fresh.add_problem(
+            Problem::new("a", 10.0, 5.0, 100.0),
+            vec![
+                Some(PhaseCosts::new(4.0, 149.0, 1.0)),
+                Some(PhaseCosts::new(3.0, 18.0, 1.0)),
+                Some(PhaseCosts::new(1.0, 9.0, 0.0)),
+            ],
+        );
+        fresh.add_problem(
+            Problem::new("b", 1.0, 1.0, 0.0),
+            vec![None, Some(PhaseCosts::new(0.1, 16.0, 0.05)), None],
+        );
+        assert_eq!(grown, fresh);
+        assert_eq!(grown.unloaded_duration(ProblemId(0), id), Some(10.0));
+        assert_eq!(grown.solvers(ProblemId(1)), vec![ServerId(1)]);
+        assert_eq!(grown.restrict(2, 1).costs(ProblemId(1), ServerId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every problem")]
+    fn push_server_wrong_column_length_panics() {
+        sample_table().push_server(vec![None]);
     }
 }

@@ -117,7 +117,13 @@ pub struct StaticIndex {
     /// Unloaded durations, row-major `problem * n_servers + server`;
     /// `None` = unsolvable there.
     durations: Vec<Option<f64>>,
-    /// Per problem: solvable servers ordered by `(score_bits, id)`.
+    /// Liveness per server: an unavailable server keeps its load ledgers
+    /// (tasks may still drain off a leaving server) but is absent from
+    /// every ranking, so stage 1 never proposes it and the skylines
+    /// reflect the live farm only.
+    available: Vec<bool>,
+    /// Per problem: solvable **available** servers ordered by
+    /// `(score_bits, id)`.
     ranked: Vec<BTreeSet<RankKey>>,
 }
 
@@ -150,6 +156,7 @@ impl StaticIndex {
             active: vec![0; n_servers],
             remaining: vec![0.0; n_servers],
             durations,
+            available: vec![true; n_servers],
             ranked,
         }
     }
@@ -207,8 +214,14 @@ impl StaticIndex {
 
     /// Re-ranks `server` in every problem set after its believed load
     /// moved from `(old_active, old_remaining)` to the current values.
+    /// Unavailable servers own no ranking entries, so only their ledgers
+    /// move (they re-enter the rankings at the updated score on
+    /// [`StaticIndex::set_available`]).
     fn rerank(&mut self, server: ServerId, old_active: u32, old_remaining: f64) {
         let s = server.index();
+        if !self.available[s] {
+            return;
+        }
         let (new_active, new_remaining) = (self.active[s], self.remaining[s]);
         let scoring = self.scoring;
         for (p, set) in self.ranked.iter_mut().enumerate() {
@@ -218,6 +231,76 @@ impl StaticIndex {
                 debug_assert!(removed, "server {server} missing from ranking of P{p}");
                 let new = proxy_score(scoring, d, new_active, new_remaining);
                 set.insert((score_bits(new), s as u32));
+            }
+        }
+    }
+
+    /// Marks `server` live or down. A downed server leaves every ranking
+    /// (stage 1 stops proposing it, the per-problem skylines move on); a
+    /// rejoining server re-enters at its current believed-load score.
+    /// Ledgers are untouched either way, so completions draining off a
+    /// leaving server keep their accounting. Returns `true` when the
+    /// state actually changed (the call is idempotent).
+    pub fn set_available(&mut self, server: ServerId, up: bool) -> bool {
+        let s = server.index();
+        if self.available[s] == up {
+            return false;
+        }
+        self.available[s] = up;
+        let (active, remaining) = (self.active[s], self.remaining[s]);
+        let scoring = self.scoring;
+        for (p, set) in self.ranked.iter_mut().enumerate() {
+            if let Some(d) = self.durations[p * self.n_servers + s] {
+                let key = (
+                    score_bits(proxy_score(scoring, d, active, remaining)),
+                    s as u32,
+                );
+                if up {
+                    set.insert(key);
+                } else {
+                    let removed = set.remove(&key);
+                    debug_assert!(removed, "server {server} missing from ranking of P{p}");
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether `server` is currently live (present in the rankings).
+    pub fn is_available(&self, server: ServerId) -> bool {
+        self.available[server.index()]
+    }
+
+    /// Extends the index with one new server, online: `durations[p]` is
+    /// the new server's unloaded duration for problem `p` (`None` =
+    /// unsolvable there). The server joins live, with an empty ledger, at
+    /// the next id — bit-identical to rebuilding the index from the
+    /// extended cost table (proven by test).
+    ///
+    /// # Panics
+    /// Panics unless exactly one duration per problem is given.
+    pub fn push_server(&mut self, durations: &[Option<f64>]) {
+        assert_eq!(
+            durations.len(),
+            self.ranked.len(),
+            "one duration per problem"
+        );
+        let old_n = self.n_servers;
+        let n_problems = self.ranked.len();
+        let mut rows = Vec::with_capacity((old_n + 1) * n_problems);
+        for (p, d) in durations.iter().enumerate() {
+            rows.extend_from_slice(&self.durations[p * old_n..(p + 1) * old_n]);
+            rows.push(*d);
+        }
+        self.durations = rows;
+        self.n_servers = old_n + 1;
+        self.active.push(0);
+        self.remaining.push(0.0);
+        self.available.push(true);
+        let scoring = self.scoring;
+        for (p, set) in self.ranked.iter_mut().enumerate() {
+            if let Some(d) = durations[p] {
+                set.insert((score_bits(proxy_score(scoring, d, 0, 0.0)), old_n as u32));
             }
         }
     }
@@ -356,6 +439,52 @@ mod tests {
         assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
     }
 
+    /// Edge case for the crash path: retracting the *last* in-flight
+    /// task of a server drains its ledger to exactly zero and restores
+    /// the pristine static order.
+    #[test]
+    fn retracting_last_in_flight_task_restores_static_rank() {
+        let mut idx = StaticIndex::new(&table());
+        idx.on_commit(ServerId(0), 500.0);
+        assert_eq!(best(&idx, 0, 3), vec![1, 2, 0]);
+        idx.on_retract(ServerId(0), 500.0);
+        assert_eq!(idx.remaining(ServerId(0)), 0.0);
+        assert_eq!(idx.active(ServerId(0)), 0);
+        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+    }
+
+    /// Edge case for the crash path: a retract racing the server's
+    /// crash at the same instant. Ledger update before the
+    /// availability flip, or flip first with the ledger draining while
+    /// down — both orders converge, and repair re-inserts the server
+    /// at its believed (drained) load.
+    #[test]
+    fn retract_and_crash_same_instant_orders_converge() {
+        for crash_first in [false, true] {
+            let mut idx = StaticIndex::new(&table());
+            idx.on_commit(ServerId(0), 500.0);
+            idx.on_commit(ServerId(1), 10.0);
+            if crash_first {
+                assert!(idx.set_available(ServerId(0), false));
+                idx.on_retract(ServerId(0), 500.0);
+            } else {
+                idx.on_retract(ServerId(0), 500.0);
+                assert!(idx.set_available(ServerId(0), false));
+            }
+            assert!(!idx.is_available(ServerId(0)), "crash_first={crash_first}");
+            assert_eq!(idx.solvable_count(ProblemId(0)), 2);
+            assert_eq!(best(&idx, 0, 3), vec![1, 2]);
+            assert_eq!(idx.remaining(ServerId(0)), 0.0);
+            assert!(idx.set_available(ServerId(0), true));
+            assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+            assert_eq!(
+                idx.best_key(ProblemId(0)).map(|(_, s)| s),
+                Some(ServerId(0)),
+                "repaired server leads the skyline again"
+            );
+        }
+    }
+
     #[test]
     fn remaining_work_ranks_by_backlog_not_count() {
         // S0 (d=100) carries one long task (500 s of predicted work);
@@ -471,6 +600,91 @@ mod tests {
     fn unbalanced_complete_panics() {
         let mut idx = StaticIndex::new(&table());
         idx.on_complete(ServerId(1), 0.0);
+    }
+
+    /// A downed server vanishes from every ranking and skyline; a
+    /// rejoining one re-enters at its current believed-load score; and
+    /// ledger hooks fired while it is down are honoured on re-entry.
+    #[test]
+    fn availability_moves_rankings_and_skylines() {
+        let mut idx = StaticIndex::new(&table());
+        assert!(idx.is_available(ServerId(0)));
+        assert!(idx.set_available(ServerId(0), false));
+        assert!(!idx.set_available(ServerId(0), false), "idempotent");
+        assert!(!idx.is_available(ServerId(0)));
+        assert_eq!(best(&idx, 0, 3), vec![1, 2]);
+        assert_eq!(idx.solvable_count(ProblemId(0)), 2);
+        assert_eq!(
+            idx.best_key(ProblemId(0)),
+            Some((150.0f64.to_bits(), ServerId(1)))
+        );
+        // The score query itself still answers (the ledger survives).
+        assert_eq!(idx.score(ProblemId(0), ServerId(0)), Some(100.0));
+        // Ledger mutations while down re-rank nothing but are kept:
+        // the server re-enters at the loaded score.
+        idx.on_commit(ServerId(0), 200.0);
+        assert_eq!(best(&idx, 0, 3), vec![1, 2]);
+        assert!(idx.set_available(ServerId(0), true));
+        assert_eq!(idx.score(ProblemId(0), ServerId(0)), Some(300.0));
+        assert_eq!(best(&idx, 0, 3), vec![1, 0, 2], "300 ties S2, id wins");
+        // Draining the task restores the static order.
+        idx.on_complete(ServerId(0), 200.0);
+        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+        // Downing every solver of P1 empties its skyline.
+        idx.set_available(ServerId(1), false);
+        assert_eq!(idx.best_key(ProblemId(1)), None);
+        assert_eq!(idx.solvable_count(ProblemId(1)), 0);
+    }
+
+    /// A completion may arrive while the server is down (leave-drain):
+    /// the ledger updates without touching the absent ranking entries.
+    #[test]
+    fn completion_while_down_keeps_ledger_consistent() {
+        let mut idx = StaticIndex::new(&table());
+        idx.on_commit(ServerId(1), 50.0);
+        idx.set_available(ServerId(1), false);
+        idx.on_complete(ServerId(1), 50.0);
+        assert_eq!(idx.active(ServerId(1)), 0);
+        assert_eq!(idx.remaining(ServerId(1)), 0.0);
+        idx.set_available(ServerId(1), true);
+        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+        assert_eq!(idx.score(ProblemId(0), ServerId(1)), Some(150.0));
+    }
+
+    /// Online extension is bit-identical to a fresh build over the
+    /// extended table, for both scoring proxies.
+    #[test]
+    fn push_server_matches_fresh_build() {
+        let mut extended = table();
+        extended.push_server(vec![
+            Some(PhaseCosts::new(0.0, 120.0, 0.0)),
+            Some(PhaseCosts::new(0.0, 40.0, 0.0)),
+        ]);
+        for scoring in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
+            let mut grown = StaticIndex::with_scoring(&table(), scoring);
+            grown.push_server(&[Some(120.0), Some(40.0)]);
+            let fresh = StaticIndex::with_scoring(&extended, scoring);
+            assert_eq!(grown.n_servers(), 4);
+            for p in 0..2u32 {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                grown.k_best(ProblemId(p), 4, &|_| true, &mut a);
+                fresh.k_best(ProblemId(p), 4, &|_| true, &mut b);
+                assert_eq!(a, b, "{scoring:?} P{p}");
+                assert_eq!(grown.best_key(ProblemId(p)), fresh.best_key(ProblemId(p)));
+            }
+            // The new server takes P1's skyline (40 < 50) and ranks by
+            // load like any other afterwards.
+            assert_eq!(
+                grown.best_key(ProblemId(1)),
+                Some((40.0f64.to_bits(), ServerId(3)))
+            );
+            grown.on_commit(ServerId(3), 100.0);
+            assert_eq!(
+                grown.best_key(ProblemId(1)),
+                Some((50.0f64.to_bits(), ServerId(1)))
+            );
+        }
     }
 
     /// The incremental ranking always equals a from-scratch recompute,

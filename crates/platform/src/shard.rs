@@ -19,12 +19,19 @@
 use crate::ids::ServerId;
 
 /// A deterministic contiguous partition of `n_servers` into shards.
+///
+/// The partition is **versioned**: a fresh map is version 0, and every
+/// [`ShardMap::rebalanced`] step bumps the counter, so the federation can
+/// tell which engine rebuild a decision belongs to. Two maps are equal
+/// only when both the blocks and the version agree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
     n_servers: usize,
     /// Start of each shard's block plus a final sentinel equal to
     /// `n_servers`: shard `k` owns global ids `starts[k]..starts[k + 1]`.
     starts: Vec<u32>,
+    /// Rebalance generation: 0 at construction, `+1` per rebalance step.
+    version: u64,
 }
 
 impl ShardMap {
@@ -44,7 +51,114 @@ impl ShardMap {
         }
         debug_assert_eq!(at, n_servers);
         starts.push(n_servers as u32);
-        ShardMap { n_servers, starts }
+        ShardMap {
+            n_servers,
+            starts,
+            version: 0,
+        }
+    }
+
+    /// The rebalance generation this partition belongs to.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Re-partitions around the current live population: a shard whose
+    /// live-server count fell below `lo` merges into its right neighbour
+    /// (the last shard merges left), and one that outgrew `hi` splits at
+    /// its live midpoint — both repeatedly, so every resulting shard is
+    /// back inside the band where possible. Blocks stay contiguous and
+    /// non-empty, dead servers stay owned by whichever block covers
+    /// them, and shards already inside the band keep their exact
+    /// boundaries — the federation rebuilds only the blocks that moved.
+    ///
+    /// Returns `None` when the partition is already within the band (no
+    /// boundary moves); otherwise the new map, with the version bumped.
+    /// Callers should keep `hi ≥ 2·lo` so a freshly split shard cannot
+    /// immediately re-merge.
+    ///
+    /// # Panics
+    /// Panics unless `live` has one flag per server and `lo <= hi`.
+    pub fn rebalanced(&self, live: &[bool], lo: usize, hi: usize) -> Option<ShardMap> {
+        assert_eq!(live.len(), self.n_servers, "one liveness flag per server");
+        let lo = lo.max(1);
+        assert!(lo <= hi, "size band must satisfy lo <= hi");
+        if self.n_servers == 0 {
+            return None;
+        }
+        // Prefix sums: pre[i] = live servers with global id < i.
+        let mut pre = Vec::with_capacity(self.n_servers + 1);
+        pre.push(0usize);
+        for (i, &up) in live.iter().enumerate() {
+            pre.push(pre[i] + usize::from(up));
+        }
+        let live_in = |a: u32, b: u32| pre[b as usize] - pre[a as usize];
+
+        let mut blocks: Vec<(u32, u32)> = (0..self.n_shards())
+            .map(|k| (self.starts[k], self.starts[k + 1]))
+            .collect();
+
+        // Merge pass. A merged block is re-examined in place: it may
+        // still be undersized (e.g. two dead neighbours).
+        let mut k = 0;
+        while blocks.len() > 1 && k < blocks.len() {
+            let (a, b) = blocks[k];
+            if live_in(a, b) < lo {
+                if k + 1 < blocks.len() {
+                    let (_, c) = blocks.remove(k + 1);
+                    blocks[k] = (a, c);
+                } else {
+                    let (p, _) = blocks.remove(k - 1);
+                    k -= 1;
+                    blocks[k] = (p, b);
+                }
+            } else {
+                k += 1;
+            }
+        }
+
+        // Split pass. The left half is re-examined in place, so a block
+        // that grew far past the band splits as often as needed.
+        let mut k = 0;
+        while k < blocks.len() {
+            let (a, b) = blocks[k];
+            let total = live_in(a, b);
+            if total > hi && b - a >= 2 {
+                // Cut right after the ⌊total/2⌋-th live server: both
+                // halves keep at least one live server, and the cut is
+                // strictly inside the block.
+                let half = total / 2;
+                let mut seen = 0usize;
+                let mut cut = a + 1;
+                for s in a..b {
+                    if live[s as usize] {
+                        seen += 1;
+                        if seen == half {
+                            cut = s + 1;
+                            break;
+                        }
+                    }
+                }
+                blocks.insert(k + 1, (cut, b));
+                blocks[k] = (a, cut);
+            } else {
+                k += 1;
+            }
+        }
+
+        let starts: Vec<u32> = blocks
+            .iter()
+            .map(|&(a, _)| a)
+            .chain(std::iter::once(self.n_servers as u32))
+            .collect();
+        if starts == self.starts {
+            return None;
+        }
+        Some(ShardMap {
+            n_servers: self.n_servers,
+            starts,
+            version: self.version + 1,
+        })
     }
 
     /// The default shard count for an `n`-server farm: one shard per ~640
@@ -164,6 +278,98 @@ mod tests {
         assert_eq!(ShardMap::auto_shards(1000), 2);
         assert_eq!(ShardMap::auto_shards(10_000), 16);
         assert_eq!(ShardMap::auto_shards(1_000_000), 16, "capped");
+    }
+
+    #[test]
+    fn rebalance_within_band_is_identity() {
+        let map = ShardMap::new(12, 3);
+        assert_eq!(map.version(), 0);
+        assert_eq!(map.rebalanced(&[true; 12], 2, 8), None);
+        // A crash that keeps every shard inside the band moves nothing.
+        let mut live = [true; 12];
+        live[5] = false;
+        assert_eq!(map.rebalanced(&live, 2, 8), None);
+    }
+
+    #[test]
+    fn undersized_shard_merges_right_and_last_merges_left() {
+        let map = ShardMap::new(12, 3); // blocks 0..4, 4..8, 8..12
+                                        // Kill most of the middle shard: it merges into the right one.
+        let mut live = [true; 12];
+        live[4..7].fill(false);
+        let out = map.rebalanced(&live, 2, 8).expect("must rebalance");
+        assert_eq!(out.version(), 1);
+        assert_eq!(out.n_shards(), 2);
+        assert_eq!(out.members(0), 0..4);
+        assert_eq!(out.members(1), 4..12);
+        // Kill most of the *last* shard instead: it merges left.
+        let mut live = [true; 12];
+        live[9..12].fill(false);
+        let out = map.rebalanced(&live, 2, 8).expect("must rebalance");
+        assert_eq!(out.members(0), 0..4);
+        assert_eq!(out.members(1), 4..12);
+    }
+
+    #[test]
+    fn oversized_shard_splits_at_live_midpoint() {
+        let map = ShardMap::new(12, 1);
+        let out = map.rebalanced(&[true; 12], 2, 8).expect("must split");
+        assert_eq!(out.n_shards(), 2);
+        assert_eq!(out.members(0), 0..6);
+        assert_eq!(out.members(1), 6..12);
+        assert_eq!(out.version(), 1);
+        // Dead servers do not count toward the midpoint: with the left
+        // half of the block dead, the cut lands where the *live* mass
+        // halves, not at the geometric middle.
+        let mut live = [true; 12];
+        live[0..4].fill(false);
+        let out = map.rebalanced(&live, 2, 6).expect("must split");
+        assert_eq!(out.n_shards(), 2);
+        assert_eq!(out.members(0), 0..8, "4 dead + 4 live on the left");
+        assert_eq!(out.members(1), 8..12);
+    }
+
+    #[test]
+    fn far_oversized_shard_splits_repeatedly() {
+        let map = ShardMap::new(32, 1);
+        let out = map.rebalanced(&[true; 32], 2, 8).expect("must split");
+        assert!(out.n_shards() >= 4);
+        for k in 0..out.n_shards() {
+            assert!(out.len(k) <= 8, "shard {k} still oversized");
+        }
+        // Partition invariants survive: contiguous cover, roundtrip ids.
+        for s in 0..32u32 {
+            let shard = out.owner(ServerId(s));
+            assert!(out.members(shard).contains(&s));
+            assert_eq!(out.to_global(shard, out.to_local(shard, ServerId(s))).0, s);
+        }
+    }
+
+    #[test]
+    fn fully_dead_farm_collapses_to_one_shard() {
+        let map = ShardMap::new(12, 3);
+        let out = map.rebalanced(&[false; 12], 2, 8).expect("must merge");
+        assert_eq!(out.n_shards(), 1);
+        assert_eq!(out.members(0), 0..12);
+        // And a second call is stable (one shard cannot merge further).
+        assert_eq!(out.rebalanced(&[false; 12], 2, 8), None);
+        assert_eq!(ShardMap::new(0, 1).rebalanced(&[], 1, 2), None);
+    }
+
+    #[test]
+    fn versions_chain_across_rebalances() {
+        let map = ShardMap::new(16, 2);
+        let mut live = [true; 16];
+        live[0..7].fill(false);
+        let merged = map.rebalanced(&live, 4, 16).expect("merge");
+        assert_eq!(merged.version(), 1);
+        let split = merged.rebalanced(&[true; 16], 4, 10).expect("split");
+        assert_eq!(split.version(), 2);
+        assert_ne!(
+            split,
+            ShardMap::new(16, split.n_shards()),
+            "same blocks, different generation, still distinguishable"
+        );
     }
 
     #[test]

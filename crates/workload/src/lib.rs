@@ -12,12 +12,17 @@
 //!   distribution with a configurable mean, from a dedicated RNG stream.
 //! * [`synthetic`] — parametric platform/workload families for sweeps and
 //!   ablations beyond the paper's fixed testbed.
+//! * [`churn`] — the farm lifecycle fault injector: deterministic
+//!   per-server MTBF/MTTR renewal processes feeding the middleware's
+//!   server join/leave/crash kernel events.
 
+pub mod churn;
 pub mod matmul;
 pub mod metatask;
 pub mod synthetic;
 pub mod testbed;
 pub mod wastecpu;
 
+pub use churn::{ChurnModel, ChurnProcess};
 pub use metatask::{GapDistribution, MetataskSpec};
 pub use testbed::Machine;

@@ -45,6 +45,14 @@ struct Args {
     shards: String,
     skyline: String,
     index_scoring: String,
+    /// Mean time between failures per server, seconds; infinite (the
+    /// default) freezes the farm.
+    mtbf: f64,
+    /// Mean time to repair per server, seconds.
+    mttr: f64,
+    /// Seed of the fault schedule — independent of the workload seed, so
+    /// the same schedule can replay against different campaigns.
+    churn_seed: u64,
     tasks: usize,
     seed: u64,
     reps: usize,
@@ -67,6 +75,9 @@ impl Default for Args {
             shards: "single".into(),
             skyline: "on".into(),
             index_scoring: "work".into(),
+            mtbf: f64::INFINITY,
+            mttr: 60.0,
+            churn_seed: 0,
             tasks: 500,
             seed: 1,
             reps: 1,
@@ -111,6 +122,13 @@ fn usage() -> &'static str {
      --index-scoring work|count   stage-1 static-index proxy: predicted\n\
                                   remaining work, or the count-based\n\
                                   baseline              [work]\n\
+     --mtbf SECONDS               mean time between failures per server\n\
+                                  (exponential); \"inf\" freezes the farm\n\
+                                  [inf]\n\
+     --mttr SECONDS               mean time to repair a crashed server\n\
+                                  (exponential)          [60]\n\
+     --churn-seed N               fault-schedule seed, independent of\n\
+                                  --seed                 [0]\n\
      --tasks N                    metatask size          [500]\n\
      --seed N                     root seed              [1]\n\
      --reps N                     replications           [1]\n\
@@ -202,6 +220,39 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 }
                 args.index_scoring = v;
             }
+            "--mtbf" => {
+                let v = take(&mut i)?;
+                args.mtbf = num_flag(
+                    "--mtbf",
+                    &v,
+                    "a positive number of seconds or \"inf\" (e.g. 3600)",
+                )?;
+                if args.mtbf <= 0.0 || args.mtbf.is_nan() {
+                    return Err(format!(
+                        "--mtbf: expected a positive number of seconds or \"inf\", got {v:?}"
+                    ));
+                }
+            }
+            "--mttr" => {
+                let v = take(&mut i)?;
+                args.mttr = num_flag(
+                    "--mttr",
+                    &v,
+                    "a positive, finite number of seconds (e.g. 60)",
+                )?;
+                if args.mttr <= 0.0 || !args.mttr.is_finite() {
+                    return Err(format!(
+                        "--mttr: expected a positive, finite number of seconds, got {v:?}"
+                    ));
+                }
+            }
+            "--churn-seed" => {
+                args.churn_seed = num_flag(
+                    "--churn-seed",
+                    &take(&mut i)?,
+                    "a non-negative integer (e.g. 42)",
+                )?
+            }
             "--tasks" => {
                 args.tasks = num_flag("--tasks", &take(&mut i)?, "a positive integer (e.g. 500)")?
             }
@@ -255,7 +306,8 @@ fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
     if args.sync {
         cfg.sync = SyncPolicy::ForceFinish;
     }
-    cfg
+    cfg.with_churn(args.mtbf, args.mttr)
+        .with_churn_seed(args.churn_seed)
 }
 
 /// The metatask: the paper's homogeneous-Poisson process by default, or
@@ -545,6 +597,14 @@ mod tests {
             ("run --selector best", "--selector"),
             ("run --skyline maybe", "--skyline"),
             ("run --index-scoring vibes", "--index-scoring"),
+            ("run --mtbf sometimes", "--mtbf"),
+            ("run --mtbf 0", "--mtbf"),
+            ("run --mtbf -100", "--mtbf"),
+            ("run --mttr inf", "--mttr"),
+            ("run --mttr 0", "--mttr"),
+            ("run --mttr soon", "--mttr"),
+            ("run --churn-seed x", "--churn-seed"),
+            ("run --churn-seed -1", "--churn-seed"),
         ] {
             let err = parse(&argv(cmdline)).unwrap_err();
             assert!(err.starts_with(flag), "{cmdline}: {err}");
@@ -555,6 +615,33 @@ mod tests {
             );
             assert_eq!(err.lines().count(), 1, "{cmdline}: {err}");
         }
+    }
+
+    #[test]
+    fn parse_churn_flags() {
+        let (_, args) = parse(&argv("run")).unwrap();
+        assert!(args.mtbf.is_infinite());
+        assert_eq!(args.mttr, 60.0);
+        assert_eq!(args.churn_seed, 0);
+        assert!(
+            !config_of(&args, HeuristicKind::Hmct)
+                .churn_model()
+                .enabled(),
+            "the default farm is frozen"
+        );
+        let (_, args) = parse(&argv("run --mtbf 3600 --mttr 120 --churn-seed 42")).unwrap();
+        assert_eq!(args.mtbf, 3600.0);
+        assert_eq!(args.mttr, 120.0);
+        assert_eq!(args.churn_seed, 42);
+        let cfg = config_of(&args, HeuristicKind::Hmct);
+        assert!(cfg.churn_model().enabled());
+        assert_eq!(cfg.churn_seed, 42);
+        // "inf" is the explicit spelling of the frozen default.
+        let (_, args) = parse(&argv("run --mtbf inf")).unwrap();
+        assert!(args.mtbf.is_infinite());
+        assert!(parse(&argv("run --mtbf")).is_err());
+        assert!(parse(&argv("run --mttr")).is_err());
+        assert!(parse(&argv("run --churn-seed")).is_err());
     }
 
     #[test]
