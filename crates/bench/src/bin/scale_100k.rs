@@ -1,0 +1,197 @@
+//! The hierarchical-federation campaign: 100k servers, 10⁷ tasks, one
+//! sharded HMCT experiment through the two-level skyline tree.
+//!
+//! This is the workload the group walk exists for: `--shards auto` on a
+//! 100k farm resolves to 157 shards in 10 groups of 16, so every
+//! decision's ascending-skyline walk prunes whole groups before it
+//! touches a member shard. The binary runs exactly one campaign — the
+//! production configuration (auto sharding, skyline merge, aggregated
+//! per-shard load reports, the adaptive selector) — and gates on:
+//!
+//! * **completion** — every task must complete (the farm is frozen; no
+//!   churn arm at this scale, the 1k blocking job owns that gate);
+//! * **wall budget** — `SCALE100K_BUDGET_SECS` (default 4500: the full
+//!   campaign measures ~52 min on one dev core at ~3.2k tasks/s, and
+//!   the parallel stage-1 arm reclaims a large slice of that on
+//!   multi-core runners, so the envelope carries ~1.4× margin);
+//! * **liveness of both walk levels** — group and member-shard skip
+//!   counters must be non-zero: a silent fall-back to the flat walk is
+//!   a regression even when it completes in time.
+//!
+//! Sizes are env-overridable (`SCALE100K_SERVERS`, `SCALE100K_TASKS`)
+//! so the same binary smoke-tests at laptop scale. Results land in
+//! `BENCH_scale_100k.json` (path overridable as argv[1]); CI runs the
+//! full configuration nightly, non-blocking.
+
+use cas_core::heuristics::HeuristicKind;
+use cas_core::SelectorKind;
+use cas_metrics::MetricSet;
+use cas_middleware::{ExperimentConfig, GridWorld, Sharding};
+use cas_platform::{ProblemId, ServerId};
+use cas_sim::Simulation;
+use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scale_100k.json".to_string());
+    let n_servers = env_or("SCALE100K_SERVERS", 100_000.0) as usize;
+    let n_tasks = env_or("SCALE100K_TASKS", 10_000_000.0) as usize;
+    let budget_secs = env_or("SCALE100K_BUDGET_SECS", 4500.0);
+    let selector_spec =
+        std::env::var("SCALE100K_SELECTOR").unwrap_or_else(|_| "adaptive:8:64".to_string());
+    let selector = SelectorKind::parse(&selector_spec)
+        .unwrap_or_else(|| panic!("bad SCALE100K_SELECTOR {selector_spec}"));
+    let shards_spec = std::env::var("SCALE100K_SHARDS").unwrap_or_else(|_| "auto".to_string());
+    let sharding = Sharding::parse(&shards_spec)
+        .unwrap_or_else(|| panic!("bad SCALE100K_SHARDS {shards_spec} (N|auto[:G])"));
+    let n_shards = sharding.resolve(n_servers).unwrap_or(1);
+
+    let platform = SyntheticPlatform {
+        n_servers,
+        heterogeneity: 4.0,
+        n_problems: 3,
+        base_cost: 15.0,
+        cost_spread: 3.0,
+        comm_fraction: 0.02,
+        mem_fraction: 0.0,
+    };
+    let seed = 0x100_000;
+    let build_start = Instant::now();
+    let servers = platform.servers(seed);
+    let costs = platform.cost_table(seed);
+
+    // Same sizing as the standing scale campaign: arrivals at 50 % of
+    // aggregate service capacity on average, ~80 % at crests.
+    let total_rate: f64 = (0..n_servers)
+        .map(|s| {
+            let mean_cost: f64 = (0..platform.n_problems)
+                .map(|p| {
+                    costs
+                        .costs(ProblemId(p as u32), ServerId(s as u32))
+                        .expect("synthetic tables are fully solvable")
+                        .total()
+                })
+                .sum::<f64>()
+                / platform.n_problems as f64;
+            1.0 / mean_cost
+        })
+        .sum();
+    let mean_rate = 0.5 * total_rate;
+    let burstiness = 4.0;
+    let base_rate = 2.0 * mean_rate / (1.0 + burstiness);
+    let arrivals = BurstArrivals {
+        n_tasks,
+        base_rate,
+        peak_rate: burstiness * base_rate,
+        period: 1800.0,
+        n_problems: platform.n_problems,
+    };
+    let tasks = arrivals.generate(seed);
+    let horizon = tasks.last().expect("non-empty campaign").arrival.as_secs();
+
+    let mut cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, seed);
+    cfg.load_report_period = 30.0;
+    cfg.selector = selector;
+    let cfg = cfg.with_shards(sharding).with_aggregated_reports(true);
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    let world = GridWorld::new(cfg, costs, servers, tasks);
+    let n_groups = world.agent().tree().n_groups();
+    let tree_active = world.agent().tree().n_groups() > 1;
+    let mut sim = Simulation::new(world);
+    let start = Instant::now();
+    let _ = sim.run_to_completion();
+    let run_secs = start.elapsed().as_secs_f64();
+    let events = sim.processed();
+    let queue_backend = sim.queue().backend_name();
+    let peak_pending = sim.peak_pending();
+    let world = sim.into_world();
+    let metrics = MetricSet::compute(world.records());
+    let skyline = world.agent().skyline_stats();
+    let report_events = world.report_events();
+    let completed = metrics.completed;
+
+    eprintln!(
+        "{n_servers} servers in {n_shards} shards / {n_groups} groups, {n_tasks} tasks over \
+         {horizon:.0} sim-seconds (selector {selector_spec}): {completed} completed"
+    );
+    eprintln!(
+        "build {build_secs:.2} s, run {run_secs:.2} s ({:.0} events/s, {:.0} tasks/s); \
+         queue ended on `{queue_backend}`, peak pending {peak_pending}, \
+         report kernel events {report_events}",
+        events as f64 / run_secs,
+        n_tasks as f64 / run_secs,
+    );
+    eprintln!(
+        "group walk: skipped {:.1}% of group walks ({} / {} considered), \
+         {:.1}% of member-shard walks ({} / {} considered)",
+        100.0 * skyline.group_skip_rate(),
+        skyline.group_skips,
+        skyline.group_visits + skyline.group_skips,
+        100.0 * skyline.skip_rate(),
+        skyline.shard_skips,
+        skyline.shard_visits + skyline.shard_skips,
+    );
+
+    let ok_complete = completed == n_tasks;
+    let ok_budget = run_secs <= budget_secs;
+    // Both walk levels must be live whenever the configuration calls
+    // for them: a silent flat-walk fall-back is a regression.
+    let ok_counters = !tree_active || (skyline.group_skips > 0 && skyline.group_visits > 0);
+    let ok = ok_complete && ok_budget && ok_counters;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"scale_100k\",\n  \"scenario\": \"{n_servers}-server burst campaign \
+         through the hierarchical shard federation (two-level skyline tree, aggregated \
+         per-shard reports, IPPP thinning arrivals, HMCT)\",\n\
+  \"n_servers\": {n_servers},\n  \"n_tasks\": {n_tasks},\n  \"selector\": \"{selector_spec}\",\n\
+  \"shards\": {n_shards},\n  \"groups\": {n_groups},\n  \"tree_active\": {tree_active},\n\
+  \"sim_horizon_s\": {horizon:.1},\n  \"events_processed\": {events},\n\
+  \"wall_build_s\": {build_secs:.3},\n  \"wall_run_s\": {run_secs:.3},\n\
+  \"events_per_wall_s\": {:.0},\n  \"tasks_per_wall_s\": {:.0},\n\
+  \"queue_backend_final\": \"{queue_backend}\",\n  \"peak_pending_events\": {peak_pending},\n\
+  \"report_kernel_events\": {report_events},\n\
+  \"completed\": {completed},\n  \"mean_stretch\": {:.3},\n",
+        events as f64 / run_secs,
+        n_tasks as f64 / run_secs,
+        metrics.meanstretch,
+    );
+    let _ = write!(
+        json,
+        "  \"skyline\": {{\n    \"decisions\": {},\n    \
+         \"group_visits\": {},\n    \"group_skips\": {},\n    \
+         \"group_skip_rate\": {:.4},\n    \
+         \"shard_visits\": {},\n    \"shard_skips\": {},\n    \
+         \"member_shard_skip_rate\": {:.4}\n  }},\n",
+        skyline.decisions,
+        skyline.group_visits,
+        skyline.group_skips,
+        skyline.group_skip_rate(),
+        skyline.shard_visits,
+        skyline.shard_skips,
+        skyline.skip_rate(),
+    );
+    let _ = write!(
+        json,
+        "  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \
+         \"all_tasks_complete\": {ok_complete}, \"within_budget\": {ok_budget}, \
+         \"walk_levels_live\": {ok_counters}, \"pass\": {ok}}}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("wrote {out_path} (budget {budget_secs:.0} s, pass: {ok})");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -23,12 +23,21 @@
 //! 4. reruns the headline campaign through the **shard federation**
 //!    (`SCALE_SMOKE_SHARDS`, default `auto`) and checks the sharded
 //!    completion rate within the same delta gate of the unsharded run;
-//! 5. measures the **decision pipeline at production width** — one full
+//! 5. checks **group-walk equality**: the comparison campaign rerun with
+//!    every shard its own group (`auto:1`) must be record-identical to
+//!    the flat lazy walk — the two-level tree may prune walks, never
+//!    decisions (exact gate, like the skyline-on/off arm);
+//! 6. measures the **decision pipeline at production width** — one full
 //!    two-stage decision plus commit and complete hooks per task through
 //!    the real router — at `SHARD_BENCH_SERVERS` (default 10k) servers,
 //!    unsharded versus `SHARD_BENCH_SHARDS` (default auto ⇒ 16) shards
 //!    (gate: ≥ `SHARD_DECISION_GATE`, default 3×);
-//! 6. reruns the sharded campaign under a **fault schedule**
+//! 7. measures the **two-level walk** against the flat skyline walk at
+//!    `SHARD_TREE_SHARDS` (default 1024, the auto cap — the walk shape a
+//!    million-server federation pays) over the same farm (gate: ≥
+//!    `SHARD_TREE_GATE`, default 1.3×, with both per-level skip counters
+//!    required live);
+//! 8. reruns the sharded campaign under a **fault schedule**
 //!    (`SCALE_CHURN_MTBF`, default 400 s — far below the campaign
 //!    length — and `SCALE_CHURN_MTTR`, default 60 s) and gates on
 //!    accounting: every task must end terminal, completed or dropped
@@ -39,7 +48,9 @@
 //! default 600) is blown, tasks fail, or any pipeline gate regresses —
 //! CI runs the 1k/10⁵ configuration as a blocking job, the 1k/10⁶
 //! configuration (`SCALE_SMOKE_TASKS=1000000`) nightly, and the
-//! 10k-server/10⁶-task sharded configuration nightly as well.
+//! 10k-server/10⁶-task sharded configuration nightly as well; the
+//! 100k-server/10⁷-task hierarchical campaign has its own nightly
+//! binary (`scale_100k`, writing `BENCH_scale_100k.json`).
 
 use cas_core::heuristics::HeuristicKind;
 use cas_core::{Htm, SelectorKind, SyncPolicy};
@@ -402,6 +413,130 @@ fn sharding_microbench(
     )
 }
 
+/// Group-walk microbench at federation scale: µs per task through the
+/// full decision pipeline (as [`sharding_microbench`]) with the skyline
+/// federation's **flat** shard walk versus the **two-level tree** walk
+/// over the same `n_shards` — the contrast is purely the per-decision
+/// walk bookkeeping (flat: build + sort an `O(S)` order vector and test
+/// every shard's skyline key; tree: sort `O(S/G)` group keys and descend
+/// only into groups whose group skyline survives), since both walks
+/// visit the identical shard set and run identical stage-2 batches.
+/// `n_shards` defaults to the auto-shard cap (1024): the walk shape a
+/// million-server federation pays, hosted on the 10k bench farm.
+/// Returns (flat µs/task, tree µs/task, tree-arm counters).
+fn tree_walk_microbench(
+    costs: &CostTable,
+    specs: &[cas_platform::ServerSpec],
+    n_shards: usize,
+    group_size: usize,
+    per_server: usize,
+    width: usize,
+    rounds: usize,
+) -> (f64, f64, SkylineStats) {
+    let n_servers = costs.n_servers();
+    let reports: Vec<LoadReport> = (0..n_servers as u32)
+        .map(|i| LoadReport::initial(ServerId(i)))
+        .collect();
+    let server_mem: Vec<f64> = specs.iter().map(|s| s.total_mem_mb()).collect();
+    let selector = SelectorKind::TopK { k: width };
+
+    let run = |grouped: bool| -> (f64, SkylineStats) {
+        let mut router = AgentRouter::new(
+            costs,
+            Some(n_shards),
+            selector,
+            IndexScoring::RemainingWork,
+            SyncPolicy::ForceFinish,
+        )
+        .with_skyline(true);
+        router = if grouped {
+            router.with_group_size(group_size)
+        } else {
+            router.with_tree(false)
+        };
+        let mut heuristic = HeuristicKind::Hmct.build();
+        let mut tie_rng = RngStream::derive(9, StreamKind::TieBreak);
+        let mut id = 70_000_000u64;
+        for s in (0..n_servers as u32).filter(|s| s % 2 == 1) {
+            for t in 0..per_server {
+                let task = TaskInstance::new(
+                    TaskId(id),
+                    ProblemId((t % costs.n_problems()) as u32),
+                    SimTime::from_secs(t as f64 * 0.5),
+                );
+                let work = costs
+                    .unloaded_duration(task.problem, ServerId(s))
+                    .expect("synthetic tables are fully solvable");
+                router.on_commit(task.arrival, ServerId(s), &task, work);
+                id += 1;
+            }
+        }
+        let mut now = per_server as f64;
+        let mut inflight: VecDeque<(TaskId, ServerId, f64)> = VecDeque::new();
+        let admit = |_: ServerId| true;
+        let mut round_trip = |now: f64, id: u64, round: usize, router: &mut AgentRouter| {
+            let when = SimTime::from_secs(now);
+            let task = TaskInstance::new(
+                TaskId(id),
+                ProblemId((round % costs.n_problems()) as u32),
+                when,
+            );
+            let pick = router
+                .decide(
+                    DecisionInputs {
+                        now: when,
+                        task,
+                        costs,
+                        reports: &reports,
+                        server_mem: &server_mem,
+                        admit: &admit,
+                    },
+                    heuristic.as_mut(),
+                    &mut tie_rng,
+                )
+                .expect("synthetic tables are fully solvable");
+            let work = costs
+                .unloaded_duration(task.problem, pick)
+                .expect("picked implies solvable");
+            router.on_commit(when, pick, &task, work);
+            inflight.push_back((task.id, pick, work));
+            if inflight.len() > 64 {
+                let (done, server, w) = inflight.pop_front().expect("window is full");
+                router.on_complete(when, server, done, w, now, now * 0.95);
+            }
+        };
+        for warm in 0..4 {
+            now += 0.01;
+            round_trip(now, id, warm, &mut router);
+            id += 1;
+        }
+        let start = Instant::now();
+        for round in 0..rounds {
+            now += 0.01;
+            round_trip(now, id, round, &mut router);
+            id += 1;
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+        (us, router.skyline_stats())
+    };
+
+    let reps = 5;
+    let (mut flat, mut tree) = (Vec::new(), Vec::new());
+    let mut tree_stats = SkylineStats::default();
+    for _ in 0..reps {
+        flat.push(run(false).0);
+        let (us, stats) = run(true);
+        tree.push(us);
+        // Deterministic: every rep replays the same decisions.
+        tree_stats = stats;
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    (median(&mut flat), median(&mut tree), tree_stats)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -431,6 +566,16 @@ fn main() {
     let shard_bench_width = env_or("SHARD_BENCH_WIDTH", 8.0) as usize;
     let shard_bench_rounds = env_or("SHARD_BENCH_ROUNDS", 400.0) as usize;
     let shard_gate = env_or("SHARD_DECISION_GATE", 3.0);
+    // The group-walk microbench runs at the auto-shard cap by default:
+    // the flat-vs-tree contrast is the per-decision walk bookkeeping,
+    // and 1024 shards is the walk shape the auto policy hands a
+    // million-server federation (hosted here on the 10k bench farm).
+    let tree_shards = env_or("SHARD_TREE_SHARDS", 1024.0) as usize;
+    let tree_group = env_or(
+        "SHARD_TREE_GROUP",
+        cas_platform::ShardTree::DEFAULT_GROUP_SHARDS as f64,
+    ) as usize;
+    let tree_gate = env_or("SHARD_TREE_GATE", 1.3);
 
     let platform = SyntheticPlatform {
         n_servers,
@@ -603,6 +748,51 @@ fn main() {
         sky_on.skyline.skip_rate(),
     );
 
+    // 4c. Group-walk whole-run equality: the two-level tree rerun of the
+    // comparison campaign (`auto:1` — every shard its own group, so the
+    // group walk drives every decision) must be record-identical to the
+    // flat lazy walk at the same shard count. Exact gate, like 4b: the
+    // tree may only prune walks, never decisions.
+    let cfg_flat_auto = cfg
+        .with_shards(Sharding::AUTO)
+        .with_aggregated_reports(true);
+    let flat_auto = if sharding == Sharding::AUTO {
+        None // `sky_on` already ran exactly this configuration.
+    } else {
+        Some(run_campaign(
+            cfg_flat_auto,
+            costs.clone(),
+            servers.clone(),
+            compare_arrivals.generate(seed),
+        ))
+    };
+    let flat_ref = flat_auto.as_ref().unwrap_or(&sky_on);
+    let grouped = run_campaign(
+        cfg.with_shards(Sharding::Auto {
+            group_size: Some(1),
+        })
+        .with_aggregated_reports(true),
+        costs.clone(),
+        servers.clone(),
+        compare_arrivals.generate(seed),
+    );
+    let auto_shards_n = Sharding::AUTO.resolve(n_servers).unwrap_or(1);
+    let tree_equal = grouped.records == flat_ref.records;
+    let tree_active = auto_shards_n > 1;
+    let ok_tree_equal = tree_equal && (!tree_active || grouped.skyline.group_visits > 0);
+    eprintln!(
+        "group-walk equivalence over {compare_tasks} tasks (auto:1 => {auto_shards_n} singleton \
+         groups): records equal: {tree_equal}, {:.1} s wall grouped vs {:.1} s flat; \
+         group walks skipped {:.1}% ({} skips / {} visits), \
+         shard walks inside visited groups skipped {:.1}%",
+        grouped.wall,
+        flat_ref.wall,
+        100.0 * grouped.skyline.group_skip_rate(),
+        grouped.skyline.group_skips,
+        grouped.skyline.group_visits,
+        100.0 * grouped.skyline.skip_rate(),
+    );
+
     // 5. Decision-pipeline microbench at production width: the full
     // two-stage decision + commit + complete hooks through the real
     // router, unsharded vs federated, at `SHARD_BENCH_SERVERS` servers.
@@ -633,6 +823,35 @@ fn main() {
          vs pre-federation (gate >= {shard_gate}x), {shard_speedup_cached:.2}x vs hoisted \
          unsharded, {skyline_speedup:.2}x vs eager merge (gate >= {skyline_gate}x, \
          skipped-shard-rate {bench_skip_rate:.3})"
+    );
+
+    // 5b. Group-walk microbench: flat versus two-level skyline walk at
+    // `SHARD_TREE_SHARDS` shards (default: the 1024 auto cap) over the
+    // same bench farm. Both arms visit the identical shard set and run
+    // identical stage-2 batches — the contrast is the walk bookkeeping
+    // the tree exists to collapse.
+    let tree_groups = tree_shards.div_ceil(tree_group);
+    let (flat_walk_us, tree_walk_us, tree_stats) = tree_walk_microbench(
+        &shard_costs,
+        &shard_specs,
+        tree_shards,
+        tree_group,
+        shard_bench_per_server,
+        shard_bench_width,
+        shard_bench_rounds,
+    );
+    let tree_speedup = flat_walk_us / tree_walk_us;
+    let ok_tree_decision =
+        tree_speedup >= tree_gate && tree_stats.group_skips > 0 && tree_stats.shard_skips > 0;
+    eprintln!(
+        "group walk at {shard_bench_servers} servers, {tree_shards} shards in {tree_groups} \
+         groups of {tree_group}: flat walk {flat_walk_us:.1} µs/task, tree walk \
+         {tree_walk_us:.1} µs/task, speedup {tree_speedup:.2}x (gate >= {tree_gate}x); \
+         groups skipped {:.1}% ({} / {} considered), member shards skipped {:.1}%",
+        100.0 * tree_stats.group_skip_rate(),
+        tree_stats.group_skips,
+        tree_stats.group_visits + tree_stats.group_skips,
+        100.0 * tree_stats.skip_rate(),
     );
 
     // 6. The living-farm gate: the sharded campaign rerun under a fault
@@ -700,6 +919,8 @@ fn main() {
         && ok_shard_decision
         && ok_skyline_equal
         && ok_skyline_decision
+        && ok_tree_equal
+        && ok_tree_decision
         && ok_churn;
 
     let mut json = String::new();
@@ -747,6 +968,8 @@ fn main() {
          \"unsharded_wall_run_s\": {run_secs:.3},\n      \"mean_stretch\": {:.4},\n      \
          \"completion_delta_vs_unsharded\": {shard_delta:.6},\n      \
          \"skipped_shard_rate\": {campaign_skip_rate:.4},\n      \
+         \"group_visits\": {},\n      \"group_skips\": {},\n      \
+         \"group_skip_rate\": {:.4},\n      \
          \"acceptance\": {{\"max_completion_delta\": {delta_gate}, \"pass\": {ok_shard_delta}}}\n    }},\n    \
          \"reports\": {{\n      \"aggregated_per_shard\": true,\n      \
          \"report_kernel_events_sharded\": {},\n      \
@@ -784,9 +1007,12 @@ fn main() {
          convention decision_cost uses with the exhaustive loop; unsharded_us_per_task is the \
          single-agent path with the scan hoisted; sharded_us_per_task is the production skyline \
          merge (sharded_eager_us_per_task replays the eager full scatter)\",\n      \
-         \"acceptance\": {{\"required_min_speedup\": {shard_gate}, \"pass\": {ok_shard_decision}}}\n    }}\n  }},\n",
+         \"acceptance\": {{\"required_min_speedup\": {shard_gate}, \"pass\": {ok_shard_decision}}}\n    }},\n",
         sharded_m.completed,
         sharded_m.meanstretch,
+        sharded.skyline.group_visits,
+        sharded.skyline.group_skips,
+        sharded.skyline.group_skip_rate(),
         sharded.report_events,
         headline.report_events,
         sharded.peak_pending,
@@ -794,6 +1020,43 @@ fn main() {
         sky_on.wall,
         sky_off.wall,
         sky_on.skyline.skip_rate(),
+    );
+    let _ = write!(
+        json,
+        "    \"tree\": {{\n      \"equivalence\": {{\n        \"tasks\": {compare_tasks},\n        \
+         \"auto_shards\": {auto_shards_n},\n        \"group_size\": 1,\n        \
+         \"records_equal\": {tree_equal},\n        \
+         \"wall_grouped_s\": {:.3},\n        \"wall_flat_s\": {:.3},\n        \
+         \"group_visits\": {},\n        \"group_skips\": {},\n        \
+         \"group_skip_rate\": {:.4},\n        \"member_shard_skip_rate\": {:.4},\n        \
+         \"acceptance\": {{\"required\": \"records bit-identical to the flat walk; group walk \
+         live when auto resolves > 1 shard\", \"pass\": {ok_tree_equal}}}\n      }},\n      \
+         \"decision_path\": {{\n        \"unit\": \"microseconds per task through the full \
+         decision pipeline (two-stage decision, commit hook, complete hook; HMCT, TopK width \
+         {shard_bench_width})\",\n        \
+         \"servers\": {shard_bench_servers},\n        \"shards\": {tree_shards},\n        \
+         \"groups\": {tree_groups},\n        \"group_fanout\": {tree_group},\n        \
+         \"flat_walk_us_per_task\": {flat_walk_us:.2},\n        \
+         \"tree_walk_us_per_task\": {tree_walk_us:.2},\n        \
+         \"speedup_vs_flat\": {tree_speedup:.2},\n        \
+         \"group_visits\": {},\n        \"group_skips\": {},\n        \
+         \"group_skip_rate\": {:.4},\n        \"member_shard_skip_rate\": {:.4},\n        \
+         \"note\": \"SHARD_TREE_SHARDS defaults to the auto-shard cap: the walk shape a \
+         million-server federation pays, hosted on the bench farm; both arms visit the same \
+         shard set, so the contrast is walk bookkeeping alone\",\n        \
+         \"acceptance\": {{\"required_min_speedup\": {tree_gate}, \
+         \"required_counters\": \"group and member-shard skips > 0\", \
+         \"pass\": {ok_tree_decision}}}\n      }}\n    }}\n  }},\n",
+        grouped.wall,
+        flat_ref.wall,
+        grouped.skyline.group_visits,
+        grouped.skyline.group_skips,
+        grouped.skyline.group_skip_rate(),
+        grouped.skyline.skip_rate(),
+        tree_stats.group_visits,
+        tree_stats.group_skips,
+        tree_stats.group_skip_rate(),
+        tree_stats.skip_rate(),
     );
     let _ = write!(
         json,
@@ -827,6 +1090,8 @@ fn main() {
          \"shard_delta_pass\": {ok_shard_delta}, \"shard_decision_gate_pass\": {ok_shard_decision}, \
          \"skyline_equivalence_pass\": {ok_skyline_equal}, \
          \"skyline_decision_gate_pass\": {ok_skyline_decision}, \
+         \"tree_equivalence_pass\": {ok_tree_equal}, \
+         \"tree_decision_gate_pass\": {ok_tree_decision}, \
          \"churn_gate_pass\": {ok_churn}, \
          \"pass\": {ok}}}\n}}\n",
         completed == n_tasks,

@@ -274,7 +274,7 @@ fn sweep_shards() {
         let m = MetricSet::compute(&recs);
         let label = match sharding {
             Sharding::Single => "single agent".to_string(),
-            Sharding::Auto => "auto".to_string(),
+            Sharding::Auto { .. } => "auto".to_string(),
             Sharding::Federated { shards } => format!("{shards} shard(s)"),
         };
         table.push_row_f64(

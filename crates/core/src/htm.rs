@@ -408,6 +408,23 @@ impl Htm {
         self.traces[server.index()] = tr.with_recording();
     }
 
+    /// Extends the HTM with one brand-new server, online: the cost table
+    /// grows by the given per-problem column and the server starts with
+    /// an empty trace and a fresh prediction cache — exactly the state a
+    /// fresh `Htm::new` over the extended table would give it, so a
+    /// post-growth HTM is bit-identical to one built grown from the
+    /// start (the dynamic half of a server provisioning event, next to
+    /// `CostTable::push_server` / `StaticIndex::push_server`).
+    ///
+    /// # Panics
+    /// Panics unless exactly one entry per registered problem is given.
+    pub fn push_server(&mut self, per_problem: Vec<Option<cas_platform::PhaseCosts>>) -> ServerId {
+        let id = self.costs.push_server(per_problem);
+        self.traces.push(ServerTrace::new());
+        self.predict_states.push(PredictState::default());
+        id
+    }
+
     /// The static cost table the HTM works from.
     pub fn costs(&self) -> &CostTable {
         &self.costs

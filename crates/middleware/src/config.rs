@@ -20,7 +20,12 @@ pub enum Sharding {
     /// Shard count picked from the platform size
     /// ([`ShardMap::auto_shards`]): deterministic in the farm alone,
     /// never in the host.
-    Auto,
+    Auto {
+        /// Shards-per-group fan-out of the two-level skyline tree
+        /// (`--shards auto:GROUPSIZE`); `None` takes the router default
+        /// ([`cas_platform::ShardTree::DEFAULT_GROUP_SHARDS`]).
+        group_size: Option<usize>,
+    },
     /// Explicit shard count (clamped to the farm size).
     Federated {
         /// Number of shards (≥ 1).
@@ -29,10 +34,28 @@ pub enum Sharding {
 }
 
 impl Sharding {
-    /// Parses `auto` or a shard count ≥ 1 (the `--shards` grammar).
+    /// The auto mode with the default group fan-out (what bare
+    /// `--shards auto` means).
+    pub const AUTO: Sharding = Sharding::Auto { group_size: None };
+
+    /// Parses `auto`, `auto:GROUPSIZE` (group fan-out ≥ 1) or a shard
+    /// count ≥ 1 (the `--shards` grammar).
     pub fn parse(s: &str) -> Option<Sharding> {
         if s.eq_ignore_ascii_case("auto") {
-            return Some(Sharding::Auto);
+            return Some(Sharding::AUTO);
+        }
+        if let Some(gs) = s
+            .get(..5)
+            .filter(|p| p.eq_ignore_ascii_case("auto:"))
+            .map(|_| &s[5..])
+        {
+            return gs
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(|n| Sharding::Auto {
+                    group_size: Some(n),
+                });
         }
         s.parse::<usize>()
             .ok()
@@ -45,8 +68,16 @@ impl Sharding {
     pub fn resolve(self, n_servers: usize) -> Option<usize> {
         match self {
             Sharding::Single => None,
-            Sharding::Auto => Some(ShardMap::auto_shards(n_servers)),
+            Sharding::Auto { .. } => Some(ShardMap::auto_shards(n_servers)),
             Sharding::Federated { shards } => Some(shards.clamp(1, n_servers.max(1))),
+        }
+    }
+
+    /// The group fan-out override carried by `auto:GROUPSIZE`, if any.
+    pub fn group_size(self) -> Option<usize> {
+        match self {
+            Sharding::Auto { group_size } => group_size,
+            _ => None,
         }
     }
 }
@@ -323,8 +354,23 @@ mod tests {
 
     #[test]
     fn sharding_parse_and_resolve() {
-        assert_eq!(Sharding::parse("auto"), Some(Sharding::Auto));
-        assert_eq!(Sharding::parse("AUTO"), Some(Sharding::Auto));
+        assert_eq!(Sharding::parse("auto"), Some(Sharding::AUTO));
+        assert_eq!(Sharding::parse("AUTO"), Some(Sharding::AUTO));
+        assert_eq!(
+            Sharding::parse("auto:4"),
+            Some(Sharding::Auto {
+                group_size: Some(4)
+            })
+        );
+        assert_eq!(
+            Sharding::parse("AUTO:2"),
+            Some(Sharding::Auto {
+                group_size: Some(2)
+            })
+        );
+        assert_eq!(Sharding::parse("auto:0"), None);
+        assert_eq!(Sharding::parse("auto:"), None);
+        assert_eq!(Sharding::parse("auto:x"), None);
         assert_eq!(
             Sharding::parse("4"),
             Some(Sharding::Federated { shards: 4 })
@@ -333,8 +379,12 @@ mod tests {
         assert_eq!(Sharding::parse("-1"), None);
         assert_eq!(Sharding::parse("many"), None);
         assert_eq!(Sharding::Single.resolve(10_000), None);
-        assert_eq!(Sharding::Auto.resolve(10_000), Some(16));
-        assert_eq!(Sharding::Auto.resolve(100), Some(1));
+        assert_eq!(Sharding::AUTO.resolve(10_000), Some(16));
+        assert_eq!(Sharding::AUTO.resolve(100), Some(1));
+        assert_eq!(Sharding::AUTO.group_size(), None);
+        assert_eq!(Sharding::parse("auto:4").unwrap().group_size(), Some(4));
+        assert_eq!(Sharding::parse("auto:4").unwrap().resolve(10_000), Some(16));
+        assert_eq!(Sharding::Federated { shards: 4 }.group_size(), None);
         assert_eq!(
             Sharding::Federated { shards: 64 }.resolve(8),
             Some(8),
@@ -343,7 +393,7 @@ mod tests {
         let c = ExperimentConfig::paper(HeuristicKind::Hmct, 1);
         assert_eq!(c.shards, Sharding::Single);
         assert_eq!(c.index_scoring, IndexScoring::RemainingWork);
-        assert_eq!(c.with_shards(Sharding::Auto).shards, Sharding::Auto);
+        assert_eq!(c.with_shards(Sharding::AUTO).shards, Sharding::AUTO);
         assert_eq!(
             c.with_index_scoring(IndexScoring::ActiveCount)
                 .index_scoring,

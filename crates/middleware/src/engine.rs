@@ -81,6 +81,24 @@ pub struct ChurnStats {
     pub drops: u64,
     /// Federation re-partitions triggered by the live-count band.
     pub rebalances: u64,
+    /// Brand-new servers admitted mid-campaign (provision schedule).
+    pub provisions: u64,
+}
+
+/// A scheduled mid-campaign server admission: at `at`, a brand-new
+/// server with `spec` joins the farm, solving each problem at the
+/// pre-measured `column` costs (one entry per problem, `None` =
+/// unsolvable there — exactly a column of the cost table). Declared
+/// before the run ([`GridWorld::with_provisions`]) so the grown farm is
+/// a deterministic function of the schedule, never of event timing.
+#[derive(Debug, Clone)]
+pub struct Provision {
+    /// Admission time.
+    pub at: SimTime,
+    /// The joining server's machine description.
+    pub spec: ServerSpec,
+    /// Its cost-table column, one entry per problem.
+    pub column: Vec<Option<PhaseCosts>>,
 }
 
 /// A task in flight on a server.
@@ -145,6 +163,9 @@ pub struct GridWorld {
     /// retract the victim's placements. Maintained by the commit,
     /// completion and retraction paths.
     inflight: Vec<Vec<TaskId>>,
+    /// Servers scheduled to join mid-campaign, in declaration order
+    /// (admission events index into this).
+    provisions: Vec<Provision>,
     /// The instantiated fault schedule (`None` when `cfg.mtbf` is
     /// infinite: no churn events, no churn RNG streams).
     churn: Option<ChurnProcess>,
@@ -178,7 +199,7 @@ impl GridWorld {
         );
         let n = server_specs.len();
         let churn = cfg.churn_model().process(n);
-        let agent = AgentRouter::new(
+        let mut agent = AgentRouter::new(
             &costs,
             cfg.shards.resolve(n),
             cfg.selector,
@@ -189,6 +210,9 @@ impl GridWorld {
         // History replay is what populates rebuilt blocks on a
         // rebalance, and only a churning federation ever rebalances.
         .with_history(churn.is_some() && cfg.shards.resolve(n).is_some());
+        if let Some(group_size) = cfg.shards.group_size() {
+            agent = agent.with_group_size(group_size);
+        }
         // Per-shard live-count band from the initial shape: merge below
         // half the initial mean block, split above twice it.
         let mean_block = (n / agent.n_shards().max(1)).max(1);
@@ -242,6 +266,7 @@ impl GridWorld {
             agent_known_dead: vec![false; n],
             live: vec![true; n],
             inflight: vec![Vec::new(); n],
+            provisions: Vec::new(),
             churn,
             churn_stats: ChurnStats::default(),
             band,
@@ -250,6 +275,14 @@ impl GridWorld {
             costs,
             tasks,
         }
+    }
+
+    /// Declares servers that join the farm mid-campaign (sorted or not —
+    /// each is scheduled at its own `at`). Every column must cover the
+    /// cost table's problems; the asserts fire at admission time.
+    pub fn with_provisions(mut self, provisions: Vec<Provision>) -> Self {
+        self.provisions = provisions;
+        self
     }
 
     /// The agent's HTM (inspection, Gantt extraction). Under a shard
@@ -946,6 +979,70 @@ impl GridWorld {
         self.agent.set_available(server, false);
         self.maybe_rebalance(sched);
     }
+
+    /// A brand-new server is admitted mid-campaign: every per-server
+    /// vector of the world grows by one, the farm-wide cost table gains
+    /// the declared column, and the agent joins it into the owning (last)
+    /// shard through the proven incremental pushes — no engine rebuild,
+    /// no other shard touched. The newcomer is live, idle and eligible
+    /// from its very next decision; its periodic report/noise events are
+    /// scheduled here (in aggregated-report mode the owning shard's
+    /// existing report chain covers it for free, since shard reports walk
+    /// the *current* block). The fault schedule deliberately does not
+    /// extend to provisioned servers: churn streams are drawn per initial
+    /// server at init so the schedule stays a function of the churn seed
+    /// alone.
+    fn handle_server_provision(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        let spec = self.provisions[idx].spec.clone();
+        let column = self.provisions[idx].column.clone();
+        assert_eq!(
+            column.len(),
+            self.costs.n_problems(),
+            "provision column must cover every problem"
+        );
+        let id = ServerId(self.servers.len() as u32);
+        self.costs.push_server(column.clone());
+        let agent_id = self.agent.push_server(column);
+        assert_eq!(agent_id, id, "world and router must agree on the new id");
+        self.server_mem.push(spec.total_mem_mb());
+        self.servers.push(ServerRuntime::new(spec, self.cfg.memory));
+        self.monitors.push(LoadAverage::new(self.cfg.load_tau));
+        self.reports.push(LoadReport::initial(id));
+        self.cpu_noise
+            .push(RngStream::derive(self.cfg.seed, StreamKind::CpuNoise(id.0)));
+        self.net_noise
+            .push(RngStream::derive(self.cfg.seed, StreamKind::NetNoise(id.0)));
+        self.agent_known_dead.push(false);
+        self.live.push(true);
+        self.inflight.push(Vec::new());
+        self.churn_stats.provisions += 1;
+        let _ = now;
+        if self.remaining > 0 {
+            if !self.cfg.aggregated_reports {
+                sched.in_(
+                    SimTime::from_secs(self.cfg.load_report_period),
+                    GridEvent::LoadReport { server: id },
+                );
+            }
+            if self.cfg.noise_sigma > 0.0 {
+                sched.in_(
+                    SimTime::from_secs(self.cfg.noise_redraw_period),
+                    GridEvent::NoiseRedraw { server: id },
+                );
+            }
+        }
+        // Growth can push the last shard past the live-count band; the
+        // rebalance machinery needs op history, which only a churning
+        // federation records.
+        if self.churn.is_some() {
+            self.maybe_rebalance(sched);
+        }
+    }
 }
 
 impl World for GridWorld {
@@ -990,6 +1087,9 @@ impl World for GridWorld {
                 );
             }
         }
+        for (idx, p) in self.provisions.iter().enumerate() {
+            sched.at(p.at, GridEvent::ServerProvision { idx });
+        }
         if let Some(churn) = &mut self.churn {
             // Each server's first failure comes from its own uptime
             // stream, so the fault schedule is a function of the churn
@@ -1033,6 +1133,7 @@ impl World for GridWorld {
             }
             GridEvent::NoiseRedraw { server } => self.handle_noise_redraw(now, server, sched),
             GridEvent::ServerCrash { server } => self.handle_server_crash(now, server, sched),
+            GridEvent::ServerProvision { idx } => self.handle_server_provision(now, idx, sched),
             GridEvent::ServerJoin { server } => self.handle_server_join(now, server, sched),
             GridEvent::ServerLeave { server } => self.handle_server_leave(now, server, sched),
         }
@@ -1458,7 +1559,7 @@ mod tests {
             cas_core::SelectorKind::TopK { k: 1 },
             cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 2 },
         ] {
-            for shards in [Sharding::Auto, Sharding::Federated { shards: 3 }] {
+            for shards in [Sharding::AUTO, Sharding::Federated { shards: 3 }] {
                 for scoring in [
                     cas_platform::IndexScoring::RemainingWork,
                     cas_platform::IndexScoring::ActiveCount,
@@ -1727,5 +1828,212 @@ mod tests {
             .filter(|r| !matches!(r.outcome, TaskOutcome::InFlight))
             .count() as u64;
         assert_eq!(terminal, n_tasks);
+    }
+
+    /// `run_experiment` with a provision schedule attached (the public
+    /// helper takes none, to keep the common call sites lean).
+    fn run_with_provisions(
+        cfg: ExperimentConfig,
+        costs: CostTable,
+        servers: Vec<ServerSpec>,
+        tasks: Vec<TaskInstance>,
+        provisions: Vec<Provision>,
+    ) -> GridWorld {
+        let world = GridWorld::new(cfg, costs, servers, tasks).with_provisions(provisions);
+        let mut sim = cas_sim::Simulation::new(world);
+        let outcome = sim.run_to_completion();
+        assert_eq!(outcome, cas_sim::engine::RunOutcome::Exhausted);
+        let mut world = sim.into_world();
+        assert_eq!(
+            world.remaining(),
+            0,
+            "all tasks must reach a terminal state"
+        );
+        let simulated = world.agent.simulated_completions();
+        for rec in &mut world.records {
+            rec.predicted_completion = simulated.get(&rec.task).copied();
+        }
+        world
+    }
+
+    /// A server provisioned mid-campaign becomes eligible immediately:
+    /// it wins decisions made after its admission (it is the cheapest
+    /// machine on the farm) and never appears in decisions made before.
+    #[test]
+    fn provisioned_server_joins_mid_campaign_and_takes_work() {
+        let (costs, servers) = mini_setup();
+        let tasks = mini_tasks(&[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0]);
+        let cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1);
+        let world = run_with_provisions(
+            cfg,
+            costs,
+            servers,
+            tasks,
+            vec![Provision {
+                at: t(5.0),
+                spec: ServerSpec::new("joiner", 1000.0, 1024.0, 1024.0),
+                column: vec![Some(PhaseCosts::new(1.0, 5.0, 1.0))],
+            }],
+        );
+        assert_eq!(world.churn_stats().provisions, 1);
+        assert_eq!(world.live_servers(), 3);
+        let joiner = ServerId(2);
+        let on_joiner: Vec<_> = world
+            .records()
+            .iter()
+            .filter(|r| r.server == Some(joiner))
+            .collect();
+        assert!(
+            !on_joiner.is_empty(),
+            "the cheapest machine must win post-admission decisions"
+        );
+        assert!(
+            on_joiner.iter().all(|r| r.arrival >= t(5.0)),
+            "no task decided before admission may land on the newcomer"
+        );
+        assert!(world.records().iter().all(|r| r.is_completed()));
+    }
+
+    /// Provision-equivalence end to end: under the exhaustive selector a
+    /// sharded federation given a provision schedule produces records
+    /// bit-identical to the single-agent engine given the same schedule —
+    /// the incremental shard join must be invisible to the decisions.
+    #[test]
+    fn provisioned_campaign_sharded_matches_single_agent() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        let provisions = vec![Provision {
+            at: t(3.0),
+            spec: ServerSpec::new("joiner", 1000.0, 1024.0, 1024.0),
+            column: vec![
+                Some(PhaseCosts::new(0.4, 6.0, 0.4)),
+                Some(PhaseCosts::new(0.2, 8.0, 0.2)),
+            ],
+        }];
+        let base = ExperimentConfig::paper(HeuristicKind::Hmct, 13);
+        let single = run_with_provisions(
+            base,
+            costs.clone(),
+            servers.clone(),
+            tasks.clone(),
+            provisions.clone(),
+        );
+        assert_eq!(single.churn_stats().provisions, 1);
+        assert!(
+            single
+                .records()
+                .iter()
+                .any(|r| r.server == Some(ServerId(6))),
+            "the provisioned server must actually receive work"
+        );
+        for shards in [2, 3, 6] {
+            let routed = run_with_provisions(
+                base.with_shards(Sharding::Federated { shards }),
+                costs.clone(),
+                servers.clone(),
+                tasks.clone(),
+                provisions.clone(),
+            );
+            assert_eq!(
+                single.records(),
+                routed.records(),
+                "provision diverged at {shards} shards"
+            );
+        }
+    }
+
+    /// A farm big enough for `--shards auto` to produce a real federation
+    /// (1300 servers → 3 shards under the 640-servers-per-shard target).
+    fn farm_setup(n: usize) -> (CostTable, Vec<ServerSpec>) {
+        let mut costs = CostTable::new(n);
+        costs.add_problem(
+            Problem::new("p0", 1.0, 0.5, 0.0),
+            (0..n)
+                .map(|s| Some(PhaseCosts::new(0.5, 6.0 + (s % 37) as f64, 0.5)))
+                .collect(),
+        );
+        costs.add_problem(
+            Problem::new("p1", 1.0, 0.5, 0.0),
+            (0..n)
+                .map(|s| (s % 3 == 0).then(|| PhaseCosts::new(0.3, 15.0 + (s % 23) as f64, 0.3)))
+                .collect(),
+        );
+        let servers = (0..n)
+            .map(|s| {
+                ServerSpec::new(
+                    format!("s{s}"),
+                    400.0 + (s % 100) as f64 * 10.0,
+                    1024.0,
+                    1024.0,
+                )
+            })
+            .collect();
+        (costs, servers)
+    }
+
+    /// The group-walk acceptance property end to end: on a farm where
+    /// `auto` resolves to a real federation, campaigns run with the
+    /// two-level tree active (`auto:1`, `auto:2`) are record-identical
+    /// to the flat lazy walk (default fan-out puts all 3 shards in one
+    /// group) — the tree may only prune group visits, never decisions.
+    #[test]
+    fn grouped_auto_campaigns_bitwise_match_flat_walk() {
+        let (costs, servers) = farm_setup(1300);
+        let tasks = six_tasks(40);
+        for selector in [
+            cas_core::SelectorKind::TopK { k: 2 },
+            cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+        ] {
+            let base = ExperimentConfig::paper(HeuristicKind::Hmct, 31).with_selector(selector);
+            let flat = run_experiment(
+                base.with_shards(Sharding::AUTO),
+                costs.clone(),
+                servers.clone(),
+                tasks.clone(),
+            );
+            for group_size in [1, 2] {
+                let grouped = run_experiment(
+                    base.with_shards(Sharding::Auto {
+                        group_size: Some(group_size),
+                    }),
+                    costs.clone(),
+                    servers.clone(),
+                    tasks.clone(),
+                );
+                assert_eq!(
+                    flat, grouped,
+                    "{selector:?} diverged between flat walk and auto:{group_size}"
+                );
+            }
+        }
+    }
+
+    /// The `auto:GROUPSIZE` override reaches the router: fan-out 1 on a
+    /// 3-shard farm yields 3 singleton groups, the campaign's decisions
+    /// drive the group-level walk (both counters live), and the per-level
+    /// accounting invariant holds.
+    #[test]
+    fn auto_group_size_override_drives_group_walk() {
+        let (costs, servers) = farm_setup(1300);
+        let tasks = six_tasks(40);
+        let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 31)
+            .with_selector(cas_core::SelectorKind::TopK { k: 2 })
+            .with_shards(Sharding::Auto {
+                group_size: Some(1),
+            });
+        let world = GridWorld::new(cfg, costs, servers, tasks);
+        assert_eq!(world.agent().tree().n_groups(), 3);
+        let mut sim = cas_sim::Simulation::new(world);
+        let _ = sim.run_to_completion();
+        let world = sim.into_world();
+        let stats = world.agent().skyline_stats();
+        assert!(stats.decisions > 0);
+        assert!(stats.group_visits > 0, "group walk never ran: {stats:?}");
+        assert_eq!(
+            stats.group_visits + stats.group_skips,
+            stats.decisions * 3,
+            "every decision must account for every group: {stats:?}"
+        );
+        assert!(world.records().iter().all(|r| r.is_completed()));
     }
 }

@@ -56,6 +56,17 @@ pub enum GridEvent {
         /// The affected server.
         server: ServerId,
     },
+    /// A **brand-new** server is admitted to the running campaign: the
+    /// world grows every per-server vector, the farm-wide cost table
+    /// gains the pre-registered column, and the agent's owning shard
+    /// engine joins it through the proven incremental pushes
+    /// ([`cas_platform::CostTable::push_server`],
+    /// [`cas_platform::StaticIndex::push_server`]). The column index
+    /// points into the provision schedule declared before the run.
+    ServerProvision {
+        /// Index into the experiment's provision schedule.
+        idx: usize,
+    },
     /// A provisioned server (re)joins the farm: it becomes eligible for
     /// placement again and its runtime state starts fresh.
     ServerJoin {

@@ -51,8 +51,8 @@ use cas_core::selector::{CandidateSelector, SelectorInput};
 use cas_core::whatif::WhatIf;
 use cas_core::{Htm, Prediction, SelectorKind, SyncPolicy};
 use cas_platform::{
-    CostTable, IndexScoring, LoadReport, ProblemId, ServerId, ShardMap, StaticIndex, TaskId,
-    TaskInstance,
+    CostTable, IndexScoring, LoadReport, PhaseCosts, ProblemId, ServerId, ShardMap, ShardTree,
+    StaticIndex, TaskId, TaskInstance,
 };
 use cas_sim::{RngStream, SimTime};
 use std::collections::HashMap;
@@ -214,9 +214,17 @@ impl ShardEngine {
 }
 
 /// Visit/skip counters of the skyline merge (cumulative over the
-/// router's lifetime). `shard_visits + shard_skips` equals
+/// router's lifetime), per level of the shard tree.
+///
+/// On the **flat** walk (no tree, or a degenerate one-group tree) the
+/// group counters stay zero and `shard_visits + shard_skips` equals
 /// `decisions × n_shards` — every shard is either walked or provably
-/// unable to contribute.
+/// unable to contribute. On the **group** walk every *group* is either
+/// visited or skipped (`group_visits + group_skips = decisions ×
+/// n_groups`), and the shard counters cover only the shards *inside
+/// visited groups* — a skipped group's members are pruned wholesale
+/// without appearing in either shard counter, which is the entire point
+/// of the hierarchy.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SkylineStats {
     /// Federated decisions taken through the lazy merge.
@@ -224,12 +232,19 @@ pub struct SkylineStats {
     /// Shards whose stage-1 selector actually ran.
     pub shard_visits: u64,
     /// Shards skipped — skyline beyond the cut line, or no solvable
-    /// server for the problem.
+    /// server for the problem — counted only inside visited groups when
+    /// the group walk is active.
     pub shard_skips: u64,
+    /// Groups whose member shards were walked (group walk only).
+    pub group_visits: u64,
+    /// Groups pruned wholesale — group skyline beyond the cut line, or
+    /// no member shard holds a skyline for the problem.
+    pub group_skips: u64,
 }
 
 impl SkylineStats {
-    /// Fraction of shard walks avoided, in `[0, 1]`.
+    /// Fraction of *considered* shard walks avoided, in `[0, 1]` (shards
+    /// inside skipped groups are never considered and do not appear).
     pub fn skip_rate(&self) -> f64 {
         let total = self.shard_visits + self.shard_skips;
         if total == 0 {
@@ -238,6 +253,28 @@ impl SkylineStats {
             self.shard_skips as f64 / total as f64
         }
     }
+
+    /// Fraction of group walks avoided, in `[0, 1]` (zero off the group
+    /// walk).
+    pub fn group_skip_rate(&self) -> f64 {
+        let total = self.group_visits + self.group_skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.group_skips as f64 / total as f64
+        }
+    }
+}
+
+/// One group's cached skyline summary for one problem: the min over its
+/// member shards' skylines (the best key anything in the group could
+/// contribute) and the max over their width bounds (the widest shortlist
+/// anything in the group could emit). `None` skyline means no member
+/// holds one — the group is unconditionally skippable for the problem.
+#[derive(Debug, Clone, Copy)]
+struct GroupKey {
+    skyline: Option<(u64, u32)>,
+    bound: usize,
 }
 
 /// One model-mutation hook, recorded for rebalance replay. A shard
@@ -309,6 +346,26 @@ pub struct AgentRouter {
     /// replays the PR-4 eager full scatter — the executable spec the
     /// differential harness diffs the lazy merge against.
     skyline: bool,
+    /// The two-level shard tree: groups of shards with cached group
+    /// skylines, so the lazy walk prunes whole groups before touching a
+    /// member shard. Rebuilt whenever the shard count changes.
+    tree: ShardTree,
+    /// Group walk on (default): with more than one group the lazy merge
+    /// walks groups first. Off forces the flat per-shard walk — the
+    /// executable spec the group walk is differentially proven against.
+    tree_enabled: bool,
+    /// Requested shards-per-group fan-out (the tree clamps it).
+    group_size: usize,
+    /// Per-`(group, problem)` cached [`GroupKey`]s, indexed by
+    /// `group × n_problems + problem`; `None` = dirty (a hook touched a
+    /// member shard since the last read). Repaired at the next group walk.
+    group_cache: Vec<Option<GroupKey>>,
+    /// Problems covered by the cost table (the cache stride).
+    n_problems: usize,
+    /// Parallel stage-1 arm: `None` engages it automatically when the
+    /// pool has more than one worker, `Some(b)` forces it on or off
+    /// (differential runs must exercise the arm on any host).
+    parallel_override: Option<bool>,
     /// Cumulative visit/skip counters of the skyline merge.
     stats: SkylineStats,
     /// Run-wide decision memo lent to each decision's `SchedView`
@@ -352,15 +409,24 @@ impl AgentRouter {
             Some(s) => (true, s),
         };
         let map = ShardMap::new(n, count);
-        let shards = (0..map.n_shards())
+        let shards: Vec<ShardEngine> = (0..map.n_shards())
             .map(|k| ShardEngine::new(costs, map.start(k), map.len(k), selector, scoring, sync))
             .collect();
+        let tree = ShardTree::new(map.n_shards(), ShardTree::DEFAULT_GROUP_SHARDS);
+        let n_problems = costs.n_problems();
+        let group_cache = vec![None; tree.n_groups() * n_problems];
         AgentRouter {
             map,
             shards,
             federated,
             exhaustive: selector == SelectorKind::Exhaustive,
             skyline: true,
+            tree,
+            tree_enabled: true,
+            group_size: ShardTree::DEFAULT_GROUP_SHARDS,
+            group_cache,
+            n_problems,
+            parallel_override: None,
             stats: SkylineStats::default(),
             memo: DecisionMemo::new(),
             merged: Vec::new(),
@@ -392,11 +458,94 @@ impl AgentRouter {
         self
     }
 
+    /// Toggles the two-level group walk (on by default, and inert until
+    /// the tree actually has more than one group). Off forces the flat
+    /// per-shard walk — the executable spec the group walk is proven
+    /// bit-identical against.
+    pub fn with_tree(mut self, enabled: bool) -> Self {
+        self.tree_enabled = enabled;
+        self
+    }
+
+    /// Overrides the shards-per-group fan-out (default
+    /// [`ShardTree::DEFAULT_GROUP_SHARDS`]) and rebuilds the tree. The
+    /// tree clamps degenerate values; `0` is treated as `1`.
+    pub fn with_group_size(mut self, group_size: usize) -> Self {
+        self.group_size = group_size.max(1);
+        self.rebuild_tree();
+        self
+    }
+
+    /// Forces the parallel stage-1 arm on or off. By default the arm
+    /// engages automatically when the worker pool has more than one
+    /// worker; the differential runs force it **on** so the arm's
+    /// determinism is proven even on single-core hosts (the pool scope
+    /// then degenerates to the caller draining every job).
+    pub fn with_parallel_stage1(mut self, forced: bool) -> Self {
+        self.parallel_override = Some(forced);
+        self
+    }
+
+    /// The two-level shard tree (degenerate — one group — when the farm
+    /// is small enough that the flat walk is used).
+    pub fn tree(&self) -> &ShardTree {
+        &self.tree
+    }
+
     /// Cumulative skyline visit/skip counters (zero when the lazy merge
     /// never ran: single-agent path, exhaustive selector, or skyline
     /// off).
     pub fn skyline_stats(&self) -> SkylineStats {
         self.stats
+    }
+
+    /// Rebuilds the tree over the current shard count and invalidates
+    /// every cached group key.
+    fn rebuild_tree(&mut self) {
+        self.tree = ShardTree::new(self.shards.len(), self.group_size);
+        self.group_cache.clear();
+        self.group_cache
+            .resize(self.tree.n_groups() * self.n_problems, None);
+    }
+
+    /// Invalidates the cached group keys (every problem) of the group
+    /// owning `shard`. Called from every hook that can move a member
+    /// shard's skyline or width bound: commit/retract/complete (index
+    /// re-ranks, selector stretch feedback), availability flips, and the
+    /// post-pick selector observation (adaptive widths react to both
+    /// observation hooks, never to running the shortlist itself).
+    fn dirty_shard_group(&mut self, shard: usize) {
+        let g = self.tree.group_of(shard);
+        let base = g * self.n_problems;
+        self.group_cache[base..base + self.n_problems].fill(None);
+    }
+
+    /// The cached group key for `(g, problem)`, recomputed from the
+    /// member shards when dirty: the min over member skylines and the
+    /// max over member width bounds. A shard with no solvable server
+    /// holds no skyline *and* a zero width bound, so it influences
+    /// neither fold.
+    fn group_key(&mut self, g: usize, problem: ProblemId) -> GroupKey {
+        let slot = g * self.n_problems + problem.0 as usize;
+        if let Some(key) = self.group_cache[slot] {
+            return key;
+        }
+        let mut skyline: Option<(u64, u32)> = None;
+        let mut bound = 0usize;
+        for k in self.tree.members(g) {
+            let shard = &self.shards[k];
+            if let Some((bits, head)) = shard.skyline(problem) {
+                let key = (bits, head.0);
+                skyline = Some(match skyline {
+                    Some(cur) if cur <= key => cur,
+                    _ => key,
+                });
+                bound = bound.max(shard.width_bound(problem));
+            }
+        }
+        let key = GroupKey { skyline, bound };
+        self.group_cache[slot] = Some(key);
+        key
     }
 
     /// Number of shards.
@@ -528,7 +677,22 @@ impl AgentRouter {
                 self.candidates.sort_unstable();
             }
         } else {
-            self.lazy_stage1(problem, admit);
+            // Pruning selector with the skyline merge on. With a real
+            // tree (more than one group) the walk goes through the
+            // group level — parallel when the pool pays (or a
+            // differential run forces the arm), serial otherwise; a
+            // degenerate tree falls back to the flat per-shard walk.
+            let grouped = self.tree_enabled && !self.tree.is_empty();
+            let parallel = self
+                .parallel_override
+                .unwrap_or_else(|| cas_sim::pool::global().workers() > 1);
+            if grouped && parallel {
+                self.parallel_stage1(problem, admit);
+            } else if grouped {
+                self.tree_stage1(problem, admit);
+            } else {
+                self.lazy_stage1(problem, admit);
+            }
             self.candidates.extend(self.merged.iter().map(|&(_, s)| s));
             self.candidates.sort_unstable();
         }
@@ -557,6 +721,9 @@ impl AgentRouter {
             let owner = self.map.owner(s);
             let local = self.map.to_local(owner, s);
             self.shards[owner].selector.observe_selection(local);
+            // An adaptive selector may have widened or narrowed: the
+            // owner's cached group bound is no longer trustworthy.
+            self.dirty_shard_group(owner);
         }
         pick
     }
@@ -631,6 +798,165 @@ impl AgentRouter {
         }
     }
 
+    /// The two-level skyline walk: [`lazy_stage1`](Self::lazy_stage1)
+    /// lifted to the shard tree. Groups are visited in ascending *group
+    /// skyline* order (the min over member skylines, cached and repaired
+    /// lazily), and a whole group is skipped — without reading a single
+    /// member shard — when the flat walk's skip condition holds for the
+    /// group key:
+    ///
+    /// 1. the group's width bound (max over members) cannot exceed the
+    ///    widest width already seen, and
+    /// 2. at least `B` collected entries beat the group skyline, `B`
+    ///    being the largest group bound overall.
+    ///
+    /// Because the group skyline lower-bounds every member skyline and
+    /// the group bound upper-bounds every member bound, the group
+    /// condition implies the flat condition for **each member** — so the
+    /// group walk prunes a superset of nothing the flat walk would keep,
+    /// and the merged cut is bit-identical (the differential proptests
+    /// prove it against both the flat walk and the eager scatter).
+    /// Inside a visited group, members run the flat per-shard condition
+    /// unchanged.
+    fn tree_stage1(&mut self, problem: ProblemId, admit: &(dyn Fn(ServerId) -> bool + Sync)) {
+        self.stats.decisions += 1;
+        self.order.clear();
+        let mut bound_cap = 0usize; // B: the largest width any group could emit
+        for g in 0..self.tree.n_groups() {
+            let key = self.group_key(g, problem);
+            match key.skyline {
+                Some((bits, head)) => {
+                    self.order.push((bits, head, g as u32));
+                    bound_cap = bound_cap.max(key.bound);
+                }
+                None => self.stats.group_skips += 1,
+            }
+        }
+        // Ascending group-skyline order; the head's global id makes the
+        // key unique per group, so the walk is deterministic.
+        self.order.sort_unstable();
+        let order = std::mem::take(&mut self.order);
+        let mut widest = 0usize;
+        for &(bits, head, g) in &order {
+            let g = g as usize;
+            let gbound = self.group_cache[g * self.n_problems + problem.0 as usize]
+                .expect("repaired above")
+                .bound;
+            if gbound <= widest
+                && self.merged.len() >= bound_cap
+                && self.merged[bound_cap - 1] < (bits, ServerId(head))
+            {
+                self.stats.group_skips += 1;
+                continue;
+            }
+            self.stats.group_visits += 1;
+            for k in self.tree.members(g) {
+                let Some((sbits, shead)) = self.shards[k].skyline(problem) else {
+                    self.stats.shard_skips += 1;
+                    continue;
+                };
+                let bound = self.shards[k].width_bound(problem);
+                if bound <= widest
+                    && self.merged.len() >= bound_cap
+                    && self.merged[bound_cap - 1] < (sbits, shead)
+                {
+                    self.stats.shard_skips += 1;
+                    continue;
+                }
+                self.stats.shard_visits += 1;
+                let shard = &mut self.shards[k];
+                shard.stage1(problem, admit, true);
+                widest = widest.max(shard.scored.len());
+                self.merged.extend_from_slice(&shard.scored);
+                self.merged.sort_unstable();
+            }
+        }
+        self.order = order;
+        if self.merged.len() > widest {
+            self.merged.truncate(widest);
+        }
+    }
+
+    /// The parallel stage-1 arm: group-level pruning from the cache
+    /// (groups with no skyline skip exactly as in the serial walks),
+    /// then an **eager** scatter of every surviving group over
+    /// [`cas_sim::pool`] — cut-line pruning needs the merged-so-far
+    /// state and is pointless once the walks run concurrently. Each job
+    /// owns a disjoint `&mut` block of member shards plus its own count
+    /// slot, so worker count cannot reorder anything; the reduction
+    /// concatenates per-shard scratch in shard order and keeps the
+    /// `W`-best by partial select — the kept *set* equals
+    /// sort-then-truncate (keys are unique pairs), which is exactly the
+    /// eager merge, which the serial walks are proven identical to.
+    /// Shards with no skyline clear their scratch and skip: their
+    /// shortlist is empty under any admit filter.
+    fn parallel_stage1(&mut self, problem: ProblemId, admit: &(dyn Fn(ServerId) -> bool + Sync)) {
+        self.stats.decisions += 1;
+        // Group-level prune, serial: one cached key per group.
+        let mut visited: Vec<usize> = Vec::with_capacity(self.tree.n_groups());
+        for g in 0..self.tree.n_groups() {
+            if self.group_key(g, problem).skyline.is_some() {
+                visited.push(g);
+            } else {
+                self.stats.group_skips += 1;
+            }
+        }
+        self.stats.group_visits += visited.len() as u64;
+        // Scatter: one job per visited group, member blocks split into
+        // disjoint `&mut` slices (groups are contiguous, ascending).
+        let mut counts: Vec<(u64, u64)> = vec![(0, 0); visited.len()];
+        {
+            let mut jobs: Vec<(&mut [ShardEngine], &mut (u64, u64))> =
+                Vec::with_capacity(visited.len());
+            let mut shards_rest: &mut [ShardEngine] = &mut self.shards;
+            let mut shards_off = 0usize;
+            let mut counts_rest: &mut [(u64, u64)] = &mut counts;
+            for &g in &visited {
+                let members = self.tree.members(g);
+                let (_, tail) = shards_rest.split_at_mut(members.start - shards_off);
+                let (block, tail) = tail.split_at_mut(members.len());
+                shards_rest = tail;
+                shards_off = members.end;
+                let (slot, tail) = counts_rest.split_first_mut().expect("one slot per job");
+                counts_rest = tail;
+                jobs.push((block, slot));
+            }
+            let pool = cas_sim::pool::global();
+            pool.scope(|scope| {
+                for (block, slot) in jobs {
+                    scope.spawn(move || {
+                        for shard in block.iter_mut() {
+                            if shard.skyline(problem).is_some() {
+                                shard.stage1(problem, admit, true);
+                                slot.0 += 1;
+                            } else {
+                                shard.scored.clear();
+                                slot.1 += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        // Reduce in slot (= group, = shard) order.
+        for &(v, s) in &counts {
+            self.stats.shard_visits += v;
+            self.stats.shard_skips += s;
+        }
+        let mut widest = 0usize;
+        for &g in &visited {
+            for k in self.tree.members(g) {
+                let scored = &self.shards[k].scored;
+                widest = widest.max(scored.len());
+                self.merged.extend_from_slice(scored);
+            }
+        }
+        if self.merged.len() > widest && widest > 0 {
+            self.merged.select_nth_unstable(widest - 1);
+            self.merged.truncate(widest);
+        }
+    }
+
     /// A what-if query outside a decision (the engine records the
     /// commit-time prediction of the winning server).
     pub fn predict(
@@ -660,6 +986,7 @@ impl AgentRouter {
         let shard = &mut self.shards[owner];
         shard.htm.commit(now, local, task);
         shard.index.on_commit(local, work);
+        self.dirty_shard_group(owner);
     }
 
     /// Routes a retract (placement undone before running) to the owning
@@ -678,6 +1005,7 @@ impl AgentRouter {
         let shard = &mut self.shards[owner];
         shard.htm.retract(now, task);
         shard.index.on_retract(local, work);
+        self.dirty_shard_group(owner);
     }
 
     /// Routes a completion to the owning shard: index decrement, HTM
@@ -707,6 +1035,7 @@ impl AgentRouter {
         shard.index.on_complete(local, work);
         shard.htm.observe_completion(now, task);
         shard.selector.observe_outcome(observed, predicted);
+        self.dirty_shard_group(owner);
     }
 
     /// Marks `server` up or down in its owning shard's stage-1 index:
@@ -722,8 +1051,11 @@ impl AgentRouter {
         let owner = self.map.owner(server);
         let local = self.map.to_local(owner, server);
         let changed = self.shards[owner].index.set_available(local, up);
-        if changed && self.record_history {
-            self.history.push(ModelOp::Available { server, up });
+        if changed {
+            self.dirty_shard_group(owner);
+            if self.record_history {
+                self.history.push(ModelOp::Available { server, up });
+            }
         }
         changed
     }
@@ -839,6 +1171,7 @@ impl AgentRouter {
         }
         self.map = new_map;
         self.shards = shards;
+        self.rebuild_tree();
         self.memo = DecisionMemo::new();
     }
 
@@ -850,7 +1183,31 @@ impl AgentRouter {
             .map(|k| self.rebuilt_engine(costs, new_map.start(k), new_map.len(k)))
             .collect();
         self.map = new_map;
+        self.rebuild_tree();
         self.memo = DecisionMemo::new();
+    }
+
+    /// Admits a brand-new server to the running federation: the shard
+    /// map grows its **last** block by one, and the owning engine's HTM
+    /// cost table and stage-1 index each gain the server through their
+    /// proven incremental joins ([`CostTable::push_server`],
+    /// [`StaticIndex::push_server`]) — no engine is rebuilt, no other
+    /// shard is touched. The caller must have grown (or grow, before the
+    /// next decision) the farm-wide cost table with the **same** column,
+    /// since stage 2 reads static costs by global id. Returns the new
+    /// global id. The new server joins live, idle and unexcluded — and
+    /// with an empty ledger its cached group key is stale, so the
+    /// owner's group is dirtied like any other mutation.
+    pub fn push_server(&mut self, per_problem: Vec<Option<PhaseCosts>>) -> ServerId {
+        let id = self.map.push_server();
+        let owner = self.shards.len() - 1;
+        let durations: Vec<Option<f64>> =
+            per_problem.iter().map(|c| c.map(|pc| pc.total())).collect();
+        let shard = &mut self.shards[owner];
+        shard.index.push_server(&durations);
+        shard.htm.push_server(per_problem);
+        self.dirty_shard_group(owner);
+        id
     }
 
     /// Simulated completion dates of every committed task, across all
@@ -989,7 +1346,7 @@ mod skyline_edge {
     //! the corners by name).
 
     use super::*;
-    use crate::harness::{DiffHarness, Op};
+    use crate::harness::{DiffHarness, Op, SingleAgentReference};
     use cas_platform::{PhaseCosts, Problem};
 
     /// 6 servers in 3 shards of 2. P0 solvable everywhere with distinct
@@ -1233,6 +1590,138 @@ mod skyline_edge {
         );
     }
 
+    /// A group whose **every** member shard has zero solvable servers
+    /// for the problem holds no group skyline and is pruned wholesale:
+    /// its members never appear in the shard counters. With fan-out 1
+    /// (groups ≡ shards) on the edge table's P1 — solvable only inside
+    /// shard 0 — groups 1 and 2 skip every decision at the group level,
+    /// and shard 0, alone inside its visited group, is walked with no
+    /// shard-level skip at all. Both the serial group walk and the
+    /// forced parallel arm agree with the eager merge.
+    #[test]
+    fn zero_solvable_group_is_pruned_without_touching_members() {
+        let table = edge_table();
+        let p1_ops: Vec<Op> = (0..4)
+            .map(|i| Op {
+                kind: 0,
+                server: 0,
+                problem: 1,
+                gap: i as f64,
+                excl: 99,
+            })
+            .collect();
+        for parallel in [false, true] {
+            let harness = DiffHarness::new(table.clone());
+            let (mut eager, lazy) = routers(&table, SelectorKind::TopK { k: 2 });
+            let mut tree = lazy.with_group_size(1).with_parallel_stage1(parallel);
+            assert_eq!(tree.tree().n_groups(), 3);
+            harness.run(&mut eager, &mut tree, &p1_ops).unwrap();
+            let stats = tree.skyline_stats();
+            assert_eq!(stats.decisions, 4);
+            assert_eq!(stats.group_visits, 4, "only shard 0's group is walked");
+            assert_eq!(stats.group_skips, 8, "groups 1 and 2 prune wholesale");
+            assert_eq!(stats.shard_visits, 4);
+            assert_eq!(
+                stats.shard_skips, 0,
+                "members of skipped groups never reach the shard counters"
+            );
+            assert_eq!(stats.group_skip_rate(), 8.0 / 12.0);
+        }
+    }
+
+    /// Provisioning through the router (`push_server` into the last
+    /// shard) is bit-identical to a router *built* over the grown table:
+    /// with one shard the partitions coincide exactly, so the S = 1
+    /// invariant extends to mid-life joins for a pruning selector.
+    #[test]
+    fn provision_single_shard_matches_fresh_build() {
+        let table = edge_table();
+        let column = vec![Some(PhaseCosts::new(0.0, 9.0, 0.0)), None];
+        let mut grown = table.clone();
+        assert_eq!(grown.push_server(column.clone()), ServerId(6));
+        let scoring = IndexScoring::default();
+        let mut fresh = AgentRouter::new(
+            &grown,
+            Some(1),
+            SelectorKind::TopK { k: 2 },
+            scoring,
+            SyncPolicy::None,
+        );
+        let mut joined = AgentRouter::new(
+            &table,
+            Some(1),
+            SelectorKind::TopK { k: 2 },
+            scoring,
+            SyncPolicy::None,
+        );
+        assert_eq!(joined.push_server(column), ServerId(6));
+        assert_eq!(joined.map().n_servers(), 7);
+        // The new server (static P0 cost 9) must immediately head the
+        // skyline — it beats every incumbent (costs 10..15).
+        assert_eq!(
+            joined.shards[0].skyline(ProblemId(0)).map(|(_, s)| s),
+            Some(ServerId(6))
+        );
+        let harness = DiffHarness::new(grown);
+        let ops: Vec<Op> = (0..6)
+            .map(|i| Op {
+                kind: (i % 3) as u32 * 3, // decide / decide / commit mix
+                server: 6,
+                problem: 0,
+                gap: 1.0,
+                excl: 99,
+            })
+            .collect();
+        harness.run(&mut fresh, &mut joined, &ops).unwrap();
+    }
+
+    /// Provisioning under the exhaustive selector is
+    /// partition-invisible: the joined router's last block grew (blocks
+    /// 2+2+3) while a fresh build re-balances (3+2+2), yet the
+    /// untruncated union merge makes both bit-identical to the
+    /// single-agent reference over the grown farm.
+    #[test]
+    fn provision_under_exhaustive_is_partition_invisible() {
+        let table = edge_table();
+        let column = vec![
+            Some(PhaseCosts::new(0.0, 9.0, 0.0)),
+            Some(PhaseCosts::new(0.0, 19.0, 0.0)),
+        ];
+        let mut grown = table.clone();
+        grown.push_server(column.clone());
+        let scoring = IndexScoring::default();
+        let mut reference =
+            SingleAgentReference::new(&grown, SelectorKind::Exhaustive, SyncPolicy::None);
+        let mut joined = AgentRouter::new(
+            &table,
+            Some(3),
+            SelectorKind::Exhaustive,
+            scoring,
+            SyncPolicy::None,
+        );
+        joined.push_server(column);
+        let harness = DiffHarness::new(grown);
+        let mut ops = decide_ops(6);
+        ops.insert(
+            2,
+            Op {
+                kind: 6,
+                server: 6,
+                problem: 0,
+                gap: 0.5,
+                excl: 99,
+            },
+        );
+        ops.push(Op {
+            kind: 8,
+            server: 6,
+            problem: 0,
+            gap: 0.5,
+            excl: 99,
+        });
+        harness.run(&mut reference, &mut joined, &ops).unwrap();
+    }
+
     /// Rebalance is gated on history recording: without the op log a
     /// new block boundary could not be populated.
     #[test]
@@ -1302,6 +1791,9 @@ mod proptests {
     /// Farm width of the skyline differential: big enough that
     /// `S = 16` is a real federation, not a clamp.
     const N_SERVERS_WIDE: usize = 18;
+    /// Farm width of the tree differential: big enough that `S = 64` is
+    /// a real federation and small group sizes give a deep tree.
+    const N_SERVERS_HUGE: usize = 72;
     const N_PROBLEMS: usize = 2;
 
     /// `n_servers`-wide table; server 0 always solves everything so no
@@ -1394,6 +1886,59 @@ mod proptests {
             stats.shard_visits + stats.shard_skips,
             stats.decisions * n_shards as u64
         );
+        Ok(())
+    }
+
+    /// Drives the group-walking router (and, when `parallel`, the
+    /// forced parallel stage-1 arm) against the flat per-shard walk
+    /// (`with_tree(false)` — the executable spec): the group level must
+    /// be a pure pruning of the *walk*, never of the result. Also pins
+    /// the per-level counter invariants of [`SkylineStats`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_tree_differential(
+        n_servers: usize,
+        costs: Vec<PhaseCosts>,
+        solvable: Vec<bool>,
+        n_shards: usize,
+        group_size: usize,
+        selector: SelectorKind,
+        sync: SyncPolicy,
+        ops: Vec<(u32, u32, u32, f64, u32)>,
+        parallel: bool,
+    ) -> Result<(), TestCaseError> {
+        let table = build_table(n_servers, &costs, &solvable);
+        let harness = DiffHarness::new(table.clone());
+        let scoring = IndexScoring::default();
+        let mut flat = AgentRouter::new(&table, Some(n_shards), selector, scoring, sync)
+            .with_tree(false)
+            .with_parallel_stage1(false);
+        let mut tree = AgentRouter::new(&table, Some(n_shards), selector, scoring, sync)
+            .with_group_size(group_size)
+            .with_parallel_stage1(parallel);
+        let n_shards = flat.n_shards() as u64; // post-clamp
+        let n_groups = tree.tree().n_groups() as u64;
+        let grouped = !tree.tree().is_empty();
+        let ops: Vec<Op> = ops.into_iter().map(Op::from).collect();
+        if let Err(e) = harness.run(&mut flat, &mut tree, &ops) {
+            return Err(TestCaseError::fail(e));
+        }
+        let fs = flat.skyline_stats();
+        prop_assert_eq!(fs.group_visits, 0);
+        prop_assert_eq!(fs.group_skips, 0);
+        prop_assert_eq!(fs.shard_visits + fs.shard_skips, fs.decisions * n_shards);
+        let ts = tree.skyline_stats();
+        prop_assert_eq!(ts.decisions, fs.decisions);
+        if grouped {
+            // Every group visited or skipped; shard counters only cover
+            // members of visited groups.
+            prop_assert_eq!(ts.group_visits + ts.group_skips, ts.decisions * n_groups);
+            prop_assert!(ts.shard_visits + ts.shard_skips <= ts.decisions * n_shards);
+        } else {
+            // Degenerate tree: both arms ran the flat walk.
+            prop_assert_eq!(ts.group_visits, 0);
+            prop_assert_eq!(ts.group_skips, 0);
+            prop_assert_eq!(ts.shard_visits + ts.shard_skips, ts.decisions * n_shards);
+        }
         Ok(())
     }
 
@@ -1656,6 +2201,109 @@ mod proptests {
                 N_SERVERS_WIDE, costs, solvable, shards_before, shards_after,
                 selector_of(selector_pick), sync, prefix, suffix,
             )?;
+        }
+
+        /// The two-level tentpole property: the group-walking router is
+        /// **bit-identical** to the flat per-shard walk over arbitrary
+        /// interleavings — crashes and repairs included — for every
+        /// selector backend, `S ∈ {1, 2, 16, 64}` and group fan-outs
+        /// down to one shard per group, on a 72-server farm.
+        #[test]
+        fn tree_walk_is_pure_pruning_of_flat_walk(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS_HUGE * N_PROBLEMS),
+            solvable in proptest::collection::vec(
+                proptest::bool::ANY, N_SERVERS_HUGE * N_PROBLEMS,
+            ),
+            shard_pick in 0usize..4,
+            group_pick in 0usize..4,
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            ops in arb_churn_ops(N_SERVERS_HUGE),
+        ) {
+            let n_shards = [1usize, 2, 16, 64][shard_pick];
+            let group_size = [1usize, 2, 4, 16][group_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_tree_differential(
+                N_SERVERS_HUGE, costs, solvable, n_shards, group_size,
+                selector_of(selector_pick), sync, ops, false,
+            )?;
+        }
+
+        /// The parallel stage-1 arm, forced on (so the proof holds on
+        /// single-core hosts too): the eager per-group scatter with
+        /// slot-indexed reduction is **bit-identical** to the flat
+        /// serial walk for every selector backend, shard count and
+        /// fan-out.
+        #[test]
+        fn parallel_stage1_is_bitwise_the_serial_walk(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS_HUGE * N_PROBLEMS),
+            solvable in proptest::collection::vec(
+                proptest::bool::ANY, N_SERVERS_HUGE * N_PROBLEMS,
+            ),
+            shard_pick in 0usize..4,
+            group_pick in 0usize..4,
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            ops in arb_churn_ops(N_SERVERS_HUGE),
+        ) {
+            let n_shards = [1usize, 2, 16, 64][shard_pick];
+            let group_size = [1usize, 2, 4, 16][group_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            run_tree_differential(
+                N_SERVERS_HUGE, costs, solvable, n_shards, group_size,
+                selector_of(selector_pick), sync, ops, true,
+            )?;
+        }
+
+        /// Group-skyline staleness across a rebalance: both routers run
+        /// the group walk (fan-out 2), one re-partitioned through the
+        /// incremental `rebalance` (which rebuilds the tree and drops
+        /// every cached group key), the other through the full-rebuild
+        /// spec — prefix and suffix full of crashes and repairs, picks
+        /// bit-identical throughout, resting models equal.
+        #[test]
+        fn tree_rebalance_stays_bitwise_across_churn(
+            costs in proptest::collection::vec(arb_costs(), N_SERVERS_WIDE * N_PROBLEMS),
+            solvable in proptest::collection::vec(
+                proptest::bool::ANY, N_SERVERS_WIDE * N_PROBLEMS,
+            ),
+            before_pick in 0usize..3,
+            after_pick in 0usize..3,
+            selector_pick in 0usize..4,
+            force_finish in proptest::bool::ANY,
+            prefix in arb_churn_ops(N_SERVERS_WIDE),
+            suffix in arb_churn_ops(N_SERVERS_WIDE),
+        ) {
+            let shards_before = [2usize, 9, 16][before_pick];
+            let shards_after = [2usize, 4, 16][after_pick];
+            let sync = if force_finish { SyncPolicy::ForceFinish } else { SyncPolicy::None };
+            let table = build_table(N_SERVERS_WIDE, &costs, &solvable);
+            let harness = DiffHarness::new(table.clone());
+            let scoring = IndexScoring::default();
+            let selector = selector_of(selector_pick);
+            let mut incremental =
+                AgentRouter::new(&table, Some(shards_before), selector, scoring, sync)
+                    .with_history(true)
+                    .with_group_size(2);
+            let mut full = AgentRouter::new(&table, Some(shards_before), selector, scoring, sync)
+                .with_history(true)
+                .with_group_size(2);
+            let prefix: Vec<Op> = prefix.into_iter().map(Op::from).collect();
+            let suffix: Vec<Op> = suffix.into_iter().map(Op::from).collect();
+            let mut session = harness.session();
+            if let Err(e) = session.run(&mut incremental, &mut full, &prefix) {
+                return Err(TestCaseError::fail(format!("prefix: {e}")));
+            }
+            let new_map = ShardMap::new(N_SERVERS_WIDE, shards_after);
+            incremental.rebalance(&table, new_map.clone());
+            full.rebalance_full(&table, new_map);
+            prop_assert_eq!(incremental.tree().n_groups(), full.tree().n_groups());
+            if let Err(e) = session.run(&mut incremental, &mut full, &suffix) {
+                return Err(TestCaseError::fail(format!("suffix: {e}")));
+            }
+            if let Err(e) = session.finish(&mut incremental, &mut full) {
+                return Err(TestCaseError::fail(e));
+            }
         }
 
         /// The rebalance proof, half two: under the exhaustive selector a

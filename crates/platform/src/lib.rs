@@ -54,5 +54,5 @@ pub use ids::{ProblemId, ServerId, TaskId};
 pub use index::{IndexScoring, StaticIndex};
 pub use monitor::{LoadAverage, LoadReport};
 pub use server::{AdmitOutcome, MemoryModel, ServerRuntime, ServerSpec};
-pub use shard::ShardMap;
+pub use shard::{ShardMap, ShardTree};
 pub use task::{Phase, Problem, TaskInstance};

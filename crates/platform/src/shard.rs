@@ -162,12 +162,30 @@ impl ShardMap {
     }
 
     /// The default shard count for an `n`-server farm: one shard per ~640
-    /// servers, capped at 16. Small farms stay unsharded (the federation
+    /// servers, capped at 1024. Small farms stay unsharded (the federation
     /// only pays off once per-engine state outgrows the cache), and the
     /// count is a function of the platform alone — never of the host —
-    /// so `--shards auto` is reproducible across machines.
+    /// so `--shards auto` is reproducible across machines. Above ~16
+    /// shards the router walks the federation through a [`ShardTree`]
+    /// (groups of ~[`ShardTree::DEFAULT_GROUP_SHARDS`] shards), which is
+    /// what makes lifting the old 16-shard cap affordable: the lazy merge
+    /// prunes whole groups, so per-decision cost grows with the group
+    /// count, not the shard count.
     pub fn auto_shards(n_servers: usize) -> usize {
-        n_servers.div_ceil(640).clamp(1, 16)
+        n_servers.div_ceil(640).clamp(1, 1024)
+    }
+
+    /// Extends the partition with one new server, appended to the **last**
+    /// shard's block: the new global id is `n_servers`, contiguity is
+    /// preserved, and no existing boundary moves — every other shard's
+    /// engine is untouched by the growth. Bumps the version (the shape
+    /// changed) and returns the new server's id.
+    pub fn push_server(&mut self) -> ServerId {
+        let id = ServerId(self.n_servers as u32);
+        self.n_servers += 1;
+        *self.starts.last_mut().expect("sentinel present") = self.n_servers as u32;
+        self.version += 1;
+        id
     }
 
     /// Servers covered by the partition.
@@ -226,6 +244,95 @@ impl ShardMap {
     }
 }
 
+/// The second level of the federation: a deterministic contiguous
+/// grouping of shard indices. Where [`ShardMap`] partitions *servers
+/// into shards*, `ShardTree` partitions *shards into groups* so the
+/// router's lazy skyline walk can prune a whole group — dozens of
+/// member shards — with one comparison against the group's cached
+/// skyline. Like the map, the tree is a pure function of its inputs
+/// (`n_shards`, `group_size`): no host dependence, so grouped runs
+/// reproduce bit for bit anywhere.
+///
+/// Groups are near-equal contiguous runs of shard indices (the first
+/// `n_shards % n_groups` groups are one shard larger), mirroring how
+/// `ShardMap` blocks servers — so group order equals shard order equals
+/// global server-id order, and every merge that concatenates per-group
+/// results in group order is automatically in global id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTree {
+    n_shards: usize,
+    /// First shard index of each group plus a final sentinel equal to
+    /// `n_shards`: group `g` owns shards `starts[g]..starts[g + 1]`.
+    starts: Vec<u32>,
+}
+
+impl ShardTree {
+    /// Default fan-out: ~16 shards per group. At the `auto_shards`
+    /// density (one shard per ~640 servers) one group covers ~10k
+    /// servers, so a 100k farm walks ~10 group skylines instead of ~157
+    /// shard skylines per decision.
+    pub const DEFAULT_GROUP_SHARDS: usize = 16;
+
+    /// Groups `n_shards` shards into near-equal contiguous runs of at
+    /// most `group_size` shards (`group_size` is clamped to `[1,
+    /// max(n_shards, 1)]`; the group count is `n_shards / group_size`,
+    /// rounded up, so no group exceeds the requested fan-out).
+    pub fn new(n_shards: usize, group_size: usize) -> Self {
+        let group_size = group_size.clamp(1, n_shards.max(1));
+        let n_groups = n_shards.div_ceil(group_size).max(1);
+        let base = n_shards / n_groups;
+        let extra = n_shards % n_groups;
+        let mut starts = Vec::with_capacity(n_groups + 1);
+        let mut at = 0usize;
+        for g in 0..n_groups {
+            starts.push(at as u32);
+            at += base + usize::from(g < extra);
+        }
+        debug_assert_eq!(at, n_shards);
+        starts.push(n_shards as u32);
+        ShardTree { n_shards, starts }
+    }
+
+    /// Number of shards covered by the tree.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The shard indices owned by `group`, as a range.
+    pub fn members(&self, group: usize) -> std::ops::Range<usize> {
+        self.starts[group] as usize..self.starts[group + 1] as usize
+    }
+
+    /// Number of shards in `group`.
+    pub fn len(&self, group: usize) -> usize {
+        (self.starts[group + 1] - self.starts[group]) as usize
+    }
+
+    /// Whether the tree is degenerate (zero or one group): the group walk
+    /// has nothing to prune, so the router falls back to the flat walk.
+    pub fn is_empty(&self) -> bool {
+        self.n_groups() <= 1
+    }
+
+    /// The group owning `shard`.
+    ///
+    /// # Panics
+    /// Panics if `shard` is outside the tree.
+    pub fn group_of(&self, shard: usize) -> usize {
+        assert!(
+            shard < self.n_shards,
+            "shard {shard} outside the {}-shard tree",
+            self.n_shards
+        );
+        self.starts.partition_point(|&s| s as usize <= shard) - 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,7 +384,61 @@ mod tests {
         assert_eq!(ShardMap::auto_shards(641), 2);
         assert_eq!(ShardMap::auto_shards(1000), 2);
         assert_eq!(ShardMap::auto_shards(10_000), 16);
-        assert_eq!(ShardMap::auto_shards(1_000_000), 16, "capped");
+        assert_eq!(ShardMap::auto_shards(100_000), 157, "past the old cap");
+        assert_eq!(ShardMap::auto_shards(1_000_000), 1024, "capped");
+    }
+
+    #[test]
+    fn push_server_grows_last_shard_only() {
+        let mut map = ShardMap::new(10, 3); // 0..4, 4..7, 7..10
+        let v0 = map.version();
+        let id = map.push_server();
+        assert_eq!(id, ServerId(10));
+        assert_eq!(map.n_servers(), 11);
+        assert_eq!(map.members(0), 0..4, "earlier blocks untouched");
+        assert_eq!(map.members(1), 4..7);
+        assert_eq!(map.members(2), 7..11, "last block grew");
+        assert_eq!(map.owner(ServerId(10)), 2);
+        assert_eq!(map.to_local(2, ServerId(10)), ServerId(3));
+        assert_eq!(map.version(), v0 + 1, "growth is a shape change");
+        // Growth composes: a second push keeps appending.
+        assert_eq!(map.push_server(), ServerId(11));
+        assert_eq!(map.members(2), 7..12);
+    }
+
+    #[test]
+    fn tree_groups_are_contiguous_and_near_equal() {
+        let tree = ShardTree::new(10, 3); // 4 groups: 3+3+2+2
+        assert_eq!(tree.n_groups(), 4);
+        assert_eq!(tree.members(0), 0..3);
+        assert_eq!(tree.members(1), 3..6);
+        assert_eq!(tree.members(2), 6..8);
+        assert_eq!(tree.members(3), 8..10);
+        assert!((0..tree.n_groups()).all(|g| tree.len(g) <= 3));
+        for shard in 0..10 {
+            let g = tree.group_of(shard);
+            assert!(tree.members(g).contains(&shard));
+        }
+    }
+
+    #[test]
+    fn tree_clamps_and_degenerates() {
+        assert_eq!(ShardTree::new(16, 16).n_groups(), 1);
+        assert!(ShardTree::new(16, 16).is_empty(), "one group: flat walk");
+        assert_eq!(ShardTree::new(16, 4).n_groups(), 4);
+        assert!(!ShardTree::new(16, 4).is_empty());
+        assert_eq!(ShardTree::new(1, 16).n_groups(), 1);
+        assert_eq!(ShardTree::new(0, 4).n_groups(), 1, "empty tree, one group");
+        assert_eq!(ShardTree::new(0, 4).members(0), 0..0);
+        assert_eq!(ShardTree::new(5, 0).n_groups(), 5, "zero clamps to one");
+        // The 100k-farm shape: 157 auto shards, default fan-out.
+        let shards = ShardMap::auto_shards(100_000);
+        let tree = ShardTree::new(shards, ShardTree::DEFAULT_GROUP_SHARDS);
+        assert_eq!(tree.n_groups(), 10);
+        assert_eq!(
+            (0..tree.n_groups()).map(|g| tree.len(g)).sum::<usize>(),
+            shards
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ fn usage() -> &'static str {
      casgrid list             list available heuristics and workloads\n\
      \n\
      OPTIONS:\n\
-     --workload matmul|wastecpu   workload family        [wastecpu]\n\
+     --workload matmul|wastecpu|synthetic:N workload family [wastecpu]\n\
      --heuristic NAME             policy for `run`       [MSF]\n\
      --heuristics A,B,C           policies for `compare` [MCT,HMCT,MP,MSF]\n\
      --gap SECONDS                mean inter-arrival gap [20]\n\
@@ -109,11 +109,13 @@ fn usage() -> &'static str {
      --selector NAME              stage-1 candidate selection:\n\
                                   exhaustive | topk[:K] | adaptive[:MIN:MAX]\n\
                                   [exhaustive]\n\
-     --shards N|auto              federate the agent across N shards\n\
-                                  (auto picks from the farm size; omit\n\
-                                  for the single-agent path; 1 runs the\n\
-                                  router over one shard, bit-identical\n\
-                                  to the single agent)  [single]\n\
+     --shards N|auto[:G]          federate the agent across N shards\n\
+                                  (auto picks from the farm size; auto:G\n\
+                                  also sets the skyline tree's shards-\n\
+                                  per-group fan-out; omit for the single-\n\
+                                  agent path; 1 runs the router over one\n\
+                                  shard, bit-identical to the single\n\
+                                  agent)  [single]\n\
      --skyline on|off             lazy federation merge: visit shards in\n\
                                   skyline order, skip shards that cannot\n\
                                   contribute (proven decision-identical;\n\
@@ -199,7 +201,7 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 let v = take(&mut i)?;
                 if !v.eq_ignore_ascii_case("single") && Sharding::parse(&v).is_none() {
                     return Err(format!(
-                        "--shards: expected a shard count >= 1 or \"auto\", got {v:?}"
+                        "--shards: expected a shard count >= 1, \"auto\" or \"auto:GROUPSIZE\", got {v:?}"
                     ));
                 }
                 args.shards = v;
@@ -285,7 +287,26 @@ fn workload_of(args: &Args) -> Result<(CostTable, Vec<ServerSpec>), String> {
             casgrid::workload::wastecpu::cost_table(),
             casgrid::workload::testbed::set2_servers(),
         )),
-        other => Err(format!("unknown workload {other} (matmul|wastecpu)")),
+        // `synthetic:N` — the bench farm at N servers, for driving the
+        // shard federation at sizes the paper testbeds can't reach.
+        other => {
+            if let Some(n) = other
+                .get(..10)
+                .filter(|p| p.eq_ignore_ascii_case("synthetic:"))
+                .and(other.get(10..))
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+            {
+                let platform = casgrid::workload::synthetic::SyntheticPlatform {
+                    n_servers: n,
+                    ..Default::default()
+                };
+                return Ok((platform.cost_table(args.seed), platform.servers(args.seed)));
+            }
+            Err(format!(
+                "unknown workload {other} (matmul|wastecpu|synthetic:N)"
+            ))
+        }
     }
 }
 
@@ -436,6 +457,7 @@ fn cmd_list() {
     }
     println!("\nworkloads:\n  matmul    Table 3, servers chamagne/cabestan/artimon/pulney");
     println!("  wastecpu  Table 4, servers valette/spinnaker/cabestan/artimon");
+    println!("  synthetic:N  the bench farm at N servers (federation scale)");
     println!(
         "\nselectors (stage-1 candidate pruning):\n  \
          exhaustive        every solver gets an HTM query (paper behaviour)\n  \
@@ -446,9 +468,11 @@ fn cmd_list() {
     println!(
         "\nsharding (--shards):\n  \
          single (default)  one agent owns the whole farm (the paper)\n  \
-         N | auto          partition the farm across N per-shard engines\n  \
+         N | auto[:G]      partition the farm across N per-shard engines\n  \
                     behind the deterministic router; auto picks from\n  \
-                    the farm size; --shards 1 is bit-identical to single\n  \
+                    the farm size, auto:G overrides the skyline tree's\n  \
+                    shards-per-group fan-out (default 16);\n  \
+                    --shards 1 is bit-identical to single\n  \
          --skyline on|off  lazy merge: shards visited in skyline order,\n  \
                     non-contributing shards skipped (on by default;\n  \
                     proven decision-identical to the eager scatter)"
@@ -564,8 +588,15 @@ mod tests {
         assert_eq!(args.shards, "auto");
         assert_eq!(args.index_scoring, "count");
         let cfg = config_of(&args, HeuristicKind::Hmct);
-        assert_eq!(cfg.shards, Sharding::Auto);
+        assert_eq!(cfg.shards, Sharding::AUTO);
         assert_eq!(cfg.index_scoring, IndexScoring::ActiveCount);
+        let (_, args) = parse(&argv("run --shards auto:4")).unwrap();
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).shards,
+            Sharding::Auto {
+                group_size: Some(4)
+            }
+        );
         let (_, args) = parse(&argv("run --shards 4")).unwrap();
         assert_eq!(
             config_of(&args, HeuristicKind::Hmct).shards,
@@ -578,7 +609,27 @@ mod tests {
         );
         assert!(parse(&argv("run --shards 0")).is_err());
         assert!(parse(&argv("run --shards sideways")).is_err());
+        assert!(parse(&argv("run --shards auto:0")).is_err());
+        assert!(parse(&argv("run --shards auto:big")).is_err());
         assert!(parse(&argv("run --index-scoring nope")).is_err());
+    }
+
+    /// `--workload synthetic:N` builds the bench farm at N servers — the
+    /// only workload family big enough for `--shards auto` to resolve to
+    /// a real federation from the CLI.
+    #[test]
+    fn synthetic_workload_scales_the_farm() {
+        let (_, args) = parse(&argv("run --workload synthetic:1500 --shards auto")).unwrap();
+        let (costs, servers) = workload_of(&args).unwrap();
+        assert_eq!(servers.len(), 1500);
+        assert_eq!(costs.n_servers(), 1500);
+        assert_eq!(Sharding::AUTO.resolve(1500), Some(3));
+        for bad in ["synthetic:", "synthetic:0", "synthetic:x", "synth"] {
+            let (_, mut args) = parse(&argv("run")).unwrap();
+            args.workload = bad.into();
+            let err = workload_of(&args).unwrap_err();
+            assert!(err.contains("synthetic:N"), "{bad}: {err}");
+        }
     }
 
     /// Flag parse failures must name the flag and the accepted forms —
@@ -594,6 +645,7 @@ mod tests {
             ("run --burst 0.2", "--burst"),
             ("run --burst-period -5", "--burst-period"),
             ("run --shards none", "--shards"),
+            ("run --shards auto:", "--shards"),
             ("run --selector best", "--selector"),
             ("run --skyline maybe", "--skyline"),
             ("run --index-scoring vibes", "--index-scoring"),
