@@ -8,15 +8,29 @@
 //! production configuration (auto sharding, skyline merge, aggregated
 //! per-shard load reports, the adaptive selector) — and gates on:
 //!
-//! * **completion** — every task must complete (the farm is frozen; no
-//!   churn arm at this scale, the 1k blocking job owns that gate);
+//! * **completion** — every task must complete (the 100k farm itself is
+//!   frozen; crash-safe accounting at this binary's settings is covered
+//!   by the churn smoke below);
 //! * **wall budget** — `SCALE100K_BUDGET_SECS` (default 4500: the full
 //!   campaign measures ~52 min on one dev core at ~3.2k tasks/s, and
 //!   the parallel stage-1 arm reclaims a large slice of that on
 //!   multi-core runners, so the envelope carries ~1.4× margin);
 //! * **liveness of both walk levels** — group and member-shard skip
 //!   counters must be non-zero: a silent fall-back to the flat walk is
-//!   a regression even when it completes in time.
+//!   a regression even when it completes in time;
+//! * **event-kernel high water** — `peak_pending` stays under
+//!   `SCALE100K_PEAK_PENDING_GATE` (default `tasks + 2·servers +
+//!   1024`): pending events must track the inflight population, not the
+//!   campaign length;
+//! * **phase profile** — the whole run executes under the always-on
+//!   phase profiler; the JSON records per-phase totals, every phase must
+//!   close at least one span, and the estimated span overhead must stay
+//!   under `SCALE100K_PROFILE_OVERHEAD_GATE` (default 2 %). Because the
+//!   100k farm schedules no churn events, a **churn smoke** — a
+//!   laptop-scale faulted campaign (`SCALE100K_CHURN_SERVERS`/`_TASKS`,
+//!   defaults 2000/20k, MTBF 400 s, MTTR 60 s) — runs in the same
+//!   process to exercise the churn phase and re-check terminal
+//!   accounting under crashes.
 //!
 //! Sizes are env-overridable (`SCALE100K_SERVERS`, `SCALE100K_TASKS`)
 //! so the same binary smoke-tests at laptop scale. Results land in
@@ -25,9 +39,9 @@
 
 use cas_core::heuristics::HeuristicKind;
 use cas_core::SelectorKind;
-use cas_metrics::MetricSet;
+use cas_metrics::{prof, MetricSet};
 use cas_middleware::{ExperimentConfig, GridWorld, Sharding};
-use cas_platform::{ProblemId, ServerId};
+use cas_platform::{CostTable, ProblemId, ServerId};
 use cas_sim::Simulation;
 use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
 use std::fmt::Write as _;
@@ -38,6 +52,25 @@ fn env_or(name: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Aggregate service rate of the farm (tasks per sim-second with every
+/// server busy), the base of the arrival-rate sizing.
+fn aggregate_rate(platform: &SyntheticPlatform, costs: &CostTable) -> f64 {
+    (0..platform.n_servers)
+        .map(|s| {
+            let mean_cost: f64 = (0..platform.n_problems)
+                .map(|p| {
+                    costs
+                        .costs(ProblemId(p as u32), ServerId(s as u32))
+                        .expect("synthetic tables are fully solvable")
+                        .total()
+                })
+                .sum::<f64>()
+                / platform.n_problems as f64;
+            1.0 / mean_cost
+        })
+        .sum()
 }
 
 fn main() {
@@ -55,6 +88,11 @@ fn main() {
     let sharding = Sharding::parse(&shards_spec)
         .unwrap_or_else(|| panic!("bad SCALE100K_SHARDS {shards_spec} (N|auto[:G])"));
     let n_shards = sharding.resolve(n_servers).unwrap_or(1);
+    let profile_overhead_gate = env_or("SCALE100K_PROFILE_OVERHEAD_GATE", 0.02);
+    let peak_pending_gate =
+        env_or("SCALE100K_PEAK_PENDING_GATE", (n_tasks + 2 * n_servers + 1024) as f64) as usize;
+    let churn_servers = env_or("SCALE100K_CHURN_SERVERS", 2000.0) as usize;
+    let churn_tasks = env_or("SCALE100K_CHURN_TASKS", 20_000.0) as usize;
 
     let platform = SyntheticPlatform {
         n_servers,
@@ -72,21 +110,7 @@ fn main() {
 
     // Same sizing as the standing scale campaign: arrivals at 50 % of
     // aggregate service capacity on average, ~80 % at crests.
-    let total_rate: f64 = (0..n_servers)
-        .map(|s| {
-            let mean_cost: f64 = (0..platform.n_problems)
-                .map(|p| {
-                    costs
-                        .costs(ProblemId(p as u32), ServerId(s as u32))
-                        .expect("synthetic tables are fully solvable")
-                        .total()
-                })
-                .sum::<f64>()
-                / platform.n_problems as f64;
-            1.0 / mean_cost
-        })
-        .sum();
-    let mean_rate = 0.5 * total_rate;
+    let mean_rate = 0.5 * aggregate_rate(&platform, &costs);
     let burstiness = 4.0;
     let base_rate = 2.0 * mean_rate / (1.0 + burstiness);
     let arrivals = BurstArrivals {
@@ -105,6 +129,8 @@ fn main() {
     let cfg = cfg.with_shards(sharding).with_aggregated_reports(true);
     let build_secs = build_start.elapsed().as_secs_f64();
 
+    prof::reset();
+    let prof_start = Instant::now();
     let world = GridWorld::new(cfg, costs, servers, tasks);
     let n_groups = world.agent().tree().n_groups();
     let tree_active = world.agent().tree().n_groups() > 1;
@@ -143,12 +169,96 @@ fn main() {
         skyline.shard_visits + skyline.shard_skips,
     );
 
+    // Churn smoke: the 100k farm is frozen, so the churn phase of the
+    // profile — and crash-safe terminal accounting at this binary's
+    // configuration — is exercised by a laptop-scale faulted campaign in
+    // the same process.
+    let churn_platform = SyntheticPlatform {
+        n_servers: churn_servers,
+        ..platform
+    };
+    let churn_costs = churn_platform.cost_table(seed);
+    let churn_specs = churn_platform.servers(seed);
+    let churn_mean_rate = 0.5 * aggregate_rate(&churn_platform, &churn_costs);
+    let churn_base_rate = 2.0 * churn_mean_rate / (1.0 + burstiness);
+    let churn_arrivals = BurstArrivals {
+        n_tasks: churn_tasks,
+        base_rate: churn_base_rate,
+        peak_rate: burstiness * churn_base_rate,
+        period: 1800.0,
+        n_problems: churn_platform.n_problems,
+    };
+    let mut churn_cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, seed);
+    churn_cfg.load_report_period = 30.0;
+    churn_cfg.selector = selector;
+    let churn_cfg = churn_cfg
+        .with_shards(sharding)
+        .with_aggregated_reports(true)
+        .with_churn(
+            env_or("SCALE100K_CHURN_MTBF", 400.0),
+            env_or("SCALE100K_CHURN_MTTR", 60.0),
+        )
+        .with_churn_seed(7);
+    let churn_start = Instant::now();
+    let churn_world = GridWorld::new(
+        churn_cfg,
+        churn_costs,
+        churn_specs,
+        churn_arrivals.generate(seed),
+    );
+    let mut churn_sim = Simulation::new(churn_world);
+    let _ = churn_sim.run_to_completion();
+    let churn_wall = churn_start.elapsed().as_secs_f64();
+    let churn_world = churn_sim.into_world();
+    let churn_stats = churn_world.churn_stats();
+    let (mut churn_completed, mut churn_dropped, mut churn_other) = (0u64, 0u64, 0u64);
+    for r in churn_world.records() {
+        match r.outcome {
+            cas_metrics::TaskOutcome::Completed { .. } => churn_completed += 1,
+            cas_metrics::TaskOutcome::Dropped { reason } => match reason.code() {
+                "redispatch_budget" | "no_live_solver" => churn_dropped += 1,
+                _ => churn_other += 1,
+            },
+            _ => churn_other += 1,
+        }
+    }
+    let ok_churn_smoke = churn_other == 0
+        && churn_completed + churn_dropped == churn_tasks as u64
+        && churn_stats.crashes > 0;
+    eprintln!(
+        "churn smoke at {churn_servers} servers / {churn_tasks} tasks: {churn_completed} \
+         completed + {churn_dropped} dropped with reason in {churn_wall:.2} s wall; \
+         {} crashes, {} retractions, {} re-dispatches (pass: {ok_churn_smoke})",
+        churn_stats.crashes, churn_stats.retractions, churn_stats.redispatches,
+    );
+
+    // Phase profile of everything above (build + campaign + churn
+    // smoke), from the always-on profiler.
+    let prof_wall = prof_start.elapsed().as_secs_f64();
+    let prof_totals = prof::snapshot();
+    let (profile_json, ok_profile) =
+        prof::render_profile_json(&prof_totals, prof_wall, profile_overhead_gate);
+    eprintln!(
+        "phase profile over {prof_wall:.3} s wall (pass: {ok_profile}):\n{}",
+        prof::render_profile_table(&prof_totals, prof_wall)
+    );
+    let ok_peak_pending = peak_pending <= peak_pending_gate;
+    eprintln!(
+        "peak pending kernel events: {peak_pending} (gate <= {peak_pending_gate}, \
+         pass: {ok_peak_pending})"
+    );
+
     let ok_complete = completed == n_tasks;
     let ok_budget = run_secs <= budget_secs;
     // Both walk levels must be live whenever the configuration calls
     // for them: a silent flat-walk fall-back is a regression.
     let ok_counters = !tree_active || (skyline.group_skips > 0 && skyline.group_visits > 0);
-    let ok = ok_complete && ok_budget && ok_counters;
+    let ok = ok_complete
+        && ok_budget
+        && ok_counters
+        && ok_churn_smoke
+        && ok_profile
+        && ok_peak_pending;
 
     let mut json = String::new();
     let _ = write!(
@@ -185,9 +295,31 @@ fn main() {
     );
     let _ = write!(
         json,
+        "  \"churn_smoke\": {{\n    \"servers\": {churn_servers},\n    \
+         \"tasks\": {churn_tasks},\n    \"wall_s\": {churn_wall:.3},\n    \
+         \"completed\": {churn_completed},\n    \"dropped_with_reason\": {churn_dropped},\n    \
+         \"crashes\": {},\n    \"retractions\": {},\n    \"redispatches\": {},\n    \
+         \"note\": \"the 100k farm is frozen, so the churn phase of the profile and \
+         crash-safe terminal accounting are exercised by this laptop-scale faulted campaign \
+         in the same process\",\n    \
+         \"acceptance\": {{\"required\": \"every task terminal (completed or dropped with \
+         reason), crashes observed\", \"pass\": {ok_churn_smoke}}}\n  }},\n",
+        churn_stats.crashes, churn_stats.retractions, churn_stats.redispatches,
+    );
+    let _ = write!(
+        json,
+        "  \"peak_pending\": {{\"campaign\": {peak_pending}, \
+         \"acceptance\": {{\"max_peak_pending_events\": {peak_pending_gate}, \
+         \"pass\": {ok_peak_pending}}}}},\n"
+    );
+    let _ = write!(json, "  \"profile\": {profile_json},\n");
+    let _ = write!(
+        json,
         "  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \
          \"all_tasks_complete\": {ok_complete}, \"within_budget\": {ok_budget}, \
-         \"walk_levels_live\": {ok_counters}, \"pass\": {ok}}}\n}}\n"
+         \"walk_levels_live\": {ok_counters}, \"churn_smoke_pass\": {ok_churn_smoke}, \
+         \"profile_gate_pass\": {ok_profile}, \"peak_pending_gate_pass\": {ok_peak_pending}, \
+         \"pass\": {ok}}}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("wrote {out_path} (budget {budget_secs:.0} s, pass: {ok})");

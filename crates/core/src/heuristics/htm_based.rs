@@ -53,7 +53,7 @@ impl Heuristic for Mp {
         // rule exactly.
         let candidates = view.candidates.clone();
         let mut sums: Vec<(ServerId, f64)> = Vec::with_capacity(candidates.len());
-        for s in candidates {
+        for &s in candidates.iter() {
             if let Some(p) = view.predict(s) {
                 sums.push((s, p.sum_perturbation()));
             }
@@ -108,7 +108,7 @@ impl Heuristic for Mni {
         // scan to stay deterministic.
         let candidates = view.candidates.clone();
         let mut best: Option<(ServerId, usize, f64)> = None;
-        for s in candidates {
+        for &s in candidates.iter() {
             let Some(p) = view.predict(s) else { continue };
             let count = p.interfered_count(TIE_EPS);
             let completion = p.completion.as_secs();

@@ -69,9 +69,9 @@ impl<H: Heuristic> Heuristic for MemAware<H> {
 
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
         let mem_need = view.task_mem_need();
-        let full: Vec<ServerId> = view.candidates.clone();
+        let full = view.candidates.clone();
         let mut fitting: Vec<ServerId> = Vec::with_capacity(full.len());
-        for &s in &full {
+        for &s in full.iter() {
             let fits = match view.server_total_mem(s) {
                 // No memory information → assume it fits.
                 None => true,
@@ -82,7 +82,7 @@ impl<H: Heuristic> Heuristic for MemAware<H> {
             }
         }
         if !fitting.is_empty() {
-            view.candidates = fitting;
+            view.candidates = fitting.into();
             let pick = self.inner.select(view);
             view.candidates = full;
             return pick;

@@ -28,11 +28,19 @@ use crate::prediction::Prediction;
 use crate::whatif::WhatIf;
 use cas_platform::{CostTable, LoadReport, ServerId, TaskInstance};
 use cas_sim::{RngStream, SimTime};
+use std::borrow::Cow;
 
 /// Tolerance for "equal" objective values in tie-break rules (MP's
 /// "if all π are equal" test of Fig. 3). Objectives are sums of simulated
 /// seconds, so an absolute epsilon in seconds is appropriate.
 pub const TIE_EPS: f64 = 1e-9;
+
+/// Candidate lists at most this long take the direct per-candidate
+/// `predict_into` path instead of `predict_all` on the first what-if
+/// query. Matches the federated router's small-run threshold, where
+/// per-candidate queries are already the proven-identical fast path for
+/// short runs; above it the batch path's pool fan-out starts to pay.
+const DIRECT_PREDICT_MAX: usize = 16;
 
 /// Reusable storage for one decision's memoised what-if answers.
 ///
@@ -40,17 +48,27 @@ pub const TIE_EPS: f64 = 1e-9;
 /// decision per task arrival — hundreds of thousands in a campaign. Owning
 /// a fresh `HashMap` per view put a hash-map allocation on every decision;
 /// the engine instead keeps one `DecisionMemo` for the whole run and lends
-/// it to each view ([`SchedView::with_memo`]), which resets only the
-/// entries the previous decision touched. Entries are dense by server
-/// index: a memo probe is an array read, not a hash.
+/// it to each view ([`SchedView::with_memo`]). A memo probe is an array
+/// read, dense by server index, and invalidation is a stamp comparison:
+/// starting a new decision bumps one counter instead of walking or
+/// clearing anything, and each slot's [`Prediction`] buffer persists
+/// across decisions so the steady state rewrites it in place — the
+/// decision loop performs no heap allocation at all.
 #[derive(Debug, Default)]
 pub struct DecisionMemo {
-    /// `entries[s]`: `None` = not yet queried this decision;
-    /// `Some(None)` = queried, server cannot solve; `Some(Some(p))` =
-    /// memoised prediction.
-    entries: Vec<Option<Option<Prediction>>>,
-    /// Indices written this decision (sparse reset).
-    touched: Vec<u32>,
+    /// The current decision's stamp. A slot belongs to this decision
+    /// exactly when its entry in `stamps` matches; everything else is
+    /// stale regardless of content.
+    stamp: u64,
+    /// Per-server stamp of the last write. Fresh slots hold `u64::MAX`,
+    /// which no decision counter ever reaches.
+    stamps: Vec<u64>,
+    /// Whether the memoised answer is a prediction (`true`, stored in
+    /// `preds`) or "cannot solve" (`false`).
+    solvable: Vec<bool>,
+    /// Reusable prediction storage; `preds[s]` is meaningful only when
+    /// `stamps[s]` is current and `solvable[s]`.
+    preds: Vec<Prediction>,
 }
 
 impl DecisionMemo {
@@ -59,34 +77,56 @@ impl DecisionMemo {
         Self::default()
     }
 
-    /// Starts a new decision over `n_servers`: clears the previous
-    /// decision's entries (sparse) and ensures capacity.
+    /// Starts a new decision over `n_servers`: O(1) — bumping the stamp
+    /// invalidates every slot at once (plus a one-time grow).
     fn begin(&mut self, n_servers: usize) {
-        for &i in &self.touched {
-            self.entries[i as usize] = None;
-        }
-        self.touched.clear();
-        if self.entries.len() < n_servers {
-            self.entries.resize_with(n_servers, || None);
+        self.stamp += 1;
+        self.grow_to(n_servers);
+    }
+
+    fn grow_to(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, u64::MAX);
+            self.solvable.resize(n, false);
+            self.preds.resize_with(n, Prediction::empty);
         }
     }
 
-    fn get(&self, server: ServerId) -> Option<&Option<Prediction>> {
-        self.entries.get(server.index()).and_then(|e| e.as_ref())
+    /// Whether `server` was queried this decision (including "cannot
+    /// solve" answers — unsolvable servers are not re-queried).
+    fn queried(&self, server: ServerId) -> bool {
+        self.stamps.get(server.index()) == Some(&self.stamp)
+    }
+
+    /// This decision's memoised prediction, `None` when unqueried or
+    /// unsolvable.
+    fn lookup(&self, server: ServerId) -> Option<&Prediction> {
+        let i = server.index();
+        (self.queried(server) && self.solvable[i]).then(|| &self.preds[i])
     }
 
     fn set(&mut self, server: ServerId, p: Option<Prediction>) {
-        // Grow on demand: a view's throw-away memo starts with no storage
-        // at all, so views that are immediately upgraded via `with_memo`
-        // (the engine path) never allocate here.
-        if self.entries.len() <= server.index() {
-            self.entries.resize_with(server.index() + 1, || None);
+        self.grow_to(server.index() + 1);
+        let i = server.index();
+        self.stamps[i] = self.stamp;
+        match p {
+            Some(pred) => {
+                self.solvable[i] = true;
+                self.preds[i] = pred;
+            }
+            None => self.solvable[i] = false,
         }
-        let slot = &mut self.entries[server.index()];
-        if slot.is_none() {
-            self.touched.push(server.index() as u32);
-        }
-        *slot = Some(p);
+    }
+
+    /// Writes `server`'s slot in place: `fill` receives the slot's
+    /// reusable [`Prediction`] storage and returns whether the server
+    /// can solve (`false` memoises "cannot solve" without touching the
+    /// buffer). The zero-allocation direct path writes through here.
+    fn fill_with(&mut self, server: ServerId, fill: impl FnOnce(&mut Prediction) -> bool) {
+        self.grow_to(server.index() + 1);
+        let i = server.index();
+        self.solvable[i] = fill(&mut self.preds[i]);
+        self.stamps[i] = self.stamp;
     }
 }
 
@@ -116,13 +156,16 @@ impl MemoSlot<'_> {
 
 /// The agent's window onto the world at one scheduling decision.
 ///
-/// Predictions are memoised and **batched**: the first what-if query fans
-/// out over the whole candidate list through [`Htm::predict_all`] (one
+/// Predictions are memoised and evaluated over the whole candidate list
+/// on the first what-if query: short lists (≤ [`DIRECT_PREDICT_MAX`])
+/// take one routed `predict_into` per candidate, written straight into
+/// the memo's reusable slots — the steady-state decision loop allocates
+/// nothing — while longer lists batch through [`Htm::predict_all`] (one
 /// generation-cached, zero-clone drain per candidate, threaded when the
-/// load justifies it), and every later query — MP re-reading the winner's
+/// load justifies it). Every later query — MP re-reading the winner's
 /// completion date, MNI's tie-breaks — is a memo lookup. A query for a
 /// server outside the candidate list (a wrapper heuristic restoring a
-/// wider list) falls back to a single [`Htm::predict`] call.
+/// wider list) falls back to a single routed query.
 pub struct SchedView<'a> {
     /// Decision time.
     pub now: SimTime,
@@ -130,8 +173,9 @@ pub struct SchedView<'a> {
     pub task: TaskInstance,
     /// Servers able to solve the task's problem (the candidate list of
     /// Figs. 2–4, line 2). Already excludes servers the agent knows to have
-    /// collapsed.
-    pub candidates: Vec<ServerId>,
+    /// collapsed. Borrowed from the engine's scratch in the steady state;
+    /// wrapper heuristics that narrow the list swap in an owned copy.
+    pub candidates: Cow<'a, [ServerId]>,
     costs: &'a CostTable,
     loads: &'a [LoadReport],
     /// The what-if backend: one HTM, or a shard federation routing each
@@ -143,6 +187,10 @@ pub struct SchedView<'a> {
     memo: MemoSlot<'a>,
     /// Whether the candidate list has been batch-predicted already.
     batched: bool,
+    /// Forces the batch `predict_all` arm regardless of candidate count —
+    /// the pre-direct-path decision shape, kept as the executable spec
+    /// the zero-allocation direct path benches and proves against.
+    batch_only: bool,
     /// Per-server admission limits (RAM + swap), MB — set by the engine
     /// when memory-aware policies are in play.
     server_mem: Option<&'a [f64]>,
@@ -150,11 +198,13 @@ pub struct SchedView<'a> {
 
 impl<'a> SchedView<'a> {
     /// Builds a view. `candidates` should come from
-    /// [`CostTable::solvers`] minus known-dead servers.
+    /// [`CostTable::solvers`] minus known-dead servers; the engine lends
+    /// its scratch list as a slice (no per-decision copy), while owned
+    /// vectors — tests, wrappers — convert implicitly.
     pub fn new(
         now: SimTime,
         task: TaskInstance,
-        candidates: Vec<ServerId>,
+        candidates: impl Into<Cow<'a, [ServerId]>>,
         costs: &'a CostTable,
         loads: &'a [LoadReport],
         htm: &'a mut dyn WhatIf,
@@ -163,13 +213,14 @@ impl<'a> SchedView<'a> {
         SchedView {
             now,
             task,
-            candidates,
+            candidates: candidates.into(),
             costs,
             loads,
             htm,
             rng,
             memo: MemoSlot::Owned(DecisionMemo::new()),
             batched: false,
+            batch_only: false,
             server_mem: None,
         }
     }
@@ -187,6 +238,16 @@ impl<'a> SchedView<'a> {
     pub fn with_memo(mut self, memo: &'a mut DecisionMemo) -> Self {
         memo.begin(self.costs.n_servers());
         self.memo = MemoSlot::Shared(memo);
+        self
+    }
+
+    /// Forces the batch [`predict_all`](crate::Htm::predict_all) stage-2
+    /// arm even for short candidate lists — the decision shape before the
+    /// direct zero-allocation path existed. Answers are bit-identical
+    /// either way; the hot-path bench keeps this arm as its same-run
+    /// baseline.
+    pub fn with_batch_predict(mut self, batch_only: bool) -> Self {
+        self.batch_only = batch_only;
         self
     }
 
@@ -228,25 +289,55 @@ impl<'a> SchedView<'a> {
         Some(c.input + c.compute * (load + 1.0) + c.output)
     }
 
-    /// HTM what-if query, memoised per decision; the first query batch-
-    /// evaluates the whole candidate list via [`Htm::predict_all`].
+    /// HTM what-if query, memoised per decision; the first query
+    /// evaluates the whole candidate list — per candidate in place for
+    /// short lists, via [`Htm::predict_all`] for long ones.
     ///
     /// Returns `None` if the server cannot solve the problem.
     pub fn predict(&mut self, server: ServerId) -> Option<&Prediction> {
-        if self.memo.get().get(server).is_none() {
+        if !self.memo.get().queried(server) {
             if !self.batched && self.candidates.contains(&server) {
                 self.batched = true;
-                let results = self.htm.predict_all(self.now, &self.task, &self.candidates);
-                let memo = self.memo.get_mut();
-                for (&s, p) in self.candidates.iter().zip(results) {
-                    memo.set(s, p);
+                if self.candidates.len() <= DIRECT_PREDICT_MAX && !self.batch_only {
+                    // Short list: one routed query per candidate, each
+                    // written into the memo's reusable slot. Bit-identical
+                    // to the batch path (the federated backend already
+                    // serves short same-shard runs per candidate); a
+                    // duplicate candidate re-queries instead of cloning,
+                    // which only nudges the predictions-made counter —
+                    // the answer comes from the same memoised drain.
+                    let Self {
+                        now,
+                        ref task,
+                        ref candidates,
+                        ref mut htm,
+                        ref mut memo,
+                        ..
+                    } = *self;
+                    let memo = memo.get_mut();
+                    for &s in candidates.iter() {
+                        memo.fill_with(s, |out| htm.predict_into(now, s, task, out));
+                    }
+                } else {
+                    let results = self.htm.predict_all(self.now, &self.task, &self.candidates);
+                    let memo = self.memo.get_mut();
+                    for (&s, p) in self.candidates.iter().zip(results) {
+                        memo.set(s, p);
+                    }
                 }
             } else {
-                let p = self.htm.predict(self.now, server, &self.task);
-                self.memo.get_mut().set(server, p);
+                let Self {
+                    now,
+                    ref task,
+                    ref mut htm,
+                    ref mut memo,
+                    ..
+                } = *self;
+                memo.get_mut()
+                    .fill_with(server, |out| htm.predict_into(now, server, task, out));
             }
         }
-        self.memo.get().get(server).and_then(|p| p.as_ref())
+        self.memo.get().lookup(server)
     }
 
     /// The tie-break RNG stream (only [`RandomChoice`] uses it).
@@ -261,9 +352,11 @@ impl<'a> SchedView<'a> {
     where
         F: FnMut(&mut Self, ServerId) -> Option<f64>,
     {
+        // Cloning a borrowed candidate list copies the reference, not the
+        // servers — the engine-path argmin stays allocation-free.
         let candidates = self.candidates.clone();
         let mut best: Option<(ServerId, f64)> = None;
-        for s in candidates {
+        for &s in candidates.iter() {
             let Some(v) = objective(self, s) else {
                 continue;
             };
@@ -452,12 +545,11 @@ mod tests {
     use crate::htm::{Htm, SyncPolicy};
     use cas_sim::SimTime;
 
-    /// The run-wide memo must forget exactly the previous decision's
-    /// entries on `begin` — no stale prediction may leak into the next
-    /// decision, and untouched slots must not be rescanned (the reset is
-    /// sparse, through the touched list).
+    /// The run-wide memo must forget the previous decision's entries on
+    /// `begin` — no stale prediction may leak into the next decision.
+    /// The reset is a single stamp bump, so nothing is walked or cleared.
     #[test]
-    fn decision_memo_sparse_reset_between_decisions() {
+    fn decision_memo_stamp_reset_between_decisions() {
         let mut memo = DecisionMemo::new();
         memo.begin(4);
         memo.set(ServerId(1), None);
@@ -469,26 +561,52 @@ mod tests {
                 perturbations: vec![],
             }),
         );
-        assert!(memo.get(ServerId(1)).is_some(), "cannot-solve is memoised");
-        assert!(memo.get(ServerId(3)).unwrap().is_some());
-        assert_eq!(memo.touched, vec![1, 3]);
-        // Next decision: everything the last one touched is gone.
+        assert!(memo.queried(ServerId(1)), "cannot-solve is memoised");
+        assert!(memo.lookup(ServerId(1)).is_none(), "but yields no prediction");
+        assert!(memo.lookup(ServerId(3)).is_some());
+        // Next decision: everything the last one wrote is stale.
         memo.begin(4);
-        assert!(memo.touched.is_empty());
         for s in 0..4 {
-            assert!(memo.get(ServerId(s)).is_none(), "S{s} leaked");
+            assert!(!memo.queried(ServerId(s)), "S{s} leaked");
+            assert!(memo.lookup(ServerId(s)).is_none(), "S{s} leaked");
         }
     }
 
-    /// Setting the same server twice within one decision records it once
-    /// in the touched list (the reset stays linear in distinct probes).
+    /// Setting the same server twice within one decision keeps the last
+    /// answer, and the slot's perturbation storage survives across
+    /// decisions so in-place fills reuse it instead of reallocating.
     #[test]
-    fn decision_memo_touched_dedupes_overwrites() {
+    fn decision_memo_overwrites_and_reuses_slot_storage() {
         let mut memo = DecisionMemo::new();
         memo.begin(2);
+        memo.set(
+            ServerId(0),
+            Some(Prediction {
+                completion: SimTime::from_secs(1.0),
+                queried_at: SimTime::ZERO,
+                perturbations: vec![(cas_platform::TaskId(9), 2.0)],
+            }),
+        );
         memo.set(ServerId(0), None);
-        memo.set(ServerId(0), None);
-        assert_eq!(memo.touched, vec![0]);
+        assert!(memo.queried(ServerId(0)));
+        assert!(memo.lookup(ServerId(0)).is_none(), "last write wins");
+        // Next decision: the in-place fill finds the buffer adopted by
+        // the first `set` still in the slot.
+        memo.begin(2);
+        memo.fill_with(ServerId(0), |out| {
+            assert!(!out.perturbations.is_empty(), "slot storage persisted");
+            out.perturbations.clear();
+            out.completion = SimTime::from_secs(7.0);
+            true
+        });
+        let p = memo.lookup(ServerId(0)).expect("filled as solvable");
+        assert_eq!(p.completion, SimTime::from_secs(7.0));
+        assert!(p.perturbations.is_empty());
+        // A fill reporting "cannot solve" memoises exactly that.
+        memo.begin(2);
+        memo.fill_with(ServerId(1), |_| false);
+        assert!(memo.queried(ServerId(1)));
+        assert!(memo.lookup(ServerId(1)).is_none());
     }
 
     /// A memo created before the platform grew (or used stand-alone with
@@ -498,10 +616,10 @@ mod tests {
         let mut memo = DecisionMemo::new();
         memo.begin(2);
         memo.set(ServerId(7), None);
-        assert!(memo.get(ServerId(7)).is_some());
-        assert!(memo.get(ServerId(6)).is_none());
+        assert!(memo.queried(ServerId(7)));
+        assert!(!memo.queried(ServerId(6)));
         memo.begin(8);
-        assert!(memo.get(ServerId(7)).is_none());
+        assert!(!memo.queried(ServerId(7)));
     }
 
     /// Across trace generations: a shared memo must answer from the

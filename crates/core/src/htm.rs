@@ -263,6 +263,25 @@ impl PredictState {
         task: TaskId,
         costs: PhaseCosts,
     ) -> Prediction {
+        let mut out = Prediction::empty();
+        self.predict_into(trace, now, task, costs, &mut out);
+        out
+    }
+
+    /// [`PredictState::predict`], written into caller-owned storage:
+    /// `out.perturbations` is cleared and refilled in place, so a reused
+    /// `out` makes the query allocation-free once its buffer has grown
+    /// to the server's active-task count. Same lookups, same floats,
+    /// same order as the returning variant — which is now defined
+    /// through this one.
+    fn predict_into(
+        &mut self,
+        trace: &ServerTrace,
+        now: SimTime,
+        task: TaskId,
+        costs: PhaseCosts,
+        out: &mut Prediction,
+    ) {
         self.refresh_baseline(trace);
         self.refresh_after(trace, now, task, costs);
         // Small schedules answer by linear scan: rebuilding the task →
@@ -289,10 +308,11 @@ impl PredictState {
                 self.after_map.get(&j).copied()
             }
         };
-        let perturbations = self
-            .baseline
-            .iter()
-            .filter_map(|&(j, f_before)| {
+        out.completion = completion;
+        out.queried_at = now;
+        out.perturbations.clear();
+        out.perturbations
+            .extend(self.baseline.iter().filter_map(|&(j, f_before)| {
                 // Baseline entries absent from the after-schedule completed
                 // before `now` (a task inserted at `now` cannot influence
                 // them): they are no longer active at decision time and
@@ -306,13 +326,7 @@ impl PredictState {
                 // also produce tiny negatives; both are treated as zero
                 // interference.
                 lookup(j).map(|f_after| (j, (f_after - f_before).as_secs().max(0.0)))
-            })
-            .collect();
-        Prediction {
-            completion,
-            queried_at: now,
-            perturbations,
-        }
+            }));
     }
 }
 
@@ -489,6 +503,30 @@ impl Htm {
         let trace = &self.traces[server.index()];
         let state = &mut self.predict_states[server.index()];
         Some(state.predict(trace, now, task.id, costs))
+    }
+
+    /// [`Self::predict`] into caller-owned storage: returns `false` (and
+    /// leaves `out` untouched) when the server did not register the
+    /// task's problem, `true` with `out` overwritten in place otherwise.
+    /// The steady-state decision loop queries through here so a grown
+    /// perturbation buffer is reused instead of reallocated per query.
+    /// Same accounting as the returning variant: unsolvable queries do
+    /// not count toward `predictions_made`.
+    pub fn predict_into(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+        out: &mut Prediction,
+    ) -> bool {
+        let Some(costs) = self.costs.costs(task.problem, server) else {
+            return false;
+        };
+        self.predictions_made += 1;
+        let trace = &self.traces[server.index()];
+        let state = &mut self.predict_states[server.index()];
+        state.predict_into(trace, now, task.id, costs, out);
+        true
     }
 
     /// The original clone-and-drain what-if path, kept as the executable

@@ -25,6 +25,18 @@ pub struct Prediction {
 }
 
 impl Prediction {
+    /// A placeholder with no perturbation storage. Reusable prediction
+    /// buffers (decision memos, the router's commit-path scratch) start
+    /// here and are overwritten in place by the `predict_into` family,
+    /// which reuses the `perturbations` allocation across queries.
+    pub fn empty() -> Prediction {
+        Prediction {
+            completion: SimTime::ZERO,
+            queried_at: SimTime::ZERO,
+            perturbations: Vec::new(),
+        }
+    }
+
     /// Sum of perturbations `Σ_j π(i, j)` — MP's objective (Fig. 3).
     pub fn sum_perturbation(&self) -> f64 {
         self.perturbations.iter().map(|(_, p)| p).sum()

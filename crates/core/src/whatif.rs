@@ -35,6 +35,28 @@ pub trait WhatIf {
         task: &TaskInstance,
     ) -> Option<Prediction>;
 
+    /// [`WhatIf::predict`] into caller-owned storage: `true` with `out`
+    /// overwritten in place when the server can solve, `false` (out
+    /// untouched) otherwise. Must equal [`WhatIf::predict`] bit for bit;
+    /// backends override the default to reuse `out.perturbations`
+    /// instead of allocating a fresh prediction — the zero-allocation
+    /// steady-state path queries through here.
+    fn predict_into(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+        out: &mut Prediction,
+    ) -> bool {
+        match self.predict(now, server, task) {
+            Some(p) => {
+                *out = p;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// One what-if query per candidate in a single batch; `results[k]`
     /// corresponds to `candidates[k]`. Must equal calling
     /// [`WhatIf::predict`] per candidate.
@@ -57,6 +79,16 @@ impl WhatIf for Htm {
         task: &TaskInstance,
     ) -> Option<Prediction> {
         Htm::predict(self, now, server, task)
+    }
+
+    fn predict_into(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+        out: &mut Prediction,
+    ) -> bool {
+        Htm::predict_into(self, now, server, task, out)
     }
 
     fn predict_all(

@@ -10,8 +10,13 @@
 //!   medians for aggregating replications.
 //! * [`table`] — fixed-width text tables in the layout of the paper's
 //!   Tables 5–8, and CSV/JSON export for further analysis.
+//! * [`prof`] — the always-on phase profiler (re-exported from the
+//!   kernel crate, where the accumulators must live so the event-queue
+//!   pop itself can be attributed): spans, snapshots, calibration, plus
+//!   the table/JSON rendering helpers reporting layers use.
 
 pub mod metrics;
+pub mod prof;
 pub mod record;
 pub mod stats;
 pub mod table;

@@ -2,7 +2,7 @@
 
 use cas_core::heuristics::HeuristicKind;
 use cas_core::{SelectorKind, SyncPolicy};
-use cas_platform::{IndexScoring, MemoryModel, ShardMap};
+use cas_platform::{IndexScoring, MemoryModel, RankingsBackend, ShardMap};
 
 /// How the agent's decision state is partitioned across the farm.
 ///
@@ -127,6 +127,11 @@ pub struct ExperimentConfig {
     /// Which static proxy orders the stage-1 index: predicted remaining
     /// work (default) or the count-based baseline.
     pub index_scoring: IndexScoring,
+    /// Which data structure stores the stage-1 rankings
+    /// (`--rankings flat|btree`, default flat): the cache-friendly flat
+    /// ladder, or the original per-problem `BTreeSet` — the executable
+    /// spec the flat backend is differentially proven bit-identical to.
+    pub rankings: RankingsBackend,
     /// Lazy federation merge (`--skyline on|off`, default on): the router
     /// visits shards in skyline order and skips shards whose best stage-1
     /// score provably cannot reach the merged shortlist. A pure pruning
@@ -208,6 +213,7 @@ impl ExperimentConfig {
             selector: SelectorKind::Exhaustive,
             shards: Sharding::Single,
             index_scoring: IndexScoring::RemainingWork,
+            rankings: RankingsBackend::Flat,
             skyline: true,
             aggregated_reports: false,
             sync: SyncPolicy::None,
@@ -237,6 +243,7 @@ impl ExperimentConfig {
             selector: SelectorKind::Exhaustive,
             shards: Sharding::Single,
             index_scoring: IndexScoring::RemainingWork,
+            rankings: RankingsBackend::Flat,
             skyline: true,
             aggregated_reports: false,
             sync: SyncPolicy::None,
@@ -286,6 +293,12 @@ impl ExperimentConfig {
     /// Returns a copy with a different stage-1 index scoring proxy.
     pub fn with_index_scoring(mut self, scoring: IndexScoring) -> Self {
         self.index_scoring = scoring;
+        self
+    }
+
+    /// Returns a copy with a different stage-1 ranking storage backend.
+    pub fn with_rankings(mut self, rankings: RankingsBackend) -> Self {
+        self.rankings = rankings;
         self
     }
 

@@ -50,7 +50,7 @@ use cas_platform::{
     ServerRuntime, ServerSpec, TaskId, TaskInstance,
 };
 use cas_sim::dist::{LogNormalNoise, Sample};
-use cas_sim::{RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
+use cas_sim::{prof, RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
 use cas_workload::ChurnProcess;
 
 /// Tolerance when matching a completion event's time against the
@@ -206,6 +206,7 @@ impl GridWorld {
             cfg.index_scoring,
             cfg.sync,
         )
+        .with_rankings(cfg.rankings)
         .with_skyline(cfg.skyline)
         // History replay is what populates rebuilt blocks on a
         // rebalance, and only a churning federation ever rebalances.
@@ -427,6 +428,7 @@ impl GridWorld {
                 .commit_prediction
                 .map_or(0.0, |p| (p.as_secs() - arrival).max(0.0));
             let observed_flow = now.as_secs() - arrival;
+            let _hooks = prof::span(prof::Phase::CommitHooks);
             self.agent.on_complete(
                 now,
                 flight.server,
@@ -549,7 +551,8 @@ impl GridWorld {
                 // Reservation can push the server into thrashing, which
                 // changes the CPU capacity — keep the CPU event fresh.
                 self.resched(server, Phase::Compute, sched);
-                let predicted = self.agent.predict(now, server, &task).map(|p| p.completion);
+                let commit_span = prof::span(prof::Phase::CommitHooks);
+                let predicted = self.agent.predict_completion(now, server, &task);
                 self.reports[server.index()].note_assignment();
                 // The index's remaining-work ledger grows by the task's
                 // *service demand* (unloaded total), not by its predicted
@@ -562,6 +565,7 @@ impl GridWorld {
                 // hook pays back the same amount.
                 let work = phase_costs.total();
                 self.agent.on_commit(now, server, &task, work);
+                drop(commit_span);
                 {
                     let rec = self.record_mut(task.id);
                     rec.server = Some(server);
@@ -1127,15 +1131,31 @@ impl World for GridWorld {
                 self.handle_phase_done(now, server, phase, gen, sched)
             }
             GridEvent::ClientLinkDone { gen } => self.handle_client_link_done(now, gen, sched),
-            GridEvent::LoadReport { server } => self.handle_load_report(now, server, sched),
+            GridEvent::LoadReport { server } => {
+                let _reports = prof::span(prof::Phase::Reports);
+                self.handle_load_report(now, server, sched)
+            }
             GridEvent::ShardLoadReport { shard } => {
+                let _reports = prof::span(prof::Phase::Reports);
                 self.handle_shard_load_report(now, shard, sched)
             }
             GridEvent::NoiseRedraw { server } => self.handle_noise_redraw(now, server, sched),
-            GridEvent::ServerCrash { server } => self.handle_server_crash(now, server, sched),
-            GridEvent::ServerProvision { idx } => self.handle_server_provision(now, idx, sched),
-            GridEvent::ServerJoin { server } => self.handle_server_join(now, server, sched),
-            GridEvent::ServerLeave { server } => self.handle_server_leave(now, server, sched),
+            GridEvent::ServerCrash { server } => {
+                let _churn = prof::span(prof::Phase::Churn);
+                self.handle_server_crash(now, server, sched)
+            }
+            GridEvent::ServerProvision { idx } => {
+                let _churn = prof::span(prof::Phase::Churn);
+                self.handle_server_provision(now, idx, sched)
+            }
+            GridEvent::ServerJoin { server } => {
+                let _churn = prof::span(prof::Phase::Churn);
+                self.handle_server_join(now, server, sched)
+            }
+            GridEvent::ServerLeave { server } => {
+                let _churn = prof::span(prof::Phase::Churn);
+                self.handle_server_leave(now, server, sched)
+            }
         }
     }
 }
@@ -1612,6 +1632,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The flat-rankings acceptance property, end to end: whole-campaign
+    /// record equality, flat ladder versus the BTree spec, for **every**
+    /// heuristic × selector backend, unsharded and at S = 4 — same
+    /// servers, same attempts, same completion dates, bit for bit. The
+    /// ranking storage is pure representation; it may never change a
+    /// decision.
+    #[test]
+    fn flat_rankings_campaigns_bitwise_match_btree_end_to_end() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        for kind in HeuristicKind::ALL {
+            for selector in [
+                cas_core::SelectorKind::Exhaustive,
+                cas_core::SelectorKind::TopK { k: 1 },
+                cas_core::SelectorKind::TopK { k: 64 },
+                cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+            ] {
+                for shards in [Sharding::Single, Sharding::Federated { shards: 4 }] {
+                    let cfg = ExperimentConfig::paper(kind, 41)
+                        .with_selector(selector)
+                        .with_shards(shards);
+                    assert_eq!(
+                        cfg.rankings,
+                        cas_platform::RankingsBackend::Flat,
+                        "flat ladder is the default"
+                    );
+                    let flat = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+                    let btree = run_experiment(
+                        cfg.with_rankings(cas_platform::RankingsBackend::Btree),
+                        costs.clone(),
+                        servers.clone(),
+                        tasks.clone(),
+                    );
+                    assert_eq!(
+                        flat, btree,
+                        "{kind:?}/{selector:?}/{shards:?} diverged between rankings backends"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flat and BTree rankings stay bit-identical through the full
+    /// lifecycle machinery: churn (crashes, repairs, retraction replay)
+    /// plus the rebalances it triggers — the rebuilt blocks must keep
+    /// the configured backend.
+    #[test]
+    fn flat_rankings_survive_churn_and_rebalance_bitwise() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 23)
+            .with_shards(Sharding::Federated { shards: 3 })
+            .with_churn(120.0, 30.0)
+            .with_churn_seed(7);
+        let flat = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+        let btree = run_experiment(
+            cfg.with_rankings(cas_platform::RankingsBackend::Btree),
+            costs,
+            servers,
+            tasks,
+        );
+        assert_eq!(flat, btree, "rankings backends diverged under churn");
     }
 
     /// Aggregated load reports fire O(n_shards) kernel events per period

@@ -51,10 +51,10 @@ use cas_core::selector::{CandidateSelector, SelectorInput};
 use cas_core::whatif::WhatIf;
 use cas_core::{Htm, Prediction, SelectorKind, SyncPolicy};
 use cas_platform::{
-    CostTable, IndexScoring, LoadReport, PhaseCosts, ProblemId, ServerId, ShardMap, ShardTree,
-    StaticIndex, TaskId, TaskInstance,
+    CostTable, IndexScoring, LoadReport, PhaseCosts, ProblemId, RankingsBackend, ServerId,
+    ShardMap, ShardTree, StaticIndex, TaskId, TaskInstance,
 };
-use cas_sim::{RngStream, SimTime};
+use cas_sim::{prof, RngStream, SimTime};
 use std::collections::HashMap;
 
 /// One per-shard stage-2 batch job: the shard, the shard-local candidate
@@ -98,12 +98,13 @@ impl ShardEngine {
         len: usize,
         selector: SelectorKind,
         scoring: IndexScoring,
+        rankings: RankingsBackend,
         sync: SyncPolicy,
     ) -> Self {
         let local_costs = costs.restrict(start, len);
         ShardEngine {
             start,
-            index: StaticIndex::with_scoring(&local_costs, scoring),
+            index: StaticIndex::with_backend(&local_costs, scoring, rankings),
             htm: Htm::new(local_costs, sync),
             selector: selector.build(),
             shortlist: Vec::new(),
@@ -368,9 +369,18 @@ pub struct AgentRouter {
     parallel_override: Option<bool>,
     /// Cumulative visit/skip counters of the skyline merge.
     stats: SkylineStats,
+    /// Forces every decision's stage 2 through the batch `predict_all`
+    /// arm — the decision shape before the direct zero-allocation path
+    /// existed; the hot-path bench keeps it as its same-run baseline.
+    batch_predict: bool,
     /// Run-wide decision memo lent to each decision's `SchedView`
     /// (dense by *global* server index).
     memo: DecisionMemo,
+    /// Reusable prediction storage for commit-path queries
+    /// ([`AgentRouter::predict_completion`]): the engine only needs the
+    /// completion date, so the perturbation buffer is rewritten in place
+    /// instead of allocated per commit.
+    pred_scratch: Prediction,
     /// Merge scratch: `(score bits, global id)` across shards. The lazy
     /// merge keeps it sorted ascending so the cut line is an indexed
     /// read.
@@ -384,6 +394,7 @@ pub struct AgentRouter {
     /// partition changes under churn.
     selector_kind: SelectorKind,
     scoring: IndexScoring,
+    rankings: RankingsBackend,
     sync: SyncPolicy,
     /// Model-op history for rebalance replay. Recorded only when
     /// [`AgentRouter::with_history`] turned it on — the engine enables
@@ -409,8 +420,19 @@ impl AgentRouter {
             Some(s) => (true, s),
         };
         let map = ShardMap::new(n, count);
+        let rankings = RankingsBackend::default();
         let shards: Vec<ShardEngine> = (0..map.n_shards())
-            .map(|k| ShardEngine::new(costs, map.start(k), map.len(k), selector, scoring, sync))
+            .map(|k| {
+                ShardEngine::new(
+                    costs,
+                    map.start(k),
+                    map.len(k),
+                    selector,
+                    scoring,
+                    rankings,
+                    sync,
+                )
+            })
             .collect();
         let tree = ShardTree::new(map.n_shards(), ShardTree::DEFAULT_GROUP_SHARDS);
         let n_problems = costs.n_problems();
@@ -428,12 +450,15 @@ impl AgentRouter {
             n_problems,
             parallel_override: None,
             stats: SkylineStats::default(),
+            batch_predict: false,
             memo: DecisionMemo::new(),
+            pred_scratch: Prediction::empty(),
             merged: Vec::new(),
             order: Vec::new(),
             candidates: Vec::new(),
             selector_kind: selector,
             scoring,
+            rankings,
             sync,
             record_history: false,
             history: Vec::new(),
@@ -447,6 +472,27 @@ impl AgentRouter {
     /// drift the live-server count past the federation's size band.
     pub fn with_history(mut self, record: bool) -> Self {
         self.record_history = record;
+        self
+    }
+
+    /// Selects the stage-1 ranking storage backend on every shard index
+    /// (flat ladder by default; the BTree spec behind the config flag).
+    /// Decisions are proven bit-identical either way, and any block a
+    /// later rebalance rebuilds keeps the chosen backend.
+    pub fn with_rankings(mut self, rankings: RankingsBackend) -> Self {
+        self.rankings = rankings;
+        for shard in &mut self.shards {
+            shard.index.set_backend(rankings);
+        }
+        self
+    }
+
+    /// Forces every stage-2 evaluation through the batch `predict_all`
+    /// arm instead of the direct per-candidate path (off by default).
+    /// Decisions are bit-identical either way — this is the executable
+    /// spec arm the hot-path bench baselines against.
+    pub fn with_batch_predict(mut self, batch_only: bool) -> Self {
+        self.batch_predict = batch_only;
         self
     }
 
@@ -594,21 +640,27 @@ impl AgentRouter {
         if !self.federated {
             // Single-agent fast path: shard 0 is the farm; no merge, no
             // translation — byte for byte the pre-federation decision.
+            // The shortlist is lent to the view as a slice: the steady
+            // state copies nothing per decision.
             let shard = &mut self.shards[0];
-            shard.stage1(inp.task.problem, inp.admit, false);
-            let candidates = shard.shortlist.clone();
+            {
+                let _walk = prof::span(prof::Phase::Stage1Walk);
+                shard.stage1(inp.task.problem, inp.admit, false);
+            }
             let pick = {
+                let _predict = prof::span(prof::Phase::Stage2Predict);
                 let mut view = SchedView::new(
                     inp.now,
                     inp.task,
-                    candidates,
+                    shard.shortlist.as_slice(),
                     inp.costs,
                     inp.reports,
                     &mut shard.htm,
                     tie_rng,
                 )
                 .with_server_mem(inp.server_mem)
-                .with_memo(&mut self.memo);
+                .with_memo(&mut self.memo)
+                .with_batch_predict(self.batch_predict);
                 heuristic.select(&mut view)
             };
             if let Some(s) = pick {
@@ -616,6 +668,7 @@ impl AgentRouter {
             }
             return pick;
         }
+        let walk = prof::span(prof::Phase::Stage1Walk);
 
         // Stage 1. Exhaustive selectors always run the eager full
         // scatter (the every-solver loop must stay exact and keeps the
@@ -697,9 +750,13 @@ impl AgentRouter {
             self.candidates.sort_unstable();
         }
 
+        drop(walk);
+
         // Stage 2, gather: the heuristic runs over the federation through
-        // the routed what-if backend.
+        // the routed what-if backend; the merged candidate list is lent
+        // as a slice, not copied.
         let pick = {
+            let _predict = prof::span(prof::Phase::Stage2Predict);
             let mut backend = FederatedWhatIf {
                 map: &self.map,
                 shards: &mut self.shards,
@@ -707,14 +764,15 @@ impl AgentRouter {
             let mut view = SchedView::new(
                 inp.now,
                 inp.task,
-                self.candidates.clone(),
+                self.candidates.as_slice(),
                 inp.costs,
                 inp.reports,
                 &mut backend,
                 tie_rng,
             )
             .with_server_mem(inp.server_mem)
-            .with_memo(&mut self.memo);
+            .with_memo(&mut self.memo)
+            .with_batch_predict(self.batch_predict);
             heuristic.select(&mut view)
         };
         if let Some(s) = pick {
@@ -970,6 +1028,24 @@ impl AgentRouter {
         self.shards[owner].htm.predict(now, local, task)
     }
 
+    /// The commit-path variant of [`AgentRouter::predict`]: the engine
+    /// records only the winner's completion date, so the query writes
+    /// the router's reusable scratch prediction in place and hands back
+    /// the single field — no allocation per commit.
+    pub fn predict_completion(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+    ) -> Option<SimTime> {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        self.shards[owner]
+            .htm
+            .predict_into(now, local, task, &mut self.pred_scratch)
+            .then_some(self.pred_scratch.completion)
+    }
+
     /// Routes a commit to the owning shard: HTM trace mutation plus
     /// index re-rank, both `O(shard)` — farm size does not appear.
     pub fn on_commit(&mut self, now: SimTime, server: ServerId, task: &TaskInstance, work: f64) {
@@ -1090,6 +1166,7 @@ impl AgentRouter {
             len,
             self.selector_kind,
             self.scoring,
+            self.rankings,
             self.sync,
         );
         let end = start + len as u32;
@@ -1240,6 +1317,18 @@ impl WhatIf for FederatedWhatIf<'_> {
         let owner = self.map.owner(server);
         let local = self.map.to_local(owner, server);
         self.shards[owner].htm.predict(now, local, task)
+    }
+
+    fn predict_into(
+        &mut self,
+        now: SimTime,
+        server: ServerId,
+        task: &TaskInstance,
+        out: &mut Prediction,
+    ) -> bool {
+        let owner = self.map.owner(server);
+        let local = self.map.to_local(owner, server);
+        self.shards[owner].htm.predict_into(now, local, task, out)
     }
 
     fn predict_all(

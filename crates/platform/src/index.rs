@@ -29,13 +29,34 @@
 //! The index is **incremental**: the per-server believed load changes only
 //! on [`StaticIndex::on_commit`] / [`StaticIndex::on_retract`] /
 //! [`StaticIndex::on_complete`] hooks, and each hook re-ranks exactly one
-//! server in each problem's ordered set (`O(problems · log servers)`).
-//! A k-best query walks the head of one ordered set — no O(n) rescan of
-//! server state happens per arrival.
+//! server in each problem's ordered set. A k-best query walks the head of
+//! one ordered set — no O(n) rescan of server state happens per arrival.
 //!
 //! Scores are ordered by their IEEE-754 bit patterns (valid because scores
 //! are non-negative finite), with the server id as tie-break, so every
 //! ordering question has one deterministic answer.
+//!
+//! # Ranking storage: flat ladder vs BTree
+//!
+//! Two interchangeable backends store the per-problem orderings,
+//! selectable via [`RankingsBackend`]:
+//!
+//! * **[`RankingsBackend::Flat`]** (default) — a *bucketed ladder* of
+//!   flat sorted runs of `(score bits, server)` keys with lazy repair: a
+//!   re-rank marks the old key stale in O(1) (a per-server `current`
+//!   stamp is the single source of liveness truth) and inserts the new
+//!   key into a 32-key top run; when the top run overflows it merges
+//!   down into geometrically larger runs, so a re-rank costs amortised
+//!   O(log n) contiguous key copies — never the O(n) fold a single
+//!   sorted vector would pay, and never a rebalance's pointer surgery.
+//!   Reads merge the ladder's ≲4 runs, skipping stale keys; every step
+//!   is a linear scan over contiguous 12-byte keys — no pointer chasing
+//!   — which is what the decision path's skyline reads and k-best walks
+//!   want at shard scale.
+//! * **[`RankingsBackend::Btree`]** — the original `BTreeSet<RankKey>`,
+//!   kept as the executable spec: the flat backend is proven
+//!   bit-identical against it by the differential tests below and by
+//!   whole-campaign record-equality suites in `cas-middleware`.
 
 use crate::cost::CostTable;
 use crate::ids::{ProblemId, ServerId};
@@ -102,6 +123,395 @@ impl IndexScoring {
     }
 }
 
+/// Which data structure stores the per-problem rankings. Both answer
+/// every query bit-identically; they differ only in constant factors
+/// (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankingsBackend {
+    /// Flat sorted-vec ladder with lazy repair — cache-friendly walks,
+    /// the default.
+    #[default]
+    Flat,
+    /// Per-problem `BTreeSet`, the executable spec the flat backend is
+    /// differentially proven against.
+    Btree,
+}
+
+impl RankingsBackend {
+    /// Parses `flat` / `vec` or `btree` / `tree` (case-insensitive).
+    pub fn parse(s: &str) -> Option<RankingsBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "flat" | "vec" => Some(RankingsBackend::Flat),
+            "btree" | "tree" => Some(RankingsBackend::Btree),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankingsBackend::Flat => "flat",
+            RankingsBackend::Btree => "btree",
+        }
+    }
+}
+
+/// `current` stamp of a server absent from a ranking (down, or never
+/// solvable there). `u64::MAX` is the bit pattern of a negative NaN —
+/// never a valid non-negative finite score, so it cannot collide with a
+/// live key's bits.
+const LIVE_NONE: u64 = u64::MAX;
+
+/// Capacity of the ladder's top run.
+const RUN0_CAP: usize = 32;
+
+/// Each run is 8× the one above (see [`run_cap`]), trading a few extra
+/// amortised merge copies — contiguous memcpy, nearly free — for a
+/// shallow ladder: every read is a merge across all runs, so walk cost
+/// scales with depth, and 8× keeps a 100k-server ranking at 4 runs
+/// where doubling would need 12.
+const RUN_GROWTH_LOG2: usize = 3;
+
+/// Ladder depth the stack-allocated iterator cursor supports. Run 11
+/// alone holds 2^38 keys — far past any farm simulated here.
+const MAX_RUNS: usize = 12;
+
+/// Capacity of run `r`: an overflowing run merges down into the run
+/// below.
+#[inline]
+fn run_cap(r: usize) -> usize {
+    RUN0_CAP << (RUN_GROWTH_LOG2 * r)
+}
+
+/// One problem's flat ranking: a *bucketed ladder* of sorted runs of
+/// `(score bits, server)` keys that may contain stale entries, plus a
+/// per-server `current` stamp that is the single source of truth for
+/// liveness — the key `(bits, s)` is live iff `current[s] == bits`. The
+/// live keys across all runs are exactly the BTree backend's set at all
+/// times.
+///
+/// Inserts go into run 0 (capacity [`RUN0_CAP`]); an overflowing run
+/// merges down into the geometrically larger run below it, dropping
+/// stale keys as it goes, so an insert costs amortised O(log n)
+/// contiguous key copies. Removal just flips the stamp (O(1)); a full
+/// rebuild fires only when stale keys outnumber live ones, keeping
+/// storage within 2× the live set. A key re-inserted while a stale copy
+/// still sits in a deeper run is stored again in run 0 — each run is
+/// duplicate-free, but runs may shadow each other — and the read-side
+/// merges collapse equal keys to one. (Reviving the deep copy instead
+/// would rewind that run's head and force a rescan of its stale prefix;
+/// deep heads must only ever advance.)
+#[derive(Debug, Clone)]
+struct FlatRanking {
+    /// Sorted runs, top (newest, smallest) first; mutually disjoint.
+    runs: Vec<Vec<RankKey>>,
+    /// Per-run cursor: entries before it are all stale, the entry at it
+    /// (if any) is live — maintained by the mutation hooks so the
+    /// skyline read is a min over run heads, never a rescan.
+    heads: Vec<usize>,
+    /// Live key bits per server; [`LIVE_NONE`] when the server is not in
+    /// this ranking.
+    current: Vec<u64>,
+    /// Number of live keys — the ranking's cardinality.
+    live: usize,
+    /// Total stored keys across runs, live + stale (the rebuild
+    /// trigger's bookkeeping).
+    total: usize,
+    /// Reused merge buffer — merges allocate nothing once the ladder
+    /// reaches its high-water capacity.
+    scratch: Vec<RankKey>,
+}
+
+impl FlatRanking {
+    fn new(n_servers: usize) -> Self {
+        FlatRanking {
+            runs: vec![Vec::new()],
+            heads: vec![0],
+            current: vec![LIVE_NONE; n_servers],
+            live: 0,
+            total: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Builds a ranking holding exactly `keys` (ascending, all live) as
+    /// one run, leaving run 0 free for fresh inserts.
+    fn from_sorted_live(keys: Vec<RankKey>, n_servers: usize) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let mut r = FlatRanking::new(n_servers);
+        for &(bits, s) in &keys {
+            r.current[s as usize] = bits;
+        }
+        r.live = keys.len();
+        r.total = keys.len();
+        let mut j = 0;
+        while run_cap(j) < keys.len() {
+            j += 1;
+        }
+        while r.runs.len() <= j {
+            r.runs.push(Vec::new());
+            r.heads.push(0);
+        }
+        r.runs[j] = keys;
+        r
+    }
+
+    /// Whether the key `(bits, s)` is live (stale keys stay in storage
+    /// until a merge sweeps them out).
+    #[inline]
+    fn is_live(&self, key: RankKey) -> bool {
+        self.current[key.1 as usize] == key.0
+    }
+
+    /// Makes `s` live at `bits`. The server must currently be dormant.
+    fn activate(&mut self, s: u32, bits: u64) {
+        debug_assert_eq!(self.current[s as usize], LIVE_NONE, "server already ranked");
+        debug_assert_ne!(bits, LIVE_NONE);
+        let key = (bits, s);
+        self.current[s as usize] = bits;
+        self.live += 1;
+        // Only run 0 is touched: a revive of a stale leftover sitting in
+        // a deeper run would have to rewind that run's head, and the
+        // next deactivate would then rescan the stale prefix — deep
+        // heads must only ever advance for the amortisation to hold. So
+        // the key is (re)inserted at the top and any stale copy below is
+        // left for the merges to sweep; the copies are exact duplicates,
+        // which the read-side merges collapse.
+        let pos = match self.runs[0].binary_search(&key) {
+            Ok(pos) => {
+                // Already stored in run 0 (a commit/complete pair
+                // returned the server to a score it held moments ago):
+                // live again in place.
+                self.heads[0] = self.heads[0].min(pos);
+                return;
+            }
+            Err(pos) => pos,
+        };
+        self.runs[0].insert(pos, key);
+        if pos < self.heads[0] {
+            self.heads[0] = pos;
+        }
+        self.total += 1;
+        if self.runs[0].len() > RUN0_CAP {
+            let mut r = 0;
+            while {
+                self.merge_down(r);
+                r += 1;
+                self.runs[r].len() > run_cap(r)
+            } {}
+        }
+        if self.total > self.live + self.live / 4 + RUN0_CAP {
+            self.rebuild();
+        }
+    }
+
+    /// Makes `s` dormant, returning the bits it was live at. The key
+    /// stays in storage as a stale entry until a merge sweeps it out.
+    fn deactivate(&mut self, s: u32) -> u64 {
+        let bits = std::mem::replace(&mut self.current[s as usize], LIVE_NONE);
+        debug_assert_ne!(bits, LIVE_NONE, "server not ranked");
+        self.live -= 1;
+        self.advance_heads();
+        bits
+    }
+
+    /// Moves each run's head past its stale prefix, so every head points
+    /// at a live key (or run end). Amortised O(1) per mutation: a key is
+    /// skipped at most once per stay in its run.
+    fn advance_heads(&mut self) {
+        let FlatRanking {
+            runs,
+            heads,
+            current,
+            ..
+        } = self;
+        for (run, head) in runs.iter().zip(heads.iter_mut()) {
+            while let Some(&(bits, s)) = run.get(*head) {
+                if current[s as usize] == bits {
+                    break;
+                }
+                *head += 1;
+            }
+        }
+    }
+
+    /// Merges run `r` into run `r + 1` (one linear pass over contiguous
+    /// keys, dropping stale entries), leaving run `r` empty.
+    fn merge_down(&mut self, r: usize) {
+        if r + 1 == self.runs.len() {
+            self.runs.push(Vec::new());
+            self.heads.push(0);
+            debug_assert!(self.runs.len() <= MAX_RUNS, "ladder deeper than any farm");
+        }
+        let FlatRanking {
+            runs,
+            heads,
+            current,
+            total,
+            scratch,
+            ..
+        } = self;
+        let (top, rest) = runs.split_at_mut(r + 1);
+        let (a, b) = (&mut top[r], &mut rest[0]);
+        scratch.clear();
+        scratch.reserve(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let key = match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    a[i - 1]
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    b[j - 1]
+                }
+                std::cmp::Ordering::Equal => {
+                    // The same key re-inserted above its stale copy:
+                    // collapse to one.
+                    i += 1;
+                    j += 1;
+                    a[i - 1]
+                }
+            };
+            if current[key.1 as usize] == key.0 {
+                scratch.push(key);
+            }
+        }
+        let live = |&&(bits, s): &&RankKey| current[s as usize] == bits;
+        scratch.extend(a[i..].iter().filter(live));
+        scratch.extend(b[j..].iter().filter(live));
+        *total -= a.len() + b.len() - scratch.len();
+        a.clear();
+        std::mem::swap(b, scratch);
+        heads[r] = 0;
+        heads[r + 1] = 0;
+    }
+
+    /// The stale-majority repair: cascades every run into the deepest
+    /// one (each merge a linear pass over already-sorted keys), leaving
+    /// the ladder all-live so walks stop paying for dead front entries.
+    fn rebuild(&mut self) {
+        for r in 0..self.runs.len() - 1 {
+            self.merge_down(r);
+        }
+        debug_assert_eq!(self.total, self.live, "rebuild keeps exactly the live keys");
+    }
+
+    /// The best live key, or `None` when the ranking is empty — the min
+    /// over the run heads (each already resting on a live key).
+    fn first(&self) -> Option<RankKey> {
+        let mut best: Option<RankKey> = None;
+        for (run, &head) in self.runs.iter().zip(self.heads.iter()) {
+            if let Some(&key) = run.get(head) {
+                debug_assert!(self.is_live(key));
+                if best.map_or(true, |b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best
+    }
+
+    /// All live keys, ascending — a k-way merge over the runs skipping
+    /// stale keys.
+    fn iter(&self) -> FlatIter<'_> {
+        debug_assert!(self.runs.len() <= MAX_RUNS);
+        let mut cursors = [0usize; MAX_RUNS];
+        let mut cand = [EXHAUSTED; MAX_RUNS];
+        for (r, (run, &head)) in self.runs.iter().zip(self.heads.iter()).enumerate() {
+            cursors[r] = head;
+            cand[r] = run.get(head).copied().unwrap_or(EXHAUSTED);
+        }
+        FlatIter {
+            runs: &self.runs,
+            current: &self.current,
+            cursors,
+            cand,
+            last: None,
+        }
+    }
+
+    /// One more server slot (joins dormant).
+    fn push_slot(&mut self) {
+        self.current.push(LIVE_NONE);
+    }
+}
+
+/// Ascending live-key iterator over a [`FlatRanking`] (k-way merge of
+/// the ladder's runs, stale keys skipped; the cursor array lives on the
+/// stack so decisions allocate nothing).
+/// Sentinel candidate of an exhausted run: past every real key (score
+/// bits of a finite non-negative `f64` never reach `u64::MAX`).
+const EXHAUSTED: RankKey = (u64::MAX, u32::MAX);
+
+struct FlatIter<'a> {
+    runs: &'a [Vec<RankKey>],
+    current: &'a [u64],
+    cursors: [usize; MAX_RUNS],
+    /// Key each cursor rests on ([`EXHAUSTED`] past the run's end),
+    /// cached so the per-item min scan reads a stack array instead of
+    /// re-chasing every run.
+    cand: [RankKey; MAX_RUNS],
+    /// Last key yielded — a re-inserted key may sit in several runs, and
+    /// equal keys are adjacent in merge order, so comparing against the
+    /// last yield collapses them to one.
+    last: Option<RankKey>,
+}
+
+impl Iterator for FlatIter<'_> {
+    type Item = RankKey;
+
+    fn next(&mut self) -> Option<RankKey> {
+        loop {
+            let (mut key, mut at) = (EXHAUSTED, usize::MAX);
+            for r in 0..self.runs.len() {
+                if self.cand[r] < key {
+                    key = self.cand[r];
+                    at = r;
+                }
+            }
+            if key == EXHAUSTED {
+                return None;
+            }
+            self.cursors[at] += 1;
+            self.cand[at] = self.runs[at]
+                .get(self.cursors[at])
+                .copied()
+                .unwrap_or(EXHAUSTED);
+            if self.last != Some(key) && self.current[key.1 as usize] == key.0 {
+                self.last = Some(key);
+                return Some(key);
+            }
+        }
+    }
+}
+
+/// Per-problem ranking storage, one variant per [`RankingsBackend`].
+#[derive(Debug, Clone)]
+enum RankStore {
+    Flat(Vec<FlatRanking>),
+    Btree(Vec<BTreeSet<RankKey>>),
+}
+
+/// Ascending live-key iterator over one problem's ranking, whichever
+/// backend stores it (an enum so the read path never boxes).
+enum RankedKeys<'a> {
+    Flat(FlatIter<'a>),
+    Btree(std::collections::btree_set::Iter<'a, RankKey>),
+}
+
+impl Iterator for RankedKeys<'_> {
+    type Item = RankKey;
+
+    fn next(&mut self) -> Option<RankKey> {
+        match self {
+            RankedKeys::Flat(it) => it.next(),
+            RankedKeys::Btree(it) => it.next().copied(),
+        }
+    }
+}
+
 /// The agent's incrementally maintained static placement index.
 #[derive(Debug, Clone)]
 pub struct StaticIndex {
@@ -123,41 +533,126 @@ pub struct StaticIndex {
     /// reflect the live farm only.
     available: Vec<bool>,
     /// Per problem: solvable **available** servers ordered by
-    /// `(score_bits, id)`.
-    ranked: Vec<BTreeSet<RankKey>>,
+    /// `(score_bits, id)`, in the configured backend.
+    ranked: RankStore,
 }
 
 impl StaticIndex {
     /// Builds the index from the static cost table with the default
-    /// [`IndexScoring::RemainingWork`] proxy; every server starts with
-    /// zero believed load.
+    /// [`IndexScoring::RemainingWork`] proxy and the default
+    /// [`RankingsBackend::Flat`] storage; every server starts with zero
+    /// believed load.
     pub fn new(costs: &CostTable) -> Self {
         Self::with_scoring(costs, IndexScoring::default())
     }
 
-    /// Builds the index with an explicit scoring proxy.
+    /// Builds the index with an explicit scoring proxy (default flat
+    /// ranking storage).
     pub fn with_scoring(costs: &CostTable, scoring: IndexScoring) -> Self {
+        Self::with_backend(costs, scoring, RankingsBackend::default())
+    }
+
+    /// Builds the index with an explicit scoring proxy and ranking
+    /// storage backend.
+    pub fn with_backend(
+        costs: &CostTable,
+        scoring: IndexScoring,
+        backend: RankingsBackend,
+    ) -> Self {
         let n_servers = costs.n_servers();
         let n_problems = costs.n_problems();
         let mut durations = Vec::with_capacity(n_problems * n_servers);
-        let mut ranked: Vec<BTreeSet<RankKey>> = vec![BTreeSet::new(); n_problems];
-        for (p, set) in ranked.iter_mut().enumerate() {
+        for p in 0..n_problems {
             for s in 0..n_servers {
-                let d = costs.unloaded_duration(ProblemId(p as u32), ServerId(s as u32));
-                if let Some(d) = d {
-                    set.insert((score_bits(d), s as u32));
-                }
-                durations.push(d);
+                durations.push(costs.unloaded_duration(ProblemId(p as u32), ServerId(s as u32)));
             }
         }
-        StaticIndex {
+        let mut idx = StaticIndex {
             n_servers,
             scoring,
             active: vec![0; n_servers],
             remaining: vec![0.0; n_servers],
             durations,
             available: vec![true; n_servers],
-            ranked,
+            ranked: match backend {
+                RankingsBackend::Flat => RankStore::Flat(
+                    (0..n_problems).map(|_| FlatRanking::new(n_servers)).collect(),
+                ),
+                RankingsBackend::Btree => RankStore::Btree(vec![BTreeSet::new(); n_problems]),
+            },
+        };
+        for p in 0..n_problems {
+            for s in 0..n_servers {
+                if let Some(d) = idx.durations[p * n_servers + s] {
+                    idx.insert_key(p, s as u32, score_bits(d));
+                }
+            }
+        }
+        idx
+    }
+
+    /// The ranking storage backend in use.
+    pub fn backend(&self) -> RankingsBackend {
+        match &self.ranked {
+            RankStore::Flat(_) => RankingsBackend::Flat,
+            RankStore::Btree(_) => RankingsBackend::Btree,
+        }
+    }
+
+    /// Converts the ranking storage to `backend` in place (a no-op when
+    /// already there). Both backends represent the same ordered sets, so
+    /// the conversion is exact in either direction — the differential
+    /// tests rebuild one backend from the other and diff every query.
+    pub fn set_backend(&mut self, backend: RankingsBackend) {
+        if self.backend() == backend {
+            return;
+        }
+        let n_problems = self.durations.len() / self.n_servers.max(1);
+        let live: Vec<Vec<RankKey>> = (0..n_problems)
+            .map(|p| self.ranked_keys(ProblemId(p as u32)).collect())
+            .collect();
+        self.ranked = match backend {
+            RankingsBackend::Flat => RankStore::Flat(
+                live.into_iter()
+                    .map(|keys| FlatRanking::from_sorted_live(keys, self.n_servers))
+                    .collect(),
+            ),
+            RankingsBackend::Btree => RankStore::Btree(
+                live.into_iter().map(|keys| keys.into_iter().collect()).collect(),
+            ),
+        };
+    }
+
+    /// Inserts the live key `(bits, s)` into problem `p`'s ranking.
+    fn insert_key(&mut self, p: usize, s: u32, bits: u64) {
+        match &mut self.ranked {
+            RankStore::Flat(ranks) => ranks[p].activate(s, bits),
+            RankStore::Btree(sets) => {
+                sets[p].insert((bits, s));
+            }
+        }
+    }
+
+    /// Removes the live key of `s` from problem `p`'s ranking; `bits` is
+    /// the key it must currently be live at.
+    fn remove_key(&mut self, p: usize, s: u32, bits: u64) {
+        match &mut self.ranked {
+            RankStore::Flat(ranks) => {
+                let was = ranks[p].deactivate(s);
+                debug_assert_eq!(was, bits, "server {s} stale in ranking of P{p}");
+            }
+            RankStore::Btree(sets) => {
+                let removed = sets[p].remove(&(bits, s));
+                debug_assert!(removed, "server {s} missing from ranking of P{p}");
+            }
+        }
+    }
+
+    /// Ascending live keys of `problem`'s ranking.
+    fn ranked_keys(&self, problem: ProblemId) -> RankedKeys<'_> {
+        match &self.ranked {
+            RankStore::Flat(ranks) => RankedKeys::Flat(ranks[problem.index()].iter()),
+            RankStore::Btree(sets) => RankedKeys::Btree(sets[problem.index()].iter()),
         }
     }
 
@@ -190,10 +685,11 @@ impl StaticIndex {
     /// exact. A shard federation reads it per decision to decide whether a
     /// shard can possibly contribute to the merged shortlist.
     pub fn best_key(&self, problem: ProblemId) -> Option<(u64, ServerId)> {
-        self.ranked[problem.index()]
-            .iter()
-            .next()
-            .map(|&(bits, s)| (bits, ServerId(s)))
+        match &self.ranked {
+            RankStore::Flat(ranks) => ranks[problem.index()].first(),
+            RankStore::Btree(sets) => sets[problem.index()].iter().next().copied(),
+        }
+        .map(|(bits, s)| (bits, ServerId(s)))
     }
 
     /// Number of servers able to solve `problem` (the size of its
@@ -201,7 +697,10 @@ impl StaticIndex {
     /// problem, used alongside [`StaticIndex::best_key`] by the lazy
     /// merge.
     pub fn solvable_count(&self, problem: ProblemId) -> usize {
-        self.ranked[problem.index()].len()
+        match &self.ranked {
+            RankStore::Flat(ranks) => ranks[problem.index()].live,
+            RankStore::Btree(sets) => sets[problem.index()].len(),
+        }
     }
 
     /// The stage-1 score of `server` for `problem` at the current believed
@@ -224,13 +723,12 @@ impl StaticIndex {
         }
         let (new_active, new_remaining) = (self.active[s], self.remaining[s]);
         let scoring = self.scoring;
-        for (p, set) in self.ranked.iter_mut().enumerate() {
+        for p in 0..self.durations.len() / self.n_servers {
             if let Some(d) = self.durations[p * self.n_servers + s] {
                 let old = proxy_score(scoring, d, old_active, old_remaining);
-                let removed = set.remove(&(score_bits(old), s as u32));
-                debug_assert!(removed, "server {server} missing from ranking of P{p}");
+                self.remove_key(p, s as u32, score_bits(old));
                 let new = proxy_score(scoring, d, new_active, new_remaining);
-                set.insert((score_bits(new), s as u32));
+                self.insert_key(p, s as u32, score_bits(new));
             }
         }
     }
@@ -249,17 +747,13 @@ impl StaticIndex {
         self.available[s] = up;
         let (active, remaining) = (self.active[s], self.remaining[s]);
         let scoring = self.scoring;
-        for (p, set) in self.ranked.iter_mut().enumerate() {
+        for p in 0..self.durations.len() / self.n_servers {
             if let Some(d) = self.durations[p * self.n_servers + s] {
-                let key = (
-                    score_bits(proxy_score(scoring, d, active, remaining)),
-                    s as u32,
-                );
+                let bits = score_bits(proxy_score(scoring, d, active, remaining));
                 if up {
-                    set.insert(key);
+                    self.insert_key(p, s as u32, bits);
                 } else {
-                    let removed = set.remove(&key);
-                    debug_assert!(removed, "server {server} missing from ranking of P{p}");
+                    self.remove_key(p, s as u32, bits);
                 }
             }
         }
@@ -280,13 +774,9 @@ impl StaticIndex {
     /// # Panics
     /// Panics unless exactly one duration per problem is given.
     pub fn push_server(&mut self, durations: &[Option<f64>]) {
-        assert_eq!(
-            durations.len(),
-            self.ranked.len(),
-            "one duration per problem"
-        );
+        let n_problems = self.durations.len() / self.n_servers;
+        assert_eq!(durations.len(), n_problems, "one duration per problem");
         let old_n = self.n_servers;
-        let n_problems = self.ranked.len();
         let mut rows = Vec::with_capacity((old_n + 1) * n_problems);
         for (p, d) in durations.iter().enumerate() {
             rows.extend_from_slice(&self.durations[p * old_n..(p + 1) * old_n]);
@@ -297,10 +787,15 @@ impl StaticIndex {
         self.active.push(0);
         self.remaining.push(0.0);
         self.available.push(true);
+        if let RankStore::Flat(ranks) = &mut self.ranked {
+            for r in ranks.iter_mut() {
+                r.push_slot();
+            }
+        }
         let scoring = self.scoring;
-        for (p, set) in self.ranked.iter_mut().enumerate() {
-            if let Some(d) = durations[p] {
-                set.insert((score_bits(proxy_score(scoring, d, 0, 0.0)), old_n as u32));
+        for (p, d) in durations.iter().enumerate() {
+            if let Some(d) = *d {
+                self.insert_key(p, old_n as u32, score_bits(proxy_score(scoring, d, 0, 0.0)));
             }
         }
     }
@@ -350,15 +845,15 @@ impl StaticIndex {
 
     /// Walks `problem`'s ranking in ascending score order, best first,
     /// skipping servers rejected by `admit`. The iterator is lazy: taking
-    /// `k` items touches `k + rejected` tree nodes, not all `n`.
+    /// `k` items touches `k + rejected` keys (plus any stale keys the
+    /// flat backend skips on the way), not all `n`.
     pub fn ranked_iter<'a>(
         &'a self,
         problem: ProblemId,
         admit: &'a dyn Fn(ServerId) -> bool,
     ) -> impl Iterator<Item = (ServerId, f64)> + 'a {
-        self.ranked[problem.index()]
-            .iter()
-            .map(|&(bits, s)| (ServerId(s), f64::from_bits(bits)))
+        self.ranked_keys(problem)
+            .map(|(bits, s)| (ServerId(s), f64::from_bits(bits)))
             .filter(move |&(s, _)| admit(s))
     }
 
@@ -385,6 +880,9 @@ mod tests {
     use super::*;
     use crate::cost::PhaseCosts;
     use crate::task::Problem;
+    use proptest::prelude::*;
+
+    const BACKENDS: [RankingsBackend; 2] = [RankingsBackend::Flat, RankingsBackend::Btree];
 
     /// 3 servers; P0 durations 100/150/300, P1 solvable only on S1 (50).
     fn table() -> CostTable {
@@ -412,31 +910,36 @@ mod tests {
 
     #[test]
     fn initial_ranking_is_static_cost_order() {
-        let idx = StaticIndex::new(&table());
-        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
-        assert_eq!(best(&idx, 0, 2), vec![0, 1]);
-        assert_eq!(best(&idx, 1, 3), vec![1], "only S1 solves P1");
-        assert_eq!(idx.score(ProblemId(0), ServerId(2)), Some(300.0));
-        assert_eq!(idx.score(ProblemId(1), ServerId(0)), None);
+        for backend in BACKENDS {
+            let idx = StaticIndex::with_backend(&table(), IndexScoring::default(), backend);
+            assert_eq!(idx.backend(), backend);
+            assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+            assert_eq!(best(&idx, 0, 2), vec![0, 1]);
+            assert_eq!(best(&idx, 1, 3), vec![1], "only S1 solves P1");
+            assert_eq!(idx.score(ProblemId(0), ServerId(2)), Some(300.0));
+            assert_eq!(idx.score(ProblemId(1), ServerId(0)), None);
+        }
     }
 
     #[test]
     fn commit_reorders_and_complete_restores() {
-        let mut idx = StaticIndex::with_scoring(&table(), IndexScoring::ActiveCount);
-        // Two commits on S0: score(P0,S0) = 100·3 = 300, ties S2's 300 →
-        // id order keeps S0 ahead of S2.
-        idx.on_commit(ServerId(0), 100.0);
-        idx.on_commit(ServerId(0), 100.0);
-        assert_eq!(idx.active(ServerId(0)), 2);
-        assert_eq!(best(&idx, 0, 3), vec![1, 0, 2]);
-        // A third commit pushes S0 last.
-        idx.on_commit(ServerId(0), 100.0);
-        assert_eq!(best(&idx, 0, 3), vec![1, 2, 0]);
-        idx.on_complete(ServerId(0), 100.0);
-        idx.on_retract(ServerId(0), 100.0);
-        idx.on_complete(ServerId(0), 100.0);
-        assert_eq!(idx.active(ServerId(0)), 0);
-        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+        for backend in BACKENDS {
+            let mut idx = StaticIndex::with_backend(&table(), IndexScoring::ActiveCount, backend);
+            // Two commits on S0: score(P0,S0) = 100·3 = 300, ties S2's 300 →
+            // id order keeps S0 ahead of S2.
+            idx.on_commit(ServerId(0), 100.0);
+            idx.on_commit(ServerId(0), 100.0);
+            assert_eq!(idx.active(ServerId(0)), 2);
+            assert_eq!(best(&idx, 0, 3), vec![1, 0, 2]);
+            // A third commit pushes S0 last.
+            idx.on_commit(ServerId(0), 100.0);
+            assert_eq!(best(&idx, 0, 3), vec![1, 2, 0]);
+            idx.on_complete(ServerId(0), 100.0);
+            idx.on_retract(ServerId(0), 100.0);
+            idx.on_complete(ServerId(0), 100.0);
+            assert_eq!(idx.active(ServerId(0)), 0);
+            assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+        }
     }
 
     /// Edge case for the crash path: retracting the *last* in-flight
@@ -444,13 +947,15 @@ mod tests {
     /// the pristine static order.
     #[test]
     fn retracting_last_in_flight_task_restores_static_rank() {
-        let mut idx = StaticIndex::new(&table());
-        idx.on_commit(ServerId(0), 500.0);
-        assert_eq!(best(&idx, 0, 3), vec![1, 2, 0]);
-        idx.on_retract(ServerId(0), 500.0);
-        assert_eq!(idx.remaining(ServerId(0)), 0.0);
-        assert_eq!(idx.active(ServerId(0)), 0);
-        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+        for backend in BACKENDS {
+            let mut idx = StaticIndex::with_backend(&table(), IndexScoring::default(), backend);
+            idx.on_commit(ServerId(0), 500.0);
+            assert_eq!(best(&idx, 0, 3), vec![1, 2, 0]);
+            idx.on_retract(ServerId(0), 500.0);
+            assert_eq!(idx.remaining(ServerId(0)), 0.0);
+            assert_eq!(idx.active(ServerId(0)), 0);
+            assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+        }
     }
 
     /// Edge case for the crash path: a retract racing the server's
@@ -545,6 +1050,20 @@ mod tests {
     }
 
     #[test]
+    fn backend_parse_roundtrip() {
+        assert_eq!(RankingsBackend::parse("flat"), Some(RankingsBackend::Flat));
+        assert_eq!(
+            RankingsBackend::parse("BTREE"),
+            Some(RankingsBackend::Btree)
+        );
+        assert_eq!(RankingsBackend::parse("nope"), None);
+        assert_eq!(RankingsBackend::default(), RankingsBackend::Flat);
+        for b in BACKENDS {
+            assert_eq!(RankingsBackend::parse(b.name()), Some(b));
+        }
+    }
+
+    #[test]
     fn k_larger_than_n_and_zero() {
         let idx = StaticIndex::new(&table());
         assert_eq!(best(&idx, 0, 100), vec![0, 1, 2]);
@@ -564,35 +1083,37 @@ mod tests {
     /// `None` where nothing can solve the problem.
     #[test]
     fn skyline_follows_hooks() {
-        let mut idx = StaticIndex::new(&table());
-        assert_eq!(
-            idx.best_key(ProblemId(0)),
-            Some((100.0f64.to_bits(), ServerId(0)))
-        );
-        assert_eq!(
-            idx.best_key(ProblemId(1)),
-            Some((50.0f64.to_bits(), ServerId(1)))
-        );
-        assert_eq!(idx.solvable_count(ProblemId(0)), 3);
-        assert_eq!(idx.solvable_count(ProblemId(1)), 1);
-        // Loading S0 past S1's 150 moves the P0 skyline to S1…
-        idx.on_commit(ServerId(0), 200.0);
-        assert_eq!(
-            idx.best_key(ProblemId(0)),
-            Some((150.0f64.to_bits(), ServerId(1)))
-        );
-        // …and a retract repairs it back (stale-then-repaired).
-        idx.on_retract(ServerId(0), 200.0);
-        assert_eq!(
-            idx.best_key(ProblemId(0)),
-            Some((100.0f64.to_bits(), ServerId(0)))
-        );
-        // A problem nobody solves has no skyline and zero width.
-        let mut costs = table();
-        costs.add_problem(Problem::new("p2", 0.0, 0.0, 0.0), vec![None, None, None]);
-        let idx = StaticIndex::new(&costs);
-        assert_eq!(idx.best_key(ProblemId(2)), None);
-        assert_eq!(idx.solvable_count(ProblemId(2)), 0);
+        for backend in BACKENDS {
+            let mut idx = StaticIndex::with_backend(&table(), IndexScoring::default(), backend);
+            assert_eq!(
+                idx.best_key(ProblemId(0)),
+                Some((100.0f64.to_bits(), ServerId(0)))
+            );
+            assert_eq!(
+                idx.best_key(ProblemId(1)),
+                Some((50.0f64.to_bits(), ServerId(1)))
+            );
+            assert_eq!(idx.solvable_count(ProblemId(0)), 3);
+            assert_eq!(idx.solvable_count(ProblemId(1)), 1);
+            // Loading S0 past S1's 150 moves the P0 skyline to S1…
+            idx.on_commit(ServerId(0), 200.0);
+            assert_eq!(
+                idx.best_key(ProblemId(0)),
+                Some((150.0f64.to_bits(), ServerId(1)))
+            );
+            // …and a retract repairs it back (stale-then-repaired).
+            idx.on_retract(ServerId(0), 200.0);
+            assert_eq!(
+                idx.best_key(ProblemId(0)),
+                Some((100.0f64.to_bits(), ServerId(0)))
+            );
+            // A problem nobody solves has no skyline and zero width.
+            let mut costs = table();
+            costs.add_problem(Problem::new("p2", 0.0, 0.0, 0.0), vec![None, None, None]);
+            let idx = StaticIndex::with_backend(&costs, IndexScoring::default(), backend);
+            assert_eq!(idx.best_key(ProblemId(2)), None);
+            assert_eq!(idx.solvable_count(ProblemId(2)), 0);
+        }
     }
 
     #[test]
@@ -607,33 +1128,35 @@ mod tests {
     /// ledger hooks fired while it is down are honoured on re-entry.
     #[test]
     fn availability_moves_rankings_and_skylines() {
-        let mut idx = StaticIndex::new(&table());
-        assert!(idx.is_available(ServerId(0)));
-        assert!(idx.set_available(ServerId(0), false));
-        assert!(!idx.set_available(ServerId(0), false), "idempotent");
-        assert!(!idx.is_available(ServerId(0)));
-        assert_eq!(best(&idx, 0, 3), vec![1, 2]);
-        assert_eq!(idx.solvable_count(ProblemId(0)), 2);
-        assert_eq!(
-            idx.best_key(ProblemId(0)),
-            Some((150.0f64.to_bits(), ServerId(1)))
-        );
-        // The score query itself still answers (the ledger survives).
-        assert_eq!(idx.score(ProblemId(0), ServerId(0)), Some(100.0));
-        // Ledger mutations while down re-rank nothing but are kept:
-        // the server re-enters at the loaded score.
-        idx.on_commit(ServerId(0), 200.0);
-        assert_eq!(best(&idx, 0, 3), vec![1, 2]);
-        assert!(idx.set_available(ServerId(0), true));
-        assert_eq!(idx.score(ProblemId(0), ServerId(0)), Some(300.0));
-        assert_eq!(best(&idx, 0, 3), vec![1, 0, 2], "300 ties S2, id wins");
-        // Draining the task restores the static order.
-        idx.on_complete(ServerId(0), 200.0);
-        assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
-        // Downing every solver of P1 empties its skyline.
-        idx.set_available(ServerId(1), false);
-        assert_eq!(idx.best_key(ProblemId(1)), None);
-        assert_eq!(idx.solvable_count(ProblemId(1)), 0);
+        for backend in BACKENDS {
+            let mut idx = StaticIndex::with_backend(&table(), IndexScoring::default(), backend);
+            assert!(idx.is_available(ServerId(0)));
+            assert!(idx.set_available(ServerId(0), false));
+            assert!(!idx.set_available(ServerId(0), false), "idempotent");
+            assert!(!idx.is_available(ServerId(0)));
+            assert_eq!(best(&idx, 0, 3), vec![1, 2]);
+            assert_eq!(idx.solvable_count(ProblemId(0)), 2);
+            assert_eq!(
+                idx.best_key(ProblemId(0)),
+                Some((150.0f64.to_bits(), ServerId(1)))
+            );
+            // The score query itself still answers (the ledger survives).
+            assert_eq!(idx.score(ProblemId(0), ServerId(0)), Some(100.0));
+            // Ledger mutations while down re-rank nothing but are kept:
+            // the server re-enters at the loaded score.
+            idx.on_commit(ServerId(0), 200.0);
+            assert_eq!(best(&idx, 0, 3), vec![1, 2]);
+            assert!(idx.set_available(ServerId(0), true));
+            assert_eq!(idx.score(ProblemId(0), ServerId(0)), Some(300.0));
+            assert_eq!(best(&idx, 0, 3), vec![1, 0, 2], "300 ties S2, id wins");
+            // Draining the task restores the static order.
+            idx.on_complete(ServerId(0), 200.0);
+            assert_eq!(best(&idx, 0, 3), vec![0, 1, 2]);
+            // Downing every solver of P1 empties its skyline.
+            idx.set_available(ServerId(1), false);
+            assert_eq!(idx.best_key(ProblemId(1)), None);
+            assert_eq!(idx.solvable_count(ProblemId(1)), 0);
+        }
     }
 
     /// A completion may arrive while the server is down (leave-drain):
@@ -652,7 +1175,7 @@ mod tests {
     }
 
     /// Online extension is bit-identical to a fresh build over the
-    /// extended table, for both scoring proxies.
+    /// extended table, for both scoring proxies and both backends.
     #[test]
     fn push_server_matches_fresh_build() {
         let mut extended = table();
@@ -660,35 +1183,37 @@ mod tests {
             Some(PhaseCosts::new(0.0, 120.0, 0.0)),
             Some(PhaseCosts::new(0.0, 40.0, 0.0)),
         ]);
-        for scoring in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
-            let mut grown = StaticIndex::with_scoring(&table(), scoring);
-            grown.push_server(&[Some(120.0), Some(40.0)]);
-            let fresh = StaticIndex::with_scoring(&extended, scoring);
-            assert_eq!(grown.n_servers(), 4);
-            for p in 0..2u32 {
-                let mut a = Vec::new();
-                let mut b = Vec::new();
-                grown.k_best(ProblemId(p), 4, &|_| true, &mut a);
-                fresh.k_best(ProblemId(p), 4, &|_| true, &mut b);
-                assert_eq!(a, b, "{scoring:?} P{p}");
-                assert_eq!(grown.best_key(ProblemId(p)), fresh.best_key(ProblemId(p)));
+        for backend in BACKENDS {
+            for scoring in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
+                let mut grown = StaticIndex::with_backend(&table(), scoring, backend);
+                grown.push_server(&[Some(120.0), Some(40.0)]);
+                let fresh = StaticIndex::with_backend(&extended, scoring, backend);
+                assert_eq!(grown.n_servers(), 4);
+                for p in 0..2u32 {
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    grown.k_best(ProblemId(p), 4, &|_| true, &mut a);
+                    fresh.k_best(ProblemId(p), 4, &|_| true, &mut b);
+                    assert_eq!(a, b, "{scoring:?} {backend:?} P{p}");
+                    assert_eq!(grown.best_key(ProblemId(p)), fresh.best_key(ProblemId(p)));
+                }
+                // The new server takes P1's skyline (40 < 50) and ranks by
+                // load like any other afterwards.
+                assert_eq!(
+                    grown.best_key(ProblemId(1)),
+                    Some((40.0f64.to_bits(), ServerId(3)))
+                );
+                grown.on_commit(ServerId(3), 100.0);
+                assert_eq!(
+                    grown.best_key(ProblemId(1)),
+                    Some((50.0f64.to_bits(), ServerId(1)))
+                );
             }
-            // The new server takes P1's skyline (40 < 50) and ranks by
-            // load like any other afterwards.
-            assert_eq!(
-                grown.best_key(ProblemId(1)),
-                Some((40.0f64.to_bits(), ServerId(3)))
-            );
-            grown.on_commit(ServerId(3), 100.0);
-            assert_eq!(
-                grown.best_key(ProblemId(1)),
-                Some((50.0f64.to_bits(), ServerId(1)))
-            );
         }
     }
 
     /// The incremental ranking always equals a from-scratch recompute,
-    /// under both scoring proxies.
+    /// under both scoring proxies and both backends.
     #[test]
     fn incremental_matches_rescan_after_churn() {
         let costs = table();
@@ -703,27 +1228,165 @@ mod tests {
             (2, false, 7.25),
             (1, false, 0.0),
         ];
-        for scoring in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
-            let mut idx = StaticIndex::with_scoring(&costs, scoring);
-            for (s, up, work) in ops {
-                if up {
-                    idx.on_commit(ServerId(s), work);
-                } else {
-                    idx.on_complete(ServerId(s), work);
-                }
-                for p in 0..costs.n_problems() as u32 {
-                    let got = best(&idx, p, 3);
-                    let mut expect: Vec<(u64, u32)> = (0..3u32)
-                        .filter_map(|sv| {
-                            idx.score(ProblemId(p), ServerId(sv))
-                                .map(|sc| (sc.to_bits(), sv))
-                        })
-                        .collect();
-                    expect.sort_unstable();
-                    let expect: Vec<u32> = expect.into_iter().map(|(_, sv)| sv).collect();
-                    assert_eq!(got, expect, "{scoring:?} problem {p} after ({s}, {up})");
+        for backend in BACKENDS {
+            for scoring in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
+                let mut idx = StaticIndex::with_backend(&costs, scoring, backend);
+                for (s, up, work) in ops {
+                    if up {
+                        idx.on_commit(ServerId(s), work);
+                    } else {
+                        idx.on_complete(ServerId(s), work);
+                    }
+                    for p in 0..costs.n_problems() as u32 {
+                        let got = best(&idx, p, 3);
+                        let mut expect: Vec<(u64, u32)> = (0..3u32)
+                            .filter_map(|sv| {
+                                idx.score(ProblemId(p), ServerId(sv))
+                                    .map(|sc| (sc.to_bits(), sv))
+                            })
+                            .collect();
+                        expect.sort_unstable();
+                        let expect: Vec<u32> = expect.into_iter().map(|(_, sv)| sv).collect();
+                        assert_eq!(got, expect, "{scoring:?} problem {p} after ({s}, {up})");
+                    }
                 }
             }
         }
+    }
+
+    /// Work values whose sums stay exactly representable, so a commit
+    /// with `work = 0` under `RemainingWork` re-ranks to the *same* key
+    /// — the revive-in-place corner of the flat ladder.
+    fn arb_work() -> impl Strategy<Value = f64> {
+        (0u32..8).prop_map(|w| w as f64 * 0.25)
+    }
+
+    /// Mixed op stream over `n` servers: commit / complete / crash /
+    /// repair, with completes only consumed when balanced by the driver.
+    fn arb_index_ops(n: u32) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+        proptest::collection::vec((0u32..4, 0..n, arb_work()), 0..120)
+    }
+
+    /// Drives the same op stream into a flat-backed and a BTree-backed
+    /// index and diffs **every** query after every op: skyline, ranking
+    /// cardinality, full ordered walk, filtered k-best. The op volume
+    /// runs far past `RUN0_CAP`, so ladder merges, revive-in-place and
+    /// the stale-head advance all fire many times per case.
+    fn diff_backends(n_servers: usize, ops: &[(u32, u32, f64)]) {
+        let mut costs = CostTable::new(n_servers);
+        for p in 0..3usize {
+            costs.add_problem(
+                Problem::new(format!("p{p}"), 0.0, 0.0, 0.0),
+                (0..n_servers)
+                    .map(|s| {
+                        // A third of the pairs unsolvable; clustered
+                        // durations so score ties are common.
+                        ((s + p) % 3 != 0)
+                            .then(|| PhaseCosts::new(0.0, 10.0 + ((s * 7 + p * 3) % 5) as f64, 0.0))
+                    })
+                    .collect(),
+            );
+        }
+        for scoring in [IndexScoring::RemainingWork, IndexScoring::ActiveCount] {
+            let mut flat = StaticIndex::with_backend(&costs, scoring, RankingsBackend::Flat);
+            let mut spec = StaticIndex::with_backend(&costs, scoring, RankingsBackend::Btree);
+            let mut in_flight: Vec<Vec<f64>> = vec![Vec::new(); n_servers];
+            for &(kind, s, work) in ops {
+                let server = ServerId(s);
+                match kind {
+                    0 => {
+                        flat.on_commit(server, work);
+                        spec.on_commit(server, work);
+                        in_flight[s as usize].push(work);
+                    }
+                    1 => {
+                        if let Some(w) = in_flight[s as usize].pop() {
+                            flat.on_complete(server, w);
+                            spec.on_complete(server, w);
+                        }
+                    }
+                    2 => {
+                        flat.set_available(server, false);
+                        spec.set_available(server, false);
+                    }
+                    _ => {
+                        flat.set_available(server, true);
+                        spec.set_available(server, true);
+                    }
+                }
+                for p in 0..costs.n_problems() as u32 {
+                    let problem = ProblemId(p);
+                    assert_eq!(
+                        flat.best_key(problem),
+                        spec.best_key(problem),
+                        "skyline P{p}"
+                    );
+                    assert_eq!(
+                        flat.solvable_count(problem),
+                        spec.solvable_count(problem),
+                        "cardinality P{p}"
+                    );
+                    let walk_f: Vec<_> = flat.ranked_iter(problem, &|_| true).collect();
+                    let walk_b: Vec<_> = spec.ranked_iter(problem, &|_| true).collect();
+                    assert_eq!(walk_f, walk_b, "ordered walk P{p}");
+                    let admit = |sv: ServerId| sv.0 % 2 == 0;
+                    let (mut kf, mut kb) = (Vec::new(), Vec::new());
+                    flat.k_best(problem, 3, &admit, &mut kf);
+                    spec.k_best(problem, 3, &admit, &mut kb);
+                    assert_eq!(kf, kb, "filtered k-best P{p}");
+                }
+            }
+            // Conversion in both directions preserves every ranking.
+            let mut converted = flat.clone();
+            converted.set_backend(RankingsBackend::Btree);
+            let mut back = converted.clone();
+            back.set_backend(RankingsBackend::Flat);
+            for p in 0..costs.n_problems() as u32 {
+                let problem = ProblemId(p);
+                let walk: Vec<_> = flat.ranked_iter(problem, &|_| true).collect();
+                let conv: Vec<_> = converted.ranked_iter(problem, &|_| true).collect();
+                let round: Vec<_> = back.ranked_iter(problem, &|_| true).collect();
+                assert_eq!(walk, conv, "flat→btree conversion P{p}");
+                assert_eq!(walk, round, "btree→flat round trip P{p}");
+            }
+        }
+    }
+
+    proptest! {
+        /// The flat ladder is bit-identical to the BTree spec under
+        /// arbitrary commit/complete/crash/repair interleavings, for
+        /// every query surface and both scoring proxies.
+        #[test]
+        fn flat_rankings_match_btree_spec(ops in arb_index_ops(7)) {
+            diff_backends(7, &ops);
+        }
+
+        /// Same property on a farm of two servers — the degenerate
+        /// rankings where head maintenance and compaction corner cases
+        /// concentrate.
+        #[test]
+        fn flat_rankings_match_btree_spec_tiny_farm(ops in arb_index_ops(2)) {
+            diff_backends(2, &ops);
+        }
+    }
+
+    /// Deterministic hammer past the proptest budget: thousands of
+    /// hooks on one index, forcing many compaction cycles, with a full
+    /// walk diffed against the BTree spec at every step.
+    #[test]
+    fn flat_ladder_survives_long_churn() {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move |m: u64| {
+            // xorshift64* — deterministic, dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D) % m
+        };
+        let mut ops = Vec::with_capacity(3000);
+        for _ in 0..3000 {
+            ops.push((next(4) as u32, next(7) as u32, next(8) as f64 * 0.25));
+        }
+        diff_backends(7, &ops);
     }
 }

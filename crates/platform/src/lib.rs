@@ -21,8 +21,11 @@
 //!   that drives the paper's first set of experiments, and the in/out links.
 //! * [`index`] — the incrementally maintained stage-1 placement index:
 //!   per-problem server rankings by static cost × believed load, re-ranked
-//!   in O(log n) by commit/retract/complete hooks so candidate pruning
-//!   never rescans the platform per arrival.
+//!   by commit/retract/complete hooks so candidate pruning never rescans
+//!   the platform per arrival. Rankings live in a cache-friendly flat
+//!   sorted-vec ladder by default, with the original `BTreeSet` storage
+//!   selectable as the executable spec it is differentially tested
+//!   against.
 //! * [`shard`] — deterministic contiguous partitioning of the farm into
 //!   shards, the substrate of the middleware's federated agent: pure in
 //!   `(n_servers, n_shards)`, so sharded runs reproduce on any host.
@@ -51,7 +54,7 @@ pub use arena::{Arena, ArenaKey};
 pub use cost::{CostTable, PhaseCosts};
 pub use fairshare::FairShareResource;
 pub use ids::{ProblemId, ServerId, TaskId};
-pub use index::{IndexScoring, StaticIndex};
+pub use index::{IndexScoring, RankingsBackend, StaticIndex};
 pub use monitor::{LoadAverage, LoadReport};
 pub use server::{AdmitOutcome, MemoryModel, ServerRuntime, ServerSpec};
 pub use shard::{ShardMap, ShardTree};

@@ -294,6 +294,55 @@ mod tests {
         }
     }
 
+    /// Hysteresis regression at the *default* thresholds: a workload
+    /// oscillating its pending count around either water mark must not
+    /// ping-pong backends. Crossing 8192 once selects the calendar;
+    /// hundreds of oscillations straddling 8192 afterwards cause no
+    /// further migration because the way back is gated at 2048 — and
+    /// symmetrically, once below 2048 the heap holds until 8192 is
+    /// exceeded again. Exactly two migrations over the whole scenario.
+    #[test]
+    fn hysteresis_bounds_migrations_under_oscillation() {
+        let mut q: AdaptiveQueue<u32> = AdaptiveQueue::new();
+        assert_eq!((q.to_calendar_len, q.to_heap_len), (8192, 2048));
+        let mut clock = 0u32; // strictly increasing stamps: no clustering
+        let mut push = |q: &mut AdaptiveQueue<u32>| {
+            clock += 1;
+            q.push(t(clock as f64), clock);
+        };
+        // Up through the high-water mark: one heap → calendar migration.
+        for _ in 0..(TO_CALENDAR_LEN + 1) {
+            push(&mut q);
+        }
+        assert!(q.is_calendar());
+        assert_eq!(q.migrations(), 1);
+        // Oscillate the length across 8192 five hundred times: the
+        // calendar must hold (its exit is 2048, far below).
+        for _ in 0..500 {
+            q.pop().unwrap();
+            q.pop().unwrap();
+            push(&mut q);
+            push(&mut q);
+        }
+        assert!(q.is_calendar(), "oscillation at 8192 must not migrate");
+        assert_eq!(q.migrations(), 1);
+        // Drain below the low-water mark: one calendar → heap migration.
+        while EventQueue::<u32>::len(&q) >= TO_HEAP_LEN {
+            q.pop().unwrap();
+        }
+        assert!(!q.is_calendar());
+        assert_eq!(q.migrations(), 2);
+        // Oscillate across 2048: the heap must hold (its exit is 8192).
+        for _ in 0..500 {
+            push(&mut q);
+            push(&mut q);
+            q.pop().unwrap();
+            q.pop().unwrap();
+        }
+        assert!(!q.is_calendar(), "oscillation at 2048 must not migrate");
+        assert_eq!(q.migrations(), 2, "exactly two migrations end to end");
+    }
+
     #[test]
     fn stability_spans_migration() {
         let mut q = AdaptiveQueue::with_thresholds(64, 16);

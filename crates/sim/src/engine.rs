@@ -185,7 +185,13 @@ impl<W: World, Q: EventQueue<W::Event>> Simulation<W, Q> {
     /// Processes a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
         self.ensure_init();
-        let Some(entry) = self.queue.pop() else {
+        let popped = {
+            // The pop is the kernel's own share of every event: heap
+            // sift, calendar scan or migration work all land here.
+            let _sp = crate::prof::span(crate::prof::Phase::KernelPop);
+            self.queue.pop()
+        };
+        let Some(entry) = popped else {
             return false;
         };
         debug_assert!(entry.at >= self.now, "event queue returned a past event");

@@ -20,6 +20,11 @@
 //! * [`pool`] — the process-wide work-stealing thread pool every parallel
 //!   fan-out in the workspace (experiment runner, batched HTM predictions)
 //!   shares, instead of spawning scoped threads per call.
+//! * [`prof`] — the always-on phase profiler: scope-guard spans charging
+//!   monotonic-counter time to a fixed phase enum through thread-local
+//!   accumulators, cheap enough to stay on in release campaigns. Lives
+//!   in the kernel crate so the kernel loop itself (`KernelPop`) can be
+//!   attributed; re-exported as `cas_metrics::prof` for reporting.
 //! * [`rng`] — deterministic, splittable RNG streams so that every stochastic
 //!   component (arrival process, CPU noise, tie-breaking) draws from its own
 //!   stream derived from one root seed.
@@ -38,6 +43,7 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod pool;
+pub mod prof;
 pub mod rng;
 pub mod time;
 

@@ -35,7 +35,7 @@ impl Heuristic for Mmp {
         // Lexicographic (max perturbation, completion) argmin.
         let candidates = view.candidates.clone();
         let mut best: Option<(ServerId, f64, f64)> = None;
-        for s in candidates {
+        for &s in candidates.iter() {
             let Some(p) = view.predict(s) else { continue };
             let key = (p.max_perturbation(), p.completion.as_secs());
             best = match best {

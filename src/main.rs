@@ -17,9 +17,12 @@
 //! (`exhaustive`, `topk[:K]`, `adaptive[:MIN:MAX]`). Argument parsing is
 //! hand-rolled to keep the dependency set to the sanctioned list.
 
+use casgrid::metrics::prof;
+use casgrid::platform::RankingsBackend;
 use casgrid::prelude::*;
 use casgrid::workload::synthetic::BurstArrivals;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Parses a numeric flag value into a one-line error naming the flag and
 /// the accepted form — never the raw `ParseIntError`/`ParseFloatError`
@@ -45,6 +48,11 @@ struct Args {
     shards: String,
     skyline: String,
     index_scoring: String,
+    rankings: String,
+    /// Print the always-on phase profiler's per-phase wall-time table
+    /// after the run (forces sequential replications so every span lands
+    /// on the measuring thread).
+    profile: bool,
     /// Mean time between failures per server, seconds; infinite (the
     /// default) freezes the farm.
     mtbf: f64,
@@ -75,6 +83,8 @@ impl Default for Args {
             shards: "single".into(),
             skyline: "on".into(),
             index_scoring: "work".into(),
+            rankings: "flat".into(),
+            profile: false,
             mtbf: f64::INFINITY,
             mttr: 60.0,
             churn_seed: 0,
@@ -124,6 +134,14 @@ fn usage() -> &'static str {
      --index-scoring work|count   stage-1 static-index proxy: predicted\n\
                                   remaining work, or the count-based\n\
                                   baseline              [work]\n\
+     --rankings flat|btree        stage-1 ranking storage: the cache-\n\
+                                  friendly flat ladder, or the BTree\n\
+                                  executable spec (bit-identical\n\
+                                  decisions, differentially proven)\n\
+                                  [flat]\n\
+     --profile                    print the always-on phase profiler's\n\
+                                  per-phase wall-time table after the\n\
+                                  run (replications run sequentially)\n\
      --mtbf SECONDS               mean time between failures per server\n\
                                   (exponential); \"inf\" freezes the farm\n\
                                   [inf]\n\
@@ -222,6 +240,16 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 }
                 args.index_scoring = v;
             }
+            "--rankings" => {
+                let v = take(&mut i)?;
+                if RankingsBackend::parse(&v).is_none() {
+                    return Err(format!(
+                        "--rankings: expected \"flat\" or \"btree\", got {v:?}"
+                    ));
+                }
+                args.rankings = v;
+            }
+            "--profile" => args.profile = true,
             "--mtbf" => {
                 let v = take(&mut i)?;
                 args.mtbf = num_flag(
@@ -320,6 +348,7 @@ fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
         Sharding::parse(&args.shards).expect("validated at parse time")
     };
     cfg.index_scoring = IndexScoring::parse(&args.index_scoring).expect("validated at parse time");
+    cfg.rankings = RankingsBackend::parse(&args.rankings).expect("validated at parse time");
     cfg.skyline = args.skyline.eq_ignore_ascii_case("on");
     if !args.memory {
         cfg.memory = MemoryModel::disabled();
@@ -371,7 +400,21 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let (costs, servers) = workload_of(args)?;
     let tasks = tasks_of(args, &costs);
     let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
-    let runs = run_replications(config_of(args, kind), &costs, &servers, &workloads);
+    // `--profile` reads the thread-local phase accumulators, so the
+    // replications must run on this thread: the sequential runner is
+    // bit-identical to the pooled one (differentially proven).
+    let (runs, profiled) = if args.profile {
+        prof::reset();
+        let t0 = Instant::now();
+        let runs = run_replications_sequential(config_of(args, kind), &costs, &servers, &workloads);
+        let wall_s = t0.elapsed().as_secs_f64();
+        (runs, Some((prof::snapshot(), wall_s)))
+    } else {
+        (
+            run_replications(config_of(args, kind), &costs, &servers, &workloads),
+            None,
+        )
+    };
     let mut table = Table::new(
         format!(
             "{} on {} ({} tasks, gap {} s, burst {}x, selector {}, shards {}, {} rep(s))",
@@ -394,10 +437,20 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let s = Summary::of(&vals).expect("at least one rep");
         table.push_row_f64(metric, &[s.mean, s.min, s.max], 1);
     }
-    emit(&table, &args.format)
+    emit(&table, &args.format)?;
+    if let Some((totals, wall_s)) = profiled {
+        print!(
+            "\nphase profile over {wall_s:.3} s wall:\n{}",
+            prof::render_profile_table(&totals, wall_s)
+        );
+    }
+    Ok(())
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
+    if args.profile {
+        return Err("--profile: supported by `run` only (one campaign, one table)".into());
+    }
     let names = args
         .heuristics
         .clone()
@@ -614,6 +667,65 @@ mod tests {
         assert!(parse(&argv("run --index-scoring nope")).is_err());
     }
 
+    #[test]
+    fn parse_rankings_and_profile_flags() {
+        let (_, args) = parse(&argv("run")).unwrap();
+        assert_eq!(args.rankings, "flat");
+        assert!(!args.profile);
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).rankings,
+            RankingsBackend::Flat
+        );
+        let (_, args) = parse(&argv("run --rankings btree --profile")).unwrap();
+        assert!(args.profile);
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).rankings,
+            RankingsBackend::Btree
+        );
+        // `tree`/`vec` are accepted spellings, like the library parser.
+        let (_, args) = parse(&argv("run --rankings TREE")).unwrap();
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).rankings,
+            RankingsBackend::Btree
+        );
+        let err = parse(&argv("run --rankings linkedlist")).unwrap_err();
+        assert!(
+            err.starts_with("--rankings") && err.contains("expected"),
+            "{err}"
+        );
+        assert!(parse(&argv("run --rankings")).is_err());
+        // `--profile` is `run`-only: compare fans replications out across
+        // the pool, away from the measuring thread.
+        let (_, args) = parse(&argv("compare --profile --tasks 5")).unwrap();
+        let err = cmd_compare(&args).unwrap_err();
+        assert!(err.starts_with("--profile"), "{err}");
+        assert_eq!(err.lines().count(), 1, "{err}");
+    }
+
+    /// `casgrid run --profile` must execute end to end and leave live
+    /// span counts behind: the profiler is always on, so a tiny campaign
+    /// already closes stage-1, stage-2, commit and kernel spans.
+    #[test]
+    fn profile_run_end_to_end_leaves_live_phases() {
+        let (_, mut args) = parse(&argv("run --tasks 5 --reps 2 --profile")).unwrap();
+        args.heuristic = "HMCT".into();
+        prof::reset();
+        assert!(cmd_run(&args).is_ok());
+        let totals = prof::snapshot();
+        for phase in [
+            prof::Phase::Stage1Walk,
+            prof::Phase::Stage2Predict,
+            prof::Phase::CommitHooks,
+            prof::Phase::KernelPop,
+        ] {
+            assert!(
+                totals.count_of(phase) > 0,
+                "{} closed no spans",
+                phase.name()
+            );
+        }
+    }
+
     /// `--workload synthetic:N` builds the bench farm at N servers — the
     /// only workload family big enough for `--shards auto` to resolve to
     /// a real federation from the CLI.
@@ -649,6 +761,7 @@ mod tests {
             ("run --selector best", "--selector"),
             ("run --skyline maybe", "--skyline"),
             ("run --index-scoring vibes", "--index-scoring"),
+            ("run --rankings linkedlist", "--rankings"),
             ("run --mtbf sometimes", "--mtbf"),
             ("run --mtbf 0", "--mtbf"),
             ("run --mtbf -100", "--mtbf"),
