@@ -18,6 +18,11 @@
 //! * **liveness of both walk levels** — group and member-shard skip
 //!   counters must be non-zero: a silent fall-back to the flat walk is
 //!   a regression even when it completes in time;
+//! * **liveness of the stage-2 drain engine** — drains, truncations and
+//!   prefix-cursor reuses (the `stage2` JSON section) must all be
+//!   non-zero: HMCT is completion-only, so a campaign whose fast drains
+//!   never truncate or resume the shared baseline prefix has silently
+//!   fallen back to full drains;
 //! * **event-kernel high water** — `peak_pending` stays under
 //!   `SCALE100K_PEAK_PENDING_GATE` (default `tasks + 2·servers +
 //!   1024`): pending events must track the inflight population, not the
@@ -89,8 +94,10 @@ fn main() {
         .unwrap_or_else(|| panic!("bad SCALE100K_SHARDS {shards_spec} (N|auto[:G])"));
     let n_shards = sharding.resolve(n_servers).unwrap_or(1);
     let profile_overhead_gate = env_or("SCALE100K_PROFILE_OVERHEAD_GATE", 0.02);
-    let peak_pending_gate =
-        env_or("SCALE100K_PEAK_PENDING_GATE", (n_tasks + 2 * n_servers + 1024) as f64) as usize;
+    let peak_pending_gate = env_or(
+        "SCALE100K_PEAK_PENDING_GATE",
+        (n_tasks + 2 * n_servers + 1024) as f64,
+    ) as usize;
     let churn_servers = env_or("SCALE100K_CHURN_SERVERS", 2000.0) as usize;
     let churn_tasks = env_or("SCALE100K_CHURN_TASKS", 20_000.0) as usize;
 
@@ -144,6 +151,7 @@ fn main() {
     let world = sim.into_world();
     let metrics = MetricSet::compute(world.records());
     let skyline = world.agent().skyline_stats();
+    let stage2 = world.agent().stage2_stats();
     let report_events = world.report_events();
     let completed = metrics.completed;
 
@@ -167,6 +175,17 @@ fn main() {
         100.0 * skyline.skip_rate(),
         skyline.shard_skips,
         skyline.shard_visits + skyline.shard_skips,
+    );
+    eprintln!(
+        "stage-2 drain engine: {} drains ({} truncated, {:.1}%), {} memo hits \
+         ({:.1}% hit rate), {} prefix-cursor reuses ({:.1}% of drains)",
+        stage2.drains,
+        stage2.truncated,
+        100.0 * stage2.truncation_rate(),
+        stage2.hits,
+        100.0 * stage2.hit_rate(),
+        stage2.prefix_hits,
+        100.0 * stage2.prefix_reuse_rate(),
     );
 
     // Churn smoke: the 100k farm is frozen, so the churn phase of the
@@ -253,9 +272,14 @@ fn main() {
     // Both walk levels must be live whenever the configuration calls
     // for them: a silent flat-walk fall-back is a regression.
     let ok_counters = !tree_active || (skyline.group_skips > 0 && skyline.group_visits > 0);
+    // The fast drain engine must actually run, truncate and resume the
+    // prefix cursor — all-zero counters mean a silent full-drain
+    // fall-back (HMCT is completion-only, so truncation must be live).
+    let ok_stage2 = stage2.drains > 0 && stage2.truncated > 0 && stage2.prefix_hits > 0;
     let ok = ok_complete
         && ok_budget
         && ok_counters
+        && ok_stage2
         && ok_churn_smoke
         && ok_profile
         && ok_peak_pending;
@@ -295,6 +319,24 @@ fn main() {
     );
     let _ = write!(
         json,
+        "  \"stage2\": {{\n    \"mode\": \"fast\",\n    \"drains_run\": {},\n    \
+         \"memo_hits\": {},\n    \"memo_hit_rate\": {:.4},\n    \
+         \"cross_task_hits\": {},\n    \"truncated\": {},\n    \
+         \"truncation_rate\": {:.4},\n    \"prefix_reuses\": {},\n    \
+         \"prefix_reuse_rate\": {:.4},\n    \
+         \"acceptance\": {{\"required\": \"drains, truncations and prefix reuses all > 0\", \
+         \"pass\": {ok_stage2}}}\n  }},\n",
+        stage2.drains,
+        stage2.hits,
+        stage2.hit_rate(),
+        stage2.cross_task_hits,
+        stage2.truncated,
+        stage2.truncation_rate(),
+        stage2.prefix_hits,
+        stage2.prefix_reuse_rate(),
+    );
+    let _ = write!(
+        json,
         "  \"churn_smoke\": {{\n    \"servers\": {churn_servers},\n    \
          \"tasks\": {churn_tasks},\n    \"wall_s\": {churn_wall:.3},\n    \
          \"completed\": {churn_completed},\n    \"dropped_with_reason\": {churn_dropped},\n    \
@@ -306,18 +348,19 @@ fn main() {
          reason), crashes observed\", \"pass\": {ok_churn_smoke}}}\n  }},\n",
         churn_stats.crashes, churn_stats.retractions, churn_stats.redispatches,
     );
-    let _ = write!(
+    let _ = writeln!(
         json,
         "  \"peak_pending\": {{\"campaign\": {peak_pending}, \
          \"acceptance\": {{\"max_peak_pending_events\": {peak_pending_gate}, \
-         \"pass\": {ok_peak_pending}}}}},\n"
+         \"pass\": {ok_peak_pending}}}}},"
     );
-    let _ = write!(json, "  \"profile\": {profile_json},\n");
+    let _ = writeln!(json, "  \"profile\": {profile_json},");
     let _ = write!(
         json,
         "  \"acceptance\": {{\"budget_wall_s\": {budget_secs}, \
          \"all_tasks_complete\": {ok_complete}, \"within_budget\": {ok_budget}, \
-         \"walk_levels_live\": {ok_counters}, \"churn_smoke_pass\": {ok_churn_smoke}, \
+         \"walk_levels_live\": {ok_counters}, \"stage2_counters_live\": {ok_stage2}, \
+         \"churn_smoke_pass\": {ok_churn_smoke}, \
          \"profile_gate_pass\": {ok_profile}, \"peak_pending_gate_pass\": {ok_peak_pending}, \
          \"pass\": {ok}}}\n}}\n"
     );

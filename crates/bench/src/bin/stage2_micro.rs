@@ -1,0 +1,94 @@
+//! Microbench of the stage-2 what-if path: per-query cost of the fast
+//! (truncated, prefix-sharing) and full (spec) drain engines, and the
+//! per-candidate cost of [`Htm::predict_all`]'s batching layer, at a
+//! campaign-realistic shape (1000 servers, ~tens of candidates, a
+//! handful of active tasks per server). Diagnostic only — no gates.
+
+use std::time::Instant;
+
+use cas_core::{Htm, Stage2Mode, SyncPolicy};
+use cas_platform::{CostTable, PhaseCosts, Problem, ProblemId, ServerId, TaskId, TaskInstance};
+use cas_sim::SimTime;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+const SERVERS: usize = 1000;
+
+fn build(active_per_server: usize) -> (Htm, Vec<TaskInstance>) {
+    let mut c = CostTable::new(SERVERS);
+    c.add_problem(
+        Problem::new("p", 0.0, 0.0, 0.0),
+        (0..SERVERS)
+            .map(|i| Some(PhaseCosts::new(1.0, 100.0 + i as f64, 1.0)))
+            .collect(),
+    );
+    let mut htm = Htm::new(c, SyncPolicy::None);
+    let mut next_id = 0u64;
+    for s in 0..SERVERS {
+        for k in 0..active_per_server {
+            let task = TaskInstance::new(TaskId(next_id), ProblemId(0), t(0.1 * k as f64));
+            next_id += 1;
+            htm.commit(t(0.1 * k as f64), ServerId(s as u32), &task);
+        }
+    }
+    let probes: Vec<TaskInstance> = (0..1024)
+        .map(|i| TaskInstance::new(TaskId(next_id + i as u64), ProblemId(0), t(1.0)))
+        .collect();
+    (htm, probes)
+}
+
+fn bench_predict(htm: &mut Htm, probes: &[TaskInstance], mode: Stage2Mode, label: &str) {
+    htm.set_stage2_mode(mode);
+    htm.set_completion_only(true);
+    let iters = 400_000usize;
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..iters {
+        let probe = &probes[i % probes.len()];
+        let server = ServerId(((i * 7) % SERVERS) as u32);
+        let now = t(2.0 + i as f64 * 1e-6);
+        let p = htm.predict(now, server, probe).expect("solvable");
+        acc += p.completion.as_secs();
+    }
+    let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+    eprintln!("{label:28} {per:8.1} ns/query   (acc {acc:.1})");
+}
+
+fn bench_predict_all(htm: &mut Htm, probes: &[TaskInstance], width: usize, mode: Stage2Mode) {
+    htm.set_stage2_mode(mode);
+    htm.set_completion_only(true);
+    let iters = 40_000usize;
+    let candidates: Vec<ServerId> = (0..width)
+        .map(|k| ServerId((k * 13 % SERVERS) as u32))
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..iters {
+        let probe = &probes[i % probes.len()];
+        let now = t(2.0 + i as f64 * 1e-6);
+        let preds = htm.predict_all(now, probe, &candidates);
+        acc += preds[0]
+            .as_ref()
+            .map(|p| p.completion.as_secs())
+            .unwrap_or(0.0);
+    }
+    let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let per_cand = per / width as f64;
+    eprintln!(
+        "predict_all w={width} {mode:?}      {per:8.1} ns/call  {per_cand:8.1} ns/cand   (acc {acc:.1})"
+    );
+}
+
+fn main() {
+    for active in [1usize, 4, 16] {
+        eprintln!("--- {active} active tasks/server ---");
+        let (mut htm, probes) = build(active);
+        bench_predict(&mut htm, &probes, Stage2Mode::Fast, "predict fast");
+        bench_predict(&mut htm, &probes, Stage2Mode::Full, "predict full");
+        bench_predict(&mut htm, &probes, Stage2Mode::Fast, "predict fast (again)");
+        bench_predict_all(&mut htm, &probes, 42, Stage2Mode::Fast);
+        bench_predict_all(&mut htm, &probes, 42, Stage2Mode::Full);
+    }
+}

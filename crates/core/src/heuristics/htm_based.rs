@@ -28,6 +28,12 @@ impl Heuristic for Hmct {
         true
     }
 
+    // HMCT's objective is the probe's completion date alone — the
+    // perturbation list is never read, so drains may truncate.
+    fn needs_perturbations(&self) -> bool {
+        false
+    }
+
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
         view.argmin(|v, s| v.predict(s).map(|p| p.completion.as_secs()))
     }

@@ -23,6 +23,11 @@ impl Heuristic for Mct {
         false
     }
 
+    // Never issues a what-if query, so no perturbation is ever read.
+    fn needs_perturbations(&self) -> bool {
+        false
+    }
+
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
         view.argmin(|v, s| v.mct_estimate(s))
     }

@@ -67,6 +67,12 @@ impl<H: Heuristic> Heuristic for MemAware<H> {
         true // the residency estimate comes from the HTM
     }
 
+    // The veto reads the residency estimate, not perturbations; depth is
+    // whatever the wrapped policy requires.
+    fn needs_perturbations(&self) -> bool {
+        self.inner.needs_perturbations()
+    }
+
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
         let mem_need = view.task_mem_need();
         let full = view.candidates.clone();

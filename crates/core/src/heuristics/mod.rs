@@ -381,6 +381,15 @@ pub trait Heuristic: Send {
     /// metric oracle), but this flag documents the dependency.
     fn uses_htm(&self) -> bool;
 
+    /// Whether the policy ever reads a prediction's perturbation list.
+    /// Defaults to `true` (the safe depth); completion-only policies
+    /// (HMCT, MCT, the simple baselines) override to `false`, which lets
+    /// the fast stage-2 engine truncate speculative drains at the probe's
+    /// completion ([`crate::Htm::set_completion_only`]).
+    fn needs_perturbations(&self) -> bool {
+        true
+    }
+
     /// Picks a server for `view.task`, or `None` when no candidate exists.
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId>;
 }
@@ -562,7 +571,10 @@ mod tests {
             }),
         );
         assert!(memo.queried(ServerId(1)), "cannot-solve is memoised");
-        assert!(memo.lookup(ServerId(1)).is_none(), "but yields no prediction");
+        assert!(
+            memo.lookup(ServerId(1)).is_none(),
+            "but yields no prediction"
+        );
         assert!(memo.lookup(ServerId(3)).is_some());
         // Next decision: everything the last one wrote is stale.
         memo.begin(4);
@@ -684,6 +696,34 @@ mod tests {
             HeuristicKind::PAPER.map(|k| k.name()),
             ["MCT", "HMCT", "MP", "MSF"]
         );
+    }
+
+    /// The depth flag must mirror what each policy actually reads: only
+    /// the perturbation-objective policies (MP, MSF, MNI and the wrapped
+    /// M-MSF) may demand full drains; everything else is completion-only
+    /// and eligible for truncated stage-2 drains.
+    #[test]
+    fn needs_perturbations_flags() {
+        for k in [
+            HeuristicKind::Mp,
+            HeuristicKind::Msf,
+            HeuristicKind::Mni,
+            HeuristicKind::MemMsf,
+        ] {
+            assert!(k.build().needs_perturbations(), "{k:?}");
+        }
+        for k in [
+            HeuristicKind::Mct,
+            HeuristicKind::Hmct,
+            HeuristicKind::RoundRobin,
+            HeuristicKind::Random,
+            HeuristicKind::MinLoad,
+            HeuristicKind::Olb,
+            HeuristicKind::MemHmct,
+            HeuristicKind::Kpb,
+        ] {
+            assert!(!k.build().needs_perturbations(), "{k:?}");
+        }
     }
 
     #[test]

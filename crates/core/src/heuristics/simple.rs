@@ -22,6 +22,11 @@ impl Heuristic for RoundRobin {
         false
     }
 
+    // Never issues a what-if query, so no perturbation is ever read.
+    fn needs_perturbations(&self) -> bool {
+        false
+    }
+
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
         if view.candidates.is_empty() {
             return None;
@@ -42,6 +47,11 @@ impl Heuristic for RandomChoice {
     }
 
     fn uses_htm(&self) -> bool {
+        false
+    }
+
+    // Never issues a what-if query, so no perturbation is ever read.
+    fn needs_perturbations(&self) -> bool {
         false
     }
 
@@ -68,6 +78,11 @@ impl Heuristic for MinLoad {
         false
     }
 
+    // Never issues a what-if query, so no perturbation is ever read.
+    fn needs_perturbations(&self) -> bool {
+        false
+    }
+
     fn select(&mut self, view: &mut SchedView<'_>) -> Option<ServerId> {
         view.argmin(|v, s| Some(v.load(s)))
     }
@@ -84,6 +99,11 @@ impl Heuristic for Olb {
     }
 
     fn uses_htm(&self) -> bool {
+        false
+    }
+
+    // Never issues a what-if query, so no perturbation is ever read.
+    fn needs_perturbations(&self) -> bool {
         false
     }
 
@@ -120,6 +140,11 @@ impl Heuristic for Kpb {
     }
 
     fn uses_htm(&self) -> bool {
+        false
+    }
+
+    // Never issues a what-if query, so no perturbation is ever read.
+    fn needs_perturbations(&self) -> bool {
         false
     }
 

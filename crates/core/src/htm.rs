@@ -60,6 +60,39 @@
 //!   below additionally assert, after every mutation, that the repaired
 //!   baseline is bit-for-bit identical to a from-scratch re-drain.
 //!
+//! # The stage-2 drain engine ([`Stage2Mode`])
+//!
+//! Profiling showed the speculative drains above — phase `stage2_predict`
+//! of the decision pipeline — dominating campaign wall time. Under
+//! [`Stage2Mode::Fast`] (the default) two further optimisations apply,
+//! each bit-identical to the full drain by construction:
+//!
+//! * **Truncated drains.** When the configured heuristic only reads the
+//!   probe's completion (HMCT and the non-perturbation policies — see
+//!   [`Htm::set_completion_only`]), the drain stops as soon as the probe's
+//!   last phase completes: the output is a bit-exact *prefix* of the full
+//!   after-schedule, and rejected candidates never pay for the tail. The
+//!   memo records whether its entry is truncated; a commit (which splices
+//!   the after-schedule in as the new baseline and therefore needs all of
+//!   it) re-runs the drain to completion — cheaply, via the prefix cursor.
+//! * **Prefix sharing.** Every probe of a decision round replays the same
+//!   baseline events on a server before its insertion point. A per-server
+//!   [`PrefixCursor`](crate::trace::PrefixCursor) caches the replay state
+//!   at the last processed event of the shared advance-to-`now` prefix,
+//!   keyed by trace generation; subsequent probes (and the commit's
+//!   full re-drain) resume from the snapshot instead of replaying the
+//!   trace's whole event history.
+//! * **Parallel scatter.** [`Htm::predict_all`] batches fan out across
+//!   [`cas_sim::pool`] whenever more than one worker is available (the
+//!   conservative load floor of the full mode is dropped), mirroring the
+//!   stage-1 walk's parallel arm; the slot-indexed reduce keeps results
+//!   deterministic.
+//!
+//! [`Stage2Mode::Full`] keeps the previous engine untouched — fresh
+//! scratch load and complete drain per memo miss, load-gated threading —
+//! as the executable specification: differential proptests drive both
+//! modes through arbitrary interleavings and assert bit-for-bit equality.
+//!
 //! [`Htm::predict_reference`] keeps the original clone-and-drain
 //! implementation; the differential proptests below drive both paths
 //! through arbitrary commit/predict/retract/observe interleavings and
@@ -71,7 +104,7 @@
 //! id→key map instead of two id-keyed hash maps.
 
 use crate::prediction::Prediction;
-use crate::trace::{DrainScratch, ServerTrace};
+use crate::trace::{DrainScratch, PrefixCursor, ServerTrace};
 use cas_platform::{Arena, ArenaKey, CostTable, PhaseCosts, ServerId, TaskId, TaskInstance};
 use cas_sim::{Generation, SimTime};
 use std::collections::HashMap;
@@ -120,6 +153,42 @@ pub enum RepairPolicy {
     /// differential proptests compare the two) and as the baseline of the
     /// `decision_cost` commit-path bench.
     FullRedrain,
+}
+
+/// Which stage-2 drain engine answers what-if queries (see the module
+/// docs). Selected per run via the `--stage2` CLI flag; both modes produce
+/// bit-identical predictions and therefore bit-identical decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stage2Mode {
+    /// Truncated, prefix-sharing drains with the multi-core scatter —
+    /// the production engine.
+    #[default]
+    Fast,
+    /// The pre-optimisation engine: full drain per memo miss from a fresh
+    /// scratch load, threading only above the conservative load floor.
+    /// Kept as the executable specification `Fast` is differentially
+    /// tested against, and as the same-run baseline of the stage-2 bench
+    /// gate.
+    Full,
+}
+
+impl Stage2Mode {
+    /// Canonical flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage2Mode::Fast => "fast",
+            Stage2Mode::Full => "full",
+        }
+    }
+
+    /// Parses a `--stage2` flag value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Stage2Mode> {
+        match s.to_ascii_lowercase().as_str() {
+            "fast" => Some(Stage2Mode::Fast),
+            "full" => Some(Stage2Mode::Full),
+            _ => None,
+        }
+    }
 }
 
 /// What a memoised speculative drain depends on: the probe's phase costs
@@ -174,6 +243,16 @@ struct PredictState {
     /// The [`TaskId`] is the probe id currently labelling the memoised
     /// schedule.
     after_query: Option<(AfterKey, TaskId)>,
+    /// Whether `after` holds the *complete* after-schedule (`true`) or a
+    /// truncated prefix ending at the probe's completion (`false`). A
+    /// truncated memo answers completion-only queries; a consumer that
+    /// needs the whole schedule (commit's splice, perturbation fills)
+    /// re-drains. Only ever `false` under [`Stage2Mode::Fast`] with
+    /// completion-only depth.
+    after_complete: bool,
+    /// Fast-mode baseline-prefix snapshot shared by all probes against one
+    /// `(generation, now)`; invalidated implicitly by generation bumps.
+    prefix: PrefixCursor,
     /// Speculative drains actually run (memo misses).
     drains: u64,
     /// Queries answered from the memoised `after` (exact repeats plus
@@ -182,6 +261,11 @@ struct PredictState {
     /// The subset of `memo_hits` where only the probe id differed — the
     /// hits the problem-keyed memo added over the old exact-task key.
     cross_task_hits: u64,
+    /// Drains that stopped early at the probe's completion.
+    truncated: u64,
+    /// Drains that resumed the shared baseline prefix instead of
+    /// replaying the trace's event history.
+    prefix_hits: u64,
     /// Reusable task → completion lookup over `after`.
     after_map: HashMap<TaskId, SimTime>,
 }
@@ -203,44 +287,72 @@ impl PredictState {
     /// the tail of the input lane; completion ties break by lane
     /// position), so a same-instant probe of the same problem reuses the
     /// drain wholesale and only the probe's own entry is relabelled.
+    ///
+    /// `truncate` grants permission to stop the drain at the probe's
+    /// completion (only taken under [`Stage2Mode::Fast`]); a memoised
+    /// *truncated* schedule never satisfies a `!truncate` caller — the
+    /// drain re-runs to completion, resuming the shared prefix.
     fn refresh_after(
         &mut self,
         trace: &ServerTrace,
         now: SimTime,
         task: TaskId,
         costs: PhaseCosts,
+        mode: Stage2Mode,
+        truncate: bool,
     ) {
         let key = AfterKey::new(costs, now, trace.generation());
-        match &mut self.after_query {
-            Some((memo_key, memo_task)) if *memo_key == key => {
-                // Mirrors the drain path's duplicate-mapping panic: a hit
-                // for a task the trace already holds would silently skip
-                // that check.
-                debug_assert!(
-                    *memo_task == task || !trace.is_active(task),
-                    "task {task} already mapped on this trace"
-                );
-                if *memo_task != task {
-                    let old = *memo_task;
-                    for entry in &mut self.after {
-                        if entry.0 == old {
-                            entry.0 = task;
-                        }
+        let usable = match &self.after_query {
+            Some((memo_key, _)) => *memo_key == key && (self.after_complete || truncate),
+            None => false,
+        };
+        if usable {
+            let (_, memo_task) = self.after_query.as_mut().expect("usable implies memoised");
+            // Mirrors the drain path's duplicate-mapping panic: a hit
+            // for a task the trace already holds would silently skip
+            // that check.
+            debug_assert!(
+                *memo_task == task || !trace.is_active(task),
+                "task {task} already mapped on this trace"
+            );
+            if *memo_task != task {
+                let old = *memo_task;
+                for entry in &mut self.after {
+                    if entry.0 == old {
+                        entry.0 = task;
                     }
-                    *memo_task = task;
-                    self.cross_task_hits += 1;
                 }
-                self.memo_hits += 1;
+                *memo_task = task;
+                self.cross_task_hits += 1;
             }
-            _ => {
-                trace.drain_schedule_into(
-                    &mut self.scratch,
-                    Some((now, task, costs)),
-                    &mut self.after,
-                );
-                self.after_query = Some((key, task));
-                self.drains += 1;
+            self.memo_hits += 1;
+        } else {
+            match mode {
+                Stage2Mode::Full => {
+                    trace.drain_schedule_into(
+                        &mut self.scratch,
+                        Some((now, task, costs)),
+                        &mut self.after,
+                    );
+                    self.after_complete = true;
+                }
+                Stage2Mode::Fast => {
+                    let (prefix_hit, truncated) = trace.drain_schedule_into_fast(
+                        &mut self.scratch,
+                        &mut self.prefix,
+                        now,
+                        task,
+                        costs,
+                        truncate,
+                        &mut self.after,
+                    );
+                    self.prefix_hits += prefix_hit as u64;
+                    self.truncated += truncated as u64;
+                    self.after_complete = !truncated;
+                }
             }
+            self.after_query = Some((key, task));
+            self.drains += 1;
         }
     }
 
@@ -262,9 +374,11 @@ impl PredictState {
         now: SimTime,
         task: TaskId,
         costs: PhaseCosts,
+        mode: Stage2Mode,
+        completion_only: bool,
     ) -> Prediction {
         let mut out = Prediction::empty();
-        self.predict_into(trace, now, task, costs, &mut out);
+        self.predict_into(trace, now, task, costs, mode, completion_only, &mut out);
         out
     }
 
@@ -274,16 +388,42 @@ impl PredictState {
     /// to the server's active-task count. Same lookups, same floats,
     /// same order as the returning variant — which is now defined
     /// through this one.
+    #[allow(clippy::too_many_arguments)]
     fn predict_into(
         &mut self,
         trace: &ServerTrace,
         now: SimTime,
         task: TaskId,
         costs: PhaseCosts,
+        mode: Stage2Mode,
+        completion_only: bool,
         out: &mut Prediction,
     ) {
+        // Completion-only depth (fast mode): nothing reads the
+        // perturbations, so skip the baseline refresh and the
+        // perturbation fill entirely and let the drain stop at the
+        // probe's completion. The completion value is bit-identical —
+        // truncation only cuts the schedule *after* the probe's entry.
+        let truncate = completion_only && mode == Stage2Mode::Fast;
+        if truncate {
+            self.refresh_after(trace, now, task, costs, mode, true);
+            // Scan from the back: a truncated drain stops at the probe's
+            // completion, so the probe is the last entry (or within its
+            // same-instant tie batch). Task ids are unique in `after`, so
+            // the direction cannot change the value found.
+            out.completion = self
+                .after
+                .iter()
+                .rev()
+                .find(|&&(j, _)| j == task)
+                .expect("probe is in its own after-schedule")
+                .1;
+            out.queried_at = now;
+            out.perturbations.clear();
+            return;
+        }
         self.refresh_baseline(trace);
-        self.refresh_after(trace, now, task, costs);
+        self.refresh_after(trace, now, task, costs, mode, false);
         // Small schedules answer by linear scan: rebuilding the task →
         // completion hash map costs more than scanning a few contiguous
         // pairs, and a campaign-realistic trace holds a handful of active
@@ -344,6 +484,12 @@ pub struct MemoStats {
     /// problem-keyed memo buys over an exact `(task, now, generation)`
     /// key.
     pub cross_task_hits: u64,
+    /// The subset of `drains` that stopped early at the probe's
+    /// completion (fast mode, completion-only depth).
+    pub truncated: u64,
+    /// The subset of `drains` that resumed the shared baseline-prefix
+    /// cursor instead of replaying the trace's event history (fast mode).
+    pub prefix_hits: u64,
 }
 
 impl MemoStats {
@@ -354,6 +500,36 @@ impl MemoStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Early-exited drains over all drains run, in [0, 1].
+    pub fn truncation_rate(&self) -> f64 {
+        if self.drains == 0 {
+            0.0
+        } else {
+            self.truncated as f64 / self.drains as f64
+        }
+    }
+
+    /// Field-wise sum — aggregates counters across HTMs (one per shard
+    /// in a federation).
+    pub fn merge(self, other: MemoStats) -> MemoStats {
+        MemoStats {
+            drains: self.drains + other.drains,
+            hits: self.hits + other.hits,
+            cross_task_hits: self.cross_task_hits + other.cross_task_hits,
+            truncated: self.truncated + other.truncated,
+            prefix_hits: self.prefix_hits + other.prefix_hits,
+        }
+    }
+
+    /// Prefix-cursor resumes over all drains run, in [0, 1].
+    pub fn prefix_reuse_rate(&self) -> f64 {
+        if self.drains == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / self.drains as f64
         }
     }
 }
@@ -385,6 +561,15 @@ pub struct Htm {
     by_task: HashMap<TaskId, ArenaKey<CommittedTask>>,
     sync: SyncPolicy,
     repair: RepairPolicy,
+    stage2: Stage2Mode,
+    /// Fast-mode depth: when `true`, the configured heuristic only ever
+    /// reads the probe's completion, so queries skip the perturbation
+    /// fill and drains may truncate.
+    completion_only: bool,
+    /// Forces the `predict_all` pool fan-out on (`Some(true)`) or off
+    /// (`Some(false)`) regardless of worker count — the test hook behind
+    /// the forced-parallel equality step, mirroring the stage-1 arm.
+    parallel_override: Option<bool>,
     predictions_made: u64,
 }
 
@@ -400,6 +585,9 @@ impl Htm {
             by_task: HashMap::new(),
             sync,
             repair: RepairPolicy::default(),
+            stage2: Stage2Mode::default(),
+            completion_only: false,
+            parallel_override: None,
             predictions_made: 0,
         }
     }
@@ -414,6 +602,39 @@ impl Htm {
     /// The active baseline-repair policy.
     pub fn repair_policy(&self) -> RepairPolicy {
         self.repair
+    }
+
+    /// Selects the stage-2 drain engine (default [`Stage2Mode::Fast`];
+    /// the full engine exists for differential testing and as the
+    /// same-run baseline of the stage-2 bench gate).
+    pub fn set_stage2_mode(&mut self, mode: Stage2Mode) {
+        self.stage2 = mode;
+    }
+
+    /// The active stage-2 drain engine.
+    pub fn stage2_mode(&self) -> Stage2Mode {
+        self.stage2
+    }
+
+    /// Declares whether the run's heuristic reads only the probe's
+    /// completion from predictions (no perturbations). Under
+    /// [`Stage2Mode::Fast`] this lets speculative drains stop at the
+    /// probe's completion; predictions then carry an empty perturbation
+    /// list. Has no effect under [`Stage2Mode::Full`].
+    pub fn set_completion_only(&mut self, completion_only: bool) {
+        self.completion_only = completion_only;
+    }
+
+    /// Whether completion-only query depth is active.
+    pub fn completion_only(&self) -> bool {
+        self.completion_only
+    }
+
+    /// Forces the batched stage-2 fan-out on or off (`None` restores the
+    /// automatic worker-count gate) — the test hook the forced-parallel
+    /// equality tests drive, mirroring the stage-1 arm's override.
+    pub fn set_parallel_stage2(&mut self, force: Option<bool>) {
+        self.parallel_override = force;
     }
 
     /// Enables Gantt recording on one server's trace (diagnostics, Fig. 1).
@@ -463,6 +684,8 @@ impl Htm {
                 drains: acc.drains + s.drains,
                 hits: acc.hits + s.memo_hits,
                 cross_task_hits: acc.cross_task_hits + s.cross_task_hits,
+                truncated: acc.truncated + s.truncated,
+                prefix_hits: acc.prefix_hits + s.prefix_hits,
             })
     }
 
@@ -502,7 +725,14 @@ impl Htm {
         self.predictions_made += 1;
         let trace = &self.traces[server.index()];
         let state = &mut self.predict_states[server.index()];
-        Some(state.predict(trace, now, task.id, costs))
+        Some(state.predict(
+            trace,
+            now,
+            task.id,
+            costs,
+            self.stage2,
+            self.completion_only,
+        ))
     }
 
     /// [`Self::predict`] into caller-owned storage: returns `false` (and
@@ -525,7 +755,15 @@ impl Htm {
         self.predictions_made += 1;
         let trace = &self.traces[server.index()];
         let state = &mut self.predict_states[server.index()];
-        state.predict_into(trace, now, task.id, costs, out);
+        state.predict_into(
+            trace,
+            now,
+            task.id,
+            costs,
+            self.stage2,
+            self.completion_only,
+            out,
+        );
         true
     }
 
@@ -580,6 +818,49 @@ impl Htm {
         task: &TaskInstance,
         candidates: &[ServerId],
     ) -> Vec<Option<Prediction>> {
+        let (mode, completion_only) = (self.stage2, self.completion_only);
+        // Fast mode scatters whenever more than one worker exists (the
+        // per-drain work is already minimised, so the fan-out pays from
+        // small batches); full mode keeps the conservative load floor of
+        // the pre-optimisation engine. Tests force either arm through the
+        // override, mirroring the stage-1 walk. Gated on the raw
+        // candidate list (selectors produce distinct, solvable-heavy
+        // lists) so the serial path below never pays for the batch
+        // machinery.
+        let parallel = candidates.len() > 1
+            && match mode {
+                Stage2Mode::Fast => self.parallel_override.unwrap_or_else(|| {
+                    candidates.len() >= PARALLEL_MIN_CANDIDATES
+                        && cas_sim::pool::global().workers() > 1
+                }),
+                Stage2Mode::Full => {
+                    candidates.len() >= PARALLEL_MIN_CANDIDATES && {
+                        let total_active: usize = candidates
+                            .iter()
+                            .map(|&s| self.traces[s.index()].active_len())
+                            .sum();
+                        total_active >= PARALLEL_MIN_ACTIVE
+                    }
+                }
+            };
+        if !parallel {
+            // Serial path: one routed query per candidate, straight
+            // through the per-server memo and scratch — no slot map, no
+            // state scan, no intermediate buffers. Per-server queries are
+            // independent, so candidate order is as good as index order,
+            // and a duplicate candidate re-queries into the memo it just
+            // filled (bit-identical answer).
+            return candidates
+                .iter()
+                .map(|&s| {
+                    let costs = self.costs.costs(task.problem, s)?;
+                    self.predictions_made += 1;
+                    let trace = &self.traces[s.index()];
+                    let state = &mut self.predict_states[s.index()];
+                    Some(state.predict(trace, now, task.id, costs, mode, completion_only))
+                })
+                .collect();
+        }
         let mut results: Vec<Option<Prediction>> = Vec::new();
         results.resize_with(candidates.len(), || None);
         let costs: Vec<Option<PhaseCosts>> = candidates
@@ -604,8 +885,7 @@ impl Htm {
             }
         }
         self.predictions_made += selected.len() as u64;
-        let total_active: usize = selected.iter().map(|(_, tr, _)| tr.active_len()).sum();
-        if selected.len() >= PARALLEL_MIN_CANDIDATES && total_active >= PARALLEL_MIN_ACTIVE {
+        {
             let pool = cas_sim::pool::global();
             let workers = (pool.workers() + 1).min(selected.len()).min(8);
             let chunk_len = selected.len().div_ceil(workers);
@@ -618,7 +898,10 @@ impl Htm {
                     scope.spawn(move || {
                         for (slot, trace, state) in chunk.iter_mut() {
                             let c = costs[*slot].expect("selected implies solvable");
-                            out.push((*slot, state.predict(trace, now, task_id, c)));
+                            out.push((
+                                *slot,
+                                state.predict(trace, now, task_id, c, mode, completion_only),
+                            ));
                         }
                     });
                 }
@@ -629,11 +912,6 @@ impl Htm {
                 for (slot, p) in batch {
                     results[slot] = Some(p);
                 }
-            }
-        } else {
-            for (slot, trace, state) in &mut selected {
-                let c = costs[*slot].expect("selected implies solvable");
-                results[*slot] = Some(state.predict(trace, now, task.id, c));
             }
         }
         // Back-fill duplicate candidates (only the last occurrence was
@@ -673,7 +951,10 @@ impl Htm {
         if self.repair == RepairPolicy::Incremental {
             let trace = &self.traces[server.index()];
             let state = &mut self.predict_states[server.index()];
-            state.refresh_after(trace, now, task.id, costs);
+            // The splice needs the *complete* after-schedule: a truncated
+            // memo entry (completion-only fast mode) is re-drained to the
+            // end here, resuming the shared prefix the prediction saved.
+            state.refresh_after(trace, now, task.id, costs, self.stage2, false);
             state.adopt_after_as_baseline();
             let trace = &mut self.traces[server.index()];
             trace.add_task(now, task.id, costs);
@@ -1137,6 +1418,167 @@ mod tests {
         assert!(!htm.retract(t(11.0), TaskId(99)));
     }
 
+    /// Completion-only fast mode must truncate drains (the counters say
+    /// so) while reporting the exact completion the full engine computes,
+    /// and a commit after a truncated prediction must still splice a
+    /// complete baseline.
+    #[test]
+    fn completion_only_truncates_and_commit_completes_the_schedule() {
+        let mut c = CostTable::new(1);
+        c.add_problem(
+            Problem::new("p", 0.0, 0.0, 0.0),
+            vec![Some(PhaseCosts::new(0.0, 100.0, 0.0))],
+        );
+        c.add_problem(
+            Problem::new("q", 0.0, 0.0, 0.0),
+            vec![Some(PhaseCosts::new(0.0, 1.0, 0.0))],
+        );
+        let mut fast = Htm::new(c.clone(), SyncPolicy::None);
+        fast.set_completion_only(true);
+        let mut full = Htm::new(c, SyncPolicy::None);
+        full.set_stage2_mode(Stage2Mode::Full);
+        assert_eq!(fast.stage2_mode(), Stage2Mode::Fast);
+        // Queue long tasks so a short probe completes strictly first and
+        // the truncated drain has a tail to skip.
+        for id in 0..4 {
+            let tk = task(id, 0.0);
+            fast.commit(t(0.0), ServerId(0), &tk);
+            full.commit(t(0.0), ServerId(0), &tk);
+        }
+        let probe = TaskInstance::new(TaskId(100), cas_platform::ProblemId(1), t(1.0));
+        let a = fast.predict(t(1.0), ServerId(0), &probe).unwrap();
+        let b = full.predict(t(1.0), ServerId(0), &probe).unwrap();
+        assert_eq!(
+            a.completion.as_secs().to_bits(),
+            b.completion.as_secs().to_bits()
+        );
+        assert!(a.perturbations.is_empty(), "completion-only depth");
+        assert!(!b.perturbations.is_empty(), "full engine keeps them");
+        let stats = fast.memo_stats();
+        assert!(stats.truncated > 0, "drain must have stopped early");
+        assert!(stats.truncation_rate() > 0.0);
+        // Committing the probe needs the whole after-schedule: the splice
+        // must still be bit-identical to a full re-drain.
+        fast.commit(t(1.0), ServerId(0), &probe);
+        full.commit(t(1.0), ServerId(0), &probe);
+        let cached = fast.cached_baseline(ServerId(0)).expect("fresh");
+        assert_eq!(cached.to_vec(), fast.trace(ServerId(0)).drain_schedule());
+        assert_eq!(cached.len(), 5, "all five tasks in the spliced baseline");
+    }
+
+    /// Repeated queries against an unchanged server resume the shared
+    /// baseline prefix instead of replaying the whole event history.
+    #[test]
+    fn repeat_queries_hit_the_prefix_cursor() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        for id in 0..3 {
+            htm.commit(t(0.0), ServerId(0), &task(id, 0.0));
+        }
+        // Commits run drains of their own; measure the query phase alone.
+        let s0 = htm.memo_stats();
+        // Distinct costs per probe problem would be needed to dodge the
+        // costs-keyed memo; distinct *times* do it too.
+        for (k, now) in [5.0, 6.0, 7.0, 8.0].into_iter().enumerate() {
+            htm.predict(t(now), ServerId(0), &task(100 + k as u64, now))
+                .unwrap();
+        }
+        let stats = htm.memo_stats();
+        assert_eq!(
+            stats.drains - s0.drains,
+            4,
+            "four distinct questions, four drains"
+        );
+        assert!(
+            stats.prefix_hits - s0.prefix_hits >= 3,
+            "later drains resume the prefix: {stats:?}"
+        );
+        // The rate folds in the commit-time drains too (each a miss, the
+        // generation having just changed), so only its liveness is pinned.
+        assert!(stats.prefix_reuse_rate() > 0.0);
+    }
+
+    /// A crash retraction bumps the trace generation, which must
+    /// invalidate both the costs-keyed drain memo and the prefix cursor:
+    /// the same question re-asked after the retract runs a fresh drain
+    /// (no stale hit) and answers from the repaired trace.
+    #[test]
+    fn retract_invalidates_drain_memo_and_prefix() {
+        let mut htm = Htm::new(table(), SyncPolicy::None);
+        htm.commit(t(0.0), ServerId(0), &task(1, 0.0));
+        htm.commit(t(0.0), ServerId(0), &task(2, 0.0));
+        let probe = task(100, 5.0);
+        let before = htm.predict(t(5.0), ServerId(0), &probe).unwrap();
+        let s0 = htm.memo_stats();
+        // Same question again: answered from the memo, no new drain.
+        htm.predict(t(5.0), ServerId(0), &task(101, 5.0)).unwrap();
+        let s1 = htm.memo_stats();
+        assert_eq!(s1.drains, s0.drains, "unchanged trace answers from memo");
+        // Crash retraction: T1 vanishes at t=5.
+        assert!(htm.retract(t(5.0), TaskId(1)));
+        let after = htm.predict(t(5.0), ServerId(0), &task(102, 5.0)).unwrap();
+        let s2 = htm.memo_stats();
+        assert_eq!(
+            s2.drains,
+            s1.drains + 1,
+            "post-retract query must re-drain, not hit the stale memo"
+        );
+        assert!(
+            after.completion < before.completion,
+            "answer reflects the retracted task: {before:?} vs {after:?}"
+        );
+        // The prefix cursor was generation-stamped too: the fresh drain
+        // cannot have resumed the pre-retract snapshot.
+        assert_eq!(s2.prefix_hits, s1.prefix_hits, "no stale prefix resume");
+    }
+
+    /// The forced-pool stage-2 scatter must answer bit-identically to the
+    /// forced-serial path — the equality step the CI job runs by name.
+    #[test]
+    fn forced_parallel_stage2_matches_forced_serial() {
+        let n_servers = 12usize;
+        let mut table = CostTable::new(n_servers);
+        table.add_problem(
+            Problem::new("p", 0.5, 0.2, 0.0),
+            (0..n_servers)
+                .map(|s| Some(PhaseCosts::new(0.3, 15.0 + s as f64, 0.1)))
+                .collect(),
+        );
+        let build = || {
+            let mut htm = Htm::new(table.clone(), SyncPolicy::None);
+            let mut id = 0u64;
+            for s in 0..n_servers as u32 {
+                for k in 0..9 {
+                    let tk = TaskInstance::new(
+                        TaskId(id),
+                        cas_platform::ProblemId(0),
+                        t(k as f64 * 0.5),
+                    );
+                    htm.commit(tk.arrival, ServerId(s), &tk);
+                    id += 1;
+                }
+            }
+            htm
+        };
+        let mut parallel = build();
+        parallel.set_parallel_stage2(Some(true));
+        let mut serial = build();
+        serial.set_parallel_stage2(Some(false));
+        let candidates: Vec<ServerId> = (0..n_servers as u32).map(ServerId).collect();
+        for (k, now) in [10.0, 10.0, 30.0].into_iter().enumerate() {
+            let probe = task(700_000 + k as u64, now);
+            let a = parallel.predict_all(t(now), &probe, &candidates);
+            let b = serial.predict_all(t(now), &probe, &candidates);
+            assert_eq!(a, b, "scatter changed an answer at now={now}");
+        }
+        // Both sides agree with the clone-and-drain reference too.
+        let probe = task(800_000, 40.0);
+        let batch = parallel.predict_all(t(40.0), &probe, &candidates);
+        for (s, got) in candidates.iter().zip(&batch) {
+            let expected = serial.predict_reference(t(40.0), *s, &probe);
+            assert_eq!(got.as_ref(), expected.as_ref(), "server {s}");
+        }
+    }
+
     /// Duplicate candidates are evaluated once and back-filled.
     #[test]
     fn predict_all_handles_duplicates_and_unsolvable() {
@@ -1404,6 +1846,158 @@ mod proptests {
                     _ => {
                         if let Some(&id) = committed.first() {
                             inc.observe_completion(when, id);
+                            full.observe_completion(when, id);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The two stage-2 drain engines are observationally equivalent:
+        /// an HTM on the default [`Stage2Mode::Fast`] path (prefix-sharing
+        /// drains, memoised truncation bookkeeping) and one pinned to
+        /// [`Stage2Mode::Full`] (the pre-optimisation executable spec)
+        /// answer every query bit-identically over arbitrary interleavings
+        /// of commit / predict / retract / observe, and the Fast side's
+        /// spliced baselines always equal a from-scratch re-drain.
+        #[test]
+        fn stage2_modes_are_observationally_equal(
+            costs in proptest::collection::vec(arb_costs(), 6),
+            ops in proptest::collection::vec(
+                (0u32..10, 0u32..3, 0u32..2, 0.0f64..20.0),
+                1..40,
+            ),
+        ) {
+            let solvable = vec![true; 6];
+            let table = build_table(&costs, &solvable);
+            let mut fast = Htm::new(table.clone(), SyncPolicy::ForceFinish);
+            let mut full = Htm::new(table, SyncPolicy::ForceFinish);
+            full.set_stage2_mode(Stage2Mode::Full);
+            prop_assert_eq!(fast.stage2_mode(), Stage2Mode::Fast);
+            let mut now = 0.0f64;
+            let mut next_id = 0u64;
+            let mut committed: Vec<TaskId> = Vec::new();
+            for (kind, server, problem, gap) in ops {
+                now += gap;
+                let when = t(now);
+                match kind {
+                    0..=4 => {
+                        let probe = TaskInstance::new(
+                            TaskId(1_000_000 + next_id),
+                            ProblemId(problem),
+                            when,
+                        );
+                        next_id += 1;
+                        for s in 0..N_SERVERS as u32 {
+                            let a = fast.predict(when, ServerId(s), &probe);
+                            let b = full.predict(when, ServerId(s), &probe);
+                            match (&a, &b) {
+                                (None, None) => {}
+                                (Some(f), Some(r)) => assert_bit_identical(f, r)?,
+                                _ => prop_assert!(false, "solvability disagreement on {}", s),
+                            }
+                        }
+                    }
+                    5..=7 => {
+                        let task = TaskInstance::new(TaskId(next_id), ProblemId(problem), when);
+                        next_id += 1;
+                        fast.commit(when, ServerId(server), &task);
+                        full.commit(when, ServerId(server), &task);
+                        committed.push(task.id);
+                        assert_baselines_match_full_redrain(&fast)?;
+                    }
+                    8 => {
+                        if let Some(id) = committed.pop() {
+                            prop_assert_eq!(fast.retract(when, id), full.retract(when, id));
+                            assert_baselines_match_full_redrain(&fast)?;
+                        }
+                    }
+                    _ => {
+                        if let Some(&id) = committed.first() {
+                            fast.observe_completion(when, id);
+                            full.observe_completion(when, id);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Completion-only depth (the truncated-drain path taken for
+        /// heuristics that never read perturbations) reports the same
+        /// completion **bits** as the Full engine over arbitrary
+        /// interleavings — truncation may cut only the tail *after* the
+        /// probe's own entry — and the splice-on-commit still leaves
+        /// baselines equal to a full re-drain even when the preceding
+        /// drain was truncated.
+        #[test]
+        fn completion_only_fast_matches_full_completions(
+            costs in proptest::collection::vec(arb_costs(), 6),
+            ops in proptest::collection::vec(
+                (0u32..10, 0u32..3, 0u32..2, 0.0f64..20.0),
+                1..40,
+            ),
+        ) {
+            let solvable = vec![true; 6];
+            let table = build_table(&costs, &solvable);
+            let mut fast = Htm::new(table.clone(), SyncPolicy::ForceFinish);
+            fast.set_completion_only(true);
+            prop_assert!(fast.completion_only());
+            let mut full = Htm::new(table, SyncPolicy::ForceFinish);
+            full.set_stage2_mode(Stage2Mode::Full);
+            let mut now = 0.0f64;
+            let mut next_id = 0u64;
+            let mut committed: Vec<TaskId> = Vec::new();
+            for (kind, server, problem, gap) in ops {
+                now += gap;
+                let when = t(now);
+                match kind {
+                    0..=4 => {
+                        let probe = TaskInstance::new(
+                            TaskId(1_000_000 + next_id),
+                            ProblemId(problem),
+                            when,
+                        );
+                        next_id += 1;
+                        for s in 0..N_SERVERS as u32 {
+                            let a = fast.predict(when, ServerId(s), &probe);
+                            let b = full.predict(when, ServerId(s), &probe);
+                            match (&a, &b) {
+                                (None, None) => {}
+                                (Some(f), Some(r)) => {
+                                    prop_assert_eq!(
+                                        f.completion.as_secs().to_bits(),
+                                        r.completion.as_secs().to_bits(),
+                                        "completion differs on {}: {:?} vs {:?}",
+                                        s,
+                                        f.completion,
+                                        r.completion
+                                    );
+                                    prop_assert_eq!(f.queried_at, r.queried_at);
+                                    // The whole point of the depth flag:
+                                    // the perturbation fill is skipped.
+                                    prop_assert!(f.perturbations.is_empty());
+                                }
+                                _ => prop_assert!(false, "solvability disagreement on {}", s),
+                            }
+                        }
+                    }
+                    5..=7 => {
+                        let task = TaskInstance::new(TaskId(next_id), ProblemId(problem), when);
+                        next_id += 1;
+                        fast.commit(when, ServerId(server), &task);
+                        full.commit(when, ServerId(server), &task);
+                        committed.push(task.id);
+                        assert_baselines_match_full_redrain(&fast)?;
+                    }
+                    8 => {
+                        if let Some(id) = committed.pop() {
+                            prop_assert_eq!(fast.retract(when, id), full.retract(when, id));
+                            assert_baselines_match_full_redrain(&fast)?;
+                        }
+                    }
+                    _ => {
+                        if let Some(&id) = committed.first() {
+                            fast.observe_completion(when, id);
                             full.observe_completion(when, id);
                         }
                     }

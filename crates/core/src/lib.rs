@@ -59,6 +59,17 @@
 //!    invariant 3 the adopted schedule is bit-identical to what a full
 //!    re-drain of the mutated trace would produce; the proptests assert
 //!    this directly after every mutation.
+//! 5. **Fast ≡ Full.** Under [`htm::Stage2Mode::Fast`] (the default) the
+//!    drain engine truncates speculative drains at the probe's completion
+//!    (completion-only heuristics), resumes a shared baseline-prefix
+//!    cursor saved at event boundaries, and scatters batches across the
+//!    worker pool. All three are bit-identity-preserving by construction
+//!    — truncation cuts only the tail after the probe's entry, the prefix
+//!    snapshot is taken at the last processed event (the only resumable
+//!    point in float arithmetic), and the parallel reduce is slot-indexed
+//!    — and the differential proptests drive Fast and Full
+//!    ([`htm::Stage2Mode::Full`], the pre-optimisation engine kept as the
+//!    executable spec) through arbitrary interleavings.
 
 pub mod gantt;
 pub mod heuristics;
@@ -73,8 +84,8 @@ pub use heuristics::{
     DecisionMemo, Heuristic, HeuristicKind, Hmct, Mct, MinLoad, Mni, Mp, Msf, Olb, RandomChoice,
     RoundRobin, SchedView,
 };
-pub use htm::{Htm, MemoStats, RepairPolicy, SyncPolicy};
+pub use htm::{Htm, MemoStats, RepairPolicy, Stage2Mode, SyncPolicy};
 pub use prediction::Prediction;
 pub use selector::{Adaptive, CandidateSelector, Exhaustive, SelectorInput, SelectorKind, TopK};
-pub use trace::{DrainScratch, ServerTrace};
+pub use trace::{DrainScratch, PrefixCursor, ServerTrace};
 pub use whatif::WhatIf;

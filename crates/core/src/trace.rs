@@ -429,6 +429,78 @@ impl ServerTrace {
         scratch.drain(&self.jobs, None, out);
         removed
     }
+
+    /// The fast-mode what-if drain: [`Self::drain_schedule_into`] with a
+    /// hypothetical task, accelerated by the baseline-prefix cursor and —
+    /// when `truncate` is set — an early exit once the probe's completion
+    /// is known.
+    ///
+    /// Produces values bit-identical to `drain_schedule_into(scratch,
+    /// Some((now, task, costs)), out)` by construction: the prefix cursor
+    /// only ever resumes the event loop from a state every full replay
+    /// passes through, and truncation only cuts the tail of `out` *after*
+    /// the probe's entry. When `truncate` is `false`, `out` is the complete
+    /// after-schedule, bit for bit.
+    ///
+    /// Returns `(prefix_hit, truncated)`: whether the shared prefix was
+    /// resumed from `prefix` instead of replayed from the live trace, and
+    /// whether `out` is a (probe-containing) prefix rather than the full
+    /// schedule. `prefix` is refreshed to this query's `(generation, now)`
+    /// on every call, so the next probe of the same decision round hits.
+    ///
+    /// # Panics
+    /// Panics if `now` is before the cursor or names a task already mapped
+    /// here (mirrors [`Self::drain_schedule_into`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn drain_schedule_into_fast(
+        &self,
+        scratch: &mut DrainScratch,
+        prefix: &mut PrefixCursor,
+        now: SimTime,
+        task: TaskId,
+        costs: PhaseCosts,
+        truncate: bool,
+        out: &mut Vec<(TaskId, SimTime)>,
+    ) -> (bool, bool) {
+        assert!(now >= self.cursor, "trace cannot rewind");
+        assert!(
+            !self.jobs.contains_key(&task),
+            "task {task} already mapped on this trace"
+        );
+        out.clear();
+        let hit = prefix.usable_for(self, now);
+        if hit {
+            scratch.restore_prefix(prefix);
+        } else {
+            scratch.load(self);
+        }
+        // Shared prefix: process every baseline event up to `now`,
+        // discarding pre-now completions exactly like the clone path's
+        // `finished` list. Lanes are left at the last processed event —
+        // the snapshot point — and only then settled to `now`.
+        let mut pre = std::mem::take(&mut scratch.pre_now);
+        pre.clear();
+        let moved = scratch.advance_events_until(now, &self.jobs, None, &mut pre);
+        scratch.pre_now = pre;
+        if !hit || moved > 0 {
+            scratch.save_prefix(prefix);
+            prefix.events_until = now;
+            prefix.generation = self.generation();
+            prefix.valid = true;
+        }
+        // On a hit that processed no event the snapshot already *is* this
+        // state: skip the copy-back and keep the older — strictly more
+        // reusable — `events_until`.
+        scratch.settle(now);
+        scratch.lanes[0].entries.push((task, costs.input));
+        let truncated = if truncate {
+            scratch.drain_until(&self.jobs, Some((task, costs)), task, out)
+        } else {
+            scratch.drain(&self.jobs, Some((task, costs)), out);
+            false
+        };
+        (hit, truncated)
+    }
 }
 
 /// Reusable flat-buffer state for zero-clone what-if drains.
@@ -561,6 +633,13 @@ impl DrainScratch {
     }
 
     /// Mirrors [`ServerTrace::advance`] (without Gantt recording).
+    ///
+    /// Structured as the event loop ([`Self::advance_events_until`])
+    /// followed by the final partial advance ([`Self::settle`]); the split
+    /// exists so the prefix cursor can snapshot the scratch at the last
+    /// processed event — the only state that is bit-identical across every
+    /// replay that passes that event (the trailing partial advance splits
+    /// an interval, and `(w − r·dt₁) − r·dt₂ ≠ w − r·(dt₁+dt₂)` in floats).
     fn advance_to(
         &mut self,
         to: SimTime,
@@ -568,32 +647,76 @@ impl DrainScratch {
         extra: Option<(TaskId, PhaseCosts)>,
         out: &mut Vec<(TaskId, SimTime)>,
     ) {
+        self.advance_events_until(to, jobs, extra, out);
+        self.settle(to);
+    }
+
+    /// The event half of [`Self::advance_to`]: processes every phase
+    /// completion at or before `to`, leaving all lanes advanced exactly to
+    /// the last processed event (or untouched when no event fires). No
+    /// partial progress beyond an event time is integrated, so the
+    /// resulting state can be resumed for any later `to` bit-identically.
+    /// Returns the number of events processed, so the prefix-cursor path
+    /// can tell a no-op resume (state unchanged, snapshot still exact)
+    /// from one that moved the scratch forward.
+    fn advance_events_until(
+        &mut self,
+        to: SimTime,
+        jobs: &BTreeMap<TaskId, JobState>,
+        extra: Option<(TaskId, PhaseCosts)>,
+        out: &mut Vec<(TaskId, SimTime)>,
+    ) -> usize {
+        let mut processed = 0;
         while let Some((lane_idx, task, when)) = self.next_event() {
             if when > to {
                 break;
             }
-            for lane in &mut self.lanes {
-                lane.advance(when);
-            }
-            self.cursor = when;
-            let lane = &mut self.lanes[lane_idx];
-            let pos = lane
-                .entries
-                .iter()
-                .position(|e| e.0 == task)
-                .expect("completing task is in its lane");
-            lane.entries.remove(pos);
-            if lane_idx + 1 < self.lanes.len() {
-                let costs = Self::costs_of(jobs, extra, task);
-                let cost = match lane_idx + 1 {
-                    1 => costs.compute,
-                    _ => costs.output,
-                };
-                self.lanes[lane_idx + 1].entries.push((task, cost));
-            } else {
-                out.push((task, when));
-            }
+            self.process_event(lane_idx, task, when, jobs, extra, out);
+            processed += 1;
         }
+        processed
+    }
+
+    /// One step of the event loop: advance every lane to `when`, retire
+    /// `task` from `lanes[lane_idx]`, and either feed it to the next lane
+    /// or append its final completion to `out`. Factored out so
+    /// [`Self::advance_events_until`] and [`Self::drain_until`] share the
+    /// exact arithmetic (and therefore stay bit-identical).
+    fn process_event(
+        &mut self,
+        lane_idx: usize,
+        task: TaskId,
+        when: SimTime,
+        jobs: &BTreeMap<TaskId, JobState>,
+        extra: Option<(TaskId, PhaseCosts)>,
+        out: &mut Vec<(TaskId, SimTime)>,
+    ) {
+        for lane in &mut self.lanes {
+            lane.advance(when);
+        }
+        self.cursor = when;
+        let lane = &mut self.lanes[lane_idx];
+        let pos = lane
+            .entries
+            .iter()
+            .position(|e| e.0 == task)
+            .expect("completing task is in its lane");
+        lane.entries.remove(pos);
+        if lane_idx + 1 < self.lanes.len() {
+            let costs = Self::costs_of(jobs, extra, task);
+            let cost = match lane_idx + 1 {
+                1 => costs.compute,
+                _ => costs.output,
+            };
+            self.lanes[lane_idx + 1].entries.push((task, cost));
+        } else {
+            out.push((task, when));
+        }
+    }
+
+    /// The trailing half of [`Self::advance_to`]: integrates the partial
+    /// interval from the last processed event up to `to` on every lane.
+    fn settle(&mut self, to: SimTime) {
         for lane in &mut self.lanes {
             lane.advance(to);
         }
@@ -614,6 +737,110 @@ impl DrainScratch {
                 .expect("active tasks must produce a next event");
             self.advance_to(when, jobs, extra, out);
         }
+    }
+
+    /// Truncated drain: identical to [`Self::drain`] but returns as soon as
+    /// `stop`'s completion has been appended to `out`. The output is a
+    /// bit-exact prefix of the full drain (same events, same order, same
+    /// float values — the loop merely exits early), possibly including a
+    /// few same-instant completions that tie with `stop`. Returns `true`
+    /// when the drain stopped early (tasks remain in the lanes), `false`
+    /// when the schedule drained to empty anyway.
+    fn drain_until(
+        &mut self,
+        jobs: &BTreeMap<TaskId, JobState>,
+        extra: Option<(TaskId, PhaseCosts)>,
+        stop: TaskId,
+        out: &mut Vec<(TaskId, SimTime)>,
+    ) -> bool {
+        // Single event loop (one `next_event` scan per event, against the
+        // three scans of the `drain` + `advance_to` composition): process
+        // events in completion order, note the instant `stop` finishes,
+        // keep draining its same-instant tie batch, and return as soon as
+        // the next event lies strictly later. Event arithmetic is
+        // `process_event` — the exact loop body of the full drain — so the
+        // output is a bit-exact prefix of [`Self::drain`]'s.
+        let mut stop_at: Option<SimTime> = None;
+        while let Some((lane_idx, task, when)) = self.next_event() {
+            if stop_at.is_some_and(|t| when > t) {
+                return true;
+            }
+            self.process_event(lane_idx, task, when, jobs, extra, out);
+            if lane_idx + 1 == self.lanes.len() && task == stop {
+                stop_at = Some(when);
+            }
+        }
+        false
+    }
+
+    /// Snapshots the scratch state into `cur` (reusing its buffers).
+    fn save_prefix(&self, cur: &mut PrefixCursor) {
+        for (src, dst) in self.lanes.iter().zip(cur.lanes.iter_mut()) {
+            dst.entries.clear();
+            dst.entries.extend_from_slice(&src.entries);
+            dst.updated_at = src.updated_at;
+            dst.capacity = src.capacity;
+        }
+        cur.cursor = self.cursor;
+    }
+
+    /// Restores the scratch from a snapshot taken by [`Self::save_prefix`].
+    fn restore_prefix(&mut self, cur: &PrefixCursor) {
+        for (dst, src) in self.lanes.iter_mut().zip(cur.lanes.iter()) {
+            dst.entries.clear();
+            dst.entries.extend_from_slice(&src.entries);
+            dst.updated_at = src.updated_at;
+            dst.capacity = src.capacity;
+        }
+        self.cursor = cur.cursor;
+    }
+}
+
+/// A reusable snapshot of a [`DrainScratch`] taken at the last processed
+/// event of the shared advance-to-`now` prefix of a what-if drain — the
+/// baseline-prefix cursor of the fast stage-2 path.
+///
+/// Every probe of a decision round replays the same baseline events on a
+/// server before injecting its hypothetical task. The cursor caches the
+/// scratch state *after* the event loop but *before* the trailing partial
+/// advance ([`DrainScratch::settle`]) — the unique point that is
+/// bit-identical across all replays that pass it (see
+/// [`DrainScratch::advance_events_until`]). A later query at the same or a
+/// later `now` restores the snapshot and resumes the event loop instead of
+/// replaying from the live trace state.
+///
+/// Validity is the caller's job (the HTM keys cursors by trace
+/// [`Generation`] and invalidates on mismatch or when `now` moves
+/// backwards past [`Self::events_until`]).
+#[derive(Debug, Clone, Default)]
+pub struct PrefixCursor {
+    lanes: [ScratchLane; 3],
+    cursor: SimTime,
+    /// The `now` the snapshot's event loop ran until: all events ≤ this
+    /// time are already processed, so the snapshot is resumable only for
+    /// queries at `now ≥ events_until`.
+    events_until: SimTime,
+    /// Trace change stamp at snapshot time; any later mutation invalidates.
+    generation: Generation,
+    /// Whether the snapshot holds valid state at all.
+    valid: bool,
+}
+
+impl PrefixCursor {
+    /// An empty, invalid cursor (buffers grow on first save).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the cursor invalid (e.g. after a retraction repair that
+    /// bypassed the normal save path).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Whether the snapshot can seed a replay of `trace` at `now`.
+    fn usable_for(&self, trace: &ServerTrace, now: SimTime) -> bool {
+        self.valid && self.generation == trace.generation() && now >= self.events_until
     }
 }
 
@@ -856,6 +1083,74 @@ mod tests {
             after[&TaskId(2)]
         );
     }
+
+    /// The fast what-if drain (prefix cursor + truncation) must agree bit
+    /// for bit with `drain_schedule_into` on the probe's completion —
+    /// across repeated probes at the same `now` (prefix hits), later `now`s
+    /// (prefix resume), and after trace mutations (prefix invalidation).
+    #[test]
+    fn fast_drain_matches_slow_drain_bitwise() {
+        let mut tr = ServerTrace::new();
+        tr.add_task(t(0.0), TaskId(1), costs(2.0, 30.0, 1.0));
+        tr.add_task(t(1.0), TaskId(2), costs(0.0, 10.0, 0.0));
+        tr.add_task(t(3.0), TaskId(3), costs(1.0, 5.0, 2.0));
+        let mut scratch = DrainScratch::new();
+        let mut prefix = PrefixCursor::new();
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        let mut hits = 0usize;
+        let mut mutated_at = 0;
+        for (i, now) in [4.0, 4.0, 4.0, 9.0, 9.0, 25.0, 25.0]
+            .into_iter()
+            .enumerate()
+        {
+            if i == 5 {
+                // Mutate the trace mid-sequence: the cursor must invalidate.
+                tr.add_task(t(20.0), TaskId(50), costs(0.5, 8.0, 0.5));
+                mutated_at = i;
+            }
+            for (probe, pc) in [
+                (TaskId(100), costs(1.0, 20.0, 1.0)),
+                (TaskId(101), costs(0.0, 3.0, 0.0)),
+            ] {
+                for truncate in [false, true] {
+                    let (hit, truncated) = tr.drain_schedule_into_fast(
+                        &mut scratch,
+                        &mut prefix,
+                        t(now),
+                        probe,
+                        pc,
+                        truncate,
+                        &mut fast,
+                    );
+                    hits += hit as usize;
+                    tr.drain_schedule_into(&mut scratch, Some((t(now), probe, pc)), &mut slow);
+                    if truncate && truncated {
+                        assert!(fast.len() < slow.len(), "truncated output must be shorter");
+                    } else {
+                        assert_eq!(fast.len(), slow.len(), "now={now}, probe={probe}");
+                    }
+                    // The fast output is a bit-exact prefix of the slow one.
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert_eq!(a.0, b.0, "now={now}, probe={probe}");
+                        assert_eq!(a.1.as_secs().to_bits(), b.1.as_secs().to_bits());
+                    }
+                    assert!(
+                        fast.iter().any(|e| e.0 == probe),
+                        "probe completion present even when truncated"
+                    );
+                }
+            }
+        }
+        // Every call but the very first at each (generation, now) resumes
+        // the prefix: 7 rounds × 4 calls, minus the first round's first
+        // call, minus the post-mutation round's first call.
+        assert_eq!(
+            hits,
+            7 * 4 - 2,
+            "prefix hit pattern (mutated at {mutated_at})"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -974,6 +1269,48 @@ mod proptests {
             for (a, b) in coarse.finished().iter().zip(fine.finished()) {
                 prop_assert_eq!(a.0, b.0);
                 prop_assert!(a.1.approx_eq(b.1, 1e-6));
+            }
+        }
+
+        /// The fast what-if drain is bit-identical to the reference drain
+        /// for arbitrary resident schedules, probe costs, query times and
+        /// truncation choices — including prefix-cursor reuse across a
+        /// monotone sequence of query times.
+        #[test]
+        fn fast_drain_bitwise_equals_reference(
+            specs in proptest::collection::vec((0.0f64..40.0, arb_costs()), 1..15),
+            probe_costs in arb_costs(),
+            nows in proptest::collection::vec(0.0f64..120.0, 1..6),
+            truncate in proptest::bool::ANY,
+        ) {
+            let mut tr = ServerTrace::new();
+            let mut arrivals = specs;
+            arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for (i, (arr, c)) in arrivals.iter().enumerate() {
+                tr.add_task(t(*arr), TaskId(i as u64), *c);
+            }
+            let mut sorted_nows = nows;
+            sorted_nows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut scratch = DrainScratch::new();
+            let mut prefix = PrefixCursor::new();
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            for (k, now) in sorted_nows.iter().enumerate() {
+                let now = t(now.max(tr.cursor().as_secs()));
+                let probe = TaskId(1000 + k as u64);
+                tr.drain_schedule_into(&mut scratch, Some((now, probe, probe_costs)), &mut slow);
+                let (_, truncated) = tr.drain_schedule_into_fast(
+                    &mut scratch, &mut prefix, now, probe, probe_costs, truncate, &mut fast,
+                );
+                prop_assert!(fast.iter().any(|e| e.0 == probe));
+                if truncated {
+                    prop_assert!(fast.len() < slow.len());
+                } else {
+                    prop_assert_eq!(fast.len(), slow.len());
+                }
+                for (a, b) in fast.iter().zip(&slow) {
+                    prop_assert_eq!(a.0, b.0);
+                    prop_assert_eq!(a.1.as_secs().to_bits(), b.1.as_secs().to_bits());
+                }
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use cas_core::heuristics::HeuristicKind;
-use cas_core::{SelectorKind, SyncPolicy};
+use cas_core::{SelectorKind, Stage2Mode, SyncPolicy};
 use cas_platform::{IndexScoring, MemoryModel, RankingsBackend, ShardMap};
 
 /// How the agent's decision state is partitioned across the farm.
@@ -132,6 +132,12 @@ pub struct ExperimentConfig {
     /// ladder, or the original per-problem `BTreeSet` — the executable
     /// spec the flat backend is differentially proven bit-identical to.
     pub rankings: RankingsBackend,
+    /// Which stage-2 drain engine answers what-if queries
+    /// (`--stage2 full|fast`, default fast): truncated prefix-sharing
+    /// drains with the parallel scatter, or the pre-optimisation
+    /// engine kept as the executable spec the fast path is
+    /// differentially proven bit-identical to.
+    pub stage2: Stage2Mode,
     /// Lazy federation merge (`--skyline on|off`, default on): the router
     /// visits shards in skyline order and skips shards whose best stage-1
     /// score provably cannot reach the merged shortlist. A pure pruning
@@ -214,6 +220,7 @@ impl ExperimentConfig {
             shards: Sharding::Single,
             index_scoring: IndexScoring::RemainingWork,
             rankings: RankingsBackend::Flat,
+            stage2: Stage2Mode::Fast,
             skyline: true,
             aggregated_reports: false,
             sync: SyncPolicy::None,
@@ -244,6 +251,7 @@ impl ExperimentConfig {
             shards: Sharding::Single,
             index_scoring: IndexScoring::RemainingWork,
             rankings: RankingsBackend::Flat,
+            stage2: Stage2Mode::Fast,
             skyline: true,
             aggregated_reports: false,
             sync: SyncPolicy::None,
@@ -299,6 +307,13 @@ impl ExperimentConfig {
     /// Returns a copy with a different stage-1 ranking storage backend.
     pub fn with_rankings(mut self, rankings: RankingsBackend) -> Self {
         self.rankings = rankings;
+        self
+    }
+
+    /// Returns a copy with a different stage-2 drain engine (differential
+    /// runs pin `Full` to replay the pre-optimisation engine).
+    pub fn with_stage2(mut self, stage2: Stage2Mode) -> Self {
+        self.stage2 = stage2;
         self
     }
 

@@ -199,6 +199,7 @@ impl GridWorld {
         );
         let n = server_specs.len();
         let churn = cfg.churn_model().process(n);
+        let heuristic = cfg.heuristic.build();
         let mut agent = AgentRouter::new(
             &costs,
             cfg.shards.resolve(n),
@@ -208,6 +209,12 @@ impl GridWorld {
         )
         .with_rankings(cfg.rankings)
         .with_skyline(cfg.skyline)
+        .with_stage2(cfg.stage2)
+        // The run binds one heuristic for its whole lifetime, so the
+        // drain depth is a run-level property: a policy that never reads
+        // perturbations lets fast-mode drains truncate at the probe's
+        // completion.
+        .with_completion_only(!heuristic.needs_perturbations())
         // History replay is what populates rebuilt blocks on a
         // rebalance, and only a churning federation ever rebalances.
         .with_history(churn.is_some() && cfg.shards.resolve(n).is_some());
@@ -236,7 +243,7 @@ impl GridWorld {
             remaining: tasks.len(),
             flight_keys: vec![None; tasks.len()],
             agent,
-            heuristic: cfg.heuristic.build(),
+            heuristic,
             tie_rng: RngStream::derive(cfg.seed, StreamKind::TieBreak),
             cpu_noise: (0..n as u32)
                 .map(|i| RngStream::derive(cfg.seed, StreamKind::CpuNoise(i)))
@@ -301,6 +308,12 @@ impl GridWorld {
     /// The federated agent: the full decision stack.
     pub fn agent(&self) -> &AgentRouter {
         &self.agent
+    }
+
+    /// Mutable agent access (tests force the stage-2 parallel scatter on
+    /// or off through it).
+    pub fn agent_mut(&mut self) -> &mut AgentRouter {
+        &mut self.agent
     }
 
     /// The per-task records accumulated so far.
@@ -1674,6 +1687,145 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The stage-2 acceptance property, end to end: whole-campaign
+    /// record equality, fast drain engine (the default: truncated
+    /// prefix-sharing drains) versus the full pre-optimisation engine,
+    /// for **every** heuristic × selector backend, unsharded and at
+    /// S = 4 — same servers, same attempts, same completion dates, bit
+    /// for bit. Covers both drain depths: completion-only heuristics
+    /// (HMCT, MCT, …) truncate, perturbation readers (MP, MSF, MNI)
+    /// drain full-length through the shared prefix.
+    #[test]
+    fn stage2_fast_campaigns_bitwise_match_full_end_to_end() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        for kind in HeuristicKind::ALL {
+            for selector in [
+                cas_core::SelectorKind::Exhaustive,
+                cas_core::SelectorKind::TopK { k: 1 },
+                cas_core::SelectorKind::TopK { k: 64 },
+                cas_core::SelectorKind::Adaptive { k_min: 1, k_max: 3 },
+            ] {
+                for shards in [Sharding::Single, Sharding::Federated { shards: 4 }] {
+                    let cfg = ExperimentConfig::paper(kind, 53)
+                        .with_selector(selector)
+                        .with_shards(shards);
+                    assert_eq!(
+                        cfg.stage2,
+                        cas_core::Stage2Mode::Fast,
+                        "fast drain engine is the default"
+                    );
+                    let fast = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+                    let full = run_experiment(
+                        cfg.with_stage2(cas_core::Stage2Mode::Full),
+                        costs.clone(),
+                        servers.clone(),
+                        tasks.clone(),
+                    );
+                    assert_eq!(
+                        fast, full,
+                        "{kind:?}/{selector:?}/{shards:?} diverged between stage-2 engines"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The two stage-2 engines stay bit-identical through churn and the
+    /// rebalances it triggers, and the rebuilt blocks keep the configured
+    /// engine: under `Full` the fast-path counters must stay zero even
+    /// after blocks were rebuilt mid-campaign, while the default fast run
+    /// of the same completion-only campaign truncates drains.
+    #[test]
+    fn stage2_engines_survive_churn_and_rebalance_bitwise() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 29)
+            .with_shards(Sharding::Federated { shards: 3 })
+            .with_churn(120.0, 30.0)
+            .with_churn_seed(7);
+        let run = |cfg: ExperimentConfig| {
+            let world = GridWorld::new(cfg, costs.clone(), servers.clone(), tasks.clone());
+            let mut sim = cas_sim::Simulation::new(world);
+            sim.run_to_completion();
+            let world = sim.into_world();
+            let stats = world.agent().stage2_stats();
+            (world.records().to_vec(), stats)
+        };
+        let (fast, fast_stats) = run(cfg);
+        let (full, full_stats) = run(cfg.with_stage2(cas_core::Stage2Mode::Full));
+        assert_eq!(fast, full, "stage-2 engines diverged under churn");
+        // A rebalance rebuilds blocks with fresh HTMs (counters restart at
+        // the replay), so only mode retention is asserted here: the full
+        // engine never touches the prefix cursor, rebuilt blocks included.
+        assert!(fast_stats.drains > 0, "{fast_stats:?}");
+        assert_eq!(
+            full_stats.prefix_hits, 0,
+            "a rebuilt block fell back to the fast engine: {full_stats:?}"
+        );
+        assert_eq!(full_stats.truncated, 0, "full mode never truncates");
+    }
+
+    /// The fast engine's counters are live through the whole stack: a
+    /// completion-only campaign (HMCT) truncates drains and resumes the
+    /// shared prefix; a perturbation-reading campaign (MSF) never
+    /// truncates but still shares the prefix.
+    #[test]
+    fn stage2_counters_are_live_end_to_end() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        let run = |kind: HeuristicKind| {
+            let cfg = ExperimentConfig::paper(kind, 59);
+            let world = GridWorld::new(cfg, costs.clone(), servers.clone(), tasks.clone());
+            let mut sim = cas_sim::Simulation::new(world);
+            sim.run_to_completion();
+            sim.into_world().agent().stage2_stats()
+        };
+        let hmct = run(HeuristicKind::Hmct);
+        assert!(hmct.drains > 0, "{hmct:?}");
+        assert!(
+            hmct.truncated > 0,
+            "HMCT is completion-only; drains must truncate: {hmct:?}"
+        );
+        assert!(
+            hmct.prefix_hits > 0,
+            "repeat queries must resume the prefix: {hmct:?}"
+        );
+        let msf = run(HeuristicKind::Msf);
+        assert_eq!(
+            msf.truncated, 0,
+            "MSF reads perturbations; no drain may truncate: {msf:?}"
+        );
+        assert!(msf.prefix_hits > 0, "{msf:?}");
+    }
+
+    /// The stage-2 parallel scatter, driven end to end through the
+    /// router: a campaign with the pool arm forced **on** is record-equal
+    /// to one with it forced **off**, wide exhaustive shortlists keeping
+    /// the batch path busy. (CI runs this by name on a multi-core
+    /// runner; on a single-core host the pool scope degenerates to the
+    /// caller draining every job, which still exercises the scatter
+    /// code path.)
+    #[test]
+    fn forced_parallel_stage2_campaign_matches_serial() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        let run = |force: bool| {
+            let cfg = ExperimentConfig::paper(HeuristicKind::Msf, 31)
+                .with_shards(Sharding::Federated { shards: 2 });
+            let mut world = GridWorld::new(cfg, costs.clone(), servers.clone(), tasks.clone());
+            world.agent_mut().set_parallel_stage2(Some(force));
+            let mut sim = cas_sim::Simulation::new(world);
+            sim.run_to_completion();
+            sim.into_world().records().to_vec()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "forced-parallel stage 2 diverged from forced-serial"
+        );
     }
 
     /// Flat and BTree rankings stay bit-identical through the full

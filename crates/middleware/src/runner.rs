@@ -57,7 +57,13 @@ pub fn run_replications(
 ) -> Vec<Vec<TaskRecord>> {
     let run_one = |i: usize| {
         let cfg = base_cfg.with_seed(base_cfg.seed.wrapping_add(i as u64));
-        run_experiment(cfg, costs.clone(), servers.to_vec(), workloads[i].clone())
+        let records = run_experiment(cfg, costs.clone(), servers.to_vec(), workloads[i].clone());
+        // Profiler spans land in the thread-locals of whichever thread
+        // ran this replication; flushing here — still on that thread,
+        // before the pool scope joins — is what makes
+        // `prof::merged_snapshot` see a parallel campaign whole.
+        cas_sim::prof::flush();
+        records
     };
     if workloads.len() <= 1 {
         return (0..workloads.len()).map(run_one).collect();

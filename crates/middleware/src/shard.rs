@@ -49,7 +49,7 @@
 use cas_core::heuristics::{DecisionMemo, Heuristic, SchedView};
 use cas_core::selector::{CandidateSelector, SelectorInput};
 use cas_core::whatif::WhatIf;
-use cas_core::{Htm, Prediction, SelectorKind, SyncPolicy};
+use cas_core::{Htm, MemoStats, Prediction, SelectorKind, Stage2Mode, SyncPolicy};
 use cas_platform::{
     CostTable, IndexScoring, LoadReport, PhaseCosts, ProblemId, RankingsBackend, ServerId,
     ShardMap, ShardTree, StaticIndex, TaskId, TaskInstance,
@@ -396,6 +396,17 @@ pub struct AgentRouter {
     scoring: IndexScoring,
     rankings: RankingsBackend,
     sync: SyncPolicy,
+    /// Stage-2 drain engine on every shard HTM (fast by default; the full
+    /// pre-optimisation engine behind `--stage2 full`). Remembered so any
+    /// block a rebalance rebuilds keeps the chosen engine.
+    stage2: Stage2Mode,
+    /// Completion-only drain depth — set when the run's heuristic never
+    /// reads perturbations, letting fast-mode drains truncate at the
+    /// probe's completion. Remembered across rebuilds like `stage2`.
+    completion_only: bool,
+    /// Forced on/off override for the stage-2 parallel scatter inside
+    /// each shard HTM (tests drive both arms on any host).
+    parallel_stage2: Option<bool>,
     /// Model-op history for rebalance replay. Recorded only when
     /// [`AgentRouter::with_history`] turned it on — the engine enables
     /// it exactly when churn can trigger a rebalance.
@@ -460,9 +471,22 @@ impl AgentRouter {
             scoring,
             rankings,
             sync,
+            stage2: Stage2Mode::default(),
+            completion_only: false,
+            parallel_stage2: None,
             record_history: false,
             history: Vec::new(),
         }
+    }
+
+    /// Applies the router's remembered stage-2 settings to one engine's
+    /// HTM — every construction site (initial build, rebalance rebuild)
+    /// funnels through this so no shard can silently run the wrong
+    /// drain engine.
+    fn apply_stage2(&self, e: &mut ShardEngine) {
+        e.htm.set_stage2_mode(self.stage2);
+        e.htm.set_completion_only(self.completion_only);
+        e.htm.set_parallel_stage2(self.parallel_stage2);
     }
 
     /// Turns on model-op history recording (off by default): every
@@ -530,6 +554,49 @@ impl AgentRouter {
     pub fn with_parallel_stage1(mut self, forced: bool) -> Self {
         self.parallel_override = Some(forced);
         self
+    }
+
+    /// Selects the stage-2 drain engine on every shard HTM
+    /// ([`Stage2Mode::Fast`] by default; `Full` is the pre-optimisation
+    /// executable spec). Decisions are proven bit-identical either way,
+    /// and any block a later rebalance rebuilds keeps the chosen engine.
+    pub fn with_stage2(mut self, mode: Stage2Mode) -> Self {
+        self.stage2 = mode;
+        for shard in &mut self.shards {
+            shard.htm.set_stage2_mode(mode);
+        }
+        self
+    }
+
+    /// Declares that this run's heuristic never reads perturbations, so
+    /// fast-mode drains may truncate at the probe's completion (inert
+    /// under [`Stage2Mode::Full`]). Sourced from
+    /// [`Heuristic::needs_perturbations`] by the engine.
+    pub fn with_completion_only(mut self, completion_only: bool) -> Self {
+        self.completion_only = completion_only;
+        for shard in &mut self.shards {
+            shard.htm.set_completion_only(completion_only);
+        }
+        self
+    }
+
+    /// Forces the stage-2 parallel scatter inside every shard HTM on or
+    /// off (`None` restores the automatic worker-count gate). Tests use
+    /// this to prove the scatter's determinism on any host.
+    pub fn set_parallel_stage2(&mut self, force: Option<bool>) {
+        self.parallel_stage2 = force;
+        for shard in &mut self.shards {
+            shard.htm.set_parallel_stage2(force);
+        }
+    }
+
+    /// Aggregated stage-2 drain counters across every shard HTM: drains
+    /// run, memo hits, truncated drains, prefix resumes.
+    pub fn stage2_stats(&self) -> MemoStats {
+        self.shards
+            .iter()
+            .map(|s| s.htm.memo_stats())
+            .fold(MemoStats::default(), |a, b| a.merge(b))
     }
 
     /// The two-level shard tree (degenerate — one group — when the farm
@@ -1169,6 +1236,7 @@ impl AgentRouter {
             self.rankings,
             self.sync,
         );
+        self.apply_stage2(&mut e);
         let end = start + len as u32;
         let owned = |s: ServerId| s.0 >= start && s.0 < end;
         for op in &self.history {
@@ -1489,6 +1557,40 @@ mod skyline_edge {
                 excl: 99,
             })
             .collect()
+    }
+
+    /// A rebalance rebuilds blocks by history replay — and the rebuilt
+    /// engines must keep the router's remembered stage-2 settings, not
+    /// fall back to the defaults.
+    #[test]
+    fn rebuilt_blocks_keep_stage2_settings() {
+        let table = edge_table();
+        let mut router = AgentRouter::new(
+            &table,
+            Some(3),
+            SelectorKind::Exhaustive,
+            IndexScoring::default(),
+            SyncPolicy::None,
+        )
+        .with_history(true)
+        .with_stage2(Stage2Mode::Full)
+        .with_completion_only(true);
+        router.set_parallel_stage2(Some(true));
+        for i in 0..4u64 {
+            let task = TaskInstance::new(TaskId(i), ProblemId(0), SimTime::from_secs(i as f64));
+            router.on_commit(task.arrival, ServerId((i % 6) as u32), &task, 10.0);
+        }
+        // 3 shards of 2 → 2 shards of 3: every block boundary changes, so
+        // every engine is rebuilt by replay.
+        router.rebalance(&table, ShardMap::new(6, 2));
+        assert_eq!(router.n_shards(), 2);
+        for shard in &router.shards {
+            assert_eq!(shard.htm.stage2_mode(), Stage2Mode::Full);
+            assert!(shard.htm.completion_only());
+        }
+        // And the replayed model state is intact: 4 tasks are active
+        // across the federation.
+        assert_eq!(router.simulated_completions().len(), 4);
     }
 
     /// A problem with zero solvable servers in a shard: the shard has no

@@ -113,7 +113,10 @@ fn steady_state_decisions_allocate_nothing() {
         }
     }
 
-    let mut decide = |router: &mut AgentRouter, heuristic: &mut dyn cas_core::heuristics::Heuristic, id: u64, at: f64| {
+    let mut decide = |router: &mut AgentRouter,
+                      heuristic: &mut dyn cas_core::heuristics::Heuristic,
+                      id: u64,
+                      at: f64| {
         let t = task(id, at);
         router.decide(
             DecisionInputs {
@@ -157,5 +160,8 @@ fn steady_state_decisions_allocate_nothing() {
             assert!(c.is_some());
         }
     });
-    assert_eq!(allocs, 0, "commit-path completion queries must not allocate");
+    assert_eq!(
+        allocs, 0,
+        "commit-path completion queries must not allocate"
+    );
 }

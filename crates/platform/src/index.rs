@@ -405,7 +405,7 @@ impl FlatRanking {
         for (run, &head) in self.runs.iter().zip(self.heads.iter()) {
             if let Some(&key) = run.get(head) {
                 debug_assert!(self.is_live(key));
-                if best.map_or(true, |b| key < b) {
+                if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
             }
@@ -495,7 +495,10 @@ enum RankStore {
 }
 
 /// Ascending live-key iterator over one problem's ranking, whichever
-/// backend stores it (an enum so the read path never boxes).
+/// backend stores it (an enum so the read path never boxes — the
+/// variant size gap is deliberate: this lives on the stack of the
+/// zero-allocation decision loop).
+#[allow(clippy::large_enum_variant)]
 enum RankedKeys<'a> {
     Flat(FlatIter<'a>),
     Btree(std::collections::btree_set::Iter<'a, RankKey>),
@@ -576,7 +579,9 @@ impl StaticIndex {
             available: vec![true; n_servers],
             ranked: match backend {
                 RankingsBackend::Flat => RankStore::Flat(
-                    (0..n_problems).map(|_| FlatRanking::new(n_servers)).collect(),
+                    (0..n_problems)
+                        .map(|_| FlatRanking::new(n_servers))
+                        .collect(),
                 ),
                 RankingsBackend::Btree => RankStore::Btree(vec![BTreeSet::new(); n_problems]),
             },
@@ -618,7 +623,9 @@ impl StaticIndex {
                     .collect(),
             ),
             RankingsBackend::Btree => RankStore::Btree(
-                live.into_iter().map(|keys| keys.into_iter().collect()).collect(),
+                live.into_iter()
+                    .map(|keys| keys.into_iter().collect())
+                    .collect(),
             ),
         };
     }
@@ -1329,7 +1336,7 @@ mod tests {
                     let walk_f: Vec<_> = flat.ranked_iter(problem, &|_| true).collect();
                     let walk_b: Vec<_> = spec.ranked_iter(problem, &|_| true).collect();
                     assert_eq!(walk_f, walk_b, "ordered walk P{p}");
-                    let admit = |sv: ServerId| sv.0 % 2 == 0;
+                    let admit = |sv: ServerId| sv.0.is_multiple_of(2);
                     let (mut kf, mut kb) = (Vec::new(), Vec::new());
                     flat.k_best(problem, 3, &admit, &mut kf);
                     spec.k_best(problem, 3, &admit, &mut kb);

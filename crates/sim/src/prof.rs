@@ -5,13 +5,20 @@
 //! walk, the stage-2 what-if drains, the model-repair hooks or the
 //! kernel's own queue — owned the seconds. This module is the
 //! attribution: a fixed [`Phase`] enum, a scope-guard [`span`] that
-//! charges its lifetime to one phase through a monotonic counter
-//! ([`std::time::Instant`]), and thread-local accumulators so recording
-//! a span is two counter reads and two plain adds — no atomics, no
-//! locks, no allocation, cheap enough to leave on in release campaigns
-//! (the benches *gate* the measured overhead below 2 % of wall time,
-//! using [`calibrate_span_ns`] × the span count as a conservative
-//! estimate).
+//! charges its lifetime to one phase through a raw monotonic counter,
+//! and thread-local accumulators so recording a span is two counter
+//! reads and two plain adds — no atomics, no locks, no allocation,
+//! cheap enough to leave on in release campaigns (the benches *gate*
+//! the measured overhead below 2 % of wall time, using
+//! [`calibrate_span_ns`] × the span count as a conservative estimate).
+//!
+//! On x86_64 the counter is the invariant TSC read directly with
+//! `rdtsc` — a fraction of the cost of `Instant::now`'s vDSO call,
+//! which matters because the hottest span site (`kernel_pop`) brackets
+//! an operation of comparable size to the clock read itself.
+//! Accumulators hold raw ticks; [`snapshot`] converts to nanoseconds
+//! through a once-measured ticks-per-nanosecond ratio. Other
+//! architectures fall back to [`std::time::Instant`].
 //!
 //! Accumulators are per thread on purpose: every instrumented section
 //! runs on the simulation's driving thread (the kernel loop, the
@@ -22,9 +29,80 @@
 //! (stage 1 / stage 2 are disjoint sections of one decision; hook time
 //! during churn is charged to `Churn`, not `CommitHooks`), which keeps
 //! the per-phase totals additive against wall time.
+//!
+//! When campaigns themselves fan out over the pool (parallel
+//! replications), each worker accumulates into its own thread-locals.
+//! [`flush`] drains the calling thread's accumulators into a process-wide
+//! atomic ledger (called once per replication, so the atomics cost
+//! nothing per span), and [`merged_snapshot`] reads the ledger plus the
+//! caller's live locals — the cross-thread view `--profile` renders.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// The raw clock behind the spans: TSC ticks on x86_64 (converted to
+/// nanoseconds only at [`snapshot`] time), `Instant`-derived
+/// nanoseconds elsewhere. Both are process-monotonic; only *deltas*
+/// ever leave this module.
+#[cfg(target_arch = "x86_64")]
+mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// Current raw timestamp, in TSC ticks.
+    #[inline]
+    pub fn now() -> u64 {
+        // SAFETY: `rdtsc` is unprivileged on every x86_64 target this
+        // crate builds for; it reads a counter and has no other effect.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    /// Ticks-per-nanosecond ratio, measured once per process against
+    /// the OS monotonic clock over a short spin (the flags this path
+    /// assumes — `constant_tsc`/`nonstop_tsc` — make the ratio stable
+    /// across cores and frequency states).
+    fn ticks_per_nano() -> f64 {
+        static RATIO: OnceLock<f64> = OnceLock::new();
+        *RATIO.get_or_init(|| {
+            let t0 = Instant::now();
+            let c0 = now();
+            while t0.elapsed().as_millis() < 5 {
+                std::hint::spin_loop();
+            }
+            let ticks = now().wrapping_sub(c0);
+            let nanos = t0.elapsed().as_nanos().max(1) as f64;
+            (ticks as f64 / nanos).max(f64::MIN_POSITIVE)
+        })
+    }
+
+    /// Converts an accumulated tick delta to nanoseconds.
+    pub fn to_nanos(ticks: u64) -> u64 {
+        (ticks as f64 / ticks_per_nano()) as u64
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Current raw timestamp: nanoseconds since the process epoch.
+    #[inline]
+    pub fn now() -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+
+    /// Raw deltas are already nanoseconds on this path.
+    pub fn to_nanos(ticks: u64) -> u64 {
+        ticks
+    }
+}
 
 /// The fixed set of profiled phases. One decision contributes to
 /// `Stage1Walk` (shortlist construction across the shard federation)
@@ -78,11 +156,44 @@ impl Phase {
     }
 }
 
+/// One thread's live accumulators: raw clock ticks and closed-span
+/// counts per phase, updated in place (no whole-array copies on the
+/// span path).
+struct Acc {
+    ticks: [Cell<u64>; N_PHASES],
+    counts: [Cell<u64>; N_PHASES],
+}
+
 thread_local! {
-    /// Accumulated nanoseconds per phase, this thread.
-    static NANOS: Cell<[u64; N_PHASES]> = const { Cell::new([0; N_PHASES]) };
-    /// Closed spans per phase, this thread.
-    static COUNTS: Cell<[u64; N_PHASES]> = const { Cell::new([0; N_PHASES]) };
+    static ACC: Acc = const {
+        Acc {
+            ticks: [const { Cell::new(0) }; N_PHASES],
+            counts: [const { Cell::new(0) }; N_PHASES],
+        }
+    };
+}
+
+/// Reads the calling thread's raw accumulators.
+fn raw_local() -> ([u64; N_PHASES], [u64; N_PHASES]) {
+    ACC.with(|acc| {
+        let mut ticks = [0; N_PHASES];
+        let mut counts = [0; N_PHASES];
+        for i in 0..N_PHASES {
+            ticks[i] = acc.ticks[i].get();
+            counts[i] = acc.counts[i].get();
+        }
+        (ticks, counts)
+    })
+}
+
+/// Overwrites the calling thread's raw accumulators.
+fn set_raw_local(ticks: [u64; N_PHASES], counts: [u64; N_PHASES]) {
+    ACC.with(|acc| {
+        for i in 0..N_PHASES {
+            acc.ticks[i].set(ticks[i]);
+            acc.counts[i].set(counts[i]);
+        }
+    });
 }
 
 /// A live span: charges the time from construction to drop to `phase`.
@@ -90,7 +201,7 @@ thread_local! {
 #[must_use = "a span charges its scope's lifetime; dropping it immediately records nothing"]
 pub struct Span {
     phase: usize,
-    start: Instant,
+    start: u64,
 }
 
 /// Opens a span on `phase` for the current scope.
@@ -98,23 +209,19 @@ pub struct Span {
 pub fn span(phase: Phase) -> Span {
     Span {
         phase: phase as usize,
-        start: Instant::now(),
+        start: clock::now(),
     }
 }
 
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
-        let dt = self.start.elapsed().as_nanos() as u64;
-        NANOS.with(|acc| {
-            let mut v = acc.get();
-            v[self.phase] += dt;
-            acc.set(v);
-        });
-        COUNTS.with(|acc| {
-            let mut v = acc.get();
-            v[self.phase] += 1;
-            acc.set(v);
+        let dt = clock::now().wrapping_sub(self.start);
+        ACC.with(|acc| {
+            let t = &acc.ticks[self.phase];
+            t.set(t.get().wrapping_add(dt));
+            let c = &acc.counts[self.phase];
+            c.set(c.get() + 1);
         });
     }
 }
@@ -172,36 +279,85 @@ impl PhaseTotals {
     }
 }
 
-/// The current thread's accumulated totals.
+/// The current thread's accumulated totals, ticks converted to
+/// nanoseconds (the conversion is monotone, so [`PhaseTotals::since`]
+/// deltas between snapshots stay consistent).
 pub fn snapshot() -> PhaseTotals {
-    PhaseTotals {
-        nanos: NANOS.with(Cell::get),
-        counts: COUNTS.with(Cell::get),
+    let (ticks, counts) = raw_local();
+    let mut out = PhaseTotals {
+        counts,
+        ..PhaseTotals::default()
+    };
+    for (ns, t) in out.nanos.iter_mut().zip(ticks) {
+        *ns = clock::to_nanos(t);
     }
+    out
 }
 
 /// Clears the current thread's accumulators.
 pub fn reset() {
-    NANOS.with(|acc| acc.set([0; N_PHASES]));
-    COUNTS.with(|acc| acc.set([0; N_PHASES]));
+    set_raw_local([0; N_PHASES], [0; N_PHASES]);
+}
+
+/// Process-wide ledger of flushed totals, in raw clock ticks. Touched
+/// only by [`flush`], [`merged_snapshot`] and [`reset_merged`] — never
+/// on the span path, so recording stays atomics-free.
+static MERGED_TICKS: [AtomicU64; N_PHASES] = [const { AtomicU64::new(0) }; N_PHASES];
+static MERGED_COUNTS: [AtomicU64; N_PHASES] = [const { AtomicU64::new(0) }; N_PHASES];
+
+/// Drains the calling thread's accumulators into the process-wide
+/// ledger and clears them. The runner calls this after every
+/// replication, on whichever thread ran it — worker or caller — so a
+/// parallel campaign's spans all reach the ledger no matter which pool
+/// thread recorded them.
+pub fn flush() {
+    let (ticks, counts) = raw_local();
+    reset();
+    for i in 0..N_PHASES {
+        MERGED_TICKS[i].fetch_add(ticks[i], Ordering::Relaxed);
+        MERGED_COUNTS[i].fetch_add(counts[i], Ordering::Relaxed);
+    }
+}
+
+/// The process-wide flushed totals **plus** the calling thread's live
+/// (unflushed) accumulators — the complete cross-thread view, assuming
+/// every other recording thread has flushed (the runner guarantees this
+/// by flushing inside the worker job, before the pool scope joins).
+pub fn merged_snapshot() -> PhaseTotals {
+    let (ticks, counts) = raw_local();
+    let mut out = PhaseTotals::default();
+    for i in 0..N_PHASES {
+        let total = ticks[i].wrapping_add(MERGED_TICKS[i].load(Ordering::Relaxed));
+        out.nanos[i] = clock::to_nanos(total);
+        out.counts[i] = counts[i] + MERGED_COUNTS[i].load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Clears the process-wide ledger (the caller's thread-locals are left
+/// alone — pair with [`reset`] to zero the full merged view).
+pub fn reset_merged() {
+    for i in 0..N_PHASES {
+        MERGED_TICKS[i].store(0, Ordering::Relaxed);
+        MERGED_COUNTS[i].store(0, Ordering::Relaxed);
+    }
 }
 
 /// Measures the cost of one open/close span pair on this machine,
-/// nanoseconds, by timing `iters` empty spans. The accumulators are
+/// nanoseconds, by timing `iters` empty spans. The raw accumulators are
 /// restored afterwards, so calibration never pollutes a campaign's
 /// totals. `overhead ≈ calibrate_span_ns(..) × total_spans` is a
-/// conservative bound (real spans amortise the two `Instant` reads over
+/// conservative bound (real spans amortise the two clock reads over
 /// actual work) — the benches gate that bound against wall time.
 pub fn calibrate_span_ns(iters: u32) -> f64 {
     let iters = iters.max(1);
-    let before = snapshot();
+    let (ticks, counts) = raw_local();
     let t0 = Instant::now();
     for _ in 0..iters {
         let _sp = span(Phase::KernelPop);
     }
     let per_span = t0.elapsed().as_nanos() as f64 / iters as f64;
-    NANOS.with(|acc| acc.set(before.nanos));
-    COUNTS.with(|acc| acc.set(before.counts));
+    set_raw_local(ticks, counts);
     per_span
 }
 
@@ -278,6 +434,39 @@ mod tests {
                 "reports"
             ]
         );
+    }
+
+    /// Spans recorded on worker threads reach [`merged_snapshot`] once
+    /// each worker flushes — the regression test for `--profile` under
+    /// parallel replications. Uses deltas against the ledger so
+    /// concurrently running tests cannot perturb it.
+    #[test]
+    fn flushed_worker_spans_reach_the_merged_snapshot() {
+        let before = merged_snapshot().since(&snapshot());
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..5 {
+                        let _sp = span(Phase::Stage2Predict);
+                        std::hint::black_box(0u64);
+                    }
+                    flush();
+                    // Flush leaves the worker's locals empty.
+                    assert_eq!(snapshot().total_spans(), 0);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let got = merged_snapshot().since(&snapshot()).since(&before);
+        assert_eq!(got.count_of(Phase::Stage2Predict), 15);
+        // The caller's live locals are part of the merged view too.
+        {
+            let _sp = span(Phase::Reports);
+        }
+        let with_local = merged_snapshot().since(&before);
+        assert!(with_local.count_of(Phase::Reports) >= 1);
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub use cas_workload as workload;
 pub mod prelude {
     pub use cas_core::heuristics::{Heuristic, HeuristicKind, SchedView};
     pub use cas_core::{
-        CandidateSelector, Gantt, Htm, Prediction, SelectorKind, ServerTrace, SyncPolicy,
+        CandidateSelector, Gantt, Htm, Prediction, SelectorKind, ServerTrace, Stage2Mode,
+        SyncPolicy,
     };
     pub use cas_metrics::{
         finish_sooner_count, MetricSet, Summary, Table, TaskOutcome, TaskRecord,

@@ -49,9 +49,11 @@ struct Args {
     skyline: String,
     index_scoring: String,
     rankings: String,
+    stage2: String,
     /// Print the always-on phase profiler's per-phase wall-time table
-    /// after the run (forces sequential replications so every span lands
-    /// on the measuring thread).
+    /// after the run. Replications fan out over the pool as usual: each
+    /// one flushes its spans into the process-wide ledger and the table
+    /// renders the merged cross-thread view.
     profile: bool,
     /// Mean time between failures per server, seconds; infinite (the
     /// default) freezes the farm.
@@ -84,6 +86,7 @@ impl Default for Args {
             skyline: "on".into(),
             index_scoring: "work".into(),
             rankings: "flat".into(),
+            stage2: "fast".into(),
             profile: false,
             mtbf: f64::INFINITY,
             mttr: 60.0,
@@ -139,9 +142,16 @@ fn usage() -> &'static str {
                                   executable spec (bit-identical\n\
                                   decisions, differentially proven)\n\
                                   [flat]\n\
+     --stage2 fast|full           stage-2 drain engine: truncated\n\
+                                  prefix-sharing drains with the\n\
+                                  parallel scatter, or the full pre-\n\
+                                  optimisation executable spec (bit-\n\
+                                  identical decisions, differentially\n\
+                                  proven)                [fast]\n\
      --profile                    print the always-on phase profiler's\n\
                                   per-phase wall-time table after the\n\
-                                  run (replications run sequentially)\n\
+                                  run (merged across the pool's\n\
+                                  parallel replications)\n\
      --mtbf SECONDS               mean time between failures per server\n\
                                   (exponential); \"inf\" freezes the farm\n\
                                   [inf]\n\
@@ -249,6 +259,15 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 }
                 args.rankings = v;
             }
+            "--stage2" => {
+                let v = take(&mut i)?;
+                if Stage2Mode::parse(&v).is_none() {
+                    return Err(format!(
+                        "--stage2: expected \"fast\" or \"full\", got {v:?}"
+                    ));
+                }
+                args.stage2 = v;
+            }
             "--profile" => args.profile = true,
             "--mtbf" => {
                 let v = take(&mut i)?;
@@ -349,6 +368,7 @@ fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
     };
     cfg.index_scoring = IndexScoring::parse(&args.index_scoring).expect("validated at parse time");
     cfg.rankings = RankingsBackend::parse(&args.rankings).expect("validated at parse time");
+    cfg.stage2 = Stage2Mode::parse(&args.stage2).expect("validated at parse time");
     cfg.skyline = args.skyline.eq_ignore_ascii_case("on");
     if !args.memory {
         cfg.memory = MemoryModel::disabled();
@@ -400,15 +420,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let (costs, servers) = workload_of(args)?;
     let tasks = tasks_of(args, &costs);
     let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
-    // `--profile` reads the thread-local phase accumulators, so the
-    // replications must run on this thread: the sequential runner is
-    // bit-identical to the pooled one (differentially proven).
+    // `--profile` renders the merged cross-thread view: the runner
+    // flushes each replication's spans into the process-wide ledger
+    // from whichever pool thread ran it, so the replications fan out
+    // in parallel exactly as an unprofiled run would.
     let (runs, profiled) = if args.profile {
         prof::reset();
+        prof::reset_merged();
         let t0 = Instant::now();
-        let runs = run_replications_sequential(config_of(args, kind), &costs, &servers, &workloads);
+        let runs = run_replications(config_of(args, kind), &costs, &servers, &workloads);
         let wall_s = t0.elapsed().as_secs_f64();
-        (runs, Some((prof::snapshot(), wall_s)))
+        (runs, Some((prof::merged_snapshot(), wall_s)))
     } else {
         (
             run_replications(config_of(args, kind), &costs, &servers, &workloads),
@@ -694,6 +716,19 @@ mod tests {
             "{err}"
         );
         assert!(parse(&argv("run --rankings")).is_err());
+        // --stage2 follows the same grammar: fast (default) or full.
+        let (_, args) = parse(&argv("run")).unwrap();
+        assert_eq!(args.stage2, "fast");
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).stage2,
+            Stage2Mode::Fast
+        );
+        let (_, args) = parse(&argv("run --stage2 FULL")).unwrap();
+        assert_eq!(
+            config_of(&args, HeuristicKind::Hmct).stage2,
+            Stage2Mode::Full
+        );
+        assert!(parse(&argv("run --stage2")).is_err());
         // `--profile` is `run`-only: compare fans replications out across
         // the pool, away from the measuring thread.
         let (_, args) = parse(&argv("compare --profile --tasks 5")).unwrap();
@@ -704,14 +739,17 @@ mod tests {
 
     /// `casgrid run --profile` must execute end to end and leave live
     /// span counts behind: the profiler is always on, so a tiny campaign
-    /// already closes stage-1, stage-2, commit and kernel spans.
+    /// already closes stage-1, stage-2, commit and kernel spans. With
+    /// the replications fanned over the pool, the counts land in the
+    /// merged cross-thread view (each replication flushes its worker's
+    /// spans into the process-wide ledger).
     #[test]
     fn profile_run_end_to_end_leaves_live_phases() {
         let (_, mut args) = parse(&argv("run --tasks 5 --reps 2 --profile")).unwrap();
         args.heuristic = "HMCT".into();
         prof::reset();
         assert!(cmd_run(&args).is_ok());
-        let totals = prof::snapshot();
+        let totals = prof::merged_snapshot();
         for phase in [
             prof::Phase::Stage1Walk,
             prof::Phase::Stage2Predict,
@@ -762,6 +800,7 @@ mod tests {
             ("run --skyline maybe", "--skyline"),
             ("run --index-scoring vibes", "--index-scoring"),
             ("run --rankings linkedlist", "--rankings"),
+            ("run --stage2 turbo", "--stage2"),
             ("run --mtbf sometimes", "--mtbf"),
             ("run --mtbf 0", "--mtbf"),
             ("run --mtbf -100", "--mtbf"),
