@@ -54,7 +54,13 @@
 //!     (`SCALE_CHURN_MTBF`, default 400 s — far below the campaign
 //!     length — and `SCALE_CHURN_MTTR`, default 60 s) and gates on
 //!     accounting: every task must end terminal, completed or dropped
-//!     with a reason code; nothing may be lost in flight.
+//!     with a reason code; nothing may be lost in flight;
+//! 11. replays a **fitted trace** whose crest class outruns the bounded
+//!     admission buffer on its own compiled farm, gating on an
+//!     uncontended gate being bit-invisible, deterministic and
+//!     shard-invariant replay, exact terminal accounting against the
+//!     admission counters, and live backpressure counters — the JSON
+//!     gains a `trace` section with per-user-class SLOs.
 //!
 //! The whole run executes under the always-on phase profiler: the JSON
 //! gains a `profile` section (per-phase totals, estimated span overhead
@@ -77,7 +83,8 @@ use cas_core::{Htm, MemoStats, SelectorKind, Stage2Mode, SyncPolicy};
 use cas_metrics::{prof, MetricSet};
 use cas_middleware::shard::DecisionInputs;
 use cas_middleware::{
-    AgentRouter, ChurnStats, ExperimentConfig, GridWorld, Sharding, SkylineStats,
+    run_experiment, run_experiment_with_users, AgentRouter, ChurnStats, ExperimentConfig,
+    GridWorld, Sharding, SkylineStats,
 };
 use cas_platform::{
     CostTable, IndexScoring, LoadReport, ProblemId, RankingsBackend, ServerId, StaticIndex, TaskId,
@@ -85,6 +92,7 @@ use cas_platform::{
 };
 use cas_sim::{RngStream, SimTime, Simulation, StreamKind};
 use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
+use cas_workload::trace::{AppProfile, FittedTraceSpec, TraceWorkload};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -1253,6 +1261,125 @@ fn main() {
         churn_stats.rebalances,
     );
 
+    // 7. The trace gate: a fitted three-app trace — steady background,
+    // a crest class submitting faster than the admission gate drains,
+    // and a sparse long-job class — replayed on its own compiled farm
+    // (a trace binds its farm; the campaign platform stays untouched).
+    // Four gates: the *uncontended* gate must be bit-invisible, the
+    // contended replay must be deterministic and shard-invariant, every
+    // task must end terminal with the admission counters balancing the
+    // record-level sheds exactly, and the backpressure counters must be
+    // live (something buffered, something shed) under the crest.
+    let trace_seed = env_or("SCALE_TRACE_SEED", 24301.0) as u64;
+    let trace_spec = FittedTraceSpec {
+        apps: vec![
+            AppProfile {
+                user: 0,
+                n_tasks: 300,
+                mean_gap_s: 8.0,
+                mean_duration_s: 10.0,
+            },
+            AppProfile {
+                user: 1,
+                n_tasks: 600,
+                mean_gap_s: 0.8,
+                mean_duration_s: 10.0,
+            },
+            AppProfile {
+                user: 2,
+                n_tasks: 50,
+                mean_gap_s: 50.0,
+                mean_duration_s: 30.0,
+            },
+        ],
+    };
+    let mut trace_src = trace_spec.generate(trace_seed);
+    let tc = TraceWorkload {
+        n_servers: 8,
+        ..TraceWorkload::default()
+    }
+    .compile(&mut trace_src, trace_seed)
+    .expect("fitted trace is non-empty");
+    let trace_n = tc.tasks.len();
+    let trace_cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, trace_seed);
+    let trace_run = |cfg: ExperimentConfig| {
+        run_experiment_with_users(
+            cfg,
+            tc.costs.clone(),
+            tc.servers.clone(),
+            tc.tasks.clone(),
+            tc.users.clone(),
+        )
+    };
+    let trace_plain = run_experiment(
+        trace_cfg,
+        tc.costs.clone(),
+        tc.servers.clone(),
+        tc.tasks.clone(),
+    );
+    let (trace_unc, trace_unc_stats, _) = trace_run(trace_cfg.with_admission(trace_n + 1, 1, 1.0));
+    let trace_invisible = trace_plain == trace_unc && trace_unc_stats.buffered == 0;
+    // 6 concurrent admissions at ~10 s mean demand drain ~0.6 tasks/s
+    // against a crest of ~1.25/s: the gate must buffer and shed.
+    let trace_adm = trace_cfg.with_admission(6, 24, 45.0);
+    let trace_start = Instant::now();
+    let (trace_recs, trace_stats, trace_waits) = trace_run(trace_adm);
+    let trace_wall = trace_start.elapsed().as_secs_f64();
+    let trace_rerun = trace_run(trace_adm);
+    let trace_deterministic =
+        trace_recs == trace_rerun.0 && trace_stats == trace_rerun.1 && trace_waits == trace_rerun.2;
+    let trace_sharded_run = trace_run(trace_adm.with_shards(Sharding::Federated { shards: 4 }));
+    let trace_shard_equal = trace_recs == trace_sharded_run.0 && trace_stats == trace_sharded_run.1;
+    let (mut trace_completed, mut trace_adm_sheds, mut trace_other_drops, mut trace_nonterminal) =
+        (0u64, 0u64, 0u64, 0u64);
+    for r in &trace_recs {
+        match r.outcome {
+            cas_metrics::TaskOutcome::Completed { .. } => trace_completed += 1,
+            cas_metrics::TaskOutcome::Failed => trace_other_drops += 1,
+            cas_metrics::TaskOutcome::Dropped { reason } => {
+                if reason.code() == "admission_deadline" {
+                    trace_adm_sheds += 1;
+                } else {
+                    trace_other_drops += 1;
+                }
+            }
+            cas_metrics::TaskOutcome::InFlight => trace_nonterminal += 1,
+        }
+    }
+    let trace_terminal = trace_nonterminal == 0
+        && trace_completed + trace_adm_sheds + trace_other_drops == trace_n as u64;
+    let trace_counters_live = trace_stats.peak_buffered > 0
+        && trace_stats.shed_deadline + trace_stats.shed_overflow > 0
+        && trace_stats.buffered == trace_stats.dequeued + trace_stats.shed_deadline
+        && trace_adm_sheds == trace_stats.shed_deadline + trace_stats.shed_overflow;
+    let ok_trace = trace_invisible
+        && trace_deterministic
+        && trace_shard_equal
+        && trace_terminal
+        && trace_counters_live;
+    let trace_slo = cas_metrics::per_class_slo(&trace_recs, &tc.users, &trace_waits);
+    eprintln!(
+        "trace campaign ({trace_n} tasks, 3 classes, admission 6:24:45, seed {trace_seed}): \
+         {trace_completed} completed + {trace_adm_sheds} shed (admission) + {trace_other_drops} \
+         other drops in {trace_wall:.2} s wall; peak admitted {} / buffered {}; invisible \
+         uncontended: {trace_invisible}, deterministic: {trace_deterministic}, sharded == \
+         single: {trace_shard_equal} (pass: {ok_trace})",
+        trace_stats.peak_admitted, trace_stats.peak_buffered,
+    );
+    for c in &trace_slo {
+        eprintln!(
+            "  user {}: {} tasks, {} completed, drop {:.1} %, p50 stretch {:.2}, p99 stretch \
+             {:.2}, mean buffered {:.2} s",
+            c.user,
+            c.tasks,
+            c.completed,
+            c.drop_rate_pct,
+            c.p50_stretch.unwrap_or(f64::NAN),
+            c.p99_stretch.unwrap_or(f64::NAN),
+            c.mean_buffered_s,
+        );
+    }
+
     // The profile snapshot closes over every arm above; the overhead
     // estimate (calibrated span cost × spans closed) must stay within
     // `profile_overhead_gate` of total wall, and every phase must have
@@ -1295,6 +1422,7 @@ fn main() {
         && ok_tree_equal
         && ok_tree_decision
         && ok_churn
+        && ok_trace
         && ok_hotpath
         && ok_stage2_equal
         && ok_stage2_speed
@@ -1463,6 +1591,56 @@ fn main() {
         churn_stats.drops,
         churn_stats.rebalances,
     );
+    let mut trace_slo_json = String::new();
+    for (i, c) in trace_slo.iter().enumerate() {
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.4}"));
+        let _ = write!(
+            trace_slo_json,
+            "{}{{\"user\": {}, \"tasks\": {}, \"completed\": {}, \"dropped\": {}, \
+             \"drop_rate_pct\": {:.2}, \"p50_stretch\": {}, \"p99_stretch\": {}, \
+             \"mean_buffered_s\": {:.3}}}",
+            if i == 0 { "" } else { ", " },
+            c.user,
+            c.tasks,
+            c.completed,
+            c.dropped,
+            c.drop_rate_pct,
+            opt(c.p50_stretch),
+            opt(c.p99_stretch),
+            c.mean_buffered_s,
+        );
+    }
+    let _ = write!(
+        json,
+        "  \"trace\": {{\n    \"scenario\": \"fitted three-app trace (steady background, an \
+         over-capacity crest class, a sparse long-job class) compiled to its own farm and \
+         replayed through the bounded admission buffer with per-user fair dequeue and \
+         admission deadlines\",\n    \
+         \"n_tasks\": {trace_n},\n    \"n_servers\": 8,\n    \"trace_seed\": {trace_seed},\n    \
+         \"admission\": {{\"capacity\": 6, \"buffer\": 24, \"deadline_s\": 45.0}},\n    \
+         \"wall_run_s\": {trace_wall:.3},\n    \
+         \"completed\": {trace_completed},\n    \
+         \"shed_admission_deadline\": {trace_adm_sheds},\n    \
+         \"dropped_other\": {trace_other_drops},\n    \
+         \"buffered\": {},\n    \"dequeued\": {},\n    \"shed_deadline\": {},\n    \
+         \"shed_overflow\": {},\n    \"reentries\": {},\n    \
+         \"peak_admitted\": {},\n    \"peak_buffered\": {},\n    \
+         \"per_class_slo\": [{trace_slo_json}],\n    \
+         \"uncontended_bit_invisible\": {trace_invisible},\n    \
+         \"deterministic_replay\": {trace_deterministic},\n    \
+         \"sharded_equals_single\": {trace_shard_equal},\n    \
+         \"acceptance\": {{\"required\": \"uncontended gate bit-invisible, replay deterministic \
+         and shard-invariant, every task terminal (completed + sheds + drops == n_tasks), \
+         buffer and shed counters live and balancing the records exactly\", \
+         \"pass\": {ok_trace}}}\n  }},\n",
+        trace_stats.buffered,
+        trace_stats.dequeued,
+        trace_stats.shed_deadline,
+        trace_stats.shed_overflow,
+        trace_stats.reentries,
+        trace_stats.peak_admitted,
+        trace_stats.peak_buffered,
+    );
     let _ = write!(
         json,
         "  \"hotpath\": {{\n    \
@@ -1557,6 +1735,7 @@ fn main() {
          \"tree_equivalence_pass\": {ok_tree_equal}, \
          \"tree_decision_gate_pass\": {ok_tree_decision}, \
          \"churn_gate_pass\": {ok_churn}, \
+         \"trace_gate_pass\": {ok_trace}, \
          \"hotpath_gate_pass\": {ok_hotpath}, \
          \"stage2_equivalence_pass\": {ok_stage2_equal}, \
          \"stage2_gate_pass\": {ok_stage2_speed}, \

@@ -23,16 +23,23 @@
 //!   without NetSolve's retry loop, as in the paper's Table 6).
 //!
 //! All print sum-flow, max-stretch, mean-flow and completion counts per
-//! heuristic.
+//! heuristic. `sweep trace` instead replays a fitted multi-app trace
+//! whose crest class outruns the admission gate and prints per-user-class
+//! SLO tables (drop rate, stretch percentiles, buffered time) per
+//! heuristic × selector, asserting first that an *uncontended* gate is
+//! bit-invisible.
 
 use cas_core::heuristics::HeuristicKind;
 use cas_core::SelectorKind;
-use cas_metrics::{MetricSet, Table};
+use cas_metrics::{per_class_slo, MetricSet, Table};
 use cas_middleware as middleware;
-use cas_middleware::{run_heuristic_matrix, ExperimentConfig, Sharding};
+use cas_middleware::{
+    run_experiment, run_experiment_with_users, run_heuristic_matrix, ExperimentConfig, Sharding,
+};
 use cas_platform::{CostTable, ProblemId, ServerId, ServerSpec, TaskInstance};
 use cas_workload::metatask::MetataskSpec;
 use cas_workload::synthetic::{BurstArrivals, SyntheticPlatform};
+use cas_workload::trace::{AppProfile, FittedTraceSpec, TraceWorkload};
 use cas_workload::{matmul, testbed, wastecpu};
 
 const GAPS: [f64; 6] = [8.0, 10.0, 12.0, 15.0, 20.0, 30.0];
@@ -427,6 +434,140 @@ fn sweep_churn() {
     );
 }
 
+/// Trace sweep: a fitted three-app trace whose burst class submits
+/// faster than the admission gate can drain, per heuristic × selector.
+/// Before each contended run the *uncontended* gate (capacity ≥ n) is
+/// asserted bit-identical to no gate at all, so the SLO tables chart the
+/// cost of the overload, never of the subsystem.
+fn sweep_trace() {
+    const COMBOS: [(HeuristicKind, &str, SelectorKind); 4] = [
+        (HeuristicKind::Hmct, "exhaustive", SelectorKind::Exhaustive),
+        (
+            HeuristicKind::Hmct,
+            "adaptive:4:16",
+            SelectorKind::Adaptive {
+                k_min: 4,
+                k_max: 16,
+            },
+        ),
+        (HeuristicKind::Mct, "exhaustive", SelectorKind::Exhaustive),
+        (
+            HeuristicKind::Mct,
+            "adaptive:4:16",
+            SelectorKind::Adaptive {
+                k_min: 4,
+                k_max: 16,
+            },
+        ),
+    ];
+    // Three user classes: steady background, a crest that outruns the
+    // gate, and a sparse long-job class that must not starve under the
+    // round-robin dequeue.
+    let spec = FittedTraceSpec {
+        apps: vec![
+            AppProfile {
+                user: 0,
+                n_tasks: 400,
+                mean_gap_s: 8.0,
+                mean_duration_s: 10.0,
+            },
+            AppProfile {
+                user: 1,
+                n_tasks: 800,
+                mean_gap_s: 0.8,
+                mean_duration_s: 10.0,
+            },
+            AppProfile {
+                user: 2,
+                n_tasks: 60,
+                mean_gap_s: 50.0,
+                mean_duration_s: 30.0,
+            },
+        ],
+    };
+    let seed = 0x5EED_u64;
+    let mut trace = spec.generate(seed);
+    let c = TraceWorkload {
+        n_servers: 8,
+        ..TraceWorkload::default()
+    }
+    .compile(&mut trace, seed)
+    .expect("fitted trace is non-empty");
+    let n = c.tasks.len();
+    // The contended gate: 8 concurrent admissions at ~10 s mean demand
+    // drains ~0.8 tasks/s against a crest of ~1.25/s — it must shed.
+    let (cap, buf, deadline) = (8usize, 32usize, 60.0f64);
+    for (kind, sel_name, selector) in COMBOS {
+        let base = ExperimentConfig::ideal(kind, seed).with_selector(selector);
+        let plain = run_experiment(base, c.costs.clone(), c.servers.clone(), c.tasks.clone());
+        let (unc, unc_stats, _) = run_experiment_with_users(
+            base.with_admission(n + 1, 1, 1.0),
+            c.costs.clone(),
+            c.servers.clone(),
+            c.tasks.clone(),
+            c.users.clone(),
+        );
+        assert_eq!(
+            plain,
+            unc,
+            "{}/{sel_name}: an uncontended gate must be bit-invisible",
+            kind.name()
+        );
+        assert_eq!(unc_stats.buffered, 0, "uncontended gate must never buffer");
+        let (recs, stats, waits) = run_experiment_with_users(
+            base.with_admission(cap, buf, deadline),
+            c.costs.clone(),
+            c.servers.clone(),
+            c.tasks.clone(),
+            c.users.clone(),
+        );
+        let mut table = Table::new(
+            format!(
+                "Trace sweep: {n} tasks / 3 classes, {} + {sel_name}, admission {cap}:{buf}:{deadline}",
+                kind.name()
+            ),
+            vec![
+                "tasks".into(),
+                "completed".into(),
+                "drop %".into(),
+                "p50 stretch".into(),
+                "p99 stretch".into(),
+                "buffered s".into(),
+            ],
+        );
+        for class in per_class_slo(&recs, &c.users, &waits) {
+            table.push_row_f64(
+                format!("user {}", class.user),
+                &[
+                    class.tasks as f64,
+                    class.completed as f64,
+                    class.drop_rate_pct,
+                    class.p50_stretch.unwrap_or(f64::NAN),
+                    class.p99_stretch.unwrap_or(f64::NAN),
+                    class.mean_buffered_s,
+                ],
+                2,
+            );
+        }
+        println!("{}", table.render());
+        println!(
+            "  peak admitted {} / buffered {}; sheds: {} deadline + {} overflow; reentries {}",
+            stats.peak_admitted,
+            stats.peak_buffered,
+            stats.shed_deadline,
+            stats.shed_overflow,
+            stats.reentries
+        );
+        println!();
+    }
+    println!(
+        "Class 1 is the crest: its arrival rate outruns the gate's drain rate, so\n\
+         its drop rate and buffered time dominate while the round-robin dequeue\n\
+         keeps classes 0 and 2 near their uncontended stretch. Every table rides\n\
+         on the asserted invariant that an uncontended gate changes nothing."
+    );
+}
+
 fn main() {
     let scenario = std::env::args().nth(1).unwrap_or_else(|| "rate".into());
     match scenario.as_str() {
@@ -442,8 +583,10 @@ fn main() {
         "shards" => sweep_shards(),
         // The living farm: fault injection, retraction and re-dispatch.
         "churn" => sweep_churn(),
+        // Trace replay: per-user-class SLOs under admission backpressure.
+        "trace" => sweep_trace(),
         other => {
-            eprintln!("unknown scenario {other} (rate|burst|crest|shards|churn)");
+            eprintln!("unknown scenario {other} (rate|burst|crest|shards|churn|trace)");
             std::process::exit(2);
         }
     }

@@ -6,6 +6,8 @@
 //! * [`metrics`] — [`MetricSet`]: makespan, sum-flow, max-flow, max-stretch
 //!   and completed-task counts computed from a set of records, plus the
 //!   paper's pairwise "number of tasks that finish sooner" comparison.
+//! * [`slo`] — per-user-class production SLOs (p50/p99 stretch, drop rate,
+//!   buffered time) for trace-driven campaigns.
 //! * [`stats`] — means, standard deviations, confidence intervals and
 //!   medians for aggregating replications.
 //! * [`table`] — fixed-width text tables in the layout of the paper's
@@ -18,10 +20,12 @@
 pub mod metrics;
 pub mod prof;
 pub mod record;
+pub mod slo;
 pub mod stats;
 pub mod table;
 
 pub use metrics::{finish_sooner_count, MetricSet};
 pub use record::{DropReason, TaskOutcome, TaskRecord};
-pub use stats::Summary;
+pub use slo::{per_class_slo, ClassSlo};
+pub use stats::{percentile, Summary};
 pub use table::{render_csv, Table};

@@ -15,6 +15,10 @@ pub enum DropReason {
     /// The task's server crashed while no live server could solve its
     /// problem (the whole solver set was down or excluded).
     NoLiveSolver,
+    /// The task waited in the bounded admission buffer past its admission
+    /// deadline (or arrived to a full buffer) and was shed by the
+    /// backpressure path before ever reaching a server.
+    AdmissionDeadline,
 }
 
 impl DropReason {
@@ -23,6 +27,7 @@ impl DropReason {
         match self {
             DropReason::RedispatchBudget => "redispatch_budget",
             DropReason::NoLiveSolver => "no_live_solver",
+            DropReason::AdmissionDeadline => "admission_deadline",
         }
     }
 }
@@ -195,5 +200,6 @@ mod tests {
         assert!(!r.is_completed());
         assert_eq!(DropReason::RedispatchBudget.code(), "redispatch_budget");
         assert_eq!(DropReason::NoLiveSolver.code(), "no_live_solver");
+        assert_eq!(DropReason::AdmissionDeadline.code(), "admission_deadline");
     }
 }

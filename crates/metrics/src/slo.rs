@@ -1,0 +1,179 @@
+//! Production SLO metrics for trace-driven campaigns.
+//!
+//! A replayed trace carries a user/app class per task; this module folds a
+//! campaign's [`TaskRecord`]s into per-class service-level objectives —
+//! p50/p99 response stretch, drop rate, mean admission-buffer wait — the
+//! quantities a production operator would alert on, as opposed to the
+//! paper's whole-campaign makespan/sum-flow aggregates.
+
+use crate::record::{TaskOutcome, TaskRecord};
+use crate::stats::percentile;
+use serde::{Deserialize, Serialize};
+
+/// Per-user-class SLO summary over one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassSlo {
+    /// The user/app class id from the trace.
+    pub user: u32,
+    /// Tasks this class submitted.
+    pub tasks: usize,
+    /// Tasks that completed.
+    pub completed: usize,
+    /// Tasks that ended `Dropped` (any reason, admission shedding included).
+    pub dropped: usize,
+    /// Tasks that ended `Failed`.
+    pub failed: usize,
+    /// `dropped / tasks` in percent.
+    pub drop_rate_pct: f64,
+    /// Median response stretch over completed tasks (`None` when none
+    /// completed or no task had a positive unloaded duration).
+    pub p50_stretch: Option<f64>,
+    /// 99th-percentile response stretch over completed tasks.
+    pub p99_stretch: Option<f64>,
+    /// Mean time tasks of this class spent in the admission buffer, over
+    /// all tasks of the class (0 when backpressure is off).
+    pub mean_buffered_s: f64,
+}
+
+/// Folds per-task records into per-class SLOs. `users[i]` is the class of
+/// `records[i]`; `buffered_s[i]` is the admission-buffer wait of
+/// `records[i]` in seconds (pass `&[]` when backpressure is off — waits
+/// then count as zero). Classes come back sorted by id.
+pub fn per_class_slo(records: &[TaskRecord], users: &[u32], buffered_s: &[f64]) -> Vec<ClassSlo> {
+    assert_eq!(records.len(), users.len(), "one user class per record");
+    let mut classes: Vec<u32> = users.to_vec();
+    classes.sort_unstable();
+    classes.dedup();
+    classes
+        .into_iter()
+        .map(|class| {
+            let mut stretches = Vec::new();
+            let (mut tasks, mut completed, mut dropped, mut failed) = (0usize, 0usize, 0, 0);
+            let mut buffered_total = 0.0;
+            for (i, rec) in records.iter().enumerate() {
+                if users[i] != class {
+                    continue;
+                }
+                tasks += 1;
+                buffered_total += buffered_s.get(i).copied().unwrap_or(0.0);
+                match rec.outcome {
+                    TaskOutcome::Completed { .. } => {
+                        completed += 1;
+                        if let Some(s) = rec.stretch() {
+                            stretches.push(s);
+                        }
+                    }
+                    TaskOutcome::Dropped { .. } => dropped += 1,
+                    TaskOutcome::Failed => failed += 1,
+                    TaskOutcome::InFlight => {}
+                }
+            }
+            ClassSlo {
+                user: class,
+                tasks,
+                completed,
+                dropped,
+                failed,
+                drop_rate_pct: if tasks == 0 {
+                    0.0
+                } else {
+                    100.0 * dropped as f64 / tasks as f64
+                },
+                p50_stretch: percentile(&stretches, 0.5),
+                p99_stretch: percentile(&stretches, 0.99),
+                mean_buffered_s: if tasks == 0 {
+                    0.0
+                } else {
+                    buffered_total / tasks as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DropReason;
+    use cas_platform::{ProblemId, ServerId, TaskId};
+    use cas_sim::SimTime;
+
+    fn rec(arrival: f64, outcome: TaskOutcome, unloaded: f64) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(0),
+            problem: ProblemId(0),
+            arrival: SimTime::from_secs(arrival),
+            server: Some(ServerId(0)),
+            unloaded_duration: unloaded,
+            predicted_completion: None,
+            commit_prediction: None,
+            outcome,
+            attempts: 1,
+        }
+    }
+
+    fn done(arrival: f64, finished: f64, unloaded: f64) -> TaskRecord {
+        rec(
+            arrival,
+            TaskOutcome::Completed {
+                finished: SimTime::from_secs(finished),
+            },
+            unloaded,
+        )
+    }
+
+    #[test]
+    fn splits_by_class_and_computes_stretch_percentiles() {
+        // Class 0: stretches 2.0 and 4.0. Class 7: one drop, one completion.
+        let records = vec![
+            done(0.0, 20.0, 10.0),
+            done(0.0, 40.0, 10.0),
+            rec(
+                0.0,
+                TaskOutcome::Dropped {
+                    reason: DropReason::AdmissionDeadline,
+                },
+                10.0,
+            ),
+            done(5.0, 15.0, 10.0),
+        ];
+        let users = vec![0, 0, 7, 7];
+        let slo = per_class_slo(&records, &users, &[0.0, 0.0, 3.0, 1.0]);
+        assert_eq!(slo.len(), 2);
+        assert_eq!(slo[0].user, 0);
+        assert_eq!(slo[0].tasks, 2);
+        assert_eq!(slo[0].p50_stretch, Some(2.0));
+        assert_eq!(slo[0].p99_stretch, Some(4.0));
+        assert_eq!(slo[0].drop_rate_pct, 0.0);
+        assert_eq!(slo[1].user, 7);
+        assert_eq!(slo[1].dropped, 1);
+        assert_eq!(slo[1].completed, 1);
+        assert_eq!(slo[1].drop_rate_pct, 50.0);
+        assert_eq!(slo[1].p50_stretch, Some(1.0));
+        assert!((slo[1].mean_buffered_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_buffered_slice_counts_as_zero_wait() {
+        let records = vec![done(0.0, 10.0, 10.0)];
+        let slo = per_class_slo(&records, &[3], &[]);
+        assert_eq!(slo.len(), 1);
+        assert_eq!(slo[0].mean_buffered_s, 0.0);
+        assert_eq!(slo[0].p50_stretch, Some(1.0));
+    }
+
+    #[test]
+    fn class_with_no_completions_has_no_stretch() {
+        let records = vec![rec(
+            0.0,
+            TaskOutcome::Dropped {
+                reason: DropReason::AdmissionDeadline,
+            },
+            10.0,
+        )];
+        let slo = per_class_slo(&records, &[1], &[2.5]);
+        assert_eq!(slo[0].p50_stretch, None);
+        assert_eq!(slo[0].p99_stretch, None);
+        assert_eq!(slo[0].drop_rate_pct, 100.0);
+    }
+}

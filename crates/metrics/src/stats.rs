@@ -73,6 +73,20 @@ impl Summary {
     }
 }
 
+/// Nearest-rank percentile of a sample: the smallest value such that at
+/// least `q · n` of the sample is ≤ it (`q` in `(0, 1]`; `q = 0.5` is the
+/// lower median, `q = 0.99` the p99). Returns `None` for an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+    let n = sorted.len();
+    let rank = ((n as f64 * q).ceil() as usize).max(1) - 1;
+    Some(sorted[rank.min(n - 1)])
+}
+
 /// The relative change `100 · (b − a) / a` in percent — used when comparing
 /// a heuristic's metric to the MCT baseline in EXPERIMENTS.md.
 pub fn relative_change_pct(a: f64, b: f64) -> f64 {
@@ -123,6 +137,16 @@ mod tests {
         assert_eq!(relative_change_pct(100.0, 80.0), -20.0);
         assert_eq!(relative_change_pct(50.0, 75.0), 50.0);
         assert_eq!(relative_change_pct(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.5), Some(3.0));
+        assert_eq!(percentile(&v, 0.99), Some(5.0));
+        assert_eq!(percentile(&v, 1.0), Some(5.0));
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+        assert_eq!(percentile(&[], 0.5), None);
     }
 
     #[test]

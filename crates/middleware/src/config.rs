@@ -207,6 +207,20 @@ pub struct ExperimentConfig {
     /// Total dispatch attempts allowed per task across crash
     /// re-dispatches; beyond it the task is dropped with a reason code.
     pub redispatch_budget: u32,
+    /// Backpressure: maximum tasks concurrently admitted past the
+    /// agent's admission gate. `0` (the default) disables admission
+    /// control entirely — submissions go straight to the decision
+    /// pipeline and the run is bit-identical to a pre-backpressure
+    /// build.
+    pub admission_capacity: usize,
+    /// Bounded admission-buffer size: tasks arriving while the gate is
+    /// full wait here; arrivals beyond this bound are shed immediately
+    /// with `DropReason::AdmissionDeadline`.
+    pub admission_buffer: usize,
+    /// Seconds a task may wait in the admission buffer before being
+    /// shed with `DropReason::AdmissionDeadline`
+    /// (`f64::INFINITY` = wait forever).
+    pub admission_deadline: f64,
 }
 
 impl ExperimentConfig {
@@ -238,6 +252,9 @@ impl ExperimentConfig {
             churn_seed: 0,
             redispatch_backoff: 1.0,
             redispatch_budget: 8,
+            admission_capacity: 0,
+            admission_buffer: 0,
+            admission_deadline: f64::INFINITY,
         }
     }
 
@@ -269,6 +286,9 @@ impl ExperimentConfig {
             churn_seed: 0,
             redispatch_backoff: 1.0,
             redispatch_budget: 8,
+            admission_capacity: 0,
+            admission_buffer: 0,
+            admission_deadline: f64::INFINITY,
         }
     }
 
@@ -343,6 +363,22 @@ impl ExperimentConfig {
     pub fn with_churn_seed(mut self, churn_seed: u64) -> Self {
         self.churn_seed = churn_seed;
         self
+    }
+
+    /// Returns a copy with admission backpressure enabled: at most
+    /// `capacity` tasks concurrently past the gate, at most `buffer`
+    /// waiting behind it, each for at most `deadline` seconds before
+    /// being shed with `DropReason::AdmissionDeadline`.
+    pub fn with_admission(mut self, capacity: usize, buffer: usize, deadline: f64) -> Self {
+        self.admission_capacity = capacity;
+        self.admission_buffer = buffer;
+        self.admission_deadline = deadline;
+        self
+    }
+
+    /// Whether admission backpressure is on (`admission_capacity > 0`).
+    pub fn admission_enabled(&self) -> bool {
+        self.admission_capacity > 0
     }
 
     /// The churn model this configuration describes (disabled when
@@ -441,6 +477,21 @@ mod tests {
         assert!(c.churn_model().enabled());
         assert_eq!(c.redispatch_budget, 8);
         assert_eq!(c.redispatch_backoff, 1.0);
+    }
+
+    #[test]
+    fn admission_defaults_off_and_builder_arms_it() {
+        let c = ExperimentConfig::paper(HeuristicKind::Hmct, 1);
+        assert!(!c.admission_enabled());
+        assert_eq!(c.admission_capacity, 0);
+        assert_eq!(c.admission_buffer, 0);
+        assert!(c.admission_deadline.is_infinite());
+        assert!(!ExperimentConfig::ideal(HeuristicKind::Mct, 1).admission_enabled());
+        let c = c.with_admission(4, 32, 120.0);
+        assert!(c.admission_enabled());
+        assert_eq!(c.admission_capacity, 4);
+        assert_eq!(c.admission_buffer, 32);
+        assert_eq!(c.admission_deadline, 120.0);
     }
 
     #[test]

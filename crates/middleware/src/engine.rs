@@ -52,6 +52,7 @@ use cas_platform::{
 use cas_sim::dist::{LogNormalNoise, Sample};
 use cas_sim::{prof, RngStream, Scheduler, SimTime, Simulation, StreamKind, World};
 use cas_workload::ChurnProcess;
+use std::collections::VecDeque;
 
 /// Tolerance when matching a completion event's time against the
 /// resource's recomputed completion time.
@@ -83,6 +84,145 @@ pub struct ChurnStats {
     pub rebalances: u64,
     /// Brand-new servers admitted mid-campaign (provision schedule).
     pub provisions: u64,
+}
+
+/// Observability counters of the admission backpressure gate: how much
+/// the bounded buffer absorbed and how much it shed. All-zero when the
+/// gate is off (`ExperimentConfig::admission_capacity == 0`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Buffer entries: tasks that waited behind the gate at least once
+    /// (a crash-retracted task re-entering counts again).
+    pub buffered: u64,
+    /// Buffer exits into the decision pipeline (fair dequeue).
+    pub dequeued: u64,
+    /// Tasks shed because their admission deadline expired in the
+    /// buffer.
+    pub shed_deadline: u64,
+    /// Tasks shed on arrival (or re-entry) because the buffer itself
+    /// was full.
+    pub shed_overflow: u64,
+    /// Crash-retracted tasks that re-entered through the buffer instead
+    /// of the re-dispatch backoff.
+    pub reentries: u64,
+    /// High-water mark of the buffer occupancy.
+    pub peak_buffered: usize,
+    /// High-water mark of concurrently admitted tasks (≤ capacity).
+    pub peak_admitted: usize,
+}
+
+/// One task waiting behind the admission gate. `attempt`/`excluded`
+/// are the Schedule arguments to replay on dequeue, so a re-buffered
+/// crash victim keeps its attempt count and exclusion.
+#[derive(Debug, Clone)]
+struct BufferedTask {
+    idx: usize,
+    attempt: u32,
+    excluded: Vec<ServerId>,
+    enqueued: SimTime,
+}
+
+/// The bounded admission buffer: per-user-class FIFO queues drained
+/// round-robin (so one flooding class cannot starve the others), a
+/// concurrency gate of `capacity` tasks, and a per-task deadline after
+/// which a buffered task is shed with
+/// [`DropReason::AdmissionDeadline`]. Built at `init` when
+/// `ExperimentConfig::admission_capacity > 0`; `None` otherwise, in
+/// which case submissions take the exact pre-backpressure path.
+struct AdmissionState {
+    capacity: usize,
+    buffer_cap: usize,
+    in_admission: usize,
+    buffered_total: usize,
+    /// Per-class FIFO queues, sorted by class id so iteration order is
+    /// deterministic in the workload alone.
+    queues: Vec<(u32, VecDeque<BufferedTask>)>,
+    /// Round-robin cursor of the fair dequeue: index into `queues` of
+    /// the class to serve next.
+    rr: usize,
+    /// Whether task `idx` currently waits in the buffer.
+    buffered: Vec<bool>,
+    /// Admission generation per task, bumped on every buffer exit: a
+    /// deadline event armed for an earlier stay cannot shed a task
+    /// that was dequeued and re-buffered since.
+    gen: Vec<u32>,
+    /// Total buffered seconds per task (the SLO "buffered time").
+    waits: Vec<f64>,
+    stats: AdmissionStats,
+}
+
+impl AdmissionState {
+    fn new(cfg: &ExperimentConfig, users: &[u32]) -> Self {
+        let mut classes: Vec<u32> = users.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        AdmissionState {
+            capacity: cfg.admission_capacity,
+            buffer_cap: cfg.admission_buffer,
+            in_admission: 0,
+            buffered_total: 0,
+            queues: classes.into_iter().map(|c| (c, VecDeque::new())).collect(),
+            rr: 0,
+            buffered: vec![false; users.len()],
+            gen: vec![0; users.len()],
+            waits: vec![0.0; users.len()],
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    fn queue_of(&mut self, class: u32) -> &mut VecDeque<BufferedTask> {
+        let i = self
+            .queues
+            .binary_search_by_key(&class, |(c, _)| *c)
+            .expect("every task's class is registered");
+        &mut self.queues[i].1
+    }
+
+    fn enqueue(&mut self, class: u32, entry: BufferedTask) {
+        self.buffered[entry.idx] = true;
+        self.buffered_total += 1;
+        self.stats.buffered += 1;
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered_total);
+        self.queue_of(class).push_back(entry);
+    }
+
+    /// Fair dequeue: the oldest waiting task of the next non-empty
+    /// class, round-robin starting after the class served last.
+    fn dequeue(&mut self, now: SimTime) -> Option<BufferedTask> {
+        if self.buffered_total == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if let Some(entry) = self.queues[i].1.pop_front() {
+                self.rr = (i + 1) % n;
+                self.buffered_total -= 1;
+                self.buffered[entry.idx] = false;
+                self.gen[entry.idx] += 1;
+                self.waits[entry.idx] += now.as_secs() - entry.enqueued.as_secs();
+                self.stats.dequeued += 1;
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// Removes a deadline-expired task from its class queue (the caller
+    /// has already checked `buffered` and the generation stamp).
+    fn expire(&mut self, class: u32, idx: usize, now: SimTime) {
+        let q = self.queue_of(class);
+        let pos = q
+            .iter()
+            .position(|e| e.idx == idx)
+            .expect("buffered task is queued under its class");
+        let entry = q.remove(pos).expect("position is in bounds");
+        self.buffered_total -= 1;
+        self.buffered[idx] = false;
+        self.gen[idx] += 1;
+        self.waits[idx] += now.as_secs() - entry.enqueued.as_secs();
+        self.stats.shed_deadline += 1;
+    }
 }
 
 /// A scheduled mid-campaign server admission: at `at`, a brand-new
@@ -177,6 +317,16 @@ pub struct GridWorld {
     /// the default mode, per-shard events in aggregated mode) — the
     /// counter behind the O(n) → O(S) queue-pressure claim.
     report_events: u64,
+    /// Per-task user classes, aligned with `tasks` (all-zero unless a
+    /// trace workload attached real ones via
+    /// [`GridWorld::with_users`]). Feed the admission gate's fair
+    /// dequeue and the per-class SLO report.
+    users: Vec<u32>,
+    /// The admission backpressure gate (`None` when
+    /// `cfg.admission_capacity == 0`: submissions take the exact
+    /// pre-backpressure path). Built once at `init`, after the
+    /// builders have had their say on `users`.
+    admission: Option<AdmissionState>,
 }
 
 impl GridWorld {
@@ -279,6 +429,8 @@ impl GridWorld {
             churn_stats: ChurnStats::default(),
             band,
             report_events: 0,
+            users: vec![0; tasks.len()],
+            admission: None,
             cfg,
             costs,
             tasks,
@@ -290,6 +442,16 @@ impl GridWorld {
     /// cost table's problems; the asserts fire at admission time.
     pub fn with_provisions(mut self, provisions: Vec<Provision>) -> Self {
         self.provisions = provisions;
+        self
+    }
+
+    /// Attaches per-task user classes (trace workloads): `users[i]` is
+    /// the class of `tasks[i]`. The admission gate dequeues fairly
+    /// across classes and the SLO report splits by them. Defaults to a
+    /// single class (all zero).
+    pub fn with_users(mut self, users: Vec<u32>) -> Self {
+        assert_eq!(users.len(), self.tasks.len(), "one user class per task");
+        self.users = users;
         self
     }
 
@@ -354,6 +516,24 @@ impl GridWorld {
     /// Number of currently live servers.
     pub fn live_servers(&self) -> usize {
         self.live.iter().filter(|&&up| up).count()
+    }
+
+    /// Per-task user classes (all-zero unless a trace attached real
+    /// ones).
+    pub fn users(&self) -> &[u32] {
+        &self.users
+    }
+
+    /// Admission backpressure counters (all-zero when the gate is off).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.as_ref().map(|a| a.stats).unwrap_or_default()
+    }
+
+    /// Per-task total buffered seconds behind the admission gate —
+    /// empty when the gate is off (`cas_metrics::per_class_slo` reads
+    /// an empty slice as all-zero waits).
+    pub fn admission_waits(&self) -> &[f64] {
+        self.admission.as_ref().map_or(&[], |a| a.waits.as_slice())
     }
 
     fn resource(&self, server: ServerId, phase: Phase) -> &cas_platform::FairShareResource<TaskId> {
@@ -431,7 +611,7 @@ impl GridWorld {
     /// sim dates would decay to nothing as the campaign clock grows, and
     /// a task late by 10 s must register the same at t = 100 as at
     /// t = 10,000.
-    fn output_arrived(&mut self, now: SimTime, task: TaskId) {
+    fn output_arrived(&mut self, now: SimTime, task: TaskId, sched: &mut Scheduler<'_, GridEvent>) {
         if let Some(key) = self.flight_keys[task.index()].take() {
             let flight = self.flights.remove(key).expect("flight key is live");
             self.forget_inflight(flight.server, task);
@@ -454,6 +634,7 @@ impl GridWorld {
         let rec = self.record_mut(task);
         rec.outcome = TaskOutcome::Completed { finished: now };
         self.remaining -= 1;
+        self.release_admission(now, sched);
     }
 
     /// Integrates the load monitor up to `now` with the run-queue length
@@ -478,13 +659,142 @@ impl GridWorld {
         }
     }
 
-    fn fail_task(&mut self, idx: usize, attempts: u32, last_server: Option<ServerId>) {
+    fn fail_task(
+        &mut self,
+        idx: usize,
+        attempts: u32,
+        last_server: Option<ServerId>,
+        now: SimTime,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
         let task = self.tasks[idx];
         let rec = self.record_mut(task.id);
         rec.outcome = TaskOutcome::Failed;
         rec.attempts = attempts;
         rec.server = last_server;
         self.remaining -= 1;
+        self.release_admission(now, sched);
+    }
+
+    /// A submission reaches the agent: straight into the decision
+    /// pipeline when the admission gate is off (bit-identical to the
+    /// pre-backpressure build), through the bounded gate otherwise.
+    fn handle_submit(&mut self, now: SimTime, idx: usize, sched: &mut Scheduler<'_, GridEvent>) {
+        if self.admission.is_none() {
+            let delay = SimTime::from_secs(self.cfg.agent_latency);
+            sched.in_(
+                delay,
+                GridEvent::Schedule {
+                    idx,
+                    attempt: 1,
+                    excluded: Vec::new(),
+                },
+            );
+            return;
+        }
+        let adm = self.admission.as_mut().expect("gate is on");
+        if adm.in_admission < adm.capacity {
+            adm.in_admission += 1;
+            adm.stats.peak_admitted = adm.stats.peak_admitted.max(adm.in_admission);
+            sched.in_(
+                SimTime::from_secs(self.cfg.agent_latency),
+                GridEvent::Schedule {
+                    idx,
+                    attempt: 1,
+                    excluded: Vec::new(),
+                },
+            );
+        } else {
+            self.buffer_or_shed(now, idx, 1, Vec::new(), sched);
+        }
+    }
+
+    /// Buffers a task behind the full gate — arming its admission
+    /// deadline — or sheds it immediately when the buffer itself is
+    /// full.
+    fn buffer_or_shed(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        attempt: u32,
+        excluded: Vec<ServerId>,
+        sched: &mut Scheduler<'_, GridEvent>,
+    ) {
+        let adm = self.admission.as_mut().expect("gate is on");
+        if adm.buffered_total >= adm.buffer_cap {
+            adm.stats.shed_overflow += 1;
+            self.shed_task(idx);
+            return;
+        }
+        let class = self.users[idx];
+        let gen = adm.gen[idx];
+        adm.enqueue(
+            class,
+            BufferedTask {
+                idx,
+                attempt,
+                excluded,
+                enqueued: now,
+            },
+        );
+        if self.cfg.admission_deadline.is_finite() {
+            sched.in_(
+                SimTime::from_secs(self.cfg.admission_deadline),
+                GridEvent::AdmissionTimeout { idx, gen },
+            );
+        }
+    }
+
+    /// Terminal admission shed: the task never (re)reached a server.
+    /// `attempts` and `server` keep whatever earlier dispatch attempts
+    /// recorded.
+    fn shed_task(&mut self, idx: usize) {
+        let task = self.tasks[idx];
+        let rec = self.record_mut(task.id);
+        rec.outcome = TaskOutcome::Dropped {
+            reason: DropReason::AdmissionDeadline,
+        };
+        self.remaining -= 1;
+    }
+
+    /// An admitted task left the pipeline (terminal, or re-buffered
+    /// after a crash retraction): free its slot and pull waiting tasks
+    /// through the gate, round-robin across user classes. No-op when
+    /// the gate is off.
+    fn release_admission(&mut self, now: SimTime, sched: &mut Scheduler<'_, GridEvent>) {
+        let Some(adm) = &mut self.admission else {
+            return;
+        };
+        debug_assert!(adm.in_admission > 0, "release without a held slot");
+        adm.in_admission -= 1;
+        while adm.in_admission < adm.capacity {
+            let Some(entry) = adm.dequeue(now) else { break };
+            adm.in_admission += 1;
+            adm.stats.peak_admitted = adm.stats.peak_admitted.max(adm.in_admission);
+            sched.in_(
+                SimTime::from_secs(self.cfg.agent_latency),
+                GridEvent::Schedule {
+                    idx: entry.idx,
+                    attempt: entry.attempt,
+                    excluded: entry.excluded,
+                },
+            );
+        }
+    }
+
+    /// A buffered task's admission deadline fired: shed it unless the
+    /// event is stale (the task was dequeued — and possibly re-buffered
+    /// — since the deadline was armed).
+    fn handle_admission_timeout(&mut self, now: SimTime, idx: usize, gen: u32) {
+        let Some(adm) = &mut self.admission else {
+            return;
+        };
+        if !adm.buffered[idx] || adm.gen[idx] != gen {
+            return;
+        }
+        let class = self.users[idx];
+        adm.expire(class, idx, now);
+        self.shed_task(idx);
     }
 
     fn handle_schedule(
@@ -547,10 +857,11 @@ impl GridWorld {
                     };
                     rec.attempts = attempt;
                     self.remaining -= 1;
+                    self.release_admission(now, sched);
                 }
                 return;
             }
-            self.fail_task(idx, attempt, excluded.last().copied());
+            self.fail_task(idx, attempt, excluded.last().copied(), now, sched);
             return;
         };
         let phase_costs = self
@@ -622,7 +933,7 @@ impl GridWorld {
                         excluded,
                     });
                 } else {
-                    self.fail_task(idx, attempt, Some(server));
+                    self.fail_task(idx, attempt, Some(server), now, sched);
                 }
             }
         }
@@ -680,7 +991,7 @@ impl GridWorld {
             Phase::Output => {
                 self.resource_mut(server, Phase::Output).remove(now, task);
                 self.resched(server, Phase::Output, sched);
-                self.output_arrived(now, task);
+                self.output_arrived(now, task, sched);
             }
         }
     }
@@ -716,7 +1027,7 @@ impl GridWorld {
         self.resched_client_link(sched);
         match phase {
             Phase::Input => self.input_arrived(now, task, sched),
-            Phase::Output => self.output_arrived(now, task),
+            Phase::Output => self.output_arrived(now, task, sched),
             Phase::Compute => unreachable!("compute never runs on the client link"),
         }
     }
@@ -860,14 +1171,26 @@ impl GridWorld {
         let attempts = self.records[task.index()].attempts;
         if attempts < self.cfg.redispatch_budget {
             self.churn_stats.redispatches += 1;
-            sched.in_(
-                SimTime::from_secs(self.cfg.redispatch_backoff),
-                GridEvent::Schedule {
-                    idx: task.index(),
-                    attempt: attempts + 1,
-                    excluded: vec![server],
-                },
-            );
+            if let Some(adm) = &mut self.admission {
+                // Under backpressure the bounded buffer replaces the
+                // re-dispatch backoff: the victim re-enters the queue
+                // (that one `redispatches` increment above is its only
+                // count — the dequeue does not count it again), its
+                // held slot is released below, and the fair dequeue
+                // decides when it reaches the pipeline again.
+                adm.stats.reentries += 1;
+                self.buffer_or_shed(now, task.index(), attempts + 1, vec![server], sched);
+                self.release_admission(now, sched);
+            } else {
+                sched.in_(
+                    SimTime::from_secs(self.cfg.redispatch_backoff),
+                    GridEvent::Schedule {
+                        idx: task.index(),
+                        attempt: attempts + 1,
+                        excluded: vec![server],
+                    },
+                );
+            }
         } else {
             self.churn_stats.drops += 1;
             let rec = self.record_mut(task);
@@ -875,6 +1198,7 @@ impl GridWorld {
                 reason: DropReason::RedispatchBudget,
             };
             self.remaining -= 1;
+            self.release_admission(now, sched);
         }
     }
 
@@ -1066,6 +1390,9 @@ impl World for GridWorld {
     type Event = GridEvent;
 
     fn init(&mut self, sched: &mut Scheduler<'_, GridEvent>) {
+        if self.cfg.admission_enabled() {
+            self.admission = Some(AdmissionState::new(&self.cfg, &self.users));
+        }
         for (idx, task) in self.tasks.iter().enumerate() {
             sched.at(task.arrival, GridEvent::Submit { idx });
         }
@@ -1124,16 +1451,9 @@ impl World for GridWorld {
 
     fn handle(&mut self, now: SimTime, event: GridEvent, sched: &mut Scheduler<'_, GridEvent>) {
         match event {
-            GridEvent::Submit { idx } => {
-                let delay = SimTime::from_secs(self.cfg.agent_latency);
-                sched.in_(
-                    delay,
-                    GridEvent::Schedule {
-                        idx,
-                        attempt: 1,
-                        excluded: Vec::new(),
-                    },
-                );
+            GridEvent::Submit { idx } => self.handle_submit(now, idx, sched),
+            GridEvent::AdmissionTimeout { idx, gen } => {
+                self.handle_admission_timeout(now, idx, gen)
             }
             GridEvent::Schedule {
                 idx,
@@ -1173,14 +1493,10 @@ impl World for GridWorld {
     }
 }
 
-/// Runs one experiment to completion and returns the per-task records.
-pub fn run_experiment(
-    cfg: ExperimentConfig,
-    costs: CostTable,
-    servers: Vec<ServerSpec>,
-    tasks: Vec<TaskInstance>,
-) -> Vec<TaskRecord> {
-    let world = GridWorld::new(cfg, costs, servers, tasks);
+/// Drives a built world to completion and back-fills the HTM's final
+/// simulated completion dates (Table 1's "simulated completion date"
+/// column), merged across shards.
+fn run_world(world: GridWorld) -> GridWorld {
     let mut sim = Simulation::new(world);
     let outcome = sim.run_to_completion();
     debug_assert_eq!(outcome, cas_sim::engine::RunOutcome::Exhausted);
@@ -1190,13 +1506,38 @@ pub fn run_experiment(
         0,
         "all tasks must reach a terminal state"
     );
-    // Fill in the HTM's final simulated completion dates (Table 1's
-    // "simulated completion date" column), merged across shards.
     let simulated = world.agent.simulated_completions();
     for rec in &mut world.records {
         rec.predicted_completion = simulated.get(&rec.task).copied();
     }
-    world.records.clone()
+    world
+}
+
+/// Runs one experiment to completion and returns the per-task records.
+pub fn run_experiment(
+    cfg: ExperimentConfig,
+    costs: CostTable,
+    servers: Vec<ServerSpec>,
+    tasks: Vec<TaskInstance>,
+) -> Vec<TaskRecord> {
+    run_world(GridWorld::new(cfg, costs, servers, tasks)).records
+}
+
+/// Runs one experiment with per-task user classes (trace workloads) and
+/// returns the records plus the admission observability surface: the
+/// gate's counters and the per-task buffered seconds
+/// (`cas_metrics::per_class_slo` consumes records + users + waits).
+pub fn run_experiment_with_users(
+    cfg: ExperimentConfig,
+    costs: CostTable,
+    servers: Vec<ServerSpec>,
+    tasks: Vec<TaskInstance>,
+    users: Vec<u32>,
+) -> (Vec<TaskRecord>, AdmissionStats, Vec<f64>) {
+    let world = run_world(GridWorld::new(cfg, costs, servers, tasks).with_users(users));
+    let stats = world.admission_stats();
+    let waits = world.admission_waits().to_vec();
+    (world.records, stats, waits)
 }
 
 #[cfg(test)]
@@ -2271,5 +2612,213 @@ mod tests {
             "every decision must account for every group: {stats:?}"
         );
         assert!(world.records().iter().all(|r| r.is_completed()));
+    }
+
+    /// Runs a world with user classes attached and returns it.
+    fn run_with_users(
+        cfg: ExperimentConfig,
+        costs: CostTable,
+        servers: Vec<ServerSpec>,
+        tasks: Vec<TaskInstance>,
+        users: Vec<u32>,
+    ) -> GridWorld {
+        let world = GridWorld::new(cfg, costs, servers, tasks).with_users(users);
+        let mut sim = cas_sim::Simulation::new(world);
+        let outcome = sim.run_to_completion();
+        assert_eq!(outcome, cas_sim::engine::RunOutcome::Exhausted);
+        let world = sim.into_world();
+        assert_eq!(world.remaining(), 0, "every task must end terminal");
+        world
+    }
+
+    /// An uncontended admission gate (capacity ≥ campaign size) must be
+    /// bitwise invisible: every submission admits instantly, so the
+    /// event sequence — and therefore every record — matches the
+    /// disabled gate across selectors and sharding modes.
+    #[test]
+    fn uncontended_admission_is_bitwise_invisible() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(24);
+        for selector in [
+            cas_core::SelectorKind::Exhaustive,
+            cas_core::SelectorKind::TopK { k: 2 },
+        ] {
+            for shards in [Sharding::Single, Sharding::Federated { shards: 3 }] {
+                let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 41)
+                    .with_selector(selector)
+                    .with_shards(shards);
+                let off = run_experiment(cfg, costs.clone(), servers.clone(), tasks.clone());
+                let on = run_experiment(
+                    cfg.with_admission(10_000, 16, 60.0),
+                    costs.clone(),
+                    servers.clone(),
+                    tasks.clone(),
+                );
+                assert_eq!(
+                    off, on,
+                    "{selector:?}/{shards:?} diverged under an idle gate"
+                );
+            }
+        }
+    }
+
+    /// Crest overload against a tight gate: a burst far beyond capacity
+    /// must shed — every shed carries `AdmissionDeadline` — while the
+    /// terminal accounting stays exact and the counters balance
+    /// (entries = exits, peaks bounded by the knobs).
+    #[test]
+    fn admission_crest_overload_sheds_and_accounts() {
+        let (costs, servers) = mini_setup();
+        let arrivals: Vec<f64> = (0..16).map(|i| i as f64 * 0.5).collect();
+        let tasks = mini_tasks(&arrivals);
+        let n = tasks.len();
+        let cfg = ExperimentConfig::ideal(HeuristicKind::Hmct, 1).with_admission(1, 2, 5.0);
+        let world = run_with_users(cfg, costs, servers, tasks, vec![0; n]);
+        let adm = world.admission_stats();
+        let (mut completed, mut shed) = (0usize, 0usize);
+        for r in world.records() {
+            match r.outcome {
+                TaskOutcome::Completed { .. } => completed += 1,
+                TaskOutcome::Dropped {
+                    reason: DropReason::AdmissionDeadline,
+                } => shed += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(completed + shed, n);
+        assert!(shed > 0, "a 0.5 s burst must overwhelm capacity 1");
+        assert_eq!(shed as u64, adm.shed_deadline + adm.shed_overflow);
+        assert!(adm.shed_deadline > 0, "5 s deadlines must expire");
+        assert!(adm.shed_overflow > 0, "a 2-slot buffer must overflow");
+        assert_eq!(adm.buffered, adm.dequeued + adm.shed_deadline);
+        assert_eq!(adm.peak_admitted, 1);
+        assert!(adm.peak_buffered <= 2);
+        // The SLO surface is live: one class, a real drop rate, real
+        // buffered time, and stretch percentiles from the completions.
+        let slo =
+            cas_metrics::per_class_slo(world.records(), world.users(), world.admission_waits());
+        assert_eq!(slo.len(), 1);
+        assert_eq!(slo[0].tasks, n);
+        assert!(slo[0].drop_rate_pct > 0.0);
+        assert!(slo[0].mean_buffered_s > 0.0);
+        assert!(slo[0].p50_stretch.is_some() && slo[0].p99_stretch.is_some());
+    }
+
+    /// The fair dequeue is round-robin across user classes: a class
+    /// that floods the buffer cannot starve a later, smaller class —
+    /// the small class's tasks overtake the flood's tail.
+    #[test]
+    fn admission_fair_dequeue_serves_classes_round_robin() {
+        let (costs, servers) = mini_setup();
+        // Class 0 floods four tasks at t = 0; class 1 submits two just
+        // after. Capacity 1 serialises everything through the buffer.
+        let tasks = mini_tasks(&[0.0, 0.0, 0.0, 0.0, 0.01, 0.01]);
+        let users = vec![0, 0, 0, 0, 1, 1];
+        let cfg =
+            ExperimentConfig::ideal(HeuristicKind::Hmct, 1).with_admission(1, 8, f64::INFINITY);
+        let world = run_with_users(cfg, costs, servers, tasks, users);
+        assert!(world.records().iter().all(|r| r.is_completed()));
+        let finished = |i: usize| world.records()[i].finished().expect("completed");
+        // Round-robin: class 1's last task beats class 0's last; a
+        // global FIFO would drain the flood first.
+        assert!(
+            finished(5) < finished(3),
+            "class 1 starved: {:?} vs {:?}",
+            finished(5),
+            finished(3)
+        );
+        let adm = world.admission_stats();
+        assert_eq!(adm.buffered, adm.dequeued);
+        assert_eq!(adm.shed_deadline + adm.shed_overflow, 0);
+    }
+
+    /// The gate sits above the shard router, so backpressure must not
+    /// perturb the federation equivalence: same records, sharded or
+    /// not, under a contended gate.
+    #[test]
+    fn admission_sharded_matches_single() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(30);
+        let base = ExperimentConfig::paper(HeuristicKind::Hmct, 9).with_admission(2, 4, 8.0);
+        let single = run_experiment(base, costs.clone(), servers.clone(), tasks.clone());
+        assert!(
+            single.iter().any(|r| matches!(
+                r.outcome,
+                TaskOutcome::Dropped {
+                    reason: DropReason::AdmissionDeadline
+                }
+            )),
+            "the gate must actually bind for this to test anything"
+        );
+        for shards in [2, 3, 6] {
+            let routed = run_experiment(
+                base.with_shards(Sharding::Federated { shards }),
+                costs.clone(),
+                servers.clone(),
+                tasks.clone(),
+            );
+            assert_eq!(single, routed, "diverged at {shards} shards under the gate");
+        }
+    }
+
+    /// Churn × backpressure: crash-retracted tasks re-enter through the
+    /// bounded buffer — each retraction counted exactly once in
+    /// `ChurnStats::redispatches` (the dequeue adds nothing) — and the
+    /// terminal accounting of a saturated gate under a harsh fault
+    /// schedule stays exact, with churn drops and admission sheds
+    /// partitioning the dropped records by reason.
+    #[test]
+    fn churn_with_backpressure_accounts_and_reenters_once() {
+        let (costs, servers) = six_setup();
+        let tasks = six_tasks(40);
+        let n_tasks = tasks.len() as u64;
+        let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 23)
+            .with_shards(Sharding::Federated { shards: 3 })
+            .with_churn(40.0, 20.0)
+            .with_churn_seed(7)
+            .with_admission(3, 4, 30.0);
+        let world = run_with_users(cfg, costs, servers, tasks, vec![0; 40]);
+        let stats = world.churn_stats();
+        let adm = world.admission_stats();
+        assert!(stats.crashes > 0, "schedule must crash servers: {stats:?}");
+        assert!(
+            stats.retractions > 0,
+            "crashes must retract work: {stats:?}"
+        );
+        assert!(adm.buffered > 0, "the gate must saturate: {adm:?}");
+        let (mut completed, mut churn_drops, mut admission_sheds, mut budget_drops, mut failed) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for r in world.records() {
+            match r.outcome {
+                TaskOutcome::Completed { .. } => completed += 1,
+                TaskOutcome::Dropped {
+                    reason: DropReason::AdmissionDeadline,
+                } => admission_sheds += 1,
+                TaskOutcome::Dropped {
+                    reason: DropReason::RedispatchBudget,
+                } => {
+                    churn_drops += 1;
+                    budget_drops += 1;
+                }
+                TaskOutcome::Dropped { .. } => churn_drops += 1,
+                TaskOutcome::Failed => failed += 1,
+                TaskOutcome::InFlight => panic!("task {:?} left in flight", r.task),
+            }
+        }
+        assert_eq!(completed + churn_drops + admission_sheds + failed, n_tasks);
+        assert_eq!(churn_drops, stats.drops, "churn drops carry churn reasons");
+        assert_eq!(admission_sheds, adm.shed_deadline + adm.shed_overflow);
+        // Every retraction re-entered the buffer exactly once or spent
+        // its budget — nothing double-counted, nothing lost.
+        assert_eq!(
+            adm.reentries + budget_drops,
+            stats.retractions,
+            "retraction↔re-entry bijection broke: {stats:?} {adm:?}"
+        );
+        assert!(
+            stats.redispatches >= adm.reentries,
+            "each re-entry was counted once as a redispatch"
+        );
+        assert_eq!(adm.buffered, adm.dequeued + adm.shed_deadline);
     }
 }

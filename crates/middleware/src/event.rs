@@ -86,6 +86,17 @@ pub enum GridEvent {
         /// The crashed server.
         server: ServerId,
     },
+    /// A buffered task's admission deadline fired. If the task is still
+    /// waiting in the admission buffer *and* its buffering generation
+    /// matches (it was not dequeued and re-buffered since), it is shed
+    /// with `DropReason::AdmissionDeadline`; otherwise the event is
+    /// stale and ignored.
+    AdmissionTimeout {
+        /// Index into the experiment's task list.
+        idx: usize,
+        /// Admission generation of the task when the deadline was armed.
+        gen: u32,
+    },
 }
 
 #[cfg(test)]

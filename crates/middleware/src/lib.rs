@@ -33,7 +33,9 @@ pub mod shard;
 pub mod validate;
 
 pub use config::{ExperimentConfig, FaultTolerance, Sharding};
-pub use engine::{run_experiment, ChurnStats, GridWorld};
+pub use engine::{
+    run_experiment, run_experiment_with_users, AdmissionStats, ChurnStats, GridWorld,
+};
 pub use event::GridEvent;
 pub use harness::{DecisionAgent, DiffHarness, DiffSession, Op, SingleAgentReference};
 pub use runner::{

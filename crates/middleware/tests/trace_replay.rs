@@ -1,0 +1,129 @@
+//! End-to-end trace replay: the checked-in golden trace through the
+//! full pipeline — CSV ingestion, demand-ladder compilation, the
+//! admission gate, per-user-class SLOs — plus the record-identity
+//! guarantees the trace path rides on (determinism, sharded ≡ single,
+//! trace ≡ metataskspec when the gate is off and rates are light).
+
+use cas_core::heuristics::HeuristicKind;
+use cas_metrics::{per_class_slo, DropReason, TaskOutcome, TaskRecord};
+use cas_middleware::engine::{run_experiment_with_users, AdmissionStats};
+use cas_middleware::{run_experiment, ExperimentConfig, Sharding};
+use cas_workload::trace::TraceWorkload;
+use cas_workload::{CsvTrace, MetataskSpec};
+use std::fmt::Write as _;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../workload/fixtures/golden_trace.csv"
+);
+
+fn golden_run(cfg: ExperimentConfig) -> (Vec<TaskRecord>, Vec<u32>, AdmissionStats, Vec<f64>) {
+    let text = std::fs::read_to_string(GOLDEN).expect("golden fixture is checked in");
+    let mut trace = CsvTrace::parse(&text).expect("golden fixture parses");
+    let c = TraceWorkload {
+        n_servers: 3,
+        ..TraceWorkload::default()
+    }
+    .compile(&mut trace, cfg.seed)
+    .expect("golden fixture compiles");
+    let users = c.users.clone();
+    let (records, stats, waits) =
+        run_experiment_with_users(cfg, c.costs, c.servers, c.tasks, c.users);
+    (records, users, stats, waits)
+}
+
+/// The golden trace replays end to end under a tight admission gate:
+/// the class-1 crest saturates it, every task still ends terminal, and
+/// the per-class SLO report carries stretch percentiles, buffered time
+/// and a real drop rate for the crest class.
+#[test]
+fn golden_trace_replays_with_slos_under_backpressure() {
+    let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 17).with_admission(2, 4, 25.0);
+    let (records, users, stats, waits) = golden_run(cfg);
+    assert_eq!(records.len(), 36);
+    let terminal = records
+        .iter()
+        .all(|r| !matches!(r.outcome, TaskOutcome::InFlight));
+    assert!(terminal, "every task must end terminal under the crest");
+    assert!(stats.peak_buffered > 0, "the crest must buffer: {stats:?}");
+    let sheds = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                TaskOutcome::Dropped {
+                    reason: DropReason::AdmissionDeadline
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(sheds, stats.shed_deadline + stats.shed_overflow);
+    let slo = per_class_slo(&records, &users, &waits);
+    assert_eq!(slo.len(), 3, "three user classes in the fixture");
+    for class in &slo {
+        assert!(class.tasks > 0);
+        assert!(
+            class.p50_stretch.is_some() && class.p99_stretch.is_some(),
+            "class {} must complete enough for percentiles",
+            class.user
+        );
+    }
+    let crest = &slo[1];
+    assert_eq!(crest.user, 1);
+    assert!(
+        crest.mean_buffered_s > 0.0,
+        "the burst class must have waited: {crest:?}"
+    );
+}
+
+/// Replaying the same trace with the same seed is bit-identical —
+/// records, stats and waits — and the shard federation changes nothing.
+#[test]
+fn golden_trace_replay_is_deterministic_and_shard_invariant() {
+    let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 17).with_admission(2, 4, 25.0);
+    let a = golden_run(cfg);
+    let b = golden_run(cfg);
+    assert_eq!(a.0, b.0, "records must replay bit-identically");
+    assert_eq!(a.2, b.2, "admission stats must replay bit-identically");
+    assert_eq!(a.3, b.3, "buffered times must replay bit-identically");
+    let sharded = golden_run(cfg.with_shards(Sharding::Federated { shards: 3 }));
+    assert_eq!(a.0, sharded.0, "sharded replay diverged from single");
+    assert_eq!(a.2, sharded.2);
+}
+
+/// With the gate off and arrival rates below capacity, the trace path
+/// is record-identical to the equivalent `MetataskSpec` run on the same
+/// farm: ingesting a generated metatask as a CSV trace changes nothing
+/// end to end.
+#[test]
+fn light_trace_is_record_identical_to_metataskspec_run() {
+    let seed = 42;
+    let ms = MetataskSpec {
+        n_tasks: 60,
+        mean_gap: 25.0,
+        gaps: cas_workload::GapDistribution::Exponential,
+        n_problems: 3,
+    };
+    let tasks = ms.generate(seed);
+    let ladder = [15.0, 26.0, 45.0];
+    let mut csv = String::from("arrival_s,user,duration_s\n");
+    for t in &tasks {
+        writeln!(
+            csv,
+            "{:?},0,{:?}",
+            t.arrival.as_secs(),
+            ladder[t.problem.index()]
+        )
+        .unwrap();
+    }
+    let mut trace = CsvTrace::parse(&csv).unwrap();
+    let c = TraceWorkload::default().compile(&mut trace, seed).unwrap();
+    let cfg = ExperimentConfig::paper(HeuristicKind::Hmct, 11);
+    assert!(!cfg.admission_enabled());
+    let direct = run_experiment(cfg, c.costs.clone(), c.servers.clone(), tasks);
+    let (traced, stats, waits) =
+        run_experiment_with_users(cfg, c.costs, c.servers, c.tasks, c.users);
+    assert_eq!(direct, traced, "trace path perturbed the records");
+    assert_eq!(stats, AdmissionStats::default(), "gate off ⇒ zero counters");
+    assert!(waits.is_empty(), "gate off ⇒ no buffered time surface");
+}

@@ -15,14 +15,23 @@
 //! * [`churn`] — the farm lifecycle fault injector: deterministic
 //!   per-server MTBF/MTTR renewal processes feeding the middleware's
 //!   server join/leave/crash kernel events.
+//! * [`trace`] — trace-driven production workloads: an object-safe
+//!   [`Trace`](trace::Trace) source trait (CSV ingestion +
+//!   fitted per-app generator) compiled onto a demand-ladder farm with
+//!   per-task user classes.
 
 pub mod churn;
 pub mod matmul;
 pub mod metatask;
 pub mod synthetic;
 pub mod testbed;
+pub mod trace;
 pub mod wastecpu;
 
 pub use churn::{ChurnModel, ChurnProcess};
-pub use metatask::{GapDistribution, MetataskSpec};
+pub use metatask::{arrival_summary, ArrivalSummary, GapDistribution, MetataskSpec};
 pub use testbed::Machine;
+pub use trace::{
+    AppProfile, CompiledTrace, CsvTrace, FittedTrace, FittedTraceSpec, Trace, TraceEntry,
+    TraceError, TraceWorkload,
+};

@@ -88,6 +88,31 @@ impl MetataskSpec {
     }
 }
 
+/// Arrival-process summary of a generated (or trace-ingested) task list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSummary {
+    /// Number of tasks.
+    pub n: usize,
+    /// Time of the last arrival, seconds.
+    pub span_s: f64,
+    /// Mean inter-arrival gap (`span / n`), seconds.
+    pub mean_gap_s: f64,
+}
+
+/// Summarises a task list's arrival process. Returns `None` for an empty
+/// list — zero-task traces are reachable through CSV ingestion, and the
+/// mean gap of nothing is not a number, not a quantity.
+pub fn arrival_summary(tasks: &[TaskInstance]) -> Option<ArrivalSummary> {
+    let last = tasks.last()?;
+    let n = tasks.len();
+    let span_s = last.arrival.as_secs();
+    Some(ArrivalSummary {
+        n,
+        span_s,
+        mean_gap_s: span_s / n as f64,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,10 +142,36 @@ mod tests {
     fn mean_gap_close_to_nominal() {
         let spec = MetataskSpec::paper(20.0);
         let tasks = spec.generate(3);
-        let total = tasks.last().unwrap().arrival.as_secs();
-        let mean = total / tasks.len() as f64;
+        let summary = arrival_summary(&tasks).unwrap();
+        assert_eq!(summary.n, 500);
         // 500 samples: expect within ~10 %.
+        let mean = summary.mean_gap_s;
         assert!((mean - 20.0).abs() < 2.0, "mean gap = {mean}");
+    }
+
+    #[test]
+    fn empty_task_list_has_no_summary() {
+        // Zero-task traces are reachable via CSV ingestion; the summary
+        // must be well-defined (None), never a 0/0 NaN.
+        assert_eq!(arrival_summary(&[]), None);
+        let spec = MetataskSpec {
+            n_tasks: 0,
+            ..MetataskSpec::paper(20.0)
+        };
+        let tasks = spec.generate(1);
+        assert!(tasks.is_empty());
+        assert_eq!(arrival_summary(&tasks), None);
+    }
+
+    #[test]
+    fn singleton_summary_is_finite() {
+        let spec = MetataskSpec {
+            n_tasks: 1,
+            ..MetataskSpec::paper(20.0)
+        };
+        let s = arrival_summary(&spec.generate(4)).unwrap();
+        assert_eq!(s.n, 1);
+        assert!(s.span_s.is_finite() && s.mean_gap_s.is_finite());
     }
 
     #[test]

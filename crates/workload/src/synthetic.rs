@@ -274,6 +274,61 @@ mod tests {
         assert_eq!(p.cost_table(7).n_servers(), 1);
     }
 
+    /// Regression: `n_servers == 1` used to interpolate `i / (n − 1)` =
+    /// 0/0 = NaN into the speed ladder. The single server must sit at the
+    /// fast end with finite speed and costs.
+    #[test]
+    fn single_server_costs_are_finite() {
+        let p = SyntheticPlatform {
+            n_servers: 1,
+            ..Default::default()
+        };
+        let server = &p.servers(7)[0];
+        assert!(server.cpu_mhz.is_finite() && server.cpu_mhz > 0.0);
+        assert!((server.cpu_mhz - 1000.0 * p.heterogeneity).abs() < 1e-9);
+        let table = p.cost_table(7);
+        for prob in 0..table.n_problems() {
+            let c = table.costs(ProblemId(prob as u32), ServerId(0)).unwrap();
+            assert!(c.compute.is_finite() && c.compute > 0.0);
+            assert!(c.input.is_finite() && c.output.is_finite());
+        }
+    }
+
+    /// Regression: `n_problems == 1` used to hit the same 0/0 in the cost
+    /// spread interpolation. The lone problem must cost exactly
+    /// `base_cost` on the fastest server, with every entry finite.
+    #[test]
+    fn single_problem_costs_are_finite() {
+        let p = SyntheticPlatform {
+            n_problems: 1,
+            mem_fraction: 0.25,
+            ..Default::default()
+        };
+        let table = p.cost_table(8);
+        assert_eq!(table.n_problems(), 1);
+        assert!(table.problem(ProblemId(0)).mem_mb.is_finite());
+        for s in 0..table.n_servers() {
+            let c = table.costs(ProblemId(0), ServerId(s as u32)).unwrap();
+            assert!(c.compute.is_finite() && c.compute > 0.0);
+        }
+        let fast = table.costs(ProblemId(0), ServerId(0)).unwrap().compute;
+        assert!((fast - p.base_cost).abs() < 1e-9, "fast cost = {fast}");
+    }
+
+    /// The fully degenerate 1×1 farm must still build a usable table.
+    #[test]
+    fn one_by_one_platform_is_well_formed() {
+        let p = SyntheticPlatform {
+            n_servers: 1,
+            n_problems: 1,
+            ..Default::default()
+        };
+        let table = p.cost_table(9);
+        let c = table.costs(ProblemId(0), ServerId(0)).unwrap();
+        assert!((c.compute - p.base_cost).abs() < 1e-9);
+        assert!(c.input.is_finite() && c.output.is_finite());
+    }
+
     fn burst_spec() -> BurstArrivals {
         BurstArrivals {
             n_tasks: 4000,

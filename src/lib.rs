@@ -64,12 +64,13 @@ pub mod prelude {
         SyncPolicy,
     };
     pub use cas_metrics::{
-        finish_sooner_count, MetricSet, Summary, Table, TaskOutcome, TaskRecord,
+        finish_sooner_count, per_class_slo, ClassSlo, MetricSet, Summary, Table, TaskOutcome,
+        TaskRecord,
     };
     pub use cas_middleware::{
-        run_experiment, run_heuristic_matrix, run_replications, run_replications_sequential,
-        AgentRouter, DecisionAgent, DiffHarness, ExperimentConfig, FaultTolerance, Sharding,
-        SingleAgentReference, SkylineStats,
+        run_experiment, run_experiment_with_users, run_heuristic_matrix, run_replications,
+        run_replications_sequential, AdmissionStats, AgentRouter, DecisionAgent, DiffHarness,
+        ExperimentConfig, FaultTolerance, Sharding, SingleAgentReference, SkylineStats,
     };
     pub use cas_platform::{
         CostTable, IndexScoring, MemoryModel, PhaseCosts, Problem, ProblemId, ServerId, ServerSpec,
@@ -77,6 +78,9 @@ pub mod prelude {
     };
     pub use cas_sim::{RngStream, SimTime, StreamKind};
     pub use cas_workload::metatask::{GapDistribution, MetataskSpec};
+    pub use cas_workload::trace::{
+        CompiledTrace, CsvTrace, FittedTraceSpec, Trace, TraceEntry, TraceError, TraceWorkload,
+    };
 }
 
 #[cfg(test)]

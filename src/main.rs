@@ -63,6 +63,10 @@ struct Args {
     /// Seed of the fault schedule — independent of the workload seed, so
     /// the same schedule can replay against different campaigns.
     churn_seed: u64,
+    /// Admission backpressure: "off" (default) or "CAP:BUF:DEADLINE"
+    /// (concurrency gate, buffer bound, buffered-wait deadline in
+    /// seconds or "inf").
+    admission: String,
     tasks: usize,
     seed: u64,
     reps: usize,
@@ -91,6 +95,7 @@ impl Default for Args {
             mtbf: f64::INFINITY,
             mttr: 60.0,
             churn_seed: 0,
+            admission: "off".into(),
             tasks: 500,
             seed: 1,
             reps: 1,
@@ -111,7 +116,11 @@ fn usage() -> &'static str {
      casgrid list             list available heuristics and workloads\n\
      \n\
      OPTIONS:\n\
-     --workload matmul|wastecpu|synthetic:N workload family [wastecpu]\n\
+     --workload matmul|wastecpu|synthetic:N|trace:FILE\n\
+                                  workload family        [wastecpu]\n\
+                                  (trace:FILE replays an\n\
+                                  arrival_s,user,duration_s CSV on a\n\
+                                  synthetic farm; `run` only)\n\
      --heuristic NAME             policy for `run`       [MSF]\n\
      --heuristics A,B,C           policies for `compare` [MCT,HMCT,MP,MSF]\n\
      --gap SECONDS                mean inter-arrival gap [20]\n\
@@ -159,6 +168,12 @@ fn usage() -> &'static str {
                                   (exponential)          [60]\n\
      --churn-seed N               fault-schedule seed, independent of\n\
                                   --seed                 [0]\n\
+     --admission CAP:BUF:DEADLINE admission backpressure: at most CAP\n\
+                                  tasks past the gate, BUF buffered\n\
+                                  behind it, each at most DEADLINE\n\
+                                  seconds (\"inf\" = wait forever)\n\
+                                  before being shed; \"off\" disables\n\
+                                  the gate entirely      [off]\n\
      --tasks N                    metatask size          [500]\n\
      --seed N                     root seed              [1]\n\
      --reps N                     replications           [1]\n\
@@ -302,6 +317,15 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                     "a non-negative integer (e.g. 42)",
                 )?
             }
+            "--admission" => {
+                let v = take(&mut i)?;
+                if parse_admission(&v).is_none() {
+                    return Err(format!(
+                        "--admission: expected CAP:BUF:DEADLINE (CAP >= 1, deadline in seconds or \"inf\", e.g. 8:64:120) or \"off\", got {v:?}"
+                    ));
+                }
+                args.admission = v;
+            }
             "--tasks" => {
                 args.tasks = num_flag("--tasks", &take(&mut i)?, "a positive integer (e.g. 500)")?
             }
@@ -322,6 +346,27 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         i += 1;
     }
     Ok((cmd, args))
+}
+
+/// Parses the `--admission` grammar: "off" or "CAP:BUF:DEADLINE" with
+/// CAP ≥ 1 and a positive deadline in seconds ("inf" = wait forever).
+fn parse_admission(s: &str) -> Option<(usize, usize, f64)> {
+    if s.eq_ignore_ascii_case("off") {
+        return Some((0, 0, f64::INFINITY));
+    }
+    let mut it = s.split(':');
+    let cap = it.next()?.parse::<usize>().ok().filter(|&c| c >= 1)?;
+    let buf = it.next()?.parse::<usize>().ok()?;
+    let d = it.next()?;
+    let deadline = if d.eq_ignore_ascii_case("inf") {
+        f64::INFINITY
+    } else {
+        d.parse::<f64>().ok().filter(|&x| x > 0.0 && !x.is_nan())?
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some((cap, buf, deadline))
 }
 
 fn workload_of(args: &Args) -> Result<(CostTable, Vec<ServerSpec>), String> {
@@ -351,7 +396,7 @@ fn workload_of(args: &Args) -> Result<(CostTable, Vec<ServerSpec>), String> {
                 return Ok((platform.cost_table(args.seed), platform.servers(args.seed)));
             }
             Err(format!(
-                "unknown workload {other} (matmul|wastecpu|synthetic:N)"
+                "unknown workload {other} (matmul|wastecpu|synthetic:N|trace:FILE)"
             ))
         }
     }
@@ -376,8 +421,10 @@ fn config_of(args: &Args, kind: HeuristicKind) -> ExperimentConfig {
     if args.sync {
         cfg.sync = SyncPolicy::ForceFinish;
     }
+    let (cap, buf, deadline) = parse_admission(&args.admission).expect("validated at parse time");
     cfg.with_churn(args.mtbf, args.mttr)
         .with_churn_seed(args.churn_seed)
+        .with_admission(cap, buf, deadline)
 }
 
 /// The metatask: the paper's homogeneous-Poisson process by default, or
@@ -414,9 +461,94 @@ fn emit(table: &Table, format: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays a CSV trace end to end: compiles it onto the synthetic
+/// demand-ladder farm, runs one campaign per replication (seed + rep)
+/// through the admission gate, and prints the paper metrics plus the
+/// per-user-class SLO table (p50/p99 stretch, drop rate, buffered
+/// time) of the first replication.
+fn cmd_run_trace(args: &Args, path: &str, kind: HeuristicKind) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("--workload trace:{path}: cannot read file ({e})"))?;
+    let mut trace = CsvTrace::parse(&text).map_err(|e| format!("--workload trace:{path}: {e}"))?;
+    let compiled = TraceWorkload::default()
+        .compile(&mut trace, args.seed)
+        .map_err(|e| format!("--workload trace:{path}: {e}"))?;
+    let base = config_of(args, kind);
+    let mut runs = Vec::with_capacity(args.reps);
+    let mut first_slo: Option<Vec<ClassSlo>> = None;
+    for rep in 0..args.reps.max(1) {
+        let cfg = base.with_seed(args.seed + rep as u64);
+        let (records, stats, waits) = run_experiment_with_users(
+            cfg,
+            compiled.costs.clone(),
+            compiled.servers.clone(),
+            compiled.tasks.clone(),
+            compiled.users.clone(),
+        );
+        if first_slo.is_none() {
+            let _ = stats;
+            first_slo = Some(per_class_slo(&records, &compiled.users, &waits));
+        }
+        runs.push(records);
+    }
+    let mut table = Table::new(
+        format!(
+            "{} on trace:{} ({} tasks, {} class(es), admission {}, shards {}, {} rep(s))",
+            kind.name(),
+            path,
+            compiled.tasks.len(),
+            first_slo.as_ref().map_or(0, |s| s.len()),
+            args.admission,
+            args.shards,
+            args.reps
+        ),
+        vec!["mean".into(), "min".into(), "max".into()],
+    );
+    for metric in MetricSet::PAPER_ROWS {
+        let vals: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| MetricSet::compute(r).by_name(metric))
+            .collect();
+        if let Some(s) = Summary::of(&vals) {
+            table.push_row_f64(metric, &[s.mean, s.min, s.max], 1);
+        }
+    }
+    emit(&table, &args.format)?;
+    let slo = first_slo.expect("at least one replication ran");
+    let mut slo_table = Table::new(
+        format!("per-user-class SLOs (seed {})", args.seed),
+        vec![
+            "tasks".into(),
+            "completed".into(),
+            "drop %".into(),
+            "p50 stretch".into(),
+            "p99 stretch".into(),
+            "buffered s".into(),
+        ],
+    );
+    for class in &slo {
+        slo_table.push_row_f64(
+            format!("user {}", class.user),
+            &[
+                class.tasks as f64,
+                class.completed as f64,
+                class.drop_rate_pct,
+                class.p50_stretch.unwrap_or(f64::NAN),
+                class.p99_stretch.unwrap_or(f64::NAN),
+                class.mean_buffered_s,
+            ],
+            2,
+        );
+    }
+    emit(&slo_table, &args.format)
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let kind = HeuristicKind::parse(&args.heuristic)
         .ok_or_else(|| format!("unknown heuristic {}", args.heuristic))?;
+    if let Some(path) = args.workload.strip_prefix("trace:") {
+        return cmd_run_trace(args, path, kind);
+    }
     let (costs, servers) = workload_of(args)?;
     let tasks = tasks_of(args, &costs);
     let workloads: Vec<_> = (0..args.reps).map(|_| tasks.clone()).collect();
@@ -472,6 +604,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 fn cmd_compare(args: &Args) -> Result<(), String> {
     if args.profile {
         return Err("--profile: supported by `run` only (one campaign, one table)".into());
+    }
+    if args.workload.starts_with("trace:") {
+        return Err(
+            "--workload trace:FILE: supported by `run` only (a trace binds its own farm)".into(),
+        );
     }
     let names = args
         .heuristics
@@ -533,6 +670,11 @@ fn cmd_list() {
     println!("\nworkloads:\n  matmul    Table 3, servers chamagne/cabestan/artimon/pulney");
     println!("  wastecpu  Table 4, servers valette/spinnaker/cabestan/artimon");
     println!("  synthetic:N  the bench farm at N servers (federation scale)");
+    println!(
+        "  trace:FILE   replay an arrival_s,user,duration_s CSV on the\n  \
+         \x20          synthetic demand-ladder farm (per-class SLOs;\n  \
+         \x20          pair with --admission for backpressure; run only)"
+    );
     println!(
         "\nselectors (stage-1 candidate pruning):\n  \
          exhaustive        every solver gets an HTM query (paper behaviour)\n  \
@@ -846,6 +988,61 @@ mod tests {
         assert!(parse(&argv("run --mtbf")).is_err());
         assert!(parse(&argv("run --mttr")).is_err());
         assert!(parse(&argv("run --churn-seed")).is_err());
+    }
+
+    #[test]
+    fn parse_admission_flag() {
+        let (_, args) = parse(&argv("run")).unwrap();
+        assert_eq!(args.admission, "off");
+        assert!(!config_of(&args, HeuristicKind::Hmct).admission_enabled());
+        let (_, args) = parse(&argv("run --admission 8:64:120")).unwrap();
+        let cfg = config_of(&args, HeuristicKind::Hmct);
+        assert!(cfg.admission_enabled());
+        assert_eq!(cfg.admission_capacity, 8);
+        assert_eq!(cfg.admission_buffer, 64);
+        assert_eq!(cfg.admission_deadline, 120.0);
+        let (_, args) = parse(&argv("run --admission 4:16:inf")).unwrap();
+        assert!(config_of(&args, HeuristicKind::Hmct)
+            .admission_deadline
+            .is_infinite());
+        let (_, args) = parse(&argv("run --admission OFF")).unwrap();
+        assert!(!config_of(&args, HeuristicKind::Hmct).admission_enabled());
+        for bad in [
+            "run --admission 8:64",
+            "run --admission 8:64:120:7",
+            "run --admission 0:64:120",
+            "run --admission 8:64:0",
+            "run --admission 8:64:-5",
+            "run --admission lots",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert!(err.starts_with("--admission"), "{bad}: {err}");
+            assert!(err.contains("expected"), "{bad}: {err}");
+            assert_eq!(err.lines().count(), 1, "{bad}: {err}");
+        }
+        assert!(parse(&argv("run --admission")).is_err());
+    }
+
+    const GOLDEN: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/workload/fixtures/golden_trace.csv"
+    );
+
+    /// `casgrid run --workload trace:FILE --admission ...` replays the
+    /// golden fixture end to end; `compare` rejects trace workloads
+    /// with a one-line error; a missing file names the path.
+    #[test]
+    fn trace_workload_runs_end_to_end_and_compare_rejects_it() {
+        let (_, mut args) =
+            parse(&argv("run --admission 2:4:25 --heuristic HMCT --reps 2")).unwrap();
+        args.workload = format!("trace:{GOLDEN}");
+        assert!(cmd_run(&args).is_ok());
+        let err = cmd_compare(&args).unwrap_err();
+        assert!(err.starts_with("--workload trace:"), "{err}");
+        assert_eq!(err.lines().count(), 1, "{err}");
+        args.workload = "trace:/does/not/exist.csv".into();
+        let err = cmd_run(&args).unwrap_err();
+        assert!(err.contains("/does/not/exist.csv"), "{err}");
     }
 
     #[test]
